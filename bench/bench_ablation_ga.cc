@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation study of the GA design choices the paper reports as
+ * empirical findings (Sections 3.1-3.3, 8.3):
+ *  - mutation rate 2-4% works well (vs too cold / too hot),
+ *  - 30-sample RMS averaging stabilizes the fitness signal,
+ *  - a diverse instruction pool beats an integer-only pool,
+ *  - 50-instruction loops are long enough to shape resonant
+ *    periodicities.
+ * Each ablation runs the same reduced GA with one knob changed and
+ * reports the best EM amplitude achieved.
+ */
+
+#include "bench_util.h"
+#include "core/fitness.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+namespace {
+
+double
+runGa(platform::Platform &plat, const isa::InstructionPool &pool,
+      ga::GaConfig cfg, std::size_t sa_samples, double *dominant_mhz)
+{
+    core::EvalSettings eval;
+    eval.duration_s = 3e-6;
+    eval.sa_samples = sa_samples;
+    core::EmAmplitudeFitness fitness(plat, eval);
+    ga::GaEngine engine(pool, cfg);
+    const auto result = engine.run(fitness);
+    if (dominant_mhz) {
+        *dominant_mhz =
+            result.best_detail.dominant_freq_hz / mega(1.0);
+    }
+    return result.best_fitness;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: GA design choices",
+                  "mutation rate / averaging / pool diversity / "
+                  "loop length");
+
+    platform::Platform a72(platform::junoA72Config(), 26);
+    ga::GaConfig base;
+    base.population = bench::fullMode() ? 40 : 20;
+    base.generations = bench::fullMode() ? 30 : 12;
+    base.kernel_length = 50;
+    base.seed = 77;
+
+    Table t({"ablation", "setting", "best_em_dbm", "dominant_mhz"});
+    auto record = [&t](const std::string &ablation,
+                       const std::string &setting, double dbm,
+                       double dom) {
+        t.row().cell(ablation).cell(setting).cell(dbm, 1).cell(dom,
+                                                               1);
+    };
+
+    // Mutation rate: paper uses 2-4%.
+    for (double rate : {0.0, 0.003, 0.03, 0.30}) {
+        auto cfg = base;
+        cfg.mutation_rate = rate;
+        double dom = 0.0;
+        const double dbm = runGa(a72, a72.pool(), cfg, 5, &dom);
+        std::ostringstream s;
+        s << rate * 100 << "%";
+        record("mutation rate", s.str(), dbm, dom);
+    }
+
+    // Measurement averaging: 1 vs 5 vs 30 samples per individual.
+    for (std::size_t samples : {std::size_t{1}, std::size_t{5},
+                                std::size_t{30}}) {
+        auto cfg = base;
+        double dom = 0.0;
+        const double dbm =
+            runGa(a72, a72.pool(), cfg, samples, &dom);
+        record("SA samples", std::to_string(samples), dbm, dom);
+    }
+
+    // Pool diversity: full ARMv8 mix vs integer-only (Section 8.3).
+    {
+        double dom = 0.0;
+        const double full_dbm =
+            runGa(a72, a72.pool(), base, 5, &dom);
+        record("pool", "full ARMv8", full_dbm, dom);
+
+        isa::InstructionPool int_only(isa::IsaFamily::ArmV8, 8, 8, 8,
+                                      4);
+        const auto &src = a72.pool();
+        for (const auto &d : src.defs()) {
+            if (d.cls == isa::InstrClass::IntShort
+                || d.cls == isa::InstrClass::IntLong) {
+                int_only.addInstruction(d);
+            }
+        }
+        const double int_dbm =
+            runGa(a72, int_only, base, 5, &dom);
+        record("pool", "integer-only", int_dbm, dom);
+    }
+
+    // Loop length: 10 / 50 / 150 instructions.
+    for (std::size_t len : {std::size_t{10}, std::size_t{50},
+                            std::size_t{150}}) {
+        auto cfg = base;
+        cfg.kernel_length = len;
+        double dom = 0.0;
+        const double dbm = runGa(a72, a72.pool(), cfg, 5, &dom);
+        record("loop length", std::to_string(len), dbm, dom);
+    }
+
+    t.print("GA ablations (expect: moderate mutation best; more "
+            "averaging never hurts; diverse pool beats integer-only)");
+    bench::saveCsv(t, "ablation_ga");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Extension study: EM-based voltage-margin prediction (the paper's
+ * future-work item (c)). Train a linear EM-to-droop model on
+ * calibration kernels using the OC-DSO, then predict droop and V_MIN
+ * for held-out workloads from the antenna signal alone, and compare
+ * against scope measurements and the actual V_MIN search.
+ */
+
+#include "bench_util.h"
+#include "core/margin_predictor.h"
+#include "core/resonant_kernel.h"
+#include "core/vmin_tester.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Extension: margin prediction",
+                  "EM-only droop / V_MIN prediction versus direct "
+                  "measurement");
+
+    platform::Platform a72(platform::junoA72Config(), 24);
+    core::EmMarginPredictor predictor(a72);
+    Rng rng(101);
+
+    // Calibration set: resonant kernels across the band + random
+    // kernels + two benchmark profiles.
+    for (double f : {45e6, 55e6, 62e6, 67e6, 75e6, 90e6, 110e6}) {
+        predictor.addKernel(core::makeResonantKernelFor(
+            a72.pool(), a72.frequency(), f));
+    }
+    for (int i = 0; i < 5; ++i)
+        predictor.addKernel(isa::Kernel::random(a72.pool(), 50, rng));
+    const auto suite = workloads::spec2006Suite();
+    predictor.addWorkload(workloads::findProfile(suite, "hmmer"));
+    predictor.addWorkload(workloads::findProfile(suite, "milc"));
+
+    const auto model = predictor.fit();
+    Table fitTable({"metric", "value"});
+    fitTable.row().cell("training points")
+        .cell(static_cast<long>(model.points));
+    fitTable.row().cell("slope [mV droop per mV EM]")
+        .cell(model.slope, 3);
+    fitTable.row().cell("intercept [mV]")
+        .cell(model.intercept * 1e3, 2);
+    fitTable.row().cell("R^2").cell(model.r_squared, 3);
+    fitTable.print("Margin model fit (trained with the OC-DSO)");
+    bench::saveCsv(fitTable, "ext_margin_fit");
+
+    // Held-out evaluation: EM-only prediction vs the scope and vs
+    // the actual stepping V_MIN search.
+    auto vcfg = core::defaultVminConfig(a72);
+    core::VminTester tester(a72, vcfg);
+    vmin::TimingModel timing(vcfg.timing);
+
+    Table t({"workload", "em_pred_droop_mv", "scope_droop_mv",
+             "em_pred_vmin_v", "search_vmin_v"});
+    auto evaluate = [&](const std::string &name,
+                        const isa::Kernel &kernel) {
+        const double pred = predictor.predictDroopForKernel(kernel);
+        const double meas = predictor.measureDroop(kernel);
+        // EM-only V_MIN prediction.
+        const auto run = a72.runKernel(kernel, 4e-6);
+        const auto marker = a72.analyzer().averagedMaxAmplitude(
+            run.em, mega(50.0), mega(200.0), 5);
+        const double em_vrms = std::sqrt(
+            dbmToWatts(marker.power_dbm)
+            * a72.analyzer().params().ref_impedance);
+        const double pred_vmin = predictor.predictVmin(
+            em_vrms, timing, a72.frequency());
+        const auto vrow = tester.testKernel(name, kernel, 10);
+        t.row()
+            .cell(name)
+            .cell(pred * 1e3, 1)
+            .cell(meas * 1e3, 1)
+            .cell(pred_vmin, 3)
+            .cell(vrow.vmin_v, 3);
+    };
+
+    evaluate("resonant-70MHz",
+             core::makeResonantKernelFor(a72.pool(), a72.frequency(),
+                                         70e6));
+    evaluate("resonant-50MHz",
+             core::makeResonantKernelFor(a72.pool(), a72.frequency(),
+                                         50e6));
+    evaluate("random-A", isa::Kernel::random(a72.pool(), 50, rng));
+    evaluate("random-B", isa::Kernel::random(a72.pool(), 50, rng));
+    const auto virus = bench::getOrSearchVirus(
+        a72, "a72em", core::VirusMetric::EmAmplitude, 42);
+    evaluate("a72em virus", virus.report.virus);
+
+    t.print("Held-out prediction: droop and V_MIN from EM only "
+            "(no scope attached at prediction time)");
+    bench::saveCsv(t, "ext_margin_predictions");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension study: running the EM methodology through a cheap
+ * SDR dongle instead of the bench spectrum analyzer (the paper notes
+ * "cheaper commercial software-defined radio receivers should also
+ * work"). Compares resonance detection and received-level agreement
+ * between the Agilent-class analyzer model and an RTL-SDR-class
+ * receiver, across antenna distances.
+ */
+
+#include "bench_util.h"
+#include "core/resonance_explorer.h"
+#include "core/resonant_kernel.h"
+#include "instruments/sdr_receiver.h"
+#include "pdn/resonance.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Extension: SDR receiver",
+                  "methodology through an RTL-SDR-class dongle vs "
+                  "the bench spectrum analyzer");
+
+    platform::Platform a72(platform::junoA72Config(), 25);
+    instruments::SdrReceiver sdr(instruments::SdrParams{}, Rng(55));
+
+    // Resonance detection comparison over several kernels.
+    Table t({"kernel", "sa_marker_mhz", "sa_dbm", "sdr_marker_mhz",
+             "sdr_dbm"});
+    for (double f : {55e6, 67e6, 80e6, 100e6}) {
+        const auto kernel = core::makeResonantKernelFor(
+            a72.pool(), a72.frequency(), f);
+        const auto run = a72.runKernel(kernel, 4e-6);
+        const auto sa = a72.analyzer().averagedMaxAmplitude(
+            run.em, mega(50.0), mega(200.0), 5);
+        const auto sd =
+            sdr.scanMaxAmplitude(run.em, mega(50.0), mega(200.0));
+        std::ostringstream name;
+        name << "resonant-" << f / 1e6 << "MHz";
+        t.row()
+            .cell(name.str())
+            .cell(sa.freq_hz / mega(1.0), 2)
+            .cell(sa.power_dbm, 1)
+            .cell(sd.freq_hz / mega(1.0), 2)
+            .cell(sd.power_dbm, 1);
+    }
+    t.print("SDR vs spectrum analyzer: marker agreement");
+    bench::saveCsv(t, "ext_sdr_markers");
+
+    // Distance sensitivity: the near-field falloff limits how far a
+    // cheap receiver can sit.
+    Table d({"distance_cm", "sdr_dbm_at_resonance",
+             "above_noise_floor_db"});
+    const auto kernel = core::makeResonantKernelFor(
+        a72.pool(), a72.frequency(),
+        pdn::firstOrderResonanceHz(a72.pdnModel()));
+    const auto base = a72.runKernel(kernel, 4e-6);
+    const double noise_dbm = wattsToDbm(
+        kBoltzmann * kRoomTempKelvin * 2.4e6
+        * dbToPowerRatio(8.0)); // SDR band noise
+    for (double cm : {3.0, 5.0, 7.0, 10.0, 15.0, 25.0}) {
+        const Trace em =
+            a72.antenna().receive(base.i_die, cm / 100.0);
+        const auto m =
+            sdr.scanMaxAmplitude(em, mega(50.0), mega(200.0));
+        d.row()
+            .cell(cm, 0)
+            .cell(m.power_dbm, 1)
+            .cell(m.power_dbm - noise_dbm, 1);
+    }
+    d.print("SDR signal headroom vs antenna distance (near-field "
+            "1/d^3 falloff)");
+    bench::saveCsv(d, "ext_sdr_distance");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 4 reproduction: OC-DSO voltage waveforms for three
+ * workloads on the Cortex-A72 — CPU idle, a SPEC2006 benchmark and
+ * the dI/dt virus. The virus causes by far the largest noise.
+ */
+
+#include "bench_util.h"
+#include "util/stats.h"
+#include "workloads/workload.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "OC-DSO voltage waveforms: idle vs SPEC vs dI/dt "
+                  "virus (Cortex-A72)");
+
+    platform::Platform a72(platform::junoA72Config(), 1);
+    auto &scope = a72.scope();
+    const double duration = 4e-6;
+
+    Table t({"workload", "max_droop_mv", "peak_to_peak_mv",
+             "mean_v_die"});
+    auto report = [&](const std::string &name, const Trace &v_die) {
+        const Trace cap = scope.capture(v_die);
+        t.row()
+            .cell(name)
+            .cell(instruments::Oscilloscope::maxDroop(cap, 1.0) * 1e3,
+                  2)
+            .cell(instruments::Oscilloscope::peakToPeak(cap) * 1e3, 2)
+            .cell(stats::mean(cap.samples()), 4);
+    };
+
+    // Idle.
+    {
+        Rng rng(1);
+        const auto stream = workloads::generateStream(
+            workloads::idleProfile(), a72.pool(), 40000, rng);
+        report("idle", a72.runStream(stream, duration).v_die);
+    }
+    // SPEC benchmark (h264ref as the representative mid-pack one).
+    {
+        Rng rng(2);
+        const auto stream = workloads::generateStream(
+            workloads::findProfile(workloads::spec2006Suite(),
+                                   "h264ref"),
+            a72.pool(), 40000, rng);
+        report("h264ref (SPEC2006)",
+               a72.runStream(stream, duration).v_die);
+    }
+    // dI/dt virus from the EM-driven GA.
+    {
+        const auto virus = bench::getOrSearchVirus(
+            a72, "a72em", core::VirusMetric::EmAmplitude, 42);
+        report("dI/dt virus (a72em)",
+               a72.runKernel(virus.report.virus, duration).v_die);
+    }
+
+    t.print("Figure 4: voltage-noise comparison (the virus row must "
+            "dominate)");
+    bench::saveCsv(t, "fig04_waveforms");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 7 reproduction: the EM-amplitude-driven GA on the
+ * Cortex-A72. Per generation: best EM amplitude, dominant frequency,
+ * and the OC-DSO max droop of the generation's best individual
+ * (re-measured after the search, as the paper does). EM amplitude and
+ * droop rise together; the dominant frequency locks onto the PDN
+ * resonance (~67 MHz) from early generations.
+ */
+
+#include "bench_util.h"
+#include "pdn/resonance.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "EM-driven GA on Cortex-A72: amplitude / droop / "
+                  "dominant frequency per generation");
+
+    platform::Platform a72(platform::junoA72Config(), 7);
+    const auto found = bench::getOrSearchVirus(
+        a72, "a72em", core::VirusMetric::EmAmplitude, 42);
+    const auto &report = found.report;
+
+    // Per-generation series: best EM amplitude + the OC-DSO droop of
+    // each generation's best, re-measured after the search
+    // (Section 5.1's post-hoc procedure, cached alongside the virus).
+    Table t({"generation", "best_em_dbm", "mean_em_dbm",
+             "dominant_mhz", "best_droop_mv"});
+    for (const auto &row : found.history) {
+        t.row()
+            .cell(static_cast<long>(row.generation))
+            .cell(row.best_fitness, 2)
+            .cell(row.mean_fitness, 2)
+            .cell(row.dominant_mhz, 2)
+            .cell(row.best_droop_mv, 2);
+    }
+    t.print("Figure 7: GA progression (Cortex-A72)");
+    bench::saveCsv(t, "fig07_ga_a72");
+
+    Table summary({"metric", "value"});
+    summary.row()
+        .cell("final dominant frequency [MHz]")
+        .cell(report.dominant_freq_hz / mega(1.0), 2);
+    summary.row()
+        .cell("PDN 1st-order resonance [MHz]")
+        .cell(pdn::firstOrderResonanceHz(a72.pdnModel()) / mega(1.0),
+              2);
+    summary.row()
+        .cell("paper dominant frequency [MHz]")
+        .cell(67.0, 1);
+    summary.row()
+        .cell("final virus droop [mV]")
+        .cell(report.max_droop_v * 1e3, 2);
+    summary.row()
+        .cell("modeled lab time for this search [h]")
+        .cell(found.lab_seconds / 3600.0, 2);
+    summary.print("Figure 7: convergence summary");
+    bench::saveCsv(summary, "fig07_summary");
+
+    if (!found.history.empty()) {
+        const auto &first = found.history.front();
+        const auto &last = found.history.back();
+        std::printf("\nEM amplitude improved %.1f dB over %zu "
+                    "generations; droop rose from %.1f to %.1f mV "
+                    "alongside it.\n",
+                    last.best_fitness - first.best_fitness,
+                    found.history.size(), first.best_droop_mv,
+                    last.best_droop_mv);
+    }
+    return 0;
+}

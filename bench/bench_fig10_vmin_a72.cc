@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10 reproduction: V_MIN and max droop on the dual-core
+ * Cortex-A72 for SPEC2006 benchmarks, the OC-DSO-droop-driven virus
+ * and the EM-driven virus. Both viruses droop >= ~25 mV more than
+ * lbm (the worst SPEC benchmark) and have ~20 mV higher V_MIN;
+ * repeats: 30 per virus, 2 per benchmark (paper Section 5.2).
+ */
+
+#include "bench_util.h"
+#include "core/vmin_tester.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Figure 10",
+                  "V_MIN and max droop on Cortex-A72 (dual core)");
+
+    platform::Platform a72(platform::junoA72Config(), 10);
+    auto cfg = core::defaultVminConfig(a72);
+    core::VminTester tester(a72, cfg);
+
+    Table t({"workload", "vmin_v", "margin_mv", "max_droop_mv",
+             "failure", "runs"});
+    double campaign_seconds = 0.0;
+    auto add = [&t, &campaign_seconds](const core::VminRow &row) {
+        campaign_seconds += row.lab_seconds;
+        t.row()
+            .cell(row.workload)
+            .cell(row.vmin_v, 3)
+            .cell(row.margin_v * 1e3, 0)
+            .cell(row.max_droop_v * 1e3, 1)
+            .cell(row.failure)
+            .cell(static_cast<long>(row.runs));
+    };
+
+    add(tester.testWorkload(workloads::idleProfile(), 2));
+    const auto suite = workloads::spec2006Suite();
+    const char *benchmarks[] = {"perlbench", "bzip2",  "gcc",
+                                "mcf",       "milc",   "namd",
+                                "hmmer",     "sjeng",  "libquantum",
+                                "h264ref",   "omnetpp","lbm"};
+    for (const char *name : benchmarks)
+        add(tester.testWorkload(workloads::findProfile(suite, name),
+                                2));
+
+    // The two viruses (rightmost bars in the paper's figure).
+    const auto dso_virus = bench::getOrSearchVirus(
+        a72, "a72ocdso", core::VirusMetric::MaxDroop, 43);
+    add(tester.testKernel("a72OC-DSO virus", dso_virus.report.virus,
+                          30));
+    const auto em_virus = bench::getOrSearchVirus(
+        a72, "a72em", core::VirusMetric::EmAmplitude, 42);
+    add(tester.testKernel("a72em virus", em_virus.report.virus, 30));
+
+    t.print("Figure 10: V_MIN and droop (viruses must top both "
+            "columns; paper: viruses +25 mV droop, +20 mV V_MIN over "
+            "lbm; ~150 mV margin)");
+    bench::saveCsv(t, "fig10_vmin_a72");
+    std::printf("\nModeled physical campaign time: %.1f days "
+                "(paper Section 5.2: \"about two days\").\n",
+                campaign_seconds / 86400.0);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12 reproduction: the EM-amplitude-driven GA on the
+ * Cortex-A53 — the cluster with *no* voltage-noise visibility, where
+ * only the EM methodology can generate a virus. The GA maximizes EM
+ * amplitude and converges to a dominant frequency of ~75 MHz.
+ */
+
+#include "bench_util.h"
+#include "pdn/resonance.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "EM-driven GA on Cortex-A53 (no voltage "
+                  "visibility)");
+
+    platform::Platform a53(platform::junoA53Config(), 12);
+    // There is no scope on this domain: the droop column of Fig. 7
+    // is impossible here, which is exactly the paper's point.
+    const auto found = bench::getOrSearchVirus(
+        a53, "a53em", core::VirusMetric::EmAmplitude, 53);
+
+    const auto &report = found.report;
+    Table t({"generation", "best_em_dbm", "mean_em_dbm",
+             "dominant_mhz"});
+    for (const auto &row : found.history) {
+        t.row()
+            .cell(static_cast<long>(row.generation))
+            .cell(row.best_fitness, 2)
+            .cell(row.mean_fitness, 2)
+            .cell(row.dominant_mhz, 2);
+    }
+    t.print("Figure 12: GA progression (Cortex-A53, quad core)");
+    bench::saveCsv(t, "fig12_ga_a53");
+
+    Table summary({"metric", "value"});
+    summary.row()
+        .cell("final dominant frequency [MHz]")
+        .cell(report.dominant_freq_hz / mega(1.0), 2);
+    summary.row().cell("paper value [MHz]").cell(75.0, 1);
+    summary.row()
+        .cell("PDN 1st-order resonance (4 cores) [MHz]")
+        .cell(pdn::firstOrderResonanceHz(a53.pdnModel()) / mega(1.0),
+              2);
+    summary.row()
+        .cell("virus loop frequency [MHz]")
+        .cell(report.loop_freq_hz / mega(1.0), 2);
+    summary.row().cell("virus IPC").cell(report.ipc, 2);
+    summary.print("Figure 12: convergence summary");
+    bench::saveCsv(summary, "fig12_summary");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 18 reproduction: V_MIN and voltage noise on the AMD CPU —
+ * desktop applications (Blender, Cinebench, Euler3D, WEBXPRT,
+ * GeekBench), the Prime95 and AMD-Overdrive stability tests, and the
+ * two GA viruses (EM-driven and Kelvin-scope-driven). The viruses
+ * cause much higher noise and V_MIN; the paper's EM virus reaches
+ * V_MIN = 1.3625 V (37.5 mV below the 1.4 V nominal), and even a
+ * two-core EM virus beats four-core Prime95.
+ */
+
+#include "bench_util.h"
+#include "core/vmin_tester.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Figure 18",
+                  "V_MIN and voltage noise on the AMD Athlon II X4 "
+                  "645");
+
+    platform::Platform amd(platform::athlonConfig(), 19);
+    auto cfg = core::defaultVminConfig(amd);
+    core::VminTester tester(amd, cfg);
+
+    Table t({"workload", "active_cores", "vmin_v", "margin_mv",
+             "max_droop_mv", "failure"});
+    auto add = [&t](const core::VminRow &row, std::size_t cores) {
+        t.row()
+            .cell(row.workload)
+            .cell(static_cast<long>(cores))
+            .cell(row.vmin_v, 4)
+            .cell(row.margin_v * 1e3, 1)
+            .cell(row.max_droop_v * 1e3, 1)
+            .cell(row.failure);
+    };
+
+    const auto suite = workloads::desktopSuite();
+    for (const char *name : {"blender", "cinebench", "euler3d",
+                             "webxprt", "geekbench", "prime95",
+                             "amd_stab"}) {
+        add(tester.testWorkload(workloads::findProfile(suite, name),
+                                2),
+            4);
+    }
+
+    const auto em_virus = bench::getOrSearchVirus(
+        amd, "amdem", core::VirusMetric::EmAmplitude, 64);
+    add(tester.testKernel("amdEm virus", em_virus.report.virus, 30),
+        4);
+
+    const auto osc_virus = bench::getOrSearchVirus(
+        amd, "amdosc", core::VirusMetric::PeakToPeak, 65);
+    add(tester.testKernel("amdOsc virus", osc_virus.report.virus,
+                          30),
+        4);
+
+    // The paper's standout: the EM virus on only TWO active cores is
+    // still more severe than four-core stability tests.
+    {
+        auto two_core_cfg = cfg;
+        two_core_cfg.active_cores = 2;
+        core::VminTester two(amd, two_core_cfg);
+        add(two.testKernel("amdEm virus (2 cores)",
+                           em_virus.report.virus, 30),
+            2);
+    }
+
+    t.print("Figure 18: V_MIN / noise on AMD (viruses on top; paper "
+            "EM-virus V_MIN 1.3625 V, 37.5 mV margin; 2-core virus "
+            "beats 4-core Prime95)");
+    bench::saveCsv(t, "fig18_vmin_amd");
+    return 0;
+}

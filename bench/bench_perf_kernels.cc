@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation hot paths: the
+ * FFT, the PDN transient step loop, the core model, the antenna
+ * coupling and one full GA fitness evaluation. These bound the cost
+ * of a GA search (evaluations/second) the way measurement latency
+ * bounds the paper's physical flow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fitness.h"
+#include "core/resonant_kernel.h"
+#include "dsp/fft.h"
+#include "dsp/spectrum.h"
+#include "em/antenna.h"
+#include "platform/platform.h"
+#include "util/rng.h"
+
+using namespace emstress;
+
+namespace {
+
+void
+BM_FftReal(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<double> sig(n);
+    for (auto &v : sig)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::fftReal(sig));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FftReal)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void
+BM_ComputeSpectrum(benchmark::State &state)
+{
+    Rng rng(2);
+    Trace t(0.25e-9);
+    for (int i = 0; i < 16384; ++i)
+        t.push(rng.gaussian(0.0, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::computeSpectrum(t));
+}
+BENCHMARK(BM_ComputeSpectrum);
+
+void
+BM_PdnTransient(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    Rng rng(3);
+    Trace load(0.25e-9);
+    const auto steps = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < steps; ++i)
+        load.push(0.5 + 0.5 * rng.uniform(0.0, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a72.pdnModel().simulate(load));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PdnTransient)->Arg(4000)->Arg(16000);
+
+void
+BM_CoreModelLoop(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    uarch::CoreModel core(a72.config().core);
+    const auto kernel =
+        core::makeResonantKernelFor(a72.pool(), 1.2e9, 67e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core.runLoop(a72.pool(), kernel, 1.2e9, 4e-6));
+    }
+}
+BENCHMARK(BM_CoreModelLoop);
+
+void
+BM_AntennaReceive(benchmark::State &state)
+{
+    em::Antenna antenna{em::AntennaParams{}};
+    Rng rng(4);
+    Trace i_die(0.25e-9);
+    for (int i = 0; i < 16000; ++i)
+        i_die.push(rng.gaussian(1.0, 0.2));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(antenna.receive(i_die, 0.07));
+}
+BENCHMARK(BM_AntennaReceive);
+
+void
+BM_FullEmFitnessEvaluation(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    core::EvalSettings eval;
+    eval.duration_s = 4e-6;
+    eval.sa_samples = 30;
+    core::EmAmplitudeFitness fitness(a72, eval);
+    Rng rng(5);
+    const auto kernel = isa::Kernel::random(a72.pool(), 50, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitness.evaluate(kernel, nullptr));
+}
+BENCHMARK(BM_FullEmFitnessEvaluation);
+
+} // namespace
+
+BENCHMARK_MAIN();

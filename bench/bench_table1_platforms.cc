@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1 reproduction: the experimental platform inventory, printed
+ * from the platform configurations (with the modeled PDN resonances
+ * appended as a consistency check).
+ */
+
+#include "bench_util.h"
+#include "pdn/resonance.h"
+#include "util/units.h"
+
+using namespace emstress;
+
+int
+main()
+{
+    bench::banner("Table 1", "experimental platform details");
+
+    Table t({"MB", "CPU", "cores", "ISA", "uArch", "fmax_v_point",
+             "tech_nm", "OS", "voltage_visibility",
+             "modeled_f1_mhz"});
+
+    auto add = [&t](const platform::PlatformConfig &cfg,
+                    const char *visibility) {
+        platform::Platform plat(cfg, 1);
+        std::ostringstream point;
+        point << cfg.f_max_hz / giga(1.0) << "GHz," << cfg.v_nom
+              << "V";
+        t.row()
+            .cell(cfg.motherboard)
+            .cell(cfg.name)
+            .cell(static_cast<long>(cfg.n_cores))
+            .cell(cfg.isa == isa::IsaFamily::ArmV8 ? "ARM" : "x86-64")
+            .cell(cfg.core.out_of_order ? "Out of Order" : "In-Order")
+            .cell(point.str())
+            .cell(static_cast<long>(cfg.technology_nm))
+            .cell(cfg.os)
+            .cell(visibility)
+            .cell(pdn::firstOrderResonanceHz(plat.pdnModel())
+                      / mega(1.0),
+                  1);
+    };
+
+    add(platform::junoA72Config(), "OC-DSO");
+    add(platform::junoA53Config(), "None");
+    add(platform::athlonConfig(), "On-package pads");
+
+    t.print("Table 1: experimental platform details");
+    bench::saveCsv(t, "table1_platforms");
+    return 0;
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment-reproduction binaries: a
+ * full/quick run-mode switch, CSV output locations and a cross-bench
+ * virus cache (so every figure that needs e.g. the "a72em" virus
+ * reuses one GA search).
+ *
+ * Run modes: by default each bench uses a reduced measurement budget
+ * (smaller GA population/generations, fewer spectrum samples) so the
+ * whole suite finishes in minutes. Set EMSTRESS_FULL=1 to run the
+ * paper's exact budgets (population 50, 60 generations, 30 samples).
+ */
+
+#ifndef EMSTRESS_BENCH_BENCH_UTIL_H
+#define EMSTRESS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/virus_generator.h"
+#include "platform/platform.h"
+#include "util/table.h"
+
+namespace emstress {
+namespace bench {
+
+/** True when EMSTRESS_FULL=1 requests paper-exact budgets. */
+inline bool
+fullMode()
+{
+    const char *env = std::getenv("EMSTRESS_FULL");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Output directory for CSVs and cached artifacts. */
+inline std::filesystem::path
+outputDir()
+{
+    const std::filesystem::path dir = "bench_out";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Print a banner identifying the experiment. */
+inline void
+banner(const std::string &figure, const std::string &description)
+{
+    std::cout << "\n=========================================="
+                 "====================\n"
+              << figure << " — " << description << "\n"
+              << "mode: " << (fullMode() ? "FULL (paper budgets)"
+                                         : "QUICK (reduced budgets; "
+                                           "set EMSTRESS_FULL=1)")
+              << "\n==========================================="
+                 "===================\n";
+}
+
+/** Write a table to CSV in the output dir and note the path. */
+inline void
+saveCsv(const Table &table, const std::string &stem)
+{
+    const auto path = outputDir() / (stem + ".csv");
+    table.writeCsv(path.string());
+    std::cout << "[csv] " << path.string() << "\n";
+}
+
+/** GA configuration scaled by run mode (paper: 50 x 60). */
+inline ga::GaConfig
+gaConfigForMode(std::uint64_t seed)
+{
+    ga::GaConfig cfg;
+    if (fullMode()) {
+        cfg.population = 50;
+        cfg.generations = 60;
+        // The paper seeds populations from previous runs
+        // (Section 3.1(a)); restarts exploit that to escape harmonic
+        // local optima.
+        cfg.restarts = 3;
+    } else {
+        cfg.population = 32;
+        cfg.generations = 30;
+        cfg.restarts = 2;
+    }
+    cfg.kernel_length = 50; // paper: all viruses are 50 instructions
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Evaluation settings scaled by run mode (paper: 30 SA samples). */
+inline core::EvalSettings
+evalForMode()
+{
+    core::EvalSettings eval;
+    eval.duration_s = 4e-6;
+    eval.sa_samples = fullMode() ? 30 : 8;
+    return eval;
+}
+
+/** One row of a cached GA progression (Figs. 7/12/17 series). */
+struct GaHistoryRow
+{
+    std::size_t generation = 0;
+    double best_fitness = 0.0;
+    double mean_fitness = 0.0;
+    double dominant_mhz = 0.0;
+    double best_droop_mv = 0.0; ///< Post-hoc scope droop of the
+                                ///< generation's best (0 when the
+                                ///< platform has no visibility).
+};
+
+/** A cached or freshly searched virus plus its GA progression. */
+struct BenchVirus
+{
+    core::VirusReport report;
+    std::vector<GaHistoryRow> history;
+    double lab_seconds = 0.0; ///< Modeled physical search time.
+};
+
+/**
+ * Fetch a virus from the cross-bench cache, or run the GA search and
+ * cache the result (kernel + GA progression sidecar). Progress is
+ * logged per generation.
+ *
+ * @param plat   Target platform (frequency/power state must already
+ *               be configured).
+ * @param name   Cache key, e.g. "a72em" (mode-suffixed internally).
+ * @param metric Feedback metric for the search.
+ * @param seed   GA seed.
+ */
+inline BenchVirus
+getOrSearchVirus(platform::Platform &plat, const std::string &name,
+                 core::VirusMetric metric, std::uint64_t seed)
+{
+    const std::string suffix = fullMode() ? ".full" : ".quick";
+    const auto path = outputDir() / (name + suffix + ".kernel");
+    const auto hist_path = outputDir() / (name + suffix + ".history");
+
+    core::VirusGenerator gen(plat);
+    if (std::filesystem::exists(path)
+        && std::filesystem::exists(hist_path)) {
+        std::ifstream f(path);
+        std::ostringstream buf;
+        buf << f.rdbuf();
+        const auto kernel =
+            isa::Kernel::deserialize(plat.pool(), buf.str());
+        std::cout << "[cache] reusing virus '" << name << "' from "
+                  << path.string() << "\n";
+        BenchVirus out;
+        out.report = gen.characterize(kernel, evalForMode());
+        out.report.metric = core::virusMetricName(metric);
+
+        std::ifstream hf(hist_path);
+        hf >> out.lab_seconds;
+        GaHistoryRow row;
+        while (hf >> row.generation >> row.best_fitness
+               >> row.mean_fitness >> row.dominant_mhz
+               >> row.best_droop_mv) {
+            out.history.push_back(row);
+        }
+        return out;
+    }
+
+    core::VirusSearchConfig cfg;
+    cfg.ga = gaConfigForMode(seed);
+    cfg.eval = evalForMode();
+    cfg.metric = metric;
+    std::cout << "[ga] searching virus '" << name << "' ("
+              << core::virusMetricName(metric) << ", "
+              << cfg.ga.population << " x " << cfg.ga.generations
+              << ")...\n";
+    BenchVirus out;
+    out.report =
+        gen.search(cfg, [](const ga::GenerationRecord &rec) {
+            if (rec.generation % 5 == 0) {
+                std::printf("  gen %2zu  best %.2f  mean %.2f  "
+                            "dom %.1f MHz\n",
+                            rec.generation, rec.best_fitness,
+                            rec.mean_fitness,
+                            rec.best_detail.dominant_freq_hz / 1e6);
+            }
+        });
+    out.lab_seconds = out.report.ga.estimated_lab_seconds;
+
+    // Build the progression rows; re-measure each generation's best
+    // on the scope where one exists (the paper's Fig. 7 procedure).
+    for (const auto &rec : out.report.ga.history) {
+        GaHistoryRow row;
+        row.generation = rec.generation;
+        row.best_fitness = rec.best_fitness;
+        row.mean_fitness = rec.mean_fitness;
+        row.dominant_mhz = rec.best_detail.dominant_freq_hz / 1e6;
+        if (plat.hasVoltageVisibility()) {
+            const auto run =
+                plat.runKernel(rec.best, evalForMode().duration_s);
+            const Trace cap = plat.scope().capture(run.v_die);
+            row.best_droop_mv = instruments::Oscilloscope::maxDroop(
+                                    cap, plat.voltage())
+                * 1e3;
+        }
+        out.history.push_back(row);
+    }
+
+    std::ofstream f(path);
+    f << out.report.virus.serialize(plat.pool());
+    std::ofstream hf(hist_path);
+    hf << out.lab_seconds << "\n";
+    for (const auto &row : out.history) {
+        hf << row.generation << ' ' << row.best_fitness << ' '
+           << row.mean_fitness << ' ' << row.dominant_mhz << ' '
+           << row.best_droop_mv << "\n";
+    }
+    std::cout << "[cache] saved virus '" << name << "' to "
+              << path.string() << "\n";
+    return out;
+}
+
+} // namespace bench
+} // namespace emstress
+
+#endif // EMSTRESS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SoC-wide voltage-emergency monitor: demonstrates the capability no
+ * attached probe has (paper Section 6.1) — watching several voltage
+ * domains of a heterogeneous SoC at once through one antenna.
+ *
+ * The example runs three scenarios on a big.LITTLE Juno model:
+ *   1. both clusters idle,
+ *   2. only the A72 cluster stressed,
+ *   3. both clusters stressed simultaneously,
+ * and shows how the combined EM spectrum separates the two domains'
+ * signatures by their distinct PDN resonances.
+ */
+
+#include <cstdio>
+
+#include "core/multidomain.h"
+#include "core/resonant_kernel.h"
+#include "platform/platform.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace emstress;
+
+/** Marker level around a frequency in a sweep. */
+double
+markerDbm(const instruments::SaSweep &sweep, double f_hz)
+{
+    return instruments::SpectrumAnalyzer::maxAmplitude(
+               sweep, f_hz - mega(3.0), f_hz + mega(3.0))
+        .power_dbm;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace emstress;
+
+    platform::Platform a72(platform::junoA72Config(), 31);
+    platform::Platform a53(platform::junoA53Config(), 32);
+
+    // Stress kernels tuned to each cluster's own resonance, built
+    // deterministically (no GA needed for a monitor demo).
+    const auto virus72 = core::makeResonantKernelFor(
+        a72.pool(), a72.frequency(), mega(67.0));
+    const auto virus53 = core::makeResonantKernelFor(
+        a53.pool(), a53.frequency(), mega(76.5));
+
+    struct Scenario
+    {
+        const char *name;
+        bool stress72;
+        bool stress53;
+    };
+    const Scenario scenarios[] = {
+        {"both idle", false, false},
+        {"A72 stressed, A53 idle", true, false},
+        {"both stressed", true, true},
+    };
+
+    Table t({"scenario", "A72_sig_dbm(~67MHz)", "A53_sig_dbm(~76MHz)",
+             "alert"});
+    for (const auto &s : scenarios) {
+        std::vector<core::DomainWorkload> domains;
+        domains.push_back({&a72, virus72, 0, !s.stress72});
+        domains.push_back({&a53, virus53, 0, !s.stress53});
+        const auto result =
+            core::monitorDomains(domains, 4e-6, a72.analyzer());
+
+        const double sig72 = markerDbm(result.sweep, mega(67.0));
+        const double sig53 = markerDbm(result.sweep, mega(76.5));
+        // Alert threshold: 12 dB above the analyzer noise floor.
+        const double alert_dbm =
+            a72.analyzer().params().noise_floor_dbm + 12.0;
+        std::string alert;
+        if (sig72 > alert_dbm)
+            alert += "A72-emergency ";
+        if (sig53 > alert_dbm)
+            alert += "A53-emergency";
+        if (alert.empty())
+            alert = "-";
+        t.row()
+            .cell(s.name)
+            .cell(sig72, 1)
+            .cell(sig53, 1)
+            .cell(alert);
+    }
+    t.print("SoC voltage-emergency monitor (one antenna, two "
+            "domains)");
+
+    std::printf("\nEach domain's signature sits at its own PDN "
+                "resonance, so one\nantenna distinguishes which "
+                "cluster is in a voltage emergency.\n");
+    return 0;
+}

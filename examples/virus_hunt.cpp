@@ -1,0 +1,184 @@
+/**
+ * @file
+ * virus_hunt — command-line dI/dt stress-test generator: the paper's
+ * GA framework as a standalone tool.
+ *
+ * Usage:
+ *   virus_hunt [options]
+ *     --platform a72|a53|amd     target platform       (default a72)
+ *     --metric em|droop|p2p      feedback metric       (default em)
+ *     --generations N            GA generations        (default 30)
+ *     --population N             individuals per gen   (default 32)
+ *     --restarts N               independent restarts  (default 2)
+ *     --seed S                   GA seed               (default 1)
+ *     --samples N                SA samples/individual (default 8)
+ *     --pool FILE.xml            custom instruction pool
+ *     --out FILE                 save the virus kernel
+ *
+ * Prints per-generation progress, the final virus's characterization
+ * and its assembly listing.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/virus_generator.h"
+#include "ga/ga_engine.h"
+#include "platform/platform.h"
+
+namespace {
+
+using namespace emstress;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--platform a72|a53|amd] [--metric "
+                 "em|droop|p2p]\n"
+                 "          [--generations N] [--population N] "
+                 "[--restarts N]\n"
+                 "          [--seed S] [--samples N] [--pool FILE] "
+                 "[--out FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string platform_name = "a72";
+    std::string metric_name = "em";
+    std::string pool_path;
+    std::string out_path;
+    core::VirusSearchConfig cfg;
+    cfg.ga.population = 32;
+    cfg.ga.generations = 30;
+    cfg.ga.restarts = 2;
+    cfg.ga.seed = 1;
+    cfg.eval.sa_samples = 8;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--platform")
+            platform_name = next();
+        else if (arg == "--metric")
+            metric_name = next();
+        else if (arg == "--generations")
+            cfg.ga.generations = std::stoul(next());
+        else if (arg == "--population")
+            cfg.ga.population = std::stoul(next());
+        else if (arg == "--restarts")
+            cfg.ga.restarts = std::stoul(next());
+        else if (arg == "--seed")
+            cfg.ga.seed = std::stoull(next());
+        else if (arg == "--samples")
+            cfg.eval.sa_samples = std::stoul(next());
+        else if (arg == "--pool")
+            pool_path = next();
+        else if (arg == "--out")
+            out_path = next();
+        else
+            usage(argv[0]);
+    }
+
+    platform::PlatformConfig pc;
+    if (platform_name == "a72")
+        pc = platform::junoA72Config();
+    else if (platform_name == "a53")
+        pc = platform::junoA53Config();
+    else if (platform_name == "amd")
+        pc = platform::athlonConfig();
+    else
+        usage(argv[0]);
+
+    if (metric_name == "em")
+        cfg.metric = core::VirusMetric::EmAmplitude;
+    else if (metric_name == "droop")
+        cfg.metric = core::VirusMetric::MaxDroop;
+    else if (metric_name == "p2p")
+        cfg.metric = core::VirusMetric::PeakToPeak;
+    else
+        usage(argv[0]);
+
+    try {
+        platform::Platform plat(pc, cfg.ga.seed ^ 0x9a75eedULL);
+        std::printf("Target: %s on %s (%zu cores, %.2f GHz)\n",
+                    pc.name.c_str(), pc.motherboard.c_str(),
+                    pc.n_cores, pc.f_max_hz / 1e9);
+
+        std::unique_ptr<isa::InstructionPool> custom_pool;
+        if (!pool_path.empty()) {
+            custom_pool = std::make_unique<isa::InstructionPool>(
+                isa::InstructionPool::fromXmlFile(pool_path));
+            std::printf("Using custom pool: %s (%zu instructions)\n",
+                        pool_path.c_str(),
+                        custom_pool->defs().size());
+        }
+        const isa::InstructionPool &pool =
+            custom_pool ? *custom_pool : plat.pool();
+
+        // Run the search (through the generator for built-in pools,
+        // directly through the engine for custom ones).
+        core::VirusReport report;
+        auto progress = [](const ga::GenerationRecord &rec) {
+            std::printf("gen %3zu  best %8.2f  mean %8.2f  dominant "
+                        "%6.1f MHz\n",
+                        rec.generation, rec.best_fitness,
+                        rec.mean_fitness,
+                        rec.best_detail.dominant_freq_hz / 1e6);
+        };
+        if (custom_pool) {
+            core::EmAmplitudeFitness fitness(plat, cfg.eval);
+            ga::GaEngine engine(pool, cfg.ga);
+            auto ga_result = engine.run(fitness, progress);
+            core::VirusGenerator gen(plat);
+            report = gen.characterize(ga_result.best, cfg.eval);
+            report.ga = std::move(ga_result);
+        } else {
+            core::VirusGenerator gen(plat);
+            report = gen.search(cfg, progress);
+        }
+
+        std::printf("\n=== virus report ===\n");
+        std::printf("metric              : %s\n",
+                    report.metric.c_str());
+        std::printf("best fitness        : %.2f\n",
+                    report.ga.best_fitness);
+        std::printf("dominant frequency  : %.2f MHz\n",
+                    report.dominant_freq_hz / 1e6);
+        std::printf("loop frequency      : %.2f MHz\n",
+                    report.loop_freq_hz / 1e6);
+        std::printf("IPC                 : %.2f\n", report.ipc);
+        if (plat.hasVoltageVisibility()) {
+            std::printf("max droop @ nominal : %.1f mV\n",
+                        report.max_droop_v * 1e3);
+            std::printf("peak-to-peak        : %.1f mV\n",
+                        report.peak_to_peak_v * 1e3);
+        }
+        std::printf("modeled lab time    : %.1f h\n",
+                    report.ga.estimated_lab_seconds / 3600.0);
+        std::printf("\n%s",
+                    report.virus.toAssembly(pool).c_str());
+
+        if (!out_path.empty()) {
+            std::ofstream f(out_path);
+            f << report.virus.serialize(pool);
+            std::printf("\nkernel saved to %s\n", out_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

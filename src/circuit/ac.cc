@@ -1,0 +1,96 @@
+/**
+ * @file
+ * AC analysis implementation.
+ */
+
+#include "circuit/ac.h"
+
+#include <cmath>
+
+#include "circuit/linalg.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace circuit {
+
+std::vector<double>
+AcSweepResult::magnitudes() const
+{
+    std::vector<double> out(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out[i] = std::abs(values[i]);
+    return out;
+}
+
+AcAnalysis::AcAnalysis(const Netlist &netlist) : mna_(netlist) {}
+
+AcSweepResult
+AcAnalysis::inputImpedance(NodeId node,
+                           const std::vector<double> &freqs_hz) const
+{
+    return transferImpedance(node, node, freqs_hz);
+}
+
+AcSweepResult
+AcAnalysis::transferImpedance(NodeId drive_node, NodeId observe_node,
+                              const std::vector<double> &freqs_hz) const
+{
+    const std::size_t n = mna_.size();
+    const std::size_t drive = mna_.stateIndexOfNode(drive_node);
+    const std::size_t observe = mna_.stateIndexOfNode(observe_node);
+
+    AcSweepResult result;
+    result.freqs_hz = freqs_hz;
+    result.values.reserve(freqs_hz.size());
+
+    std::vector<std::complex<double>> rhs(n, {0.0, 0.0});
+    rhs[drive] = {1.0, 0.0}; // Unit AC current injection.
+
+    for (double f : freqs_hz) {
+        requireConfig(f > 0.0, "AC sweep frequency must be positive");
+        const double w = kTwoPi * f;
+        Matrix<std::complex<double>> a(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                a(r, c) = std::complex<double>(mna_.g()(r, c),
+                                               w * mna_.c()(r, c));
+        LuSolver<std::complex<double>> lu(std::move(a));
+        const auto x = lu.solve(rhs);
+        result.values.push_back(x[observe]);
+    }
+    return result;
+}
+
+std::vector<double>
+logFrequencyGrid(double f_lo, double f_hi, std::size_t points)
+{
+    requireConfig(f_lo > 0.0 && f_hi > f_lo && points >= 2,
+                  "bad log frequency grid parameters");
+    std::vector<double> out(points);
+    const double l_lo = std::log10(f_lo);
+    const double l_hi = std::log10(f_hi);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double frac = static_cast<double>(i)
+            / static_cast<double>(points - 1);
+        out[i] = std::pow(10.0, l_lo + frac * (l_hi - l_lo));
+    }
+    return out;
+}
+
+std::vector<double>
+linFrequencyGrid(double f_lo, double f_hi, std::size_t points)
+{
+    requireConfig(f_hi > f_lo && points >= 2,
+                  "bad linear frequency grid parameters");
+    std::vector<double> out(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double frac = static_cast<double>(i)
+            / static_cast<double>(points - 1);
+        out[i] = f_lo + frac * (f_hi - f_lo);
+    }
+    return out;
+}
+
+} // namespace circuit
+} // namespace emstress

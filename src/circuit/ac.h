@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small-signal AC analysis: solve (G + jwC) X = S over a frequency
+ * grid. Used to compute the PDN input impedance spectrum (Fig. 1(b))
+ * and the antenna port reflection coefficient (Fig. 6).
+ */
+
+#ifndef EMSTRESS_CIRCUIT_AC_H
+#define EMSTRESS_CIRCUIT_AC_H
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+
+namespace emstress {
+namespace circuit {
+
+/** Result of an AC sweep observed at one node. */
+struct AcSweepResult
+{
+    std::vector<double> freqs_hz;
+    std::vector<std::complex<double>> values; ///< Complex response.
+
+    /** Magnitudes of the complex responses. */
+    std::vector<double> magnitudes() const;
+};
+
+/**
+ * Frequency-domain solver over an MNA system.
+ */
+class AcAnalysis
+{
+  public:
+    /** Prepare from a netlist (voltage sources become AC grounds). */
+    explicit AcAnalysis(const Netlist &netlist);
+
+    /**
+     * Drive a unit AC current into `node` (out of ground) and return
+     * the complex voltage observed at `node` for each frequency: the
+     * input impedance Z(f) seen from that node.
+     */
+    AcSweepResult inputImpedance(NodeId node,
+                                 const std::vector<double> &freqs_hz) const;
+
+    /**
+     * Generic transfer: unit AC current into drive_node, observe the
+     * complex voltage at observe_node.
+     */
+    AcSweepResult transferImpedance(NodeId drive_node, NodeId observe_node,
+                                    const std::vector<double> &freqs_hz)
+        const;
+
+  private:
+    MnaSystem mna_;
+};
+
+/**
+ * Build a logarithmically spaced frequency grid.
+ * @param f_lo Points start here (inclusive).
+ * @param f_hi End frequency (inclusive).
+ * @param points Number of grid points; at least 2.
+ */
+std::vector<double> logFrequencyGrid(double f_lo, double f_hi,
+                                     std::size_t points);
+
+/** Linearly spaced frequency grid, inclusive of both ends. */
+std::vector<double> linFrequencyGrid(double f_lo, double f_hi,
+                                     std::size_t points);
+
+} // namespace circuit
+} // namespace emstress
+
+#endif // EMSTRESS_CIRCUIT_AC_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * MNA assembly implementation.
+ */
+
+#include "circuit/mna.h"
+
+#include <span>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace circuit {
+
+MnaSystem::MnaSystem(const Netlist &netlist)
+    : size_(0), num_nodes_(netlist.nodeCount() - 1), g_(0, 0), c_(0, 0)
+{
+    // First pass: count branch unknowns (inductors + voltage sources).
+    std::size_t branches = 0;
+    for (const auto &e : netlist.elements()) {
+        if (e.kind == ElementKind::Inductor
+            || e.kind == ElementKind::VoltageSource) {
+            ++branches;
+        }
+    }
+    size_ = num_nodes_ + branches;
+    g_ = Matrix<double>(size_, size_);
+    c_ = Matrix<double>(size_, size_);
+    dc_source_.assign(size_, 0.0);
+    vs_source_.assign(size_, 0.0);
+
+    // Stamp helper: add conductance-like entry between two nodes,
+    // skipping ground rows/columns.
+    auto stamp_pair = [&](Matrix<double> &m, NodeId a, NodeId b,
+                          double v) {
+        if (a != kGround)
+            m(node_index(a), node_index(a)) += v;
+        if (b != kGround)
+            m(node_index(b), node_index(b)) += v;
+        if (a != kGround && b != kGround) {
+            m(node_index(a), node_index(b)) -= v;
+            m(node_index(b), node_index(a)) -= v;
+        }
+    };
+
+    std::size_t next_branch = num_nodes_;
+    for (const auto &e : netlist.elements()) {
+        switch (e.kind) {
+          case ElementKind::Resistor:
+            stamp_pair(g_, e.node_pos, e.node_neg, 1.0 / e.value);
+            break;
+          case ElementKind::Capacitor:
+            stamp_pair(c_, e.node_pos, e.node_neg, e.value);
+            break;
+          case ElementKind::Inductor: {
+            const std::size_t m = next_branch++;
+            branch_names_.push_back(e.name);
+            // Branch current enters KCL of both terminals.
+            if (e.node_pos != kGround)
+                g_(node_index(e.node_pos), m) += 1.0;
+            if (e.node_neg != kGround)
+                g_(node_index(e.node_neg), m) -= 1.0;
+            // Branch equation: v_pos - v_neg - L di/dt = 0.
+            if (e.node_pos != kGround)
+                g_(m, node_index(e.node_pos)) += 1.0;
+            if (e.node_neg != kGround)
+                g_(m, node_index(e.node_neg)) -= 1.0;
+            c_(m, m) -= e.value;
+            break;
+          }
+          case ElementKind::VoltageSource: {
+            const std::size_t m = next_branch++;
+            branch_names_.push_back(e.name);
+            if (e.node_pos != kGround)
+                g_(node_index(e.node_pos), m) += 1.0;
+            if (e.node_neg != kGround)
+                g_(node_index(e.node_neg), m) -= 1.0;
+            // Branch equation: v_pos - v_neg = V.
+            if (e.node_pos != kGround)
+                g_(m, node_index(e.node_pos)) += 1.0;
+            if (e.node_neg != kGround)
+                g_(m, node_index(e.node_neg)) -= 1.0;
+            dc_source_[m] = e.value;
+            vs_source_[m] = e.value;
+            break;
+          }
+          case ElementKind::CurrentSource: {
+            current_source_names_.push_back(e.name);
+            std::vector<Injection> rows;
+            // Source drives current from node_pos to node_neg
+            // internally, i.e. it removes current from node_pos.
+            if (e.node_pos != kGround)
+                rows.push_back({node_index(e.node_pos), -1.0});
+            if (e.node_neg != kGround)
+                rows.push_back({node_index(e.node_neg), 1.0});
+            current_source_rows_.push_back(std::move(rows));
+            for (const auto &inj : current_source_rows_.back())
+                dc_source_[inj.row] += inj.sign * e.value;
+            break;
+          }
+        }
+    }
+}
+
+std::size_t
+MnaSystem::stateIndexOfNode(NodeId node) const
+{
+    requireConfig(node != kGround,
+                  "ground voltage is identically zero; no state index");
+    requireConfig(node - 1 < num_nodes_, "node id out of range");
+    return node_index(node);
+}
+
+std::size_t
+MnaSystem::stateIndexOfBranch(const std::string &element_name) const
+{
+    for (std::size_t i = 0; i < branch_names_.size(); ++i)
+        if (branch_names_[i] == element_name)
+            return num_nodes_ + i;
+    throw ConfigError("no branch-current unknown for element "
+                      + element_name);
+}
+
+std::vector<double>
+MnaSystem::sourceVector(std::span<const double> current_values) const
+{
+    if (current_values.empty())
+        return dc_source_;
+    requireSim(current_values.size() == current_source_rows_.size(),
+               "sourceVector: wrong number of current-source values");
+    // Instantaneous values replace the sources' DC values, so build
+    // from the voltage-source-only baseline.
+    std::vector<double> s(vs_source_);
+    for (std::size_t k = 0; k < current_source_rows_.size(); ++k)
+        for (const auto &inj : current_source_rows_[k])
+            s[inj.row] += inj.sign * current_values[k];
+    return s;
+}
+
+std::vector<double>
+MnaSystem::dcOperatingPoint() const
+{
+    // At DC, inductors become shorts via their branch equations with
+    // the L di/dt term dropped, and capacitors drop out of G entirely,
+    // so solving G x = s_dc is exactly the DC solution.
+    Matrix<double> a = g_;
+    LuSolver<double> lu(std::move(a));
+    return lu.solve(dc_source_);
+}
+
+} // namespace circuit
+} // namespace emstress

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Modified Nodal Analysis formulation. Builds the descriptor system
+ *
+ *     C dx/dt + G x = s(t)
+ *
+ * where x stacks the non-ground node voltages followed by the branch
+ * currents of inductors and voltage sources, and s(t) collects source
+ * injections. Transient and AC analyses consume this formulation.
+ */
+
+#ifndef EMSTRESS_CIRCUIT_MNA_H
+#define EMSTRESS_CIRCUIT_MNA_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/linalg.h"
+#include "circuit/netlist.h"
+
+namespace emstress {
+namespace circuit {
+
+/**
+ * The assembled MNA matrices and the index maps from netlist entities
+ * to state-vector positions.
+ */
+class MnaSystem
+{
+  public:
+    /** Assemble G and C from a netlist. */
+    explicit MnaSystem(const Netlist &netlist);
+
+    /** Dimension of the state vector x. */
+    std::size_t size() const { return size_; }
+
+    /** Conductance/topology matrix G. */
+    const Matrix<double> &g() const { return g_; }
+
+    /** Storage matrix C (capacitances and inductances). */
+    const Matrix<double> &c() const { return c_; }
+
+    /**
+     * State index holding the voltage of a node.
+     * @pre node != kGround (ground is identically zero).
+     */
+    std::size_t stateIndexOfNode(NodeId node) const;
+
+    /**
+     * State index holding the branch current of a named inductor or
+     * voltage source.
+     * @throws ConfigError when no such branch unknown exists.
+     */
+    std::size_t stateIndexOfBranch(const std::string &element_name) const;
+
+    /**
+     * Build the source vector for given instantaneous current-source
+     * values. DC voltage-source values are always included.
+     *
+     * @param current_values One value per current source in netlist
+     *        order (element order restricted to current sources); an
+     *        empty span means all sources at their DC value.
+     */
+    std::vector<double>
+    sourceVector(std::span<const double> current_values) const;
+
+    /** Names of the current sources in the order sourceVector expects. */
+    const std::vector<std::string> &currentSourceNames() const
+    {
+        return current_source_names_;
+    }
+
+    /**
+     * DC operating point: solve G x = s with all current sources at
+     * their DC values (capacitors open, inductors shorted is implied
+     * by dx/dt = 0).
+     */
+    std::vector<double> dcOperatingPoint() const;
+
+  private:
+    std::size_t node_index(NodeId node) const { return node - 1; }
+
+    std::size_t size_;
+    std::size_t num_nodes_; ///< Non-ground node count.
+    Matrix<double> g_;
+    Matrix<double> c_;
+    std::vector<double> dc_source_; ///< s with all I-sources at DC value.
+    std::vector<double> vs_source_; ///< s from voltage sources only.
+    std::vector<std::string> branch_names_;
+    std::vector<std::string> current_source_names_;
+    /// (state row, sign) pairs per current source for fast stamping.
+    struct Injection
+    {
+        std::size_t row;
+        double sign;
+    };
+    std::vector<std::vector<Injection>> current_source_rows_;
+};
+
+} // namespace circuit
+} // namespace emstress
+
+#endif // EMSTRESS_CIRCUIT_MNA_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Circuit netlist description: nodes, passive elements (R, L, C) and
+ * sources (independent current and voltage). The netlist is a pure
+ * description; analyses live in mna.h / transient.h / ac.h.
+ */
+
+#ifndef EMSTRESS_CIRCUIT_NETLIST_H
+#define EMSTRESS_CIRCUIT_NETLIST_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace circuit {
+
+/** Node identifier; kGround (0) is the reference node. */
+using NodeId = std::size_t;
+
+/** The reference node, fixed at 0 volts. */
+inline constexpr NodeId kGround = 0;
+
+/** Element categories supported by the engine. */
+enum class ElementKind
+{
+    Resistor,
+    Capacitor,
+    Inductor,
+    CurrentSource, ///< Independent; waveform supplied at analysis time.
+    VoltageSource, ///< Independent DC source (supply rail).
+};
+
+/** One netlist element connecting two nodes. */
+struct Element
+{
+    ElementKind kind;
+    std::string name;   ///< Unique diagnostic name, e.g. "L_pkg".
+    NodeId node_pos;    ///< Positive terminal.
+    NodeId node_neg;    ///< Negative terminal.
+    double value;       ///< Ohms, farads, henries, amps or volts.
+};
+
+/**
+ * A circuit as a set of named elements over numbered nodes.
+ *
+ * Usage: create nodes with newNode(), then add elements between them.
+ * Current sources are placeholders whose instantaneous value is
+ * supplied per-timestep by the transient analysis (this is how the CPU
+ * load current and the SCL injector drive the PDN).
+ */
+class Netlist
+{
+  public:
+    /** Netlist with only the ground node. */
+    Netlist() : node_count_(1) {}
+
+    /** Allocate a fresh node and return its id. */
+    NodeId
+    newNode()
+    {
+        return node_count_++;
+    }
+
+    /** Number of nodes including ground. */
+    std::size_t nodeCount() const { return node_count_; }
+
+    /** Add a resistor of r ohms. @pre r > 0. */
+    void
+    addResistor(const std::string &name, NodeId a, NodeId b, double r)
+    {
+        requireConfig(r > 0.0, "resistor " + name + " must be positive");
+        addElement({ElementKind::Resistor, name, a, b, r});
+    }
+
+    /** Add a capacitor of c farads. @pre c > 0. */
+    void
+    addCapacitor(const std::string &name, NodeId a, NodeId b, double c)
+    {
+        requireConfig(c > 0.0, "capacitor " + name + " must be positive");
+        addElement({ElementKind::Capacitor, name, a, b, c});
+    }
+
+    /** Add an inductor of l henries. @pre l > 0. */
+    void
+    addInductor(const std::string &name, NodeId a, NodeId b, double l)
+    {
+        requireConfig(l > 0.0, "inductor " + name + " must be positive");
+        addElement({ElementKind::Inductor, name, a, b, l});
+    }
+
+    /**
+     * Add an independent current source driving current from node a
+     * through the source to node b (current value set per analysis).
+     */
+    void
+    addCurrentSource(const std::string &name, NodeId a, NodeId b,
+                     double dc_amps = 0.0)
+    {
+        addElement({ElementKind::CurrentSource, name, a, b, dc_amps});
+    }
+
+    /** Add an independent DC voltage source of v volts (a to b). */
+    void
+    addVoltageSource(const std::string &name, NodeId a, NodeId b,
+                     double v)
+    {
+        addElement({ElementKind::VoltageSource, name, a, b, v});
+    }
+
+    /** All elements in insertion order. */
+    const std::vector<Element> &elements() const { return elements_; }
+
+    /** Find an element index by name. @throws ConfigError if absent. */
+    std::size_t
+    elementIndex(const std::string &name) const
+    {
+        for (std::size_t i = 0; i < elements_.size(); ++i)
+            if (elements_[i].name == name)
+                return i;
+        throw ConfigError("no element named " + name);
+    }
+
+    /** Mutable access to one element's value (e.g. retune a decap). */
+    void
+    setValue(const std::string &name, double value)
+    {
+        elements_[elementIndex(name)].value = value;
+    }
+
+  private:
+    void
+    addElement(Element e)
+    {
+        requireConfig(e.node_pos < node_count_ && e.node_neg < node_count_,
+                      "element " + e.name + " references unknown node");
+        requireConfig(e.node_pos != e.node_neg,
+                      "element " + e.name + " shorts a node to itself");
+        for (const auto &existing : elements_)
+            requireConfig(existing.name != e.name,
+                          "duplicate element name " + e.name);
+        elements_.push_back(std::move(e));
+    }
+
+    std::size_t node_count_;
+    std::vector<Element> elements_;
+};
+
+} // namespace circuit
+} // namespace emstress
+
+#endif // EMSTRESS_CIRCUIT_NETLIST_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Trapezoidal transient engine implementation.
+ */
+
+#include "circuit/transient.h"
+
+#include "util/error.h"
+
+namespace emstress {
+namespace circuit {
+
+const Trace &
+TransientResult::trace(const std::string &label) const
+{
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        if (labels[i] == label)
+            return waveforms[i];
+    throw ConfigError("no transient probe labelled " + label);
+}
+
+TransientAnalysis::TransientAnalysis(const Netlist &netlist, double dt)
+    : dt_(dt), mna_(netlist),
+      rhs_mult_(mna_.size(), mna_.size())
+{
+    requireConfig(dt > 0.0, "transient dt must be positive");
+    const std::size_t n = mna_.size();
+
+    // Index-aware discretization. Rows whose C entries are all zero
+    // are pure algebraic constraints (KCL at storage-free nodes,
+    // voltage-source rows): they must hold exactly at every time
+    // point. Plain trapezoidal would only constrain the *average* of
+    // consecutive states, leaving a marginally stable alternating
+    // mode that source steps pump into unbounded growth. Dynamic
+    // (storage) rows keep the trapezoidal rule, preserving LC
+    // oscillation amplitudes.
+    algebraic_row_.assign(n, true);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            if (mna_.c()(r, c) != 0.0) {
+                algebraic_row_[r] = false;
+                break;
+            }
+        }
+    }
+
+    Matrix<double> lhs(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            if (algebraic_row_[r]) {
+                // Enforced at t_{n+1}: G x_{n+1} = s_{n+1}.
+                lhs(r, c) = mna_.g()(r, c);
+                rhs_mult_(r, c) = 0.0;
+            } else {
+                const double cv = mna_.c()(r, c) / dt_;
+                const double gv = mna_.g()(r, c) * 0.5;
+                lhs(r, c) = cv + gv;
+                rhs_mult_(r, c) = cv - gv;
+            }
+        }
+    }
+    lhs_ = std::make_unique<LuSolver<double>>(std::move(lhs));
+}
+
+TransientAnalysis::~TransientAnalysis() = default;
+TransientAnalysis::TransientAnalysis(TransientAnalysis &&) noexcept
+    = default;
+TransientAnalysis &
+TransientAnalysis::operator=(TransientAnalysis &&) noexcept = default;
+
+TransientResult
+TransientAnalysis::run(std::size_t steps,
+                       const std::vector<SourceWaveform> &waveforms,
+                       const std::vector<Probe> &probes,
+                       std::span<const double> bias_currents) const
+{
+    const std::size_t n = mna_.size();
+    const std::size_t n_src = mna_.currentSourceNames().size();
+    requireConfig(waveforms.size() == n_src,
+                  "transient run needs one waveform per current source");
+
+    // Resolve probe state indices up front.
+    std::vector<std::size_t> probe_idx;
+    probe_idx.reserve(probes.size());
+    TransientResult result;
+    for (const auto &p : probes) {
+        if (p.kind == ProbeKind::NodeVoltage)
+            probe_idx.push_back(mna_.stateIndexOfNode(p.node));
+        else
+            probe_idx.push_back(mna_.stateIndexOfBranch(p.element));
+        result.labels.push_back(p.label);
+        Trace t(dt_);
+        t.reserve(steps);
+        result.waveforms.push_back(std::move(t));
+    }
+
+    // Initial condition: DC operating point with sources at t = 0.
+    std::vector<double> src_vals(n_src);
+    auto eval_sources = [&](double t) {
+        for (std::size_t k = 0; k < n_src; ++k)
+            src_vals[k] = waveforms[k](t);
+    };
+
+    // Initial condition: DC operating point at the bias currents
+    // (typically the waveform means) so slow storage elements start
+    // settled. Without an explicit bias, use the waveforms' t = 0
+    // values: a state consistent with the constraints at the first
+    // step avoids exciting the trapezoidal rule's marginal Nyquist
+    // mode on storage-free node chains.
+    eval_sources(0.0);
+    std::vector<double> x;
+    if (bias_currents.empty()) {
+        Matrix<double> a = mna_.g();
+        LuSolver<double> lu(std::move(a));
+        x = lu.solve(mna_.sourceVector(src_vals));
+    } else {
+        Matrix<double> a = mna_.g();
+        LuSolver<double> lu(std::move(a));
+        x = lu.solve(mna_.sourceVector(bias_currents));
+    }
+    std::vector<double> s_prev = mna_.sourceVector(src_vals);
+
+    std::vector<double> rhs(n);
+    for (std::size_t step = 1; step <= steps; ++step) {
+        const double t = dt_ * static_cast<double>(step);
+        eval_sources(t);
+        const std::vector<double> s_now = mna_.sourceVector(src_vals);
+
+        // rhs: trapezoidal source average + history for dynamic
+        // rows; the instantaneous source for algebraic rows.
+        for (std::size_t r = 0; r < n; ++r) {
+            double acc = algebraic_row_[r]
+                ? s_now[r]
+                : 0.5 * (s_prev[r] + s_now[r]);
+            for (std::size_t c = 0; c < n; ++c)
+                acc += rhs_mult_(r, c) * x[c];
+            rhs[r] = acc;
+        }
+        x = lhs_->solve(rhs);
+        s_prev = s_now;
+
+        for (std::size_t p = 0; p < probe_idx.size(); ++p)
+            result.waveforms[p].push(x[probe_idx[p]]);
+    }
+    return result;
+}
+
+TransientStepper
+TransientAnalysis::makeStepper(
+    std::span<const double> bias_currents) const
+{
+    return TransientStepper(*this, bias_currents);
+}
+
+TransientStepper::TransientStepper(
+    const TransientAnalysis &engine,
+    std::span<const double> bias_currents)
+    : engine_(engine), rhs_(engine.mna_.size())
+{
+    if (bias_currents.empty()) {
+        x_ = engine.mna_.dcOperatingPoint();
+        s_prev_ = engine.mna_.sourceVector({});
+    } else {
+        Matrix<double> a = engine.mna_.g();
+        LuSolver<double> lu(std::move(a));
+        s_prev_ = engine.mna_.sourceVector(bias_currents);
+        x_ = lu.solve(s_prev_);
+    }
+}
+
+void
+TransientStepper::step(std::span<const double> currents)
+{
+    const std::size_t n = engine_.mna_.size();
+    const std::vector<double> s_now =
+        engine_.mna_.sourceVector(currents);
+    for (std::size_t r = 0; r < n; ++r) {
+        double acc = engine_.algebraic_row_[r]
+            ? s_now[r]
+            : 0.5 * (s_prev_[r] + s_now[r]);
+        for (std::size_t c = 0; c < n; ++c)
+            acc += engine_.rhs_mult_(r, c) * x_[c];
+        rhs_[r] = acc;
+    }
+    x_ = engine_.lhs_->solve(rhs_);
+    s_prev_ = s_now;
+    time_ += engine_.dt_;
+}
+
+double
+TransientStepper::value(std::size_t state_index) const
+{
+    requireSim(state_index < x_.size(),
+               "stepper state index out of range");
+    return x_[state_index];
+}
+
+} // namespace circuit
+} // namespace emstress

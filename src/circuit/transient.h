@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Fixed-step transient analysis over an MNA system. Storage rows use
+ * the implicit trapezoidal rule — A-stable and amplitude-preserving
+ * for LC tanks, which is essential here: the whole point of the PDN
+ * model is resonant ringing. Pure algebraic rows (KCL at
+ * storage-free nodes, voltage-source rows) are enforced exactly at
+ * each new time point, removing the trapezoidal rule's spurious
+ * index-1 averaging mode.
+ *
+ * Known limitation (trapezoidal's ρ(∞) = 1, i.e. "trapezoidal
+ * ringing"): source discontinuities can leave a *bounded*,
+ * non-decaying Nyquist-frequency ripple on chains of storage-free
+ * nodes behind inductors. It is negligible (µV-scale) on the PDN
+ * topologies this project ships, whose functional nodes all carry
+ * capacitance; avoid building long cap-free R-L chains if µV
+ * accuracy matters there, or low-pass the probe like the real
+ * scopes do.
+ */
+
+#ifndef EMSTRESS_CIRCUIT_TRANSIENT_H
+#define EMSTRESS_CIRCUIT_TRANSIENT_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace circuit {
+
+/** What a probe observes. */
+enum class ProbeKind
+{
+    NodeVoltage,   ///< Voltage of a node versus ground.
+    BranchCurrent, ///< Current through an inductor or voltage source.
+};
+
+/** A named observation point recorded during the transient run. */
+struct Probe
+{
+    ProbeKind kind;
+    /// Node id (NodeVoltage) — unused for BranchCurrent.
+    NodeId node = kGround;
+    /// Element name (BranchCurrent) — unused for NodeVoltage.
+    std::string element;
+    /// Label under which the waveform is returned.
+    std::string label;
+};
+
+/** Waveform for one current source: value in amps at time t. */
+using SourceWaveform = std::function<double(double t_seconds)>;
+
+/** Result of a transient run: one Trace per probe, in probe order. */
+struct TransientResult
+{
+    std::vector<std::string> labels;
+    std::vector<Trace> waveforms;
+
+    /** Waveform lookup by probe label. @throws ConfigError if absent. */
+    const Trace &trace(const std::string &label) const;
+};
+
+class TransientStepper;
+
+/**
+ * Reusable transient engine. Factors the trapezoidal system matrix
+ * once per (netlist, dt) pair; run() can then be called many times
+ * with different source waveforms — the usage pattern of a GA that
+ * evaluates thousands of individuals against one PDN.
+ */
+class TransientAnalysis
+{
+    friend class TransientStepper;
+
+  public:
+    /**
+     * Prepare the engine.
+     * @param netlist Circuit to simulate (copied into the MNA form).
+     * @param dt      Fixed timestep in seconds.
+     */
+    TransientAnalysis(const Netlist &netlist, double dt);
+
+    ~TransientAnalysis();
+    TransientAnalysis(TransientAnalysis &&) noexcept;
+    TransientAnalysis &operator=(TransientAnalysis &&) noexcept;
+
+    /** Timestep in seconds. */
+    double dt() const { return dt_; }
+
+    /** The underlying MNA system (for index queries). */
+    const MnaSystem &mna() const { return mna_; }
+
+    /**
+     * Run for a number of steps starting from a DC operating point.
+     *
+     * @param steps     Number of timesteps to advance.
+     * @param waveforms One waveform per current source, in
+     *                  MnaSystem::currentSourceNames() order.
+     * @param probes    Observation points to record.
+     * @param bias_currents Current-source values used to compute the
+     *                  initial DC operating point. Pass the mean of
+     *                  each waveform so slow storage elements start
+     *                  settled; empty means zero/DC values.
+     */
+    TransientResult run(std::size_t steps,
+                        const std::vector<SourceWaveform> &waveforms,
+                        const std::vector<Probe> &probes,
+                        std::span<const double> bias_currents = {})
+        const;
+
+    /**
+     * Create an incremental stepper for closed-loop simulations
+     * where each step's source values depend on previously observed
+     * outputs (e.g. an adaptive-clocking throttle reacting to die
+     * voltage). The stepper references this engine; keep the engine
+     * alive while stepping.
+     *
+     * @param bias_currents Current-source values for the initial DC
+     *        operating point (empty = DC values).
+     */
+    TransientStepper makeStepper(
+        std::span<const double> bias_currents = {}) const;
+
+  private:
+    double dt_;
+    MnaSystem mna_;
+    /// Prefactored left-hand matrix: trapezoidal (C/dt + G/2) on
+    /// dynamic rows, plain G on algebraic rows.
+    std::unique_ptr<LuSolver<double>> lhs_;
+    /// Right-hand multiplier: (C/dt - G/2) on dynamic rows, zero on
+    /// algebraic rows.
+    Matrix<double> rhs_mult_;
+    /// True for rows with no storage entries (pure constraints).
+    std::vector<bool> algebraic_row_;
+};
+
+/**
+ * Incremental interface to a transient simulation: advance one
+ * timestep at a time with caller-chosen source values, observing the
+ * state after each step.
+ */
+class TransientStepper
+{
+  public:
+    /** Current simulation time [s]. */
+    double time() const { return time_; }
+
+    /**
+     * Advance one timestep with the given instantaneous
+     * current-source values (MnaSystem::currentSourceNames order).
+     */
+    void step(std::span<const double> currents);
+
+    /** State value by MNA index (see MnaSystem::stateIndexOf...). */
+    double value(std::size_t state_index) const;
+
+  private:
+    friend class TransientAnalysis;
+    TransientStepper(const TransientAnalysis &engine,
+                     std::span<const double> bias_currents);
+
+    const TransientAnalysis &engine_;
+    std::vector<double> x_;
+    std::vector<double> s_prev_;
+    std::vector<double> rhs_;
+    double time_ = 0.0;
+};
+
+} // namespace circuit
+} // namespace emstress
+
+#endif // EMSTRESS_CIRCUIT_TRANSIENT_H

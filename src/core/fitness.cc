@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fitness evaluator implementations.
+ */
+
+#include "core/fitness.h"
+
+#include "dsp/spectrum.h"
+#include "util/error.h"
+
+namespace emstress {
+namespace core {
+
+namespace {
+
+/** Modeled lab seconds for one individual's measurement. */
+double
+labSecondsPerIndividual(const ga::ConnectionLatency &lat,
+                        std::size_t samples)
+{
+    return lat.deploy_s + lat.start_stop_s
+        + lat.per_sample_s * static_cast<double>(samples);
+}
+
+} // namespace
+
+EmAmplitudeFitness::EmAmplitudeFitness(platform::Platform &plat,
+                                       const EvalSettings &settings)
+    : plat_(plat), settings_(settings)
+{
+    requireConfig(settings.f_hi_hz > settings.f_lo_hz,
+                  "EM band must have positive width");
+    requireConfig(settings.duration_s > 0.0,
+                  "evaluation duration must be positive");
+}
+
+double
+EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
+                             ga::EvalDetail *detail)
+{
+    const auto run = plat_.runKernel(kernel, settings_.duration_s,
+                                     settings_.active_cores);
+    const auto marker = plat_.analyzer().averagedMaxAmplitude(
+        run.em, settings_.f_lo_hz, settings_.f_hi_hz,
+        settings_.sa_samples);
+    if (detail) {
+        detail->dominant_freq_hz = marker.freq_hz;
+        detail->metric_raw = marker.power_dbm;
+        detail->measurement_seconds =
+            labSecondsPerIndividual(latency_, settings_.sa_samples);
+    }
+    return marker.power_dbm;
+}
+
+MaxDroopFitness::MaxDroopFitness(platform::Platform &plat,
+                                 const EvalSettings &settings)
+    : plat_(plat), settings_(settings)
+{
+    requireConfig(plat.hasVoltageVisibility(),
+                  "droop fitness requires direct voltage "
+                  "measurement; use EmAmplitudeFitness on "
+                      + plat.config().name);
+}
+
+double
+MaxDroopFitness::evaluate(const isa::Kernel &kernel,
+                          ga::EvalDetail *detail)
+{
+    const auto run = plat_.runKernel(kernel, settings_.duration_s,
+                                     settings_.active_cores);
+    const Trace cap = plat_.scope().capture(run.v_die);
+    const double droop = instruments::Oscilloscope::maxDroop(
+        cap, plat_.voltage());
+    if (detail) {
+        const auto spec = instruments::Oscilloscope::fftView(cap);
+        const auto pk = dsp::maxPeakInBand(spec, settings_.f_lo_hz,
+                                           settings_.f_hi_hz);
+        detail->dominant_freq_hz = pk.freq_hz;
+        detail->metric_raw = droop;
+        // Scope-based measurement is quicker than 30 SA samples.
+        detail->measurement_seconds =
+            labSecondsPerIndividual(latency_, 3);
+    }
+    return droop;
+}
+
+PeakToPeakFitness::PeakToPeakFitness(platform::Platform &plat,
+                                     const EvalSettings &settings)
+    : plat_(plat), settings_(settings)
+{
+    requireConfig(plat.hasVoltageVisibility(),
+                  "peak-to-peak fitness requires direct voltage "
+                  "measurement; use EmAmplitudeFitness on "
+                      + plat.config().name);
+}
+
+double
+PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
+                            ga::EvalDetail *detail)
+{
+    const auto run = plat_.runKernel(kernel, settings_.duration_s,
+                                     settings_.active_cores);
+    const Trace cap = plat_.scope().capture(run.v_die);
+    const double p2p = instruments::Oscilloscope::peakToPeak(cap);
+    if (detail) {
+        const auto spec = instruments::Oscilloscope::fftView(cap);
+        const auto pk = dsp::maxPeakInBand(spec, settings_.f_lo_hz,
+                                           settings_.f_hi_hz);
+        detail->dominant_freq_hz = pk.freq_hz;
+        detail->metric_raw = p2p;
+        detail->measurement_seconds =
+            labSecondsPerIndividual(latency_, 3);
+    }
+    return p2p;
+}
+
+InProcessTarget::InProcessTarget(platform::Platform &plat,
+                                 const EvalSettings &settings)
+    : plat_(plat), settings_(settings)
+{}
+
+void
+InProcessTarget::deploy(const isa::Kernel &kernel)
+{
+    if (inject_failures_ > 0) {
+        --inject_failures_;
+        throw SimulationError("injected deploy failure to "
+                              + describe());
+    }
+    kernel.validate(plat_.pool()); // "compile": reject bad encodings
+    deployed_ = kernel;
+    has_deployed_ = true;
+    lab_seconds_ += latency_.deploy_s;
+}
+
+void
+InProcessTarget::startRun()
+{
+    requireSim(has_deployed_, "startRun before deploy");
+    running_ = true;
+    lab_seconds_ += latency_.start_stop_s * 0.5;
+}
+
+Trace
+InProcessTarget::measureEm()
+{
+    requireSim(running_, "measureEm while no binary is running");
+    lab_seconds_ += latency_.per_sample_s;
+    return plat_
+        .runKernel(deployed_, settings_.duration_s,
+                   settings_.active_cores)
+        .em;
+}
+
+void
+InProcessTarget::stopRun()
+{
+    requireSim(running_, "stopRun while nothing runs");
+    running_ = false;
+    lab_seconds_ += latency_.start_stop_s * 0.5;
+}
+
+std::string
+InProcessTarget::describe() const
+{
+    return "in-process://" + plat_.config().name;
+}
+
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fitness evaluators binding the GA to a simulated platform, plus the
+ * in-process TargetConnection implementation. Three metrics, matching
+ * the paper: maximum EM amplitude in the 1st-order resonance band
+ * (the novel contribution) and, where direct voltage visibility
+ * exists, maximum droop and peak-to-peak voltage (the baselines used
+ * for validation and for the a72OC-DSO / amdOsc viruses).
+ */
+
+#ifndef EMSTRESS_CORE_FITNESS_H
+#define EMSTRESS_CORE_FITNESS_H
+
+#include <string>
+
+#include "ga/ga_engine.h"
+#include "ga/target_connection.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** Shared evaluation settings. */
+struct EvalSettings
+{
+    double duration_s = 4e-6;     ///< Steady-state window per run.
+    double f_lo_hz = 50e6;        ///< EM search band start (paper:
+                                  ///< 50-200 MHz, the 1st-order range).
+    double f_hi_hz = 200e6;       ///< EM search band end.
+    std::size_t sa_samples = 30;  ///< Spectrum samples per individual.
+    std::size_t active_cores = 0; ///< 0 = all powered cores.
+};
+
+/**
+ * EM-amplitude fitness (paper Section 3.1(b)): the RMS over
+ * `sa_samples` sweeps of the maximum EM amplitude anywhere within
+ * [f_lo, f_hi]. Fitness unit: dBm (monotone in received power).
+ */
+class EmAmplitudeFitness : public ga::FitnessEvaluator
+{
+  public:
+    EmAmplitudeFitness(platform::Platform &plat,
+                       const EvalSettings &settings);
+
+    double evaluate(const isa::Kernel &kernel,
+                    ga::EvalDetail *detail) override;
+
+    std::string metricName() const override { return "em-amplitude"; }
+
+  private:
+    platform::Platform &plat_;
+    EvalSettings settings_;
+    ga::ConnectionLatency latency_;
+};
+
+/**
+ * Maximum-droop fitness through the platform's scope (OC-DSO or
+ * Kelvin pads). Fitness unit: volts of droop below nominal.
+ * @throws ConfigError at construction when the platform has no
+ *         voltage visibility.
+ */
+class MaxDroopFitness : public ga::FitnessEvaluator
+{
+  public:
+    MaxDroopFitness(platform::Platform &plat,
+                    const EvalSettings &settings);
+
+    double evaluate(const isa::Kernel &kernel,
+                    ga::EvalDetail *detail) override;
+
+    std::string metricName() const override { return "max-droop"; }
+
+  private:
+    platform::Platform &plat_;
+    EvalSettings settings_;
+    ga::ConnectionLatency latency_;
+};
+
+/** Peak-to-peak voltage fitness through the platform's scope. */
+class PeakToPeakFitness : public ga::FitnessEvaluator
+{
+  public:
+    PeakToPeakFitness(platform::Platform &plat,
+                      const EvalSettings &settings);
+
+    double evaluate(const isa::Kernel &kernel,
+                    ga::EvalDetail *detail) override;
+
+    std::string metricName() const override { return "peak-to-peak"; }
+
+  private:
+    platform::Platform &plat_;
+    EvalSettings settings_;
+    ga::ConnectionLatency latency_;
+};
+
+/**
+ * In-process implementation of the workstation-to-target loop: the
+ * "target" is the simulated platform; deploy/compile/run/terminate
+ * book-keep state and lab-time, and measureEm produces the antenna
+ * waveform. Supports fault injection for robustness tests.
+ */
+class InProcessTarget : public ga::TargetConnection
+{
+  public:
+    InProcessTarget(platform::Platform &plat,
+                    const EvalSettings &settings);
+
+    void deploy(const isa::Kernel &kernel) override;
+    void startRun() override;
+    Trace measureEm() override;
+    void stopRun() override;
+    const ga::ConnectionLatency &latency() const override
+    {
+        return latency_;
+    }
+    std::string describe() const override;
+
+    /** Make the next n deploys fail (transport fault injection). */
+    void injectDeployFailures(std::size_t n) { inject_failures_ = n; }
+
+    /** Total modeled lab seconds spent so far. */
+    double labSecondsSpent() const { return lab_seconds_; }
+
+  private:
+    platform::Platform &plat_;
+    EvalSettings settings_;
+    ga::ConnectionLatency latency_;
+    isa::Kernel deployed_;
+    bool has_deployed_ = false;
+    bool running_ = false;
+    std::size_t inject_failures_ = 0;
+    double lab_seconds_ = 0.0;
+};
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_FITNESS_H

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * EM-based voltage-margin prediction — the paper's future-work item
+ * (c): "voltage margin prediction based on EM emanations during
+ * conventional workload execution". The predictor is trained on a
+ * platform *with* voltage visibility by regressing measured droop
+ * against received EM amplitude over a set of calibration workloads;
+ * afterwards it predicts droop — and hence V_MIN — for any workload
+ * from the antenna signal alone, usable on scope-less parts.
+ *
+ * The linear model is physically motivated: the resonant component
+ * of the droop is proportional to the oscillatory package-loop
+ * current, whose time derivative the antenna measures; the intercept
+ * absorbs the (roughly workload-independent within a class) IR
+ * floor.
+ */
+
+#ifndef EMSTRESS_CORE_MARGIN_PREDICTOR_H
+#define EMSTRESS_CORE_MARGIN_PREDICTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/kernel.h"
+#include "platform/platform.h"
+#include "vmin/timing_model.h"
+#include "workloads/workload.h"
+
+namespace emstress {
+namespace core {
+
+/** One calibration observation. */
+struct MarginCalibrationPoint
+{
+    double em_vrms = 0.0;  ///< Received EM amplitude (linear volts)
+                           ///< at the strongest in-band component.
+    double droop_v = 0.0;  ///< Measured max droop at nominal.
+};
+
+/** Fitted linear model droop = slope * em_vrms + intercept. */
+struct MarginModel
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;       ///< Fit quality on training data.
+    std::size_t points = 0;       ///< Training observations.
+};
+
+/**
+ * Trainable EM-to-margin predictor.
+ */
+class EmMarginPredictor
+{
+  public:
+    /**
+     * @param plat     Training platform; must have voltage
+     *                 visibility (throws otherwise).
+     * @param f_lo_hz  EM band start for the amplitude marker.
+     * @param f_hi_hz  EM band end.
+     * @param duration_s Measurement window per observation.
+     */
+    EmMarginPredictor(platform::Platform &plat, double f_lo_hz = 50e6,
+                      double f_hi_hz = 200e6,
+                      double duration_s = 4e-6);
+
+    /** Add a kernel-based calibration observation. */
+    void addKernel(const isa::Kernel &kernel);
+
+    /** Add a synthetic-benchmark calibration observation. */
+    void addWorkload(const workloads::WorkloadProfile &profile,
+                     std::uint64_t stream_seed = 1);
+
+    /** Observations collected so far. */
+    const std::vector<MarginCalibrationPoint> &points() const
+    {
+        return points_;
+    }
+
+    /**
+     * Fit the linear model by least squares.
+     * @throws ConfigError with fewer than 3 observations.
+     */
+    MarginModel fit();
+
+    /** The fitted model. @throws SimulationError before fit(). */
+    const MarginModel &model() const;
+
+    /** Predict droop [V] from a received-EM amplitude [Vrms]. */
+    double predictDroop(double em_vrms) const;
+
+    /**
+     * EM-only end-to-end prediction for a kernel: run it, read the
+     * antenna marker, predict droop. No scope access involved.
+     */
+    double predictDroopForKernel(const isa::Kernel &kernel);
+
+    /**
+     * Predicted V_MIN: the supply at which the predicted worst dip
+     * touches V_CRIT, i.e. solve v - droop * (v / v_nom) = v_crit.
+     */
+    double predictVmin(double em_vrms,
+                       const vmin::TimingModel &timing,
+                       double f_clk_hz) const;
+
+    /**
+     * Measured droop for a kernel via the scope (for validation
+     * against predictions).
+     */
+    double measureDroop(const isa::Kernel &kernel);
+
+  private:
+    MarginCalibrationPoint observeKernel(const isa::Kernel &kernel);
+
+    platform::Platform &plat_;
+    double f_lo_hz_;
+    double f_hi_hz_;
+    double duration_s_;
+    std::vector<MarginCalibrationPoint> points_;
+    MarginModel model_;
+    bool fitted_ = false;
+};
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_MARGIN_PREDICTOR_H

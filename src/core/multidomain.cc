@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multi-domain monitor implementation.
+ */
+
+#include "core/multidomain.h"
+
+#include "dsp/spectrum.h"
+#include "em/antenna.h"
+#include "util/error.h"
+
+namespace emstress {
+namespace core {
+
+MultiDomainResult
+monitorDomains(std::vector<DomainWorkload> &domains, double duration_s,
+               instruments::SpectrumAnalyzer &analyzer, double f_lo_hz,
+               double f_hi_hz)
+{
+    requireConfig(!domains.empty(), "monitorDomains needs a domain");
+
+    std::vector<Trace> currents;
+    std::vector<double> distances;
+    MultiDomainResult out;
+
+    for (auto &d : domains) {
+        requireConfig(d.plat != nullptr, "null platform in domain list");
+        const auto run = d.idle
+            ? d.plat->runIdle(duration_s)
+            : d.plat->runKernel(d.kernel, duration_s,
+                                d.active_cores);
+        // Per-domain dominant frequency from its isolated emission.
+        const auto spec = dsp::computeSpectrum(run.em);
+        out.domain_dominant_hz.push_back(
+            dsp::maxPeakInBand(spec, f_lo_hz, f_hi_hz).freq_hz);
+        currents.push_back(run.i_die);
+        distances.push_back(d.plat->config().antenna_distance_m);
+    }
+
+    // One antenna (the first domain's) receives every domain's
+    // radiation simultaneously.
+    const em::Antenna &antenna = domains.front().plat->antenna();
+    const Trace combined = antenna.receiveMulti(currents, distances);
+    out.sweep = analyzer.sweep(combined);
+    return out;
+}
+
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simultaneous multi-domain voltage-noise monitoring (paper Section
+ * 6.1): a single antenna observes several voltage domains at once —
+ * impossible with a physically attached scope — so concurrent viruses
+ * on the Cortex-A72 and Cortex-A53 clusters show up as separate
+ * signatures in one spectrum (Fig. 15).
+ */
+
+#ifndef EMSTRESS_CORE_MULTIDOMAIN_H
+#define EMSTRESS_CORE_MULTIDOMAIN_H
+
+#include <string>
+#include <vector>
+
+#include "instruments/spectrum_analyzer.h"
+#include "isa/kernel.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** One domain under simultaneous observation. */
+struct DomainWorkload
+{
+    platform::Platform *plat = nullptr; ///< The domain (not owned).
+    isa::Kernel kernel;                 ///< What it runs.
+    std::size_t active_cores = 0;       ///< 0 = all powered.
+    bool idle = false;                  ///< True: nothing running
+                                        ///< (kernel ignored).
+};
+
+/** Result of a multi-domain observation. */
+struct MultiDomainResult
+{
+    instruments::SaSweep sweep;     ///< Combined spectrum.
+    std::vector<double> domain_dominant_hz; ///< Per-domain dominant
+                                            ///< frequency (isolated).
+};
+
+/**
+ * Run every domain's kernel concurrently, combine their radiated
+ * signals at one antenna, and sweep the spectrum.
+ *
+ * @param domains    Domains and their kernels (>= 1).
+ * @param duration_s Observation window.
+ * @param analyzer   Spectrum analyzer to use (typically the first
+ *                   domain's).
+ * @param f_lo_hz/f_hi_hz Band for the per-domain dominant markers.
+ */
+MultiDomainResult monitorDomains(std::vector<DomainWorkload> &domains,
+                                 double duration_s,
+                                 instruments::SpectrumAnalyzer &analyzer,
+                                 double f_lo_hz = 50e6,
+                                 double f_hi_hz = 200e6);
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_MULTIDOMAIN_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Resonance exploration implementations.
+ */
+
+#include "core/resonance_explorer.h"
+
+#include "util/error.h"
+
+namespace emstress {
+namespace core {
+
+ResonanceExplorer::ResonanceExplorer(platform::Platform &plat)
+    : plat_(plat)
+{}
+
+isa::Kernel
+ResonanceExplorer::probeLoop(const isa::InstructionPool &pool)
+{
+    // High-current phase: eight independent single-cycle adds
+    // (dual-issue -> ~4 cycles). Low-current phase: one multi-cycle
+    // multiply that the adds depend on and that depends on the adds,
+    // so iterations cannot overlap. Register r1 carries the serial
+    // chain; the adds target r2 which feeds the next multiply.
+    const std::size_t mul =
+        pool.defIndex(pool.isa() == isa::IsaFamily::ArmV8 ? "MUL"
+                                                          : "IMUL");
+    const std::size_t add = pool.defIndex("ADD");
+
+    std::vector<isa::Instruction> code;
+    isa::Instruction m;
+    m.def_index = mul;
+    m.dest = 1;
+    m.src = {2, 2};
+    code.push_back(m);
+    for (int i = 0; i < 8; ++i) {
+        isa::Instruction a;
+        a.def_index = add;
+        a.dest = 2;
+        a.src = {1, 1};
+        code.push_back(a);
+    }
+    return isa::Kernel(std::move(code));
+}
+
+std::vector<EmSweepPoint>
+ResonanceExplorer::sweep(double duration_s, std::size_t sa_samples,
+                         std::size_t active_cores)
+{
+    const auto &cfg = plat_.config();
+    const double f_restore = plat_.frequency();
+    const isa::Kernel loop = probeLoop(plat_.pool());
+
+    std::vector<EmSweepPoint> points;
+    for (double f = cfg.f_max_hz; f >= cfg.f_min_hz - 1.0;
+         f -= cfg.f_step_hz) {
+        plat_.setFrequency(f);
+        const auto run =
+            plat_.runKernel(loop, duration_s, active_cores);
+        requireSim(run.stats.loop_freq_hz > 0.0,
+                   "probe loop produced no loop-frequency estimate");
+        // Marker on the spike at the loop frequency: search a narrow
+        // window around it so neighbouring harmonics don't leak in.
+        const double f_spike = run.stats.loop_freq_hz;
+        const auto marker = plat_.analyzer().averagedMaxAmplitude(
+            run.em, f_spike * 0.9, f_spike * 1.1, sa_samples);
+        points.push_back({plat_.frequency(), f_spike,
+                          marker.power_dbm});
+    }
+    plat_.setFrequency(f_restore);
+    requireSim(!points.empty(), "frequency sweep produced no points");
+    return points;
+}
+
+double
+ResonanceExplorer::estimateResonanceHz(
+    const std::vector<EmSweepPoint> &points)
+{
+    requireConfig(!points.empty(), "cannot estimate from no points");
+    const EmSweepPoint *best = &points.front();
+    for (const auto &p : points)
+        if (p.em_dbm > best->em_dbm)
+            best = &p;
+    return best->loop_freq_hz;
+}
+
+SclResonanceFinder::SclResonanceFinder(platform::Platform &plat)
+    : plat_(plat)
+{
+    requireConfig(plat.config().has_scl,
+                  plat.config().name + " has no SCL block");
+    requireConfig(plat.hasVoltageVisibility(),
+                  "SCL sweep needs scope visibility");
+}
+
+std::vector<SclSweepPoint>
+SclResonanceFinder::sweep(double f_lo_hz, double f_hi_hz,
+                          double step_hz, double amplitude_a,
+                          double duration_s)
+{
+    requireConfig(f_hi_hz > f_lo_hz && step_hz > 0.0,
+                  "bad SCL sweep range");
+    std::vector<SclSweepPoint> points;
+    for (double f = f_lo_hz; f <= f_hi_hz + 0.5 * step_hz;
+         f += step_hz) {
+        const auto run = plat_.runScl(f, amplitude_a, duration_s);
+        const Trace cap = plat_.scope().capture(run.v_die);
+        points.push_back(
+            {f, instruments::Oscilloscope::peakToPeak(cap)});
+    }
+    return points;
+}
+
+double
+SclResonanceFinder::estimateResonanceHz(
+    const std::vector<SclSweepPoint> &points)
+{
+    requireConfig(!points.empty(), "cannot estimate from no points");
+    const SclSweepPoint *best = &points.front();
+    for (const auto &p : points)
+        if (p.p2p_v > best->p2p_v)
+            best = &p;
+    return best->freq_hz;
+}
+
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fast PDN resonance detection (paper Section 5.3): run a manually
+ * designed two-phase loop whose frequency is modulated by the CPU
+ * clock, sweep the clock, and find where the EM spike at the loop
+ * frequency is maximized — about 15 minutes of lab time instead of a
+ * multi-hour GA run. Also the SCL-based reference sweep of Fig. 8.
+ */
+
+#ifndef EMSTRESS_CORE_RESONANCE_EXPLORER_H
+#define EMSTRESS_CORE_RESONANCE_EXPLORER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/kernel.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** One point of an EM loop-frequency sweep (Figs. 11, 13, 16). */
+struct EmSweepPoint
+{
+    double cpu_freq_hz = 0.0;  ///< Clock at which the loop ran.
+    double loop_freq_hz = 0.0; ///< Realized loop frequency.
+    double em_dbm = -200.0;    ///< EM amplitude at the loop spike.
+};
+
+/** One point of an SCL sweep (Fig. 8). */
+struct SclSweepPoint
+{
+    double freq_hz = 0.0; ///< Square-wave frequency.
+    double p2p_v = 0.0;   ///< Peak-to-peak die voltage via the scope.
+};
+
+/**
+ * Fast EM resonance explorer.
+ */
+class ResonanceExplorer
+{
+  public:
+    /** Bind to a platform (not owned; DVFS state is modified). */
+    explicit ResonanceExplorer(platform::Platform &plat);
+
+    /**
+     * The hand-written probe loop (Section 5.3's example): a burst of
+     * eight independent short integer adds (high current, ~4 cycles
+     * dual-issued) serialized against one long-latency multiply so
+     * every iteration alternates a high- and a low-current phase.
+     */
+    static isa::Kernel probeLoop(const isa::InstructionPool &pool);
+
+    /**
+     * Sweep the CPU clock from the platform's maximum down to its
+     * minimum in the platform's DVFS steps, recording the EM spike at
+     * each realized loop frequency. Restores the original clock.
+     *
+     * @param duration_s   Measurement window per point.
+     * @param sa_samples   Spectrum samples per point.
+     * @param active_cores Cores running the loop (0 = all powered;
+     *        the paper's Fig. 13 keeps one core active across all
+     *        power-gating scenarios to hold current constant).
+     */
+    std::vector<EmSweepPoint> sweep(double duration_s = 4e-6,
+                                    std::size_t sa_samples = 5,
+                                    std::size_t active_cores = 0);
+
+    /** Loop frequency with the highest EM amplitude of a sweep. */
+    static double estimateResonanceHz(
+        const std::vector<EmSweepPoint> &points);
+
+  private:
+    platform::Platform &plat_;
+};
+
+/**
+ * SCL-driven resonance finder (the paper's validation reference,
+ * Fig. 8; requires both the SCL and voltage visibility).
+ */
+class SclResonanceFinder
+{
+  public:
+    /** Bind to a platform with an SCL block. */
+    explicit SclResonanceFinder(platform::Platform &plat);
+
+    /**
+     * Load the PDN with a square wave swept over [f_lo, f_hi] in
+     * fixed steps; record the scope peak-to-peak at each frequency.
+     *
+     * @param f_lo_hz     Sweep start.
+     * @param f_hi_hz     Sweep end.
+     * @param step_hz     Step (paper: 1 MHz).
+     * @param amplitude_a Injected square-wave amplitude.
+     * @param duration_s  Capture window per point.
+     */
+    std::vector<SclSweepPoint> sweep(double f_lo_hz, double f_hi_hz,
+                                     double step_hz,
+                                     double amplitude_a = 0.5,
+                                     double duration_s = 4e-6);
+
+    /** Frequency of the maximum peak-to-peak response. */
+    static double estimateResonanceHz(
+        const std::vector<SclSweepPoint> &points);
+
+  private:
+    platform::Platform &plat_;
+};
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_RESONANCE_EXPLORER_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Resonant kernel construction.
+ */
+
+#include "core/resonant_kernel.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace core {
+
+isa::Kernel
+makeResonantKernel(const isa::InstructionPool &pool,
+                   std::size_t period_cycles, std::size_t high_cycles,
+                   std::size_t adds_per_cycle)
+{
+    const bool arm = pool.isa() == isa::IsaFamily::ArmV8;
+    const std::size_t mul = pool.defIndex(arm ? "MUL" : "IMUL");
+    const std::size_t add = pool.defIndex("ADD");
+    const unsigned mul_lat = pool.def(mul).latency;
+
+    requireConfig(high_cycles >= 1 && period_cycles > high_cycles,
+                  "resonant kernel needs a positive low phase");
+    requireConfig(adds_per_cycle >= 1, "adds_per_cycle must be >= 1");
+    const std::size_t low_cycles = period_cycles - high_cycles;
+    // Serial multiply chain spanning roughly the low phase (round to
+    // the nearest realizable chain length, at least one multiply).
+    const std::size_t n_mul = std::max<std::size_t>(
+        1,
+        (low_cycles + mul_lat / 2) / mul_lat);
+    // The high phase gets the remaining cycles so the realized
+    // period stays close to the request.
+    const std::size_t actual_low = n_mul * mul_lat;
+    requireConfig(actual_low < period_cycles,
+                  "multiply latency too long for the requested period");
+    const std::size_t n_add =
+        (period_cycles - actual_low) * adds_per_cycle;
+
+    std::vector<isa::Instruction> code;
+    // First multiply consumes an add result (loop-carried closure);
+    // subsequent multiplies chain on r1.
+    for (std::size_t i = 0; i < n_mul; ++i) {
+        isa::Instruction m;
+        m.def_index = mul;
+        m.dest = 1;
+        m.src = {i == 0 ? 2 : 1, 1};
+        code.push_back(m);
+    }
+    // Full-rate adds consuming the final multiply result.
+    for (std::size_t i = 0; i < n_add; ++i) {
+        isa::Instruction a;
+        a.def_index = add;
+        a.dest = 2;
+        a.src = {1, 1};
+        code.push_back(a);
+    }
+    isa::Kernel kernel(std::move(code));
+    kernel.validate(pool);
+    return kernel;
+}
+
+isa::Kernel
+makeResonantKernelFor(const isa::InstructionPool &pool,
+                      double f_clk_hz, double f_target_hz,
+                      std::size_t adds_per_cycle)
+{
+    requireConfig(f_clk_hz > 0.0 && f_target_hz > 0.0,
+                  "frequencies must be positive");
+    const auto period = static_cast<std::size_t>(
+        std::llround(f_clk_hz / f_target_hz));
+    requireConfig(period >= 4,
+                  "target frequency too close to the clock for a "
+                  "two-phase loop");
+    return makeResonantKernel(pool, period, period / 2,
+                              adds_per_cycle);
+}
+
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic construction of two-phase resonant kernels: a
+ * hand-written dI/dt loop with a chosen period in cycles, built from
+ * a serializing multiply chain (low-current phase) feeding a burst of
+ * dependent adds (high-current phase). Used as the manually designed
+ * stress loop of Section 5.3, as the "dI/dt virus" of Figs. 2/4/9
+ * and as a reproducible baseline to compare GA output against.
+ */
+
+#ifndef EMSTRESS_CORE_RESONANT_KERNEL_H
+#define EMSTRESS_CORE_RESONANT_KERNEL_H
+
+#include <cstddef>
+
+#include "isa/kernel.h"
+#include "isa/pool.h"
+
+namespace emstress {
+namespace core {
+
+/**
+ * Build a loop whose steady-state period is approximately
+ * `period_cycles` with a high-current phase of roughly
+ * `high_cycles`, on an issue-width-2 (or wider) core.
+ *
+ * Structure: N serial multiplies (period - high cycles of stall),
+ * then 2 * high_cycles adds that consume the final multiply result
+ * (dual-issued: high_cycles cycles of full-rate issue), with the
+ * next iteration's first multiply consuming an add result to close
+ * the loop-carried dependence.
+ *
+ * @param pool          ARM or x86 pool (MUL/IMUL and ADD are used).
+ * @param period_cycles Target loop period in cycles; must leave at
+ *                      least one multiply and two adds.
+ * @param high_cycles   Cycles of the high-current phase.
+ * @param adds_per_cycle Sustained ADD issue rate of the target core
+ *                      (number of integer ALUs, capped by width).
+ * @throws ConfigError when the period cannot be realized.
+ */
+isa::Kernel makeResonantKernel(const isa::InstructionPool &pool,
+                               std::size_t period_cycles,
+                               std::size_t high_cycles,
+                               std::size_t adds_per_cycle = 2);
+
+/**
+ * Convenience: a resonant kernel tuned for a platform clock and a
+ * target excitation frequency: period = round(f_clk / f_target),
+ * with a 50/50 high/low split.
+ */
+isa::Kernel makeResonantKernelFor(const isa::InstructionPool &pool,
+                                  double f_clk_hz, double f_target_hz,
+                                  std::size_t adds_per_cycle = 2);
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_RESONANT_KERNEL_H

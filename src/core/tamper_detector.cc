@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tamper detector implementation.
+ */
+
+#include "core/tamper_detector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace core {
+
+PdnFingerprint
+TamperDetector::acquire(platform::Platform &plat, double duration_s,
+                        std::size_t sa_samples)
+{
+    ResonanceExplorer explorer(plat);
+    PdnFingerprint fp;
+    fp.sweep = explorer.sweep(duration_s, sa_samples);
+    fp.resonance_hz =
+        ResonanceExplorer::estimateResonanceHz(fp.sweep);
+    return fp;
+}
+
+TamperVerdict
+TamperDetector::check(const PdnFingerprint &baseline,
+                      const PdnFingerprint &observed,
+                      const TamperThresholds &thresholds)
+{
+    requireConfig(!baseline.sweep.empty() && !observed.sweep.empty(),
+                  "fingerprints must contain sweep points");
+
+    TamperVerdict verdict;
+    verdict.resonance_shift_hz =
+        observed.resonance_hz - baseline.resonance_hz;
+
+    // Amplitude-profile distance over matching loop frequencies.
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto &b : baseline.sweep) {
+        for (const auto &o : observed.sweep) {
+            if (std::abs(b.loop_freq_hz - o.loop_freq_hz)
+                < 0.02 * b.loop_freq_hz) {
+                acc += std::abs(b.em_dbm - o.em_dbm);
+                ++n;
+                break;
+            }
+        }
+    }
+    requireSim(n >= 3, "fingerprints share too few sweep points to "
+                       "compare");
+    verdict.profile_distance_db = acc / static_cast<double>(n);
+
+    std::ostringstream why;
+    if (std::abs(verdict.resonance_shift_hz)
+        > thresholds.max_resonance_shift_hz) {
+        verdict.tampered = true;
+        why << "resonance shifted "
+            << verdict.resonance_shift_hz / 1e6 << " MHz ("
+            << (verdict.resonance_shift_hz > 0
+                    ? "capacitance removed or loop shortened"
+                    : "capacitance/probe added")
+            << "); ";
+    }
+    if (verdict.profile_distance_db
+        > thresholds.max_profile_distance_db) {
+        verdict.tampered = true;
+        why << "EM amplitude profile moved by "
+            << verdict.profile_distance_db << " dB on average; ";
+    }
+    verdict.reason =
+        verdict.tampered ? why.str() : "fingerprint matches baseline";
+    return verdict;
+}
+
+} // namespace core
+} // namespace emstress

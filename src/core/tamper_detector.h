@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PDN tamper detection via EM fingerprinting — one of the paper's
+ * proposed applications (Section 5.3: quick resonance measurement is
+ * useful "for post-production purposes like PDN simulation
+ * validation, tampering detection etc."). A device's EM loop-sweep
+ * curve is a fingerprint of its power-delivery network: hardware
+ * modifications (removed/added decoupling capacitors, interposers,
+ * probes on the rails) change the die-visible capacitance or loop
+ * inductance and therefore shift the 1st-order resonance and reshape
+ * the amplitude profile — all observable without touching the board.
+ */
+
+#ifndef EMSTRESS_CORE_TAMPER_DETECTOR_H
+#define EMSTRESS_CORE_TAMPER_DETECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/resonance_explorer.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** A device's PDN fingerprint. */
+struct PdnFingerprint
+{
+    std::vector<EmSweepPoint> sweep; ///< Loop-frequency EM curve.
+    double resonance_hz = 0.0;       ///< Extracted 1st-order peak.
+};
+
+/** Verdict of a fingerprint comparison. */
+struct TamperVerdict
+{
+    bool tampered = false;
+    double resonance_shift_hz = 0.0; ///< observed - baseline.
+    double profile_distance_db = 0.0;///< Mean |amplitude delta| over
+                                     ///< overlapping sweep points.
+    std::string reason;              ///< Human-readable finding.
+};
+
+/** Detection thresholds. */
+struct TamperThresholds
+{
+    /// Resonance shift beyond this flags tampering [Hz]. Must sit
+    /// above sweep granularity and measurement noise.
+    double max_resonance_shift_hz = 4e6;
+    /// Mean absolute amplitude-profile change beyond this flags
+    /// tampering [dB].
+    double max_profile_distance_db = 6.0;
+};
+
+/**
+ * EM fingerprinting engine.
+ */
+class TamperDetector
+{
+  public:
+    /**
+     * Acquire a fingerprint: run the fast EM loop sweep and extract
+     * the resonance.
+     * @param plat       Device under test (DVFS state is swept and
+     *                   restored).
+     * @param duration_s Measurement window per sweep point.
+     * @param sa_samples Spectrum samples per point.
+     */
+    static PdnFingerprint acquire(platform::Platform &plat,
+                                  double duration_s = 4e-6,
+                                  std::size_t sa_samples = 5);
+
+    /**
+     * Compare a fresh fingerprint against a known-good baseline.
+     */
+    static TamperVerdict check(const PdnFingerprint &baseline,
+                               const PdnFingerprint &observed,
+                               const TamperThresholds &thresholds
+                               = {});
+};
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_TAMPER_DETECTOR_H

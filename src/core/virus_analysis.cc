@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Virus analysis implementation.
+ */
+
+#include "core/virus_analysis.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace core {
+
+VirusTableRow
+analyzeVirus(platform::Platform &plat, const std::string &virus_name,
+             const isa::Kernel &kernel, double vmin_v,
+             double duration_s, std::size_t sa_samples)
+{
+    requireConfig(!kernel.empty(), "cannot analyze an empty virus");
+
+    VirusTableRow row;
+    row.virus_name = virus_name;
+    row.loop_instructions = kernel.size();
+
+    const auto run = plat.runKernel(kernel, duration_s);
+    row.ipc = run.stats.ipc;
+    row.loop_period_ns = run.stats.loop_period_s / nano(1.0);
+    row.loop_freq_mhz = run.stats.loop_freq_hz / mega(1.0);
+
+    const auto marker = plat.analyzer().averagedMaxAmplitude(
+        run.em, mega(50.0), mega(200.0), sa_samples);
+    row.dominant_freq_mhz = marker.freq_hz / mega(1.0);
+
+    if (vmin_v > 0.0)
+        row.voltage_margin_mv =
+            (plat.config().v_nom - vmin_v) / milli(1.0);
+
+    const auto &pool = plat.pool();
+    using C = isa::InstrClass;
+    row.pct_branch = kernel.classFraction(pool, C::Branch);
+    row.pct_sl_int_reg = kernel.classFraction(pool, C::IntShort);
+    row.pct_ll_int_reg = kernel.classFraction(pool, C::IntLong);
+    row.pct_sl_int_mem = kernel.classFraction(pool, C::IntShortMem);
+    row.pct_ll_int_mem = kernel.classFraction(pool, C::IntLongMem);
+    row.pct_float = kernel.classFraction(pool, C::FpShort)
+        + kernel.classFraction(pool, C::FpLong);
+    row.pct_simd = kernel.classFraction(pool, C::SimdShort)
+        + kernel.classFraction(pool, C::SimdLong);
+    row.pct_mem = kernel.classFraction(pool, C::Load)
+        + kernel.classFraction(pool, C::Store);
+    return row;
+}
+
+double
+minIpcForResonantLoop(double resonant_freq_hz,
+                      std::size_t loop_instructions,
+                      double clock_freq_hz)
+{
+    requireConfig(clock_freq_hz > 0.0, "clock must be positive");
+    return resonant_freq_hz * static_cast<double>(loop_instructions)
+        / clock_freq_hz;
+}
+
+} // namespace core
+} // namespace emstress

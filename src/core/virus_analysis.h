@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cross-platform virus analysis (paper Section 8, Table 2): per-virus
+ * IPC, loop period/frequency, dominant frequency, voltage margin and
+ * instruction-type mix, plus the Section 8.2 minimum-IPC relation
+ * linking loop and resonant frequencies.
+ */
+
+#ifndef EMSTRESS_CORE_VIRUS_ANALYSIS_H
+#define EMSTRESS_CORE_VIRUS_ANALYSIS_H
+
+#include <string>
+
+#include "isa/kernel.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** One row of Table 2. */
+struct VirusTableRow
+{
+    std::string virus_name;
+    std::size_t loop_instructions = 0;
+    double ipc = 0.0;
+    double loop_period_ns = 0.0;
+    double loop_freq_mhz = 0.0;
+    double dominant_freq_mhz = 0.0;
+    double voltage_margin_mv = 0.0;
+
+    /// Instruction-type mix fractions (Table 2's columns).
+    double pct_branch = 0.0;
+    double pct_sl_int_reg = 0.0;
+    double pct_ll_int_reg = 0.0;
+    double pct_sl_int_mem = 0.0; ///< x86 only.
+    double pct_ll_int_mem = 0.0; ///< x86 only.
+    double pct_float = 0.0;
+    double pct_simd = 0.0;
+    double pct_mem = 0.0;        ///< ARM loads/stores only.
+};
+
+/**
+ * Build a Table 2 row for a virus.
+ *
+ * @param plat        Platform the virus targets.
+ * @param virus_name  Row label (e.g. "a72em").
+ * @param kernel      The virus.
+ * @param vmin_v      Its measured V_MIN (0 to omit the margin).
+ * @param duration_s  Characterization window.
+ * @param sa_samples  Spectrum samples for the dominant frequency.
+ */
+VirusTableRow analyzeVirus(platform::Platform &plat,
+                           const std::string &virus_name,
+                           const isa::Kernel &kernel, double vmin_v,
+                           double duration_s = 4e-6,
+                           std::size_t sa_samples = 10);
+
+/**
+ * Section 8.2's relation: the minimum IPC needed for the loop
+ * frequency itself to match the resonant frequency,
+ * minIPC = resonant_freq * loop_instructions / clock_freq.
+ */
+double minIpcForResonantLoop(double resonant_freq_hz,
+                             std::size_t loop_instructions,
+                             double clock_freq_hz);
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_VIRUS_ANALYSIS_H

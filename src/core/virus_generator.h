@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level virus generation API: run the GA against a platform with
+ * a chosen feedback metric and return the winning dI/dt virus with
+ * its convergence history and post-hoc characterization — the
+ * workflow behind Figs. 7, 12 and 17.
+ */
+
+#ifndef EMSTRESS_CORE_VIRUS_GENERATOR_H
+#define EMSTRESS_CORE_VIRUS_GENERATOR_H
+
+#include <string>
+
+#include "core/fitness.h"
+#include "ga/ga_engine.h"
+#include "platform/platform.h"
+
+namespace emstress {
+namespace core {
+
+/** Feedback metric driving the search. */
+enum class VirusMetric
+{
+    EmAmplitude, ///< Antenna + spectrum analyzer (the contribution).
+    MaxDroop,    ///< Direct voltage droop (OC-DSO / Kelvin baseline).
+    PeakToPeak,  ///< Direct peak-to-peak voltage.
+};
+
+/** Display name of a metric. */
+std::string virusMetricName(VirusMetric metric);
+
+/** Search configuration. */
+struct VirusSearchConfig
+{
+    ga::GaConfig ga;     ///< GA hyper-parameters (paper defaults).
+    EvalSettings eval;   ///< Measurement settings.
+    VirusMetric metric = VirusMetric::EmAmplitude;
+};
+
+/** The generated virus plus its characterization. */
+struct VirusReport
+{
+    isa::Kernel virus;            ///< Best individual found.
+    ga::GaResult ga;              ///< Full convergence history.
+    std::string metric;           ///< Metric that drove the search.
+    double dominant_freq_hz = 0;  ///< Its strongest EM component.
+    double loop_freq_hz = 0;      ///< 1 / steady loop period.
+    double ipc = 0;               ///< Steady-state IPC.
+    double max_droop_v = 0;       ///< Droop at nominal voltage (only
+                                  ///< when visibility exists, else 0).
+    double peak_to_peak_v = 0;    ///< P2P at nominal (ditto).
+};
+
+/**
+ * Virus generator bound to one platform.
+ */
+class VirusGenerator
+{
+  public:
+    /** Bind to a platform (not owned). */
+    explicit VirusGenerator(platform::Platform &plat);
+
+    /**
+     * Run the search and characterize the winner.
+     * @param config   Search configuration.
+     * @param callback Optional per-generation observer.
+     */
+    VirusReport search(const VirusSearchConfig &config,
+                       const ga::GenerationCallback &callback = nullptr);
+
+    /**
+     * Characterize an existing kernel (fills everything except the
+     * GA history).
+     */
+    VirusReport characterize(const isa::Kernel &kernel,
+                             const EvalSettings &eval);
+
+  private:
+    platform::Platform &plat_;
+};
+
+} // namespace core
+} // namespace emstress
+
+#endif // EMSTRESS_CORE_VIRUS_GENERATOR_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Radix-2 FFT implementation.
+ */
+
+#include "dsp/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace dsp {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+namespace {
+
+/** Bit-reversal permutation preceding the butterfly passes. */
+void
+bitReverse(std::vector<std::complex<double>> &data)
+{
+    const std::size_t n = data.size();
+    std::size_t j = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+}
+
+} // namespace
+
+void
+fftInPlace(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    requireConfig(isPowerOfTwo(n), "FFT length must be a power of two");
+    if (n <= 1)
+        return;
+
+    bitReverse(data);
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = (inverse ? 1.0 : -1.0) * kTwoPi
+            / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto &x : data)
+            x *= inv_n;
+    }
+}
+
+std::vector<std::complex<double>>
+fftReal(std::span<const double> signal)
+{
+    const std::size_t n = nextPowerOfTwo(std::max<std::size_t>(
+        signal.size(), 1));
+    std::vector<std::complex<double>> data(n);
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        data[i] = std::complex<double>(signal[i], 0.0);
+    fftInPlace(data, false);
+    return data;
+}
+
+std::vector<double>
+ifftToReal(std::vector<std::complex<double>> spectrum)
+{
+    fftInPlace(spectrum, true);
+    std::vector<double> out(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+        out[i] = spectrum[i].real();
+    return out;
+}
+
+} // namespace dsp
+} // namespace emstress

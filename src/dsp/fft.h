@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Radix-2 iterative Fast Fourier Transform. Implemented from scratch
+ * (no external DSP dependency) because spectrum computation is on the
+ * hot path of every simulated spectrum-analyzer measurement.
+ */
+
+#ifndef EMSTRESS_DSP_FFT_H
+#define EMSTRESS_DSP_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emstress {
+namespace dsp {
+
+/** True when n is a power of two (and non-zero). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two >= n. @pre n >= 1. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place radix-2 decimation-in-time FFT.
+ * @param data Complex samples; size must be a power of two.
+ * @param inverse When true computes the inverse transform including
+ *                the 1/N normalization.
+ */
+void fftInPlace(std::vector<std::complex<double>> &data,
+                bool inverse = false);
+
+/**
+ * Forward FFT of a real signal, zero-padded to the next power of two.
+ * @return Complex spectrum of length nextPowerOfTwo(signal.size()).
+ */
+std::vector<std::complex<double>> fftReal(std::span<const double> signal);
+
+/**
+ * Inverse FFT returning the real part of the time-domain result.
+ * @param spectrum Complex spectrum; size must be a power of two.
+ */
+std::vector<double>
+ifftToReal(std::vector<std::complex<double>> spectrum);
+
+} // namespace dsp
+} // namespace emstress
+
+#endif // EMSTRESS_DSP_FFT_H

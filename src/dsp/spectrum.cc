@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Spectrum computation implementation.
+ */
+
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace emstress {
+namespace dsp {
+
+Spectrum
+computeSpectrum(const Trace &trace, WindowKind window)
+{
+    requireConfig(trace.size() >= 4,
+                  "computeSpectrum needs at least 4 samples");
+
+    const std::size_t n = trace.size();
+    const auto w = makeWindow(window, n);
+    const double gain = coherentGain(window, n);
+
+    const double mean = stats::mean(trace.samples());
+    std::vector<std::complex<double>> data(nextPowerOfTwo(n));
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::complex<double>((trace[i] - mean) * w[i], 0.0);
+    fftInPlace(data, false);
+
+    const std::size_t nfft = data.size();
+    const std::size_t half = nfft / 2;
+    const double df = trace.sampleRate() / static_cast<double>(nfft);
+
+    Spectrum out;
+    out.freqs_hz.resize(half);
+    out.amps_vrms.resize(half);
+    // Calibration: a sinusoid of peak amplitude A contributes
+    // |X[k]| = A * n * gain / 2 in its bin, so RMS amplitude
+    // A/sqrt(2) = |X[k]| * sqrt(2) / (n * gain).
+    const double scale = std::sqrt(2.0)
+        / (static_cast<double>(n) * gain);
+    for (std::size_t k = 0; k < half; ++k) {
+        out.freqs_hz[k] = df * static_cast<double>(k);
+        out.amps_vrms[k] = std::abs(data[k]) * scale;
+    }
+    // DC bin has no sqrt(2) RMS factor; it was removed anyway.
+    if (!out.amps_vrms.empty())
+        out.amps_vrms[0] = 0.0;
+    return out;
+}
+
+namespace {
+
+/**
+ * Parabolic refinement of a peak at bin k using its neighbours.
+ * Returns the fractional bin offset in [-0.5, 0.5].
+ */
+double
+parabolicOffset(const Spectrum &s, std::size_t k)
+{
+    if (k == 0 || k + 1 >= s.size())
+        return 0.0;
+    const double a = s.amps_vrms[k - 1];
+    const double b = s.amps_vrms[k];
+    const double c = s.amps_vrms[k + 1];
+    const double denom = a - 2.0 * b + c;
+    if (std::abs(denom) < 1e-30)
+        return 0.0;
+    double off = 0.5 * (a - c) / denom;
+    return std::clamp(off, -0.5, 0.5);
+}
+
+} // namespace
+
+Peak
+maxPeakInBand(const Spectrum &spectrum, double f_lo, double f_hi)
+{
+    Peak best;
+    bool found = false;
+    for (std::size_t k = 0; k < spectrum.size(); ++k) {
+        const double f = spectrum.freqs_hz[k];
+        if (f < f_lo || f > f_hi)
+            continue;
+        if (!found || spectrum.amps_vrms[k] > best.amp_vrms) {
+            best.bin = k;
+            best.amp_vrms = spectrum.amps_vrms[k];
+            found = true;
+        }
+    }
+    if (!found)
+        return Peak{};
+    const double off = parabolicOffset(spectrum, best.bin);
+    best.freq_hz = spectrum.freqs_hz[best.bin]
+        + off * spectrum.binWidth();
+    return best;
+}
+
+std::vector<Peak>
+findPeaks(const Spectrum &spectrum, double f_lo, double f_hi,
+          std::size_t max_peaks, double min_amp_vrms)
+{
+    std::vector<Peak> peaks;
+    for (std::size_t k = 1; k + 1 < spectrum.size(); ++k) {
+        const double f = spectrum.freqs_hz[k];
+        if (f < f_lo || f > f_hi)
+            continue;
+        const double a = spectrum.amps_vrms[k];
+        if (a <= min_amp_vrms)
+            continue;
+        if (a < spectrum.amps_vrms[k - 1]
+            || a < spectrum.amps_vrms[k + 1]) {
+            continue;
+        }
+        Peak p;
+        p.bin = k;
+        p.amp_vrms = a;
+        p.freq_hz = f + parabolicOffset(spectrum, k) * spectrum.binWidth();
+        peaks.push_back(p);
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak &x, const Peak &y) {
+                  return x.amp_vrms > y.amp_vrms;
+              });
+    if (peaks.size() > max_peaks)
+        peaks.resize(max_peaks);
+    return peaks;
+}
+
+} // namespace dsp
+} // namespace emstress

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Power-spectrum computation and peak analysis over Traces. This is
+ * the math layer underneath the SpectrumAnalyzer instrument model and
+ * the FFT view of the on-chip DSO.
+ */
+
+#ifndef EMSTRESS_DSP_SPECTRUM_H
+#define EMSTRESS_DSP_SPECTRUM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace dsp {
+
+/**
+ * A one-sided amplitude spectrum: bin frequencies plus the RMS
+ * amplitude (volts) of the signal content at each bin.
+ */
+struct Spectrum
+{
+    std::vector<double> freqs_hz;  ///< Bin center frequencies.
+    std::vector<double> amps_vrms; ///< Calibrated RMS amplitude per bin.
+
+    /** Number of bins. */
+    std::size_t size() const { return freqs_hz.size(); }
+
+    /** Frequency spacing between adjacent bins. @pre size() >= 2. */
+    double binWidth() const { return freqs_hz[1] - freqs_hz[0]; }
+};
+
+/** A located spectral peak. */
+struct Peak
+{
+    double freq_hz = 0.0;   ///< Interpolated peak frequency.
+    double amp_vrms = 0.0;  ///< Peak RMS amplitude.
+    std::size_t bin = 0;    ///< Index of the hosting bin.
+};
+
+/**
+ * Compute the one-sided amplitude spectrum of a trace.
+ *
+ * The trace is mean-removed (spectrum analyzers are AC coupled for
+ * this purpose), windowed, zero-padded to a power of two, transformed,
+ * and calibrated: a pure sinusoid of RMS amplitude A yields a bin with
+ * amps_vrms == A regardless of the window.
+ *
+ * @param trace  Input signal.
+ * @param window Window shape for leakage control.
+ */
+Spectrum computeSpectrum(const Trace &trace,
+                         WindowKind window = WindowKind::Hann);
+
+/**
+ * Find the single strongest peak within [f_lo, f_hi]. Peak frequency
+ * is refined with quadratic (parabolic) interpolation over the
+ * neighbouring bins.
+ * @return Peak with amp_vrms == 0 when the band holds no bins.
+ */
+Peak maxPeakInBand(const Spectrum &spectrum, double f_lo, double f_hi);
+
+/**
+ * Find up to max_peaks local maxima in [f_lo, f_hi] sorted by
+ * descending amplitude. A bin qualifies when it exceeds both
+ * neighbours and min_amp_vrms.
+ */
+std::vector<Peak> findPeaks(const Spectrum &spectrum, double f_lo,
+                            double f_hi, std::size_t max_peaks,
+                            double min_amp_vrms = 0.0);
+
+} // namespace dsp
+} // namespace emstress
+
+#endif // EMSTRESS_DSP_SPECTRUM_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Window function implementations.
+ */
+
+#include "dsp/window.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace dsp {
+
+std::string
+windowName(WindowKind kind)
+{
+    switch (kind) {
+      case WindowKind::Rectangular: return "rectangular";
+      case WindowKind::Hann:        return "hann";
+      case WindowKind::Hamming:     return "hamming";
+      case WindowKind::Blackman:    return "blackman";
+      case WindowKind::FlatTop:     return "flattop";
+    }
+    return "unknown";
+}
+
+std::vector<double>
+makeWindow(WindowKind kind, std::size_t n)
+{
+    std::vector<double> w(n, 1.0);
+    if (n <= 1)
+        return w;
+    const double denom = static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / denom;
+        switch (kind) {
+          case WindowKind::Rectangular:
+            w[i] = 1.0;
+            break;
+          case WindowKind::Hann:
+            w[i] = 0.5 - 0.5 * std::cos(x);
+            break;
+          case WindowKind::Hamming:
+            w[i] = 0.54 - 0.46 * std::cos(x);
+            break;
+          case WindowKind::Blackman:
+            w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+            break;
+          case WindowKind::FlatTop:
+            // SRS flat-top coefficients.
+            w[i] = 1.0
+                - 1.93  * std::cos(x)
+                + 1.29  * std::cos(2.0 * x)
+                - 0.388 * std::cos(3.0 * x)
+                + 0.0322 * std::cos(4.0 * x);
+            break;
+        }
+    }
+    return w;
+}
+
+double
+coherentGain(WindowKind kind, std::size_t n)
+{
+    requireConfig(n > 0, "coherentGain of empty window");
+    const auto w = makeWindow(kind, n);
+    double s = 0.0;
+    for (double v : w)
+        s += v;
+    return s / static_cast<double>(n);
+}
+
+} // namespace dsp
+} // namespace emstress

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Window functions for spectral analysis. A spectrum analyzer's
+ * resolution-bandwidth filter is modeled by windowing the capture
+ * before the FFT; different windows trade main-lobe width against
+ * side-lobe leakage.
+ */
+
+#ifndef EMSTRESS_DSP_WINDOW_H
+#define EMSTRESS_DSP_WINDOW_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emstress {
+namespace dsp {
+
+/** Supported window shapes. */
+enum class WindowKind
+{
+    Rectangular, ///< No taper; best resolution, worst leakage.
+    Hann,        ///< General-purpose raised cosine.
+    Hamming,     ///< Slightly lower first side-lobe than Hann.
+    Blackman,    ///< Wide main lobe, very low leakage.
+    FlatTop,     ///< Amplitude-accurate, used for level measurements.
+};
+
+/** Human-readable name of a window kind. */
+std::string windowName(WindowKind kind);
+
+/**
+ * Generate window coefficients.
+ * @param kind Window shape.
+ * @param n    Number of samples; returns empty for n == 0.
+ */
+std::vector<double> makeWindow(WindowKind kind, std::size_t n);
+
+/**
+ * Coherent gain of a window (mean coefficient value): the factor by
+ * which a windowed sinusoid's spectral peak is attenuated. Spectrum
+ * amplitudes are divided by this to restore calibrated levels.
+ */
+double coherentGain(WindowKind kind, std::size_t n);
+
+} // namespace dsp
+} // namespace emstress
+
+#endif // EMSTRESS_DSP_WINDOW_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Antenna model implementation.
+ */
+
+#include "em/antenna.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace em {
+
+Antenna::Antenna(const AntennaParams &params) : params_(params)
+{
+    requireConfig(params.mutual_inductance > 0.0,
+                  "mutual inductance must be positive");
+    requireConfig(params.ref_distance > 0.0,
+                  "reference distance must be positive");
+    requireConfig(params.self_resonance_hz > 0.0,
+                  "self resonance must be positive");
+    requireConfig(params.loop_inductance > 0.0,
+                  "loop inductance must be positive");
+}
+
+double
+Antenna::couplingGain(double distance_m) const
+{
+    requireConfig(distance_m > 0.0, "antenna distance must be positive");
+    const double ratio = params_.ref_distance / distance_m;
+    const double cable = std::pow(
+        10.0, -params_.cable_loss_db / 20.0); // voltage attenuation
+    return params_.mutual_inductance * ratio * ratio * ratio * cable;
+}
+
+Trace
+Antenna::receive(const Trace &i_loop, double distance_m) const
+{
+    requireConfig(i_loop.size() >= 2,
+                  "antenna needs at least two current samples");
+    const double gain = couplingGain(distance_m);
+    const double inv_dt = 1.0 / i_loop.dt();
+    Trace v(i_loop.dt());
+    v.reserve(i_loop.size());
+    // Central differences for dI/dt; one-sided at the ends.
+    v.push(gain * (i_loop[1] - i_loop[0]) * inv_dt);
+    for (std::size_t k = 1; k + 1 < i_loop.size(); ++k) {
+        v.push(gain * (i_loop[k + 1] - i_loop[k - 1]) * 0.5 * inv_dt);
+    }
+    v.push(gain
+           * (i_loop[i_loop.size() - 1] - i_loop[i_loop.size() - 2])
+           * inv_dt);
+    return v;
+}
+
+Trace
+Antenna::receiveMulti(const std::vector<Trace> &i_loops,
+                      const std::vector<double> &distances) const
+{
+    requireConfig(!i_loops.empty(), "receiveMulti needs input traces");
+    requireConfig(i_loops.size() == distances.size(),
+                  "one distance per radiating domain required");
+    const double dt = i_loops.front().dt();
+    std::size_t max_len = 0;
+    for (const auto &t : i_loops) {
+        requireConfig(std::abs(t.dt() - dt) < 1e-18 * (1.0 + dt),
+                      "all domain traces must share the timestep");
+        max_len = std::max(max_len, t.size());
+    }
+
+    Trace sum(dt);
+    sum.data().assign(max_len, 0.0);
+    for (std::size_t d = 0; d < i_loops.size(); ++d) {
+        const Trace v = receive(i_loops[d], distances[d]);
+        for (std::size_t k = 0; k < v.size(); ++k)
+            sum[k] += v[k];
+    }
+    return sum;
+}
+
+double
+Antenna::parasiticCapacitance() const
+{
+    return capacitanceForResonance(params_.self_resonance_hz,
+                                   params_.loop_inductance);
+}
+
+std::vector<double>
+Antenna::s11Magnitude(const std::vector<double> &freqs_hz) const
+{
+    // Antenna port as a series R(f)-L-C resonator referenced to Z0.
+    // Below resonance the reactance dominates (|S11| ~ 1, flat); at
+    // the self-resonance the reactances cancel and the radiation
+    // resistance produces the return-loss dip of Fig. 6.
+    const double z0 = 50.0;
+    const double c_par = parasiticCapacitance();
+    const double f_sr = params_.self_resonance_hz;
+
+    std::vector<double> out;
+    out.reserve(freqs_hz.size());
+    for (double f : freqs_hz) {
+        const double w = kTwoPi * f;
+        const double fr = f / f_sr;
+        // Small-loop radiation resistance scales as f^4.
+        const double r = params_.loss_resistance
+            + params_.radiation_resistance_sr * fr * fr * fr * fr;
+        const std::complex<double> z(
+            r, w * params_.loop_inductance - 1.0 / (w * c_par));
+        const std::complex<double> gamma = (z - z0) / (z + z0);
+        out.push_back(std::abs(gamma));
+    }
+    return out;
+}
+
+} // namespace em
+} // namespace emstress

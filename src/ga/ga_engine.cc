@@ -1,0 +1,244 @@
+/**
+ * @file
+ * GA engine implementation.
+ */
+
+#include "ga/ga_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace ga {
+
+GaEngine::GaEngine(const isa::InstructionPool &pool,
+                   const GaConfig &config)
+    : pool_(pool), config_(config)
+{
+    requireConfig(config.population >= 2,
+                  "population must hold at least two individuals");
+    requireConfig(config.generations >= 1, "need at least a generation");
+    requireConfig(config.kernel_length >= 1,
+                  "kernels need at least one instruction");
+    requireConfig(config.mutation_rate >= 0.0
+                      && config.mutation_rate <= 1.0,
+                  "mutation rate outside [0,1]");
+    requireConfig(config.operand_mutation_ratio >= 0.0
+                      && config.operand_mutation_ratio <= 1.0,
+                  "operand mutation ratio outside [0,1]");
+    requireConfig(config.tournament_k >= 1
+                      && config.tournament_k <= config.population,
+                  "tournament size outside [1, population]");
+    requireConfig(config.elite < config.population,
+                  "elite count must be below the population size");
+}
+
+std::size_t
+GaEngine::tournamentSelect(const std::vector<double> &fitness,
+                           std::size_t k, Rng &rng)
+{
+    requireSim(!fitness.empty(), "tournament over empty population");
+    std::size_t best = rng.index(fitness.size());
+    for (std::size_t i = 1; i < k; ++i) {
+        const std::size_t challenger = rng.index(fitness.size());
+        if (fitness[challenger] > fitness[best])
+            best = challenger;
+    }
+    return best;
+}
+
+isa::Kernel
+GaEngine::crossover(const isa::Kernel &a, const isa::Kernel &b,
+                    Rng &rng)
+{
+    requireSim(a.size() == b.size() && !a.empty(),
+               "crossover requires equal-length non-empty kernels");
+    // Cut point in [1, len-1] so both parents contribute.
+    const std::size_t cut = a.size() == 1
+        ? 1
+        : 1 + rng.index(a.size() - 1);
+    std::vector<isa::Instruction> code;
+    code.reserve(a.size());
+    for (std::size_t i = 0; i < cut && i < a.size(); ++i)
+        code.push_back(a[i]);
+    for (std::size_t i = cut; i < b.size(); ++i)
+        code.push_back(b[i]);
+    return isa::Kernel(std::move(code));
+}
+
+void
+GaEngine::mutate(isa::Kernel &kernel, const isa::InstructionPool &pool,
+                 double rate, double operand_ratio, Rng &rng)
+{
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+        if (!rng.chance(rate))
+            continue;
+        if (rng.chance(operand_ratio)) {
+            pool.randomizeOperands(kernel[i], rng);
+        } else {
+            kernel[i] = pool.randomInstruction(rng);
+        }
+    }
+}
+
+GaResult
+GaEngine::run(FitnessEvaluator &evaluator,
+              const GenerationCallback &callback,
+              std::vector<isa::Kernel> seed_population)
+{
+    if (config_.restarts > 1 && seed_population.empty())
+        return runMultiStart(evaluator, callback);
+    return runSingle(evaluator, callback, std::move(seed_population));
+}
+
+GaResult
+GaEngine::runMultiStart(FitnessEvaluator &evaluator,
+                        const GenerationCallback &callback)
+{
+    // Phase 1: independent half-length searches.
+    GaConfig scout_cfg = config_;
+    scout_cfg.generations = std::max<std::size_t>(
+        1, config_.generations / 2);
+    scout_cfg.restarts = 1;
+
+    std::vector<isa::Kernel> champions;
+    double lab_seconds = 0.0;
+    GaResult best_scout;
+    best_scout.best_fitness = -1e300;
+    for (std::size_t s = 0; s < config_.restarts; ++s) {
+        scout_cfg.seed = config_.seed + 7919 * (s + 1);
+        GaEngine scout(pool_, scout_cfg);
+        auto result = scout.runSingle(evaluator, nullptr, {});
+        lab_seconds += result.estimated_lab_seconds;
+        champions.push_back(result.best);
+        if (result.best_fitness > best_scout.best_fitness)
+            best_scout = std::move(result);
+    }
+
+    // Phase 2: one combined search seeded with every champion.
+    GaConfig final_cfg = config_;
+    final_cfg.generations = std::max<std::size_t>(
+        1, config_.generations - scout_cfg.generations);
+    final_cfg.restarts = 1;
+    GaEngine final_engine(pool_, final_cfg);
+    GaResult result = final_engine.runSingle(evaluator, callback,
+                                             std::move(champions));
+    result.estimated_lab_seconds += lab_seconds;
+
+    // Keep the scout history in front so convergence plots cover the
+    // whole effort; re-number the final phase's generations.
+    std::vector<GenerationRecord> history =
+        std::move(best_scout.history);
+    for (auto &rec : result.history) {
+        rec.generation += scout_cfg.generations;
+        history.push_back(std::move(rec));
+    }
+    result.history = std::move(history);
+    if (best_scout.best_fitness > result.best_fitness) {
+        result.best_fitness = best_scout.best_fitness;
+        result.best = best_scout.best;
+        result.best_detail = best_scout.best_detail;
+    }
+    return result;
+}
+
+GaResult
+GaEngine::runSingle(FitnessEvaluator &evaluator,
+                    const GenerationCallback &callback,
+                    std::vector<isa::Kernel> seed_population)
+{
+    Rng rng(config_.seed);
+
+    // Initial population: seeds first, random fill.
+    std::vector<isa::Kernel> population = std::move(seed_population);
+    if (population.size() > config_.population)
+        population.resize(config_.population);
+    for (auto &k : population) {
+        requireConfig(k.size() == config_.kernel_length,
+                      "seed individual length differs from "
+                      "kernel_length");
+        k.validate(pool_);
+    }
+    while (population.size() < config_.population) {
+        population.push_back(
+            isa::Kernel::random(pool_, config_.kernel_length, rng));
+    }
+
+    GaResult result;
+    result.best_fitness = -1e300;
+
+    std::vector<double> fitness(config_.population);
+    std::vector<EvalDetail> details(config_.population);
+
+    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        // Measure every individual (Section 3.1(b)).
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            EvalDetail d;
+            fitness[i] = evaluator.evaluate(population[i], &d);
+            details[i] = d;
+            result.estimated_lab_seconds += d.measurement_seconds;
+        }
+
+        // Record the generation.
+        std::size_t best_i = 0;
+        double mean = 0.0;
+        for (std::size_t i = 0; i < fitness.size(); ++i) {
+            mean += fitness[i];
+            if (fitness[i] > fitness[best_i])
+                best_i = i;
+        }
+        mean /= static_cast<double>(fitness.size());
+
+        GenerationRecord rec;
+        rec.generation = gen;
+        rec.best_fitness = fitness[best_i];
+        rec.mean_fitness = mean;
+        rec.best_detail = details[best_i];
+        rec.best = population[best_i];
+        result.history.push_back(rec);
+        if (callback)
+            callback(rec);
+
+        if (fitness[best_i] > result.best_fitness) {
+            result.best_fitness = fitness[best_i];
+            result.best = population[best_i];
+            result.best_detail = details[best_i];
+        }
+
+        if (gen + 1 == config_.generations)
+            break;
+
+        // Breed the next generation (Section 3.1(c)).
+        std::vector<isa::Kernel> next;
+        next.reserve(config_.population);
+
+        // Elitism: carry the fittest individuals unchanged.
+        std::vector<std::size_t> order(population.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&fitness](std::size_t a, std::size_t b) {
+                      return fitness[a] > fitness[b];
+                  });
+        for (std::size_t e = 0; e < config_.elite; ++e)
+            next.push_back(population[order[e]]);
+
+        while (next.size() < config_.population) {
+            const std::size_t pa =
+                tournamentSelect(fitness, config_.tournament_k, rng);
+            const std::size_t pb =
+                tournamentSelect(fitness, config_.tournament_k, rng);
+            isa::Kernel child =
+                crossover(population[pa], population[pb], rng);
+            mutate(child, pool_, config_.mutation_rate,
+                   config_.operand_mutation_ratio, rng);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+    return result;
+}
+
+} // namespace ga
+} // namespace emstress

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Genetic-algorithm framework for dI/dt stress-test generation
+ * (paper Section 3). Individuals are instruction kernels; fitness is
+ * supplied by a pluggable evaluator (EM amplitude, max droop or
+ * peak-to-peak voltage); operators are tournament selection,
+ * one-point crossover and instruction/operand mutation, with the
+ * empirical settings the paper reports (population 50, ~60
+ * generations, 2-4% mutation rate).
+ */
+
+#ifndef EMSTRESS_GA_GA_ENGINE_H
+#define EMSTRESS_GA_GA_ENGINE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace ga {
+
+/** GA hyper-parameters. */
+struct GaConfig
+{
+    std::size_t population = 50;    ///< Individuals per generation.
+    std::size_t generations = 60;   ///< Generations to run.
+    std::size_t kernel_length = 50; ///< Instructions per individual.
+    double mutation_rate = 0.03;    ///< Per-instruction probability.
+    /// Of the mutations, fraction that only re-randomize operands
+    /// (the rest replace the whole instruction).
+    double operand_mutation_ratio = 0.5;
+    std::size_t tournament_k = 3;   ///< Tournament size.
+    std::size_t elite = 2;          ///< Individuals copied unchanged.
+    std::uint64_t seed = 1;         ///< Master seed.
+    /// Independent restarts. With restarts > 1, the engine runs that
+    /// many half-length searches from different seeds, then one final
+    /// half-length search whose population is seeded with every
+    /// restart's best individuals — escaping harmonic local optima
+    /// that single runs settle into (Section 3.1(a) explicitly allows
+    /// seeding from previous runs).
+    std::size_t restarts = 1;
+};
+
+/** Detail an evaluator may report alongside the scalar fitness. */
+struct EvalDetail
+{
+    double dominant_freq_hz = 0.0; ///< Strongest spectral component.
+    double metric_raw = 0.0;       ///< Instrument-native value
+                                   ///< (dBm, volts...).
+    double measurement_seconds = 0.0; ///< Lab time this measurement
+                                      ///< would have taken (Sec 3.2).
+};
+
+/**
+ * Fitness evaluator interface. Higher fitness is better. evaluate()
+ * may be stochastic (instrument noise); the engine re-measures elites
+ * each generation like the real flow re-measures individuals.
+ */
+class FitnessEvaluator
+{
+  public:
+    virtual ~FitnessEvaluator() = default;
+
+    /** Evaluate one kernel; optionally fill detail. */
+    virtual double evaluate(const isa::Kernel &kernel,
+                            EvalDetail *detail) = 0;
+
+    /** Display name of the optimization metric. */
+    virtual std::string metricName() const = 0;
+};
+
+/** Per-generation record for convergence plots (Figs. 7, 12, 17). */
+struct GenerationRecord
+{
+    std::size_t generation = 0;
+    double best_fitness = 0.0;
+    double mean_fitness = 0.0;
+    EvalDetail best_detail;
+    isa::Kernel best;
+};
+
+/** Full GA run result. */
+struct GaResult
+{
+    std::vector<GenerationRecord> history;
+    isa::Kernel best;            ///< Best individual over all gens.
+    double best_fitness = 0.0;
+    EvalDetail best_detail;
+    double estimated_lab_seconds = 0.0; ///< Modeled wall time of the
+                                        ///< equivalent physical run.
+};
+
+/** Optional per-generation observer. */
+using GenerationCallback =
+    std::function<void(const GenerationRecord &)>;
+
+/**
+ * The GA engine.
+ */
+class GaEngine
+{
+  public:
+    /**
+     * @param pool   Instruction pool individuals draw from.
+     * @param config Hyper-parameters.
+     */
+    GaEngine(const isa::InstructionPool &pool, const GaConfig &config);
+
+    /** Configuration. */
+    const GaConfig &config() const { return config_; }
+
+    /**
+     * Run the GA to completion.
+     * @param evaluator Fitness source.
+     * @param callback  Optional per-generation observer.
+     * @param seed_population Optional initial population (e.g. from a
+     *        previous run, per Section 3.1(a)); padded/truncated to
+     *        the configured population size.
+     */
+    GaResult run(FitnessEvaluator &evaluator,
+                 const GenerationCallback &callback = nullptr,
+                 std::vector<isa::Kernel> seed_population = {});
+
+    /// @{ Run phases, exposed for unit testing.
+    /** One plain search (ignores GaConfig::restarts). */
+    GaResult runSingle(FitnessEvaluator &evaluator,
+                       const GenerationCallback &callback,
+                       std::vector<isa::Kernel> seed_population);
+    /** The restart flow (scouts then a seeded final search). */
+    GaResult runMultiStart(FitnessEvaluator &evaluator,
+                           const GenerationCallback &callback);
+    /// @}
+
+    /// @{ Operators, exposed for unit testing.
+    /** Tournament selection: index of the winner. */
+    static std::size_t tournamentSelect(
+        const std::vector<double> &fitness, std::size_t k, Rng &rng);
+    /** One-point crossover of two parents. */
+    static isa::Kernel crossover(const isa::Kernel &a,
+                                 const isa::Kernel &b, Rng &rng);
+    /** In-place mutation. */
+    static void mutate(isa::Kernel &kernel,
+                       const isa::InstructionPool &pool,
+                       double rate, double operand_ratio, Rng &rng);
+    /// @}
+
+  private:
+    const isa::InstructionPool &pool_;
+    GaConfig config_;
+};
+
+} // namespace ga
+} // namespace emstress
+
+#endif // EMSTRESS_GA_GA_ENGINE_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workstation/target split of the paper's framework (Section 3.2):
+ * the GA host sends each individual's source to the target machine,
+ * which compiles and runs it while the host drives the measurement
+ * instrument, then terminates the run. This abstraction models that
+ * loop (including its latency budget) so the in-process simulator and
+ * a future real-hardware transport share one interface — and so tests
+ * can inject deploy/measure failures.
+ */
+
+#ifndef EMSTRESS_GA_TARGET_CONNECTION_H
+#define EMSTRESS_GA_TARGET_CONNECTION_H
+
+#include <cstddef>
+#include <string>
+
+#include "isa/kernel.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace ga {
+
+/** Timing model of the host-target-instrument loop. */
+struct ConnectionLatency
+{
+    double deploy_s = 0.3;      ///< Ship + compile one individual.
+    double start_stop_s = 0.1;  ///< Launch and kill the binary.
+    double per_sample_s = 0.6;  ///< One instrument sample (the paper:
+                                ///< 30 samples take ~18 s).
+};
+
+/**
+ * Abstract host-side view of a measurement target.
+ */
+class TargetConnection
+{
+  public:
+    virtual ~TargetConnection() = default;
+
+    /**
+     * Deploy an individual: transfer source, assemble/compile, load.
+     * @throws SimulationError on (injected) transport failure.
+     */
+    virtual void deploy(const isa::Kernel &kernel) = 0;
+
+    /** Start executing the deployed kernel in a loop. */
+    virtual void startRun() = 0;
+
+    /**
+     * Acquire the EM (antenna) waveform while the kernel runs.
+     * @pre deploy() and startRun() were called.
+     */
+    virtual Trace measureEm() = 0;
+
+    /** Terminate the running binary. */
+    virtual void stopRun() = 0;
+
+    /** Latency model for lab-time accounting. */
+    virtual const ConnectionLatency &latency() const = 0;
+
+    /** Diagnostic name (e.g. "ssh://juno" or "in-process"). */
+    virtual std::string describe() const = 0;
+};
+
+} // namespace ga
+} // namespace emstress
+
+#endif // EMSTRESS_GA_TARGET_CONNECTION_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Oscilloscope implementation.
+ */
+
+#include "instruments/oscilloscope.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace instruments {
+
+OscilloscopeParams
+ocDsoParams()
+{
+    OscilloscopeParams p;
+    p.sample_rate_hz = 1.6e9; // paper: up to 1.6 GHz bandwidth OC-DSO
+    p.bandwidth_hz = 700e6;
+    p.bits = 10;
+    p.full_scale_v = 1.6;
+    p.record_length = 16384;
+    p.noise_v_rms = 0.4e-3;
+    return p;
+}
+
+OscilloscopeParams
+kelvinScopeParams()
+{
+    OscilloscopeParams p;
+    p.sample_rate_hz = 2.0e9;
+    p.bandwidth_hz = 500e6;  // differential probe limits bandwidth
+    p.bits = 8;
+    p.full_scale_v = 2.0;
+    p.record_length = 16384;
+    p.noise_v_rms = 1.0e-3;  // probe + pad path is noisier
+    return p;
+}
+
+Oscilloscope::Oscilloscope(const OscilloscopeParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    requireConfig(params.sample_rate_hz > 0.0,
+                  "scope sample rate must be positive");
+    requireConfig(params.bandwidth_hz > 0.0,
+                  "scope bandwidth must be positive");
+    requireConfig(params.bits >= 4 && params.bits <= 16,
+                  "scope resolution outside 4-16 bits");
+    requireConfig(params.record_length >= 16,
+                  "scope record length too short");
+}
+
+Trace
+Oscilloscope::capture(const Trace &v_in)
+{
+    requireConfig(v_in.size() >= 2, "capture needs an input waveform");
+
+    // Single-pole low-pass models the analog front end.
+    const double rc = 1.0 / (kTwoPi * params_.bandwidth_hz);
+    const double alpha = v_in.dt() / (rc + v_in.dt());
+    Trace filtered(v_in.dt());
+    filtered.reserve(v_in.size());
+    double y = v_in[0];
+    for (std::size_t k = 0; k < v_in.size(); ++k) {
+        y += alpha * (v_in[k] - y);
+        filtered.push(y);
+    }
+
+    // Resample to the ADC rate.
+    Trace sampled =
+        filtered.resampleZeroOrderHold(1.0 / params_.sample_rate_hz);
+
+    // Noise + quantization, truncated to the record length.
+    const double lsb = params_.full_scale_v
+        / static_cast<double>(1u << params_.bits);
+    const std::size_t n =
+        std::min(sampled.size(), params_.record_length);
+    requireSim(n >= 2, "capture shorter than two ADC samples; feed a "
+                       "longer waveform or reduce record length");
+    Trace out(sampled.dt());
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double noisy =
+            sampled[k] + rng_.gaussian(0.0, params_.noise_v_rms);
+        out.push(std::round(noisy / lsb) * lsb);
+    }
+    return out;
+}
+
+double
+Oscilloscope::maxDroop(const Trace &capture, double v_nominal)
+{
+    return v_nominal - stats::minimum(capture.samples());
+}
+
+double
+Oscilloscope::peakToPeak(const Trace &capture)
+{
+    return stats::peakToPeak(capture.samples());
+}
+
+dsp::Spectrum
+Oscilloscope::fftView(const Trace &capture)
+{
+    return dsp::computeSpectrum(capture, dsp::WindowKind::Hann);
+}
+
+} // namespace instruments
+} // namespace emstress

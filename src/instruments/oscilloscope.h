@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Oscilloscope instrument models: the Juno on-chip power-supply
+ * monitor configured as a digital storage oscilloscope (OC-DSO,
+ * 1.6 GS/s sampling of the Cortex-A72 rails) and the benchtop scope
+ * attached to the AMD board's on-package Kelvin pads through a
+ * differential probe. Both apply front-end bandwidth limiting,
+ * additive noise and quantization, and expose the droop/peak-to-peak
+ * metrics the paper's voltage-driven GA and validation use.
+ */
+
+#ifndef EMSTRESS_INSTRUMENTS_OSCILLOSCOPE_H
+#define EMSTRESS_INSTRUMENTS_OSCILLOSCOPE_H
+
+#include <cstddef>
+
+#include "dsp/spectrum.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace instruments {
+
+/** Oscilloscope front-end configuration. */
+struct OscilloscopeParams
+{
+    double sample_rate_hz = 1.6e9; ///< ADC sample rate.
+    double bandwidth_hz = 700e6;   ///< Analog -3 dB bandwidth.
+    unsigned bits = 10;            ///< ADC resolution.
+    double full_scale_v = 1.6;     ///< Quantizer full-scale range.
+    std::size_t record_length = 16384; ///< Samples per capture.
+    double noise_v_rms = 0.4e-3;   ///< Front-end noise.
+};
+
+/** Parameters matching the Juno OC-DSO block. */
+OscilloscopeParams ocDsoParams();
+
+/** Parameters matching a benchtop scope on Kelvin pads. */
+OscilloscopeParams kelvinScopeParams();
+
+/**
+ * Sampling oscilloscope.
+ */
+class Oscilloscope
+{
+  public:
+    /** Construct with settings and a seeded noise stream. */
+    Oscilloscope(const OscilloscopeParams &params, Rng rng);
+
+    /** Settings. */
+    const OscilloscopeParams &params() const { return params_; }
+
+    /**
+     * Capture a voltage waveform: band-limit, resample to the ADC
+     * rate, add front-end noise, quantize, and truncate to the
+     * record length.
+     */
+    Trace capture(const Trace &v_in);
+
+    /**
+     * Maximum droop below a nominal level over a capture [V]
+     * (paper's voltage-droop GA metric).
+     */
+    static double maxDroop(const Trace &capture, double v_nominal);
+
+    /** Peak-to-peak amplitude of a capture [V]. */
+    static double peakToPeak(const Trace &capture);
+
+    /** FFT view of a capture, as the DS-5 tooling provides (Fig. 9). */
+    static dsp::Spectrum fftView(const Trace &capture);
+
+  private:
+    OscilloscopeParams params_;
+    Rng rng_;
+};
+
+} // namespace instruments
+} // namespace emstress
+
+#endif // EMSTRESS_INSTRUMENTS_OSCILLOSCOPE_H

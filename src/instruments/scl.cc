@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SCL implementation.
+ */
+
+#include "instruments/scl.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace instruments {
+
+SyntheticCurrentLoad::SyntheticCurrentLoad(double amplitude_a,
+                                           double duty)
+    : amplitude_(amplitude_a), duty_(duty)
+{
+    requireConfig(amplitude_a > 0.0, "SCL amplitude must be positive");
+    requireConfig(duty > 0.0 && duty < 1.0,
+                  "SCL duty cycle must be in (0, 1)");
+}
+
+circuit::SourceWaveform
+SyntheticCurrentLoad::waveform(double freq_hz) const
+{
+    requireConfig(freq_hz > 0.0, "SCL frequency must be positive");
+    const double period = 1.0 / freq_hz;
+    const double amp = amplitude_;
+    const double duty = duty_;
+    return [period, amp, duty](double t) {
+        return std::fmod(t, period) < duty * period ? amp : 0.0;
+    };
+}
+
+} // namespace instruments
+} // namespace emstress

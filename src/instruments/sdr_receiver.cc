@@ -1,0 +1,182 @@
+/**
+ * @file
+ * SDR receiver implementation.
+ */
+
+#include "instruments/sdr_receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace instruments {
+
+SdrReceiver::SdrReceiver(const SdrParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    requireConfig(params.sample_rate_hz > 0.0,
+                  "SDR sample rate must be positive");
+    requireConfig(params.center_hz > params.sample_rate_hz,
+                  "SDR center frequency must exceed its bandwidth");
+    requireConfig(params.bits >= 4 && params.bits <= 16,
+                  "SDR resolution outside 4-16 bits");
+}
+
+void
+SdrReceiver::tune(double center_hz)
+{
+    requireConfig(center_hz > params_.sample_rate_hz,
+                  "SDR center frequency must exceed its bandwidth");
+    params_.center_hz = center_hz;
+}
+
+IqCapture
+SdrReceiver::capture(const Trace &v_antenna)
+{
+    requireConfig(v_antenna.size() >= 16,
+                  "SDR capture needs an input waveform");
+    const double fs_in = v_antenna.sampleRate();
+    requireConfig(fs_in > 2.0 * params_.center_hz,
+                  "antenna trace sample rate below Nyquist for the "
+                  "tuned center frequency");
+
+    // Mix to complex baseband.
+    const double w0 = kTwoPi * params_.center_hz;
+    std::vector<std::complex<double>> base(v_antenna.size());
+    for (std::size_t k = 0; k < v_antenna.size(); ++k) {
+        const double t = v_antenna.timeAt(k);
+        base[k] = v_antenna[k]
+            * std::exp(std::complex<double>(0.0, -w0 * t));
+    }
+
+    // Two-stage one-pole low-pass at half the IQ rate, then
+    // decimate.
+    const double fc = 0.5 * params_.sample_rate_hz;
+    const double rc = 1.0 / (kTwoPi * fc);
+    const double alpha = v_antenna.dt() / (rc + v_antenna.dt());
+    std::complex<double> y1 = 0.0, y2 = 0.0;
+    for (auto &x : base) {
+        y1 += alpha * (x - y1);
+        y2 += alpha * (y1 - y2);
+        x = y2;
+    }
+
+    const auto decim = static_cast<std::size_t>(
+        std::max(1.0, fs_in / params_.sample_rate_hz));
+    // Front-end noise: kT*B*NF into the reference impedance.
+    const double noise_power = kBoltzmann * kRoomTempKelvin
+        * params_.sample_rate_hz
+        * dbToPowerRatio(params_.noise_figure_db);
+    const double noise_vrms = std::sqrt(
+        noise_power * params_.ref_impedance);
+    // Input-referred quantization step: the tuner gain ahead of the
+    // ADC makes the effective LSB much finer than full_scale/2^bits.
+    const double gain = std::pow(10.0, params_.gain_db / 20.0);
+    const double lsb = params_.full_scale_v
+        / static_cast<double>(1u << params_.bits) / gain;
+
+    IqCapture out;
+    out.sample_rate_hz = fs_in / static_cast<double>(decim);
+    out.center_hz = params_.center_hz;
+    out.iq.reserve(base.size() / decim + 1);
+    for (std::size_t k = 0; k < base.size(); k += decim) {
+        // The mixed signal carries half the original tone amplitude
+        // in each sideband; scale by 2 to restore calibrated levels.
+        std::complex<double> s = 2.0 * base[k];
+        s += std::complex<double>(
+            rng_.gaussian(0.0, noise_vrms),
+            rng_.gaussian(0.0, noise_vrms));
+        out.iq.emplace_back(std::round(s.real() / lsb) * lsb,
+                            std::round(s.imag() / lsb) * lsb);
+    }
+    return out;
+}
+
+SaSweep
+SdrReceiver::spectrum(const IqCapture &capture) const
+{
+    requireConfig(capture.iq.size() >= 8, "capture too short");
+    const std::size_t n = capture.iq.size();
+    const auto w = dsp::makeWindow(dsp::WindowKind::Hann, n);
+    const double gain = dsp::coherentGain(dsp::WindowKind::Hann, n);
+
+    // Remove DC (mixer/quantizer offset) and window.
+    std::complex<double> mean = 0.0;
+    for (const auto &x : capture.iq)
+        mean += x;
+    mean /= static_cast<double>(n);
+
+    std::vector<std::complex<double>> data(dsp::nextPowerOfTwo(n));
+    for (std::size_t k = 0; k < n; ++k)
+        data[k] = (capture.iq[k] - mean) * w[k];
+    dsp::fftInPlace(data, false);
+
+    const std::size_t nfft = data.size();
+    const double df = capture.sample_rate_hz
+        / static_cast<double>(nfft);
+    // Complex spectrum: bins [0, nfft/2) are positive offsets,
+    // [nfft/2, nfft) negative. A real input tone at center+f shows
+    // at +f with full amplitude (single-sided after mixing).
+    const double scale =
+        std::sqrt(0.5) / (static_cast<double>(n) * gain);
+
+    SaSweep out;
+    out.freqs_hz.reserve(nfft);
+    out.power_dbm.reserve(nfft);
+    for (std::size_t k = 0; k < nfft; ++k) {
+        const double offset = k < nfft / 2
+            ? df * static_cast<double>(k)
+            : df * static_cast<double>(k) - capture.sample_rate_hz;
+        const double vrms = std::abs(data[k]) * scale;
+        const double p_w =
+            voltsRmsToWatts(vrms, params_.ref_impedance);
+        out.freqs_hz.push_back(capture.center_hz + offset);
+        out.power_dbm.push_back(
+            wattsToDbm(std::max(p_w, 1e-30)));
+    }
+    // Sort bins by absolute frequency for display.
+    std::vector<std::size_t> order(out.freqs_hz.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&out](std::size_t a, std::size_t b) {
+                  return out.freqs_hz[a] < out.freqs_hz[b];
+              });
+    SaSweep sorted;
+    sorted.freqs_hz.reserve(order.size());
+    sorted.power_dbm.reserve(order.size());
+    for (std::size_t i : order) {
+        sorted.freqs_hz.push_back(out.freqs_hz[i]);
+        sorted.power_dbm.push_back(out.power_dbm[i]);
+    }
+    return sorted;
+}
+
+SaMarker
+SdrReceiver::scanMaxAmplitude(const Trace &v_antenna, double f_lo_hz,
+                              double f_hi_hz)
+{
+    requireConfig(f_hi_hz > f_lo_hz, "scan band must be non-empty");
+    SaMarker best;
+    const double bw = params_.sample_rate_hz;
+    for (double fc = f_lo_hz + 0.5 * bw; fc < f_hi_hz + 0.5 * bw;
+         fc += 0.8 * bw) { // 20% window overlap
+        tune(fc);
+        const auto cap = capture(v_antenna);
+        const auto sweep = spectrum(cap);
+        const auto m = SpectrumAnalyzer::maxAmplitude(
+            sweep, std::max(f_lo_hz, fc - 0.45 * bw),
+            std::min(f_hi_hz, fc + 0.45 * bw));
+        if (m.power_dbm > best.power_dbm)
+            best = m;
+    }
+    return best;
+}
+
+} // namespace instruments
+} // namespace emstress

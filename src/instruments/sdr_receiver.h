@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Software-defined-radio receiver model. The paper notes that
+ * "cheaper commercial software-defined radio receivers should also
+ * work" in place of the bench spectrum analyzers (Section 4, citing
+ * the Spectral Profiling work). This models an RTL-SDR-class
+ * device: complex down-conversion to baseband, a limited instantaneous
+ * bandwidth, coarse 8-bit IQ quantization and a worse noise figure —
+ * and shows the EM methodology still functions through it.
+ */
+
+#ifndef EMSTRESS_INSTRUMENTS_SDR_RECEIVER_H
+#define EMSTRESS_INSTRUMENTS_SDR_RECEIVER_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "instruments/spectrum_analyzer.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace instruments {
+
+/** SDR configuration (defaults: RTL-SDR-class dongle). */
+struct SdrParams
+{
+    double center_hz = 100e6;     ///< Tuned center frequency.
+    double sample_rate_hz = 2.4e6;///< Complex baseband rate =
+                                  ///< instantaneous bandwidth.
+    unsigned bits = 8;            ///< IQ quantizer resolution.
+    double full_scale_v = 0.5;    ///< Quantizer full scale (at the
+                                  ///< ADC, after the tuner gain).
+    double gain_db = 40.0;        ///< LNA/tuner gain ahead of the
+                                  ///< ADC; reported levels are
+                                  ///< input-referred.
+    double noise_figure_db = 8.0; ///< Front-end noise figure.
+    double ref_impedance = 50.0;  ///< Input impedance.
+};
+
+/** A complex baseband capture. */
+struct IqCapture
+{
+    std::vector<std::complex<double>> iq; ///< Baseband samples.
+    double sample_rate_hz = 0.0;
+    double center_hz = 0.0;
+};
+
+/**
+ * SDR receiver: narrowband tuned capture of the antenna signal.
+ * Because the instantaneous bandwidth is a few MHz, wideband searches
+ * (e.g. the 50-200 MHz virus band) are performed by retuning across
+ * the band — exactly how one would use a cheap dongle in the lab.
+ */
+class SdrReceiver
+{
+  public:
+    /** Construct with settings and a seeded noise stream. */
+    SdrReceiver(const SdrParams &params, Rng rng);
+
+    /** Settings (center frequency is mutable via tune()). */
+    const SdrParams &params() const { return params_; }
+
+    /** Retune the center frequency. */
+    void tune(double center_hz);
+
+    /**
+     * Capture the antenna voltage: mix to baseband, low-pass to the
+     * instantaneous bandwidth, decimate to the IQ rate, add
+     * front-end noise, quantize.
+     */
+    IqCapture capture(const Trace &v_antenna);
+
+    /**
+     * Power spectrum of a capture in absolute frequency [dBm into
+     * ref_impedance], one-sided around the center.
+     */
+    SaSweep spectrum(const IqCapture &capture) const;
+
+    /**
+     * Scan a wide band by retuning in (bandwidth-sized) steps and
+     * taking the max-amplitude marker of each window — the SDR
+     * equivalent of SpectrumAnalyzer::averagedMaxAmplitude.
+     */
+    SaMarker scanMaxAmplitude(const Trace &v_antenna, double f_lo_hz,
+                              double f_hi_hz);
+
+  private:
+    SdrParams params_;
+    Rng rng_;
+};
+
+} // namespace instruments
+} // namespace emstress
+
+#endif // EMSTRESS_INSTRUMENTS_SDR_RECEIVER_H

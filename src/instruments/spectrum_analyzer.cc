@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Spectrum analyzer implementation.
+ */
+
+#include "instruments/spectrum_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace instruments {
+
+SpectrumAnalyzer::SpectrumAnalyzer(const SpectrumAnalyzerParams &params,
+                                   Rng rng)
+    : params_(params), rng_(rng)
+{
+    requireConfig(params.f_stop_hz > params.f_start_hz,
+                  "analyzer stop frequency must exceed start");
+    requireConfig(params.ref_impedance > 0.0,
+                  "reference impedance must be positive");
+}
+
+SaSweep
+SpectrumAnalyzer::sweep(const Trace &v_received)
+{
+    return noisySweep(dsp::computeSpectrum(v_received, params_.window));
+}
+
+SaSweep
+SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec)
+{
+    const double floor_w = dbmToWatts(params_.noise_floor_dbm);
+
+    SaSweep out;
+    out.freqs_hz.reserve(spec.size());
+    out.power_dbm.reserve(spec.size());
+    for (std::size_t k = 0; k < spec.size(); ++k) {
+        const double f = spec.freqs_hz[k];
+        if (f < params_.f_start_hz || f > params_.f_stop_hz)
+            continue;
+        // Signal power into the reference impedance.
+        double p_w = voltsRmsToWatts(spec.amps_vrms[k],
+                                     params_.ref_impedance);
+        // Per-sweep gain ripple (log-normal in power).
+        const double gain_db =
+            rng_.gaussian(0.0, params_.gain_error_db);
+        p_w *= dbToPowerRatio(gain_db);
+        // Additive noise floor with Rayleigh-like variation.
+        const double n1 = rng_.gaussian(0.0, 1.0);
+        const double n2 = rng_.gaussian(0.0, 1.0);
+        p_w += 0.5 * floor_w * (n1 * n1 + n2 * n2);
+        out.freqs_hz.push_back(f);
+        out.power_dbm.push_back(wattsToDbm(std::max(p_w, 1e-30)));
+    }
+    requireSim(!out.freqs_hz.empty(),
+               "sweep produced no bins inside the display span; "
+               "check sample rate versus f_start/f_stop");
+    return out;
+}
+
+SaMarker
+SpectrumAnalyzer::maxAmplitude(const SaSweep &sweep, double f_lo,
+                               double f_hi)
+{
+    SaMarker best;
+    for (std::size_t k = 0; k < sweep.size(); ++k) {
+        const double f = sweep.freqs_hz[k];
+        if (f < f_lo || f > f_hi)
+            continue;
+        if (sweep.power_dbm[k] > best.power_dbm) {
+            best.power_dbm = sweep.power_dbm[k];
+            best.freq_hz = f;
+        }
+    }
+    return best;
+}
+
+SaMarker
+SpectrumAnalyzer::averagedMaxAmplitude(const Trace &v_received,
+                                       double f_lo, double f_hi,
+                                       std::size_t n_samples)
+{
+    requireConfig(n_samples >= 1, "need at least one sample");
+    // The underlying signal is unchanged between the N sweeps; only
+    // measurement noise varies, so compute the spectrum once.
+    const auto spec = dsp::computeSpectrum(v_received, params_.window);
+    double sum_sq_w = 0.0;
+    std::vector<double> freqs;
+    freqs.reserve(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        const SaSweep s = noisySweep(spec);
+        const SaMarker m = maxAmplitude(s, f_lo, f_hi);
+        const double p_w = dbmToWatts(m.power_dbm);
+        sum_sq_w += p_w * p_w;
+        freqs.push_back(m.freq_hz);
+    }
+    // RMS in linear power, reported in dBm.
+    const double rms_w =
+        std::sqrt(sum_sq_w / static_cast<double>(n_samples));
+    // Modal peak frequency: the median is robust to occasional
+    // noise-floor wins on weak signals.
+    std::sort(freqs.begin(), freqs.end());
+    SaMarker out;
+    out.power_dbm = wattsToDbm(std::max(rms_w, 1e-30));
+    out.freq_hz = freqs[freqs.size() / 2];
+    return out;
+}
+
+} // namespace instruments
+} // namespace emstress

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Spectrum-analyzer instrument model (Agilent E4402B / N9332C in the
+ * paper). Converts a received antenna voltage into a calibrated dBm
+ * power spectrum with a thermal noise floor and per-sweep measurement
+ * noise, and provides the paper's GA fitness statistic: the RMS of N
+ * repeated max-amplitude measurements over a band (Section 3.1 step
+ * (b): "the metric used for maximum EM amplitude is the mean root
+ * square of 30 samples").
+ */
+
+#ifndef EMSTRESS_INSTRUMENTS_SPECTRUM_ANALYZER_H
+#define EMSTRESS_INSTRUMENTS_SPECTRUM_ANALYZER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/spectrum.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace instruments {
+
+/** Configuration of the spectrum analyzer. */
+struct SpectrumAnalyzerParams
+{
+    double f_start_hz = 10e6;       ///< Display start frequency.
+    double f_stop_hz = 500e6;       ///< Display stop frequency.
+    double ref_impedance = 50.0;    ///< Input impedance [ohm].
+    double noise_floor_dbm = -97.0; ///< Displayed average noise level.
+    double gain_error_db = 0.25;    ///< 1-sigma per-sweep gain ripple.
+    dsp::WindowKind window = dsp::WindowKind::Hann; ///< RBW filter.
+};
+
+/** One displayed sweep: frequency bins and power levels. */
+struct SaSweep
+{
+    std::vector<double> freqs_hz;
+    std::vector<double> power_dbm;
+
+    /** Number of display bins. */
+    std::size_t size() const { return freqs_hz.size(); }
+};
+
+/** A marker measurement: peak frequency and level. */
+struct SaMarker
+{
+    double freq_hz = 0.0;
+    double power_dbm = -200.0;
+};
+
+/**
+ * Spectrum analyzer. Holds its own RNG stream so that measurement
+ * noise is reproducible per instrument instance.
+ */
+class SpectrumAnalyzer
+{
+  public:
+    /** Construct with settings and a seeded noise stream. */
+    SpectrumAnalyzer(const SpectrumAnalyzerParams &params, Rng rng);
+
+    /** Settings. */
+    const SpectrumAnalyzerParams &params() const { return params_; }
+
+    /**
+     * Acquire one sweep from a received voltage trace. Bins outside
+     * [f_start, f_stop] are discarded; every bin is clamped at the
+     * noise floor and perturbed by gain error and floor noise.
+     */
+    SaSweep sweep(const Trace &v_received);
+
+    /** Highest-level marker within a band of a sweep. */
+    static SaMarker maxAmplitude(const SaSweep &sweep, double f_lo,
+                                 double f_hi);
+
+    /**
+     * The paper's fitness statistic: perform n_samples sweeps of the
+     * same signal (fresh measurement noise each), take the max
+     * amplitude in [f_lo, f_hi] per sweep, and return the RMS of the
+     * linear amplitudes converted back to dBm, along with the modal
+     * peak frequency.
+     */
+    SaMarker averagedMaxAmplitude(const Trace &v_received, double f_lo,
+                                  double f_hi, std::size_t n_samples);
+
+  private:
+    /** Apply display-span filtering and measurement noise to a
+     * precomputed spectrum. */
+    SaSweep noisySweep(const dsp::Spectrum &spec);
+
+    SpectrumAnalyzerParams params_;
+    Rng rng_;
+};
+
+} // namespace instruments
+} // namespace emstress
+
+#endif // EMSTRESS_INSTRUMENTS_SPECTRUM_ANALYZER_H

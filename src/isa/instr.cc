@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction class name mapping.
+ */
+
+#include "isa/instr.h"
+
+#include "util/error.h"
+
+namespace emstress {
+namespace isa {
+
+std::string
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntShort:    return "int_short";
+      case InstrClass::IntLong:     return "int_long";
+      case InstrClass::FpShort:     return "fp_short";
+      case InstrClass::FpLong:      return "fp_long";
+      case InstrClass::SimdShort:   return "simd_short";
+      case InstrClass::SimdLong:    return "simd_long";
+      case InstrClass::Load:        return "load";
+      case InstrClass::Store:       return "store";
+      case InstrClass::Branch:      return "branch";
+      case InstrClass::IntShortMem: return "int_short_mem";
+      case InstrClass::IntLongMem:  return "int_long_mem";
+    }
+    return "unknown";
+}
+
+InstrClass
+instrClassFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumInstrClasses; ++i) {
+        const auto cls = static_cast<InstrClass>(i);
+        if (instrClassName(cls) == name)
+            return cls;
+    }
+    throw ConfigError("unknown instruction class: " + name);
+}
+
+bool
+isMemoryClass(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Load:
+      case InstrClass::Store:
+      case InstrClass::IntShortMem:
+      case InstrClass::IntLongMem:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isX86MemOperandClass(InstrClass cls)
+{
+    return cls == InstrClass::IntShortMem
+        || cls == InstrClass::IntLongMem;
+}
+
+} // namespace isa
+} // namespace emstress

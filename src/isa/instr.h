@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Instruction-set abstractions used by the stress-test generator.
+ *
+ * Following Section 3.3 of the paper, the GA draws from a diverse set
+ * of instruction types — short/long-latency integer, floating point,
+ * SIMD, loads/stores (ARM) or memory-operand integer ops (x86), and
+ * dummy branches — because dI/dt viruses need both high-current and
+ * low-current (stalling) instructions to modulate CPU current at the
+ * PDN resonance.
+ */
+
+#ifndef EMSTRESS_ISA_INSTR_H
+#define EMSTRESS_ISA_INSTR_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace emstress {
+namespace isa {
+
+/** Behavioural class of an instruction. */
+enum class InstrClass
+{
+    IntShort,    ///< Single-cycle integer ALU (MOV, ADD...).
+    IntLong,     ///< Multi-cycle integer (MUL, DIV).
+    FpShort,     ///< Pipelined floating point (FADD, FMUL).
+    FpLong,      ///< Long-latency floating point (FDIV, FSQRT).
+    SimdShort,   ///< Pipelined SIMD arithmetic.
+    SimdLong,    ///< Long-latency SIMD (square root etc.).
+    Load,        ///< Explicit load, always an L1 hit (ARM).
+    Store,       ///< Explicit store, always an L1 hit (ARM).
+    Branch,      ///< Unconditional dummy branch to the next line.
+    IntShortMem, ///< x86 short integer with a memory operand.
+    IntLongMem,  ///< x86 long integer with a memory operand.
+};
+
+/** Number of distinct InstrClass values. */
+inline constexpr std::size_t kNumInstrClasses = 11;
+
+/** Register namespace an instruction's operands live in. */
+enum class RegFile
+{
+    Int,
+    Fp,
+    Simd,
+    None, ///< No register operands (dummy branch).
+};
+
+/** Short lowercase name of an instruction class (for tables/XML). */
+std::string instrClassName(InstrClass cls);
+
+/**
+ * Parse an instruction class name as used in pool XML files.
+ * @throws ConfigError for unknown names.
+ */
+InstrClass instrClassFromName(const std::string &name);
+
+/** True for classes that engage the memory subsystem. */
+bool isMemoryClass(InstrClass cls);
+
+/** True for classes whose x86 form carries a memory operand. */
+bool isX86MemOperandClass(InstrClass cls);
+
+/**
+ * Static description of one selectable instruction in a pool.
+ *
+ * `energy` is the *effective* switching energy per execution in
+ * joules: it folds in fetch/decode/issue overhead so that the
+ * per-cycle current reconstructed by the core model matches
+ * realistic per-core power at full utilization. It is the knob
+ * that makes an instruction "high current" or "low current".
+ */
+struct InstrDef
+{
+    std::string mnemonic;  ///< Display name, e.g. "ADD" or "FSQRT".
+    InstrClass cls;        ///< Behavioural class.
+    unsigned latency = 1;  ///< Result latency in cycles (>= 1).
+    unsigned sources = 2;  ///< Number of register sources (0-2).
+    bool has_dest = true;  ///< Writes a destination register.
+    RegFile reg_file = RegFile::Int; ///< Operand namespace.
+    double energy = 0.0;   ///< Effective switching energy [J].
+};
+
+/**
+ * One concrete instruction instance: a pool definition plus chosen
+ * operands. This is the unit the GA mutates (Section 3.1: a mutation
+ * converts an instruction or an instruction-operand into another).
+ */
+struct Instruction
+{
+    std::size_t def_index = 0;  ///< Index into the pool's definitions.
+    int dest = -1;              ///< Destination register or -1.
+    std::array<int, 2> src{{-1, -1}}; ///< Source registers (unused: -1).
+    int mem_slot = -1;          ///< Memory address slot or -1.
+};
+
+} // namespace isa
+} // namespace emstress
+
+#endif // EMSTRESS_ISA_INSTR_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Kernel implementation.
+ */
+
+#include "isa/kernel.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace isa {
+
+Kernel
+Kernel::random(const InstructionPool &pool, std::size_t length,
+               Rng &rng)
+{
+    std::vector<Instruction> code;
+    code.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        code.push_back(pool.randomInstruction(rng));
+    return Kernel(std::move(code));
+}
+
+std::array<std::size_t, kNumInstrClasses>
+Kernel::classHistogram(const InstructionPool &pool) const
+{
+    std::array<std::size_t, kNumInstrClasses> hist{};
+    for (const auto &instr : code_)
+        ++hist[static_cast<std::size_t>(pool.def(instr.def_index).cls)];
+    return hist;
+}
+
+double
+Kernel::classFraction(const InstructionPool &pool, InstrClass cls) const
+{
+    if (code_.empty())
+        return 0.0;
+    const auto hist = classHistogram(pool);
+    return static_cast<double>(hist[static_cast<std::size_t>(cls)])
+        / static_cast<double>(code_.size());
+}
+
+void
+Kernel::validate(const InstructionPool &pool) const
+{
+    for (const auto &instr : code_)
+        pool.validate(instr);
+}
+
+std::string
+Kernel::toAssembly(const InstructionPool &pool) const
+{
+    std::ostringstream os;
+    os << ".loop:\n";
+    for (const auto &instr : code_)
+        os << "    " << pool.toAssembly(instr) << "\n";
+    os << "    B .loop\n";
+    return os.str();
+}
+
+std::string
+Kernel::serialize(const InstructionPool &pool) const
+{
+    std::ostringstream os;
+    for (const auto &instr : code_) {
+        os << pool.def(instr.def_index).mnemonic << ' ' << instr.dest
+           << ' ' << instr.src[0] << ' ' << instr.src[1] << ' '
+           << instr.mem_slot << '\n';
+    }
+    return os.str();
+}
+
+Kernel
+Kernel::deserialize(const InstructionPool &pool,
+                    const std::string &text)
+{
+    std::vector<Instruction> code;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string mnemonic;
+        Instruction instr;
+        if (!(ls >> mnemonic >> instr.dest >> instr.src[0]
+              >> instr.src[1] >> instr.mem_slot)) {
+            throw ConfigError("malformed kernel line: " + line);
+        }
+        instr.def_index = pool.defIndex(mnemonic);
+        code.push_back(instr);
+    }
+    Kernel kernel(std::move(code));
+    kernel.validate(pool);
+    return kernel;
+}
+
+bool
+Kernel::operator==(const Kernel &other) const
+{
+    if (code_.size() != other.code_.size())
+        return false;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        const auto &a = code_[i];
+        const auto &b = other.code_[i];
+        if (a.def_index != b.def_index || a.dest != b.dest
+            || a.src != b.src || a.mem_slot != b.mem_slot) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace isa
+} // namespace emstress

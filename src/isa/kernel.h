@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A Kernel is a loop body of instructions — the unit of execution the
+ * GA evolves ("individual", Section 3.1: each sequence of assembly
+ * instructions represents an individual) and the core model runs in a
+ * loop against the PDN.
+ */
+
+#ifndef EMSTRESS_ISA_KERNEL_H
+#define EMSTRESS_ISA_KERNEL_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+#include "isa/pool.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace isa {
+
+/**
+ * An instruction loop body. Value-semantic; comparable so tests and
+ * the GA can detect convergence/clones.
+ */
+class Kernel
+{
+  public:
+    /** Empty kernel. */
+    Kernel() = default;
+
+    /** Kernel from an explicit instruction sequence. */
+    explicit Kernel(std::vector<Instruction> code)
+        : code_(std::move(code))
+    {}
+
+    /**
+     * Uniformly random kernel of a given length — the GA's initial
+     * seed material.
+     */
+    static Kernel random(const InstructionPool &pool, std::size_t length,
+                         Rng &rng);
+
+    /** Number of instructions in the loop body. */
+    std::size_t size() const { return code_.size(); }
+
+    /** True when the kernel holds no instructions. */
+    bool empty() const { return code_.empty(); }
+
+    /** Instruction access. */
+    const Instruction &operator[](std::size_t i) const
+    {
+        return code_[i];
+    }
+
+    /** Mutable instruction access. */
+    Instruction &operator[](std::size_t i) { return code_[i]; }
+
+    /** The underlying sequence. */
+    const std::vector<Instruction> &code() const { return code_; }
+
+    /** Mutable access for GA operators. */
+    std::vector<Instruction> &code() { return code_; }
+
+    /**
+     * Per-class instruction counts, indexed by InstrClass value —
+     * the raw material for the paper's Table 2 mix breakdown.
+     */
+    std::array<std::size_t, kNumInstrClasses>
+    classHistogram(const InstructionPool &pool) const;
+
+    /** Fraction of instructions in a class (0 when empty). */
+    double classFraction(const InstructionPool &pool,
+                         InstrClass cls) const;
+
+    /** Validate every instruction against a pool. */
+    void validate(const InstructionPool &pool) const;
+
+    /** Multi-line assembly listing with a loop label and back-branch. */
+    std::string toAssembly(const InstructionPool &pool) const;
+
+    /**
+     * Serialize to a plain-text format ("MNEMONIC dest src0 src1
+     * mem" per line) that deserialize() reads back. Used to persist
+     * GA-generated viruses between experiment runs.
+     */
+    std::string serialize(const InstructionPool &pool) const;
+
+    /**
+     * Parse a kernel from serialize() output.
+     * @throws ConfigError on unknown mnemonics or malformed lines.
+     */
+    static Kernel deserialize(const InstructionPool &pool,
+                              const std::string &text);
+
+    /** Structural equality (same defs and operands). */
+    bool operator==(const Kernel &other) const;
+
+  private:
+    std::vector<Instruction> code_;
+};
+
+} // namespace isa
+} // namespace emstress
+
+#endif // EMSTRESS_ISA_KERNEL_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Instruction pools: the user-specified set of instructions, register
+ * resources and memory slots the GA may draw from (paper Section 3.2:
+ * described in an XML input file; Section 3.3: instruction and data
+ * mix). Built-in pools model the ARMv8 and x86-64/SSE2 mixes used in
+ * the paper.
+ */
+
+#ifndef EMSTRESS_ISA_POOL_H
+#define EMSTRESS_ISA_POOL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace isa {
+
+/** ISA family of a pool. */
+enum class IsaFamily
+{
+    ArmV8,
+    X86_64,
+};
+
+/** Name of an ISA family. */
+std::string isaFamilyName(IsaFamily isa);
+
+/**
+ * A pool of selectable instructions plus the operand resources
+ * (architectural registers per namespace and pre-initialized memory
+ * slots — all loads/stores hit the L1 by construction, per the
+ * paper's deliberate avoidance of cache-miss nondeterminism).
+ */
+class InstructionPool
+{
+  public:
+    /**
+     * Construct an empty pool.
+     * @param isa      ISA family.
+     * @param int_regs  Architectural integer registers available.
+     * @param fp_regs   Floating-point registers available.
+     * @param simd_regs SIMD registers available.
+     * @param mem_slots Distinct pre-initialized memory addresses.
+     */
+    InstructionPool(IsaFamily isa, int int_regs, int fp_regs,
+                    int simd_regs, int mem_slots);
+
+    /** Built-in ARMv8 pool matching the paper's Section 3.3 mix. */
+    static InstructionPool armV8();
+
+    /** Built-in x86-64/SSE2 pool matching the paper's AMD mix. */
+    static InstructionPool x86Sse2();
+
+    /** Load a pool from an XML string (see docs/pool format). */
+    static InstructionPool fromXmlString(const std::string &xml);
+
+    /** Load a pool from an XML file. */
+    static InstructionPool fromXmlFile(const std::string &path);
+
+    /** Serialize to the XML pool format (round-trips fromXmlString). */
+    std::string toXmlString() const;
+
+    /** Add one instruction definition. Returns its def index. */
+    std::size_t addInstruction(const InstrDef &def);
+
+    /** ISA family. */
+    IsaFamily isa() const { return isa_; }
+
+    /** All definitions. */
+    const std::vector<InstrDef> &defs() const { return defs_; }
+
+    /** Definition by index (bounds-checked). */
+    const InstrDef &def(std::size_t index) const;
+
+    /** Definition index by mnemonic. @throws ConfigError if absent. */
+    std::size_t defIndex(const std::string &mnemonic) const;
+
+    /** Register count for a namespace. */
+    int regCount(RegFile file) const;
+
+    /** Number of memory slots. */
+    int memSlots() const { return mem_slots_; }
+
+    /**
+     * Generate a uniformly random instruction: random definition,
+     * random legal operands.
+     */
+    Instruction randomInstruction(Rng &rng) const;
+
+    /** Re-randomize only the operands of an existing instruction. */
+    void randomizeOperands(Instruction &instr, Rng &rng) const;
+
+    /**
+     * Validate that an instruction is well-formed for this pool
+     * (definition exists, operands within resource bounds).
+     * @throws ConfigError describing the first violation.
+     */
+    void validate(const Instruction &instr) const;
+
+    /** Render one instruction as assembly-like text. */
+    std::string toAssembly(const Instruction &instr) const;
+
+  private:
+    IsaFamily isa_;
+    int int_regs_;
+    int fp_regs_;
+    int simd_regs_;
+    int mem_slots_;
+    std::vector<InstrDef> defs_;
+};
+
+} // namespace isa
+} // namespace emstress
+
+#endif // EMSTRESS_ISA_POOL_H

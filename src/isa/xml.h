@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal XML parser for instruction-pool input files. The paper's GA
+ * framework takes "the assembly instructions used in the GA
+ * optimization described by the user in an XML input file"
+ * (Section 3.2); this parser supports the subset needed for that:
+ * nested elements, attributes, comments, self-closing tags and the
+ * five standard character entities.
+ */
+
+#ifndef EMSTRESS_ISA_XML_H
+#define EMSTRESS_ISA_XML_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emstress {
+namespace isa {
+
+/** A parsed XML element. */
+struct XmlNode
+{
+    std::string name;                        ///< Tag name.
+    std::map<std::string, std::string> attrs; ///< Attributes.
+    std::vector<XmlNode> children;           ///< Child elements.
+    std::string text;                        ///< Concatenated text.
+
+    /** True if the attribute exists. */
+    bool hasAttr(const std::string &key) const;
+
+    /**
+     * Attribute value.
+     * @throws ConfigError when the attribute is absent.
+     */
+    const std::string &attr(const std::string &key) const;
+
+    /** Attribute value with a default when absent. */
+    std::string attrOr(const std::string &key,
+                       const std::string &fallback) const;
+
+    /**
+     * Attribute parsed as a number.
+     * @throws ConfigError when absent or not numeric.
+     */
+    double attrNumber(const std::string &key) const;
+
+    /** All children with a given tag name. */
+    std::vector<const XmlNode *>
+    childrenNamed(const std::string &name) const;
+
+    /**
+     * The single child with a given tag name.
+     * @throws ConfigError when missing or ambiguous.
+     */
+    const XmlNode &child(const std::string &name) const;
+};
+
+/**
+ * Parse an XML document from text.
+ * @return The root element.
+ * @throws ConfigError with a line number on malformed input.
+ */
+XmlNode parseXml(std::string_view text);
+
+/**
+ * Parse an XML document from a file.
+ * @throws ConfigError when the file cannot be read or parsed.
+ */
+XmlNode parseXmlFile(const std::string &path);
+
+} // namespace isa
+} // namespace emstress
+
+#endif // EMSTRESS_ISA_XML_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Adaptive-clocking voltage-droop mitigation model. Several of the
+ * chips the paper discusses ship droop detectors that throttle the
+ * clock when the rail dips ([21][29][44][46] in the paper); the
+ * paper's Section 6 observes that power-gating raises the resonance
+ * frequency, making such mechanisms — which are "extremely sensitive
+ * to response-latency" — less effective. This module implements the
+ * mechanism as a closed-loop simulation so that claim can be
+ * quantified (see bench_ext_adaptive_clock).
+ *
+ * Loop: each PDN timestep, the detector compares the (sensor-lagged)
+ * die voltage against a threshold; when tripped, after the response
+ * latency, the core clock is effectively halved for a hold time —
+ * modeled as scaling the CPU current demand by the throttle ratio
+ * (half the clock = roughly half the switching current).
+ */
+
+#ifndef EMSTRESS_MITIGATION_ADAPTIVE_CLOCK_H
+#define EMSTRESS_MITIGATION_ADAPTIVE_CLOCK_H
+
+#include <cstddef>
+
+#include "pdn/pdn_model.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace mitigation {
+
+/** Configuration of the droop detector + clock throttle. */
+struct AdaptiveClockParams
+{
+    /// Detector trip threshold below nominal [V] (e.g. 0.03 = trip
+    /// at V_nom - 30 mV).
+    double threshold_below_nominal = 0.030;
+    /// Detector-to-throttle response latency [s]. The knob the
+    /// paper's Section 6 insight is about: must be a small fraction
+    /// of the resonance period to help.
+    double response_latency = 5e-9;
+    /// Current multiplier while throttled (half clock ~ 0.5).
+    double throttle_ratio = 0.5;
+    /// Minimum throttle hold once tripped [s].
+    double hold_time = 50e-9;
+};
+
+/** Result of a mitigated (closed-loop) PDN simulation. */
+struct MitigatedRunResult
+{
+    Trace v_die{1e-9};      ///< Die voltage with mitigation active.
+    Trace throttle{1e-9};   ///< 1 while throttled, else 0.
+    double min_v_die = 0.0; ///< Worst dip with mitigation.
+    double throttled_fraction = 0.0; ///< Time fraction throttled
+                                     ///< (performance cost proxy).
+    std::size_t trip_count = 0;      ///< Detector activations.
+};
+
+/**
+ * Closed-loop adaptive-clocking simulator over a PDN model.
+ */
+class AdaptiveClock
+{
+  public:
+    /** Configure against a PDN (not owned). */
+    AdaptiveClock(const pdn::PdnModel &pdn,
+                  const AdaptiveClockParams &params);
+
+    /** Parameters. */
+    const AdaptiveClockParams &params() const { return params_; }
+
+    /**
+     * Simulate a load-current trace with the throttle in the loop.
+     * @param i_load Unthrottled CPU current demand at the PDN
+     *               timestep; throttling scales it sample by sample.
+     */
+    MitigatedRunResult run(const Trace &i_load) const;
+
+    /**
+     * Reference run without mitigation (same accounting), for
+     * effectiveness comparisons.
+     */
+    MitigatedRunResult runUnmitigated(const Trace &i_load) const;
+
+  private:
+    MitigatedRunResult simulate(const Trace &i_load,
+                                bool mitigate) const;
+
+    const pdn::PdnModel &pdn_;
+    AdaptiveClockParams params_;
+};
+
+} // namespace mitigation
+} // namespace emstress
+
+#endif // EMSTRESS_MITIGATION_ADAPTIVE_CLOCK_H

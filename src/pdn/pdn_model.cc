@@ -1,0 +1,252 @@
+/**
+ * @file
+ * PDN model implementation.
+ */
+
+#include "pdn/pdn_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace pdn {
+
+double
+PdnParameters::dieCapacitance(std::size_t powered_cores) const
+{
+    const std::size_t k =
+        std::clamp<std::size_t>(powered_cores, 1, n_cores);
+    return c_die_uncore + static_cast<double>(k) * c_die_core;
+}
+
+double
+PdnParameters::firstOrderResonance(std::size_t powered_cores) const
+{
+    // At the 1st-order resonance the package decap is a short through
+    // its ESL, so the tank loop inductance is l_pkg_die + esl_pkg.
+    return lcResonanceHz(l_pkg_die + esl_pkg,
+                         dieCapacitance(powered_cores));
+}
+
+void
+PdnParameters::calibrateDieTank(double f_all_cores, double f_one_core,
+                                std::size_t n, double c_per_core)
+{
+    requireConfig(n >= 2, "calibrateDieTank needs at least two cores");
+    requireConfig(f_one_core > f_all_cores,
+                  "one-core resonance must exceed all-core resonance "
+                  "(less capacitance -> higher frequency)");
+    requireConfig(c_per_core > 0.0, "per-core capacitance must be > 0");
+
+    // f ~ 1/sqrt(C): with r = (f_one/f_all)^2,
+    //   c_u + n*c_c = r * (c_u + c_c)  =>  c_u = c_c * (n - r)/(r - 1).
+    const double r = (f_one_core / f_all_cores)
+        * (f_one_core / f_all_cores);
+    requireConfig(r < static_cast<double>(n),
+                  "resonance anchors inconsistent with core count: "
+                  "(f_one/f_all)^2 must be below n_cores");
+    n_cores = n;
+    c_die_core = c_per_core;
+    c_die_uncore = c_per_core * (static_cast<double>(n) - r) / (r - 1.0);
+    // The decap ESL sits in series within the tank loop; subtract it
+    // so the realized ladder hits the anchor. Set esl_pkg before
+    // calling this.
+    const double l_eff =
+        inductanceForResonance(f_all_cores, dieCapacitance(n_cores));
+    requireConfig(l_eff > esl_pkg,
+                  "package decap ESL exceeds the tank inductance "
+                  "implied by the resonance anchors; lower esl_pkg or "
+                  "c_per_core");
+    l_pkg_die = l_eff - esl_pkg;
+}
+
+PdnModel::PdnModel(const PdnParameters &params)
+    : params_(params), powered_cores_(params.n_cores)
+{
+    rebuild();
+}
+
+void
+PdnModel::rebuild()
+{
+    netlist_ = circuit::Netlist();
+    engine_.reset();
+    engine_dt_ = 0.0;
+
+    using circuit::kGround;
+    auto &nl = netlist_;
+
+    const auto n_vrm = nl.newNode();
+    const auto n_pcb = nl.newNode();
+    const auto n_pkg = nl.newNode();
+    n_die_ = nl.newNode();
+
+    // Supply rail behind the VRM output filter.
+    nl.addVoltageSource("v_supply", n_vrm, kGround, params_.v_nom);
+    const auto n_vrm_mid = nl.newNode();
+    nl.addResistor("r_vrm", n_vrm, n_vrm_mid, params_.r_vrm);
+    nl.addInductor("l_vrm", n_vrm_mid, n_pcb, params_.l_vrm);
+
+    // Bulk capacitance on the PCB (3rd-order tank).
+    const auto n_blk1 = nl.newNode();
+    const auto n_blk2 = nl.newNode();
+    nl.addCapacitor("c_pcb", n_pcb, n_blk1, params_.c_pcb);
+    nl.addInductor("esl_pcb", n_blk1, n_blk2, params_.esl_pcb);
+    nl.addResistor("esr_pcb", n_blk2, kGround, params_.esr_pcb);
+
+    // PCB power trace to the package (2nd-order tank inductance).
+    const auto n_pcb_mid = nl.newNode();
+    nl.addResistor("r_pcb", n_pcb, n_pcb_mid, params_.r_pcb);
+    nl.addInductor("l_pcb", n_pcb_mid, n_pkg, params_.l_pcb);
+
+    // Package decap (2nd-order tank capacitance).
+    const auto n_pkgc1 = nl.newNode();
+    const auto n_pkgc2 = nl.newNode();
+    nl.addCapacitor("c_pkg", n_pkg, n_pkgc1, params_.c_pkg);
+    nl.addInductor("esl_pkg", n_pkgc1, n_pkgc2, params_.esl_pkg);
+    nl.addResistor("esr_pkg", n_pkgc2, kGround, params_.esr_pkg);
+
+    // Optional damped bulk branch (anti-resonance damping).
+    if (params_.c_pkg_bulk > 0.0) {
+        const auto n_blkc1 = nl.newNode();
+        const auto n_blkc2 = nl.newNode();
+        nl.addCapacitor("c_pkg_bulk", n_pkg, n_blkc1,
+                        params_.c_pkg_bulk);
+        nl.addInductor("esl_pkg_bulk", n_blkc1, n_blkc2,
+                       params_.esl_pkg_bulk);
+        nl.addResistor("esr_pkg_bulk", n_blkc2, kGround,
+                       params_.esr_pkg_bulk);
+    }
+
+    // Package-to-die loop (1st-order tank inductance) — the branch
+    // whose current is "I_DIE" in Fig. 2 and the EM radiator feed.
+    const auto n_pkg_mid = nl.newNode();
+    nl.addResistor("r_pkg", n_pkg, n_pkg_mid, params_.r_pkg);
+    nl.addInductor("l_pkg_die", n_pkg_mid, n_die_, params_.l_pkg_die);
+
+    // Die: grid resistance in series with the (power-gating dependent)
+    // die capacitance, per Fig. 1(a).
+    const auto n_dcap = nl.newNode();
+    nl.addResistor("r_die", n_die_, n_dcap, params_.r_die);
+    nl.addCapacitor("c_die", n_dcap, kGround,
+                    params_.dieCapacitance(powered_cores_));
+
+    // CPU load current, drawn from the die node to ground.
+    nl.addCurrentSource("i_load", n_die_, kGround, 0.0);
+    // SCL injector shares the die node (Juno OC-DSO block).
+    nl.addCurrentSource("i_scl", n_die_, kGround, 0.0);
+}
+
+void
+PdnModel::setPoweredCores(std::size_t powered_cores)
+{
+    requireConfig(powered_cores >= 1
+                      && powered_cores <= params_.n_cores,
+                  "powered core count outside [1, n_cores]");
+    if (powered_cores == powered_cores_)
+        return;
+    powered_cores_ = powered_cores;
+    rebuild();
+}
+
+void
+PdnModel::setSupplyVoltage(double v)
+{
+    requireConfig(v > 0.0, "supply voltage must be positive");
+    if (v == params_.v_nom)
+        return;
+    params_.v_nom = v;
+    rebuild();
+}
+
+const circuit::TransientAnalysis &
+PdnModel::engineFor(double dt) const
+{
+    if (!engine_ || engine_dt_ != dt) {
+        engine_.emplace(netlist_, dt);
+        engine_dt_ = dt;
+    }
+    return *engine_;
+}
+
+PdnSimResult
+PdnModel::simulate(const Trace &i_load,
+                   const circuit::SourceWaveform &i_scl) const
+{
+    requireConfig(!i_load.empty(), "PDN simulate needs a load trace");
+    const auto &eng = engineFor(i_load.dt());
+
+    const double dt = i_load.dt();
+    const std::size_t n = i_load.size();
+    auto load_wave = [&i_load, dt, n](double t) {
+        auto idx = static_cast<std::size_t>(t / dt + 0.5);
+        if (idx >= n)
+            idx = n - 1;
+        return i_load[idx];
+    };
+    circuit::SourceWaveform scl_wave = i_scl
+        ? i_scl
+        : circuit::SourceWaveform([](double) { return 0.0; });
+
+    std::vector<circuit::Probe> probes = {
+        {circuit::ProbeKind::NodeVoltage, n_die_, "", "v_die"},
+        {circuit::ProbeKind::BranchCurrent, circuit::kGround,
+         "l_pkg_die", "i_die"},
+    };
+    // Bias the initial DC point at the mean load so the slow bulk
+    // tanks start settled.
+    double mean_load = 0.0;
+    for (double v : i_load.samples())
+        mean_load += v;
+    mean_load /= static_cast<double>(i_load.size());
+    const std::array<double, 2> bias = {mean_load, 0.0};
+    auto result = eng.run(n, {load_wave, scl_wave}, probes, bias);
+    return {result.trace("v_die"), result.trace("i_die")};
+}
+
+std::vector<double>
+PdnModel::impedanceMagnitude(const std::vector<double> &freqs_hz) const
+{
+    circuit::AcAnalysis ac(netlist_);
+    return ac.inputImpedance(n_die_, freqs_hz).magnitudes();
+}
+
+PdnSimResult
+PdnModel::stepResponse(double amplitude_a, double dt,
+                       double duration) const
+{
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    Trace load(dt);
+    load.reserve(steps);
+    // Step fires after a short settled lead-in.
+    const std::size_t lead = steps / 10;
+    for (std::size_t i = 0; i < steps; ++i)
+        load.push(i >= lead ? amplitude_a : 0.0);
+    return simulate(load);
+}
+
+PdnSimResult
+PdnModel::squareWaveResponse(double freq_hz, double amplitude_a,
+                             double dt, double duration) const
+{
+    requireConfig(freq_hz > 0.0, "square wave frequency must be > 0");
+    requireConfig(dt < 0.5 / freq_hz,
+                  "timestep too coarse for the square-wave frequency");
+    const auto steps = static_cast<std::size_t>(duration / dt);
+    const double period = 1.0 / freq_hz;
+    Trace load(dt);
+    load.reserve(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t = dt * static_cast<double>(i);
+        const double phase = std::fmod(t, period) / period;
+        load.push(phase < 0.5 ? amplitude_a : 0.0);
+    }
+    return simulate(load);
+}
+
+} // namespace pdn
+} // namespace emstress

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Resonance extraction implementation.
+ */
+
+#include "pdn/resonance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/ac.h"
+#include "util/error.h"
+
+namespace emstress {
+namespace pdn {
+
+std::vector<ResonancePeak>
+findResonances(const PdnModel &model, double f_lo, double f_hi,
+               std::size_t points_per_decade)
+{
+    const double decades = std::log10(f_hi / f_lo);
+    const auto points = static_cast<std::size_t>(
+        decades * static_cast<double>(points_per_decade)) + 2;
+    const auto freqs = circuit::logFrequencyGrid(f_lo, f_hi, points);
+    const auto mags = model.impedanceMagnitude(freqs);
+
+    std::vector<ResonancePeak> peaks;
+    for (std::size_t i = 1; i + 1 < mags.size(); ++i) {
+        if (mags[i] > mags[i - 1] && mags[i] >= mags[i + 1]) {
+            ResonancePeak p;
+            p.freq_hz = freqs[i];
+            p.impedance_ohm = mags[i];
+            peaks.push_back(p);
+        }
+    }
+    // Classify by descending frequency: the paper's 1st-order
+    // resonance is the highest-frequency tank.
+    std::sort(peaks.begin(), peaks.end(),
+              [](const ResonancePeak &a, const ResonancePeak &b) {
+                  return a.freq_hz > b.freq_hz;
+              });
+    for (std::size_t i = 0; i < peaks.size(); ++i)
+        peaks[i].order = static_cast<int>(i) + 1;
+    return peaks;
+}
+
+double
+firstOrderResonanceHz(const PdnModel &model)
+{
+    const auto peaks = findResonances(model);
+    requireSim(!peaks.empty(),
+               "no impedance peak found in the sweep range");
+    return peaks.front().freq_hz;
+}
+
+} // namespace pdn
+} // namespace emstress

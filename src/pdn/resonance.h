@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Resonance extraction from PDN impedance spectra: locate the
+ * impedance peaks of the multi-tank ladder and classify them into the
+ * paper's 1st/2nd/3rd-order resonances by descending frequency.
+ */
+
+#ifndef EMSTRESS_PDN_RESONANCE_H
+#define EMSTRESS_PDN_RESONANCE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "pdn/pdn_model.h"
+
+namespace emstress {
+namespace pdn {
+
+/** One impedance peak of the PDN. */
+struct ResonancePeak
+{
+    double freq_hz = 0.0;        ///< Peak frequency.
+    double impedance_ohm = 0.0;  ///< |Z| at the peak.
+    int order = 0;               ///< 1 = highest-frequency peak.
+};
+
+/**
+ * Sweep the die-node input impedance over a log grid and extract the
+ * local maxima, classified by order (1st = highest frequency, which
+ * for a well-formed PDN is also the highest impedance peak).
+ *
+ * @param model      PDN under analysis.
+ * @param f_lo       Sweep start [Hz].
+ * @param f_hi       Sweep end [Hz].
+ * @param points_per_decade Grid density.
+ */
+std::vector<ResonancePeak> findResonances(const PdnModel &model,
+                                          double f_lo = 1e3,
+                                          double f_hi = 1e9,
+                                          std::size_t points_per_decade
+                                          = 120);
+
+/**
+ * Convenience: the 1st-order resonance frequency (highest-frequency
+ * impedance peak) of a model.
+ * @throws SimulationError when no peak exists in the sweep range.
+ */
+double firstOrderResonanceHz(const PdnModel &model);
+
+} // namespace pdn
+} // namespace emstress
+
+#endif // EMSTRESS_PDN_RESONANCE_H

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Platform implementation and the three paper configurations.
+ */
+
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdn/resonance.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace platform {
+
+namespace {
+
+/**
+ * Refine the die-tank inductance so the *realized* 1st-order
+ * resonance of the full ladder (which the upstream stages shift
+ * slightly away from the ideal LC value) lands on the measured
+ * anchor.
+ */
+void
+refineDieTank(pdn::PdnParameters &params, double f_target_hz)
+{
+    for (int i = 0; i < 4; ++i) {
+        pdn::PdnModel model(params);
+        const double realized = pdn::firstOrderResonanceHz(model);
+        const double ratio = realized / f_target_hz;
+        params.l_pkg_die *= ratio * ratio;
+    }
+}
+
+/**
+ * Relative per-core start stagger in seconds. Instances launched
+ * together run near-lockstep, so the stagger is ~1 ns: it must stay
+ * a small fraction of the 1st-order resonance period (~13-15 ns) on
+ * every platform, otherwise the summed multi-core current would
+ * artificially cancel at exactly the resonant loop periods. A fixed
+ * *cycle* stagger would do that on slow clocks.
+ */
+constexpr double kCorePhaseStagger = 1e-9;
+
+/** Extra simulated lead time discarded to let the PDN settle [s]. */
+constexpr double kSettleTime = 0.5e-6;
+
+isa::InstructionPool
+poolFor(isa::IsaFamily isa)
+{
+    return isa == isa::IsaFamily::ArmV8
+        ? isa::InstructionPool::armV8()
+        : isa::InstructionPool::x86Sse2();
+}
+
+instruments::SpectrumAnalyzerParams
+analyzerParamsFor(const PlatformConfig &)
+{
+    instruments::SpectrumAnalyzerParams p;
+    p.f_start_hz = mega(10.0);
+    p.f_stop_hz = mega(500.0);
+    return p;
+}
+
+instruments::OscilloscopeParams
+scopeParamsFor(const PlatformConfig &cfg)
+{
+    return cfg.visibility == VoltageVisibility::KelvinPads
+        ? instruments::kelvinScopeParams()
+        : instruments::ocDsoParams();
+}
+
+} // namespace
+
+PlatformConfig
+junoA72Config()
+{
+    PlatformConfig cfg;
+    cfg.name = "Cortex-A72";
+    cfg.motherboard = "Juno Board R2";
+    cfg.os = "Debian";
+    cfg.technology_nm = 16;
+    cfg.n_cores = 2;
+    cfg.f_max_hz = giga(1.2);
+    cfg.f_min_hz = mega(120.0);
+    cfg.f_step_hz = mega(20.0);
+    cfg.v_nom = 1.0;
+    cfg.visibility = VoltageVisibility::OcDso;
+    cfg.has_scl = true;
+    cfg.antenna_distance_m = 0.07;
+    cfg.core = uarch::cortexA72Params();
+    cfg.isa = isa::IsaFamily::ArmV8;
+    // Calibrated to Fig. 8 / Fig. 11 anchors: ~67 MHz with both
+    // cores powered, ~85 MHz with one.
+    cfg.pdn.calibrateDieTank(mega(67.0), mega(85.0), 2, nano(120.0));
+    refineDieTank(cfg.pdn, mega(67.0));
+    cfg.pdn.v_nom = cfg.v_nom;
+    return cfg;
+}
+
+PlatformConfig
+junoA53Config()
+{
+    PlatformConfig cfg;
+    cfg.name = "Cortex-A53";
+    cfg.motherboard = "Juno Board R2";
+    cfg.os = "Debian";
+    cfg.technology_nm = 16;
+    cfg.n_cores = 4;
+    cfg.f_max_hz = mega(950.0);
+    cfg.f_min_hz = mega(95.0);
+    cfg.f_step_hz = mega(19.0);
+    cfg.v_nom = 1.0;
+    cfg.visibility = VoltageVisibility::None;
+    cfg.has_scl = false;
+    cfg.antenna_distance_m = 0.07;
+    cfg.core = uarch::cortexA53Params();
+    cfg.isa = isa::IsaFamily::ArmV8;
+    // Fig. 13 anchors: 76.5 MHz all four cores, ~97 MHz one core.
+    // The little cluster's smaller cores also mean a weaker PDN:
+    // lighter decap network and a high-Q die tank (tiny cluster,
+    // very little grid loss) — which is why power-gating effects on
+    // its resonance are so pronounced in the paper.
+    cfg.pdn.c_pkg = 5e-6;
+    cfg.pdn.r_die = 0.10e-3;
+    cfg.pdn.r_pkg = 0.12e-3;
+    cfg.pdn.esr_pkg = 0.15e-3;
+    cfg.pdn.calibrateDieTank(mega(76.5), mega(97.0), 4, nano(60.0));
+    refineDieTank(cfg.pdn, mega(76.5));
+    cfg.pdn.v_nom = cfg.v_nom;
+    return cfg;
+}
+
+PlatformConfig
+athlonConfig()
+{
+    PlatformConfig cfg;
+    cfg.name = "Athlon II X4 645";
+    cfg.motherboard = "Asus M5A78L LE";
+    cfg.os = "Windows 8.1";
+    cfg.technology_nm = 45;
+    cfg.n_cores = 4;
+    cfg.f_max_hz = giga(3.1);
+    // AMD Overdrive exposes multiplier steps of 0.5 on the 100 MHz
+    // reference and lets the clock drop far enough that the probe
+    // loop sweeps through the 50-200 MHz resonance band.
+    cfg.f_min_hz = mega(400.0);
+    cfg.f_step_hz = mega(50.0);
+    cfg.v_nom = 1.4;
+    cfg.visibility = VoltageVisibility::KelvinPads;
+    cfg.has_scl = false;
+    cfg.antenna_distance_m = 0.08;
+    cfg.core = uarch::athlonX4Params();
+    cfg.isa = isa::IsaFamily::X86_64;
+    // Desktop board: heftier decap network and a much stiffer supply
+    // path (multi-phase VRM, wide power planes: total series
+    // resistance ~1 mohm, versus the mobile board's ~10 mohm).
+    // Overrides precede calibration because calibrateDieTank folds
+    // the decap ESL into the tank inductance.
+    cfg.pdn.c_pkg = 20e-6;
+    cfg.pdn.esl_pkg = 1.5e-12;
+    // Damped bulk bank: caps the mid-frequency anti-resonance (which
+    // the stiff low-resistance supply path would otherwise leave
+    // under-damped) without loading the 1st-order tank.
+    cfg.pdn.c_pkg_bulk = 50e-6;
+    cfg.pdn.esl_pkg_bulk = 100e-12;
+    cfg.pdn.esr_pkg_bulk = 4e-3;
+    cfg.pdn.c_pcb = 3e-3;
+    // Sharp 1st-order peak (Q ~ 8): desktop parts have very low
+    // grid/package loss, which is precisely why dI/dt resonance is a
+    // first-order margin concern on them.
+    cfg.pdn.r_die = 0.08e-3;
+    cfg.pdn.r_pkg = 0.1e-3;
+    cfg.pdn.esr_pkg = 0.1e-3;
+    cfg.pdn.r_pcb = 0.5e-3;
+    cfg.pdn.r_vrm = 0.2e-3;
+    // Fig. 16: resonance at 78 MHz with all cores. The one-core
+    // anchor is not reported by the paper; 95 MHz follows the same
+    // uncore/core capacitance split as the ARM clusters.
+    cfg.pdn.calibrateDieTank(mega(78.0), mega(95.0), 4, nano(100.0));
+    refineDieTank(cfg.pdn, mega(78.0));
+    cfg.pdn.v_nom = cfg.v_nom;
+    return cfg;
+}
+
+Platform::Platform(const PlatformConfig &config, std::uint64_t seed)
+    : config_(config), pool_(poolFor(config.isa)),
+      core_(config.core),
+      pdn_(std::make_unique<pdn::PdnModel>(config.pdn)),
+      antenna_(em::AntennaParams{}),
+      analyzer_(analyzerParamsFor(config), Rng(seed)),
+      scope_(scopeParamsFor(config), Rng(seed ^ 0x9e3779b97f4a7c15ull)),
+      f_clk_(config.f_max_hz), v_supply_(config.v_nom)
+{
+    requireConfig(config.n_cores >= 1, "platform needs cores");
+    requireConfig(config.pdn.n_cores == config.n_cores,
+                  "PDN core count must match platform core count");
+}
+
+instruments::Oscilloscope &
+Platform::scope()
+{
+    requireConfig(hasVoltageVisibility(),
+                  config_.name
+                      + " has no voltage-noise visibility (this is "
+                        "exactly the case the EM methodology solves)");
+    return scope_;
+}
+
+void
+Platform::setFrequency(double f_hz)
+{
+    requireConfig(f_hz > 0.0, "frequency must be positive");
+    const double snapped =
+        std::round(f_hz / config_.f_step_hz) * config_.f_step_hz;
+    f_clk_ = std::clamp(snapped, config_.f_min_hz, config_.f_max_hz);
+}
+
+void
+Platform::setVoltage(double v)
+{
+    requireConfig(v > 0.3 && v < 2.0,
+                  "supply voltage outside the plausible 0.3-2.0 V");
+    v_supply_ = v;
+    pdn_->setSupplyVoltage(v);
+}
+
+void
+Platform::setPoweredCores(std::size_t cores)
+{
+    pdn_->setPoweredCores(cores);
+}
+
+PlatformRunResult
+Platform::runKernel(const isa::Kernel &kernel, double duration_s,
+                    std::size_t active_cores) const
+{
+    const auto run = core_.runLoop(pool_, kernel, f_clk_,
+                                   duration_s + kSettleTime);
+    // Identical resonant loops on the shared PDN effectively
+    // phase-lock (voltage-delay entrainment), so kernel instances
+    // sum near-coherently: a small launch stagger only.
+    return finishRun(run, duration_s, active_cores,
+                     kCorePhaseStagger);
+}
+
+PlatformRunResult
+Platform::runStream(std::span<const isa::Instruction> stream,
+                    double duration_s, std::size_t active_cores) const
+{
+    auto run = core_.runStream(pool_, stream, f_clk_);
+    requireConfig(run.current.duration() >= duration_s + kSettleTime,
+                  "instruction stream too short for the requested "
+                  "duration; generate a longer stream");
+    // Benchmark instances are independent programs at unrelated
+    // execution points: decorrelate them with a large stagger so
+    // their stochastic current components do not add coherently.
+    const double decorrelate = run.current.duration()
+        / static_cast<double>(std::max<std::size_t>(
+            2, pdn_->poweredCores() + 1));
+    return finishRun(run, duration_s, active_cores, decorrelate);
+}
+
+PlatformRunResult
+Platform::runScl(double freq_hz, double amplitude_a,
+                 double duration_s) const
+{
+    requireConfig(config_.has_scl,
+                  config_.name + " has no SCL injector");
+    // Idle cores: flat leakage-level load.
+    const double total = duration_s + kSettleTime;
+    Trace idle(kPdnDt);
+    const auto steps = static_cast<std::size_t>(total / kPdnDt);
+    idle.reserve(steps);
+    const double idle_current = config_.core.idle_current
+        * static_cast<double>(pdn_->poweredCores());
+    for (std::size_t i = 0; i < steps; ++i)
+        idle.push(idle_current);
+
+    instruments::SyntheticCurrentLoad scl(amplitude_a);
+    auto sim = pdn_->simulate(idle, scl.waveform(freq_hz));
+
+    const auto settle_steps =
+        static_cast<std::size_t>(kSettleTime / kPdnDt);
+    PlatformRunResult out{
+        sim.v_die.slice(settle_steps, sim.v_die.size() - settle_steps),
+        sim.i_die.slice(settle_steps, sim.i_die.size() - settle_steps),
+        Trace(kPdnDt),
+        {}};
+    out.em = antenna_.receive(out.i_die, config_.antenna_distance_m);
+    return out;
+}
+
+PlatformRunResult
+Platform::runIdle(double duration_s) const
+{
+    const double total = duration_s + kSettleTime;
+    Trace idle(kPdnDt);
+    const auto steps = static_cast<std::size_t>(total / kPdnDt);
+    idle.reserve(steps);
+    const double current = config_.core.idle_current
+        * (v_supply_ / config_.core.v_ref)
+        * static_cast<double>(pdn_->poweredCores());
+    for (std::size_t i = 0; i < steps; ++i)
+        idle.push(current);
+    auto sim = pdn_->simulate(idle);
+
+    const auto settle_steps =
+        static_cast<std::size_t>(kSettleTime / kPdnDt);
+    const std::size_t n = sim.v_die.size() - settle_steps;
+    PlatformRunResult out{sim.v_die.slice(settle_steps, n),
+                          sim.i_die.slice(settle_steps, n),
+                          Trace(kPdnDt),
+                          {}};
+    out.em = antenna_.receive(out.i_die, config_.antenna_distance_m);
+    return out;
+}
+
+PlatformRunResult
+Platform::finishRun(const uarch::CoreRunResult &core_run,
+                    double duration_s, std::size_t active_cores,
+                    double stagger_s) const
+{
+    const std::size_t powered = pdn_->poweredCores();
+    if (active_cores == 0)
+        active_cores = powered;
+    requireConfig(active_cores <= powered,
+                  "cannot run on more cores than are powered");
+
+    // Sum per-core currents with mutual phase offsets by rotating
+    // the single-instance trace.
+    const Trace &one = core_run.current;
+    const auto stagger_cycles = std::max<std::size_t>(
+        1, static_cast<std::size_t>(stagger_s / one.dt()));
+    requireSim(one.size() > stagger_cycles * active_cores,
+               "core trace too short for phase-shifted summation");
+    Trace total(one.dt());
+    total.data().assign(one.size(), 0.0);
+    const double v_scale = v_supply_ / config_.core.v_ref;
+    for (std::size_t c = 0; c < active_cores; ++c) {
+        const std::size_t shift = c * stagger_cycles;
+        for (std::size_t k = 0; k < one.size(); ++k)
+            total[k] += one[(k + shift) % one.size()] * v_scale;
+    }
+    // Idle (powered but inactive) cores draw leakage.
+    const double extra_idle = config_.core.idle_current * v_scale
+        * static_cast<double>(powered - active_cores);
+    if (extra_idle > 0.0) {
+        for (std::size_t k = 0; k < total.size(); ++k)
+            total[k] += extra_idle;
+    }
+
+    const Trace i_load = total.resampleZeroOrderHold(kPdnDt);
+    auto sim = pdn_->simulate(i_load);
+
+    // Discard the settle lead-in.
+    std::size_t settle_steps =
+        static_cast<std::size_t>(kSettleTime / kPdnDt);
+    if (settle_steps >= sim.v_die.size())
+        settle_steps = 0;
+    const std::size_t want =
+        static_cast<std::size_t>(duration_s / kPdnDt);
+    const std::size_t avail = sim.v_die.size() - settle_steps;
+    const std::size_t n = std::min(want, avail);
+    requireSim(n >= 16, "run produced too few PDN samples");
+
+    PlatformRunResult out{sim.v_die.slice(settle_steps, n),
+                          sim.i_die.slice(settle_steps, n),
+                          Trace(kPdnDt), core_run.stats};
+    out.em = antenna_.receive(out.i_die, config_.antenna_distance_m);
+    return out;
+}
+
+} // namespace platform
+} // namespace emstress

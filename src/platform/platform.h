@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Platform: the integration of cores, PDN, antenna coupling and
+ * instruments into one simulated device-under-test with DVFS and
+ * power-gating controls — the stand-in for the paper's Juno board
+ * clusters and the AMD desktop (Table 1).
+ */
+
+#ifndef EMSTRESS_PLATFORM_PLATFORM_H
+#define EMSTRESS_PLATFORM_PLATFORM_H
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "em/antenna.h"
+#include "instruments/oscilloscope.h"
+#include "instruments/scl.h"
+#include "instruments/spectrum_analyzer.h"
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "pdn/pdn_model.h"
+#include "uarch/core_model.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace platform {
+
+/** PDN simulation timestep shared across the project: 4 GS/s. */
+inline constexpr double kPdnDt = 0.25e-9;
+
+/** Voltage-noise visibility of a platform (Table 1 last column). */
+enum class VoltageVisibility
+{
+    OcDso,        ///< On-chip DSO (Juno Cortex-A72 domain).
+    None,         ///< No direct measurement (Juno Cortex-A53 domain).
+    KelvinPads,   ///< On-package pads + benchtop scope (AMD).
+};
+
+/** Static description of a platform (one row of Table 1). */
+struct PlatformConfig
+{
+    std::string name;          ///< e.g. "Cortex-A72".
+    std::string motherboard;   ///< e.g. "Juno Board R2".
+    std::string os;            ///< e.g. "Debian".
+    int technology_nm = 16;    ///< Process node.
+    std::size_t n_cores = 2;   ///< Cores in the voltage domain.
+    double f_max_hz = 1.2e9;   ///< Highest operating frequency.
+    double f_min_hz = 120e6;   ///< Lowest DVFS frequency.
+    double f_step_hz = 20e6;   ///< DVFS frequency granularity.
+    double v_nom = 1.0;        ///< Nominal voltage at f_max.
+    VoltageVisibility visibility = VoltageVisibility::None;
+    bool has_scl = false;      ///< SCL injector present.
+    double antenna_distance_m = 0.07; ///< Antenna placement.
+
+    uarch::CoreParams core;    ///< Core microarchitecture.
+    pdn::PdnParameters pdn;    ///< PDN electrical model.
+    isa::IsaFamily isa = isa::IsaFamily::ArmV8;
+};
+
+/** Juno R2 Cortex-A72 domain (dual-core OoO, OC-DSO + SCL). */
+PlatformConfig junoA72Config();
+
+/** Juno R2 Cortex-A53 domain (quad-core in-order, no visibility). */
+PlatformConfig junoA53Config();
+
+/** AMD Athlon II X4 645 on Asus M5A78L LE (Kelvin pads). */
+PlatformConfig athlonConfig();
+
+/** Result of executing software (or the SCL) on a platform. */
+struct PlatformRunResult
+{
+    Trace v_die;  ///< Die voltage at the PDN timestep [V].
+    Trace i_die;  ///< Package-loop current [A].
+    Trace em;     ///< Antenna voltage at the analyzer input [V].
+    uarch::KernelRunStats stats; ///< Core stats (loop runs).
+};
+
+/**
+ * A simulated device under test. Owns the cores, PDN, antenna and
+ * instruments; provides DVFS, power gating and run methods.
+ */
+class Platform
+{
+  public:
+    /**
+     * Build a platform.
+     * @param config Static description.
+     * @param seed   Seeds the instrument/measurement noise streams.
+     */
+    Platform(const PlatformConfig &config, std::uint64_t seed);
+
+    /** Static description. */
+    const PlatformConfig &config() const { return config_; }
+
+    /** The platform's instruction pool. */
+    const isa::InstructionPool &pool() const { return pool_; }
+
+    /** The PDN model (e.g. for impedance analysis). */
+    const pdn::PdnModel &pdnModel() const { return *pdn_; }
+
+    /** The receive antenna. */
+    const em::Antenna &antenna() const { return antenna_; }
+
+    /** The spectrum analyzer connected to the antenna. */
+    instruments::SpectrumAnalyzer &analyzer() { return analyzer_; }
+
+    /**
+     * The voltage-measurement scope.
+     * @throws ConfigError when visibility is None (the Cortex-A53
+     *         case the paper's EM method exists to address).
+     */
+    instruments::Oscilloscope &scope();
+
+    /** True when direct voltage measurement exists. */
+    bool hasVoltageVisibility() const
+    {
+        return config_.visibility != VoltageVisibility::None;
+    }
+
+    /// @{ DVFS and power gating.
+    /** Set core clock; snaps to the f_step grid and clamps to range. */
+    void setFrequency(double f_hz);
+    /** Current core clock. */
+    double frequency() const { return f_clk_; }
+    /** Set the supply voltage. */
+    void setVoltage(double v);
+    /** Current supply voltage. */
+    double voltage() const { return v_supply_; }
+    /** Power-gate down to a number of powered cores. */
+    void setPoweredCores(std::size_t cores);
+    /** Currently powered cores. */
+    std::size_t poweredCores() const { return pdn_->poweredCores(); }
+    /// @}
+
+    /**
+     * Run a kernel loop on a number of active cores (each core runs
+     * its own instance, mutually phase-shifted) for a duration of
+     * steady-state time, and return PDN + EM waveforms.
+     *
+     * @param kernel       Loop body.
+     * @param duration_s   Steady-state window to record.
+     * @param active_cores Cores executing; 0 means all powered cores.
+     */
+    PlatformRunResult runKernel(const isa::Kernel &kernel,
+                                double duration_s,
+                                std::size_t active_cores = 0) const;
+
+    /**
+     * Run a finite instruction stream (synthetic benchmark) on active
+     * cores.
+     */
+    PlatformRunResult
+    runStream(std::span<const isa::Instruction> stream,
+              double duration_s, std::size_t active_cores = 0) const;
+
+    /**
+     * Drive only the SCL square-wave injector at a frequency with
+     * idle cores (Fig. 8 methodology).
+     * @throws ConfigError when the platform has no SCL.
+     */
+    PlatformRunResult runScl(double freq_hz, double amplitude_a,
+                             double duration_s) const;
+
+    /**
+     * True idle: no program running, powered cores drawing only
+     * leakage/clock-tree current. The EM-quiet baseline of Fig. 4.
+     */
+    PlatformRunResult runIdle(double duration_s) const;
+
+  private:
+    /**
+     * Common tail of a run: sum active-core instances (staggered by
+     * stagger_s), add idle-core leakage, drive the PDN, strip the
+     * settle lead-in and couple the antenna.
+     */
+    PlatformRunResult
+    finishRun(const uarch::CoreRunResult &core_run, double duration_s,
+              std::size_t active_cores, double stagger_s) const;
+
+    PlatformConfig config_;
+    isa::InstructionPool pool_;
+    uarch::CoreModel core_;
+    std::unique_ptr<pdn::PdnModel> pdn_;
+    em::Antenna antenna_;
+    instruments::SpectrumAnalyzer analyzer_;
+    instruments::Oscilloscope scope_;
+    double f_clk_;
+    double v_supply_;
+};
+
+} // namespace platform
+} // namespace emstress
+
+#endif // EMSTRESS_PLATFORM_PLATFORM_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error handling for emstress: a library exception type plus
+ * precondition helpers. Following the Core Guidelines, user-facing
+ * configuration errors throw (recoverable by the caller) while
+ * internal invariant violations assert.
+ */
+
+#ifndef EMSTRESS_UTIL_ERROR_H
+#define EMSTRESS_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace emstress {
+
+/**
+ * Exception thrown on invalid user configuration or input (bad
+ * netlist, malformed XML pool file, out-of-range parameter). Analogous
+ * to gem5's fatal(): the condition is the caller's fault, not a bug.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Exception thrown when a simulation cannot proceed (singular MNA
+ * matrix, non-converging search). Carries enough context to report.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    explicit SimulationError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Throw ConfigError unless a user-supplied condition holds.
+ * @param cond    Condition that must be true.
+ * @param message Explanation included in the exception.
+ */
+inline void
+requireConfig(bool cond, const std::string &message)
+{
+    if (!cond)
+        throw ConfigError(message);
+}
+
+/** Throw SimulationError unless a runtime condition holds. */
+inline void
+requireSim(bool cond, const std::string &message)
+{
+    if (!cond)
+        throw SimulationError(message);
+}
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_ERROR_H

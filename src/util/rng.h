@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic random number generation. Every stochastic component
+ * in emstress (GA operators, measurement noise, workload generators,
+ * SDC classification) draws from an explicitly seeded Rng so that
+ * experiments are exactly reproducible from a seed.
+ */
+
+#ifndef EMSTRESS_UTIL_RNG_H
+#define EMSTRESS_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "util/error.h"
+
+namespace emstress {
+
+/**
+ * Seeded pseudo-random source wrapping std::mt19937_64 with the
+ * convenience draws the library needs. Cheap to copy; copies evolve
+ * independently, which forks a reproducible sub-stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from an explicit 64-bit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Derive an independent child stream (e.g. one per GA island). */
+    Rng
+    fork()
+    {
+        return Rng(engine_());
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /** Uniform size_t index in [0, n). @pre n > 0. */
+    std::size_t
+    index(std::size_t n)
+    {
+        requireSim(n > 0, "Rng::index called with empty range");
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    }
+
+    /** Gaussian draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Pick a uniformly random element of a non-empty span. */
+    template <typename T>
+    const T &
+    pick(std::span<const T> items)
+    {
+        return items[index(items.size())];
+    }
+
+    /** Underlying engine access for std distributions. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_RNG_H

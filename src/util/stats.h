@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Small statistics helpers over contiguous samples: extrema, mean,
+ * RMS, peak-to-peak, percentiles and a streaming accumulator.
+ */
+
+#ifndef EMSTRESS_UTIL_STATS_H
+#define EMSTRESS_UTIL_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace stats {
+
+/** Arithmetic mean. @pre non-empty. */
+inline double
+mean(std::span<const double> xs)
+{
+    requireSim(!xs.empty(), "stats::mean of empty span");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Root mean square. @pre non-empty. */
+inline double
+rms(std::span<const double> xs)
+{
+    requireSim(!xs.empty(), "stats::rms of empty span");
+    double s = 0.0;
+    for (double x : xs)
+        s += x * x;
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+/** Population variance. @pre non-empty. */
+inline double
+variance(std::span<const double> xs)
+{
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size());
+}
+
+/** Population standard deviation. */
+inline double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+/** Minimum element. @pre non-empty. */
+inline double
+minimum(std::span<const double> xs)
+{
+    requireSim(!xs.empty(), "stats::minimum of empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+/** Maximum element. @pre non-empty. */
+inline double
+maximum(std::span<const double> xs)
+{
+    requireSim(!xs.empty(), "stats::maximum of empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+/** Max minus min. @pre non-empty. */
+inline double
+peakToPeak(std::span<const double> xs)
+{
+    requireSim(!xs.empty(), "stats::peakToPeak of empty span");
+    auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    return *hi - *lo;
+}
+
+/**
+ * Linear-interpolated percentile.
+ * @param xs Samples (not required to be sorted; copied internally).
+ * @param p  Percentile in [0, 100].
+ */
+inline double
+percentile(std::span<const double> xs, double p)
+{
+    requireSim(!xs.empty(), "stats::percentile of empty span");
+    requireConfig(p >= 0.0 && p <= 100.0, "percentile outside [0,100]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+    const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo_idx);
+    return sorted[lo_idx] * (1.0 - frac) + sorted[hi_idx] * frac;
+}
+
+/**
+ * Streaming accumulator (Welford) for mean/variance/extrema without
+ * storing samples. Used by long transient simulations.
+ */
+class Running
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** Running mean. @pre count() > 0. */
+    double
+    mean() const
+    {
+        requireSim(n_ > 0, "Running::mean with no samples");
+        return mean_;
+    }
+
+    /** Running population variance. @pre count() > 0. */
+    double
+    variance() const
+    {
+        requireSim(n_ > 0, "Running::variance with no samples");
+        return m2_ / static_cast<double>(n_);
+    }
+
+    /** Smallest sample seen. @pre count() > 0. */
+    double
+    minimum() const
+    {
+        requireSim(n_ > 0, "Running::minimum with no samples");
+        return min_;
+    }
+
+    /** Largest sample seen. @pre count() > 0. */
+    double
+    maximum() const
+    {
+        requireSim(n_ > 0, "Running::maximum with no samples");
+        return max_;
+    }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace stats
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_STATS_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Console table and CSV emission. The benchmark harness prints the
+ * paper's tables/series through these writers so every experiment has
+ * both a human-readable and a machine-readable output.
+ */
+
+#ifndef EMSTRESS_UTIL_TABLE_H
+#define EMSTRESS_UTIL_TABLE_H
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emstress {
+
+/**
+ * Accumulates rows of strings/numbers and renders them as an aligned
+ * console table or a CSV file.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+        requireConfig(!headers_.empty(), "Table needs at least one column");
+    }
+
+    /** Begin a new row. */
+    Table &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    Table &
+    cell(const std::string &value)
+    {
+        requireSim(!rows_.empty(), "Table::cell before Table::row");
+        rows_.back().push_back(value);
+        return *this;
+    }
+
+    /** Append a numeric cell with a fixed number of decimals. */
+    Table &
+    cell(double value, int decimals = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(decimals) << value;
+        return cell(os.str());
+    }
+
+    /** Append an integer cell. */
+    Table &
+    cell(long value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    /** Number of data rows accumulated. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned plain-text table. */
+    std::string
+    toText() const
+    {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], r[c].size());
+
+        std::ostringstream os;
+        auto emit_row = [&](const std::vector<std::string> &r) {
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                const std::string &v = c < r.size() ? r[c] : std::string();
+                os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                   << v;
+            }
+            os << '\n';
+        };
+        emit_row(headers_);
+        std::string rule;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            rule += std::string(widths[c], '-') + "  ";
+        os << rule << '\n';
+        for (const auto &r : rows_)
+            emit_row(r);
+        return os.str();
+    }
+
+    /** Render as CSV text. */
+    std::string
+    toCsv() const
+    {
+        std::ostringstream os;
+        auto emit_row = [&](const std::vector<std::string> &r) {
+            for (std::size_t c = 0; c < r.size(); ++c) {
+                if (c)
+                    os << ',';
+                os << escape(r[c]);
+            }
+            os << '\n';
+        };
+        emit_row(headers_);
+        for (const auto &r : rows_)
+            emit_row(r);
+        return os.str();
+    }
+
+    /** Write the CSV rendering to a file. */
+    void
+    writeCsv(const std::string &path) const
+    {
+        std::ofstream f(path);
+        requireConfig(f.good(), "cannot open CSV output: " + path);
+        f << toCsv();
+    }
+
+    /** Print the text rendering to stdout with a title banner. */
+    void
+    print(const std::string &title) const
+    {
+        std::cout << "\n== " << title << " ==\n" << toText();
+    }
+
+  private:
+    static std::string
+    escape(const std::string &v)
+    {
+        if (v.find_first_of(",\"\n") == std::string::npos)
+            return v;
+        std::string out = "\"";
+        for (char ch : v) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_TABLE_H

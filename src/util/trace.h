@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Uniformly sampled time-series container. Traces are the lingua
+ * franca between subsystems: the uarch emits a current trace, the PDN
+ * transforms it into a voltage trace, instruments sample traces, and
+ * the DSP layer turns traces into spectra.
+ */
+
+#ifndef EMSTRESS_UTIL_TRACE_H
+#define EMSTRESS_UTIL_TRACE_H
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emstress {
+
+/**
+ * A uniformly sampled real-valued signal: samples plus the sampling
+ * interval. Value-semantic and cheap to move.
+ */
+class Trace
+{
+  public:
+    /** Empty trace with a sampling interval only. */
+    explicit Trace(double dt_seconds) : dt_(dt_seconds)
+    {
+        requireConfig(dt_seconds > 0.0, "Trace dt must be positive");
+    }
+
+    /** Trace adopting an existing sample vector. */
+    Trace(std::vector<double> samples, double dt_seconds)
+        : samples_(std::move(samples)), dt_(dt_seconds)
+    {
+        requireConfig(dt_seconds > 0.0, "Trace dt must be positive");
+    }
+
+    /** Sampling interval in seconds. */
+    double dt() const { return dt_; }
+
+    /** Sampling rate in hertz. */
+    double sampleRate() const { return 1.0 / dt_; }
+
+    /** Number of samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True when the trace holds no samples. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Total spanned time in seconds. */
+    double duration() const { return dt_ * static_cast<double>(size()); }
+
+    /** Read-only view of the samples. */
+    std::span<const double> samples() const { return samples_; }
+
+    /** Mutable access to the samples. */
+    std::vector<double> &data() { return samples_; }
+
+    /** Sample access. */
+    double operator[](std::size_t i) const { return samples_[i]; }
+
+    /** Mutable sample access. */
+    double &operator[](std::size_t i) { return samples_[i]; }
+
+    /** Append one sample. */
+    void push(double v) { samples_.push_back(v); }
+
+    /** Reserve capacity for n samples. */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    /** Timestamp of sample i in seconds. */
+    double timeAt(std::size_t i) const
+    {
+        return dt_ * static_cast<double>(i);
+    }
+
+    /**
+     * Extract a sub-trace covering [start_index, start_index + count).
+     * @pre The range lies within the trace.
+     */
+    Trace
+    slice(std::size_t start_index, std::size_t count) const
+    {
+        requireSim(start_index + count <= size(),
+                   "Trace::slice out of range");
+        std::vector<double> out(samples_.begin() + start_index,
+                                samples_.begin() + start_index + count);
+        return Trace(std::move(out), dt_);
+    }
+
+    /**
+     * Resample onto a new (finer or coarser) interval with zero-order
+     * hold, the correct reconstruction for a piecewise-constant
+     * quantity like per-cycle CPU current.
+     */
+    Trace
+    resampleZeroOrderHold(double new_dt) const
+    {
+        requireConfig(new_dt > 0.0, "resample dt must be positive");
+        Trace out(new_dt);
+        if (empty())
+            return out;
+        const auto n_out =
+            static_cast<std::size_t>(duration() / new_dt);
+        out.reserve(n_out);
+        for (std::size_t i = 0; i < n_out; ++i) {
+            const double t = new_dt * static_cast<double>(i);
+            auto src = static_cast<std::size_t>(t / dt_);
+            if (src >= size())
+                src = size() - 1;
+            out.push(samples_[src]);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<double> samples_;
+    double dt_;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_TRACE_H

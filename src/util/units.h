@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Physical constants, unit helpers and dB conversions used across
+ * emstress. All internal quantities are SI (seconds, hertz, volts,
+ * amperes, ohms, henries, farads, watts).
+ */
+
+#ifndef EMSTRESS_UTIL_UNITS_H
+#define EMSTRESS_UTIL_UNITS_H
+
+#include <cmath>
+
+namespace emstress {
+
+/** Pi to double precision. */
+inline constexpr double kPi = 3.14159265358979323846;
+
+/** Two pi, the radian measure of a full turn. */
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/** Boltzmann constant [J/K], used for thermal noise floors. */
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/** Reference temperature [K] for noise calculations. */
+inline constexpr double kRoomTempKelvin = 290.0;
+
+/// @{ Multiplier helpers so literal parameters read like a datasheet.
+inline constexpr double kilo(double v) { return v * 1e3; }
+inline constexpr double mega(double v) { return v * 1e6; }
+inline constexpr double giga(double v) { return v * 1e9; }
+inline constexpr double milli(double v) { return v * 1e-3; }
+inline constexpr double micro(double v) { return v * 1e-6; }
+inline constexpr double nano(double v) { return v * 1e-9; }
+inline constexpr double pico(double v) { return v * 1e-12; }
+/// @}
+
+/**
+ * Convert a power ratio to decibels.
+ * @param ratio Linear power ratio; must be positive.
+ */
+inline double
+powerRatioToDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+/** Convert decibels to a linear power ratio. */
+inline double
+dbToPowerRatio(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/**
+ * Convert a power in watts to dBm (decibels relative to 1 mW).
+ * @param watts Power; must be positive (caller clamps at a noise
+ *              floor before converting).
+ */
+inline double
+wattsToDbm(double watts)
+{
+    return 10.0 * std::log10(watts / 1e-3);
+}
+
+/** Convert dBm to watts. */
+inline double
+dbmToWatts(double dbm)
+{
+    return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
+
+/**
+ * Power (watts) dissipated by an RMS voltage across a reference
+ * impedance, the quantity a spectrum analyzer displays.
+ */
+inline double
+voltsRmsToWatts(double vrms, double impedance_ohms)
+{
+    return vrms * vrms / impedance_ohms;
+}
+
+/**
+ * Resonance frequency of a series/parallel LC tank: 1 / (2*pi*sqrt(LC)).
+ */
+inline double
+lcResonanceHz(double inductance_h, double capacitance_f)
+{
+    return 1.0 / (kTwoPi * std::sqrt(inductance_h * capacitance_f));
+}
+
+/**
+ * Solve the LC resonance relation for inductance given a target
+ * frequency and capacitance. Used to calibrate PDN models against the
+ * paper's measured resonance anchors.
+ */
+inline double
+inductanceForResonance(double freq_hz, double capacitance_f)
+{
+    const double w = kTwoPi * freq_hz;
+    return 1.0 / (w * w * capacitance_f);
+}
+
+/** Solve the LC resonance relation for capacitance. */
+inline double
+capacitanceForResonance(double freq_hz, double inductance_h)
+{
+    const double w = kTwoPi * freq_hz;
+    return 1.0 / (w * w * inductance_h);
+}
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_UNITS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * V_MIN search implementation.
+ */
+
+#include "vmin/vmin_search.h"
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace emstress {
+namespace vmin {
+
+VminSearch::VminSearch(const VminSearchConfig &config,
+                       const FailureModel &failure, Rng rng)
+    : config_(config), failure_(failure), rng_(rng)
+{
+    requireConfig(config.v_step > 0.0, "step must be positive");
+    requireConfig(config.v_start > config.v_floor,
+                  "start voltage must exceed the floor");
+    requireConfig(config.repeats >= 1, "need at least one repeat");
+}
+
+VminResult
+VminSearch::characterize(const WorkloadRunner &runner, double f_clk_hz)
+{
+    VminResult result;
+
+    // Record the nominal-voltage droop for reporting (Fig. 10's red
+    // curve) from the first repeat at the start voltage.
+    {
+        const Trace v0 = runner(config_.v_start, 0);
+        result.max_droop_nominal =
+            config_.v_start - stats::minimum(v0.samples());
+    }
+
+    for (double v = config_.v_start; v > config_.v_floor;
+         v -= config_.v_step) {
+        for (std::size_t rep = 0; rep < config_.repeats; ++rep) {
+            const Trace v_die = runner(v, rep);
+            ++result.runs_executed;
+            const RunOutcome outcome =
+                failure_.classify(v_die, f_clk_hz, rng_);
+            if (isFailure(outcome)) {
+                // Paper reports the highest voltage at which any
+                // deviation from nominal execution is observed.
+                result.vmin = v;
+                result.first_failure = outcome;
+                return result;
+            }
+        }
+    }
+    return result; // nothing failed: vmin 0 / Pass
+}
+
+} // namespace vmin
+} // namespace emstress

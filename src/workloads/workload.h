@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic benchmark workload models. The paper compares its viruses
+ * against SPEC2006 (on ARM) and desktop/stability suites (on AMD);
+ * since the real binaries and their inputs are unavailable here, each
+ * benchmark is modeled as a parameterized instruction-stream
+ * generator whose knobs (activity level, program-phase behaviour,
+ * memory/FP mix, serialization) reproduce the current-modulation
+ * character that determines its voltage noise and V_MIN.
+ */
+
+#ifndef EMSTRESS_WORKLOADS_WORKLOAD_H
+#define EMSTRESS_WORKLOADS_WORKLOAD_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+#include "isa/pool.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace workloads {
+
+/**
+ * Parameter set describing one benchmark's execution character.
+ */
+struct WorkloadProfile
+{
+    std::string name;
+    /// Mean activity in [0,1]: probability a slot holds a
+    /// high-current (short-latency) op rather than a stalling one.
+    double intensity = 0.7;
+    /// Period of slow program-phase alternation [instructions].
+    std::size_t phase_len = 4000;
+    /// Depth of the phase modulation in [0,1].
+    double phase_depth = 0.3;
+    /// Fraction of memory instructions.
+    double mem_fraction = 0.15;
+    /// Fraction of FP + SIMD instructions.
+    double fp_fraction = 0.25;
+    /// Probability an instruction depends on its predecessor.
+    double dep_chain = 0.3;
+    /// 1-sigma block-to-block activity wobble. Stability tests
+    /// (Prime95-class) run the same tight loop for hours and are
+    /// nearly wobble-free; irregular codes jump between loops with
+    /// different power levels.
+    double block_wobble = 0.05;
+    /// Memory-stall bursts: one serialized low-current burst every
+    /// this many instructions (0 = never). Models DRAM-access
+    /// clusters; their edges are the broadband dI/dt excitation real
+    /// memory-bound benchmarks produce.
+    std::size_t burst_every = 0;
+    /// Length of each stall burst in instructions.
+    std::size_t burst_len = 0;
+    /// Per-benchmark seed salt so streams differ reproducibly.
+    std::uint64_t seed_salt = 0;
+};
+
+/** The idle "workload": an almost-empty stream of dependent NOPs. */
+WorkloadProfile idleProfile();
+
+/**
+ * SPEC2006-like suite used in the ARM V_MIN figures. Includes "lbm"
+ * with the strongest phase swings (the paper's highest-droop SPEC
+ * benchmark) down to well-behaved, steady benchmarks.
+ */
+std::vector<WorkloadProfile> spec2006Suite();
+
+/**
+ * Desktop/stability suite used on the AMD platform (Fig. 18):
+ * Blender-, Cinebench-, Euler3D-, WEBXPRT-, GeekBench-like apps plus
+ * Prime95-like and AMD-stability-test-like stress loads (steady
+ * near-maximal power, hence high droop but weak *resonant* noise).
+ */
+std::vector<WorkloadProfile> desktopSuite();
+
+/** Look up a profile by name in a suite. @throws ConfigError. */
+const WorkloadProfile &findProfile(
+    const std::vector<WorkloadProfile> &suite, const std::string &name);
+
+/**
+ * Generate a concrete instruction stream realizing a profile.
+ *
+ * @param profile Benchmark character.
+ * @param pool    Target pool (ARM or x86; class availability adapts).
+ * @param length  Number of instructions.
+ * @param rng     Seed stream (salted internally per profile).
+ */
+std::vector<isa::Instruction>
+generateStream(const WorkloadProfile &profile,
+               const isa::InstructionPool &pool, std::size_t length,
+               Rng rng);
+
+} // namespace workloads
+} // namespace emstress
+
+#endif // EMSTRESS_WORKLOADS_WORKLOAD_H

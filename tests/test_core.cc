@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Integration tests for the high-level API: fitness evaluators,
+ * virus generation, resonance exploration, V_MIN testing,
+ * multi-domain monitoring and virus analysis. These exercise the
+ * entire stack (uarch -> PDN -> antenna -> instruments) end to end
+ * with reduced measurement budgets so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fitness.h"
+#include "core/multidomain.h"
+#include "core/resonance_explorer.h"
+#include "core/virus_analysis.h"
+#include "core/virus_generator.h"
+#include "core/vmin_tester.h"
+#include "pdn/resonance.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace core {
+namespace {
+
+EvalSettings
+fastEval()
+{
+    EvalSettings s;
+    s.duration_s = 2e-6;
+    s.sa_samples = 3;
+    return s;
+}
+
+ga::GaConfig
+fastGa()
+{
+    ga::GaConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 6;
+    cfg.kernel_length = 30;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Fitness, EmAmplitudeRanksResonantKernelAboveRandom)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    EmAmplitudeFitness fitness(a72, fastEval());
+
+    // A kernel whose loop frequency is far from resonance at 1.2 GHz
+    // versus the probe loop run at a clock that lands on resonance.
+    a72.setFrequency(560e6); // probe loop -> 70 MHz
+    const auto resonant =
+        ResonanceExplorer::probeLoop(a72.pool());
+    ga::EvalDetail d_res;
+    const double f_res = fitness.evaluate(resonant, &d_res);
+
+    a72.setFrequency(1.2e9); // probe loop -> 150 MHz, off resonance
+    ga::EvalDetail d_off;
+    const double f_off = fitness.evaluate(resonant, &d_off);
+
+    EXPECT_GT(f_res, f_off + 6.0); // at least 6 dB stronger
+    EXPECT_NEAR(d_res.dominant_freq_hz, mega(70.0), mega(4.0));
+    EXPECT_GT(d_res.measurement_seconds, 0.0);
+}
+
+TEST(Fitness, DroopFitnessRequiresVisibility)
+{
+    platform::Platform a53(platform::junoA53Config(), 3);
+    EXPECT_THROW(MaxDroopFitness f(a53, fastEval()), ConfigError);
+    EXPECT_THROW(PeakToPeakFitness f(a53, fastEval()), ConfigError);
+
+    platform::Platform a72(platform::junoA72Config(), 3);
+    EXPECT_NO_THROW(MaxDroopFitness f(a72, fastEval()));
+}
+
+TEST(Fitness, DroopAndP2pAgreeOnOrdering)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    MaxDroopFitness droop(a72, fastEval());
+    PeakToPeakFitness p2p(a72, fastEval());
+
+    a72.setFrequency(560e6);
+    const auto resonant = ResonanceExplorer::probeLoop(a72.pool());
+    Rng rng(9);
+    const auto idle_ish = isa::Kernel::random(a72.pool(), 30, rng);
+
+    EXPECT_GT(droop.evaluate(resonant, nullptr),
+              droop.evaluate(idle_ish, nullptr) * 0.8);
+    EXPECT_GT(p2p.evaluate(resonant, nullptr), 0.0);
+}
+
+TEST(InProcessTargetTest, LifecycleAndFaultInjection)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    InProcessTarget target(a72, fastEval());
+    EXPECT_EQ(target.describe(), "in-process://Cortex-A72");
+
+    const auto kernel = ResonanceExplorer::probeLoop(a72.pool());
+    // Protocol violations are rejected.
+    EXPECT_THROW(target.startRun(), SimulationError);
+    target.deploy(kernel);
+    EXPECT_THROW((void)target.measureEm(), SimulationError);
+    target.startRun();
+    const Trace em = target.measureEm();
+    EXPECT_GT(em.size(), 1000u);
+    target.stopRun();
+    EXPECT_THROW(target.stopRun(), SimulationError);
+    EXPECT_GT(target.labSecondsSpent(), 0.0);
+
+    // Injected transport failures surface as SimulationError.
+    target.injectDeployFailures(2);
+    EXPECT_THROW(target.deploy(kernel), SimulationError);
+    EXPECT_THROW(target.deploy(kernel), SimulationError);
+    EXPECT_NO_THROW(target.deploy(kernel));
+}
+
+TEST(VirusGeneratorTest, EmSearchImprovesAndFindsResonance)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    VirusGenerator gen(a72);
+    VirusSearchConfig cfg;
+    cfg.ga = fastGa();
+    cfg.ga.generations = 10;
+    cfg.eval = fastEval();
+    cfg.metric = VirusMetric::EmAmplitude;
+
+    std::size_t callbacks = 0;
+    const auto report =
+        gen.search(cfg, [&callbacks](const ga::GenerationRecord &) {
+            ++callbacks;
+        });
+    EXPECT_EQ(callbacks, 10u);
+    EXPECT_EQ(report.metric, "em-amplitude");
+    EXPECT_EQ(report.virus.size(), 30u);
+    // Improvement over the first generation.
+    EXPECT_GT(report.ga.best_fitness,
+              report.ga.history.front().best_fitness);
+    // Converged dominant frequency near the PDN resonance.
+    EXPECT_NEAR(report.dominant_freq_hz,
+                pdn::firstOrderResonanceHz(a72.pdnModel()),
+                mega(12.0));
+    EXPECT_GT(report.max_droop_v, 0.0);
+    EXPECT_GT(report.ga.estimated_lab_seconds, 0.0);
+}
+
+TEST(VirusGeneratorTest, DroopSearchWorksOnVisiblePlatform)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    VirusGenerator gen(a72);
+    VirusSearchConfig cfg;
+    cfg.ga = fastGa();
+    cfg.eval = fastEval();
+    cfg.metric = VirusMetric::MaxDroop;
+    const auto report = gen.search(cfg);
+    EXPECT_EQ(report.metric, "max-droop");
+    EXPECT_GT(report.max_droop_v, 0.01);
+}
+
+TEST(ResonanceExplorerTest, SweepFindsA72Resonance)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    ResonanceExplorer explorer(a72);
+    const auto points = explorer.sweep(2e-6, 2);
+    EXPECT_GT(points.size(), 30u);
+    const double est = ResonanceExplorer::estimateResonanceHz(points);
+    EXPECT_NEAR(est, pdn::firstOrderResonanceHz(a72.pdnModel()),
+                mega(6.0));
+    // Clock restored after the sweep.
+    EXPECT_DOUBLE_EQ(a72.frequency(), a72.config().f_max_hz);
+}
+
+TEST(ResonanceExplorerTest, PowerGatingShiftsEstimate)
+{
+    platform::Platform a53(platform::junoA53Config(), 3);
+    ResonanceExplorer explorer(a53);
+    a53.setPoweredCores(4);
+    const double f4 = ResonanceExplorer::estimateResonanceHz(
+        explorer.sweep(2e-6, 2));
+    a53.setPoweredCores(1);
+    const double f1 = ResonanceExplorer::estimateResonanceHz(
+        explorer.sweep(2e-6, 2));
+    EXPECT_GT(f1, f4 + mega(8.0));
+}
+
+TEST(SclResonanceFinderTest, MatchesImpedanceAnalysis)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    SclResonanceFinder finder(a72);
+    const auto points =
+        finder.sweep(mega(50.0), mega(90.0), mega(2.0), 0.5, 2e-6);
+    ASSERT_GT(points.size(), 10u);
+    const double est =
+        SclResonanceFinder::estimateResonanceHz(points);
+    EXPECT_NEAR(est, pdn::firstOrderResonanceHz(a72.pdnModel()),
+                mega(4.0));
+
+    platform::Platform a53(platform::junoA53Config(), 3);
+    EXPECT_THROW(SclResonanceFinder f(a53), ConfigError);
+}
+
+TEST(VminTesterTest, VirusBeatsBenchmarksBeatsIdle)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    auto cfg = defaultVminConfig(a72);
+    cfg.duration_s = 2e-6;
+    VminTester tester(a72, cfg);
+
+    a72.setFrequency(560e6);
+    const auto virus_kernel =
+        ResonanceExplorer::probeLoop(a72.pool());
+    a72.setFrequency(1.2e9);
+    // Use the resonant probe at 560 MHz as a stand-in virus: run the
+    // V_MIN test at that clock for the kernel.
+    a72.setFrequency(560e6);
+    const auto virus_row =
+        tester.testKernel("probe-virus", virus_kernel, 10);
+    a72.setFrequency(1.2e9);
+
+    const auto suite = workloads::spec2006Suite();
+    const auto lbm_row = tester.testWorkload(
+        workloads::findProfile(suite, "lbm"), 2);
+    const auto idle_row =
+        tester.testWorkload(workloads::idleProfile(), 2);
+
+    EXPECT_GT(lbm_row.max_droop_v, idle_row.max_droop_v);
+    EXPECT_GT(virus_row.max_droop_v, 0.0);
+    EXPECT_GE(lbm_row.vmin_v, idle_row.vmin_v);
+    EXPECT_GT(virus_row.runs, 0u);
+    EXPECT_FALSE(virus_row.failure.empty());
+}
+
+TEST(VminTesterTest, LabTimeAccountingMatchesRunsAndDurations)
+{
+    // Section 5.2: SPEC runs to completion dominate the campaign
+    // time; the model charges run_seconds per execution plus an
+    // overhead per voltage point.
+    platform::Platform a72(platform::junoA72Config(), 3);
+    auto cfg = defaultVminConfig(a72);
+    cfg.duration_s = 2e-6;
+    VminTester tester(a72, cfg);
+
+    const auto suite = workloads::spec2006Suite();
+    const auto bench_row = tester.testWorkload(
+        workloads::findProfile(suite, "hmmer"), 2, 300.0);
+    const auto virus_row = tester.testKernel(
+        "probe", ResonanceExplorer::probeLoop(a72.pool()), 2, 15.0);
+
+    // Both must charge at least run_seconds per executed run.
+    EXPECT_GE(bench_row.lab_seconds,
+              300.0 * static_cast<double>(bench_row.runs));
+    EXPECT_GE(virus_row.lab_seconds,
+              15.0 * static_cast<double>(virus_row.runs));
+    // A long-running benchmark costs far more lab time per run.
+    EXPECT_GT(bench_row.lab_seconds / bench_row.runs,
+              5.0 * virus_row.lab_seconds / virus_row.runs);
+}
+
+TEST(VminTesterTest, DefaultConfigScalesWithPlatform)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    platform::Platform amd(platform::athlonConfig(), 3);
+    const auto mobile = defaultVminConfig(a72);
+    const auto desktop = defaultVminConfig(amd);
+    EXPECT_LT(mobile.timing.vth, desktop.timing.vth);
+    EXPECT_DOUBLE_EQ(mobile.search.v_start, 1.0);
+    EXPECT_DOUBLE_EQ(desktop.search.v_start, 1.4);
+    EXPECT_DOUBLE_EQ(mobile.search.v_step, 0.010);
+}
+
+TEST(MultiDomainTest, SeesBothClusterSignatures)
+{
+    // Fig. 15: A72 and A53 viruses visible simultaneously.
+    platform::Platform a72(platform::junoA72Config(), 3);
+    platform::Platform a53(platform::junoA53Config(), 4);
+    // Probe loops at clocks that put each near its own resonance.
+    a72.setFrequency(560e6); // ~70 MHz
+    a53.setFrequency(608e6); // ~76 MHz
+    std::vector<DomainWorkload> domains;
+    domains.push_back(
+        {&a72, ResonanceExplorer::probeLoop(a72.pool()), 0});
+    domains.push_back(
+        {&a53, ResonanceExplorer::probeLoop(a53.pool()), 0});
+    const auto result =
+        monitorDomains(domains, 3e-6, a72.analyzer());
+    ASSERT_EQ(result.domain_dominant_hz.size(), 2u);
+    EXPECT_NEAR(result.domain_dominant_hz[0], mega(70.0), mega(4.0));
+    EXPECT_NEAR(result.domain_dominant_hz[1], mega(76.0), mega(4.0));
+    EXPECT_GT(result.sweep.size(), 100u);
+
+    // Both signatures are above the local noise in the combined
+    // sweep: markers near each dominant frequency are strong.
+    const auto m1 = instruments::SpectrumAnalyzer::maxAmplitude(
+        result.sweep, mega(66.0), mega(73.0));
+    const auto m2 = instruments::SpectrumAnalyzer::maxAmplitude(
+        result.sweep, mega(73.5), mega(80.0));
+    const auto quiet = instruments::SpectrumAnalyzer::maxAmplitude(
+        result.sweep, mega(170.0), mega(200.0));
+    EXPECT_GT(m1.power_dbm, quiet.power_dbm + 6.0);
+    EXPECT_GT(m2.power_dbm, quiet.power_dbm + 6.0);
+
+    EXPECT_THROW(
+        {
+            std::vector<DomainWorkload> empty;
+            (void)monitorDomains(empty, 1e-6, a72.analyzer());
+        },
+        ConfigError);
+}
+
+TEST(MultiDomainTest, IdleDomainStaysQuiet)
+{
+    // A stressed A72 next to an *idle* A53: only the A72 signature
+    // appears; the idle domain adds nothing near its resonance.
+    platform::Platform a72(platform::junoA72Config(), 5);
+    platform::Platform a53(platform::junoA53Config(), 6);
+    a72.setFrequency(560e6); // probe loop ~70 MHz
+    std::vector<DomainWorkload> domains;
+    domains.push_back(
+        {&a72, ResonanceExplorer::probeLoop(a72.pool()), 0, false});
+    domains.push_back({&a53, isa::Kernel{}, 0, true});
+    const auto result =
+        monitorDomains(domains, 3e-6, a72.analyzer());
+    const auto sig72 = instruments::SpectrumAnalyzer::maxAmplitude(
+        result.sweep, mega(67.0), mega(73.0));
+    const auto sig53 = instruments::SpectrumAnalyzer::maxAmplitude(
+        result.sweep, mega(74.0), mega(80.0));
+    EXPECT_GT(sig72.power_dbm, sig53.power_dbm + 10.0);
+}
+
+TEST(VirusAnalysisTest, Table2RowFields)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    a72.setFrequency(560e6);
+    const auto kernel = ResonanceExplorer::probeLoop(a72.pool());
+    const auto row =
+        analyzeVirus(a72, "probe", kernel, 0.85, 2e-6, 3);
+    EXPECT_EQ(row.virus_name, "probe");
+    EXPECT_EQ(row.loop_instructions, 9u);
+    EXPECT_GT(row.ipc, 0.5);
+    EXPECT_NEAR(row.loop_freq_mhz, 70.0, 2.0);
+    EXPECT_NEAR(row.dominant_freq_mhz, 70.0, 5.0);
+    EXPECT_NEAR(row.voltage_margin_mv, 150.0, 0.5);
+    // Mix fractions sum to one for this all-int kernel.
+    EXPECT_NEAR(row.pct_sl_int_reg + row.pct_ll_int_reg, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(row.pct_branch, 0.0);
+}
+
+TEST(VirusAnalysisTest, MinIpcRelation)
+{
+    // Section 8.2's examples: A72 needs IPC ~2.8 for a 50-instruction
+    // loop to match 67 MHz at 1.2 GHz; AMD needs ~1.26 at 3.1 GHz.
+    EXPECT_NEAR(minIpcForResonantLoop(mega(67.0), 50, giga(1.2)),
+                2.79, 0.01);
+    EXPECT_NEAR(minIpcForResonantLoop(mega(78.0), 50, giga(3.1)),
+                1.26, 0.01);
+    EXPECT_THROW((void)minIpcForResonantLoop(mega(67.0), 50, 0.0),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace core
+} // namespace emstress

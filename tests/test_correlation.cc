@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The paper's central claim, as a property test: emanated EM power
+ * and on-chip voltage noise are strongly correlated across workloads
+ * (Section 2.2, validated in Section 5.1). We measure a diverse set
+ * of kernels on the Cortex-A72 with both instruments — the spectrum
+ * analyzer via the antenna and the OC-DSO directly on the rail — and
+ * require a high rank correlation between EM amplitude and
+ * peak-to-peak voltage noise, plus agreement of all three resonance
+ * detection methods.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/resonance_explorer.h"
+#include "core/resonant_kernel.h"
+#include "instruments/oscilloscope.h"
+#include "pdn/resonance.h"
+#include "platform/platform.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace {
+
+/** Spearman rank correlation. */
+double
+rankCorrelation(const std::vector<double> &a,
+                const std::vector<double> &b)
+{
+    auto ranks = [](const std::vector<double> &xs) {
+        std::vector<std::size_t> order(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&xs](std::size_t i, std::size_t j) {
+                      return xs[i] < xs[j];
+                  });
+        std::vector<double> r(xs.size());
+        for (std::size_t pos = 0; pos < order.size(); ++pos)
+            r[order[pos]] = static_cast<double>(pos);
+        return r;
+    };
+    const auto ra = ranks(a);
+    const auto rb = ranks(b);
+    const double n = static_cast<double>(a.size());
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+TEST(EmVoltageCorrelation, EmAmplitudeTracksVoltageNoise)
+{
+    platform::Platform a72(platform::junoA72Config(), 5);
+    Rng rng(77);
+
+    std::vector<double> em_dbm;
+    std::vector<double> v_p2p;
+
+    // Diverse kernels: random ones plus resonant kernels at several
+    // frequencies (spanning weak to strong noise).
+    std::vector<isa::Kernel> kernels;
+    for (int i = 0; i < 8; ++i)
+        kernels.push_back(isa::Kernel::random(a72.pool(), 50, rng));
+    for (double f : {40e6, 55e6, 67e6, 90e6, 120e6}) {
+        kernels.push_back(core::makeResonantKernelFor(
+            a72.pool(), a72.frequency(), f));
+    }
+
+    for (const auto &kernel : kernels) {
+        const auto run = a72.runKernel(kernel, 3e-6);
+        const auto marker = a72.analyzer().averagedMaxAmplitude(
+            run.em, mega(50.0), mega(200.0), 5);
+        em_dbm.push_back(marker.power_dbm);
+        const Trace cap = a72.scope().capture(run.v_die);
+        v_p2p.push_back(instruments::Oscilloscope::peakToPeak(cap));
+    }
+
+    // Strong positive rank correlation (the paper's Fig. 7 shows the
+    // two quantities rising together across GA generations).
+    EXPECT_GT(rankCorrelation(em_dbm, v_p2p), 0.7);
+}
+
+TEST(EmVoltageCorrelation, ThreeResonanceMethodsAgree)
+{
+    // Impedance analysis (design data), SCL sweep (direct electrical
+    // stimulus) and the EM loop sweep (non-intrusive) must all find
+    // the same 1st-order resonance — Sections 5.1/5.3.
+    platform::Platform a72(platform::junoA72Config(), 6);
+
+    const double f_impedance =
+        pdn::firstOrderResonanceHz(a72.pdnModel());
+
+    core::SclResonanceFinder scl(a72);
+    const double f_scl = core::SclResonanceFinder::estimateResonanceHz(
+        scl.sweep(mega(50.0), mega(90.0), mega(2.0), 0.5, 2e-6));
+
+    core::ResonanceExplorer em(a72);
+    const double f_em =
+        core::ResonanceExplorer::estimateResonanceHz(em.sweep(3e-6, 3));
+
+    EXPECT_NEAR(f_scl, f_impedance, mega(4.0));
+    EXPECT_NEAR(f_em, f_impedance, mega(5.0));
+    EXPECT_NEAR(f_em, f_scl, mega(6.0));
+}
+
+TEST(EmVoltageCorrelation, EmPeakAndDsoFftAgreeOnDominantFrequency)
+{
+    // Fig. 9 as a property: for a resonant kernel, the spectrum
+    // analyzer and the FFT of the OC-DSO capture identify the same
+    // dominant frequency.
+    platform::Platform a72(platform::junoA72Config(), 7);
+    const auto kernel = core::makeResonantKernelFor(
+        a72.pool(), a72.frequency(), 67e6);
+    const auto run = a72.runKernel(kernel, 4e-6);
+
+    const auto sa = a72.analyzer().sweep(run.em);
+    const auto sa_top = instruments::SpectrumAnalyzer::maxAmplitude(
+        sa, mega(30.0), mega(200.0));
+
+    const auto cap = a72.scope().capture(run.v_die);
+    const auto spec = instruments::Oscilloscope::fftView(cap);
+    const auto dso_top =
+        dsp::maxPeakInBand(spec, mega(30.0), mega(200.0));
+
+    EXPECT_NEAR(sa_top.freq_hz, dso_top.freq_hz, mega(2.0));
+}
+
+} // namespace
+} // namespace emstress

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the EM layer: Faraday coupling, quadratic power relation,
+ * distance falloff, multi-domain summation and antenna S11.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "em/antenna.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace em {
+namespace {
+
+/** Sinusoidal current trace. */
+Trace
+sineCurrent(double freq, double amp, double fs, std::size_t n)
+{
+    Trace t(1.0 / fs);
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t.push(amp
+               * std::sin(kTwoPi * freq * static_cast<double>(i) / fs));
+    }
+    return t;
+}
+
+TEST(Antenna, ReceivedVoltageIsScaledDerivative)
+{
+    // For I = A sin(wt), v = M' A w cos(wt): RMS of v is M' A w /
+    // sqrt(2).
+    const AntennaParams params;
+    const Antenna ant(params);
+    const double f = 67e6;
+    const double amp = 1.0;
+    const auto i = sineCurrent(f, amp, 4e9, 8192);
+    const auto v = ant.receive(i, params.ref_distance);
+
+    const auto spec = dsp::computeSpectrum(v);
+    const auto pk = dsp::maxPeakInBand(spec, f * 0.8, f * 1.2);
+    const double cable =
+        std::pow(10.0, -params.cable_loss_db / 20.0);
+    const double expect_rms = params.mutual_inductance * cable * amp
+        * kTwoPi * f / std::sqrt(2.0);
+    EXPECT_NEAR(pk.amp_vrms, expect_rms, 0.05 * expect_rms);
+    EXPECT_NEAR(pk.freq_hz, f, 2 * spec.binWidth());
+}
+
+TEST(Antenna, ReceivedPowerQuadraticInCurrentAmplitude)
+{
+    // The paper's theoretical basis (Section 2.2): radiated power at
+    // a frequency varies quadratically with the oscillatory current
+    // amplitude there.
+    const AntennaParams params;
+    const Antenna ant(params);
+    const double f = 67e6;
+    const auto v1 =
+        ant.receive(sineCurrent(f, 1.0, 4e9, 8192), 0.07);
+    const auto v2 =
+        ant.receive(sineCurrent(f, 2.0, 4e9, 8192), 0.07);
+    const auto p1 = dsp::maxPeakInBand(dsp::computeSpectrum(v1),
+                                       f * 0.8, f * 1.2);
+    const auto p2 = dsp::maxPeakInBand(dsp::computeSpectrum(v2),
+                                       f * 0.8, f * 1.2);
+    const double power_ratio =
+        (p2.amp_vrms * p2.amp_vrms) / (p1.amp_vrms * p1.amp_vrms);
+    EXPECT_NEAR(power_ratio, 4.0, 0.1);
+}
+
+TEST(Antenna, HigherFrequencyCouplesMoreStrongly)
+{
+    // dI/dt coupling tilts +20 dB/decade: equal-amplitude current at
+    // higher frequency induces proportionally more voltage. This is
+    // why resonant (fast) oscillations dominate the received
+    // spectrum.
+    const Antenna ant(AntennaParams{});
+    const auto v_lo =
+        ant.receive(sineCurrent(20e6, 1.0, 4e9, 8192), 0.07);
+    const auto v_hi =
+        ant.receive(sineCurrent(80e6, 1.0, 4e9, 8192), 0.07);
+    const auto p_lo = dsp::maxPeakInBand(dsp::computeSpectrum(v_lo),
+                                         10e6, 40e6);
+    const auto p_hi = dsp::maxPeakInBand(dsp::computeSpectrum(v_hi),
+                                         60e6, 100e6);
+    EXPECT_NEAR(p_hi.amp_vrms / p_lo.amp_vrms, 4.0, 0.2);
+}
+
+TEST(Antenna, DistanceFalloffIsCubic)
+{
+    const Antenna ant(AntennaParams{});
+    const auto i = sineCurrent(67e6, 1.0, 4e9, 4096);
+    const auto v_near = ant.receive(i, 0.05);
+    const auto v_far = ant.receive(i, 0.10);
+    const auto p_near = dsp::maxPeakInBand(
+        dsp::computeSpectrum(v_near), 50e6, 90e6);
+    const auto p_far = dsp::maxPeakInBand(dsp::computeSpectrum(v_far),
+                                          50e6, 90e6);
+    EXPECT_NEAR(p_near.amp_vrms / p_far.amp_vrms, 8.0, 0.4);
+}
+
+TEST(Antenna, MultiDomainSumContainsBothSignatures)
+{
+    // Section 6.1: one antenna sees every domain's signature.
+    const Antenna ant(AntennaParams{});
+    const auto i_a = sineCurrent(67e6, 1.0, 4e9, 8192);
+    const auto i_b = sineCurrent(76e6, 0.8, 4e9, 8192);
+    const auto v = ant.receiveMulti({i_a, i_b}, {0.07, 0.07});
+    const auto spec = dsp::computeSpectrum(v);
+    const auto peaks = dsp::findPeaks(spec, 50e6, 100e6, 4, 0.0);
+    ASSERT_GE(peaks.size(), 2u);
+    // Both tones present within bin accuracy.
+    bool saw_a = false, saw_b = false;
+    for (const auto &p : peaks) {
+        if (std::abs(p.freq_hz - 67e6) < 3 * spec.binWidth())
+            saw_a = true;
+        if (std::abs(p.freq_hz - 76e6) < 3 * spec.binWidth())
+            saw_b = true;
+    }
+    EXPECT_TRUE(saw_a);
+    EXPECT_TRUE(saw_b);
+}
+
+TEST(Antenna, MultiDomainValidatesInput)
+{
+    const Antenna ant(AntennaParams{});
+    EXPECT_THROW((void)ant.receiveMulti({}, {}), ConfigError);
+    const auto i = sineCurrent(67e6, 1.0, 4e9, 1024);
+    EXPECT_THROW((void)ant.receiveMulti({i}, {0.07, 0.08}),
+                 ConfigError);
+    Trace other(1.0 / 2e9);
+    other.push(0.0);
+    other.push(1.0);
+    EXPECT_THROW((void)ant.receiveMulti({i, other}, {0.07, 0.07}),
+                 ConfigError);
+}
+
+TEST(Antenna, S11FlatBelowOneGhzAndDipsAtSelfResonance)
+{
+    // Fig. 6: |S11| near 1 (poorly matched) and flat up to ~1.2 GHz,
+    // with a sharp dip at the 2.95 GHz self-resonance.
+    AntennaParams params;
+    const Antenna ant(params);
+    std::vector<double> freqs;
+    for (double f = 50e6; f <= 6e9; f += 25e6)
+        freqs.push_back(f);
+    const auto s11 = ant.s11Magnitude(freqs);
+
+    double min_mag = 2.0;
+    double min_freq = 0.0;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        if (s11[i] < min_mag) {
+            min_mag = s11[i];
+            min_freq = freqs[i];
+        }
+        if (freqs[i] < 1.0e9) {
+            // Poorly matched but passive below 1 GHz.
+            EXPECT_GT(s11[i], 0.7) << freqs[i];
+            EXPECT_LE(s11[i], 1.0 + 1e-9) << freqs[i];
+        }
+    }
+    EXPECT_NEAR(min_freq, params.self_resonance_hz, 0.1e9);
+    EXPECT_LT(min_mag, 0.7);
+}
+
+TEST(Antenna, ParasiticCapacitanceMatchesSelfResonance)
+{
+    AntennaParams params;
+    const Antenna ant(params);
+    const double c = ant.parasiticCapacitance();
+    EXPECT_NEAR(lcResonanceHz(params.loop_inductance, c),
+                params.self_resonance_hz,
+                1.0);
+}
+
+TEST(Antenna, ValidatesParameters)
+{
+    AntennaParams bad;
+    bad.mutual_inductance = 0.0;
+    EXPECT_THROW(Antenna a(bad), ConfigError);
+    const Antenna ant(AntennaParams{});
+    const auto i = sineCurrent(67e6, 1.0, 4e9, 1024);
+    EXPECT_THROW((void)ant.receive(i, 0.0), ConfigError);
+    Trace tiny(1e-9);
+    tiny.push(1.0);
+    EXPECT_THROW((void)ant.receive(tiny, 0.07), ConfigError);
+}
+
+} // namespace
+} // namespace em
+} // namespace emstress

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit and property tests for the FFT and window functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace dsp {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(5), 8u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo)
+{
+    std::vector<std::complex<double>> data(12);
+    EXPECT_THROW(fftInPlace(data), ConfigError);
+}
+
+TEST(Fft, DcSignal)
+{
+    std::vector<std::complex<double>> data(8, {1.0, 0.0});
+    fftInPlace(data);
+    EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+    for (std::size_t k = 1; k < 8; ++k)
+        EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleBinSinusoid)
+{
+    // cos(2*pi*k0*n/N) has energy split between bins k0 and N-k0.
+    const std::size_t n = 64;
+    const std::size_t k0 = 5;
+    std::vector<std::complex<double>> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        data[i] = std::cos(kTwoPi * static_cast<double>(k0 * i)
+                           / static_cast<double>(n));
+    }
+    fftInPlace(data);
+    EXPECT_NEAR(std::abs(data[k0]), static_cast<double>(n) / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(data[n - k0]), static_cast<double>(n) / 2.0,
+                1e-9);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == k0 || k == n - k0)
+            continue;
+        EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+    }
+}
+
+TEST(Fft, RoundTripRestoresSignal)
+{
+    Rng rng(3);
+    std::vector<std::complex<double>> data(256);
+    std::vector<std::complex<double>> orig(256);
+    for (auto &x : data)
+        x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    orig = data;
+    fftInPlace(data, false);
+    fftInPlace(data, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, ParsevalTheorem)
+{
+    Rng rng(11);
+    const std::size_t n = 512;
+    std::vector<double> sig(n);
+    for (auto &v : sig)
+        v = rng.gaussian(0.0, 1.0);
+    double time_energy = 0.0;
+    for (double v : sig)
+        time_energy += v * v;
+
+    const auto spec = fftReal(sig);
+    double freq_energy = 0.0;
+    for (const auto &x : spec)
+        freq_energy += std::norm(x);
+    freq_energy /= static_cast<double>(spec.size());
+
+    EXPECT_NEAR(freq_energy, time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, Linearity)
+{
+    Rng rng(5);
+    const std::size_t n = 128;
+    std::vector<double> a(n), b(n), sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.uniform(-1.0, 1.0);
+        b[i] = rng.uniform(-1.0, 1.0);
+        sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    }
+    const auto fa = fftReal(a);
+    const auto fb = fftReal(b);
+    const auto fs = fftReal(sum);
+    for (std::size_t k = 0; k < fs.size(); ++k) {
+        const auto expect = 2.0 * fa[k] + 3.0 * fb[k];
+        EXPECT_NEAR(std::abs(fs[k] - expect), 0.0, 1e-9);
+    }
+}
+
+TEST(Fft, IfftToRealInvertsFftReal)
+{
+    Rng rng(9);
+    std::vector<double> sig(64);
+    for (auto &v : sig)
+        v = rng.uniform(-2.0, 2.0);
+    const auto restored = ifftToReal(fftReal(sig));
+    ASSERT_EQ(restored.size(), 64u);
+    for (std::size_t i = 0; i < sig.size(); ++i)
+        EXPECT_NEAR(restored[i], sig[i], 1e-10);
+}
+
+TEST(Fft, ZeroPadsToNextPowerOfTwo)
+{
+    std::vector<double> sig(100, 1.0);
+    const auto spec = fftReal(sig);
+    EXPECT_EQ(spec.size(), 128u);
+}
+
+class WindowTest : public ::testing::TestWithParam<WindowKind>
+{};
+
+TEST_P(WindowTest, CoefficientsWithinUnitRange)
+{
+    const auto w = makeWindow(GetParam(), 257);
+    for (double v : w) {
+        // Flat-top windows legitimately dip negative (to ~-0.42).
+        EXPECT_GE(v, -0.5);
+        EXPECT_LE(v, 5.0); // flat-top exceeds 1.0 by design
+    }
+}
+
+TEST_P(WindowTest, Symmetric)
+{
+    const auto w = makeWindow(GetParam(), 129);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+}
+
+TEST_P(WindowTest, CoherentGainPositive)
+{
+    const double g = coherentGain(GetParam(), 256);
+    EXPECT_GT(g, 0.0);
+    EXPECT_LE(g, 1.0 + 1e-9);
+}
+
+TEST_P(WindowTest, NameNonEmpty)
+{
+    EXPECT_FALSE(windowName(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWindows, WindowTest,
+    ::testing::Values(WindowKind::Rectangular, WindowKind::Hann,
+                      WindowKind::Hamming, WindowKind::Blackman,
+                      WindowKind::FlatTop));
+
+TEST(Window, RectangularGainIsOne)
+{
+    EXPECT_NEAR(coherentGain(WindowKind::Rectangular, 64), 1.0, 1e-12);
+}
+
+TEST(Window, HannGainIsHalf)
+{
+    // Hann coherent gain tends to 0.5 for large N.
+    EXPECT_NEAR(coherentGain(WindowKind::Hann, 4096), 0.5, 1e-3);
+}
+
+TEST(Window, EmptyAndSingle)
+{
+    EXPECT_TRUE(makeWindow(WindowKind::Hann, 0).empty());
+    const auto w1 = makeWindow(WindowKind::Hann, 1);
+    ASSERT_EQ(w1.size(), 1u);
+    EXPECT_DOUBLE_EQ(w1[0], 1.0);
+}
+
+} // namespace
+} // namespace dsp
+} // namespace emstress

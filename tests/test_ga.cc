@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the GA engine: operators, convergence on synthetic
+ * fitness landscapes, elitism, determinism and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ga/ga_engine.h"
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace ga {
+namespace {
+
+/** Fitness = count of SIMD instructions: a simple evolvable target. */
+class SimdCountFitness : public FitnessEvaluator
+{
+  public:
+    explicit SimdCountFitness(const isa::InstructionPool &pool)
+        : pool_(pool)
+    {}
+
+    double
+    evaluate(const isa::Kernel &kernel, EvalDetail *detail) override
+    {
+        ++evaluations;
+        double score =
+            kernel.classFraction(pool_, isa::InstrClass::SimdShort)
+            + kernel.classFraction(pool_, isa::InstrClass::SimdLong);
+        if (detail) {
+            detail->metric_raw = score;
+            detail->measurement_seconds = 1.0;
+        }
+        return score;
+    }
+
+    std::string metricName() const override { return "simd-count"; }
+
+    int evaluations = 0;
+
+  private:
+    const isa::InstructionPool &pool_;
+};
+
+GaConfig
+smallConfig()
+{
+    GaConfig cfg;
+    cfg.population = 16;
+    cfg.generations = 20;
+    cfg.kernel_length = 20;
+    cfg.mutation_rate = 0.05;
+    cfg.tournament_k = 3;
+    cfg.elite = 2;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(GaOperators, TournamentPrefersFitter)
+{
+    Rng rng(1);
+    const std::vector<double> fitness = {0.1, 0.9, 0.2, 0.3};
+    int wins_for_best = 0;
+    for (int i = 0; i < 400; ++i)
+        if (GaEngine::tournamentSelect(fitness, 3, rng) == 1)
+            ++wins_for_best;
+    // With k=3 the best of 4 wins far more often than uniform (25%).
+    EXPECT_GT(wins_for_best, 200);
+}
+
+TEST(GaOperators, TournamentK1IsUniform)
+{
+    Rng rng(2);
+    const std::vector<double> fitness = {0.1, 0.9};
+    int first = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (GaEngine::tournamentSelect(fitness, 1, rng) == 0)
+            ++first;
+    EXPECT_GT(first, 400);
+    EXPECT_LT(first, 600);
+}
+
+TEST(GaOperators, CrossoverMixesParents)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(3);
+    // Parent a: all ADD; parent b: all FADD.
+    std::vector<isa::Instruction> ca(20), cb(20);
+    for (auto &i : ca) {
+        i.def_index = pool.defIndex("ADD");
+        i.dest = 0;
+        i.src = {1, 2};
+    }
+    for (auto &i : cb) {
+        i.def_index = pool.defIndex("FADD");
+        i.dest = 0;
+        i.src = {1, 2};
+    }
+    const isa::Kernel a(ca), b(cb);
+    bool saw_mix = false;
+    for (int t = 0; t < 20; ++t) {
+        const auto child = GaEngine::crossover(a, b, rng);
+        ASSERT_EQ(child.size(), 20u);
+        const double add_frac =
+            child.classFraction(pool, isa::InstrClass::IntShort);
+        const double fadd_frac =
+            child.classFraction(pool, isa::InstrClass::FpShort);
+        EXPECT_NEAR(add_frac + fadd_frac, 1.0, 1e-12);
+        // Prefix from a, suffix from b.
+        if (add_frac > 0.0 && fadd_frac > 0.0) {
+            saw_mix = true;
+            EXPECT_EQ(pool.def(child[0].def_index).mnemonic, "ADD");
+            EXPECT_EQ(pool.def(child[19].def_index).mnemonic, "FADD");
+        }
+    }
+    EXPECT_TRUE(saw_mix);
+}
+
+TEST(GaOperators, MutationRateZeroLeavesKernelUntouched)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(4);
+    auto kernel = isa::Kernel::random(pool, 30, rng);
+    const auto original = kernel;
+    GaEngine::mutate(kernel, pool, 0.0, 0.5, rng);
+    EXPECT_TRUE(kernel == original);
+}
+
+TEST(GaOperators, MutationRateOneChangesMostInstructions)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(5);
+    auto kernel = isa::Kernel::random(pool, 50, rng);
+    const auto original = kernel;
+    GaEngine::mutate(kernel, pool, 1.0, 0.0, rng);
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+        if (kernel[i].def_index != original[i].def_index
+            || kernel[i].dest != original[i].dest
+            || kernel[i].src != original[i].src) {
+            ++changed;
+        }
+    }
+    EXPECT_GT(changed, 35u);
+    EXPECT_NO_THROW(kernel.validate(pool));
+}
+
+TEST(GaOperators, OperandOnlyMutationKeepsMnemonics)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(6);
+    auto kernel = isa::Kernel::random(pool, 50, rng);
+    const auto original = kernel;
+    GaEngine::mutate(kernel, pool, 1.0, 1.0, rng);
+    for (std::size_t i = 0; i < kernel.size(); ++i)
+        EXPECT_EQ(kernel[i].def_index, original[i].def_index);
+}
+
+TEST(GaEngine, ConvergesOnSyntheticLandscape)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness fitness(pool);
+    GaEngine engine(pool, smallConfig());
+    const auto result = engine.run(fitness);
+    // Random kernels average ~3/15 SIMD; evolution should push the
+    // best individual well past that.
+    EXPECT_GT(result.best_fitness, 0.6);
+    EXPECT_EQ(result.history.size(), 20u);
+    EXPECT_GT(result.history.back().best_fitness,
+              result.history.front().best_fitness);
+    EXPECT_EQ(fitness.evaluations, 16 * 20);
+    EXPECT_NEAR(result.estimated_lab_seconds, 16.0 * 20.0, 1e-9);
+}
+
+TEST(GaEngine, BestFitnessNeverDecreasesWithDeterministicFitness)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness fitness(pool);
+    GaEngine engine(pool, smallConfig());
+    const auto result = engine.run(fitness);
+    // Elitism + deterministic fitness => monotone best-so-far, and
+    // per-generation best never dips below the carried elite.
+    double best = -1.0;
+    for (const auto &rec : result.history) {
+        EXPECT_GE(rec.best_fitness, best - 1e-12);
+        best = std::max(best, rec.best_fitness);
+    }
+}
+
+TEST(GaEngine, DeterministicForSeed)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness f1(pool), f2(pool);
+    GaEngine e1(pool, smallConfig());
+    GaEngine e2(pool, smallConfig());
+    const auto r1 = e1.run(f1);
+    const auto r2 = e2.run(f2);
+    EXPECT_DOUBLE_EQ(r1.best_fitness, r2.best_fitness);
+    EXPECT_TRUE(r1.best == r2.best);
+}
+
+TEST(GaEngine, DifferentSeedsExploreDifferently)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness f1(pool), f2(pool);
+    auto cfg1 = smallConfig();
+    auto cfg2 = smallConfig();
+    cfg2.seed = 999;
+    GaEngine e1(pool, cfg1);
+    GaEngine e2(pool, cfg2);
+    const auto r1 = e1.run(f1);
+    const auto r2 = e2.run(f2);
+    EXPECT_FALSE(r1.best == r2.best);
+}
+
+TEST(GaEngine, SeedPopulationIsUsed)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    // Seed with an all-SIMD individual: generation 0 must already
+    // score perfectly (Section 3.1(a): population from a previous
+    // run).
+    std::vector<isa::Instruction> code(20);
+    for (auto &i : code) {
+        i.def_index = pool.defIndex("VADD");
+        i.dest = 0;
+        i.src = {1, 2};
+    }
+    SimdCountFitness fitness(pool);
+    GaEngine engine(pool, smallConfig());
+    const auto result =
+        engine.run(fitness, nullptr, {isa::Kernel(code)});
+    EXPECT_DOUBLE_EQ(result.history.front().best_fitness, 1.0);
+}
+
+TEST(GaEngine, CallbackSeesEveryGeneration)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness fitness(pool);
+    auto cfg = smallConfig();
+    cfg.generations = 7;
+    GaEngine engine(pool, cfg);
+    std::vector<std::size_t> gens;
+    engine.run(fitness, [&gens](const GenerationRecord &rec) {
+        gens.push_back(rec.generation);
+    });
+    ASSERT_EQ(gens.size(), 7u);
+    for (std::size_t i = 0; i < gens.size(); ++i)
+        EXPECT_EQ(gens[i], i);
+}
+
+/**
+ * Deceptive landscape: fraction of FP instructions scores linearly,
+ * but an all-SIMD kernel scores double — a basin a greedy run that
+ * climbs the FP gradient tends to miss.
+ */
+class DeceptiveFitness : public FitnessEvaluator
+{
+  public:
+    explicit DeceptiveFitness(const isa::InstructionPool &pool)
+        : pool_(pool)
+    {}
+
+    double
+    evaluate(const isa::Kernel &kernel, EvalDetail *) override
+    {
+        const double fp =
+            kernel.classFraction(pool_, isa::InstrClass::FpShort)
+            + kernel.classFraction(pool_, isa::InstrClass::FpLong);
+        const double simd =
+            kernel.classFraction(pool_, isa::InstrClass::SimdShort)
+            + kernel.classFraction(pool_, isa::InstrClass::SimdLong);
+        return simd >= 0.95 ? 2.0 : fp;
+    }
+
+    std::string metricName() const override { return "deceptive"; }
+
+  private:
+    const isa::InstructionPool &pool_;
+};
+
+TEST(GaEngine, MultiStartNotWorseThanSingle)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    auto single_cfg = smallConfig();
+    single_cfg.generations = 24;
+    auto multi_cfg = single_cfg;
+    multi_cfg.restarts = 4;
+
+    double single_total = 0.0, multi_total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        single_cfg.seed = seed;
+        multi_cfg.seed = seed;
+        SimdCountFitness f1(pool), f2(pool);
+        GaEngine e1(pool, single_cfg);
+        GaEngine e2(pool, multi_cfg);
+        single_total += e1.run(f1).best_fitness;
+        multi_total += e2.run(f2).best_fitness;
+    }
+    EXPECT_GE(multi_total, single_total - 0.05);
+}
+
+TEST(GaEngine, MultiStartHistoryCoversAllGenerations)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    auto cfg = smallConfig();
+    cfg.generations = 20;
+    cfg.restarts = 3;
+    SimdCountFitness fitness(pool);
+    GaEngine engine(pool, cfg);
+    const auto result = engine.run(fitness);
+    // 10 scout generations + 10 final generations.
+    ASSERT_EQ(result.history.size(), 20u);
+    for (std::size_t i = 0; i < result.history.size(); ++i)
+        EXPECT_EQ(result.history[i].generation, i);
+    // Lab time covers all restarts: 3 scouts x 10 gens x 16 pop
+    // plus the final 10 x 16.
+    EXPECT_NEAR(result.estimated_lab_seconds,
+                (3 * 10 + 10) * 16.0, 1e-9);
+}
+
+TEST(GaEngine, MultiStartEscapesDeceptiveBasinMoreOften)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    auto single_cfg = smallConfig();
+    single_cfg.generations = 30;
+    single_cfg.population = 12;
+    auto multi_cfg = single_cfg;
+    multi_cfg.restarts = 4;
+
+    int single_wins = 0, multi_wins = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        single_cfg.seed = seed;
+        multi_cfg.seed = seed;
+        DeceptiveFitness f1(pool), f2(pool);
+        GaEngine e1(pool, single_cfg);
+        GaEngine e2(pool, multi_cfg);
+        single_wins += e1.run(f1).best_fitness >= 2.0;
+        multi_wins += e2.run(f2).best_fitness >= 2.0;
+    }
+    EXPECT_GE(multi_wins, single_wins);
+}
+
+TEST(GaEngine, ValidatesConfig)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    GaConfig bad = smallConfig();
+    bad.population = 1;
+    EXPECT_THROW(GaEngine e(pool, bad), ConfigError);
+    bad = smallConfig();
+    bad.mutation_rate = 1.5;
+    EXPECT_THROW(GaEngine e(pool, bad), ConfigError);
+    bad = smallConfig();
+    bad.tournament_k = 0;
+    EXPECT_THROW(GaEngine e(pool, bad), ConfigError);
+    bad = smallConfig();
+    bad.elite = bad.population;
+    EXPECT_THROW(GaEngine e(pool, bad), ConfigError);
+
+    // Seed individual with the wrong length is rejected.
+    SimdCountFitness fitness(pool);
+    GaEngine engine(pool, smallConfig());
+    Rng rng(1);
+    EXPECT_THROW(engine.run(fitness, nullptr,
+                            {isa::Kernel::random(pool, 5, rng)}),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace ga
+} // namespace emstress

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the EM margin predictor (the paper's future-work item:
+ * predicting voltage margins from EM emanations alone).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/margin_predictor.h"
+#include "core/resonant_kernel.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace core {
+namespace {
+
+/** Train on a spread of resonant + random kernels. */
+void
+train(EmMarginPredictor &predictor, platform::Platform &plat,
+      Rng &rng)
+{
+    for (double f : {45e6, 55e6, 62e6, 67e6, 75e6, 90e6, 110e6}) {
+        predictor.addKernel(
+            makeResonantKernelFor(plat.pool(), plat.frequency(), f));
+    }
+    for (int i = 0; i < 5; ++i)
+        predictor.addKernel(isa::Kernel::random(plat.pool(), 50, rng));
+}
+
+TEST(MarginPredictor, FitsWithGoodR2)
+{
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    Rng rng(31);
+    train(predictor, a72, rng);
+    const auto model = predictor.fit();
+    EXPECT_GT(model.slope, 0.0);       // more EM -> more droop
+    EXPECT_GT(model.r_squared, 0.6);   // strongly explanatory
+    EXPECT_EQ(model.points, 12u);
+}
+
+TEST(MarginPredictor, PredictsHeldOutKernels)
+{
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    Rng rng(32);
+    train(predictor, a72, rng);
+    predictor.fit();
+
+    // Held-out kernels (different frequencies / seeds).
+    std::vector<isa::Kernel> held_out;
+    held_out.push_back(makeResonantKernelFor(a72.pool(),
+                                             a72.frequency(), 70e6));
+    held_out.push_back(makeResonantKernelFor(a72.pool(),
+                                             a72.frequency(), 50e6));
+    held_out.push_back(isa::Kernel::random(a72.pool(), 50, rng));
+
+    for (const auto &kernel : held_out) {
+        const double predicted =
+            predictor.predictDroopForKernel(kernel);
+        const double measured = predictor.measureDroop(kernel);
+        // EM-only prediction within 15 mV of the scope measurement.
+        EXPECT_NEAR(predicted, measured, 0.015);
+    }
+}
+
+TEST(MarginPredictor, PredictVminConsistentWithTimingModel)
+{
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    Rng rng(33);
+    train(predictor, a72, rng);
+    predictor.fit();
+
+    vmin::TimingModelParams tp;
+    tp.f_anchor_hz = 1.2e9;
+    tp.v_crit_anchor = 0.77;
+    const vmin::TimingModel timing(tp);
+
+    // For a known EM level, V_MIN must exceed V_CRIT by roughly the
+    // predicted droop.
+    const double em = predictor.points()[3].em_vrms;
+    const double droop = predictor.predictDroop(em);
+    const double v_min = predictor.predictVmin(em, timing, 1.2e9);
+    EXPECT_GT(v_min, timing.vCrit(1.2e9));
+    EXPECT_NEAR(v_min - timing.vCrit(1.2e9), droop, 0.3 * droop + 0.002);
+}
+
+TEST(MarginPredictor, HigherEmMeansHigherPredictedVmin)
+{
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    Rng rng(34);
+    train(predictor, a72, rng);
+    predictor.fit();
+    vmin::TimingModelParams tp;
+    tp.f_anchor_hz = 1.2e9;
+    tp.v_crit_anchor = 0.77;
+    const vmin::TimingModel timing(tp);
+    const double v1 = predictor.predictVmin(1e-4, timing, 1.2e9);
+    const double v2 = predictor.predictVmin(5e-4, timing, 1.2e9);
+    EXPECT_GT(v2, v1);
+}
+
+TEST(MarginPredictor, ValidatesUsage)
+{
+    platform::Platform a53(platform::junoA53Config(), 9);
+    // Training needs a scope.
+    EXPECT_THROW(EmMarginPredictor p(a53), ConfigError);
+
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    // Too few points.
+    predictor.addKernel(makeResonantKernelFor(a72.pool(),
+                                              a72.frequency(), 67e6));
+    EXPECT_THROW((void)predictor.fit(), ConfigError);
+    // Using before fit.
+    EXPECT_THROW((void)predictor.model(), SimulationError);
+    EXPECT_THROW((void)predictor.predictDroop(1e-4),
+                 SimulationError);
+}
+
+TEST(MarginPredictor, WorkloadObservationsWork)
+{
+    platform::Platform a72(platform::junoA72Config(), 9);
+    EmMarginPredictor predictor(a72);
+    const auto suite = workloads::spec2006Suite();
+    predictor.addWorkload(workloads::findProfile(suite, "lbm"));
+    predictor.addWorkload(workloads::findProfile(suite, "hmmer"));
+    predictor.addWorkload(workloads::idleProfile());
+    Rng rng(35);
+    predictor.addKernel(makeResonantKernelFor(a72.pool(),
+                                              a72.frequency(), 67e6));
+    const auto model = predictor.fit();
+    EXPECT_EQ(model.points, 4u);
+    EXPECT_GT(model.slope, 0.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the PDN model: calibration math, impedance spectrum
+ * structure, resonance extraction, power-gating behaviour and
+ * time-domain resonance amplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "pdn/pdn_model.h"
+#include "pdn/resonance.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace pdn {
+namespace {
+
+/** A72-like parameter set used across these tests. */
+PdnParameters
+a72LikeParams()
+{
+    PdnParameters p;
+    p.calibrateDieTank(mega(67.0), mega(85.0), 2, nano(120.0));
+    p.v_nom = 1.0;
+    return p;
+}
+
+TEST(PdnParameters, CalibrationHitsAnchors)
+{
+    const auto p = a72LikeParams();
+    EXPECT_NEAR(p.firstOrderResonance(2), mega(67.0), mega(0.01));
+    EXPECT_NEAR(p.firstOrderResonance(1), mega(85.0), mega(0.01));
+}
+
+TEST(PdnParameters, CalibrationValidatesInput)
+{
+    PdnParameters p;
+    EXPECT_THROW(p.calibrateDieTank(mega(85.0), mega(67.0), 2,
+                                    nano(120.0)),
+                 ConfigError);
+    EXPECT_THROW(p.calibrateDieTank(mega(67.0), mega(85.0), 1,
+                                    nano(120.0)),
+                 ConfigError);
+    // Anchor ratio too large for the core count: (f1/fA)^2 >= n.
+    EXPECT_THROW(p.calibrateDieTank(mega(50.0), mega(80.0), 2,
+                                    nano(120.0)),
+                 ConfigError);
+}
+
+TEST(PdnParameters, DieCapacitanceClampsPoweredCores)
+{
+    const auto p = a72LikeParams();
+    EXPECT_DOUBLE_EQ(p.dieCapacitance(0), p.dieCapacitance(1));
+    EXPECT_DOUBLE_EQ(p.dieCapacitance(99), p.dieCapacitance(2));
+    EXPECT_GT(p.dieCapacitance(2), p.dieCapacitance(1));
+}
+
+TEST(PdnParameters, ResonanceScalesAsInverseSqrtCapacitance)
+{
+    // Property from the paper (Section 6): f ~ 1/sqrt(C_die).
+    const auto p = a72LikeParams();
+    const double f2 = p.firstOrderResonance(2);
+    const double f1 = p.firstOrderResonance(1);
+    const double expect =
+        std::sqrt(p.dieCapacitance(2) / p.dieCapacitance(1));
+    EXPECT_NEAR(f1 / f2, expect, 1e-9);
+}
+
+TEST(PdnModel, ImpedanceShowsFirstOrderPeakAtCalibratedFrequency)
+{
+    PdnModel model(a72LikeParams());
+    const double f1 = firstOrderResonanceHz(model);
+    // The full ladder shifts the ideal LC value slightly; allow 10%.
+    EXPECT_NEAR(f1, mega(67.0), mega(6.7));
+}
+
+TEST(PdnModel, ImpedanceHasMultipleResonances)
+{
+    PdnModel model(a72LikeParams());
+    const auto peaks = findResonances(model, 1e3, 1e9, 160);
+    ASSERT_GE(peaks.size(), 2u);
+    EXPECT_EQ(peaks[0].order, 1);
+    // 1st-order peak in the paper's 50-200 MHz window.
+    EXPECT_GT(peaks[0].freq_hz, mega(50.0));
+    EXPECT_LT(peaks[0].freq_hz, mega(200.0));
+    // 2nd-order peak well below, in the ~0.5-20 MHz region.
+    EXPECT_GT(peaks[1].freq_hz, kilo(300.0));
+    EXPECT_LT(peaks[1].freq_hz, mega(20.0));
+    // 1st-order peak is the highest impedance of all peaks.
+    for (std::size_t i = 1; i < peaks.size(); ++i)
+        EXPECT_GT(peaks[0].impedance_ohm, peaks[i].impedance_ohm);
+}
+
+TEST(PdnModel, PowerGatingRaisesResonance)
+{
+    PdnModel model(a72LikeParams());
+    model.setPoweredCores(2);
+    const double f_two = firstOrderResonanceHz(model);
+    model.setPoweredCores(1);
+    const double f_one = firstOrderResonanceHz(model);
+    EXPECT_GT(f_one, f_two);
+    EXPECT_NEAR(f_one / f_two, 85.0 / 67.0, 0.08);
+}
+
+TEST(PdnModel, SetPoweredCoresValidates)
+{
+    PdnModel model(a72LikeParams());
+    EXPECT_THROW(model.setPoweredCores(0), ConfigError);
+    EXPECT_THROW(model.setPoweredCores(3), ConfigError);
+}
+
+TEST(PdnModel, DcOperatingPointNearNominal)
+{
+    // With zero load the die sits at V_nom; with a DC load it sags by
+    // the loop IR drop only (inductors are shorts at DC).
+    PdnModel model(a72LikeParams());
+    Trace idle(0.5e-9);
+    for (int i = 0; i < 2000; ++i)
+        idle.push(0.0);
+    const auto res = model.simulate(idle);
+    EXPECT_NEAR(res.v_die[res.v_die.size() - 1], 1.0, 1e-6);
+
+    Trace loaded(0.5e-9);
+    for (int i = 0; i < 2000; ++i)
+        loaded.push(1.0); // 1 A draw
+    const auto res2 = model.simulate(loaded);
+    const auto &p = model.params();
+    const double ir = p.r_vrm + p.r_pcb + p.r_pkg; // series path
+    EXPECT_NEAR(res2.v_die[res2.v_die.size() - 1], 1.0 - ir, 5e-3);
+}
+
+TEST(PdnModel, StepResponseRingsAtFirstOrderResonance)
+{
+    PdnModel model(a72LikeParams());
+    const double dt = 0.5e-9;
+    const auto res = model.stepResponse(1.0, dt, 2e-6);
+    // Spectral content of the ringing sits at the 1st-order peak.
+    const auto spec = dsp::computeSpectrum(res.v_die);
+    const auto peak = dsp::maxPeakInBand(spec, mega(30.0), mega(200.0));
+    EXPECT_NEAR(peak.freq_hz, firstOrderResonanceHz(model),
+                mega(5.0));
+}
+
+TEST(PdnModel, ResonantSquareWaveAmplifiesNoise)
+{
+    // Square-wave current at the resonance produces much larger
+    // peak-to-peak die-voltage noise than the same amplitude well
+    // off resonance — the core physics of the whole paper (Fig. 2).
+    PdnModel model(a72LikeParams());
+    const double f1 = firstOrderResonanceHz(model);
+    const double dt = 0.5e-9;
+    const double dur = 4e-6;
+    const auto at_res = model.squareWaveResponse(f1, 1.0, dt, dur);
+    const auto off_res =
+        model.squareWaveResponse(f1 * 2.7, 1.0, dt, dur);
+    // Compare steady-state halves.
+    const auto tail = [](const Trace &t) {
+        return t.slice(t.size() / 2, t.size() / 2);
+    };
+    const double pp_res =
+        stats::peakToPeak(tail(at_res.v_die).samples());
+    const double pp_off =
+        stats::peakToPeak(tail(off_res.v_die).samples());
+    EXPECT_GT(pp_res, 2.0 * pp_off);
+}
+
+TEST(PdnModel, ResonantExcitationAlsoAmplifiesDieCurrent)
+{
+    // Fig. 2: both V_DIE and I_DIE oscillate maximally at resonance —
+    // the property that links voltage noise to EM emanation.
+    PdnModel model(a72LikeParams());
+    const double f1 = firstOrderResonanceHz(model);
+    const double dt = 0.5e-9;
+    const double dur = 4e-6;
+    const auto at_res = model.squareWaveResponse(f1, 1.0, dt, dur);
+    const auto off_res =
+        model.squareWaveResponse(f1 * 2.7, 1.0, dt, dur);
+    const auto tail = [](const Trace &t) {
+        return t.slice(t.size() / 2, t.size() / 2);
+    };
+    const double pp_res =
+        stats::peakToPeak(tail(at_res.i_die).samples());
+    const double pp_off =
+        stats::peakToPeak(tail(off_res.i_die).samples());
+    EXPECT_GT(pp_res, 1.5 * pp_off);
+}
+
+TEST(PdnModel, SclInjectorDrivesNoise)
+{
+    PdnModel model(a72LikeParams());
+    const double f1 = firstOrderResonanceHz(model);
+    Trace zero_load(0.5e-9);
+    for (int i = 0; i < 8000; ++i)
+        zero_load.push(0.0);
+    const double period = 1.0 / f1;
+    const auto res = model.simulate(
+        zero_load, [period](double t) {
+            return std::fmod(t, period) < 0.5 * period ? 0.5 : 0.0;
+        });
+    EXPECT_GT(stats::peakToPeak(res.v_die.samples()), 1e-3);
+}
+
+TEST(PdnModel, SquareWaveValidatesTimestep)
+{
+    PdnModel model(a72LikeParams());
+    EXPECT_THROW(
+        (void)model.squareWaveResponse(mega(500.0), 1.0, 2e-9, 1e-6),
+        ConfigError);
+}
+
+TEST(PdnModel, SimulateRequiresSamples)
+{
+    PdnModel model(a72LikeParams());
+    Trace empty(1e-9);
+    EXPECT_THROW((void)model.simulate(empty), ConfigError);
+}
+
+class PoweredCoresSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(PoweredCoresSweep, QuadCoreResonanceMonotoneInGating)
+{
+    // A53-like quad cluster: every gated core raises the resonance.
+    PdnParameters p;
+    p.calibrateDieTank(mega(76.5), mega(97.0), 4, nano(60.0));
+    PdnModel model(p);
+    const std::size_t k = GetParam();
+    model.setPoweredCores(k);
+    const double f_k = firstOrderResonanceHz(model);
+    if (k > 1) {
+        model.setPoweredCores(k - 1);
+        const double f_fewer = firstOrderResonanceHz(model);
+        EXPECT_GT(f_fewer, f_k);
+    }
+    EXPECT_GT(f_k, mega(50.0));
+    EXPECT_LT(f_k, mega(120.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToFourCores, PoweredCoresSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace pdn
+} // namespace emstress

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the deterministic resonant-kernel builder and kernel
+ * serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/resonant_kernel.h"
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "platform/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace core {
+namespace {
+
+TEST(ResonantKernel, RealizesRequestedPeriodOnA72)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    for (double target : {50e6, 67e6, 100e6, 150e6}) {
+        const auto kernel = makeResonantKernelFor(
+            a72.pool(), a72.frequency(), target);
+        const auto run = a72.runKernel(kernel, 2e-6);
+        EXPECT_NEAR(run.stats.loop_freq_hz, target, 0.06 * target)
+            << "target " << target;
+    }
+}
+
+TEST(ResonantKernel, RealizesRequestedPeriodOnAmd)
+{
+    platform::Platform amd(platform::athlonConfig(), 1);
+    const std::size_t adds_per_cycle = 3; // three integer ALUs
+    for (double target : {60e6, 78e6, 120e6}) {
+        const auto kernel = makeResonantKernelFor(
+            amd.pool(), amd.frequency(), target, adds_per_cycle);
+        const auto run = amd.runKernel(kernel, 2e-6);
+        EXPECT_NEAR(run.stats.loop_freq_hz, target, 0.09 * target)
+            << "target " << target;
+    }
+}
+
+TEST(ResonantKernel, TwoPhaseStructure)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto kernel = makeResonantKernel(pool, 18, 9);
+    // Multiplies first, adds after.
+    std::size_t muls = 0, adds = 0;
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+        const auto &d = pool.def(kernel[i].def_index);
+        if (d.cls == isa::InstrClass::IntLong) {
+            ++muls;
+            EXPECT_EQ(adds, 0u) << "mul after adds at " << i;
+        } else {
+            ++adds;
+        }
+    }
+    EXPECT_GE(muls, 1u);
+    EXPECT_GE(adds, 2u);
+}
+
+TEST(ResonantKernel, ValidatesArguments)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    EXPECT_THROW((void)makeResonantKernel(pool, 4, 4), ConfigError);
+    EXPECT_THROW((void)makeResonantKernel(pool, 10, 5, 0),
+                 ConfigError);
+    EXPECT_THROW((void)makeResonantKernelFor(pool, 1.2e9, 1.1e9),
+                 ConfigError);
+    EXPECT_THROW((void)makeResonantKernelFor(pool, 0.0, 67e6),
+                 ConfigError);
+    // Period too short for even one multiply + adds.
+    EXPECT_THROW((void)makeResonantKernel(pool, 4, 1), ConfigError);
+}
+
+TEST(KernelSerialization, RoundTripsRandomKernels)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(13);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto kernel = isa::Kernel::random(pool, 50, rng);
+        const auto text = kernel.serialize(pool);
+        const auto restored = isa::Kernel::deserialize(pool, text);
+        EXPECT_TRUE(kernel == restored);
+    }
+}
+
+TEST(KernelSerialization, RoundTripsX86)
+{
+    const auto pool = isa::InstructionPool::x86Sse2();
+    Rng rng(14);
+    const auto kernel = isa::Kernel::random(pool, 30, rng);
+    EXPECT_TRUE(kernel
+                == isa::Kernel::deserialize(pool,
+                                            kernel.serialize(pool)));
+}
+
+TEST(KernelSerialization, RejectsGarbage)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    EXPECT_THROW(
+        (void)isa::Kernel::deserialize(pool, "FROB 0 1 2 -1\n"),
+        ConfigError);
+    EXPECT_THROW((void)isa::Kernel::deserialize(pool, "ADD 0 1\n"),
+                 ConfigError);
+    // Bad operands are caught by validation.
+    EXPECT_THROW(
+        (void)isa::Kernel::deserialize(pool, "ADD 99 1 2 -1\n"),
+        ConfigError);
+}
+
+TEST(KernelSerialization, EmptyTextYieldsEmptyKernel)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto kernel = isa::Kernel::deserialize(pool, "");
+    EXPECT_TRUE(kernel.empty());
+}
+
+} // namespace
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the SDR receiver model: calibration, tuning, scanning,
+ * and functional equivalence with the bench spectrum analyzer for
+ * resonance detection (the paper's claim that cheap SDR dongles
+ * suffice for the methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/resonant_kernel.h"
+#include "instruments/sdr_receiver.h"
+#include "instruments/spectrum_analyzer.h"
+#include "platform/platform.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace instruments {
+namespace {
+
+Trace
+sineTrace(double freq, double amp, double fs, std::size_t n)
+{
+    Trace t(1.0 / fs);
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t.push(amp
+               * std::sin(kTwoPi * freq * static_cast<double>(i)
+                          / fs));
+    }
+    return t;
+}
+
+TEST(SdrReceiver, CapturesInBandTone)
+{
+    SdrParams params;
+    params.center_hz = 67e6;
+    SdrReceiver sdr(params, Rng(1));
+    // Tone 0.5 MHz above center, well within the 2.4 MHz bandwidth.
+    const auto t = sineTrace(67.5e6, 0.01, 4e9, 65536);
+    const auto cap = sdr.capture(t);
+    EXPECT_NEAR(cap.sample_rate_hz, 2.4e6, 0.5e6);
+    const auto sweep = sdr.spectrum(cap);
+    const auto m = SpectrumAnalyzer::maxAmplitude(sweep, 66e6, 69e6);
+    EXPECT_NEAR(m.freq_hz, 67.5e6, 0.1e6);
+    // Level within a few dB of the true -30 dBm-ish value.
+    const double true_dbm = wattsToDbm(
+        voltsRmsToWatts(0.01 / std::sqrt(2.0), 50.0));
+    EXPECT_NEAR(m.power_dbm, true_dbm, 4.0);
+}
+
+TEST(SdrReceiver, RejectsOutOfBandTone)
+{
+    SdrParams params;
+    params.center_hz = 67e6;
+    SdrReceiver sdr(params, Rng(2));
+    // Tone 30 MHz away: filtered by the front end.
+    const auto in_band = sineTrace(67.3e6, 0.01, 4e9, 65536);
+    const auto out_band = sineTrace(97e6, 0.01, 4e9, 65536);
+    const auto m_in = SpectrumAnalyzer::maxAmplitude(
+        sdr.spectrum(sdr.capture(in_band)), 66e6, 68.2e6);
+    const auto m_out = SpectrumAnalyzer::maxAmplitude(
+        sdr.spectrum(sdr.capture(out_band)), 66e6, 68.2e6);
+    EXPECT_GT(m_in.power_dbm, m_out.power_dbm + 20.0);
+}
+
+TEST(SdrReceiver, ScanFindsStrongestToneAcrossBand)
+{
+    SdrReceiver sdr(SdrParams{}, Rng(3));
+    Trace t(1.0 / 4e9);
+    const std::size_t n = 65536;
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double time = static_cast<double>(i) / 4e9;
+        t.push(0.004 * std::sin(kTwoPi * 55e6 * time)
+               + 0.012 * std::sin(kTwoPi * 83e6 * time)
+               + 0.006 * std::sin(kTwoPi * 130e6 * time));
+    }
+    const auto m = sdr.scanMaxAmplitude(t, 50e6, 150e6);
+    EXPECT_NEAR(m.freq_hz, 83e6, 1e6);
+}
+
+TEST(SdrReceiver, FindsPlatformResonanceLikeBenchAnalyzer)
+{
+    // The methodology works through the cheap receiver: a resonant
+    // kernel's dominant frequency from the SDR scan matches the
+    // bench analyzer's marker.
+    platform::Platform a72(platform::junoA72Config(), 4);
+    const auto kernel = core::makeResonantKernelFor(
+        a72.pool(), a72.frequency(), 67e6);
+    const auto run = a72.runKernel(kernel, 4e-6);
+
+    const auto bench_marker = a72.analyzer().averagedMaxAmplitude(
+        run.em, mega(50.0), mega(200.0), 5);
+
+    SdrReceiver sdr(SdrParams{}, Rng(5));
+    const auto sdr_marker =
+        sdr.scanMaxAmplitude(run.em, mega(50.0), mega(200.0));
+
+    EXPECT_NEAR(sdr_marker.freq_hz, bench_marker.freq_hz, mega(1.5));
+}
+
+TEST(SdrReceiver, ValidatesConfigAndInput)
+{
+    SdrParams bad;
+    bad.sample_rate_hz = 0.0;
+    EXPECT_THROW(SdrReceiver s(bad, Rng(1)), ConfigError);
+    bad = SdrParams{};
+    bad.center_hz = 1e6; // below its own bandwidth
+    EXPECT_THROW(SdrReceiver s(bad, Rng(1)), ConfigError);
+    bad = SdrParams{};
+    bad.bits = 2;
+    EXPECT_THROW(SdrReceiver s(bad, Rng(1)), ConfigError);
+
+    SdrReceiver sdr(SdrParams{}, Rng(1));
+    EXPECT_THROW(sdr.tune(1e3), ConfigError);
+    Trace tiny(1e-9);
+    tiny.push(0.0);
+    EXPECT_THROW((void)sdr.capture(tiny), ConfigError);
+    // Undersampled input for the tuned center.
+    Trace slow(1.0 / 100e6);
+    for (int i = 0; i < 64; ++i)
+        slow.push(0.0);
+    EXPECT_THROW((void)sdr.capture(slow), ConfigError);
+}
+
+TEST(SdrReceiver, QuantizationGridRespected)
+{
+    SdrParams params;
+    params.center_hz = 67e6;
+    params.noise_figure_db = 0.0;
+    params.bits = 8;
+    params.gain_db = 0.0;          // input-referred LSB = ADC LSB
+    params.full_scale_v = 2.56e-1; // LSB = 1 mV
+    SdrReceiver sdr(params, Rng(6));
+    const auto cap =
+        sdr.capture(sineTrace(67.4e6, 0.02, 4e9, 16384));
+    for (const auto &s : cap.iq) {
+        const double qi = s.real() / 1e-3;
+        const double qq = s.imag() / 1e-3;
+        EXPECT_NEAR(qi, std::round(qi), 1e-6);
+        EXPECT_NEAR(qq, std::round(qq), 1e-6);
+    }
+}
+
+} // namespace
+} // namespace instruments
+} // namespace emstress

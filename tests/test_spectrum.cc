@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for calibrated spectrum computation and peak analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace dsp {
+namespace {
+
+/** Build a trace holding a sum of sinusoids. */
+Trace
+makeTone(double fs, std::size_t n,
+         std::vector<std::pair<double, double>> freq_amp,
+         double dc = 0.0)
+{
+    Trace t(1.0 / fs);
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double time = static_cast<double>(i) / fs;
+        double v = dc;
+        for (auto [f, a] : freq_amp)
+            v += a * std::sin(kTwoPi * f * time);
+        t.push(v);
+    }
+    return t;
+}
+
+TEST(Spectrum, RequiresMinimumSamples)
+{
+    Trace t({1.0, 2.0}, 1.0);
+    EXPECT_THROW((void)computeSpectrum(t), ConfigError);
+}
+
+class SpectrumWindowTest : public ::testing::TestWithParam<WindowKind>
+{};
+
+TEST_P(SpectrumWindowTest, CalibratedSinusoidAmplitude)
+{
+    // A bin-centered ~10 MHz sinusoid of peak 0.2 V at 1 GS/s must
+    // read 0.2/sqrt(2) Vrms at its bin for every window (bin-centered
+    // so the rectangular window has no scalloping loss).
+    const double fs = 1e9;
+    const double f0 = fs / 16384.0 * 164.0;
+    const double a0 = 0.2;
+    const auto t = makeTone(fs, 16384, {{f0, a0}});
+    const auto s = computeSpectrum(t, GetParam());
+    const auto p = maxPeakInBand(s, 1e6, 100e6);
+    EXPECT_NEAR(p.freq_hz, f0, s.binWidth());
+    EXPECT_NEAR(p.amp_vrms, a0 / std::sqrt(2.0), 0.02 * a0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWindows, SpectrumWindowTest,
+    ::testing::Values(WindowKind::Rectangular, WindowKind::Hann,
+                      WindowKind::Hamming, WindowKind::Blackman,
+                      WindowKind::FlatTop));
+
+TEST(Spectrum, DcRemoved)
+{
+    const auto t = makeTone(1e9, 4096, {}, 5.0);
+    const auto s = computeSpectrum(t);
+    for (double a : s.amps_vrms)
+        EXPECT_LT(a, 1e-9);
+}
+
+TEST(Spectrum, BinWidthMatchesSampleRate)
+{
+    const auto t = makeTone(2e9, 8192, {{50e6, 1.0}});
+    const auto s = computeSpectrum(t);
+    EXPECT_NEAR(s.binWidth(), 2e9 / 8192.0, 1e-6);
+}
+
+TEST(Spectrum, PeakInterpolationRefinesOffGridFrequency)
+{
+    // Frequency deliberately between bins; parabolic interpolation
+    // should land within a quarter bin.
+    const double fs = 1e9;
+    const std::size_t n = 8192;
+    const double bin = fs / static_cast<double>(n);
+    const double f0 = bin * 123.37;
+    const auto t = makeTone(fs, n, {{f0, 1.0}});
+    const auto s = computeSpectrum(t, WindowKind::Hann);
+    const auto p = maxPeakInBand(s, f0 - 10 * bin, f0 + 10 * bin);
+    EXPECT_NEAR(p.freq_hz, f0, 0.25 * bin);
+}
+
+TEST(Spectrum, MaxPeakRespectsBand)
+{
+    const auto t = makeTone(1e9, 8192, {{30e6, 1.0}, {120e6, 0.3}});
+    const auto s = computeSpectrum(t);
+    // Full band: the 30 MHz tone dominates.
+    const auto full = maxPeakInBand(s, 1e6, 400e6);
+    EXPECT_NEAR(full.freq_hz, 30e6, 2 * s.binWidth());
+    // Restricted band: only the 120 MHz tone qualifies.
+    const auto high = maxPeakInBand(s, 80e6, 400e6);
+    EXPECT_NEAR(high.freq_hz, 120e6, 2 * s.binWidth());
+    EXPECT_LT(high.amp_vrms, full.amp_vrms);
+}
+
+TEST(Spectrum, EmptyBandYieldsZeroPeak)
+{
+    const auto t = makeTone(1e9, 4096, {{30e6, 1.0}});
+    const auto s = computeSpectrum(t);
+    const auto p = maxPeakInBand(s, 600e6, 700e6);
+    EXPECT_EQ(p.amp_vrms, 0.0);
+}
+
+TEST(Spectrum, FindPeaksOrdersByAmplitude)
+{
+    const auto t = makeTone(1e9, 16384,
+                            {{20e6, 0.5}, {60e6, 1.0}, {150e6, 0.2}});
+    const auto s = computeSpectrum(t, WindowKind::Hann);
+    const auto peaks = findPeaks(s, 5e6, 400e6, 10, 0.01);
+    ASSERT_GE(peaks.size(), 3u);
+    EXPECT_NEAR(peaks[0].freq_hz, 60e6, 2 * s.binWidth());
+    EXPECT_NEAR(peaks[1].freq_hz, 20e6, 2 * s.binWidth());
+    EXPECT_NEAR(peaks[2].freq_hz, 150e6, 2 * s.binWidth());
+    EXPECT_GT(peaks[0].amp_vrms, peaks[1].amp_vrms);
+    EXPECT_GT(peaks[1].amp_vrms, peaks[2].amp_vrms);
+}
+
+TEST(Spectrum, FindPeaksHonoursMaxCount)
+{
+    const auto t = makeTone(1e9, 16384,
+                            {{20e6, 0.5}, {60e6, 1.0}, {150e6, 0.2}});
+    const auto s = computeSpectrum(t);
+    const auto peaks = findPeaks(s, 5e6, 400e6, 2, 0.01);
+    EXPECT_LE(peaks.size(), 2u);
+}
+
+TEST(Spectrum, NoiseDoesNotMaskStrongTone)
+{
+    Rng rng(17);
+    const double fs = 1e9;
+    Trace t(1.0 / fs);
+    for (std::size_t i = 0; i < 16384; ++i) {
+        const double time = static_cast<double>(i) / fs;
+        t.push(std::sin(kTwoPi * 67e6 * time)
+               + rng.gaussian(0.0, 0.1));
+    }
+    const auto s = computeSpectrum(t, WindowKind::Hann);
+    const auto p = maxPeakInBand(s, 50e6, 200e6);
+    EXPECT_NEAR(p.freq_hz, 67e6, 2 * s.binWidth());
+}
+
+} // namespace
+} // namespace dsp
+} // namespace emstress

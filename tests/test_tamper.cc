@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for EM-fingerprint tamper detection: unmodified devices pass,
+ * decap removal and added board capacitance are flagged with the
+ * correct shift direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tamper_detector.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace core {
+namespace {
+
+TEST(TamperDetector, CleanDevicePasses)
+{
+    // Same hardware, different measurement session (different
+    // instrument noise seed): must not be flagged.
+    platform::Platform device_a(platform::junoA72Config(), 100);
+    platform::Platform device_b(platform::junoA72Config(), 200);
+    const auto baseline = TamperDetector::acquire(device_a, 2e-6, 3);
+    const auto observed = TamperDetector::acquire(device_b, 2e-6, 3);
+    const auto verdict = TamperDetector::check(baseline, observed);
+    EXPECT_FALSE(verdict.tampered) << verdict.reason;
+    EXPECT_LT(std::abs(verdict.resonance_shift_hz), mega(4.0));
+}
+
+TEST(TamperDetector, DetectsRemovedDieCapacitance)
+{
+    // Tampering that removes decoupling (e.g. a shaved package or a
+    // desoldered cap bank) raises the resonance.
+    platform::Platform good(platform::junoA72Config(), 100);
+    const auto baseline = TamperDetector::acquire(good, 2e-6, 3);
+
+    auto tampered_cfg = platform::junoA72Config();
+    tampered_cfg.pdn.c_die_core *= 0.55;
+    tampered_cfg.pdn.c_die_uncore *= 0.55;
+    platform::Platform bad(tampered_cfg, 100);
+    const auto observed = TamperDetector::acquire(bad, 2e-6, 3);
+
+    const auto verdict = TamperDetector::check(baseline, observed);
+    EXPECT_TRUE(verdict.tampered);
+    EXPECT_GT(verdict.resonance_shift_hz, mega(4.0));
+    EXPECT_NE(verdict.reason.find("removed"), std::string::npos)
+        << verdict.reason;
+}
+
+TEST(TamperDetector, DetectsAddedProbeCapacitance)
+{
+    // An implant/probe hanging on the rail adds capacitance and
+    // lowers the resonance.
+    platform::Platform good(platform::junoA72Config(), 100);
+    const auto baseline = TamperDetector::acquire(good, 2e-6, 3);
+
+    auto tampered_cfg = platform::junoA72Config();
+    tampered_cfg.pdn.c_die_uncore *= 3.0;
+    platform::Platform bad(tampered_cfg, 100);
+    const auto observed = TamperDetector::acquire(bad, 2e-6, 3);
+
+    const auto verdict = TamperDetector::check(baseline, observed);
+    EXPECT_TRUE(verdict.tampered);
+    EXPECT_LT(verdict.resonance_shift_hz, -mega(4.0));
+}
+
+TEST(TamperDetector, ValidatesInput)
+{
+    PdnFingerprint empty;
+    PdnFingerprint other;
+    EXPECT_THROW((void)TamperDetector::check(empty, other),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace core
+} // namespace emstress

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the util layer: units, stats, rng, trace, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/trace.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace {
+
+TEST(Units, DbConversionsRoundTrip)
+{
+    EXPECT_NEAR(powerRatioToDb(10.0), 10.0, 1e-12);
+    EXPECT_NEAR(powerRatioToDb(100.0), 20.0, 1e-12);
+    EXPECT_NEAR(dbToPowerRatio(powerRatioToDb(3.7)), 3.7, 1e-12);
+    EXPECT_NEAR(wattsToDbm(1e-3), 0.0, 1e-12);
+    EXPECT_NEAR(wattsToDbm(1.0), 30.0, 1e-12);
+    EXPECT_NEAR(dbmToWatts(wattsToDbm(2.5e-6)), 2.5e-6, 1e-18);
+}
+
+TEST(Units, MultiplierHelpers)
+{
+    EXPECT_DOUBLE_EQ(mega(67.0), 67e6);
+    EXPECT_DOUBLE_EQ(nano(0.14), 0.14e-9);
+    EXPECT_DOUBLE_EQ(milli(10.0), 0.01);
+}
+
+TEST(Units, LcResonanceInverses)
+{
+    const double l = nano(0.14);
+    const double c = nano(40.0);
+    const double f = lcResonanceHz(l, c);
+    EXPECT_NEAR(inductanceForResonance(f, c), l, l * 1e-9);
+    EXPECT_NEAR(capacitanceForResonance(f, l), c, c * 1e-9);
+}
+
+TEST(Units, LcResonanceKnownValue)
+{
+    // 1 uH with 1 uF resonates at ~159.155 kHz.
+    EXPECT_NEAR(lcResonanceHz(1e-6, 1e-6), 159154.9, 0.5);
+}
+
+TEST(Units, VoltsRmsToWatts)
+{
+    EXPECT_NEAR(voltsRmsToWatts(1.0, 50.0), 0.02, 1e-12);
+}
+
+TEST(Stats, BasicMoments)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+    EXPECT_NEAR(stats::variance(xs), 1.25, 1e-12);
+    EXPECT_NEAR(stats::rms(xs), std::sqrt(7.5), 1e-12);
+    EXPECT_DOUBLE_EQ(stats::minimum(xs), 1.0);
+    EXPECT_DOUBLE_EQ(stats::maximum(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stats::peakToPeak(xs), 3.0);
+}
+
+TEST(Stats, Percentile)
+{
+    const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 50.0), 3.0);
+    EXPECT_THROW((void)stats::percentile(xs, 101.0), ConfigError);
+}
+
+TEST(Stats, EmptySpanThrows)
+{
+    const std::vector<double> xs;
+    EXPECT_THROW((void)stats::mean(xs), SimulationError);
+    EXPECT_THROW((void)stats::rms(xs), SimulationError);
+    EXPECT_THROW((void)stats::peakToPeak(xs), SimulationError);
+}
+
+TEST(Stats, RunningMatchesBatch)
+{
+    Rng rng(42);
+    std::vector<double> xs;
+    stats::Running run;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        xs.push_back(v);
+        run.add(v);
+    }
+    EXPECT_NEAR(run.mean(), stats::mean(xs), 1e-9);
+    EXPECT_NEAR(run.variance(), stats::variance(xs), 1e-9);
+    EXPECT_DOUBLE_EQ(run.minimum(), stats::minimum(xs));
+    EXPECT_DOUBLE_EQ(run.maximum(), stats::maximum(xs));
+    EXPECT_EQ(run.count(), 1000u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, ChanceBoundaries)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    // Child stream should not replay the parent stream.
+    Rng b(7);
+    (void)b.uniform(0.0, 1.0); // advance as fork() did
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= child.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Trace, BasicAccessors)
+{
+    Trace t({1.0, 2.0, 3.0}, 0.5);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.dt(), 0.5);
+    EXPECT_DOUBLE_EQ(t.sampleRate(), 2.0);
+    EXPECT_DOUBLE_EQ(t.duration(), 1.5);
+    EXPECT_DOUBLE_EQ(t.timeAt(2), 1.0);
+    EXPECT_DOUBLE_EQ(t[1], 2.0);
+}
+
+TEST(Trace, InvalidDtThrows)
+{
+    EXPECT_THROW(Trace t(0.0), ConfigError);
+    EXPECT_THROW(Trace t(-1.0), ConfigError);
+}
+
+TEST(Trace, Slice)
+{
+    Trace t({0.0, 1.0, 2.0, 3.0, 4.0}, 1.0);
+    const Trace s = t.slice(1, 3);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[2], 3.0);
+    EXPECT_THROW((void)t.slice(3, 5), SimulationError);
+}
+
+TEST(Trace, ResampleZeroOrderHoldUpsamples)
+{
+    Trace t({1.0, 2.0}, 1.0);
+    const Trace u = t.resampleZeroOrderHold(0.25);
+    ASSERT_EQ(u.size(), 8u);
+    EXPECT_DOUBLE_EQ(u[0], 1.0);
+    EXPECT_DOUBLE_EQ(u[3], 1.0);
+    EXPECT_DOUBLE_EQ(u[4], 2.0);
+    EXPECT_DOUBLE_EQ(u[7], 2.0);
+    EXPECT_DOUBLE_EQ(u.dt(), 0.25);
+}
+
+TEST(Trace, ResamplePreservesDuration)
+{
+    Trace t(std::vector<double>(1000, 1.5), 1e-9);
+    const Trace u = t.resampleZeroOrderHold(0.25e-9);
+    EXPECT_NEAR(u.duration(), t.duration(), 1e-12);
+}
+
+TEST(Table, TextAndCsvRendering)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("b,eta").cell(2.25, 2);
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"b,eta\""), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CellBeforeRowThrows)
+{
+    Table t({"x"});
+    EXPECT_THROW(t.cell("v"), SimulationError);
+}
+
+TEST(Table, NeedsAtLeastOneColumn)
+{
+    EXPECT_THROW(Table t({}), ConfigError);
+}
+
+TEST(Table, CsvEscapesQuotesAndNewlines)
+{
+    Table t({"a"});
+    t.row().cell("say \"hi\"\nthere");
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\nthere\""),
+              std::string::npos);
+}
+
+TEST(Rng, PickReturnsElementFromSpan)
+{
+    Rng rng(3);
+    const std::vector<int> items = {10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int v = rng.pick(std::span<const int>(items));
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+}
+
+TEST(Rng, IndexOfEmptyRangeThrows)
+{
+    Rng rng(3);
+    EXPECT_THROW((void)rng.index(0), SimulationError);
+}
+
+TEST(Trace, SliceAtExactEndIsAllowed)
+{
+    Trace t({1.0, 2.0, 3.0}, 1.0);
+    const Trace s = t.slice(1, 2);
+    EXPECT_EQ(s.size(), 2u);
+    const Trace whole = t.slice(0, 3);
+    EXPECT_EQ(whole.size(), 3u);
+    const Trace empty = t.slice(3, 0);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Trace, ResampleToCoarserGridDecimates)
+{
+    Trace t({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, 1.0);
+    const Trace d = t.resampleZeroOrderHold(2.0);
+    ASSERT_EQ(d.size(), 4u);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_DOUBLE_EQ(d[1], 2.0);
+    EXPECT_DOUBLE_EQ(d[3], 6.0);
+}
+
+} // namespace
+} // namespace emstress

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/pool.h"
+#include "uarch/core_model.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "workloads/workload.h"
+
+namespace emstress {
+namespace workloads {
+namespace {
+
+TEST(Workloads, SuitesContainExpectedNames)
+{
+    const auto spec = spec2006Suite();
+    EXPECT_GE(spec.size(), 10u);
+    EXPECT_NO_THROW((void)findProfile(spec, "lbm"));
+    EXPECT_NO_THROW((void)findProfile(spec, "mcf"));
+    EXPECT_THROW((void)findProfile(spec, "doom"), ConfigError);
+
+    const auto desk = desktopSuite();
+    EXPECT_NO_THROW((void)findProfile(desk, "prime95"));
+    EXPECT_NO_THROW((void)findProfile(desk, "blender"));
+    EXPECT_NO_THROW((void)findProfile(desk, "amd_stab"));
+}
+
+TEST(Workloads, StreamsValidateAgainstPool)
+{
+    const auto arm = isa::InstructionPool::armV8();
+    const auto x86 = isa::InstructionPool::x86Sse2();
+    Rng rng(1);
+    for (const auto &profile : spec2006Suite()) {
+        const auto s = generateStream(profile, arm, 3000, rng);
+        ASSERT_EQ(s.size(), 3000u);
+        for (const auto &instr : s)
+            EXPECT_NO_THROW(arm.validate(instr)) << profile.name;
+    }
+    for (const auto &profile : desktopSuite()) {
+        const auto s = generateStream(profile, x86, 3000, rng);
+        for (const auto &instr : s)
+            EXPECT_NO_THROW(x86.validate(instr)) << profile.name;
+    }
+}
+
+TEST(Workloads, StreamsAreReproducible)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto profile = findProfile(spec2006Suite(), "gcc");
+    const auto a = generateStream(profile, pool, 2000, Rng(7));
+    const auto b = generateStream(profile, pool, 2000, Rng(7));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].def_index, b[i].def_index);
+        EXPECT_EQ(a[i].dest, b[i].dest);
+    }
+}
+
+TEST(Workloads, DifferentBenchmarksProduceDifferentStreams)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto suite = spec2006Suite();
+    const auto a =
+        generateStream(findProfile(suite, "gcc"), pool, 2000, Rng(7));
+    const auto b =
+        generateStream(findProfile(suite, "lbm"), pool, 2000, Rng(7));
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diffs += a[i].def_index != b[i].def_index;
+    EXPECT_GT(diffs, 200u);
+}
+
+TEST(Workloads, IdleDrawsFarLessCurrentThanPrime95Like)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    uarch::CoreModel core(uarch::cortexA72Params());
+    Rng rng(3);
+    const auto idle_s =
+        generateStream(idleProfile(), pool, 20000, rng);
+    const auto hot_s = generateStream(
+        findProfile(desktopSuite(), "prime95"), pool, 20000, rng);
+    const auto idle_run = core.runStream(pool, idle_s, 1.2e9);
+    const auto hot_run = core.runStream(pool, hot_s, 1.2e9);
+    EXPECT_GT(stats::mean(hot_run.current.samples()),
+              3.0 * stats::mean(idle_run.current.samples()));
+}
+
+TEST(Workloads, Prime95LikeIsSteadyLbmIsBursty)
+{
+    // The ordering that drives Figs. 10/18: stability tests draw high
+    // *steady* power, lbm swings.
+    const auto pool = isa::InstructionPool::armV8();
+    uarch::CoreModel core(uarch::cortexA72Params());
+    Rng rng(4);
+    const auto p95 = core.runStream(
+        pool,
+        generateStream(findProfile(desktopSuite(), "prime95"), pool,
+                       30000, rng),
+        1.2e9);
+    const auto lbm = core.runStream(
+        pool,
+        generateStream(findProfile(spec2006Suite(), "lbm"), pool,
+                       30000, rng),
+        1.2e9);
+    const double cv_p95 = stats::stddev(p95.current.samples())
+        / stats::mean(p95.current.samples());
+    const double cv_lbm = stats::stddev(lbm.current.samples())
+        / stats::mean(lbm.current.samples());
+    EXPECT_GT(stats::mean(p95.current.samples()),
+              stats::mean(lbm.current.samples()));
+    EXPECT_GT(cv_lbm, 1.15 * cv_p95);
+}
+
+TEST(Workloads, BurstsProduceLowCurrentWindows)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    auto profile = findProfile(spec2006Suite(), "mcf");
+    uarch::CoreModel core(uarch::cortexA72Params());
+    Rng rng(5);
+    const auto run = core.runStream(
+        pool, generateStream(profile, pool, 30000, rng), 1.2e9);
+    // Bursty streams reach clearly lower current than their mean
+    // (bounded below by the idle floor).
+    const double mean = stats::mean(run.current.samples());
+    const double p5 = stats::percentile(run.current.samples(), 5.0);
+    EXPECT_LT(p5, 0.75 * mean);
+}
+
+TEST(Workloads, GeneratorValidatesInput)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    WorkloadProfile bad = idleProfile();
+    bad.intensity = 1.5;
+    EXPECT_THROW((void)generateStream(bad, pool, 100, Rng(1)),
+                 ConfigError);
+    bad = idleProfile();
+    bad.phase_len = 0;
+    EXPECT_THROW((void)generateStream(bad, pool, 100, Rng(1)),
+                 ConfigError);
+    EXPECT_THROW(
+        (void)generateStream(idleProfile(), pool, 0, Rng(1)),
+        ConfigError);
+}
+
+class SuiteStreamTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(SuiteStreamTest, EveryProfileRunsOnBothCores)
+{
+    // Smoke: every SPEC profile produces a runnable ARM stream on the
+    // in-order A53 model too.
+    const auto pool = isa::InstructionPool::armV8();
+    uarch::CoreModel a53(uarch::cortexA53Params());
+    Rng rng(6);
+    const auto stream = generateStream(
+        findProfile(spec2006Suite(), GetParam()), pool, 8000, rng);
+    const auto run = a53.runStream(pool, stream, 950e6);
+    EXPECT_GT(run.stats.ipc, 0.02);
+    EXPECT_LE(run.stats.ipc, 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecBenchmarks, SuiteStreamTest,
+    ::testing::Values("perlbench", "bzip2", "gcc", "mcf", "milc",
+                      "namd", "hmmer", "libquantum", "lbm",
+                      "omnetpp"));
+
+} // namespace
+} // namespace workloads
+} // namespace emstress
