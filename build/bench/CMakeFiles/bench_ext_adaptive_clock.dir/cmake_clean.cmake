@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_clock.dir/bench_ext_adaptive_clock.cc.o"
+  "CMakeFiles/bench_ext_adaptive_clock.dir/bench_ext_adaptive_clock.cc.o.d"
+  "bench_ext_adaptive_clock"
+  "bench_ext_adaptive_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

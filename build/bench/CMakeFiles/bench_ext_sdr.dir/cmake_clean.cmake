@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sdr.dir/bench_ext_sdr.cc.o"
+  "CMakeFiles/bench_ext_sdr.dir/bench_ext_sdr.cc.o.d"
+  "bench_ext_sdr"
+  "bench_ext_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

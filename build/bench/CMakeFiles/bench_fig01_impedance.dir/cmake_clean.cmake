@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_impedance.dir/bench_fig01_impedance.cc.o"
+  "CMakeFiles/bench_fig01_impedance.dir/bench_fig01_impedance.cc.o.d"
+  "bench_fig01_impedance"
+  "bench_fig01_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_resonant_excitation.cc" "bench/CMakeFiles/bench_fig02_resonant_excitation.dir/bench_fig02_resonant_excitation.cc.o" "gcc" "bench/CMakeFiles/bench_fig02_resonant_excitation.dir/bench_fig02_resonant_excitation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emstress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/emstress_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/emstress_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/emstress_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/emstress_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emstress_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/instruments/CMakeFiles/emstress_instruments.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/emstress_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/emstress_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/emstress_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmin/CMakeFiles/emstress_vmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emstress_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

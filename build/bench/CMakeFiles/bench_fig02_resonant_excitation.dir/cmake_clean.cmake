@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_resonant_excitation.dir/bench_fig02_resonant_excitation.cc.o"
+  "CMakeFiles/bench_fig02_resonant_excitation.dir/bench_fig02_resonant_excitation.cc.o.d"
+  "bench_fig02_resonant_excitation"
+  "bench_fig02_resonant_excitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_resonant_excitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

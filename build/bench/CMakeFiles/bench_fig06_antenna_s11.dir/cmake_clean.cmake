@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_antenna_s11.dir/bench_fig06_antenna_s11.cc.o"
+  "CMakeFiles/bench_fig06_antenna_s11.dir/bench_fig06_antenna_s11.cc.o.d"
+  "bench_fig06_antenna_s11"
+  "bench_fig06_antenna_s11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_antenna_s11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

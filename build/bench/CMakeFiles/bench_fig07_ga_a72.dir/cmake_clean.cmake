@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ga_a72.dir/bench_fig07_ga_a72.cc.o"
+  "CMakeFiles/bench_fig07_ga_a72.dir/bench_fig07_ga_a72.cc.o.d"
+  "bench_fig07_ga_a72"
+  "bench_fig07_ga_a72.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ga_a72.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_sa_vs_dso.dir/bench_fig09_sa_vs_dso.cc.o"
+  "CMakeFiles/bench_fig09_sa_vs_dso.dir/bench_fig09_sa_vs_dso.cc.o.d"
+  "bench_fig09_sa_vs_dso"
+  "bench_fig09_sa_vs_dso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_sa_vs_dso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

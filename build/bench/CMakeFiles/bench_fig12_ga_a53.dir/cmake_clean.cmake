@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ga_a53.dir/bench_fig12_ga_a53.cc.o"
+  "CMakeFiles/bench_fig12_ga_a53.dir/bench_fig12_ga_a53.cc.o.d"
+  "bench_fig12_ga_a53"
+  "bench_fig12_ga_a53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ga_a53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_ga_a53.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_multidomain.dir/bench_fig15_multidomain.cc.o"
+  "CMakeFiles/bench_fig15_multidomain.dir/bench_fig15_multidomain.cc.o.d"
+  "bench_fig15_multidomain"
+  "bench_fig15_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

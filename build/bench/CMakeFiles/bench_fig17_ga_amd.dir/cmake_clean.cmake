@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_ga_amd.dir/bench_fig17_ga_amd.cc.o"
+  "CMakeFiles/bench_fig17_ga_amd.dir/bench_fig17_ga_amd.cc.o.d"
+  "bench_fig17_ga_amd"
+  "bench_fig17_ga_amd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_ga_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_vmin_amd.dir/bench_fig18_vmin_amd.cc.o"
+  "CMakeFiles/bench_fig18_vmin_amd.dir/bench_fig18_vmin_amd.cc.o.d"
+  "bench_fig18_vmin_amd"
+  "bench_fig18_vmin_amd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_vmin_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_viruses.dir/bench_table2_viruses.cc.o"
+  "CMakeFiles/bench_table2_viruses.dir/bench_table2_viruses.cc.o.d"
+  "bench_table2_viruses"
+  "bench_table2_viruses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_viruses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pool.dir/custom_pool.cpp.o"
+  "CMakeFiles/custom_pool.dir/custom_pool.cpp.o.d"
+  "custom_pool"
+  "custom_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/margin_audit.dir/margin_audit.cpp.o"
+  "CMakeFiles/margin_audit.dir/margin_audit.cpp.o.d"
+  "margin_audit"
+  "margin_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/margin_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_check.dir/tamper_check.cpp.o"
+  "CMakeFiles/tamper_check.dir/tamper_check.cpp.o.d"
+  "tamper_check"
+  "tamper_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_hunt.dir/virus_hunt.cpp.o"
+  "CMakeFiles/virus_hunt.dir/virus_hunt.cpp.o.d"
+  "virus_hunt"
+  "virus_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

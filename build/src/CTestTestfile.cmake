@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dsp")
+subdirs("circuit")
+subdirs("pdn")
+subdirs("isa")
+subdirs("uarch")
+subdirs("em")
+subdirs("instruments")
+subdirs("platform")
+subdirs("workloads")
+subdirs("vmin")
+subdirs("mitigation")
+subdirs("ga")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_circuit.dir/ac.cc.o"
+  "CMakeFiles/emstress_circuit.dir/ac.cc.o.d"
+  "CMakeFiles/emstress_circuit.dir/mna.cc.o"
+  "CMakeFiles/emstress_circuit.dir/mna.cc.o.d"
+  "CMakeFiles/emstress_circuit.dir/transient.cc.o"
+  "CMakeFiles/emstress_circuit.dir/transient.cc.o.d"
+  "libemstress_circuit.a"
+  "libemstress_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fitness.cc" "src/core/CMakeFiles/emstress_core.dir/fitness.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/fitness.cc.o.d"
+  "/root/repo/src/core/margin_predictor.cc" "src/core/CMakeFiles/emstress_core.dir/margin_predictor.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/margin_predictor.cc.o.d"
+  "/root/repo/src/core/multidomain.cc" "src/core/CMakeFiles/emstress_core.dir/multidomain.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/multidomain.cc.o.d"
+  "/root/repo/src/core/resonance_explorer.cc" "src/core/CMakeFiles/emstress_core.dir/resonance_explorer.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/resonance_explorer.cc.o.d"
+  "/root/repo/src/core/resonant_kernel.cc" "src/core/CMakeFiles/emstress_core.dir/resonant_kernel.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/resonant_kernel.cc.o.d"
+  "/root/repo/src/core/tamper_detector.cc" "src/core/CMakeFiles/emstress_core.dir/tamper_detector.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/tamper_detector.cc.o.d"
+  "/root/repo/src/core/virus_analysis.cc" "src/core/CMakeFiles/emstress_core.dir/virus_analysis.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/virus_analysis.cc.o.d"
+  "/root/repo/src/core/virus_generator.cc" "src/core/CMakeFiles/emstress_core.dir/virus_generator.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/virus_generator.cc.o.d"
+  "/root/repo/src/core/vmin_tester.cc" "src/core/CMakeFiles/emstress_core.dir/vmin_tester.cc.o" "gcc" "src/core/CMakeFiles/emstress_core.dir/vmin_tester.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ga/CMakeFiles/emstress_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/emstress_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/emstress_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmin/CMakeFiles/emstress_vmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emstress_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/emstress_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/emstress_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emstress_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/instruments/CMakeFiles/emstress_instruments.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/emstress_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/emstress_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_core.dir/fitness.cc.o"
+  "CMakeFiles/emstress_core.dir/fitness.cc.o.d"
+  "CMakeFiles/emstress_core.dir/margin_predictor.cc.o"
+  "CMakeFiles/emstress_core.dir/margin_predictor.cc.o.d"
+  "CMakeFiles/emstress_core.dir/multidomain.cc.o"
+  "CMakeFiles/emstress_core.dir/multidomain.cc.o.d"
+  "CMakeFiles/emstress_core.dir/resonance_explorer.cc.o"
+  "CMakeFiles/emstress_core.dir/resonance_explorer.cc.o.d"
+  "CMakeFiles/emstress_core.dir/resonant_kernel.cc.o"
+  "CMakeFiles/emstress_core.dir/resonant_kernel.cc.o.d"
+  "CMakeFiles/emstress_core.dir/tamper_detector.cc.o"
+  "CMakeFiles/emstress_core.dir/tamper_detector.cc.o.d"
+  "CMakeFiles/emstress_core.dir/virus_analysis.cc.o"
+  "CMakeFiles/emstress_core.dir/virus_analysis.cc.o.d"
+  "CMakeFiles/emstress_core.dir/virus_generator.cc.o"
+  "CMakeFiles/emstress_core.dir/virus_generator.cc.o.d"
+  "CMakeFiles/emstress_core.dir/vmin_tester.cc.o"
+  "CMakeFiles/emstress_core.dir/vmin_tester.cc.o.d"
+  "libemstress_core.a"
+  "libemstress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

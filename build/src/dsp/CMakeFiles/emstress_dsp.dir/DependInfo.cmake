@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/emstress_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/emstress_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/spectrum.cc" "src/dsp/CMakeFiles/emstress_dsp.dir/spectrum.cc.o" "gcc" "src/dsp/CMakeFiles/emstress_dsp.dir/spectrum.cc.o.d"
+  "/root/repo/src/dsp/window.cc" "src/dsp/CMakeFiles/emstress_dsp.dir/window.cc.o" "gcc" "src/dsp/CMakeFiles/emstress_dsp.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_dsp.dir/fft.cc.o"
+  "CMakeFiles/emstress_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/emstress_dsp.dir/spectrum.cc.o"
+  "CMakeFiles/emstress_dsp.dir/spectrum.cc.o.d"
+  "CMakeFiles/emstress_dsp.dir/window.cc.o"
+  "CMakeFiles/emstress_dsp.dir/window.cc.o.d"
+  "libemstress_dsp.a"
+  "libemstress_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_em.dir/antenna.cc.o"
+  "CMakeFiles/emstress_em.dir/antenna.cc.o.d"
+  "libemstress_em.a"
+  "libemstress_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_ga.dir/ga_engine.cc.o"
+  "CMakeFiles/emstress_ga.dir/ga_engine.cc.o.d"
+  "libemstress_ga.a"
+  "libemstress_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instruments/oscilloscope.cc" "src/instruments/CMakeFiles/emstress_instruments.dir/oscilloscope.cc.o" "gcc" "src/instruments/CMakeFiles/emstress_instruments.dir/oscilloscope.cc.o.d"
+  "/root/repo/src/instruments/scl.cc" "src/instruments/CMakeFiles/emstress_instruments.dir/scl.cc.o" "gcc" "src/instruments/CMakeFiles/emstress_instruments.dir/scl.cc.o.d"
+  "/root/repo/src/instruments/sdr_receiver.cc" "src/instruments/CMakeFiles/emstress_instruments.dir/sdr_receiver.cc.o" "gcc" "src/instruments/CMakeFiles/emstress_instruments.dir/sdr_receiver.cc.o.d"
+  "/root/repo/src/instruments/spectrum_analyzer.cc" "src/instruments/CMakeFiles/emstress_instruments.dir/spectrum_analyzer.cc.o" "gcc" "src/instruments/CMakeFiles/emstress_instruments.dir/spectrum_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/emstress_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/emstress_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_instruments.dir/oscilloscope.cc.o"
+  "CMakeFiles/emstress_instruments.dir/oscilloscope.cc.o.d"
+  "CMakeFiles/emstress_instruments.dir/scl.cc.o"
+  "CMakeFiles/emstress_instruments.dir/scl.cc.o.d"
+  "CMakeFiles/emstress_instruments.dir/sdr_receiver.cc.o"
+  "CMakeFiles/emstress_instruments.dir/sdr_receiver.cc.o.d"
+  "CMakeFiles/emstress_instruments.dir/spectrum_analyzer.cc.o"
+  "CMakeFiles/emstress_instruments.dir/spectrum_analyzer.cc.o.d"
+  "libemstress_instruments.a"
+  "libemstress_instruments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_instruments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instr.cc" "src/isa/CMakeFiles/emstress_isa.dir/instr.cc.o" "gcc" "src/isa/CMakeFiles/emstress_isa.dir/instr.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/isa/CMakeFiles/emstress_isa.dir/kernel.cc.o" "gcc" "src/isa/CMakeFiles/emstress_isa.dir/kernel.cc.o.d"
+  "/root/repo/src/isa/pool.cc" "src/isa/CMakeFiles/emstress_isa.dir/pool.cc.o" "gcc" "src/isa/CMakeFiles/emstress_isa.dir/pool.cc.o.d"
+  "/root/repo/src/isa/xml.cc" "src/isa/CMakeFiles/emstress_isa.dir/xml.cc.o" "gcc" "src/isa/CMakeFiles/emstress_isa.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_isa.dir/instr.cc.o"
+  "CMakeFiles/emstress_isa.dir/instr.cc.o.d"
+  "CMakeFiles/emstress_isa.dir/kernel.cc.o"
+  "CMakeFiles/emstress_isa.dir/kernel.cc.o.d"
+  "CMakeFiles/emstress_isa.dir/pool.cc.o"
+  "CMakeFiles/emstress_isa.dir/pool.cc.o.d"
+  "CMakeFiles/emstress_isa.dir/xml.cc.o"
+  "CMakeFiles/emstress_isa.dir/xml.cc.o.d"
+  "libemstress_isa.a"
+  "libemstress_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_mitigation.dir/adaptive_clock.cc.o"
+  "CMakeFiles/emstress_mitigation.dir/adaptive_clock.cc.o.d"
+  "libemstress_mitigation.a"
+  "libemstress_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

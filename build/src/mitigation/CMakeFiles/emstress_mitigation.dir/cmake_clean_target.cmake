@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemstress_mitigation.a"
+)

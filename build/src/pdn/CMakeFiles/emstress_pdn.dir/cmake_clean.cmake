@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_pdn.dir/pdn_model.cc.o"
+  "CMakeFiles/emstress_pdn.dir/pdn_model.cc.o.d"
+  "CMakeFiles/emstress_pdn.dir/resonance.cc.o"
+  "CMakeFiles/emstress_pdn.dir/resonance.cc.o.d"
+  "libemstress_pdn.a"
+  "libemstress_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

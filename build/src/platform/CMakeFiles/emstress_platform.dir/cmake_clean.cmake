@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_platform.dir/platform.cc.o"
+  "CMakeFiles/emstress_platform.dir/platform.cc.o.d"
+  "libemstress_platform.a"
+  "libemstress_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_uarch.dir/core_model.cc.o"
+  "CMakeFiles/emstress_uarch.dir/core_model.cc.o.d"
+  "libemstress_uarch.a"
+  "libemstress_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_vmin.dir/timing_model.cc.o"
+  "CMakeFiles/emstress_vmin.dir/timing_model.cc.o.d"
+  "CMakeFiles/emstress_vmin.dir/vmin_search.cc.o"
+  "CMakeFiles/emstress_vmin.dir/vmin_search.cc.o.d"
+  "libemstress_vmin.a"
+  "libemstress_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

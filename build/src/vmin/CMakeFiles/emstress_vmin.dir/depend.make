@@ -1,0 +1,2 @@
+# Empty dependencies file for emstress_vmin.
+# This may be replaced when dependencies are built.

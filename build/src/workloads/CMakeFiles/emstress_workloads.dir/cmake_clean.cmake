@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emstress_workloads.dir/workload.cc.o"
+  "CMakeFiles/emstress_workloads.dir/workload.cc.o.d"
+  "libemstress_workloads.a"
+  "libemstress_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emstress_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instruments.dir/test_instruments.cc.o"
+  "CMakeFiles/test_instruments.dir/test_instruments.cc.o.d"
+  "test_instruments"
+  "test_instruments.pdb"
+  "test_instruments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instruments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

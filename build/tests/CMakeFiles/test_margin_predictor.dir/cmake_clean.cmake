@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_margin_predictor.dir/test_margin_predictor.cc.o"
+  "CMakeFiles/test_margin_predictor.dir/test_margin_predictor.cc.o.d"
+  "test_margin_predictor"
+  "test_margin_predictor.pdb"
+  "test_margin_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_margin_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pdn.cc" "tests/CMakeFiles/test_pdn.dir/test_pdn.cc.o" "gcc" "tests/CMakeFiles/test_pdn.dir/test_pdn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdn/CMakeFiles/emstress_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emstress_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/emstress_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

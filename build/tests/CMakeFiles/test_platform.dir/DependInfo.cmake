@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/test_platform.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/test_platform.dir/test_platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/emstress_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/emstress_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emstress_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/emstress_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/emstress_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emstress_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/instruments/CMakeFiles/emstress_instruments.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/emstress_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

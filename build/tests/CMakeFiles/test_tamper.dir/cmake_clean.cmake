@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tamper.dir/test_tamper.cc.o"
+  "CMakeFiles/test_tamper.dir/test_tamper.cc.o.d"
+  "test_tamper"
+  "test_tamper.pdb"
+  "test_tamper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tamper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

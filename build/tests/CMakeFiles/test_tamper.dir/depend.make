@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tamper.
+# This may be replaced when dependencies are built.

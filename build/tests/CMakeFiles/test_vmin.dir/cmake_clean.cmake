@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmin.dir/test_vmin.cc.o"
+  "CMakeFiles/test_vmin.dir/test_vmin.cc.o.d"
+  "test_vmin"
+  "test_vmin.pdb"
+  "test_vmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

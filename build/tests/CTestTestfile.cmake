@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_pdn[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch[1]_include.cmake")
+include("/root/repo/build/tests/test_em[1]_include.cmake")
+include("/root/repo/build/tests/test_instruments[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_vmin[1]_include.cmake")
+include("/root/repo/build/tests/test_ga[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_resonant_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_correlation[1]_include.cmake")
+include("/root/repo/build/tests/test_mitigation[1]_include.cmake")
+include("/root/repo/build/tests/test_margin_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_sdr[1]_include.cmake")
+include("/root/repo/build/tests/test_tamper[1]_include.cmake")
+include("/root/repo/build/tests/test_passivity[1]_include.cmake")
