@@ -62,6 +62,10 @@ main()
     summary.print("Figure 7: convergence summary");
     bench::saveCsv(summary, "fig07_summary");
 
+    if (report.ga.eval_stats.evals > 0)
+        bench::printEvalStats(report.ga.eval_stats,
+                              "Figure 7: evaluation pipeline");
+
     if (!found.history.empty()) {
         const auto &first = found.history.front();
         const auto &last = found.history.back();

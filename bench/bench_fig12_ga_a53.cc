@@ -53,5 +53,9 @@ main()
     summary.row().cell("virus IPC").cell(report.ipc, 2);
     summary.print("Figure 12: convergence summary");
     bench::saveCsv(summary, "fig12_summary");
+
+    if (report.ga.eval_stats.evals > 0)
+        bench::printEvalStats(report.ga.eval_stats,
+                              "Figure 12: evaluation pipeline");
     return 0;
 }

@@ -52,5 +52,9 @@ main()
         .cell(report.max_droop_v * 1e3, 1);
     summary.print("Figure 17: convergence summary");
     bench::saveCsv(summary, "fig17_summary");
+
+    if (report.ga.eval_stats.evals > 0)
+        bench::printEvalStats(report.ga.eval_stats,
+                              "Figure 17: evaluation pipeline");
     return 0;
 }

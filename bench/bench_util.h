@@ -88,6 +88,10 @@ gaConfigForMode(std::uint64_t seed)
     }
     cfg.kernel_length = 50; // paper: all viruses are 50 instructions
     cfg.seed = seed;
+    // Evaluate each generation concurrently on platform clones.
+    // Results are bit-identical to serial (threads = 1); override the
+    // worker count with EMSTRESS_THREADS.
+    cfg.threads = 0;
     return cfg;
 }
 
@@ -99,6 +103,28 @@ evalForMode()
     eval.duration_s = 4e-6;
     eval.sa_samples = fullMode() ? 30 : 8;
     return eval;
+}
+
+/**
+ * Print the measurement-pipeline counters of a GA search: fresh
+ * evaluations vs. cache hits vs. reused elites, worker threads and
+ * the parallel speedup over the serial evaluation path.
+ */
+inline void
+printEvalStats(const ga::EvalStats &stats, const std::string &title)
+{
+    Table t({"counter", "value"});
+    t.row().cell("fresh evaluations").cell(
+        static_cast<long>(stats.evals));
+    t.row().cell("fitness-cache hits").cell(
+        static_cast<long>(stats.cache_hits));
+    t.row().cell("elites reused").cell(
+        static_cast<long>(stats.elites_reused));
+    t.row().cell("worker threads").cell(
+        static_cast<long>(stats.threads));
+    t.row().cell("evaluation wall [s]").cell(stats.wall_seconds, 3);
+    t.row().cell("parallel speedup [x]").cell(stats.speedup(), 2);
+    t.print(title);
 }
 
 /** One row of a cached GA progression (Figs. 7/12/17 series). */

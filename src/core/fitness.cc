@@ -22,11 +22,17 @@ labSecondsPerIndividual(const ga::ConnectionLatency &lat,
         + lat.per_sample_s * static_cast<double>(samples);
 }
 
+/// Per-metric noise salts: the same kernel measured through
+/// different instruments must not see correlated noise.
+constexpr std::uint64_t kEmNoiseSalt = 0x454d5f414d504cull;
+constexpr std::uint64_t kDroopNoiseSalt = 0x44524f4f50ull;
+constexpr std::uint64_t kP2pNoiseSalt = 0x5032505full;
+
 } // namespace
 
 EmAmplitudeFitness::EmAmplitudeFitness(platform::Platform &plat,
                                        const EvalSettings &settings)
-    : plat_(plat), settings_(settings)
+    : PlatformFitness(plat, settings)
 {
     requireConfig(settings.f_hi_hz > settings.f_lo_hz,
                   "EM band must have positive width");
@@ -38,11 +44,12 @@ double
 EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
                              ga::EvalDetail *detail)
 {
-    const auto run = plat_.runKernel(kernel, settings_.duration_s,
-                                     settings_.active_cores);
-    const auto marker = plat_.analyzer().averagedMaxAmplitude(
+    const auto run = plat().runKernel(kernel, settings_.duration_s,
+                                      settings_.active_cores);
+    Rng noise = noiseFor(kernel, kEmNoiseSalt);
+    const auto marker = plat().analyzer().averagedMaxAmplitude(
         run.em, settings_.f_lo_hz, settings_.f_hi_hz,
-        settings_.sa_samples);
+        settings_.sa_samples, noise);
     if (detail) {
         detail->dominant_freq_hz = marker.freq_hz;
         detail->metric_raw = marker.power_dbm;
@@ -52,9 +59,18 @@ EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
     return marker.power_dbm;
 }
 
+std::unique_ptr<ga::FitnessEvaluator>
+EmAmplitudeFitness::clone() const
+{
+    return std::unique_ptr<ga::FitnessEvaluator>(
+        new EmAmplitudeFitness(
+            std::shared_ptr<platform::Platform>(plat().clone()),
+            settings_));
+}
+
 MaxDroopFitness::MaxDroopFitness(platform::Platform &plat,
                                  const EvalSettings &settings)
-    : plat_(plat), settings_(settings)
+    : PlatformFitness(plat, settings)
 {
     requireConfig(plat.hasVoltageVisibility(),
                   "droop fitness requires direct voltage "
@@ -66,11 +82,12 @@ double
 MaxDroopFitness::evaluate(const isa::Kernel &kernel,
                           ga::EvalDetail *detail)
 {
-    const auto run = plat_.runKernel(kernel, settings_.duration_s,
-                                     settings_.active_cores);
-    const Trace cap = plat_.scope().capture(run.v_die);
+    const auto run = plat().runKernel(kernel, settings_.duration_s,
+                                      settings_.active_cores);
+    Rng noise = noiseFor(kernel, kDroopNoiseSalt);
+    const Trace cap = plat().scope().capture(run.v_die, noise);
     const double droop = instruments::Oscilloscope::maxDroop(
-        cap, plat_.voltage());
+        cap, plat().voltage());
     if (detail) {
         const auto spec = instruments::Oscilloscope::fftView(cap);
         const auto pk = dsp::maxPeakInBand(spec, settings_.f_lo_hz,
@@ -84,9 +101,17 @@ MaxDroopFitness::evaluate(const isa::Kernel &kernel,
     return droop;
 }
 
+std::unique_ptr<ga::FitnessEvaluator>
+MaxDroopFitness::clone() const
+{
+    return std::unique_ptr<ga::FitnessEvaluator>(new MaxDroopFitness(
+        std::shared_ptr<platform::Platform>(plat().clone()),
+        settings_));
+}
+
 PeakToPeakFitness::PeakToPeakFitness(platform::Platform &plat,
                                      const EvalSettings &settings)
-    : plat_(plat), settings_(settings)
+    : PlatformFitness(plat, settings)
 {
     requireConfig(plat.hasVoltageVisibility(),
                   "peak-to-peak fitness requires direct voltage "
@@ -98,9 +123,10 @@ double
 PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
                             ga::EvalDetail *detail)
 {
-    const auto run = plat_.runKernel(kernel, settings_.duration_s,
-                                     settings_.active_cores);
-    const Trace cap = plat_.scope().capture(run.v_die);
+    const auto run = plat().runKernel(kernel, settings_.duration_s,
+                                      settings_.active_cores);
+    Rng noise = noiseFor(kernel, kP2pNoiseSalt);
+    const Trace cap = plat().scope().capture(run.v_die, noise);
     const double p2p = instruments::Oscilloscope::peakToPeak(cap);
     if (detail) {
         const auto spec = instruments::Oscilloscope::fftView(cap);
@@ -112,6 +138,14 @@ PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
             labSecondsPerIndividual(latency_, 3);
     }
     return p2p;
+}
+
+std::unique_ptr<ga::FitnessEvaluator>
+PeakToPeakFitness::clone() const
+{
+    return std::unique_ptr<ga::FitnessEvaluator>(new PeakToPeakFitness(
+        std::shared_ptr<platform::Platform>(plat().clone()),
+        settings_));
 }
 
 InProcessTarget::InProcessTarget(platform::Platform &plat,

@@ -6,11 +6,21 @@
  * (the novel contribution) and, where direct voltage visibility
  * exists, maximum droop and peak-to-peak voltage (the baselines used
  * for validation and for the a72OC-DSO / amdOsc viruses).
+ *
+ * All three evaluators are *order-independent*: measurement noise is
+ * seeded from the evaluated kernel's structural hash (mixed with the
+ * platform seed), so a kernel's fitness depends only on the kernel —
+ * never on how many measurements ran before it. That property makes
+ * the GA's fitness memoization lossless and its parallel batch
+ * evaluation bit-identical to the serial path. They are also
+ * *cloneable*: clone() replicates the bound platform so each worker
+ * thread simulates on its own PDN engine and instruments.
  */
 
 #ifndef EMSTRESS_CORE_FITNESS_H
 #define EMSTRESS_CORE_FITNESS_H
 
+#include <memory>
 #include <string>
 
 #include "ga/ga_engine.h"
@@ -32,11 +42,50 @@ struct EvalSettings
 };
 
 /**
+ * Common base of the platform-bound evaluators: holds the platform
+ * (by reference, or owned when the evaluator is a clone) and derives
+ * the per-kernel noise stream.
+ */
+class PlatformFitness : public ga::FitnessEvaluator
+{
+  protected:
+    PlatformFitness(platform::Platform &plat,
+                    const EvalSettings &settings)
+        : plat_(&plat), settings_(settings)
+    {}
+
+    /** Clone constructor: takes ownership of a platform replica. */
+    PlatformFitness(std::shared_ptr<platform::Platform> owned,
+                    const EvalSettings &settings)
+        : plat_(owned.get()), owned_(std::move(owned)),
+          settings_(settings)
+    {}
+
+    /** The bound platform. */
+    platform::Platform &plat() const { return *plat_; }
+
+    /**
+     * Measurement-noise stream for one kernel: a pure function of
+     * the kernel genome, the platform seed and a per-metric salt.
+     */
+    Rng noiseFor(const isa::Kernel &kernel,
+                 std::uint64_t salt) const
+    {
+        return Rng(mixSeed(kernel.hash() ^ salt, plat_->seed()));
+    }
+
+    platform::Platform *plat_;
+    std::shared_ptr<platform::Platform> owned_;
+    EvalSettings settings_;
+    ga::ConnectionLatency latency_;
+};
+
+/**
  * EM-amplitude fitness (paper Section 3.1(b)): the RMS over
  * `sa_samples` sweeps of the maximum EM amplitude anywhere within
  * [f_lo, f_hi]. Fitness unit: dBm (monotone in received power).
  */
-class EmAmplitudeFitness : public ga::FitnessEvaluator
+class EmAmplitudeFitness : public PlatformFitness
 {
   public:
     EmAmplitudeFitness(platform::Platform &plat,
@@ -47,10 +96,13 @@ class EmAmplitudeFitness : public ga::FitnessEvaluator
 
     std::string metricName() const override { return "em-amplitude"; }
 
+    std::unique_ptr<ga::FitnessEvaluator> clone() const override;
+
   private:
-    platform::Platform &plat_;
-    EvalSettings settings_;
-    ga::ConnectionLatency latency_;
+    EmAmplitudeFitness(std::shared_ptr<platform::Platform> owned,
+                       const EvalSettings &settings)
+        : PlatformFitness(std::move(owned), settings)
+    {}
 };
 
 /**
@@ -59,7 +111,7 @@ class EmAmplitudeFitness : public ga::FitnessEvaluator
  * @throws ConfigError at construction when the platform has no
  *         voltage visibility.
  */
-class MaxDroopFitness : public ga::FitnessEvaluator
+class MaxDroopFitness : public PlatformFitness
 {
   public:
     MaxDroopFitness(platform::Platform &plat,
@@ -70,14 +122,17 @@ class MaxDroopFitness : public ga::FitnessEvaluator
 
     std::string metricName() const override { return "max-droop"; }
 
+    std::unique_ptr<ga::FitnessEvaluator> clone() const override;
+
   private:
-    platform::Platform &plat_;
-    EvalSettings settings_;
-    ga::ConnectionLatency latency_;
+    MaxDroopFitness(std::shared_ptr<platform::Platform> owned,
+                    const EvalSettings &settings)
+        : PlatformFitness(std::move(owned), settings)
+    {}
 };
 
 /** Peak-to-peak voltage fitness through the platform's scope. */
-class PeakToPeakFitness : public ga::FitnessEvaluator
+class PeakToPeakFitness : public PlatformFitness
 {
   public:
     PeakToPeakFitness(platform::Platform &plat,
@@ -88,10 +143,13 @@ class PeakToPeakFitness : public ga::FitnessEvaluator
 
     std::string metricName() const override { return "peak-to-peak"; }
 
+    std::unique_ptr<ga::FitnessEvaluator> clone() const override;
+
   private:
-    platform::Platform &plat_;
-    EvalSettings settings_;
-    ga::ConnectionLatency latency_;
+    PeakToPeakFitness(std::shared_ptr<platform::Platform> owned,
+                      const EvalSettings &settings)
+        : PlatformFitness(std::move(owned), settings)
+    {}
 };
 
 /**

@@ -5,10 +5,39 @@
 
 #include "core/resonance_explorer.h"
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
 #include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace emstress {
 namespace core {
+
+namespace {
+
+/// Sweep noise salts, distinct from the fitness-evaluator salts.
+constexpr std::uint64_t kEmSweepNoiseSalt = 0x454d5357454550ull;
+constexpr std::uint64_t kSclSweepNoiseSalt = 0x53434c5357ull;
+
+/**
+ * Number of points of an inclusive [lo, hi] grid with a fixed step.
+ * Integer-indexed so accumulated floating-point error can neither
+ * drop nor duplicate the final point: exactly (hi - lo)/step + 1.
+ */
+std::size_t
+gridPoints(double lo_hz, double hi_hz, double step_hz)
+{
+    requireConfig(hi_hz > lo_hz && step_hz > 0.0,
+                  "bad sweep range");
+    return static_cast<std::size_t>(
+               std::llround((hi_hz - lo_hz) / step_hz))
+        + 1;
+}
+
+} // namespace
 
 ResonanceExplorer::ResonanceExplorer(platform::Platform &plat)
     : plat_(plat)
@@ -45,30 +74,55 @@ ResonanceExplorer::probeLoop(const isa::InstructionPool &pool)
 
 std::vector<EmSweepPoint>
 ResonanceExplorer::sweep(double duration_s, std::size_t sa_samples,
-                         std::size_t active_cores)
+                         std::size_t active_cores,
+                         std::size_t threads)
 {
     const auto &cfg = plat_.config();
     const double f_restore = plat_.frequency();
     const isa::Kernel loop = probeLoop(plat_.pool());
+    const std::size_t n =
+        gridPoints(cfg.f_min_hz, cfg.f_max_hz, cfg.f_step_hz);
 
-    std::vector<EmSweepPoint> points;
-    for (double f = cfg.f_max_hz; f >= cfg.f_min_hz - 1.0;
-         f -= cfg.f_step_hz) {
-        plat_.setFrequency(f);
-        const auto run =
-            plat_.runKernel(loop, duration_s, active_cores);
+    // One point at grid index i, on whichever platform instance the
+    // worker owns. Noise is seeded from the grid index (not from
+    // scheduling order), so the parallel sweep is bit-identical to
+    // the serial one.
+    const auto measure = [&](platform::Platform &plat,
+                             std::size_t i) -> EmSweepPoint {
+        plat.setFrequency(cfg.f_max_hz
+                          - static_cast<double>(i) * cfg.f_step_hz);
+        const auto run = plat.runKernel(loop, duration_s,
+                                        active_cores);
         requireSim(run.stats.loop_freq_hz > 0.0,
                    "probe loop produced no loop-frequency estimate");
         // Marker on the spike at the loop frequency: search a narrow
         // window around it so neighbouring harmonics don't leak in.
         const double f_spike = run.stats.loop_freq_hz;
-        const auto marker = plat_.analyzer().averagedMaxAmplitude(
-            run.em, f_spike * 0.9, f_spike * 1.1, sa_samples);
-        points.push_back({plat_.frequency(), f_spike,
-                          marker.power_dbm});
+        Rng noise(mixSeed(plat.seed() ^ kEmSweepNoiseSalt, i));
+        const auto marker = plat.analyzer().averagedMaxAmplitude(
+            run.em, f_spike * 0.9, f_spike * 1.1, sa_samples, noise);
+        return {plat.frequency(), f_spike, marker.power_dbm};
+    };
+
+    std::vector<EmSweepPoint> points(n);
+    const std::size_t workers =
+        std::min(resolveThreadCount(threads), n);
+    if (workers > 1) {
+        // Per-worker platform clones: the PDN engine caches mutable
+        // state, so concurrent points must not share one Platform.
+        std::vector<std::unique_ptr<platform::Platform>> clones;
+        clones.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            clones.push_back(plat_.clone());
+        ThreadPool pool(workers);
+        pool.parallelFor(n, [&](std::size_t i, std::size_t worker) {
+            points[i] = measure(*clones[worker], i);
+        });
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            points[i] = measure(plat_, i);
+        plat_.setFrequency(f_restore);
     }
-    plat_.setFrequency(f_restore);
-    requireSim(!points.empty(), "frequency sweep produced no points");
     return points;
 }
 
@@ -98,13 +152,15 @@ SclResonanceFinder::sweep(double f_lo_hz, double f_hi_hz,
                           double step_hz, double amplitude_a,
                           double duration_s)
 {
-    requireConfig(f_hi_hz > f_lo_hz && step_hz > 0.0,
-                  "bad SCL sweep range");
+    const std::size_t n = gridPoints(f_lo_hz, f_hi_hz, step_hz);
     std::vector<SclSweepPoint> points;
-    for (double f = f_lo_hz; f <= f_hi_hz + 0.5 * step_hz;
-         f += step_hz) {
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f =
+            f_lo_hz + static_cast<double>(i) * step_hz;
         const auto run = plat_.runScl(f, amplitude_a, duration_s);
-        const Trace cap = plat_.scope().capture(run.v_die);
+        Rng noise(mixSeed(plat_.seed() ^ kSclSweepNoiseSalt, i));
+        const Trace cap = plat_.scope().capture(run.v_die, noise);
         points.push_back(
             {f, instruments::Oscilloscope::peakToPeak(cap)});
     }

@@ -56,15 +56,26 @@ class ResonanceExplorer
      * minimum in the platform's DVFS steps, recording the EM spike at
      * each realized loop frequency. Restores the original clock.
      *
+     * The grid is integer-indexed — exactly
+     * (f_max - f_min)/f_step + 1 points — so no accumulated
+     * floating-point error can drop or duplicate the final point.
+     * Every DVFS point is independent: with threads != 1 the points
+     * are measured concurrently on per-worker platform clones, and
+     * because each point's measurement noise is seeded from its grid
+     * index the results are bit-identical to the serial sweep.
+     *
      * @param duration_s   Measurement window per point.
      * @param sa_samples   Spectrum samples per point.
      * @param active_cores Cores running the loop (0 = all powered;
      *        the paper's Fig. 13 keeps one core active across all
      *        power-gating scenarios to hold current constant).
+     * @param threads      Worker threads (1 = serial, 0 = auto via
+     *        EMSTRESS_THREADS / hardware concurrency).
      */
     std::vector<EmSweepPoint> sweep(double duration_s = 4e-6,
                                     std::size_t sa_samples = 5,
-                                    std::size_t active_cores = 0);
+                                    std::size_t active_cores = 0,
+                                    std::size_t threads = 1);
 
     /** Loop frequency with the highest EM amplitude of a sweep. */
     static double estimateResonanceHz(
@@ -87,6 +98,7 @@ class SclResonanceFinder
     /**
      * Load the PDN with a square wave swept over [f_lo, f_hi] in
      * fixed steps; record the scope peak-to-peak at each frequency.
+     * Integer-indexed: exactly (f_hi - f_lo)/step + 1 points.
      *
      * @param f_lo_hz     Sweep start.
      * @param f_hi_hz     Sweep end.

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Batch evaluator implementation.
+ */
+
+#include "ga/batch_evaluator.h"
+
+#include <chrono>
+
+namespace emstress {
+namespace ga {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+BatchEvaluator::BatchEvaluator(FitnessEvaluator &base,
+                               const BatchConfig &config)
+    : base_(base), config_(config),
+      threads_(resolveThreadCount(config.threads))
+{
+    stats_.threads = 1; // raised once workers materialize
+}
+
+BatchEvaluator::~BatchEvaluator() = default;
+
+const BatchEvaluator::CacheEntry *
+BatchEvaluator::lookup(std::uint64_t hash,
+                       const isa::Kernel &kernel) const
+{
+    const auto [lo, hi] = cache_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it)
+        if (it->second.kernel == kernel)
+            return &it->second;
+    return nullptr;
+}
+
+bool
+BatchEvaluator::ensureWorkers()
+{
+    if (threads_ <= 1 || clone_failed_)
+        return !clones_.empty();
+    if (!clones_.empty())
+        return true;
+    clones_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) {
+        auto c = base_.clone();
+        if (!c) {
+            // Evaluator cannot run concurrently: degrade to serial.
+            clones_.clear();
+            clone_failed_ = true;
+            return false;
+        }
+        clones_.push_back(std::move(c));
+    }
+    pool_ = std::make_unique<ThreadPool>(threads_);
+    stats_.threads = std::max(stats_.threads, threads_);
+    return true;
+}
+
+BatchEvaluator::Outcome
+BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
+                         const std::vector<std::size_t> &indices,
+                         std::vector<double> &fitness,
+                         std::vector<EvalDetail> &details)
+{
+    Outcome out;
+    if (indices.empty())
+        return out;
+
+    // Phase 1 (calling thread, deterministic): split the batch into
+    // cache hits and unique fresh work. Duplicates *within* the batch
+    // collapse onto the first occurrence.
+    struct FreshTask
+    {
+        std::size_t slot;      ///< Result slot of the 1st occurrence.
+        std::uint64_t hash;
+        double fitness = 0.0;
+        EvalDetail detail;
+        double seconds = 0.0;  ///< Wall time of this evaluation.
+    };
+    std::vector<FreshTask> fresh;
+    // slot of every duplicate -> index into `fresh` it aliases.
+    std::vector<std::pair<std::size_t, std::size_t>> aliases;
+    std::unordered_map<std::uint64_t, std::size_t> batch_local;
+    fresh.reserve(indices.size());
+
+    for (const std::size_t slot : indices) {
+        const isa::Kernel &kernel = kernels[slot];
+        const std::uint64_t h = kernel.hash();
+        if (config_.memoize) {
+            if (const CacheEntry *hit = lookup(h, kernel)) {
+                fitness[slot] = hit->fitness;
+                details[slot] = hit->detail;
+                ++out.cache_hits;
+                continue;
+            }
+            const auto it = batch_local.find(h);
+            if (it != batch_local.end()
+                && kernels[fresh[it->second].slot] == kernel) {
+                aliases.emplace_back(slot, it->second);
+                ++out.cache_hits;
+                continue;
+            }
+            batch_local.emplace(h, fresh.size());
+        }
+        fresh.push_back({slot, h});
+    }
+
+    // Phase 2: run the fresh evaluations — in parallel when the
+    // evaluator clones, serially in index order otherwise. Each task
+    // writes only its own FreshTask entry, so the results (and
+    // therefore everything downstream) are independent of scheduling.
+    const auto t0 = Clock::now();
+    if (fresh.size() > 1 && ensureWorkers()) {
+        pool_->parallelFor(
+            fresh.size(),
+            [this, &fresh, &kernels](std::size_t i,
+                                     std::size_t worker) {
+                FreshTask &task = fresh[i];
+                const auto task_t0 = Clock::now();
+                task.fitness = clones_[worker]->evaluate(
+                    kernels[task.slot], &task.detail);
+                task.seconds = secondsSince(task_t0);
+            });
+    } else {
+        for (FreshTask &task : fresh) {
+            const auto task_t0 = Clock::now();
+            task.fitness =
+                base_.evaluate(kernels[task.slot], &task.detail);
+            task.seconds = secondsSince(task_t0);
+        }
+    }
+    const double wall = secondsSince(t0);
+
+    // Phase 3 (calling thread, index order): publish results, resolve
+    // duplicates, and fill the cache.
+    for (const FreshTask &task : fresh) {
+        fitness[task.slot] = task.fitness;
+        details[task.slot] = task.detail;
+        out.lab_seconds += task.detail.measurement_seconds;
+        stats_.eval_seconds += task.seconds;
+        if (config_.memoize) {
+            cache_.emplace(task.hash,
+                           CacheEntry{kernels[task.slot], task.fitness,
+                                      task.detail});
+        }
+    }
+    for (const auto &[slot, fresh_i] : aliases) {
+        fitness[slot] = fresh[fresh_i].fitness;
+        details[slot] = fresh[fresh_i].detail;
+    }
+
+    out.fresh = fresh.size();
+    stats_.evals += out.fresh;
+    stats_.cache_hits += out.cache_hits;
+    stats_.wall_seconds += wall;
+    return out;
+}
+
+std::size_t
+BatchEvaluator::plannedThreads() const
+{
+    if (threads_ <= 1 || clone_failed_)
+        return 1;
+    return threads_;
+}
+
+} // namespace ga
+} // namespace emstress

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel, memoized batch fitness evaluation — the measurement
+ * pipeline behind the GA engine and any other consumer that scores
+ * many kernels (Section 3.1(b) is where essentially all of the
+ * paper's lab time goes, so this is the hot path of the whole
+ * reproduction).
+ *
+ * Guarantees, in order of importance:
+ *  1. Determinism: for order-independent evaluators the results are
+ *     bit-identical to evaluating the batch serially in index order,
+ *     for any thread count. Cache lookups and duplicate grouping are
+ *     decided on the calling thread before dispatch, every fresh
+ *     evaluation writes only its own result slot, and the cache is
+ *     updated after the batch completes in index order.
+ *  2. No redundant simulation: a genome evaluated once (this batch
+ *     or any earlier one) is never evaluated again while memoization
+ *     is on. Keys are Kernel::hash() with full structural equality
+ *     verification, so a hash collision degrades to a redundant
+ *     evaluation, never a wrong fitness.
+ *  3. Parallelism: fresh evaluations fan out over a persistent
+ *     ThreadPool, each worker using its own FitnessEvaluator clone.
+ *     Evaluators that cannot clone degrade to serial evaluation.
+ */
+
+#ifndef EMSTRESS_GA_BATCH_EVALUATOR_H
+#define EMSTRESS_GA_BATCH_EVALUATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ga/ga_engine.h"
+#include "isa/kernel.h"
+#include "util/thread_pool.h"
+
+namespace emstress {
+namespace ga {
+
+/** Batch-evaluation configuration. */
+struct BatchConfig
+{
+    /// Worker threads: 1 = serial reference path, 0 = auto
+    /// (EMSTRESS_THREADS environment variable, else hardware
+    /// concurrency).
+    std::size_t threads = 1;
+    /// Keep a genome-keyed fitness cache across batches.
+    bool memoize = true;
+};
+
+/**
+ * Evaluates batches of kernels through one underlying evaluator,
+ * concurrently and without re-simulating known genomes.
+ */
+class BatchEvaluator
+{
+  public:
+    /** Per-batch outcome (cumulative counters live in stats()). */
+    struct Outcome
+    {
+        std::size_t fresh = 0;       ///< Evaluator calls performed.
+        std::size_t cache_hits = 0;  ///< Slots served from cache or
+                                     ///< batch-local deduplication.
+        double lab_seconds = 0.0;    ///< Modeled lab time of the
+                                     ///< fresh measurements only.
+    };
+
+    /**
+     * @param base   Evaluator that defines fitness. Must outlive the
+     *               batch evaluator. Used directly for serial
+     *               evaluation; clone() supplies the workers.
+     * @param config Thread count and memoization switch.
+     */
+    BatchEvaluator(FitnessEvaluator &base, const BatchConfig &config);
+
+    ~BatchEvaluator();
+
+    /**
+     * Evaluate kernels[i] for every i in `indices`, writing
+     * fitness[i] and details[i]. Slots not listed in `indices` are
+     * untouched. Returns the per-batch outcome.
+     */
+    Outcome evaluate(const std::vector<isa::Kernel> &kernels,
+                     const std::vector<std::size_t> &indices,
+                     std::vector<double> &fitness,
+                     std::vector<EvalDetail> &details);
+
+    /** Cumulative counters over every batch so far. */
+    const EvalStats &stats() const { return stats_; }
+
+    /** Worker threads the evaluator actually uses (after clone
+     * availability is taken into account; lazily resolved on the
+     * first parallel batch). */
+    std::size_t plannedThreads() const;
+
+    /** Entries currently memoized. */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+  private:
+    struct CacheEntry
+    {
+        isa::Kernel kernel; ///< For collision-proof equality checks.
+        double fitness = 0.0;
+        EvalDetail detail;
+    };
+
+    /** Find a memoized result for a kernel; nullptr when absent. */
+    const CacheEntry *lookup(std::uint64_t hash,
+                             const isa::Kernel &kernel) const;
+
+    /** Lazily build the pool + clones; false -> serial fallback. */
+    bool ensureWorkers();
+
+    FitnessEvaluator &base_;
+    BatchConfig config_;
+    std::size_t threads_; ///< Resolved request (>= 1).
+    bool clone_failed_ = false;
+    std::vector<std::unique_ptr<FitnessEvaluator>> clones_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::unordered_multimap<std::uint64_t, CacheEntry> cache_;
+    EvalStats stats_;
+};
+
+} // namespace ga
+} // namespace emstress
+
+#endif // EMSTRESS_GA_BATCH_EVALUATOR_H

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ga/batch_evaluator.h"
 #include "util/error.h"
 
 namespace emstress {
@@ -55,10 +56,13 @@ GaEngine::crossover(const isa::Kernel &a, const isa::Kernel &b,
 {
     requireSim(a.size() == b.size() && !a.empty(),
                "crossover requires equal-length non-empty kernels");
+    // Degenerate single-gene kernel: no interior cut point exists, so
+    // "both parents contribute" means each parent is drawn with equal
+    // probability (always copying `a` would bias the population).
+    if (a.size() == 1)
+        return rng.index(2) == 0 ? a : b;
     // Cut point in [1, len-1] so both parents contribute.
-    const std::size_t cut = a.size() == 1
-        ? 1
-        : 1 + rng.index(a.size() - 1);
+    const std::size_t cut = 1 + rng.index(a.size() - 1);
     std::vector<isa::Instruction> code;
     code.reserve(a.size());
     for (std::size_t i = 0; i < cut && i < a.size(); ++i)
@@ -105,6 +109,7 @@ GaEngine::runMultiStart(FitnessEvaluator &evaluator,
 
     std::vector<isa::Kernel> champions;
     double lab_seconds = 0.0;
+    EvalStats scout_stats;
     GaResult best_scout;
     best_scout.best_fitness = -1e300;
     for (std::size_t s = 0; s < config_.restarts; ++s) {
@@ -112,6 +117,7 @@ GaEngine::runMultiStart(FitnessEvaluator &evaluator,
         GaEngine scout(pool_, scout_cfg);
         auto result = scout.runSingle(evaluator, nullptr, {});
         lab_seconds += result.estimated_lab_seconds;
+        scout_stats += result.eval_stats;
         champions.push_back(result.best);
         if (result.best_fitness > best_scout.best_fitness)
             best_scout = std::move(result);
@@ -126,6 +132,7 @@ GaEngine::runMultiStart(FitnessEvaluator &evaluator,
     GaResult result = final_engine.runSingle(evaluator, callback,
                                              std::move(champions));
     result.estimated_lab_seconds += lab_seconds;
+    result.eval_stats += scout_stats;
 
     // Keep the scout history in front so convergence plots cover the
     // whole effort; re-number the final phase's generations.
@@ -169,17 +176,30 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
     GaResult result;
     result.best_fitness = -1e300;
 
+    BatchEvaluator batch(
+        evaluator, BatchConfig{config_.threads, config_.memoize});
+
     std::vector<double> fitness(config_.population);
     std::vector<EvalDetail> details(config_.population);
+    // Individuals whose fitness is already known because they were
+    // carried over unchanged (elites): measuring them again would
+    // only repeat the identical measurement and double-charge its
+    // lab time.
+    std::vector<char> known(config_.population, 0);
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
-        // Measure every individual (Section 3.1(b)).
+        // Measure the individuals we have not measured (Sec 3.1(b)).
+        std::vector<std::size_t> todo;
+        todo.reserve(population.size());
         for (std::size_t i = 0; i < population.size(); ++i) {
-            EvalDetail d;
-            fitness[i] = evaluator.evaluate(population[i], &d);
-            details[i] = d;
-            result.estimated_lab_seconds += d.measurement_seconds;
+            if (known[i])
+                ++result.eval_stats.elites_reused;
+            else
+                todo.push_back(i);
         }
+        const auto outcome =
+            batch.evaluate(population, todo, fitness, details);
+        result.estimated_lab_seconds += outcome.lab_seconds;
 
         // Record the generation.
         std::size_t best_i = 0;
@@ -213,16 +233,25 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
         // Breed the next generation (Section 3.1(c)).
         std::vector<isa::Kernel> next;
         next.reserve(config_.population);
+        std::vector<double> next_fitness(config_.population);
+        std::vector<EvalDetail> next_details(config_.population);
+        std::vector<char> next_known(config_.population, 0);
 
-        // Elitism: carry the fittest individuals unchanged.
+        // Elitism: carry the fittest individuals unchanged — along
+        // with their already-measured fitness and detail.
         std::vector<std::size_t> order(population.size());
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(),
                   [&fitness](std::size_t a, std::size_t b) {
                       return fitness[a] > fitness[b];
                   });
-        for (std::size_t e = 0; e < config_.elite; ++e)
-            next.push_back(population[order[e]]);
+        for (std::size_t e = 0; e < config_.elite; ++e) {
+            const std::size_t src = order[e];
+            next_fitness[next.size()] = fitness[src];
+            next_details[next.size()] = details[src];
+            next_known[next.size()] = 1;
+            next.push_back(population[src]);
+        }
 
         while (next.size() < config_.population) {
             const std::size_t pa =
@@ -236,7 +265,15 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
             next.push_back(std::move(child));
         }
         population = std::move(next);
+        fitness = std::move(next_fitness);
+        details = std::move(next_details);
+        known = std::move(next_known);
     }
+    result.eval_stats.evals = batch.stats().evals;
+    result.eval_stats.cache_hits = batch.stats().cache_hits;
+    result.eval_stats.threads = batch.stats().threads;
+    result.eval_stats.eval_seconds = batch.stats().eval_seconds;
+    result.eval_stats.wall_seconds = batch.stats().wall_seconds;
     return result;
 }
 

@@ -12,7 +12,9 @@
 #ifndef EMSTRESS_GA_GA_ENGINE_H
 #define EMSTRESS_GA_GA_ENGINE_H
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,20 @@ struct GaConfig
     /// that single runs settle into (Section 3.1(a) explicitly allows
     /// seeding from previous runs).
     std::size_t restarts = 1;
+    /// Worker threads for fitness evaluation: 1 = serial (the
+    /// reference path), 0 = auto (EMSTRESS_THREADS environment
+    /// variable, else hardware concurrency). Parallel evaluation
+    /// requires the evaluator to be cloneable (see
+    /// FitnessEvaluator::clone); otherwise the engine falls back to
+    /// serial. Results are bit-identical across thread counts for
+    /// order-independent evaluators.
+    std::size_t threads = 1;
+    /// Memoize fitness by instruction-genome hash, so kernels the GA
+    /// rediscovers (crossover of identical parents, unmutated
+    /// children) are never re-simulated. Lossless for
+    /// order-independent evaluators; disable for evaluators whose
+    /// result depends on call order or count.
+    bool memoize = true;
 };
 
 /** Detail an evaluator may report alongside the scalar fitness. */
@@ -56,9 +72,15 @@ struct EvalDetail
 };
 
 /**
- * Fitness evaluator interface. Higher fitness is better. evaluate()
- * may be stochastic (instrument noise); the engine re-measures elites
- * each generation like the real flow re-measures individuals.
+ * Fitness evaluator interface. Higher fitness is better.
+ *
+ * Evaluators should be *order-independent*: evaluate() of a given
+ * kernel returns the same value no matter when or how often it is
+ * called (the platform evaluators derive their measurement noise
+ * from the kernel's own hash to guarantee this). Order independence
+ * is what lets the engine reuse elite fitness across generations,
+ * memoize duplicates, and evaluate populations in parallel while
+ * staying bit-identical to the serial path.
  */
 class FitnessEvaluator
 {
@@ -71,6 +93,55 @@ class FitnessEvaluator
 
     /** Display name of the optimization metric. */
     virtual std::string metricName() const = 0;
+
+    /**
+     * Create an independent replica safe to call concurrently with
+     * this instance (e.g. backed by its own cloned Platform). The
+     * default returns nullptr, meaning "not cloneable": the batch
+     * evaluator then degrades to serial evaluation.
+     */
+    virtual std::unique_ptr<FitnessEvaluator> clone() const
+    {
+        return nullptr;
+    }
+};
+
+/**
+ * Counters describing how a GA run's measurements were served —
+ * surfaced in GaResult and the figure benches so the effect of elite
+ * reuse, memoization and parallelism is visible.
+ */
+struct EvalStats
+{
+    std::size_t evals = 0;      ///< Fresh evaluator calls (simulated
+                                ///< measurements actually run).
+    std::size_t cache_hits = 0; ///< Individuals served from the
+                                ///< genome-keyed fitness cache.
+    std::size_t elites_reused = 0; ///< Elites carried over with
+                                   ///< their known fitness.
+    std::size_t threads = 1;    ///< Worker threads used.
+    double eval_seconds = 0.0;  ///< Sum of per-evaluation wall time.
+    double wall_seconds = 0.0;  ///< Elapsed wall time evaluating.
+
+    /** Parallel speedup: total evaluation work / elapsed time. */
+    double
+    speedup() const
+    {
+        return wall_seconds > 0.0 ? eval_seconds / wall_seconds : 1.0;
+    }
+
+    /** Accumulate another run's counters (multi-start merging). */
+    EvalStats &
+    operator+=(const EvalStats &other)
+    {
+        evals += other.evals;
+        cache_hits += other.cache_hits;
+        elites_reused += other.elites_reused;
+        threads = std::max(threads, other.threads);
+        eval_seconds += other.eval_seconds;
+        wall_seconds += other.wall_seconds;
+        return *this;
+    }
 };
 
 /** Per-generation record for convergence plots (Figs. 7, 12, 17). */
@@ -91,7 +162,11 @@ struct GaResult
     double best_fitness = 0.0;
     EvalDetail best_detail;
     double estimated_lab_seconds = 0.0; ///< Modeled wall time of the
-                                        ///< equivalent physical run.
+                                        ///< equivalent physical run
+                                        ///< (fresh measurements only:
+                                        ///< reused elites and cache
+                                        ///< hits cost no lab time).
+    EvalStats eval_stats;        ///< Measurement pipeline counters.
 };
 
 /** Optional per-generation observer. */

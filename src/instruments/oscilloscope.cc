@@ -57,6 +57,12 @@ Oscilloscope::Oscilloscope(const OscilloscopeParams &params, Rng rng)
 Trace
 Oscilloscope::capture(const Trace &v_in)
 {
+    return capture(v_in, rng_);
+}
+
+Trace
+Oscilloscope::capture(const Trace &v_in, Rng &noise) const
+{
     requireConfig(v_in.size() >= 2, "capture needs an input waveform");
 
     // Single-pole low-pass models the analog front end.
@@ -85,7 +91,7 @@ Oscilloscope::capture(const Trace &v_in)
     out.reserve(n);
     for (std::size_t k = 0; k < n; ++k) {
         const double noisy =
-            sampled[k] + rng_.gaussian(0.0, params_.noise_v_rms);
+            sampled[k] + noise.gaussian(0.0, params_.noise_v_rms);
         out.push(std::round(noisy / lsb) * lsb);
     }
     return out;

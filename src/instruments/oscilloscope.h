@@ -58,6 +58,14 @@ class Oscilloscope
     Trace capture(const Trace &v_in);
 
     /**
+     * Like capture(), but drawing front-end noise from a
+     * caller-provided stream instead of the instrument's internal
+     * one. Const and reentrant: concurrent captures stay
+     * reproducible when each caller seeds its own stream.
+     */
+    Trace capture(const Trace &v_in, Rng &noise) const;
+
+    /**
      * Maximum droop below a nominal level over a capture [V]
      * (paper's voltage-droop GA metric).
      */

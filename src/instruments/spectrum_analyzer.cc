@@ -27,11 +27,20 @@ SpectrumAnalyzer::SpectrumAnalyzer(const SpectrumAnalyzerParams &params,
 SaSweep
 SpectrumAnalyzer::sweep(const Trace &v_received)
 {
-    return noisySweep(dsp::computeSpectrum(v_received, params_.window));
+    return noisySweep(dsp::computeSpectrum(v_received, params_.window),
+                      rng_);
 }
 
 SaSweep
-SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec)
+SpectrumAnalyzer::sweep(const Trace &v_received, Rng &noise) const
+{
+    return noisySweep(dsp::computeSpectrum(v_received, params_.window),
+                      noise);
+}
+
+SaSweep
+SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec,
+                             Rng &noise) const
 {
     const double floor_w = dbmToWatts(params_.noise_floor_dbm);
 
@@ -47,11 +56,11 @@ SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec)
                                      params_.ref_impedance);
         // Per-sweep gain ripple (log-normal in power).
         const double gain_db =
-            rng_.gaussian(0.0, params_.gain_error_db);
+            noise.gaussian(0.0, params_.gain_error_db);
         p_w *= dbToPowerRatio(gain_db);
         // Additive noise floor with Rayleigh-like variation.
-        const double n1 = rng_.gaussian(0.0, 1.0);
-        const double n2 = rng_.gaussian(0.0, 1.0);
+        const double n1 = noise.gaussian(0.0, 1.0);
+        const double n2 = noise.gaussian(0.0, 1.0);
         p_w += 0.5 * floor_w * (n1 * n1 + n2 * n2);
         out.freqs_hz.push_back(f);
         out.power_dbm.push_back(wattsToDbm(std::max(p_w, 1e-30)));
@@ -84,6 +93,16 @@ SpectrumAnalyzer::averagedMaxAmplitude(const Trace &v_received,
                                        double f_lo, double f_hi,
                                        std::size_t n_samples)
 {
+    return averagedMaxAmplitude(v_received, f_lo, f_hi, n_samples,
+                                rng_);
+}
+
+SaMarker
+SpectrumAnalyzer::averagedMaxAmplitude(const Trace &v_received,
+                                       double f_lo, double f_hi,
+                                       std::size_t n_samples,
+                                       Rng &noise) const
+{
     requireConfig(n_samples >= 1, "need at least one sample");
     // The underlying signal is unchanged between the N sweeps; only
     // measurement noise varies, so compute the spectrum once.
@@ -92,7 +111,7 @@ SpectrumAnalyzer::averagedMaxAmplitude(const Trace &v_received,
     std::vector<double> freqs;
     freqs.reserve(n_samples);
     for (std::size_t i = 0; i < n_samples; ++i) {
-        const SaSweep s = noisySweep(spec);
+        const SaSweep s = noisySweep(spec, noise);
         const SaMarker m = maxAmplitude(s, f_lo, f_hi);
         const double p_w = dbmToWatts(m.power_dbm);
         sum_sq_w += p_w * p_w;

@@ -70,6 +70,15 @@ class SpectrumAnalyzer
      */
     SaSweep sweep(const Trace &v_received);
 
+    /**
+     * Like sweep(), but drawing measurement noise from a
+     * caller-provided stream instead of the instrument's internal
+     * one. Const and reentrant: concurrent measurements stay
+     * reproducible when each caller seeds its own stream (e.g. from
+     * the measured kernel's hash).
+     */
+    SaSweep sweep(const Trace &v_received, Rng &noise) const;
+
     /** Highest-level marker within a band of a sweep. */
     static SaMarker maxAmplitude(const SaSweep &sweep, double f_lo,
                                  double f_hi);
@@ -84,10 +93,18 @@ class SpectrumAnalyzer
     SaMarker averagedMaxAmplitude(const Trace &v_received, double f_lo,
                                   double f_hi, std::size_t n_samples);
 
+    /**
+     * Like averagedMaxAmplitude(), with caller-provided measurement
+     * noise. Const and reentrant (see sweep() overload).
+     */
+    SaMarker averagedMaxAmplitude(const Trace &v_received, double f_lo,
+                                  double f_hi, std::size_t n_samples,
+                                  Rng &noise) const;
+
   private:
     /** Apply display-span filtering and measurement noise to a
      * precomputed spectrum. */
-    SaSweep noisySweep(const dsp::Spectrum &spec);
+    SaSweep noisySweep(const dsp::Spectrum &spec, Rng &noise) const;
 
     SpectrumAnalyzerParams params_;
     Rng rng_;

@@ -114,5 +114,30 @@ Kernel::operator==(const Kernel &other) const
     return true;
 }
 
+std::uint64_t
+Kernel::hash() const
+{
+    // FNV-1a over every structural field. The constants are the
+    // standard 64-bit FNV offset basis and prime.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(code_.size());
+    for (const auto &instr : code_) {
+        mix(instr.def_index);
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(instr.dest)));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(instr.src[0])));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(instr.src[1])));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(instr.mem_slot)));
+    }
+    return h;
+}
+
 } // namespace isa
 } // namespace emstress

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,15 @@ class Kernel
 
     /** Structural equality (same defs and operands). */
     bool operator==(const Kernel &other) const;
+
+    /**
+     * Stable 64-bit structural hash of the instruction genome
+     * (FNV-1a over defs and operands). Equal kernels hash equally
+     * across runs and processes; the GA's fitness memoizer keys on
+     * it and the platform evaluators derive per-kernel measurement
+     * noise from it.
+     */
+    std::uint64_t hash() const;
 
   private:
     std::vector<Instruction> code_;

@@ -186,7 +186,7 @@ athlonConfig()
 }
 
 Platform::Platform(const PlatformConfig &config, std::uint64_t seed)
-    : config_(config), pool_(poolFor(config.isa)),
+    : config_(config), seed_(seed), pool_(poolFor(config.isa)),
       core_(config.core),
       pdn_(std::make_unique<pdn::PdnModel>(config.pdn)),
       antenna_(em::AntennaParams{}),
@@ -197,6 +197,18 @@ Platform::Platform(const PlatformConfig &config, std::uint64_t seed)
     requireConfig(config.n_cores >= 1, "platform needs cores");
     requireConfig(config.pdn.n_cores == config.n_cores,
                   "PDN core count must match platform core count");
+}
+
+std::unique_ptr<Platform>
+Platform::clone() const
+{
+    auto copy = std::make_unique<Platform>(config_, seed_);
+    // f_clk_ is already snapped to the DVFS grid, so setFrequency is
+    // an exact copy here.
+    copy->setFrequency(f_clk_);
+    copy->setVoltage(v_supply_);
+    copy->setPoweredCores(poweredCores());
+    return copy;
 }
 
 instruments::Oscilloscope &

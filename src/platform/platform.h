@@ -96,6 +96,19 @@ class Platform
     /** Static description. */
     const PlatformConfig &config() const { return config_; }
 
+    /** The seed this platform's instrument noise streams derive from. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Build an independent replica of this platform: same config and
+     * seed, same DVFS / voltage / power-gating state, but its own PDN
+     * engine and instruments. Concurrent evaluation pipelines give
+     * each worker thread a clone because the PDN caches its factored
+     * transient engine (a benign data race serially, a real one in
+     * parallel).
+     */
+    std::unique_ptr<Platform> clone() const;
+
     /** The platform's instruction pool. */
     const isa::InstructionPool &pool() const { return pool_; }
 
@@ -182,6 +195,7 @@ class Platform
               std::size_t active_cores, double stagger_s) const;
 
     PlatformConfig config_;
+    std::uint64_t seed_;
     isa::InstructionPool pool_;
     uarch::CoreModel core_;
     std::unique_ptr<pdn::PdnModel> pdn_;

@@ -18,6 +18,30 @@
 namespace emstress {
 
 /**
+ * splitmix64 finalizer: scrambles a 64-bit value into a well-mixed
+ * seed. Used to derive independent noise streams from structural keys
+ * (kernel hashes, sweep-point indices) so that a measurement's noise
+ * depends only on *what* is measured, never on evaluation order —
+ * the property that makes parallel evaluation bit-identical to
+ * serial and makes fitness memoization lossless.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one well-mixed seed. */
+inline std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    return mixSeed(a ^ mixSeed(b));
+}
+
+/**
  * Seeded pseudo-random source wrapping std::mt19937_64 with the
  * convenience draws the library needs. Cheap to copy; copies evolve
  * independently, which forks a reproducible sub-stream.

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * A small reusable worker-thread pool. The GA's batch evaluator, the
+ * resonance sweeps and any future embarrassingly parallel stage share
+ * this one primitive: parallelFor() fans a fixed-size index range out
+ * over persistent workers and blocks until every index is done.
+ *
+ * Design constraints that shaped the interface:
+ *  - Callers own determinism. parallelFor passes each task its item
+ *    index and its worker id; callers that need per-thread state
+ *    (e.g. a cloned Platform) index it by worker id, and callers that
+ *    need reproducible noise derive it from the item index — never
+ *    from scheduling order.
+ *  - One job at a time. The GA evaluates one generation, joins, then
+ *    breeds; a multi-queue scheduler would buy nothing here.
+ *  - Exceptions propagate: the first exception thrown by any task is
+ *    rethrown on the calling thread after the job drains.
+ */
+
+#ifndef EMSTRESS_UTIL_THREAD_POOL_H
+#define EMSTRESS_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emstress {
+
+/**
+ * Number of worker threads to use when a caller asks for "auto"
+ * (thread count 0): the EMSTRESS_THREADS environment variable when
+ * set to a positive integer, otherwise the hardware concurrency
+ * (never less than 1).
+ */
+inline std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("EMSTRESS_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+/**
+ * Resolve a requested thread count: 0 means defaultThreadCount(),
+ * anything else is taken literally.
+ */
+inline std::size_t
+resolveThreadCount(std::size_t requested)
+{
+    return requested == 0 ? defaultThreadCount() : requested;
+}
+
+/**
+ * Fixed-size pool of persistent worker threads executing one
+ * parallelFor job at a time.
+ */
+class ThreadPool
+{
+  public:
+    /** Task signature: (item index, worker id). */
+    using Task = std::function<void(std::size_t, std::size_t)>;
+
+    /**
+     * Start the workers.
+     * @param threads Worker count; 0 means defaultThreadCount().
+     */
+    explicit ThreadPool(std::size_t threads)
+    {
+        const std::size_t n = resolveThreadCount(threads);
+        workers_.reserve(n);
+        for (std::size_t w = 0; w < n; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run fn(i, worker) for every i in [0, n) across the workers and
+     * block until all complete. Items are claimed dynamically, so
+     * uneven task costs balance automatically. The first exception
+     * thrown by any task is rethrown here once the job drains.
+     *
+     * Must not be called concurrently from multiple threads, and must
+     * not be called from inside one of its own tasks.
+     */
+    void
+    parallelFor(std::size_t n, const Task &fn)
+    {
+        if (n == 0)
+            return;
+        std::unique_lock<std::mutex> lock(mutex_);
+        requireSim(job_ == nullptr,
+                   "ThreadPool::parallelFor is not reentrant");
+        job_ = &fn;
+        job_n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        active_ = workers_.size();
+        error_ = nullptr;
+        ++epoch_;
+        work_cv_.notify_all();
+        done_cv_.wait(lock, [this] { return active_ == 0; });
+        job_ = nullptr;
+        if (error_) {
+            std::exception_ptr err = error_;
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
+    }
+
+  private:
+    void
+    workerLoop(std::size_t worker)
+    {
+        std::uint64_t seen_epoch = 0;
+        for (;;) {
+            const Task *job = nullptr;
+            std::size_t n = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_cv_.wait(lock, [&] {
+                    return stop_ || epoch_ != seen_epoch;
+                });
+                if (stop_)
+                    return;
+                seen_epoch = epoch_;
+                job = job_;
+                n = job_n_;
+            }
+            for (;;) {
+                const std::size_t i =
+                    next_.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    break;
+                try {
+                    (*job)(i, worker);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--active_ == 0)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const Task *job_ = nullptr;
+    std::size_t job_n_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::size_t active_ = 0;
+    std::uint64_t epoch_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_THREAD_POOL_H

@@ -7,6 +7,8 @@
  * with reduced measurement budgets so the suite stays fast.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/fitness.h"
@@ -171,6 +173,42 @@ TEST(ResonanceExplorerTest, SweepFindsA72Resonance)
     EXPECT_DOUBLE_EQ(a72.frequency(), a72.config().f_max_hz);
 }
 
+TEST(ResonanceExplorerTest, SweepCoversEveryDvfsPoint)
+{
+    // Regression: float-accumulation stepping could drop (or
+    // duplicate) the final grid point. The grid is inclusive:
+    // (f_max - f_min)/f_step + 1 points, here (1.2 GHz - 120 MHz) /
+    // 20 MHz + 1 = 55.
+    platform::Platform a72(platform::junoA72Config(), 3);
+    ResonanceExplorer explorer(a72);
+    const auto points = explorer.sweep(2e-6, 1);
+    const auto &cfg = a72.config();
+    const std::size_t expected = static_cast<std::size_t>(std::lround(
+                                     (cfg.f_max_hz - cfg.f_min_hz)
+                                     / cfg.f_step_hz))
+        + 1;
+    EXPECT_EQ(points.size(), expected);
+    EXPECT_EQ(points.size(), 55u);
+    EXPECT_DOUBLE_EQ(points.front().cpu_freq_hz, cfg.f_max_hz);
+    EXPECT_DOUBLE_EQ(points.back().cpu_freq_hz, cfg.f_min_hz);
+}
+
+TEST(ResonanceExplorerTest, ParallelSweepMatchesSerial)
+{
+    platform::Platform a72(platform::junoA72Config(), 3);
+    ResonanceExplorer explorer(a72);
+    const auto serial = explorer.sweep(2e-6, 2, 0, 1);
+    const auto parallel = explorer.sweep(2e-6, 2, 0, 4);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parallel[i].cpu_freq_hz,
+                         serial[i].cpu_freq_hz);
+        EXPECT_DOUBLE_EQ(parallel[i].loop_freq_hz,
+                         serial[i].loop_freq_hz);
+        EXPECT_DOUBLE_EQ(parallel[i].em_dbm, serial[i].em_dbm);
+    }
+}
+
 TEST(ResonanceExplorerTest, PowerGatingShiftsEstimate)
 {
     platform::Platform a53(platform::junoA53Config(), 3);
@@ -198,6 +236,49 @@ TEST(SclResonanceFinderTest, MatchesImpedanceAnalysis)
 
     platform::Platform a53(platform::junoA53Config(), 3);
     EXPECT_THROW(SclResonanceFinder f(a53), ConfigError);
+}
+
+TEST(SclResonanceFinderTest, SweepHasExactPointCount)
+{
+    // Regression: 50..90 MHz in 2 MHz steps is exactly 21 points,
+    // independent of floating-point step accumulation.
+    platform::Platform a72(platform::junoA72Config(), 3);
+    SclResonanceFinder finder(a72);
+    const auto points =
+        finder.sweep(mega(50.0), mega(90.0), mega(2.0), 0.5, 2e-6);
+    ASSERT_EQ(points.size(), 21u);
+    EXPECT_DOUBLE_EQ(points.front().freq_hz, mega(50.0));
+    EXPECT_DOUBLE_EQ(points.back().freq_hz, mega(90.0));
+}
+
+TEST(VirusGeneratorTest, SearchIsDeterministicAcrossThreadCounts)
+{
+    // The full stack honors the determinism contract: a GA virus
+    // search over the real platform evaluators returns bit-identical
+    // results whether the population is evaluated serially or on
+    // four platform clones.
+    auto run = [](std::size_t threads) {
+        platform::Platform a72(platform::junoA72Config(), 3);
+        VirusGenerator gen(a72);
+        VirusSearchConfig cfg;
+        cfg.ga = fastGa();
+        cfg.ga.threads = threads;
+        cfg.eval = fastEval();
+        cfg.metric = VirusMetric::EmAmplitude;
+        return gen.search(cfg);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_TRUE(parallel.virus == serial.virus);
+    EXPECT_DOUBLE_EQ(parallel.ga.best_fitness,
+                     serial.ga.best_fitness);
+    ASSERT_EQ(parallel.ga.history.size(), serial.ga.history.size());
+    for (std::size_t i = 0; i < serial.ga.history.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parallel.ga.history[i].best_fitness,
+                         serial.ga.history[i].best_fitness);
+        EXPECT_DOUBLE_EQ(parallel.ga.history[i].mean_fitness,
+                         serial.ga.history[i].mean_fitness);
+    }
 }
 
 TEST(VminTesterTest, VirusBeatsBenchmarksBeatsIdle)

@@ -4,8 +4,12 @@
  * fitness landscapes, elitism, determinism and config validation.
  */
 
+#include <atomic>
+#include <memory>
+
 #include <gtest/gtest.h>
 
+#include "ga/batch_evaluator.h"
 #include "ga/ga_engine.h"
 #include "isa/kernel.h"
 #include "isa/pool.h"
@@ -44,6 +48,47 @@ class SimdCountFitness : public FitnessEvaluator
 
   private:
     const isa::InstructionPool &pool_;
+};
+
+/**
+ * Cloneable variant for the parallel-evaluation tests: fitness is a
+ * pure function of the kernel, and every instance (original or clone)
+ * bumps one shared thread-safe counter.
+ */
+class CloneableSimdFitness : public FitnessEvaluator
+{
+  public:
+    CloneableSimdFitness(const isa::InstructionPool &pool,
+                         std::shared_ptr<std::atomic<int>> counter)
+        : pool_(pool), counter_(std::move(counter))
+    {}
+
+    double
+    evaluate(const isa::Kernel &kernel, EvalDetail *detail) override
+    {
+        counter_->fetch_add(1, std::memory_order_relaxed);
+        const double score =
+            kernel.classFraction(pool_, isa::InstrClass::SimdShort)
+            + kernel.classFraction(pool_, isa::InstrClass::SimdLong);
+        if (detail) {
+            detail->metric_raw = score;
+            detail->measurement_seconds = 1.0;
+        }
+        return score;
+    }
+
+    std::string metricName() const override { return "simd-count"; }
+
+    std::unique_ptr<FitnessEvaluator>
+    clone() const override
+    {
+        return std::make_unique<CloneableSimdFitness>(pool_,
+                                                      counter_);
+    }
+
+  private:
+    const isa::InstructionPool &pool_;
+    std::shared_ptr<std::atomic<int>> counter_;
 };
 
 GaConfig
@@ -172,8 +217,14 @@ TEST(GaEngine, ConvergesOnSyntheticLandscape)
     EXPECT_EQ(result.history.size(), 20u);
     EXPECT_GT(result.history.back().best_fitness,
               result.history.front().best_fitness);
-    EXPECT_EQ(fitness.evaluations, 16 * 20);
-    EXPECT_NEAR(result.estimated_lab_seconds, 16.0 * 20.0, 1e-9);
+    // Elites carry their known fitness and duplicates hit the cache,
+    // so evaluator calls can only undershoot the formula.
+    EXPECT_LE(fitness.evaluations, 16 + 14 * 19);
+    EXPECT_EQ(result.eval_stats.evals,
+              static_cast<std::size_t>(fitness.evaluations));
+    // Lab time is charged for fresh measurements only.
+    EXPECT_NEAR(result.estimated_lab_seconds,
+                static_cast<double>(fitness.evaluations), 1e-9);
 }
 
 TEST(GaEngine, BestFitnessNeverDecreasesWithDeterministicFitness)
@@ -316,10 +367,14 @@ TEST(GaEngine, MultiStartHistoryCoversAllGenerations)
     ASSERT_EQ(result.history.size(), 20u);
     for (std::size_t i = 0; i < result.history.size(); ++i)
         EXPECT_EQ(result.history[i].generation, i);
-    // Lab time covers all restarts: 3 scouts x 10 gens x 16 pop
-    // plus the final 10 x 16.
+    // Lab time covers every fresh measurement across all restarts —
+    // exactly what the counting evaluator saw, and bounded by the
+    // per-run formula: (3 scouts + 1 final) x (16 + 14 x 9).
     EXPECT_NEAR(result.estimated_lab_seconds,
-                (3 * 10 + 10) * 16.0, 1e-9);
+                static_cast<double>(fitness.evaluations), 1e-9);
+    EXPECT_LE(fitness.evaluations, 4 * (16 + 14 * 9));
+    EXPECT_EQ(result.eval_stats.evals,
+              static_cast<std::size_t>(fitness.evaluations));
 }
 
 TEST(GaEngine, MultiStartEscapesDeceptiveBasinMoreOften)
@@ -342,6 +397,144 @@ TEST(GaEngine, MultiStartEscapesDeceptiveBasinMoreOften)
         multi_wins += e2.run(f2).best_fitness >= 2.0;
     }
     EXPECT_GE(multi_wins, single_wins);
+}
+
+TEST(GaEngine, EliteReuseGivesExactEvalCount)
+{
+    // Regression: elites used to be re-evaluated (and re-charged lab
+    // time) every generation. With memoization off the evaluator must
+    // be called exactly population + (population - elite) x
+    // (generations - 1) times.
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness fitness(pool);
+    auto cfg = smallConfig();
+    cfg.memoize = false;
+    GaEngine engine(pool, cfg);
+    const auto result = engine.run(fitness);
+    const int expected = 16 + (16 - 2) * (20 - 1);
+    EXPECT_EQ(fitness.evaluations, expected);
+    EXPECT_EQ(result.eval_stats.evals,
+              static_cast<std::size_t>(expected));
+    EXPECT_EQ(result.eval_stats.elites_reused, 2u * 19u);
+    EXPECT_NEAR(result.estimated_lab_seconds,
+                static_cast<double>(expected), 1e-9);
+}
+
+TEST(GaOperators, CrossoverLengthOnePicksEitherParent)
+{
+    // Regression: with size() == 1 the cut point was always 0 and the
+    // child was always a copy of parent a.
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(7);
+    isa::Instruction ia, ib;
+    ia.def_index = pool.defIndex("ADD");
+    ia.dest = 0;
+    ia.src = {1, 2};
+    ib.def_index = pool.defIndex("FADD");
+    ib.dest = 0;
+    ib.src = {1, 2};
+    const isa::Kernel a({ia}), b({ib});
+    int from_a = 0, from_b = 0;
+    for (int t = 0; t < 200; ++t) {
+        const auto child = GaEngine::crossover(a, b, rng);
+        ASSERT_EQ(child.size(), 1u);
+        if (child == a)
+            ++from_a;
+        else if (child == b)
+            ++from_b;
+    }
+    EXPECT_EQ(from_a + from_b, 200);
+    EXPECT_GT(from_a, 50);
+    EXPECT_GT(from_b, 50);
+}
+
+TEST(GaEngine, IdenticalResultsAcrossThreadCounts)
+{
+    // The headline determinism claim: the same seed produces the same
+    // search — best individual, best fitness and full history — no
+    // matter how many worker threads evaluate the population.
+    const auto pool = isa::InstructionPool::armV8();
+    GaResult reference;
+    int reference_evals = 0;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        auto counter = std::make_shared<std::atomic<int>>(0);
+        CloneableSimdFitness fitness(pool, counter);
+        auto cfg = smallConfig();
+        cfg.threads = threads;
+        GaEngine engine(pool, cfg);
+        const auto result = engine.run(fitness);
+        if (threads == 1) {
+            reference = result;
+            reference_evals = counter->load();
+            continue;
+        }
+        EXPECT_DOUBLE_EQ(result.best_fitness,
+                         reference.best_fitness);
+        EXPECT_TRUE(result.best == reference.best);
+        ASSERT_EQ(result.history.size(), reference.history.size());
+        for (std::size_t i = 0; i < result.history.size(); ++i) {
+            const auto &got = result.history[i];
+            const auto &want = reference.history[i];
+            EXPECT_EQ(got.generation, want.generation);
+            EXPECT_DOUBLE_EQ(got.best_fitness, want.best_fitness);
+            EXPECT_DOUBLE_EQ(got.mean_fitness, want.mean_fitness);
+            EXPECT_TRUE(got.best == want.best);
+        }
+        // Same search => same set of fresh evaluations.
+        EXPECT_EQ(counter->load(), reference_evals);
+        EXPECT_EQ(result.eval_stats.threads, threads);
+    }
+}
+
+TEST(BatchEvaluator, DuplicateKernelsAreSimulatedOnce)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    CloneableSimdFitness fitness(pool, counter);
+    BatchEvaluator batch(fitness, BatchConfig{1, true});
+
+    Rng rng(9);
+    const auto a = isa::Kernel::random(pool, 10, rng);
+    const auto b = isa::Kernel::random(pool, 10, rng);
+    std::vector<isa::Kernel> kernels = {a, b, a}; // batch-local dup
+    std::vector<double> fit(3, -1.0);
+    std::vector<EvalDetail> det(3);
+
+    const auto first =
+        batch.evaluate(kernels, {0, 1, 2}, fit, det);
+    EXPECT_EQ(first.fresh, 2u);
+    EXPECT_EQ(first.cache_hits, 1u);
+    EXPECT_EQ(counter->load(), 2);
+    EXPECT_DOUBLE_EQ(fit[0], fit[2]);
+    EXPECT_EQ(batch.cacheSize(), 2u);
+
+    // A later batch of known genomes runs no simulation at all.
+    const auto second =
+        batch.evaluate(kernels, {0, 1, 2}, fit, det);
+    EXPECT_EQ(second.fresh, 0u);
+    EXPECT_EQ(second.cache_hits, 3u);
+    EXPECT_EQ(counter->load(), 2);
+    EXPECT_EQ(batch.stats().evals, 2u);
+    EXPECT_EQ(batch.stats().cache_hits, 4u);
+}
+
+TEST(BatchEvaluator, NonCloneableEvaluatorFallsBackToSerial)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    SimdCountFitness fitness(pool); // clone() returns nullptr
+    BatchEvaluator batch(fitness, BatchConfig{8, true});
+
+    Rng rng(10);
+    std::vector<isa::Kernel> kernels;
+    for (int i = 0; i < 6; ++i)
+        kernels.push_back(isa::Kernel::random(pool, 10, rng));
+    std::vector<double> fit(6, -1.0);
+    std::vector<EvalDetail> det(6);
+    const auto out =
+        batch.evaluate(kernels, {0, 1, 2, 3, 4, 5}, fit, det);
+    EXPECT_EQ(out.fresh, 6u);
+    EXPECT_EQ(fitness.evaluations, 6);
+    EXPECT_EQ(batch.stats().threads, 1u);
 }
 
 TEST(GaEngine, ValidatesConfig)

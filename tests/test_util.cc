@@ -1,16 +1,21 @@
 /**
  * @file
- * Unit tests for the util layer: units, stats, rng, trace, table.
+ * Unit tests for the util layer: units, stats, rng, trace, table,
+ * thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <span>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 #include "util/units.h"
 
@@ -249,6 +254,52 @@ TEST(Trace, SliceAtExactEndIsAllowed)
     EXPECT_EQ(whole.size(), 3u);
     const Trace empty = t.slice(3, 0);
     EXPECT_TRUE(empty.empty());
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    pool.parallelFor(visits.size(),
+                     [&](std::size_t i, std::size_t worker) {
+                         EXPECT_LT(worker, 4u);
+                         visits[i].fetch_add(1);
+                     });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int job = 0; job < 20; ++job)
+        pool.parallelFor(100, [&](std::size_t i, std::size_t) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+    EXPECT_EQ(sum.load(), 20L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [](std::size_t i, std::size_t) {
+                             if (i == 13)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // And the pool survives for the next job.
+    std::atomic<int> count{0};
+    pool.parallelFor(8, [&](std::size_t, std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ResolveThreadCount)
+{
+    EXPECT_EQ(resolveThreadCount(3), 3u);
+    EXPECT_GE(resolveThreadCount(0), 1u); // auto is at least one
 }
 
 TEST(Trace, ResampleToCoarserGridDecimates)
