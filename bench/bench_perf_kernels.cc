@@ -7,6 +7,8 @@
  * bounds the paper's physical flow.
  */
 
+#include <sys/resource.h>
+
 #include <benchmark/benchmark.h>
 
 #include "core/fitness.h"
@@ -91,20 +93,109 @@ BM_AntennaReceive(benchmark::State &state)
 }
 BENCHMARK(BM_AntennaReceive);
 
+/** Full platform run, batch-trace oracle path. */
+void
+BM_PlatformRunKernelBatch(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    const auto kernel =
+        core::makeResonantKernelFor(a72.pool(), 1.2e9, 67e6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a72.runKernelBatch(kernel, 4e-6));
+}
+BENCHMARK(BM_PlatformRunKernelBatch);
+
+/** Full platform run through the streaming pipeline (trace sinks). */
+void
+BM_PlatformRunKernelStreaming(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    const auto kernel =
+        core::makeResonantKernelFor(a72.pool(), 1.2e9, 67e6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a72.runKernel(kernel, 4e-6));
+}
+BENCHMARK(BM_PlatformRunKernelStreaming);
+
+/** Mean-bias pass alone (streamKernel with no observers). */
+void
+BM_PlatformStreamMeanPass(benchmark::State &state)
+{
+    platform::Platform a72(platform::junoA72Config(), 1);
+    const auto kernel =
+        core::makeResonantKernelFor(a72.pool(), 1.2e9, 67e6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a72.streamKernel(
+            kernel, 4e-6, [](const platform::StreamPlan &) {
+                return platform::StreamObservers{};
+            }));
+    }
+}
+BENCHMARK(BM_PlatformStreamMeanPass);
+
+/** Process peak RSS high-water mark in MiB. */
+double
+peakRssMib()
+{
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/**
+ * One full EM fitness evaluation, streaming (Arg 1) vs the
+ * batch-trace oracle (Arg 0). Besides wall time, reports the
+ * full-rate samples buffered per evaluation and the growth of the
+ * process peak RSS across the bench — the streaming path should
+ * buffer nothing and leave the high-water mark where it found it.
+ * Registered streaming-first so the batch path's trace buffers do
+ * not pollute the streaming reading.
+ */
 void
 BM_FullEmFitnessEvaluation(benchmark::State &state)
 {
+    const bool streaming = state.range(0) != 0;
     platform::Platform a72(platform::junoA72Config(), 1);
     core::EvalSettings eval;
     eval.duration_s = 4e-6;
     eval.sa_samples = 30;
+    eval.streaming = streaming;
     core::EmAmplitudeFitness fitness(a72, eval);
     Rng rng(5);
     const auto kernel = isa::Kernel::random(a72.pool(), 50, rng);
+    const double rss_before = peakRssMib();
+    ga::EvalDetail detail;
     for (auto _ : state)
-        benchmark::DoNotOptimize(fitness.evaluate(kernel, nullptr));
+        benchmark::DoNotOptimize(fitness.evaluate(kernel, &detail));
+    state.SetLabel(streaming ? "streaming" : "batch");
+    state.counters["samples_buffered"] =
+        static_cast<double>(detail.samples_materialized);
+    state.counters["peak_rss_growth_mib"] = peakRssMib() - rss_before;
 }
-BENCHMARK(BM_FullEmFitnessEvaluation);
+BENCHMARK(BM_FullEmFitnessEvaluation)->Arg(1)->Arg(0);
+
+/** Scope-droop fitness evaluation, streaming vs batch (as above). */
+void
+BM_FullDroopFitnessEvaluation(benchmark::State &state)
+{
+    const bool streaming = state.range(0) != 0;
+    platform::Platform a72(platform::junoA72Config(), 1);
+    core::EvalSettings eval;
+    eval.duration_s = 4e-6;
+    eval.streaming = streaming;
+    core::MaxDroopFitness fitness(a72, eval);
+    Rng rng(6);
+    const auto kernel = isa::Kernel::random(a72.pool(), 50, rng);
+    const double rss_before = peakRssMib();
+    ga::EvalDetail detail;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitness.evaluate(kernel, &detail));
+    state.SetLabel(streaming ? "streaming" : "batch");
+    state.counters["samples_buffered"] =
+        static_cast<double>(detail.samples_materialized);
+    state.counters["peak_rss_growth_mib"] = peakRssMib() - rss_before;
+}
+BENCHMARK(BM_FullDroopFitnessEvaluation)->Arg(1)->Arg(0);
 
 } // namespace
 

@@ -122,6 +122,8 @@ printEvalStats(const ga::EvalStats &stats, const std::string &title)
         static_cast<long>(stats.elites_reused));
     t.row().cell("worker threads").cell(
         static_cast<long>(stats.threads));
+    t.row().cell("samples materialized").cell(
+        static_cast<long>(stats.samples_materialized));
     t.row().cell("evaluation wall [s]").cell(stats.wall_seconds, 3);
     t.row().cell("parallel speedup [x]").cell(stats.speedup(), 2);
     t.print(title);

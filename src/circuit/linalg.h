@@ -104,9 +104,23 @@ class LuSolver
     std::vector<T>
     solve(const std::vector<T> &b) const
     {
+        std::vector<T> x;
+        solveInto(b, x);
+        return x;
+    }
+
+    /**
+     * Solve A x = b into a caller-owned vector, so a stepping loop
+     * can reuse its buffers instead of allocating per step. b and x
+     * must be distinct vectors; x is resized to size().
+     */
+    void
+    solveInto(const std::vector<T> &b, std::vector<T> &x) const
+    {
         requireSim(b.size() == size(), "LU solve: rhs dimension mismatch");
+        requireSim(&b != &x, "LU solveInto: aliased rhs and solution");
         const std::size_t n = size();
-        std::vector<T> x(n);
+        x.resize(n);
         // Apply permutation, forward substitution (L has unit diagonal).
         for (std::size_t i = 0; i < n; ++i) {
             T s = b[perm_[i]];
@@ -121,7 +135,6 @@ class LuSolver
                 s -= lu_(ii, j) * x[j];
             x[ii] = s / lu_(ii, ii);
         }
-        return x;
     }
 
   private:

@@ -137,6 +137,22 @@ MnaSystem::sourceVector(std::span<const double> current_values) const
     return s;
 }
 
+void
+MnaSystem::sourceVectorInto(std::span<const double> current_values,
+                            std::vector<double> &out) const
+{
+    if (current_values.empty()) {
+        out = dc_source_;
+        return;
+    }
+    requireSim(current_values.size() == current_source_rows_.size(),
+               "sourceVector: wrong number of current-source values");
+    out = vs_source_;
+    for (std::size_t k = 0; k < current_source_rows_.size(); ++k)
+        for (const auto &inj : current_source_rows_[k])
+            out[inj.row] += inj.sign * current_values[k];
+}
+
 std::vector<double>
 MnaSystem::dcOperatingPoint() const
 {

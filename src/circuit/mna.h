@@ -66,6 +66,13 @@ class MnaSystem
     std::vector<double>
     sourceVector(std::span<const double> current_values) const;
 
+    /**
+     * sourceVector into a caller-owned buffer (resized to size()),
+     * avoiding the per-step allocation in stepping loops.
+     */
+    void sourceVectorInto(std::span<const double> current_values,
+                          std::vector<double> &out) const;
+
     /** Names of the current sources in the order sourceVector expects. */
     const std::vector<std::string> &currentSourceNames() const
     {

@@ -172,19 +172,27 @@ void
 TransientStepper::step(std::span<const double> currents)
 {
     const std::size_t n = engine_.mna_.size();
-    const std::vector<double> s_now =
-        engine_.mna_.sourceVector(currents);
+    // Reused buffers: a stepping loop makes tens of thousands of
+    // calls per run, so the source/solve temporaries must not
+    // allocate per step.
+    engine_.mna_.sourceVectorInto(currents, s_now_);
     for (std::size_t r = 0; r < n; ++r) {
         double acc = engine_.algebraic_row_[r]
-            ? s_now[r]
-            : 0.5 * (s_prev_[r] + s_now[r]);
+            ? s_now_[r]
+            : 0.5 * (s_prev_[r] + s_now_[r]);
         for (std::size_t c = 0; c < n; ++c)
             acc += engine_.rhs_mult_(r, c) * x_[c];
         rhs_[r] = acc;
     }
-    x_ = engine_.lhs_->solve(rhs_);
-    s_prev_ = s_now;
+    engine_.lhs_->solveInto(rhs_, x_);
+    s_prev_.swap(s_now_);
     time_ += engine_.dt_;
+}
+
+void
+TransientStepper::primeSources(std::span<const double> currents)
+{
+    engine_.mna_.sourceVectorInto(currents, s_prev_);
 }
 
 double

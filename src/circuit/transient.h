@@ -158,6 +158,16 @@ class TransientStepper
      */
     void step(std::span<const double> currents);
 
+    /**
+     * Overwrite the held "previous" source vector without advancing
+     * time. TransientAnalysis::run seeds its trapezoidal source
+     * history from the waveforms' t = 0 values while biasing the DC
+     * operating point at the waveform means; a stepper replaying that
+     * run must prime with the t = 0 values after construction to
+     * reproduce it bit-exactly.
+     */
+    void primeSources(std::span<const double> currents);
+
     /** State value by MNA index (see MnaSystem::stateIndexOf...). */
     double value(std::size_t state_index) const;
 
@@ -169,6 +179,7 @@ class TransientStepper
     const TransientAnalysis &engine_;
     std::vector<double> x_;
     std::vector<double> s_prev_;
+    std::vector<double> s_now_;
     std::vector<double> rhs_;
     double time_ = 0.0;
 };

@@ -5,6 +5,8 @@
 
 #include "core/fitness.h"
 
+#include <optional>
+
 #include "dsp/spectrum.h"
 #include "util/error.h"
 
@@ -44,17 +46,49 @@ double
 EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
                              ga::EvalDetail *detail)
 {
-    const auto run = plat().runKernel(kernel, settings_.duration_s,
-                                      settings_.active_cores);
     Rng noise = noiseFor(kernel, kEmNoiseSalt);
-    const auto marker = plat().analyzer().averagedMaxAmplitude(
-        run.em, settings_.f_lo_hz, settings_.f_hi_hz,
-        settings_.sa_samples, noise);
+    instruments::SaMarker marker;
+    std::size_t materialized = 0;
+    if (settings_.streaming) {
+        // Stream the antenna voltage straight into a Goertzel band
+        // detector: no waveform is ever buffered.
+        std::optional<instruments::SaBandDetector> det;
+        plat().streamKernel(
+            kernel, settings_.duration_s,
+            [&](const platform::StreamPlan &plan) {
+                const double rate = 1.0 / plan.dt;
+                if (!bank_ || bank_n_ != plan.n_samples
+                    || bank_rate_hz_ != rate) {
+                    bank_ = std::make_unique<dsp::GoertzelBank>(
+                        plan.n_samples, rate, settings_.f_lo_hz,
+                        settings_.f_hi_hz,
+                        plat().analyzer().params().window);
+                    bank_n_ = plan.n_samples;
+                    bank_rate_hz_ = rate;
+                }
+                det.emplace(plat().analyzer().params(), *bank_,
+                            settings_.f_lo_hz, settings_.f_hi_hz);
+                return platform::StreamObservers{nullptr, nullptr,
+                                                 &*det};
+            },
+            settings_.active_cores);
+        marker = det->averagedMaxAmplitude(settings_.sa_samples,
+                                           noise);
+    } else {
+        const auto run = plat().runKernelBatch(
+            kernel, settings_.duration_s, settings_.active_cores);
+        materialized =
+            run.v_die.size() + run.i_die.size() + run.em.size();
+        marker = plat().analyzer().averagedMaxAmplitude(
+            run.em, settings_.f_lo_hz, settings_.f_hi_hz,
+            settings_.sa_samples, noise);
+    }
     if (detail) {
         detail->dominant_freq_hz = marker.freq_hz;
         detail->metric_raw = marker.power_dbm;
         detail->measurement_seconds =
             labSecondsPerIndividual(latency_, settings_.sa_samples);
+        detail->samples_materialized = materialized;
     }
     return marker.power_dbm;
 }
@@ -82,13 +116,37 @@ double
 MaxDroopFitness::evaluate(const isa::Kernel &kernel,
                           ga::EvalDetail *detail)
 {
-    const auto run = plat().runKernel(kernel, settings_.duration_s,
-                                      settings_.active_cores);
     Rng noise = noiseFor(kernel, kDroopNoiseSalt);
-    const Trace cap = plat().scope().capture(run.v_die, noise);
-    const double droop = instruments::Oscilloscope::maxDroop(
-        cap, plat().voltage());
+    double droop = 0.0;
+    std::size_t materialized = 0;
+    std::optional<instruments::ScopeCaptureSink> sink;
+    Trace batch_cap(1.0);
+    if (settings_.streaming) {
+        // Stream the die voltage into the scope front end; only the
+        // bounded record is buffered.
+        plat().streamKernel(
+            kernel, settings_.duration_s,
+            [&](const platform::StreamPlan &plan) {
+                sink.emplace(plat().scope().params(), plan.n_samples,
+                             plan.dt, noise);
+                return platform::StreamObservers{&*sink, nullptr,
+                                                 nullptr};
+            },
+            settings_.active_cores);
+        droop = sink->maxDroop(plat().voltage());
+        materialized = sink->capture().size();
+    } else {
+        const auto run = plat().runKernelBatch(
+            kernel, settings_.duration_s, settings_.active_cores);
+        batch_cap = plat().scope().capture(run.v_die, noise);
+        droop = instruments::Oscilloscope::maxDroop(batch_cap,
+                                                    plat().voltage());
+        materialized = run.v_die.size() + run.i_die.size()
+            + run.em.size() + batch_cap.size();
+    }
     if (detail) {
+        const Trace &cap =
+            settings_.streaming ? sink->capture() : batch_cap;
         const auto spec = instruments::Oscilloscope::fftView(cap);
         const auto pk = dsp::maxPeakInBand(spec, settings_.f_lo_hz,
                                            settings_.f_hi_hz);
@@ -97,6 +155,7 @@ MaxDroopFitness::evaluate(const isa::Kernel &kernel,
         // Scope-based measurement is quicker than 30 SA samples.
         detail->measurement_seconds =
             labSecondsPerIndividual(latency_, 3);
+        detail->samples_materialized = materialized;
     }
     return droop;
 }
@@ -123,12 +182,34 @@ double
 PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
                             ga::EvalDetail *detail)
 {
-    const auto run = plat().runKernel(kernel, settings_.duration_s,
-                                      settings_.active_cores);
     Rng noise = noiseFor(kernel, kP2pNoiseSalt);
-    const Trace cap = plat().scope().capture(run.v_die, noise);
-    const double p2p = instruments::Oscilloscope::peakToPeak(cap);
+    double p2p = 0.0;
+    std::size_t materialized = 0;
+    std::optional<instruments::ScopeCaptureSink> sink;
+    Trace batch_cap(1.0);
+    if (settings_.streaming) {
+        plat().streamKernel(
+            kernel, settings_.duration_s,
+            [&](const platform::StreamPlan &plan) {
+                sink.emplace(plat().scope().params(), plan.n_samples,
+                             plan.dt, noise);
+                return platform::StreamObservers{&*sink, nullptr,
+                                                 nullptr};
+            },
+            settings_.active_cores);
+        p2p = sink->peakToPeak();
+        materialized = sink->capture().size();
+    } else {
+        const auto run = plat().runKernelBatch(
+            kernel, settings_.duration_s, settings_.active_cores);
+        batch_cap = plat().scope().capture(run.v_die, noise);
+        p2p = instruments::Oscilloscope::peakToPeak(batch_cap);
+        materialized = run.v_die.size() + run.i_die.size()
+            + run.em.size() + batch_cap.size();
+    }
     if (detail) {
+        const Trace &cap =
+            settings_.streaming ? sink->capture() : batch_cap;
         const auto spec = instruments::Oscilloscope::fftView(cap);
         const auto pk = dsp::maxPeakInBand(spec, settings_.f_lo_hz,
                                            settings_.f_hi_hz);
@@ -136,6 +217,7 @@ PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
         detail->metric_raw = p2p;
         detail->measurement_seconds =
             labSecondsPerIndividual(latency_, 3);
+        detail->samples_materialized = materialized;
     }
     return p2p;
 }

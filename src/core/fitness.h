@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "dsp/goertzel.h"
 #include "ga/ga_engine.h"
 #include "ga/target_connection.h"
 #include "platform/platform.h"
@@ -39,6 +40,10 @@ struct EvalSettings
     double f_hi_hz = 200e6;       ///< EM search band end.
     std::size_t sa_samples = 30;  ///< Spectrum samples per individual.
     std::size_t active_cores = 0; ///< 0 = all powered cores.
+    bool streaming = true;        ///< Stream samples into the
+                                  ///< instruments (O(1) memory in
+                                  ///< duration); false replays the
+                                  ///< batch-trace oracle path.
 };
 
 /**
@@ -103,6 +108,15 @@ class EmAmplitudeFitness : public PlatformFitness
                        const EvalSettings &settings)
         : PlatformFitness(std::move(owned), settings)
     {}
+
+    // Cached Goertzel bank for the streaming detector: every
+    // evaluation of this instance shares one capture geometry, and
+    // building a bank costs a full pass of the recurrence. Clones
+    // build their own (each worker thread owns its evaluator, so no
+    // synchronization is needed).
+    std::unique_ptr<dsp::GoertzelBank> bank_;
+    std::size_t bank_n_ = 0;
+    double bank_rate_hz_ = 0.0;
 };
 
 /**

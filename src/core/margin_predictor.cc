@@ -6,6 +6,7 @@
 #include "core/margin_predictor.h"
 
 #include <cmath>
+#include <optional>
 
 #include "util/error.h"
 #include "util/units.h"
@@ -29,18 +30,29 @@ EmMarginPredictor::EmMarginPredictor(platform::Platform &plat,
 MarginCalibrationPoint
 EmMarginPredictor::observeKernel(const isa::Kernel &kernel)
 {
-    const auto run = plat_.runKernel(kernel, duration_s_);
-    const auto marker = plat_.analyzer().averagedMaxAmplitude(
-        run.em, f_lo_hz_, f_hi_hz_, 5);
-    const Trace cap = plat_.scope().capture(run.v_die);
+    // One streaming run feeds both instruments: the EM tap into a
+    // band detector, the die voltage into the scope front end.
+    std::optional<instruments::SaBandDetector> det;
+    std::optional<instruments::ScopeCaptureSink> scope_sink;
+    plat_.streamKernel(
+        kernel, duration_s_,
+        [&](const platform::StreamPlan &plan) {
+            det.emplace(plat_.analyzer().params(), plan.n_samples,
+                        1.0 / plan.dt, f_lo_hz_, f_hi_hz_);
+            scope_sink.emplace(plat_.scope().params(), plan.n_samples,
+                               plan.dt, plat_.scope().noiseStream());
+            return platform::StreamObservers{&*scope_sink, nullptr,
+                                             &*det};
+        });
+    const auto marker = det->averagedMaxAmplitude(
+        5, plat_.analyzer().noiseStream());
 
     MarginCalibrationPoint p;
     // dBm into the analyzer's reference impedance -> linear Vrms.
     p.em_vrms = std::sqrt(
         dbmToWatts(marker.power_dbm)
         * plat_.analyzer().params().ref_impedance);
-    p.droop_v =
-        instruments::Oscilloscope::maxDroop(cap, plat_.voltage());
+    p.droop_v = scope_sink->maxDroop(plat_.voltage());
     return p;
 }
 
@@ -131,10 +143,17 @@ EmMarginPredictor::predictDroop(double em_vrms) const
 double
 EmMarginPredictor::predictDroopForKernel(const isa::Kernel &kernel)
 {
-    // EM-only path: no scope access.
-    const auto run = plat_.runKernel(kernel, duration_s_);
-    const auto marker = plat_.analyzer().averagedMaxAmplitude(
-        run.em, f_lo_hz_, f_hi_hz_, 5);
+    // EM-only path: no scope access, no buffered waveform.
+    std::optional<instruments::SaBandDetector> det;
+    plat_.streamKernel(
+        kernel, duration_s_,
+        [&](const platform::StreamPlan &plan) {
+            det.emplace(plat_.analyzer().params(), plan.n_samples,
+                        1.0 / plan.dt, f_lo_hz_, f_hi_hz_);
+            return platform::StreamObservers{nullptr, nullptr, &*det};
+        });
+    const auto marker = det->averagedMaxAmplitude(
+        5, plat_.analyzer().noiseStream());
     const double em_vrms = std::sqrt(
         dbmToWatts(marker.power_dbm)
         * plat_.analyzer().params().ref_impedance);
@@ -159,10 +178,16 @@ EmMarginPredictor::predictVmin(double em_vrms,
 double
 EmMarginPredictor::measureDroop(const isa::Kernel &kernel)
 {
-    const auto run = plat_.runKernel(kernel, duration_s_);
-    const Trace cap = plat_.scope().capture(run.v_die);
-    return instruments::Oscilloscope::maxDroop(cap,
-                                               plat_.voltage());
+    std::optional<instruments::ScopeCaptureSink> scope_sink;
+    plat_.streamKernel(
+        kernel, duration_s_,
+        [&](const platform::StreamPlan &plan) {
+            scope_sink.emplace(plat_.scope().params(), plan.n_samples,
+                               plan.dt, plat_.scope().noiseStream());
+            return platform::StreamObservers{&*scope_sink, nullptr,
+                                             nullptr};
+        });
+    return scope_sink->maxDroop(plat_.voltage());
 }
 
 } // namespace core

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -91,16 +92,29 @@ ResonanceExplorer::sweep(double duration_s, std::size_t sa_samples,
                              std::size_t i) -> EmSweepPoint {
         plat.setFrequency(cfg.f_max_hz
                           - static_cast<double>(i) * cfg.f_step_hz);
-        const auto run = plat.runKernel(loop, duration_s,
-                                        active_cores);
-        requireSim(run.stats.loop_freq_hz > 0.0,
-                   "probe loop produced no loop-frequency estimate");
-        // Marker on the spike at the loop frequency: search a narrow
-        // window around it so neighbouring harmonics don't leak in.
-        const double f_spike = run.stats.loop_freq_hz;
+        // Marker on the spike at the loop frequency: the band is only
+        // known once the core pass has measured the loop, so the
+        // detector is built inside the observer factory. A narrow
+        // window keeps neighbouring harmonics from leaking in.
+        std::optional<instruments::SaBandDetector> det;
+        double f_spike = 0.0;
+        plat.streamKernel(
+            loop, duration_s,
+            [&](const platform::StreamPlan &plan) {
+                requireSim(plan.stats.loop_freq_hz > 0.0,
+                           "probe loop produced no loop-frequency "
+                           "estimate");
+                f_spike = plan.stats.loop_freq_hz;
+                det.emplace(plat.analyzer().params(), plan.n_samples,
+                            1.0 / plan.dt, f_spike * 0.9,
+                            f_spike * 1.1);
+                return platform::StreamObservers{nullptr, nullptr,
+                                                 &*det};
+            },
+            active_cores);
         Rng noise(mixSeed(plat.seed() ^ kEmSweepNoiseSalt, i));
-        const auto marker = plat.analyzer().averagedMaxAmplitude(
-            run.em, f_spike * 0.9, f_spike * 1.1, sa_samples, noise);
+        const auto marker =
+            det->averagedMaxAmplitude(sa_samples, noise);
         return {plat.frequency(), f_spike, marker.power_dbm};
     };
 

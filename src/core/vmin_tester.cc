@@ -54,9 +54,19 @@ VminTester::testKernel(const std::string &name,
                        const isa::Kernel &kernel, std::size_t repeats,
                        double run_seconds)
 {
-    const auto run = plat_.runKernel(kernel, config_.duration_s,
-                                     config_.active_cores);
-    return characterizeFromNominal(name, run.v_die, repeats,
+    // Only the die voltage feeds the characterization: stream it into
+    // a single trace sink instead of materializing all three batch
+    // waveforms.
+    TraceSink v_die(platform::kPdnDt);
+    plat_.streamKernel(
+        kernel, config_.duration_s,
+        [&](const platform::StreamPlan &plan) {
+            v_die.reserve(plan.n_samples);
+            return platform::StreamObservers{&v_die, nullptr,
+                                             nullptr};
+        },
+        config_.active_cores);
+    return characterizeFromNominal(name, v_die.trace(), repeats,
                                    run_seconds);
 }
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Goertzel bank implementation.
+ */
+
+#include "dsp/goertzel.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace dsp {
+
+GoertzelBank::GoertzelBank(std::size_t n, double sample_rate_hz,
+                           double f_lo, double f_hi, WindowKind window)
+    : n_(n), nfft_(nextPowerOfTwo(n))
+{
+    requireConfig(n >= 4, "GoertzelBank needs at least 4 samples");
+    requireConfig(sample_rate_hz > 0.0,
+                  "GoertzelBank sample rate must be positive");
+    requireConfig(f_hi >= f_lo, "GoertzelBank band is inverted");
+
+    win_ = makeWindow(window, n);
+    const double gain = coherentGain(window, n);
+    scale_ = std::sqrt(2.0) / (static_cast<double>(n) * gain);
+    df_ = sample_rate_hz / static_cast<double>(nfft_);
+
+    // Same bin walk and float comparisons as maxPeakInBand over the
+    // batch spectrum's [0, nfft/2) grid.
+    const std::size_t half = nfft_ / 2;
+    for (std::size_t k = 0; k < half; ++k) {
+        const double f = df_ * static_cast<double>(k);
+        if (f < f_lo || f > f_hi)
+            continue;
+        const double w = kTwoPi * static_cast<double>(k)
+            / static_cast<double>(nfft_);
+        k_.push_back(k);
+        freq_.push_back(f);
+        coeff_.push_back(2.0 * std::cos(w));
+        cosw_.push_back(std::cos(w));
+        sinw_.push_back(std::sin(w));
+    }
+
+    // Precompute the window's own DFT at the watched bins with the
+    // same recurrence the accumulator runs, so the mean correction
+    // shares the streaming path's rounding behaviour.
+    const std::size_t m = k_.size();
+    std::vector<double> s1(m, 0.0);
+    std::vector<double> s2(m, 0.0);
+    {
+        // Same two-sample sweep as GoertzelAccumulator::flushBlock —
+        // banks are rebuilt per capture geometry, so this loop is as
+        // hot as the streaming update itself.
+        const double *__restrict w = win_.data();
+        const double *__restrict c = coeff_.data();
+        double *__restrict p1 = s1.data();
+        double *__restrict p2 = s2.data();
+        std::size_t i = 0;
+        for (; i + 1 < n; i += 2) {
+            const double a0 = w[i];
+            const double a1 = w[i + 1];
+            for (std::size_t b = 0; b < m; ++b) {
+                const double x0 = a0 + c[b] * p1[b] - p2[b];
+                const double x1 = a1 + c[b] * x0 - p1[b];
+                p2[b] = x0;
+                p1[b] = x1;
+            }
+        }
+        for (; i < n; ++i) {
+            const double a0 = w[i];
+            for (std::size_t b = 0; b < m; ++b) {
+                const double x0 = a0 + c[b] * p1[b] - p2[b];
+                p2[b] = p1[b];
+                p1[b] = x0;
+            }
+        }
+    }
+    win_re_.resize(m);
+    win_im_.resize(m);
+    for (std::size_t b = 0; b < m; ++b) {
+        // After n updates the bin value is
+        // (s1 - e^{-jw} s2) e^{-jw (n-1)}; the unit phase factor is
+        // common to signal and window and cancels in the corrected
+        // magnitude, so only the parenthesised part is kept.
+        win_re_[b] = s1[b] - cosw_[b] * s2[b];
+        win_im_[b] = sinw_[b] * s2[b];
+    }
+}
+
+GoertzelAccumulator::GoertzelAccumulator(const GoertzelBank &bank)
+    : bank_(bank), s1_(bank.size(), 0.0), s2_(bank.size(), 0.0)
+{
+}
+
+void
+GoertzelAccumulator::push(double v)
+{
+    requireSim(count_ < bank_.n_,
+               "GoertzelAccumulator fed more samples than the bank "
+               "was built for");
+    sum_ += v;
+    buf_[buf_n_++] = v * bank_.win_[count_];
+    ++count_;
+    if (buf_n_ == kBlock)
+        flushBlock();
+}
+
+void
+GoertzelAccumulator::flushBlock()
+{
+    const std::size_t m = s1_.size();
+    const std::size_t nb = buf_n_;
+    // The arrays never alias; telling the compiler lets it keep the
+    // recurrence in registers and vectorize across bins (each bin's
+    // FP order is untouched, so results stay bit-exact).
+    const double *__restrict coeff = bank_.coeff_.data();
+    const double *__restrict a = buf_.data();
+    double *__restrict s1 = s1_.data();
+    double *__restrict s2 = s2_.data();
+    // Two samples per sweep over the bins: the dependence chain stays
+    // per-bin (vector lanes carry independent bins, so it pipelines)
+    // while (s1, s2) are loaded and stored half as often.
+    std::size_t i = 0;
+    for (; i + 1 < nb; i += 2) {
+        const double a0 = a[i];
+        const double a1 = a[i + 1];
+        for (std::size_t b = 0; b < m; ++b) {
+            const double x0 = a0 + coeff[b] * s1[b] - s2[b];
+            const double x1 = a1 + coeff[b] * x0 - s1[b];
+            s2[b] = x0;
+            s1[b] = x1;
+        }
+    }
+    for (; i < nb; ++i) {
+        const double a0 = a[i];
+        for (std::size_t b = 0; b < m; ++b) {
+            const double x0 = a0 + coeff[b] * s1[b] - s2[b];
+            s2[b] = s1[b];
+            s1[b] = x0;
+        }
+    }
+    buf_n_ = 0;
+}
+
+std::vector<double>
+GoertzelAccumulator::amplitudesVrms() const
+{
+    requireSim(count_ == bank_.n_,
+               "GoertzelAccumulator read before the full capture was "
+               "pushed");
+    const double mean = sum_ / static_cast<double>(bank_.n_);
+    const std::size_t m = s1_.size();
+    // Capture lengths are rarely a multiple of the block size; apply
+    // any still-buffered tail to local copies so this stays const.
+    std::vector<double> f1(s1_);
+    std::vector<double> f2(s2_);
+    for (std::size_t i = 0; i < buf_n_; ++i) {
+        const double a = buf_[i];
+        for (std::size_t b = 0; b < m; ++b) {
+            const double s0 = a + bank_.coeff_[b] * f1[b] - f2[b];
+            f2[b] = f1[b];
+            f1[b] = s0;
+        }
+    }
+    std::vector<double> amps(m);
+    for (std::size_t b = 0; b < m; ++b) {
+        if (bank_.k_[b] == 0) {
+            // Batch spectra zero the DC bin after mean removal.
+            amps[b] = 0.0;
+            continue;
+        }
+        const double re =
+            (f1[b] - bank_.cosw_[b] * f2[b]) - mean * bank_.win_re_[b];
+        const double im = bank_.sinw_[b] * f2[b] - mean * bank_.win_im_[b];
+        amps[b] = std::hypot(re, im) * bank_.scale_;
+    }
+    return amps;
+}
+
+} // namespace dsp
+} // namespace emstress

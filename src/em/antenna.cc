@@ -57,6 +57,54 @@ Antenna::receive(const Trace &i_loop, double distance_m) const
     return v;
 }
 
+AntennaReceiveSink::AntennaReceiveSink(SampleSink &downstream,
+                                       double gain, double dt)
+    : downstream_(downstream), gain_(gain), inv_dt_(1.0 / dt)
+{
+}
+
+void
+AntennaReceiveSink::push(double i_loop)
+{
+    if (count_ == 0) {
+        prev1_ = i_loop;
+    } else if (count_ == 1) {
+        // One-sided forward difference at the left edge.
+        downstream_.push(gain_ * (i_loop - prev1_) * inv_dt_);
+        prev2_ = prev1_;
+        prev1_ = i_loop;
+    } else {
+        // Central difference for the interior sample k - 1.
+        downstream_.push(gain_ * (i_loop - prev2_) * 0.5 * inv_dt_);
+        prev2_ = prev1_;
+        prev1_ = i_loop;
+    }
+    ++count_;
+}
+
+void
+AntennaReceiveSink::finish()
+{
+    if (!finished_) {
+        requireConfig(count_ >= 2,
+                      "antenna needs at least two current samples");
+        // One-sided backward difference at the right edge.
+        downstream_.push(gain_ * (prev1_ - prev2_) * inv_dt_);
+    }
+    finished_ = true;
+    downstream_.finish();
+}
+
+AntennaReceiveSink
+Antenna::receiveInto(SampleSink &downstream, double distance_m,
+                     double dt_seconds) const
+{
+    requireConfig(dt_seconds > 0.0,
+                  "antenna stream needs a positive timestep");
+    return AntennaReceiveSink(downstream, couplingGain(distance_m),
+                              dt_seconds);
+}
+
 Trace
 Antenna::receiveMulti(const std::vector<Trace> &i_loops,
                       const std::vector<double> &distances) const

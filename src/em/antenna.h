@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "util/sample_sink.h"
 #include "util/trace.h"
 
 namespace emstress {
@@ -52,6 +53,33 @@ struct AntennaParams
 };
 
 /**
+ * Streaming counterpart of Antenna::receive: converts a pushed
+ * radiating-loop current stream into the received voltage stream with
+ * the same central/one-sided differences, holding only the last two
+ * samples. Each received sample is forwarded one push late (the
+ * central difference needs the next sample); finish() emits the final
+ * backward-difference sample and cascades.
+ */
+class AntennaReceiveSink final : public SampleSink
+{
+  public:
+    void push(double i_loop) override;
+    void finish() override;
+
+  private:
+    friend class Antenna;
+    AntennaReceiveSink(SampleSink &downstream, double gain, double dt);
+
+    SampleSink &downstream_;
+    double gain_;
+    double inv_dt_;
+    double prev2_ = 0.0; ///< i[k-2].
+    double prev1_ = 0.0; ///< i[k-1].
+    std::size_t count_ = 0;
+    bool finished_ = false;
+};
+
+/**
  * Receiving antenna model.
  */
 class Antenna
@@ -74,6 +102,18 @@ class Antenna
      * @param distance_m Antenna-to-package distance [m].
      */
     Trace receive(const Trace &i_loop, double distance_m) const;
+
+    /**
+     * Build a streaming receive stage writing into a downstream sink,
+     * sample-exact against receive() for the same current stream.
+     *
+     * @param downstream Sink consuming the received voltage.
+     * @param distance_m Antenna-to-package distance [m].
+     * @param dt_seconds Current-sample interval [s].
+     */
+    AntennaReceiveSink receiveInto(SampleSink &downstream,
+                                   double distance_m,
+                                   double dt_seconds) const;
 
     /**
      * Received voltage from several simultaneously radiating domains

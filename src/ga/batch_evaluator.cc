@@ -148,6 +148,7 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
         details[task.slot] = task.detail;
         out.lab_seconds += task.detail.measurement_seconds;
         stats_.eval_seconds += task.seconds;
+        stats_.samples_materialized += task.detail.samples_materialized;
         if (config_.memoize) {
             cache_.emplace(task.hash,
                            CacheEntry{kernels[task.slot], task.fitness,

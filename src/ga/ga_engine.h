@@ -69,6 +69,11 @@ struct EvalDetail
                                    ///< (dBm, volts...).
     double measurement_seconds = 0.0; ///< Lab time this measurement
                                       ///< would have taken (Sec 3.2).
+    std::size_t samples_materialized = 0; ///< Full-rate waveform
+                                          ///< samples buffered for
+                                          ///< this evaluation (0 on
+                                          ///< the streaming path save
+                                          ///< bounded captures).
 };
 
 /**
@@ -122,6 +127,9 @@ struct EvalStats
     std::size_t threads = 1;    ///< Worker threads used.
     double eval_seconds = 0.0;  ///< Sum of per-evaluation wall time.
     double wall_seconds = 0.0;  ///< Elapsed wall time evaluating.
+    std::size_t samples_materialized = 0; ///< Waveform samples
+                                          ///< buffered across fresh
+                                          ///< evaluations.
 
     /** Parallel speedup: total evaluation work / elapsed time. */
     double
@@ -140,6 +148,7 @@ struct EvalStats
         threads = std::max(threads, other.threads);
         eval_seconds += other.eval_seconds;
         wall_seconds += other.wall_seconds;
+        samples_materialized += other.samples_materialized;
         return *this;
     }
 };

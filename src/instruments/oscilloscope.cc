@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.h"
 #include "util/stats.h"
@@ -95,6 +96,99 @@ Oscilloscope::capture(const Trace &v_in, Rng &noise) const
         out.push(std::round(noisy / lsb) * lsb);
     }
     return out;
+}
+
+namespace {
+
+/**
+ * Capture length a streaming scope will record: the batch pipeline's
+ * ZOH output truncated to the record length, with the batch path's
+ * own precondition checks.
+ */
+std::size_t
+captureLength(const OscilloscopeParams &params, std::size_t n_in,
+              double dt_in)
+{
+    requireConfig(n_in >= 2, "capture needs an input waveform");
+    const std::size_t n_out = Trace::outputLengthFor(
+        dt_in * static_cast<double>(n_in),
+        1.0 / params.sample_rate_hz);
+    const std::size_t n = std::min(n_out, params.record_length);
+    requireSim(n >= 2, "capture shorter than two ADC samples; feed a "
+                       "longer waveform or reduce record length");
+    return n;
+}
+
+} // namespace
+
+ScopeCaptureSink::QuantizeStage::QuantizeStage(
+    const OscilloscopeParams &params, std::size_t cap, double dt_out,
+    Rng &noise)
+    : capture_(dt_out), cap_(cap),
+      lsb_(params.full_scale_v
+           / static_cast<double>(1u << params.bits)),
+      noise_v_rms_(params.noise_v_rms), noise_(noise),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    capture_.reserve(cap);
+}
+
+void
+ScopeCaptureSink::QuantizeStage::push(double v)
+{
+    // Samples beyond the record length are dropped without drawing
+    // noise, exactly like the batch truncation.
+    if (capture_.size() >= cap_)
+        return;
+    const double noisy = v + noise_.gaussian(0.0, noise_v_rms_);
+    const double q = std::round(noisy / lsb_) * lsb_;
+    capture_.push(q);
+    min_ = std::min(min_, q);
+    max_ = std::max(max_, q);
+}
+
+ScopeCaptureSink::ScopeCaptureSink(const OscilloscopeParams &params,
+                                   std::size_t n_in, double dt_in,
+                                   Rng &noise)
+    : quant_(params, captureLength(params, n_in, dt_in),
+             1.0 / params.sample_rate_hz, noise),
+      zoh_(quant_, n_in, dt_in, 1.0 / params.sample_rate_hz),
+      alpha_(dt_in
+             / (1.0 / (kTwoPi * params.bandwidth_hz) + dt_in))
+{
+}
+
+void
+ScopeCaptureSink::push(double v)
+{
+    // Single-pole low-pass, seeded at the first sample like the batch
+    // filter (whose first update is then an exact no-op).
+    if (seen_ == 0)
+        y_ = v;
+    y_ += alpha_ * (v - y_);
+    zoh_.push(y_);
+    ++seen_;
+}
+
+void
+ScopeCaptureSink::finish()
+{
+    zoh_.finish();
+}
+
+double
+ScopeCaptureSink::minimum() const
+{
+    requireSim(!quant_.capture_.empty(), "scope capture is empty");
+    return quant_.min_;
+}
+
+double
+ScopeCaptureSink::maximum() const
+{
+    requireSim(!quant_.capture_.empty(), "scope capture is empty");
+    return quant_.max_;
 }
 
 double

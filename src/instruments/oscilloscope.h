@@ -16,6 +16,7 @@
 
 #include "dsp/spectrum.h"
 #include "util/rng.h"
+#include "util/sample_sink.h"
 #include "util/trace.h"
 
 namespace emstress {
@@ -39,6 +40,84 @@ OscilloscopeParams ocDsoParams();
 OscilloscopeParams kelvinScopeParams();
 
 /**
+ * Streaming counterpart of Oscilloscope::capture: consumes the die
+ * voltage one sample at a time, applies the same front-end low-pass,
+ * ADC-rate zero-order hold, noise and quantization, and stores only
+ * the bounded record (<= record_length samples) plus online min/max
+ * accumulators. Memory is O(record_length) regardless of run length,
+ * and the stored capture is bit-identical to the batch one for the
+ * same input stream and noise Rng.
+ *
+ * Not copyable or movable (internal sink wiring); construct in place
+ * (e.g. std::optional::emplace). The noise Rng must outlive the sink.
+ */
+class ScopeCaptureSink final : public SampleSink
+{
+  public:
+    /**
+     * @param params Scope settings (validated by the owning scope).
+     * @param n_in   Samples the stream will push.
+     * @param dt_in  Input sample interval [s].
+     * @param noise  Front-end noise stream (held by reference).
+     */
+    ScopeCaptureSink(const OscilloscopeParams &params, std::size_t n_in,
+                     double dt_in, Rng &noise);
+
+    ScopeCaptureSink(const ScopeCaptureSink &) = delete;
+    ScopeCaptureSink &operator=(const ScopeCaptureSink &) = delete;
+
+    void push(double v) override;
+    void finish() override;
+
+    /** The quantized capture recorded so far (complete after finish). */
+    const Trace &capture() const { return quant_.capture_; }
+
+    /** Move the capture out. */
+    Trace takeCapture() { return std::move(quant_.capture_); }
+
+    /** Smallest captured sample. @pre at least one captured sample. */
+    double minimum() const;
+
+    /** Largest captured sample. @pre at least one captured sample. */
+    double maximum() const;
+
+    /** Peak-to-peak amplitude of the capture [V]. */
+    double peakToPeak() const { return maximum() - minimum(); }
+
+    /** Maximum droop below a nominal level over the capture [V]. */
+    double maxDroop(double v_nominal) const
+    {
+        return v_nominal - minimum();
+    }
+
+  private:
+    /** ADC stage: noise + quantization into the bounded record. */
+    class QuantizeStage final : public SampleSink
+    {
+      public:
+        QuantizeStage(const OscilloscopeParams &params, std::size_t cap,
+                      double dt_out, Rng &noise);
+        void push(double v) override;
+
+      private:
+        friend class ScopeCaptureSink;
+        Trace capture_;
+        std::size_t cap_;
+        double lsb_;
+        double noise_v_rms_;
+        Rng &noise_;
+        double min_;
+        double max_;
+    };
+
+    QuantizeStage quant_;
+    ZohResampleSink zoh_;
+    double alpha_;
+    double y_ = 0.0;
+    std::size_t seen_ = 0;
+};
+
+/**
  * Sampling oscilloscope.
  */
 class Oscilloscope
@@ -49,6 +128,13 @@ class Oscilloscope
 
     /** Settings. */
     const OscilloscopeParams &params() const { return params_; }
+
+    /**
+     * The instrument's internal front-end noise stream. Streaming
+     * capture sinks draw from it to replicate the non-const batch
+     * capture, advancing the state identically.
+     */
+    Rng &noiseStream() { return rng_; }
 
     /**
      * Capture a voltage waveform: band-limit, resample to the ADC

@@ -71,6 +71,104 @@ SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec,
     return out;
 }
 
+SaBandDetector::SaBandDetector(const SpectrumAnalyzerParams &params,
+                               std::size_t n_in, double sample_rate_hz,
+                               double f_lo, double f_hi)
+    : params_(params), f_lo_(f_lo), f_hi_(f_hi),
+      owned_bank_(std::in_place, n_in, sample_rate_hz, f_lo, f_hi,
+                  params.window),
+      bank_(*owned_bank_), goertzel_(bank_)
+{
+    requireConfig(params.f_stop_hz > params.f_start_hz,
+                  "analyzer stop frequency must exceed start");
+    requireConfig(params.ref_impedance > 0.0,
+                  "reference impedance must be positive");
+}
+
+SaBandDetector::SaBandDetector(const SpectrumAnalyzerParams &params,
+                               const dsp::GoertzelBank &bank,
+                               double f_lo, double f_hi)
+    : params_(params), f_lo_(f_lo), f_hi_(f_hi), bank_(bank),
+      goertzel_(bank_)
+{
+    requireConfig(params.f_stop_hz > params.f_start_hz,
+                  "analyzer stop frequency must exceed start");
+    requireConfig(params.ref_impedance > 0.0,
+                  "reference impedance must be positive");
+}
+
+SaMarker
+SaBandDetector::sweepMax(const std::vector<double> &amps,
+                         Rng &noise) const
+{
+    const double floor_w = dbmToWatts(params_.noise_floor_dbm);
+    const double df = bank_.binWidthHz();
+    const std::size_t half = bank_.nfft() / 2;
+
+    // Replay noisySweep's walk over every displayed bin (each draws
+    // its three noise values whether or not it lies in the band) and
+    // maxAmplitude's strict-greater marker search over [f_lo, f_hi].
+    SaMarker best;
+    std::size_t display_bins = 0;
+    std::size_t bi = 0;
+    for (std::size_t k = 0; k < half; ++k) {
+        const double f = df * static_cast<double>(k);
+        if (f < params_.f_start_hz || f > params_.f_stop_hz)
+            continue;
+        ++display_bins;
+        const double gain_db =
+            noise.gaussian(0.0, params_.gain_error_db);
+        const double n1 = noise.gaussian(0.0, 1.0);
+        const double n2 = noise.gaussian(0.0, 1.0);
+        while (bi < bank_.size() && bank_.binIndex(bi) < k)
+            ++bi;
+        if (f < f_lo_ || f > f_hi_)
+            continue;
+        double p_w = voltsRmsToWatts(amps[bi], params_.ref_impedance);
+        p_w *= dbToPowerRatio(gain_db);
+        p_w += 0.5 * floor_w * (n1 * n1 + n2 * n2);
+        const double dbm = wattsToDbm(std::max(p_w, 1e-30));
+        if (dbm > best.power_dbm) {
+            best.power_dbm = dbm;
+            best.freq_hz = f;
+        }
+    }
+    requireSim(display_bins > 0,
+               "sweep produced no bins inside the display span; "
+               "check sample rate versus f_start/f_stop");
+    return best;
+}
+
+SaMarker
+SaBandDetector::maxAmplitude(Rng &noise) const
+{
+    return sweepMax(goertzel_.amplitudesVrms(), noise);
+}
+
+SaMarker
+SaBandDetector::averagedMaxAmplitude(std::size_t n_samples,
+                                     Rng &noise) const
+{
+    requireConfig(n_samples >= 1, "need at least one sample");
+    const std::vector<double> amps = goertzel_.amplitudesVrms();
+    double sum_sq_w = 0.0;
+    std::vector<double> freqs;
+    freqs.reserve(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        const SaMarker m = sweepMax(amps, noise);
+        const double p_w = dbmToWatts(m.power_dbm);
+        sum_sq_w += p_w * p_w;
+        freqs.push_back(m.freq_hz);
+    }
+    const double rms_w =
+        std::sqrt(sum_sq_w / static_cast<double>(n_samples));
+    std::sort(freqs.begin(), freqs.end());
+    SaMarker out;
+    out.power_dbm = wattsToDbm(std::max(rms_w, 1e-30));
+    out.freq_hz = freqs[freqs.size() / 2];
+    return out;
+}
+
 SaMarker
 SpectrumAnalyzer::maxAmplitude(const SaSweep &sweep, double f_lo,
                                double f_hi)

@@ -13,10 +13,13 @@
 #define EMSTRESS_INSTRUMENTS_SPECTRUM_ANALYZER_H
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "dsp/goertzel.h"
 #include "dsp/spectrum.h"
 #include "util/rng.h"
+#include "util/sample_sink.h"
 #include "util/trace.h"
 
 namespace emstress {
@@ -51,6 +54,77 @@ struct SaMarker
 };
 
 /**
+ * Streaming band-max detector: the SampleSink counterpart of feeding
+ * a received-voltage trace through sweep() + maxAmplitude(). A
+ * Goertzel bank watches only the FFT-grid bins inside [f_lo, f_hi],
+ * so memory is O(band bins), not O(capture). Measurement noise
+ * replays the batch path's draw order exactly — three gaussians per
+ * displayed bin, ascending frequency — so a given Rng stream yields
+ * the same markers as the batch instrument (amplitudes agree to the
+ * Goertzel recurrence's ~1e-12 relative rounding).
+ *
+ * Not copyable or movable: the Goertzel accumulator references the
+ * bank member. Construct in place (e.g. std::optional::emplace).
+ */
+class SaBandDetector final : public SampleSink
+{
+  public:
+    /**
+     * @param params         Analyzer settings (display span, noise).
+     * @param n_in           Samples the stream will push (the batch
+     *                       capture length).
+     * @param sample_rate_hz Input sample rate.
+     * @param f_lo, f_hi     Measurement band for the marker search.
+     */
+    SaBandDetector(const SpectrumAnalyzerParams &params,
+                   std::size_t n_in, double sample_rate_hz,
+                   double f_lo, double f_hi);
+
+    /**
+     * Share a prebuilt bank instead of constructing one: building a
+     * bank costs a full pass of the recurrence, so callers that
+     * measure the same capture geometry repeatedly (e.g. GA fitness
+     * evaluation) should build the bank once and reuse it. The bank
+     * must have been constructed with this same (n_in, sample rate,
+     * f_lo, f_hi) tuple and must outlive the detector.
+     */
+    SaBandDetector(const SpectrumAnalyzerParams &params,
+                   const dsp::GoertzelBank &bank, double f_lo,
+                   double f_hi);
+
+    SaBandDetector(const SaBandDetector &) = delete;
+    SaBandDetector &operator=(const SaBandDetector &) = delete;
+
+    void push(double v) override { goertzel_.push(v); }
+
+    /**
+     * One noisy sweep's band maximum, as maxAmplitude(sweep(...)).
+     * @pre the full capture has been pushed.
+     */
+    SaMarker maxAmplitude(Rng &noise) const;
+
+    /**
+     * The paper's RMS-of-N-sweeps statistic, matching the batch
+     * SpectrumAnalyzer::averagedMaxAmplitude draw for draw.
+     * @pre the full capture has been pushed.
+     */
+    SaMarker averagedMaxAmplitude(std::size_t n_samples,
+                                  Rng &noise) const;
+
+  private:
+    /** Replay one display sweep over precomputed band amplitudes. */
+    SaMarker sweepMax(const std::vector<double> &amps,
+                      Rng &noise) const;
+
+    SpectrumAnalyzerParams params_;
+    double f_lo_;
+    double f_hi_;
+    std::optional<dsp::GoertzelBank> owned_bank_;
+    const dsp::GoertzelBank &bank_; ///< owned_bank_ or the caller's.
+    dsp::GoertzelAccumulator goertzel_;
+};
+
+/**
  * Spectrum analyzer. Holds its own RNG stream so that measurement
  * noise is reproducible per instrument instance.
  */
@@ -62,6 +136,13 @@ class SpectrumAnalyzer
 
     /** Settings. */
     const SpectrumAnalyzerParams &params() const { return params_; }
+
+    /**
+     * The instrument's internal measurement-noise stream. Streaming
+     * detectors draw from it to replicate the non-const batch
+     * methods, advancing the state identically.
+     */
+    Rng &noiseStream() { return rng_; }
 
     /**
      * Acquire one sweep from a received voltage trace. Bins outside

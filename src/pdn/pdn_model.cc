@@ -208,6 +208,71 @@ PdnModel::simulate(const Trace &i_load,
     return {result.trace("v_die"), result.trace("i_die")};
 }
 
+PdnStreamSink::PdnStreamSink(const circuit::TransientAnalysis &engine,
+                             double mean_load, std::size_t iv_die,
+                             std::size_t ii_die, SampleSink *v_die_out,
+                             SampleSink *i_die_out)
+    : stepper_(engine.makeStepper(std::array<double, 2>{mean_load, 0.0})),
+      iv_die_(iv_die), ii_die_(ii_die), v_die_out_(v_die_out),
+      i_die_out_(i_die_out)
+{}
+
+void
+PdnStreamSink::emitProbes()
+{
+    if (v_die_out_)
+        v_die_out_->push(stepper_.value(iv_die_));
+    if (i_die_out_)
+        i_die_out_->push(stepper_.value(ii_die_));
+    ++emitted_;
+}
+
+void
+PdnStreamSink::push(double i_load)
+{
+    const std::array<double, 2> src = {i_load, 0.0};
+    if (!primed_) {
+        // Matches simulate(): the DC point is biased at the mean load
+        // but the trapezoidal source history starts from the t = 0
+        // waveform value.
+        stepper_.primeSources(src);
+        primed_ = true;
+    } else {
+        stepper_.step(src);
+        emitProbes();
+    }
+    last_ = i_load;
+}
+
+void
+PdnStreamSink::finish()
+{
+    if (primed_ && !finished_) {
+        // The batch waveform lookup clamps past-the-end times to the
+        // last sample, so the final step re-uses it.
+        const std::array<double, 2> src = {last_, 0.0};
+        stepper_.step(src);
+        emitProbes();
+    }
+    finished_ = true;
+    if (v_die_out_)
+        v_die_out_->finish();
+    if (i_die_out_)
+        i_die_out_->finish();
+}
+
+PdnStreamSink
+PdnModel::streamSim(double dt, double mean_load, SampleSink *v_die_out,
+                    SampleSink *i_die_out) const
+{
+    requireConfig(dt > 0.0, "PDN stream needs a positive timestep");
+    const auto &eng = engineFor(dt);
+    return PdnStreamSink(eng, mean_load,
+                         eng.mna().stateIndexOfNode(n_die_),
+                         eng.mna().stateIndexOfBranch("l_pkg_die"),
+                         v_die_out, i_die_out);
+}
+
 std::vector<double>
 PdnModel::impedanceMagnitude(const std::vector<double> &freqs_hz) const
 {

@@ -18,6 +18,7 @@
 #include "circuit/ac.h"
 #include "circuit/netlist.h"
 #include "circuit/transient.h"
+#include "util/sample_sink.h"
 #include "util/trace.h"
 
 namespace emstress {
@@ -108,6 +109,50 @@ struct PdnSimResult
 };
 
 /**
+ * Streaming counterpart of PdnModel::simulate: a sample sink that
+ * advances the transient engine one step per pushed load-current
+ * sample and forwards the probed die voltage / package-die current to
+ * downstream sinks as they are computed, holding only the stepper
+ * state (O(1) in run duration).
+ *
+ * Replays simulate() bit-exactly: the first pushed sample only primes
+ * the trapezoidal source history (simulate's step loop starts at
+ * t = dt, where the batch waveform lookup already returns sample 1),
+ * each later sample advances one step, and finish() takes the final
+ * step the batch waveform clamp produces from the last sample.
+ */
+class PdnStreamSink final : public SampleSink
+{
+  public:
+    void push(double i_load) override;
+
+    /** Take the clamped final step and finish the downstream sinks. */
+    void finish() override;
+
+    /** Samples emitted downstream so far. */
+    std::size_t emitted() const { return emitted_; }
+
+  private:
+    friend class PdnModel;
+    PdnStreamSink(const circuit::TransientAnalysis &engine,
+                  double mean_load, std::size_t iv_die,
+                  std::size_t ii_die, SampleSink *v_die_out,
+                  SampleSink *i_die_out);
+
+    void emitProbes();
+
+    circuit::TransientStepper stepper_;
+    std::size_t iv_die_;
+    std::size_t ii_die_;
+    SampleSink *v_die_out_;
+    SampleSink *i_die_out_;
+    double last_ = 0.0;
+    std::size_t emitted_ = 0;
+    bool primed_ = false;
+    bool finished_ = false;
+};
+
+/**
  * Simulatable PDN. Holds the netlist built from PdnParameters and
  * caches the factored transient engine per timestep, because a GA
  * evaluates thousands of load traces against an unchanged PDN.
@@ -154,6 +199,26 @@ class PdnModel
     PdnSimResult simulate(const Trace &i_load,
                           const circuit::SourceWaveform &i_scl = nullptr)
         const;
+
+    /**
+     * Build a streaming simulation sink (see PdnStreamSink). Pushing
+     * every load sample and calling finish() reproduces
+     * simulate(i_load) bit-exactly without materializing any trace.
+     *
+     * @param dt        Load-sample timestep [s] (selects the cached
+     *                  engine, like simulate does via i_load.dt()).
+     * @param mean_load Mean of the full load trace [A]; biases the
+     *                  initial DC point exactly as simulate does.
+     *                  Callers stream the load twice: once through a
+     *                  MeanSink, then through this sink.
+     * @param v_die_out Downstream sink for the die voltage (may be
+     *                  null to skip the probe).
+     * @param i_die_out Downstream sink for the package-die inductor
+     *                  current (may be null).
+     */
+    PdnStreamSink streamSim(double dt, double mean_load,
+                            SampleSink *v_die_out,
+                            SampleSink *i_die_out) const;
 
     /** Input impedance magnitude at the die node over a grid [ohm]. */
     std::vector<double>

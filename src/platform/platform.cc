@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "pdn/resonance.h"
 #include "util/error.h"
@@ -71,6 +72,83 @@ scopeParamsFor(const PlatformConfig &cfg)
         ? instruments::kelvinScopeParams()
         : instruments::ocDsoParams();
 }
+
+/**
+ * Streaming multi-core summation: replays finishRun's rotation sum
+ *
+ *     total[k] = sum_c one[(k + c*stagger) % N] * v_scale  (+ idle)
+ *
+ * sample-exactly while holding only the first (cores-1)*stagger
+ * samples (the wrapped tail terms re-read the stream's head) and a
+ * ring of the most recent (cores-1)*stagger + 1 samples. Output k is
+ * emitted once input k + (cores-1)*stagger has arrived; the final
+ * (cores-1)*stagger outputs flush in finish().
+ */
+class StaggerSumSink final : public SampleSink
+{
+  public:
+    StaggerSumSink(SampleSink &downstream, std::size_t n_in,
+                   std::size_t stagger_cycles, std::size_t cores,
+                   double v_scale, double extra_idle)
+        : downstream_(downstream), n_in_(n_in), st_(stagger_cycles),
+          cores_(cores), v_scale_(v_scale), extra_idle_(extra_idle),
+          max_shift_(stagger_cycles * (cores - 1)),
+          ring_(max_shift_ + 1, 0.0)
+    {
+        requireSim(n_in > stagger_cycles * cores,
+                   "core trace too short for phase-shifted summation");
+        head_.reserve(max_shift_);
+    }
+
+    void
+    push(double v) override
+    {
+        if (head_.size() < max_shift_)
+            head_.push_back(v);
+        ring_[seen_ % ring_.size()] = v;
+        if (seen_ >= max_shift_)
+            emit(seen_ - max_shift_);
+        ++seen_;
+    }
+
+    void
+    finish() override
+    {
+        requireSim(seen_ == n_in_,
+                   "stagger sum expected the full core stream");
+        for (std::size_t k = n_in_ - max_shift_; k < n_in_; ++k)
+            emit(k);
+        downstream_.finish();
+    }
+
+  private:
+    void
+    emit(std::size_t k)
+    {
+        double total = 0.0;
+        for (std::size_t c = 0; c < cores_; ++c) {
+            const std::size_t raw = k + c * st_;
+            const double sample = raw < n_in_
+                ? ring_[raw % ring_.size()]
+                : head_[raw - n_in_];
+            total += sample * v_scale_;
+        }
+        if (extra_idle_ > 0.0)
+            total += extra_idle_;
+        downstream_.push(total);
+    }
+
+    SampleSink &downstream_;
+    std::size_t n_in_;
+    std::size_t st_;
+    std::size_t cores_;
+    double v_scale_;
+    double extra_idle_;
+    std::size_t max_shift_;
+    std::vector<double> ring_;
+    std::vector<double> head_;
+    std::size_t seen_ = 0;
+};
 
 } // namespace
 
@@ -249,6 +327,27 @@ PlatformRunResult
 Platform::runKernel(const isa::Kernel &kernel, double duration_s,
                     std::size_t active_cores) const
 {
+    // Stream into trace-collecting sinks: same waveforms as the batch
+    // path, one pipeline.
+    TraceSink v(kPdnDt);
+    TraceSink i(kPdnDt);
+    TraceSink e(kPdnDt);
+    const auto stats = streamKernel(
+        kernel, duration_s,
+        [&](const StreamPlan &plan) {
+            v.reserve(plan.n_samples);
+            i.reserve(plan.n_samples);
+            e.reserve(plan.n_samples);
+            return StreamObservers{&v, &i, &e};
+        },
+        active_cores);
+    return PlatformRunResult{v.take(), i.take(), e.take(), stats};
+}
+
+PlatformRunResult
+Platform::runKernelBatch(const isa::Kernel &kernel, double duration_s,
+                         std::size_t active_cores) const
+{
     const auto run = core_.runLoop(pool_, kernel, f_clk_,
                                    duration_s + kSettleTime);
     // Identical resonant loops on the shared PDN effectively
@@ -256,6 +355,108 @@ Platform::runKernel(const isa::Kernel &kernel, double duration_s,
     // sum near-coherently: a small launch stagger only.
     return finishRun(run, duration_s, active_cores,
                      kCorePhaseStagger);
+}
+
+uarch::KernelRunStats
+Platform::streamKernel(const isa::Kernel &kernel, double duration_s,
+                       const ObserverFactory &make_observers,
+                       std::size_t active_cores) const
+{
+    const std::size_t powered = pdn_->poweredCores();
+    if (active_cores == 0)
+        active_cores = powered;
+    requireConfig(active_cores <= powered,
+                  "cannot run on more cores than are powered");
+
+    // The whole run's shape is known a priori: the loop emits one
+    // current sample per simulated cycle.
+    const double total_s = duration_s + kSettleTime;
+    const double cycle_dt = 1.0 / f_clk_;
+    const std::size_t n_cycles =
+        uarch::CoreModel::loopEmitCount(f_clk_, total_s);
+    const auto stagger_cycles = std::max<std::size_t>(
+        1,
+        static_cast<std::size_t>(kCorePhaseStagger / cycle_dt));
+    const double v_scale = v_supply_ / config_.core.v_ref;
+    const double extra_idle = config_.core.idle_current * v_scale
+        * static_cast<double>(powered - active_cores);
+
+    const std::size_t n_pdn = Trace::outputLengthFor(
+        cycle_dt * static_cast<double>(n_cycles), kPdnDt);
+    std::size_t settle_steps =
+        static_cast<std::size_t>(kSettleTime / kPdnDt);
+    if (settle_steps >= n_pdn)
+        settle_steps = 0;
+    const std::size_t want =
+        static_cast<std::size_t>(duration_s / kPdnDt);
+    const std::size_t n = std::min(want, n_pdn - settle_steps);
+    requireSim(n >= 16, "run produced too few PDN samples");
+
+    // Pass A: the batch path biases the PDN's initial DC point at the
+    // mean of the whole load trace, which a single forward pass cannot
+    // know before stepping — so run the (deterministic) core pipeline
+    // once into a mean accumulator, recording a bounded prefix+period
+    // replay so Pass B does not have to simulate the core again.
+    MeanSink mean_sink;
+    uarch::KernelRunStats stats;
+    uarch::LoopRecording rec;
+    {
+        ZohResampleSink zoh(mean_sink, n_cycles, cycle_dt, kPdnDt);
+        StaggerSumSink sum(zoh, n_cycles, stagger_cycles, active_cores,
+                           v_scale, extra_idle);
+        stats = core_.runLoopInto(pool_, kernel, f_clk_, total_s, sum,
+                                  &rec);
+    }
+
+    const StreamPlan plan{stats, n, kPdnDt};
+    const StreamObservers obs = make_observers(plan);
+    if (obs.v_die == nullptr && obs.i_die == nullptr
+        && obs.em == nullptr)
+        return stats;
+
+    // Pass B: replay the identical core simulation through the PDN
+    // stepper. Settle-time lead-ins are stripped by slice sinks; the
+    // antenna couples to the sliced die current, exactly as the batch
+    // path differentiates the sliced trace.
+    std::optional<SliceSink> v_slice;
+    if (obs.v_die != nullptr)
+        v_slice.emplace(*obs.v_die, settle_steps, n);
+
+    std::optional<SliceSink> i_slice;
+    if (obs.i_die != nullptr)
+        i_slice.emplace(*obs.i_die, settle_steps, n);
+
+    std::optional<em::AntennaReceiveSink> ant;
+    std::optional<SliceSink> em_slice;
+    if (obs.em != nullptr) {
+        ant.emplace(antenna_.receiveInto(
+            *obs.em, config_.antenna_distance_m, kPdnDt));
+        em_slice.emplace(*ant, settle_steps, n);
+    }
+
+    std::optional<FanoutSink> i_fan;
+    SampleSink *i_tap = nullptr;
+    if (i_slice && em_slice) {
+        i_fan.emplace(
+            std::vector<SampleSink *>{&*i_slice, &*em_slice});
+        i_tap = &*i_fan;
+    } else if (i_slice) {
+        i_tap = &*i_slice;
+    } else if (em_slice) {
+        i_tap = &*em_slice;
+    }
+
+    pdn::PdnStreamSink pdn_sink = pdn_->streamSim(
+        kPdnDt, mean_sink.mean(),
+        v_slice ? &*v_slice : nullptr, i_tap);
+    ZohResampleSink zoh(pdn_sink, n_cycles, cycle_dt, kPdnDt);
+    StaggerSumSink sum(zoh, n_cycles, stagger_cycles, active_cores,
+                       v_scale, extra_idle);
+    if (rec.complete())
+        rec.emitInto(sum);
+    else
+        core_.runLoopInto(pool_, kernel, f_clk_, total_s, sum);
+    return stats;
 }
 
 PlatformRunResult

@@ -10,6 +10,7 @@
 #define EMSTRESS_PLATFORM_PLATFORM_H
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -78,6 +79,35 @@ struct PlatformRunResult
     Trace em;     ///< Antenna voltage at the analyzer input [V].
     uarch::KernelRunStats stats; ///< Core stats (loop runs).
 };
+
+/**
+ * Shape of a streaming kernel run, known before any sample flows:
+ * what each observer sink will receive. Observer factories use it to
+ * size streaming detectors (a Goertzel bank needs the capture length
+ * up front) and to pick bands from the loop statistics.
+ */
+struct StreamPlan
+{
+    uarch::KernelRunStats stats; ///< Core loop statistics.
+    std::size_t n_samples = 0;   ///< Samples each observer receives.
+    double dt = kPdnDt;          ///< Observer sample interval [s].
+};
+
+/**
+ * Observer sinks for one streaming run. Null entries skip that tap
+ * entirely (an EM-only measurement never touches the voltage path,
+ * and vice versa).
+ */
+struct StreamObservers
+{
+    SampleSink *v_die = nullptr; ///< Die voltage [V].
+    SampleSink *i_die = nullptr; ///< Package-loop current [A].
+    SampleSink *em = nullptr;    ///< Antenna voltage [V].
+};
+
+/** Builds the observers for a run once its plan is known. */
+using ObserverFactory =
+    std::function<StreamObservers(const StreamPlan &)>;
 
 /**
  * A simulated device under test. Owns the cores, PDN, antenna and
@@ -161,6 +191,48 @@ class Platform
     PlatformRunResult runKernel(const isa::Kernel &kernel,
                                 double duration_s,
                                 std::size_t active_cores = 0) const;
+
+    /**
+     * Batch-trace implementation of runKernel: sums staggered core
+     * traces, resamples, runs the whole-trace PDN transient, then
+     * couples the antenna. Kept as the parity oracle for the
+     * streaming path; runKernel itself streams into trace sinks and
+     * returns bit-identical waveforms.
+     */
+    PlatformRunResult runKernelBatch(const isa::Kernel &kernel,
+                                     double duration_s,
+                                     std::size_t active_cores = 0)
+        const;
+
+    /**
+     * Streaming kernel run: drive the whole core → stagger-sum → ZOH
+     * → PDN → antenna pipeline one sample at a time into caller
+     * observers, never materializing a waveform (O(1) memory in
+     * duration). Sample values are bit-identical to runKernelBatch's
+     * traces.
+     *
+     * The run happens in two passes over the core simulation: pass A
+     * accumulates the mean PDN load (the batch path biases the PDN's
+     * initial DC point at the mean of the full load trace, which a
+     * single streaming pass cannot know up front), pass B replays the
+     * identical simulation through the PDN stepper into the
+     * observers. The factory is invoked between the passes with the
+     * run's plan, so observers can be sized exactly and choose bands
+     * from the measured loop statistics.
+     *
+     * @param kernel         Loop body.
+     * @param duration_s     Steady-state window to observe.
+     * @param make_observers Observer factory; entries left null are
+     *                       skipped (and their per-sample work, e.g.
+     *                       antenna coupling for a null em, is not
+     *                       performed).
+     * @param active_cores   Cores executing; 0 means all powered.
+     * @return Core loop statistics (as PlatformRunResult::stats).
+     */
+    uarch::KernelRunStats
+    streamKernel(const isa::Kernel &kernel, double duration_s,
+                 const ObserverFactory &make_observers,
+                 std::size_t active_cores = 0) const;
 
     /**
      * Run a finite instruction stream (synthetic benchmark) on active

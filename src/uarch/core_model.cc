@@ -84,6 +84,18 @@ CoreParams::fuCount(FuKind kind) const
     return 1;
 }
 
+void
+LoopRecording::emitInto(SampleSink &sink) const
+{
+    requireSim(complete(),
+               "LoopRecording::emitInto on an incomplete recording");
+    for (double v : prefix)
+        sink.push(v);
+    for (std::size_t i = prefix.size(); i < total; ++i)
+        sink.push(period[(i - prefix.size()) % period.size()]);
+    sink.finish();
+}
+
 CoreModel::CoreModel(const CoreParams &params) : params_(params)
 {
     requireConfig(params.issue_width >= 1, "issue width must be >= 1");
@@ -97,18 +109,30 @@ CoreModel::runLoop(const isa::InstructionPool &pool,
                    const isa::Kernel &kernel, double f_clk_hz,
                    double duration_s) const
 {
+    TraceSink sink(1.0 / f_clk_hz);
+    sink.reserve(loopEmitCount(f_clk_hz, duration_s));
+    KernelRunStats stats =
+        runLoopInto(pool, kernel, f_clk_hz, duration_s, sink);
+    return {sink.take(), stats};
+}
+
+KernelRunStats
+CoreModel::runLoopInto(const isa::InstructionPool &pool,
+                       const isa::Kernel &kernel, double f_clk_hz,
+                       double duration_s, SampleSink &sink,
+                       LoopRecording *recording) const
+{
     requireConfig(!kernel.empty(), "cannot run an empty kernel");
     requireConfig(f_clk_hz > 0.0 && duration_s > 0.0,
                   "clock and duration must be positive");
     kernel.validate(pool);
-    const auto target =
-        static_cast<std::size_t>(duration_s * f_clk_hz) + 1;
+    const std::size_t target = loopEmitCount(f_clk_hz, duration_s);
     // Warmup long enough to fill pipelines and reach the periodic
     // steady state even for long-latency-heavy kernels.
     const std::size_t warmup =
         std::max<std::size_t>(1024, kernel.size() * 32);
-    return simulate(pool, kernel.code(), true, f_clk_hz, target,
-                    warmup);
+    return simulateInto(pool, kernel.code(), true, f_clk_hz, target,
+                        warmup, sink, recording);
 }
 
 CoreRunResult
@@ -120,15 +144,27 @@ CoreModel::runStream(const isa::InstructionPool &pool,
     requireConfig(f_clk_hz > 0.0, "clock must be positive");
     // Upper bound: every instruction serialized at max latency.
     const std::size_t cap = stream.size() * 24 + 1024;
-    return simulate(pool, stream, false, f_clk_hz, cap, 0);
+    TraceSink sink(1.0 / f_clk_hz);
+    sink.reserve(cap);
+    KernelRunStats stats =
+        simulateInto(pool, stream, false, f_clk_hz, cap, 0, sink);
+    return {sink.take(), stats};
 }
 
-CoreRunResult
-CoreModel::simulate(const isa::InstructionPool &pool,
-                    std::span<const isa::Instruction> body, bool loop,
-                    double f_clk_hz, std::size_t target_cycles,
-                    std::size_t warmup_cycles) const
+KernelRunStats
+CoreModel::simulateInto(const isa::InstructionPool &pool,
+                        std::span<const isa::Instruction> body,
+                        bool loop, double f_clk_hz,
+                        std::size_t target_cycles,
+                        std::size_t warmup_cycles,
+                        SampleSink &sink,
+                        LoopRecording *recording) const
 {
+    if (recording != nullptr) {
+        recording->prefix.clear();
+        recording->period.clear();
+        recording->total = 0;
+    }
     const double cycle_time = 1.0 / f_clk_hz;
     const std::size_t total_cycles = warmup_cycles + target_cycles;
 
@@ -143,16 +179,29 @@ CoreModel::simulate(const isa::InstructionPool &pool,
     last_writer[3].assign(1, -1);
 
     // Finish time (cycle at which the result is available) per
-    // dynamic id; -1 while not yet issued.
-    std::vector<std::int64_t> finish_time;
-    finish_time.reserve(total_cycles * params_.issue_width / 2 + 64);
+    // dynamic id; -1 while not yet issued. Stored as a sliding window
+    // over recent dynamic ids: ids below ft_base can no longer be
+    // referenced (not in the window, not a last_writer) and are
+    // evicted periodically, keeping the engine O(window) in memory
+    // regardless of run length.
+    std::deque<std::int64_t> finish_time;
+    std::int64_t ft_base = 0;
+    auto ft = [&](std::int64_t dyn_id) -> std::int64_t & {
+        return finish_time[static_cast<std::size_t>(dyn_id - ft_base)];
+    };
 
     // Functional units: busy-until cycle per unit instance.
     std::array<std::vector<std::int64_t>, 6> fu_busy;
     for (std::size_t k = 0; k < 6; ++k)
         fu_busy[k].assign(params_.fuCount(static_cast<FuKind>(k)), 0);
 
-    std::vector<double> energy(total_cycles + 64, 0.0);
+    // Per-cycle switching energy, accumulated in a ring: an issue at
+    // cycle c spreads energy over [c, c + latency), so once every
+    // latency fits inside the ring, slot c % N holds exactly cycle
+    // c's energy by the end of cycle c and can be emitted and
+    // recycled immediately.
+    constexpr std::size_t kEnergyRing = 64;
+    std::array<double, kEnergyRing> energy{};
 
     std::deque<WindowEntry> window;
     std::size_t next_slot = 0;      ///< Next body index to dispatch.
@@ -196,6 +245,74 @@ CoreModel::simulate(const isa::InstructionPool &pool,
 
     const double energy_to_amps = 1.0 / (cycle_time * params_.v_ref);
 
+    // --- Steady-state fast-forward (loop mode only) ---------------
+    // A looping kernel's normalized microarchitectural state (window
+    // contents, relative finish times, unit busy deltas, energy-ring
+    // phase, renaming table) lives in a finite space and evolves
+    // deterministically, so it must eventually recur; from the first
+    // recurrence on, the per-cycle current repeats exactly. Snapshot
+    // the normalized state at iteration boundaries after warmup and,
+    // once a snapshot repeats, replay the recorded period instead of
+    // re-simulating — bit-identical emission at O(period) memory and
+    // O(warmup + detection) simulated cycles.
+    bool detecting = loop;
+    // Recording rides on the same detection machinery: the prefix is
+    // every live-simulated sample, the period is the detected
+    // recurrence. Abandoning detection also abandons the recording
+    // (an unbounded prefix would defeat the O(window) memory claim).
+    bool rec_active = recording != nullptr && loop;
+    bool have_ref = false;
+    std::size_t ref_cycle = 0;
+    std::vector<std::int64_t> ref_ints, cand_ints;
+    std::vector<double> ref_ring, cand_ring;
+    std::vector<double> rec_samples;
+    std::vector<std::uint32_t> rec_issued, rec_iters;
+    constexpr std::size_t kMaxRecord = 8192;
+
+    auto snapshotInto = [&](std::int64_t c,
+                            std::vector<std::int64_t> &ints,
+                            std::vector<double> &ring) {
+        ints.clear();
+        ring.clear();
+        auto encodeId = [&](std::int64_t p) {
+            if (p < 0) {
+                ints.push_back(0);
+                ints.push_back(0);
+                return;
+            }
+            const std::int64_t f = ft(p);
+            if (f < 0) {
+                // Unissued: identity relative to the dispatch head.
+                ints.push_back(1);
+                ints.push_back(p - next_dyn);
+            } else if (f <= c) {
+                ints.push_back(2); // done: any past finish is alike
+                ints.push_back(0);
+            } else {
+                ints.push_back(3);
+                ints.push_back(f - c);
+            }
+        };
+        ints.push_back(static_cast<std::int64_t>(next_slot));
+        ints.push_back(static_cast<std::int64_t>(window.size()));
+        for (const auto &e : window) {
+            ints.push_back(static_cast<std::int64_t>(e.slot));
+            ints.push_back(e.dyn_id - next_dyn);
+            encodeId(e.producer0);
+            encodeId(e.producer1);
+        }
+        for (const auto &busy : fu_busy)
+            for (std::int64_t b : busy)
+                ints.push_back(std::max<std::int64_t>(b - c, 0));
+        for (const auto &lw : last_writer)
+            for (std::int64_t id : lw)
+                encodeId(id);
+        for (std::size_t j = 1; j <= kEnergyRing; ++j)
+            ring.push_back(
+                energy[(static_cast<std::size_t>(c) + j)
+                       % kEnergyRing]);
+    };
+
     std::size_t cycle = 0;
     for (; cycle < total_cycles; ++cycle) {
         // Dispatch into the window.
@@ -206,6 +323,7 @@ CoreModel::simulate(const isa::InstructionPool &pool,
 
         const auto c = static_cast<std::int64_t>(cycle);
         unsigned issued_this_cycle = 0;
+        std::uint32_t iters_this_cycle = 0;
 
         for (auto it = window.begin();
              it != window.end()
@@ -216,15 +334,11 @@ CoreModel::simulate(const isa::InstructionPool &pool,
             // Operand readiness.
             const bool ready =
                 (it->producer0 < 0
-                 || (finish_time[static_cast<std::size_t>(
-                         it->producer0)] >= 0
-                     && finish_time[static_cast<std::size_t>(
-                            it->producer0)] <= c))
+                 || (ft(it->producer0) >= 0
+                     && ft(it->producer0) <= c))
                 && (it->producer1 < 0
-                    || (finish_time[static_cast<std::size_t>(
-                            it->producer1)] >= 0
-                        && finish_time[static_cast<std::size_t>(
-                               it->producer1)] <= c));
+                    || (ft(it->producer1) >= 0
+                        && ft(it->producer1) <= c));
 
             // Functional-unit availability.
             int unit = -1;
@@ -243,8 +357,11 @@ CoreModel::simulate(const isa::InstructionPool &pool,
                 // Issue.
                 const auto lat =
                     static_cast<std::int64_t>(d.latency);
-                finish_time[static_cast<std::size_t>(it->dyn_id)] =
-                    c + lat;
+                requireSim(
+                    lat <= static_cast<std::int64_t>(kEnergyRing),
+                    "instruction latency exceeds the energy ring; "
+                    "enlarge kEnergyRing");
+                ft(it->dyn_id) = c + lat;
                 busy[static_cast<std::size_t>(unit)] =
                     isUnpipelined(d.cls) ? c + lat : c + 1;
                 // Spread switching energy over the latency; front-end
@@ -252,26 +369,113 @@ CoreModel::simulate(const isa::InstructionPool &pool,
                 const double e_op = d.energy * params_.energy_scale;
                 const double per_cycle =
                     e_op / static_cast<double>(d.latency);
-                for (std::int64_t k = c;
-                     k < c + lat
-                     && k < static_cast<std::int64_t>(energy.size());
-                     ++k) {
-                    energy[static_cast<std::size_t>(k)] += per_cycle;
+                for (std::int64_t k = c; k < c + lat; ++k) {
+                    energy[static_cast<std::size_t>(k)
+                           % kEnergyRing] += per_cycle;
                 }
-                energy[cycle] += params_.issue_energy;
+                energy[cycle % kEnergyRing] += params_.issue_energy;
 
                 ++issued_total;
                 ++issued_this_cycle;
                 if (cycle >= warmup_cycles)
                     ++issued_in_window;
-                if (loop && it->slot == 0)
+                if (loop && it->slot == 0) {
                     iter_starts.push_back(c);
+                    ++iters_this_cycle;
+                }
                 it = window.erase(it);
                 continue;
             }
             if (!params_.out_of_order)
                 break; // in-order: stall behind the oldest.
             ++it;
+        }
+
+        // End of cycle: every issue reaching this cycle has already
+        // happened (later issues only touch later cycles), so its
+        // energy is final — emit and recycle the ring slot.
+        const std::size_t slot = cycle % kEnergyRing;
+        const double emitted =
+            params_.idle_current + energy[slot] * energy_to_amps;
+        if (cycle >= warmup_cycles) {
+            sink.push(emitted);
+            if (rec_active)
+                recording->prefix.push_back(emitted);
+        }
+        energy[slot] = 0.0;
+
+        if (detecting && cycle >= warmup_cycles) {
+            if (have_ref) {
+                rec_samples.push_back(emitted);
+                rec_issued.push_back(issued_this_cycle);
+                rec_iters.push_back(iters_this_cycle);
+            }
+            if (iters_this_cycle > 0) {
+                if (!have_ref) {
+                    snapshotInto(c, ref_ints, ref_ring);
+                    have_ref = true;
+                    ref_cycle = cycle;
+                } else {
+                    snapshotInto(c, cand_ints, cand_ring);
+                    if (cand_ints == ref_ints
+                        && cand_ring == ref_ring) {
+                        // Recurrence: cycles ref_cycle+1..cycle form
+                        // one exact period. Replay it for the rest
+                        // of the run.
+                        if (rec_active)
+                            recording->period = rec_samples;
+                        const std::size_t period = rec_samples.size();
+                        for (std::size_t cyc = cycle + 1;
+                             cyc < total_cycles; ++cyc) {
+                            const std::size_t idx =
+                                (cyc - ref_cycle - 1) % period;
+                            sink.push(rec_samples[idx]);
+                            issued_in_window += rec_issued[idx];
+                            for (std::uint32_t r = 0;
+                                 r < rec_iters[idx]; ++r)
+                                iter_starts.push_back(
+                                    static_cast<std::int64_t>(cyc));
+                        }
+                        cycle = total_cycles;
+                        break;
+                    }
+                }
+            }
+            if (rec_samples.size() > kMaxRecord) {
+                // No recurrence within the budget: give up and keep
+                // simulating cycle by cycle.
+                detecting = false;
+                std::vector<double>().swap(rec_samples);
+                std::vector<std::uint32_t>().swap(rec_issued);
+                std::vector<std::uint32_t>().swap(rec_iters);
+                if (rec_active) {
+                    rec_active = false;
+                    std::vector<double>().swap(recording->prefix);
+                }
+            }
+        }
+
+        // Periodically evict finish times no dispatched or future
+        // instruction can reference: producers come either from the
+        // window entries or from the monotonically advancing
+        // last_writer table.
+        if ((cycle & 4095) == 4095) {
+            std::int64_t min_live = next_dyn;
+            for (const auto &lw : last_writer)
+                for (std::int64_t id : lw)
+                    if (id >= 0)
+                        min_live = std::min(min_live, id);
+            for (const auto &e : window) {
+                min_live = std::min(min_live, e.dyn_id);
+                if (e.producer0 >= 0)
+                    min_live = std::min(min_live, e.producer0);
+                if (e.producer1 >= 0)
+                    min_live = std::min(min_live, e.producer1);
+            }
+            while (ft_base < min_live) {
+                finish_time.pop_front();
+                ++ft_base;
+            }
         }
     }
 
@@ -280,17 +484,12 @@ CoreModel::simulate(const isa::InstructionPool &pool,
         ? end_cycle - warmup_cycles
         : 0;
     requireSim(measured > 0, "core simulation produced no cycles");
+    sink.finish();
 
-    CoreRunResult result{Trace(cycle_time), {}};
-    result.current.reserve(measured);
-    for (std::size_t k = warmup_cycles; k < end_cycle; ++k) {
-        result.current.push(params_.idle_current
-                            + energy[k] * energy_to_amps);
-    }
-
-    result.stats.cycles = measured;
-    result.stats.instructions = issued_in_window;
-    result.stats.ipc = static_cast<double>(issued_in_window)
+    KernelRunStats stats;
+    stats.cycles = measured;
+    stats.instructions = issued_in_window;
+    stats.ipc = static_cast<double>(issued_in_window)
         / static_cast<double>(measured);
     if (loop && iter_starts.size() >= 8) {
         // Steady-state loop period from the second half of the
@@ -301,13 +500,16 @@ CoreModel::simulate(const isa::InstructionPool &pool,
         const auto iters =
             static_cast<double>(iter_starts.size() - 1 - half);
         if (iters > 0 && span_cycles > 0) {
-            result.stats.loop_period_s =
+            stats.loop_period_s =
                 static_cast<double>(span_cycles) / iters * cycle_time;
-            result.stats.loop_freq_hz =
-                1.0 / result.stats.loop_period_s;
+            stats.loop_freq_hz = 1.0 / stats.loop_period_s;
         }
     }
-    return result;
+    if (recording != nullptr) {
+        recording->total = measured;
+        recording->stats = stats;
+    }
+    return stats;
 }
 
 CoreParams

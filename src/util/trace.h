@@ -9,6 +9,7 @@
 #ifndef EMSTRESS_UTIL_TRACE_H
 #define EMSTRESS_UTIL_TRACE_H
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -84,7 +85,8 @@ class Trace
     Trace
     slice(std::size_t start_index, std::size_t count) const
     {
-        requireSim(start_index + count <= size(),
+        requireSim(start_index <= size()
+                       && count <= size() - start_index,
                    "Trace::slice out of range");
         std::vector<double> out(samples_.begin() + start_index,
                                 samples_.begin() + start_index + count);
@@ -103,8 +105,7 @@ class Trace
         Trace out(new_dt);
         if (empty())
             return out;
-        const auto n_out =
-            static_cast<std::size_t>(duration() / new_dt);
+        const auto n_out = outputLengthFor(duration(), new_dt);
         out.reserve(n_out);
         for (std::size_t i = 0; i < n_out; ++i) {
             const double t = new_dt * static_cast<double>(i);
@@ -114,6 +115,24 @@ class Trace
             out.push(samples_[src]);
         }
         return out;
+    }
+
+    /**
+     * Zero-order-hold output length for a duration / interval pair.
+     * The quotient is snapped to the nearest integer when it is
+     * integral up to floating-point rounding, so an exact-ratio
+     * resample (e.g. 1 ns onto 0.25 ns) never drops its final sample
+     * to a quotient like 3.9999999999999996.
+     */
+    static std::size_t
+    outputLengthFor(double duration_s, double new_dt)
+    {
+        const double ratio = duration_s / new_dt;
+        const double nearest = std::round(ratio);
+        if (std::abs(ratio - nearest)
+            <= 1e-9 * std::max(1.0, nearest))
+            return static_cast<std::size_t>(nearest);
+        return static_cast<std::size_t>(ratio);
     }
 
   private:

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Parity tests for the streaming measurement pipeline: the batch
+ * trace path (runKernelBatch, SpectrumAnalyzer::sweep,
+ * Oscilloscope::capture) serves as the oracle and the streaming
+ * sinks (streamKernel, SaBandDetector, ScopeCaptureSink) must agree
+ * with it — exactly for waveforms and scope metrics, to within
+ * 1e-6 dB for the Goertzel-vs-FFT band maximum — all the way up to
+ * identical GA search results across thread counts.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fitness.h"
+#include "core/resonance_explorer.h"
+#include "core/virus_generator.h"
+#include "instruments/oscilloscope.h"
+#include "instruments/spectrum_analyzer.h"
+#include "platform/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/sample_sink.h"
+#include "util/trace.h"
+
+namespace emstress {
+namespace core {
+namespace {
+
+EvalSettings
+fastEval(bool streaming)
+{
+    EvalSettings s;
+    s.duration_s = 2e-6;
+    s.sa_samples = 3;
+    s.streaming = streaming;
+    return s;
+}
+
+ga::GaConfig
+fastGa()
+{
+    ga::GaConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 6;
+    cfg.kernel_length = 30;
+    cfg.seed = 5;
+    return cfg;
+}
+
+void
+expectTracesIdentical(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_DOUBLE_EQ(a.dt(), b.dt());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "sample " << i;
+}
+
+// ---------------------------------------------------------------
+// Platform: streaming run vs batch-trace oracle.
+// ---------------------------------------------------------------
+
+TEST(StreamingPlatform, RunKernelMatchesBatchOracleExactly)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    plat.setFrequency(560e6);
+    const auto kernel = ResonanceExplorer::probeLoop(plat.pool());
+
+    const auto batch = plat.runKernelBatch(kernel, 2e-6);
+    const auto stream = plat.runKernel(kernel, 2e-6);
+
+    expectTracesIdentical(stream.v_die, batch.v_die);
+    expectTracesIdentical(stream.i_die, batch.i_die);
+    expectTracesIdentical(stream.em, batch.em);
+    EXPECT_EQ(stream.stats.instructions, batch.stats.instructions);
+    EXPECT_EQ(stream.stats.cycles, batch.stats.cycles);
+}
+
+TEST(StreamingPlatform, ParityHoldsAcrossPlatformsAndCoreCounts)
+{
+    const platform::PlatformConfig configs[] = {
+        platform::junoA72Config(),
+        platform::junoA53Config(),
+        platform::athlonConfig(),
+    };
+    for (const auto &cfg : configs) {
+        platform::Platform plat(cfg, 7);
+        Rng rng(11);
+        const auto kernel =
+            isa::Kernel::random(plat.pool(), 24, rng);
+        for (std::size_t cores = 1; cores <= cfg.n_cores; ++cores) {
+            const auto batch =
+                plat.runKernelBatch(kernel, 1.5e-6, cores);
+            const auto stream =
+                plat.runKernel(kernel, 1.5e-6, cores);
+            expectTracesIdentical(stream.v_die, batch.v_die);
+            expectTracesIdentical(stream.i_die, batch.i_die);
+            expectTracesIdentical(stream.em, batch.em);
+        }
+    }
+}
+
+TEST(StreamingPlatform, ObserverFactorySeesRunGeometry)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    const auto kernel = ResonanceExplorer::probeLoop(plat.pool());
+
+    const auto batch = plat.runKernelBatch(kernel, 2e-6);
+    std::size_t planned = 0;
+    double plan_dt = 0.0;
+    TraceSink v(platform::kPdnDt);
+    plat.streamKernel(
+        kernel, 2e-6, [&](const platform::StreamPlan &plan) {
+            planned = plan.n_samples;
+            plan_dt = plan.dt;
+            EXPECT_GT(plan.stats.loop_freq_hz, 0.0);
+            v.reserve(plan.n_samples);
+            return platform::StreamObservers{&v, nullptr, nullptr};
+        });
+    EXPECT_EQ(planned, batch.v_die.size());
+    EXPECT_DOUBLE_EQ(plan_dt, platform::kPdnDt);
+    expectTracesIdentical(v.trace(), batch.v_die);
+}
+
+// ---------------------------------------------------------------
+// Spectrum analyzer: Goertzel band max vs FFT sweep band max.
+// ---------------------------------------------------------------
+
+TEST(StreamingInstruments, GoertzelBandMaxMatchesFftSweep)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    // A resonant and an off-resonance capture, like the fig07 corpus.
+    const double clocks[] = {560e6, 1.2e9};
+    const double f_lo = 50e6, f_hi = 200e6;
+    for (double f_clk : clocks) {
+        plat.setFrequency(f_clk);
+        const auto kernel =
+            ResonanceExplorer::probeLoop(plat.pool());
+        const auto run = plat.runKernelBatch(kernel, 2e-6);
+
+        instruments::SaBandDetector det(
+            plat.analyzer().params(), run.em.size(),
+            run.em.sampleRate(), f_lo, f_hi);
+        for (double v : run.em.samples())
+            det.push(v);
+        det.finish();
+
+        // Identical noise streams on both paths.
+        Rng noise_batch(77), noise_stream(77);
+        const auto batch = plat.analyzer().averagedMaxAmplitude(
+            run.em, f_lo, f_hi, 5, noise_batch);
+        const auto stream =
+            det.averagedMaxAmplitude(5, noise_stream);
+
+        EXPECT_NEAR(stream.power_dbm, batch.power_dbm, 1e-6)
+            << "f_clk=" << f_clk;
+        EXPECT_DOUBLE_EQ(stream.freq_hz, batch.freq_hz);
+
+        // Single-sweep markers agree too.
+        Rng n1(123), n2(123);
+        const auto s1 = plat.analyzer().averagedMaxAmplitude(
+            run.em, f_lo, f_hi, 1, n1);
+        const auto s2 = det.averagedMaxAmplitude(1, n2);
+        EXPECT_NEAR(s2.power_dbm, s1.power_dbm, 1e-6);
+        EXPECT_DOUBLE_EQ(s2.freq_hz, s1.freq_hz);
+    }
+}
+
+// ---------------------------------------------------------------
+// Oscilloscope: streaming capture vs batch capture.
+// ---------------------------------------------------------------
+
+TEST(StreamingInstruments, ScopeCaptureSinkMatchesBatchCapture)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    plat.setFrequency(560e6);
+    const auto kernel = ResonanceExplorer::probeLoop(plat.pool());
+    const auto run = plat.runKernelBatch(kernel, 2e-6);
+
+    Rng noise_batch(41), noise_stream(41);
+    const Trace batch = plat.scope().capture(run.v_die, noise_batch);
+
+    instruments::ScopeCaptureSink sink(
+        plat.scope().params(), run.v_die.size(), run.v_die.dt(),
+        noise_stream);
+    for (double v : run.v_die.samples())
+        sink.push(v);
+    sink.finish();
+
+    expectTracesIdentical(sink.capture(), batch);
+    EXPECT_EQ(sink.maxDroop(plat.voltage()),
+              instruments::Oscilloscope::maxDroop(batch,
+                                                  plat.voltage()));
+    EXPECT_EQ(sink.peakToPeak(),
+              instruments::Oscilloscope::peakToPeak(batch));
+}
+
+// ---------------------------------------------------------------
+// Fitness evaluators: streaming vs batch oracle.
+// ---------------------------------------------------------------
+
+TEST(StreamingFitness, EmAmplitudeAgreesWithBatchWithinMicroDb)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    plat.setFrequency(560e6);
+    EmAmplitudeFitness streaming(plat, fastEval(true));
+    EmAmplitudeFitness batch(plat, fastEval(false));
+
+    Rng rng(21);
+    const isa::Kernel kernels[] = {
+        ResonanceExplorer::probeLoop(plat.pool()),
+        isa::Kernel::random(plat.pool(), 30, rng),
+        isa::Kernel::random(plat.pool(), 30, rng),
+    };
+    for (const auto &k : kernels) {
+        ga::EvalDetail ds, db;
+        const double fs = streaming.evaluate(k, &ds);
+        const double fb = batch.evaluate(k, &db);
+        EXPECT_NEAR(fs, fb, 1e-6);
+        EXPECT_DOUBLE_EQ(ds.dominant_freq_hz, db.dominant_freq_hz);
+        // The streaming path buffers no full-rate waveform.
+        EXPECT_EQ(ds.samples_materialized, 0u);
+        EXPECT_GT(db.samples_materialized, 10000u);
+    }
+}
+
+TEST(StreamingFitness, ScopeMetricsAreBitIdenticalToBatch)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    plat.setFrequency(560e6);
+    MaxDroopFitness droop_s(plat, fastEval(true));
+    MaxDroopFitness droop_b(plat, fastEval(false));
+    PeakToPeakFitness p2p_s(plat, fastEval(true));
+    PeakToPeakFitness p2p_b(plat, fastEval(false));
+
+    Rng rng(22);
+    const isa::Kernel kernels[] = {
+        ResonanceExplorer::probeLoop(plat.pool()),
+        isa::Kernel::random(plat.pool(), 30, rng),
+    };
+    for (const auto &k : kernels) {
+        ga::EvalDetail ds, db;
+        // The ZOH + quantize path is exact, so these must agree to
+        // the last bit, not merely within 1e-9 V.
+        EXPECT_EQ(droop_s.evaluate(k, &ds), droop_b.evaluate(k, &db));
+        EXPECT_EQ(ds.dominant_freq_hz, db.dominant_freq_hz);
+        EXPECT_LT(ds.samples_materialized, db.samples_materialized);
+        EXPECT_EQ(p2p_s.evaluate(k, nullptr),
+                  p2p_b.evaluate(k, nullptr));
+    }
+}
+
+// ---------------------------------------------------------------
+// GA: identical results across streaming/batch and thread counts.
+// ---------------------------------------------------------------
+
+VirusReport
+runSearch(VirusMetric metric, bool streaming, std::size_t threads)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    VirusGenerator gen(plat);
+    VirusSearchConfig cfg;
+    cfg.ga = fastGa();
+    cfg.ga.threads = threads;
+    cfg.eval = fastEval(streaming);
+    cfg.metric = metric;
+    return gen.search(cfg);
+}
+
+TEST(StreamingGa, DroopSearchIdenticalAcrossModesAndThreads)
+{
+    const auto oracle = runSearch(VirusMetric::MaxDroop, false, 1);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        const auto r =
+            runSearch(VirusMetric::MaxDroop, true, threads);
+        EXPECT_EQ(r.virus, oracle.virus) << threads << " threads";
+        EXPECT_EQ(r.ga.best_fitness, oracle.ga.best_fitness);
+        EXPECT_EQ(r.ga.estimated_lab_seconds,
+                  oracle.ga.estimated_lab_seconds);
+        ASSERT_EQ(r.ga.history.size(), oracle.ga.history.size());
+        for (std::size_t g = 0; g < r.ga.history.size(); ++g) {
+            EXPECT_EQ(r.ga.history[g].best_fitness,
+                      oracle.ga.history[g].best_fitness);
+            EXPECT_EQ(r.ga.history[g].mean_fitness,
+                      oracle.ga.history[g].mean_fitness);
+        }
+    }
+}
+
+TEST(StreamingGa, EmSearchIdenticalAcrossThreadsAndNearBatch)
+{
+    const auto serial = runSearch(VirusMetric::EmAmplitude, true, 1);
+    for (std::size_t threads : {2u, 8u}) {
+        const auto r =
+            runSearch(VirusMetric::EmAmplitude, true, threads);
+        EXPECT_EQ(r.virus, serial.virus) << threads << " threads";
+        EXPECT_EQ(r.ga.best_fitness, serial.ga.best_fitness);
+    }
+    // Against the batch FFT oracle the Goertzel recurrence differs
+    // only in the last bits (~1e-12 relative), far inside the GA's
+    // selection margins: same winner, same convergence history to
+    // within the 1e-6 dB budget.
+    const auto batch = runSearch(VirusMetric::EmAmplitude, false, 1);
+    EXPECT_EQ(serial.virus, batch.virus);
+    EXPECT_NEAR(serial.ga.best_fitness, batch.ga.best_fitness, 1e-6);
+    ASSERT_EQ(serial.ga.history.size(), batch.ga.history.size());
+    for (std::size_t g = 0; g < serial.ga.history.size(); ++g)
+        EXPECT_NEAR(serial.ga.history[g].best_fitness,
+                    batch.ga.history[g].best_fitness, 1e-6);
+}
+
+// ---------------------------------------------------------------
+// Satellite regressions: ZOH length and slice hardening.
+// ---------------------------------------------------------------
+
+TEST(TraceRegression, ZohResampleLengthIsIntegerExact)
+{
+    // 4 us of 1 ns samples onto the 0.25 ns PDN grid: the quotient
+    // is exactly 4.0 per sample and the float-floor truncation bug
+    // used to drop the final output sample.
+    Trace t(1e-9);
+    for (std::size_t i = 0; i < 4000; ++i)
+        t.push(static_cast<double>(i));
+    const Trace r = t.resampleZeroOrderHold(0.25e-9);
+    EXPECT_EQ(r.size(), 16000u);
+    EXPECT_EQ(r[r.size() - 1], t[t.size() - 1]);
+
+    EXPECT_EQ(Trace::outputLengthFor(4e-6, 0.25e-9), 16000u);
+    // A representative awkward ratio that rounds down in binary:
+    // 0.3 / 0.1 = 2.9999999999999996 must still snap to 3.
+    EXPECT_EQ(Trace::outputLengthFor(0.3, 0.1), 3u);
+    // Genuinely fractional ratios still truncate.
+    EXPECT_EQ(Trace::outputLengthFor(0.35, 0.1), 3u);
+}
+
+TEST(TraceRegression, SliceRejectsOutOfRangeInsteadOfWrapping)
+{
+    Trace t(1e-9);
+    for (std::size_t i = 0; i < 10; ++i)
+        t.push(static_cast<double>(i));
+
+    const Trace ok = t.slice(2, 8);
+    EXPECT_EQ(ok.size(), 8u);
+    EXPECT_EQ(ok[0], 2.0);
+
+    // start + count used to overflow size_t and wrap past the check.
+    const auto huge = std::numeric_limits<std::size_t>::max();
+    EXPECT_THROW((void)t.slice(2, huge), SimulationError);
+    EXPECT_THROW((void)t.slice(huge, 2), SimulationError);
+    EXPECT_THROW((void)t.slice(11, 0), SimulationError);
+    EXPECT_NO_THROW((void)t.slice(10, 0));
+}
+
+// ---------------------------------------------------------------
+// Sink building blocks.
+// ---------------------------------------------------------------
+
+TEST(SampleSinks, ZohResampleSinkMatchesTraceResample)
+{
+    Trace t(1e-9);
+    Rng rng(5);
+    for (std::size_t i = 0; i < 1000; ++i)
+        t.push(rng.gaussian(0.0, 1.0));
+    const Trace batch = t.resampleZeroOrderHold(0.25e-9);
+
+    TraceSink out(0.25e-9);
+    ZohResampleSink zoh(out, t.size(), t.dt(), 0.25e-9);
+    EXPECT_EQ(zoh.outputSize(), batch.size());
+    for (double v : t.samples())
+        zoh.push(v);
+    zoh.finish();
+    expectTracesIdentical(out.trace(), batch);
+}
+
+TEST(SampleSinks, SliceAndMeanSinksBehave)
+{
+    TraceSink out(1.0);
+    SliceSink slice(out, 3, 4);
+    MeanSink mean;
+    FanoutSink fan({&slice, &mean});
+    for (std::size_t i = 0; i < 10; ++i)
+        fan.push(static_cast<double>(i));
+    fan.finish();
+    ASSERT_EQ(out.trace().size(), 4u);
+    EXPECT_EQ(out.trace()[0], 3.0);
+    EXPECT_EQ(out.trace()[3], 6.0);
+    EXPECT_EQ(mean.count(), 10u);
+    EXPECT_DOUBLE_EQ(mean.mean(), 4.5);
+}
+
+} // namespace
+} // namespace core
+} // namespace emstress
