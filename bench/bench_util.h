@@ -107,8 +107,9 @@ evalForMode()
 
 /**
  * Print the measurement-pipeline counters of a GA search: fresh
- * evaluations vs. cache hits vs. reused elites, worker threads and
- * the parallel speedup over the serial evaluation path.
+ * evaluations vs. cache hits vs. reused elites, worker threads, the
+ * parallel speedup over the serial evaluation path, and — when a
+ * fault schedule was active — the injected-fault/retry accounting.
  */
 inline void
 printEvalStats(const ga::EvalStats &stats, const std::string &title)
@@ -126,6 +127,16 @@ printEvalStats(const ga::EvalStats &stats, const std::string &title)
         static_cast<long>(stats.samples_materialized));
     t.row().cell("evaluation wall [s]").cell(stats.wall_seconds, 3);
     t.row().cell("parallel speedup [x]").cell(stats.speedup(), 2);
+    if (stats.faults_injected > 0 || stats.permanent_failures > 0) {
+        t.row().cell("faults injected").cell(
+            static_cast<long>(stats.faults_injected));
+        t.row().cell("retries").cell(
+            static_cast<long>(stats.retries));
+        t.row().cell("permanent failures").cell(
+            static_cast<long>(stats.permanent_failures));
+        t.row().cell("retry backoff [s]").cell(
+            stats.fault_backoff_seconds, 3);
+    }
     t.print(title);
 }
 

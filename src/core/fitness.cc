@@ -46,13 +46,32 @@ double
 EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
                              ga::EvalDetail *detail)
 {
+    return evaluate(kernel, detail, 0);
+}
+
+double
+EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
+                             ga::EvalDetail *detail,
+                             std::uint32_t attempt)
+{
+    const std::uint64_t key = kernel.hash();
+    // Link-level faults before any simulation work happens.
+    faultAt(FaultPoint::ConnectionTimeout, key, attempt,
+            latency_.deploy_s + latency_.timeout_s);
+    faultAt(FaultPoint::KernelHang, key, attempt,
+            latency_.deploy_s + latency_.start_stop_s
+                + latency_.timeout_s);
     Rng noise = noiseFor(kernel, kEmNoiseSalt);
     instruments::SaMarker marker;
     std::size_t materialized = 0;
     if (settings_.streaming) {
         // Stream the antenna voltage straight into a Goertzel band
-        // detector: no waveform is ever buffered.
+        // detector: no waveform is ever buffered. A scheduled
+        // TruncatedStream fault interposes a TruncatingSink, which
+        // unwinds streamKernel mid-capture at a schedule-drawn
+        // cutoff.
         std::optional<instruments::SaBandDetector> det;
+        std::optional<TruncatingSink> trunc;
         plat().streamKernel(
             kernel, settings_.duration_s,
             [&](const platform::StreamPlan &plan) {
@@ -68,8 +87,27 @@ EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
                 }
                 det.emplace(plat().analyzer().params(), *bank_,
                             settings_.f_lo_hz, settings_.f_hi_hz);
+                SampleSink *em_obs = &*det;
+                const std::size_t cut =
+                    truncationCutoff(key, attempt, plan.n_samples);
+                if (cut < plan.n_samples) {
+                    injector_->recordInjected(
+                        FaultPoint::TruncatedStream);
+                    const double frac = static_cast<double>(cut)
+                        / static_cast<double>(plan.n_samples);
+                    trunc.emplace(
+                        *em_obs, cut,
+                        FaultError(FaultPoint::TruncatedStream, key,
+                                   attempt,
+                                   labSecondsPerIndividual(
+                                       latency_,
+                                       settings_.sa_samples)
+                                           * frac
+                                       + latency_.timeout_s));
+                    em_obs = &*trunc;
+                }
                 return platform::StreamObservers{nullptr, nullptr,
-                                                 &*det};
+                                                 em_obs};
             },
             settings_.active_cores);
         marker = det->averagedMaxAmplitude(settings_.sa_samples,
@@ -83,6 +121,10 @@ EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
             run.em, settings_.f_lo_hz, settings_.f_hi_hz,
             settings_.sa_samples, noise);
     }
+    // The analyzer can return a corrupt marker: the measurement ran
+    // to completion, so its full cost is wasted.
+    faultAt(FaultPoint::GlitchedReading, key, attempt,
+            labSecondsPerIndividual(latency_, settings_.sa_samples));
     if (detail) {
         detail->dominant_freq_hz = marker.freq_hz;
         detail->metric_raw = marker.power_dbm;
@@ -96,10 +138,12 @@ EmAmplitudeFitness::evaluate(const isa::Kernel &kernel,
 std::unique_ptr<ga::FitnessEvaluator>
 EmAmplitudeFitness::clone() const
 {
-    return std::unique_ptr<ga::FitnessEvaluator>(
+    auto copy = std::unique_ptr<EmAmplitudeFitness>(
         new EmAmplitudeFitness(
             std::shared_ptr<platform::Platform>(plat().clone()),
             settings_));
+    copy->setFaultInjector(injector_);
+    return copy;
 }
 
 MaxDroopFitness::MaxDroopFitness(platform::Platform &plat,
@@ -116,20 +160,59 @@ double
 MaxDroopFitness::evaluate(const isa::Kernel &kernel,
                           ga::EvalDetail *detail)
 {
+    return evaluate(kernel, detail, 0);
+}
+
+double
+MaxDroopFitness::evaluate(const isa::Kernel &kernel,
+                          ga::EvalDetail *detail,
+                          std::uint32_t attempt)
+{
+    const std::uint64_t key = kernel.hash();
+    faultAt(FaultPoint::ConnectionTimeout, key, attempt,
+            latency_.deploy_s + latency_.timeout_s);
+    faultAt(FaultPoint::KernelHang, key, attempt,
+            latency_.deploy_s + latency_.start_stop_s
+                + latency_.timeout_s);
+    // The scope can fail to trigger on the run: nothing is captured
+    // and the host waits out the trigger timeout.
+    faultAt(FaultPoint::TriggerMiss, key, attempt,
+            latency_.deploy_s + latency_.start_stop_s
+                + latency_.timeout_s);
     Rng noise = noiseFor(kernel, kDroopNoiseSalt);
     double droop = 0.0;
     std::size_t materialized = 0;
     std::optional<instruments::ScopeCaptureSink> sink;
+    std::optional<TruncatingSink> trunc;
     Trace batch_cap(1.0);
     if (settings_.streaming) {
         // Stream the die voltage into the scope front end; only the
-        // bounded record is buffered.
+        // bounded record is buffered. TruncatedStream faults unwind
+        // the stream mid-capture through a TruncatingSink.
         plat().streamKernel(
             kernel, settings_.duration_s,
             [&](const platform::StreamPlan &plan) {
                 sink.emplace(plat().scope().params(), plan.n_samples,
                              plan.dt, noise);
-                return platform::StreamObservers{&*sink, nullptr,
+                SampleSink *v_obs = &*sink;
+                const std::size_t cut =
+                    truncationCutoff(key, attempt, plan.n_samples);
+                if (cut < plan.n_samples) {
+                    injector_->recordInjected(
+                        FaultPoint::TruncatedStream);
+                    const double frac = static_cast<double>(cut)
+                        / static_cast<double>(plan.n_samples);
+                    trunc.emplace(
+                        *v_obs, cut,
+                        FaultError(FaultPoint::TruncatedStream, key,
+                                   attempt,
+                                   labSecondsPerIndividual(latency_,
+                                                           3)
+                                           * frac
+                                       + latency_.timeout_s));
+                    v_obs = &*trunc;
+                }
+                return platform::StreamObservers{v_obs, nullptr,
                                                  nullptr};
             },
             settings_.active_cores);
@@ -163,9 +246,11 @@ MaxDroopFitness::evaluate(const isa::Kernel &kernel,
 std::unique_ptr<ga::FitnessEvaluator>
 MaxDroopFitness::clone() const
 {
-    return std::unique_ptr<ga::FitnessEvaluator>(new MaxDroopFitness(
+    auto copy = std::unique_ptr<MaxDroopFitness>(new MaxDroopFitness(
         std::shared_ptr<platform::Platform>(plat().clone()),
         settings_));
+    copy->setFaultInjector(injector_);
+    return copy;
 }
 
 PeakToPeakFitness::PeakToPeakFitness(platform::Platform &plat,
@@ -182,10 +267,28 @@ double
 PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
                             ga::EvalDetail *detail)
 {
+    return evaluate(kernel, detail, 0);
+}
+
+double
+PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
+                            ga::EvalDetail *detail,
+                            std::uint32_t attempt)
+{
+    const std::uint64_t key = kernel.hash();
+    faultAt(FaultPoint::ConnectionTimeout, key, attempt,
+            latency_.deploy_s + latency_.timeout_s);
+    faultAt(FaultPoint::KernelHang, key, attempt,
+            latency_.deploy_s + latency_.start_stop_s
+                + latency_.timeout_s);
+    faultAt(FaultPoint::TriggerMiss, key, attempt,
+            latency_.deploy_s + latency_.start_stop_s
+                + latency_.timeout_s);
     Rng noise = noiseFor(kernel, kP2pNoiseSalt);
     double p2p = 0.0;
     std::size_t materialized = 0;
     std::optional<instruments::ScopeCaptureSink> sink;
+    std::optional<TruncatingSink> trunc;
     Trace batch_cap(1.0);
     if (settings_.streaming) {
         plat().streamKernel(
@@ -193,7 +296,25 @@ PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
             [&](const platform::StreamPlan &plan) {
                 sink.emplace(plat().scope().params(), plan.n_samples,
                              plan.dt, noise);
-                return platform::StreamObservers{&*sink, nullptr,
+                SampleSink *v_obs = &*sink;
+                const std::size_t cut =
+                    truncationCutoff(key, attempt, plan.n_samples);
+                if (cut < plan.n_samples) {
+                    injector_->recordInjected(
+                        FaultPoint::TruncatedStream);
+                    const double frac = static_cast<double>(cut)
+                        / static_cast<double>(plan.n_samples);
+                    trunc.emplace(
+                        *v_obs, cut,
+                        FaultError(FaultPoint::TruncatedStream, key,
+                                   attempt,
+                                   labSecondsPerIndividual(latency_,
+                                                           3)
+                                           * frac
+                                       + latency_.timeout_s));
+                    v_obs = &*trunc;
+                }
+                return platform::StreamObservers{v_obs, nullptr,
                                                  nullptr};
             },
             settings_.active_cores);
@@ -225,9 +346,12 @@ PeakToPeakFitness::evaluate(const isa::Kernel &kernel,
 std::unique_ptr<ga::FitnessEvaluator>
 PeakToPeakFitness::clone() const
 {
-    return std::unique_ptr<ga::FitnessEvaluator>(new PeakToPeakFitness(
-        std::shared_ptr<platform::Platform>(plat().clone()),
-        settings_));
+    auto copy =
+        std::unique_ptr<PeakToPeakFitness>(new PeakToPeakFitness(
+            std::shared_ptr<platform::Platform>(plat().clone()),
+            settings_));
+    copy->setFaultInjector(injector_);
+    return copy;
 }
 
 InProcessTarget::InProcessTarget(platform::Platform &plat,
@@ -243,6 +367,11 @@ InProcessTarget::deploy(const isa::Kernel &kernel)
         throw SimulationError("injected deploy failure to "
                               + describe());
     }
+    if (injector_) {
+        injector_->atCounted(FaultPoint::ConnectionTimeout,
+                             kernel.hash(), deploy_attempt_,
+                             latency_.deploy_s + latency_.timeout_s);
+    }
     kernel.validate(plat_.pool()); // "compile": reject bad encodings
     deployed_ = kernel;
     has_deployed_ = true;
@@ -253,6 +382,12 @@ void
 InProcessTarget::startRun()
 {
     requireSim(has_deployed_, "startRun before deploy");
+    if (injector_) {
+        injector_->atCounted(FaultPoint::KernelHang, deployed_.hash(),
+                             start_attempt_,
+                             latency_.start_stop_s
+                                 + latency_.timeout_s);
+    }
     running_ = true;
     lab_seconds_ += latency_.start_stop_s * 0.5;
 }
@@ -261,6 +396,12 @@ Trace
 InProcessTarget::measureEm()
 {
     requireSim(running_, "measureEm while no binary is running");
+    if (injector_) {
+        injector_->atCounted(FaultPoint::TriggerMiss,
+                             deployed_.hash(), measure_attempt_,
+                             latency_.per_sample_s
+                                 + latency_.timeout_s);
+    }
     lab_seconds_ += latency_.per_sample_s;
     return plat_
         .runKernel(deployed_, settings_.duration_s,

@@ -24,9 +24,11 @@
 #include <string>
 
 #include "dsp/goertzel.h"
+#include "ga/fault_injector.h"
 #include "ga/ga_engine.h"
 #include "ga/target_connection.h"
 #include "platform/platform.h"
+#include "util/faultpoint.h"
 
 namespace emstress {
 namespace core {
@@ -49,10 +51,28 @@ struct EvalSettings
 /**
  * Common base of the platform-bound evaluators: holds the platform
  * (by reference, or owned when the evaluator is a clone) and derives
- * the per-kernel noise stream.
+ * the per-kernel noise stream. Optionally binds a FaultInjector: the
+ * derived evaluators then consult it at their measurement-chain
+ * fault points and throw FaultError on scheduled faults, which the
+ * GA's batch evaluator retries. Aborted attempts leave no platform
+ * state behind (noise streams are per-evaluation locals and the PDN
+ * engine cache is geometry-keyed), so the retried measurement is
+ * bit-identical to an unfaulted one.
  */
 class PlatformFitness : public ga::FitnessEvaluator
 {
+  public:
+    /**
+     * Install (or clear, with nullptr) a fault injector. Shared
+     * across clone(): all workers of a parallel batch report into
+     * the same injection counters.
+     */
+    void
+    setFaultInjector(std::shared_ptr<ga::FaultInjector> injector)
+    {
+        injector_ = std::move(injector);
+    }
+
   protected:
     PlatformFitness(platform::Platform &plat,
                     const EvalSettings &settings)
@@ -79,10 +99,42 @@ class PlatformFitness : public ga::FitnessEvaluator
         return Rng(mixSeed(kernel.hash() ^ salt, plat_->seed()));
     }
 
+    /** Injected-fault check: no-op without an injector. */
+    void
+    faultAt(FaultPoint point, std::uint64_t key,
+            std::uint32_t attempt, double cost_seconds) const
+    {
+        if (injector_)
+            injector_->at(point, key, attempt, cost_seconds);
+    }
+
+    /**
+     * Where the sample stream of (key, attempt) truncates: an index
+     * in [0, n) when a TruncatedStream fault is scheduled (drawn
+     * uniformly from the schedule's parameter stream), n when the
+     * stream completes. The caller wraps its instrument sink in a
+     * TruncatingSink when the cutoff lands inside the stream.
+     */
+    std::size_t
+    truncationCutoff(std::uint64_t key, std::uint32_t attempt,
+                     std::size_t n) const
+    {
+        if (!injector_ || n == 0)
+            return n;
+        const FaultSchedule &sched = injector_->schedule();
+        if (!sched.fires(FaultPoint::TruncatedStream, key, attempt))
+            return n;
+        const double u = sched.unitDraw(FaultPoint::TruncatedStream,
+                                        key, attempt, /*salt=*/1);
+        return static_cast<std::size_t>(
+            u * static_cast<double>(n));
+    }
+
     platform::Platform *plat_;
     std::shared_ptr<platform::Platform> owned_;
     EvalSettings settings_;
     ga::ConnectionLatency latency_;
+    std::shared_ptr<ga::FaultInjector> injector_;
 };
 
 /**
@@ -98,6 +150,8 @@ class EmAmplitudeFitness : public PlatformFitness
 
     double evaluate(const isa::Kernel &kernel,
                     ga::EvalDetail *detail) override;
+    double evaluate(const isa::Kernel &kernel, ga::EvalDetail *detail,
+                    std::uint32_t attempt) override;
 
     std::string metricName() const override { return "em-amplitude"; }
 
@@ -133,6 +187,8 @@ class MaxDroopFitness : public PlatformFitness
 
     double evaluate(const isa::Kernel &kernel,
                     ga::EvalDetail *detail) override;
+    double evaluate(const isa::Kernel &kernel, ga::EvalDetail *detail,
+                    std::uint32_t attempt) override;
 
     std::string metricName() const override { return "max-droop"; }
 
@@ -154,6 +210,8 @@ class PeakToPeakFitness : public PlatformFitness
 
     double evaluate(const isa::Kernel &kernel,
                     ga::EvalDetail *detail) override;
+    double evaluate(const isa::Kernel &kernel, ga::EvalDetail *detail,
+                    std::uint32_t attempt) override;
 
     std::string metricName() const override { return "peak-to-peak"; }
 
@@ -191,6 +249,18 @@ class InProcessTarget : public ga::TargetConnection
     /** Make the next n deploys fail (transport fault injection). */
     void injectDeployFailures(std::size_t n) { inject_failures_ = n; }
 
+    /**
+     * Install a schedule-driven fault injector: deploy() can then
+     * time out, startRun() hang and measureEm() miss its trigger,
+     * each at the schedule's rate with per-verb attempt counters (so
+     * an outer retry loop sees fresh draws per retry).
+     */
+    void
+    setFaultInjector(std::shared_ptr<ga::FaultInjector> injector)
+    {
+        injector_ = std::move(injector);
+    }
+
     /** Total modeled lab seconds spent so far. */
     double labSecondsSpent() const { return lab_seconds_; }
 
@@ -203,6 +273,10 @@ class InProcessTarget : public ga::TargetConnection
     bool running_ = false;
     std::size_t inject_failures_ = 0;
     double lab_seconds_ = 0.0;
+    std::shared_ptr<ga::FaultInjector> injector_;
+    std::uint32_t deploy_attempt_ = 0;
+    std::uint32_t start_attempt_ = 0;
+    std::uint32_t measure_attempt_ = 0;
 };
 
 } // namespace core

@@ -30,7 +30,7 @@ VirusReport
 VirusGenerator::search(const VirusSearchConfig &config,
                        const ga::GenerationCallback &callback)
 {
-    std::unique_ptr<ga::FitnessEvaluator> evaluator;
+    std::unique_ptr<PlatformFitness> evaluator;
     switch (config.metric) {
       case VirusMetric::EmAmplitude:
         evaluator =
@@ -45,6 +45,7 @@ VirusGenerator::search(const VirusSearchConfig &config,
             std::make_unique<PeakToPeakFitness>(plat_, config.eval);
         break;
     }
+    evaluator->setFaultInjector(config.faults);
 
     ga::GaEngine engine(plat_.pool(), config.ga);
     ga::GaResult ga_result = engine.run(*evaluator, callback);

@@ -35,6 +35,10 @@ struct VirusSearchConfig
     ga::GaConfig ga;     ///< GA hyper-parameters (paper defaults).
     EvalSettings eval;   ///< Measurement settings.
     VirusMetric metric = VirusMetric::EmAmplitude;
+    /// Optional fault injector for the modeled lab link: evaluations
+    /// then fault per its schedule and are retried under ga.retry.
+    /// Null runs fault-free.
+    std::shared_ptr<ga::FaultInjector> faults;
 };
 
 /** The generated virus plus its characterization. */

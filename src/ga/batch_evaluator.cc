@@ -81,11 +81,15 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     // collapse onto the first occurrence.
     struct FreshTask
     {
-        std::size_t slot;      ///< Result slot of the 1st occurrence.
-        std::uint64_t hash;
+        std::size_t slot = 0;  ///< Result slot of the 1st occurrence.
+        std::uint64_t hash = 0;
         double fitness = 0.0;
         EvalDetail detail;
         double seconds = 0.0;  ///< Wall time of this evaluation.
+        std::size_t faults = 0;   ///< FaultErrors hit on this task.
+        double fault_lab_s = 0.0; ///< Lab time lost to the faults.
+        double backoff_s = 0.0;   ///< Modeled backoff before retries.
+        bool failed = false;      ///< Every attempt faulted.
     };
     std::vector<FreshTask> fresh;
     // slot of every duplicate -> index into `fresh` it aliases.
@@ -112,32 +116,58 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
             }
             batch_local.emplace(h, fresh.size());
         }
-        fresh.push_back({slot, h});
+        FreshTask task;
+        task.slot = slot;
+        task.hash = h;
+        fresh.push_back(task);
     }
 
     // Phase 2: run the fresh evaluations — in parallel when the
     // evaluator clones, serially in index order otherwise. Each task
-    // writes only its own FreshTask entry, so the results (and
-    // therefore everything downstream) are independent of scheduling.
+    // writes only its own FreshTask entry (including its fault
+    // counters), so the results and accounting are independent of
+    // scheduling. FaultErrors are retried under the configured
+    // policy; any other exception propagates — it signals a bug, not
+    // a flaky lab link.
+    const RetryPolicy &retry = config_.retry;
+    const auto runOne = [&retry, &kernels](FitnessEvaluator &ev,
+                                           FreshTask &task) {
+        const auto task_t0 = Clock::now();
+        const std::uint32_t max_attempts =
+            std::max<std::uint32_t>(1, retry.max_attempts);
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            try {
+                task.detail = EvalDetail{};
+                task.fitness = ev.evaluate(kernels[task.slot],
+                                           &task.detail, attempt);
+                break;
+            } catch (const FaultError &err) {
+                ++task.faults;
+                task.fault_lab_s += err.costSeconds();
+                if (attempt + 1 >= max_attempts) {
+                    // Permanently failed individual: sentinel score,
+                    // no measurement detail.
+                    task.detail = EvalDetail{};
+                    task.fitness = kFailedFitness;
+                    task.failed = true;
+                    break;
+                }
+                task.backoff_s += retry.backoffFor(attempt + 1);
+            }
+        }
+        task.seconds = secondsSince(task_t0);
+    };
     const auto t0 = Clock::now();
     if (fresh.size() > 1 && ensureWorkers()) {
         pool_->parallelFor(
             fresh.size(),
-            [this, &fresh, &kernels](std::size_t i,
-                                     std::size_t worker) {
-                FreshTask &task = fresh[i];
-                const auto task_t0 = Clock::now();
-                task.fitness = clones_[worker]->evaluate(
-                    kernels[task.slot], &task.detail);
-                task.seconds = secondsSince(task_t0);
+            [this, &fresh, &runOne](std::size_t i,
+                                    std::size_t worker) {
+                runOne(*clones_[worker], fresh[i]);
             });
     } else {
-        for (FreshTask &task : fresh) {
-            const auto task_t0 = Clock::now();
-            task.fitness =
-                base_.evaluate(kernels[task.slot], &task.detail);
-            task.seconds = secondsSince(task_t0);
-        }
+        for (FreshTask &task : fresh)
+            runOne(base_, task);
     }
     const double wall = secondsSince(t0);
 
@@ -146,9 +176,21 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     for (const FreshTask &task : fresh) {
         fitness[task.slot] = task.fitness;
         details[task.slot] = task.detail;
-        out.lab_seconds += task.detail.measurement_seconds;
+        out.lab_seconds += task.detail.measurement_seconds
+            + task.fault_lab_s + task.backoff_s;
         stats_.eval_seconds += task.seconds;
         stats_.samples_materialized += task.detail.samples_materialized;
+        stats_.faults_injected += task.faults;
+        stats_.fault_backoff_seconds += task.backoff_s;
+        if (task.failed) {
+            ++stats_.permanent_failures;
+            stats_.retries += task.faults - 1;
+        } else {
+            stats_.retries += task.faults;
+        }
+        // Failed results memoize too: the schedule is pure in
+        // (kernel, attempt), so re-presenting the genome would fault
+        // identically — a cache hit loses nothing.
         if (config_.memoize) {
             cache_.emplace(task.hash,
                            CacheEntry{kernels[task.slot], task.fitness,

@@ -21,6 +21,13 @@
  *  3. Parallelism: fresh evaluations fan out over a persistent
  *     ThreadPool, each worker using its own FitnessEvaluator clone.
  *     Evaluators that cannot clone degrade to serial evaluation.
+ *  4. Fault tolerance: an evaluation that throws FaultError (an
+ *     injected or real lab-link fault) is retried with bounded
+ *     modeled backoff; an individual whose every attempt faults is
+ *     scored kFailedFitness rather than poisoning the batch. Fault
+ *     schedules are pure in (point, kernel, attempt), so guarantee 1
+ *     holds with faults enabled — and once retries succeed, results
+ *     are bit-identical to a fault-free run.
  */
 
 #ifndef EMSTRESS_GA_BATCH_EVALUATOR_H
@@ -47,6 +54,14 @@ struct BatchConfig
     std::size_t threads = 1;
     /// Keep a genome-keyed fitness cache across batches.
     bool memoize = true;
+    /// Retry policy for evaluations that throw FaultError: a faulted
+    /// attempt is retried (with modeled backoff charged to the lab
+    /// clock) up to max_attempts total tries; on exhaustion the
+    /// individual is scored kFailedFitness instead of aborting the
+    /// batch. Because fault schedules are pure functions of (fault
+    /// point, kernel, attempt), the retry path preserves the batch
+    /// evaluator's bit-identical-across-thread-counts guarantee.
+    RetryPolicy retry;
 };
 
 /**
@@ -63,7 +78,8 @@ class BatchEvaluator
         std::size_t cache_hits = 0;  ///< Slots served from cache or
                                      ///< batch-local deduplication.
         double lab_seconds = 0.0;    ///< Modeled lab time of the
-                                     ///< fresh measurements only.
+                                     ///< fresh measurements, faulted
+                                     ///< attempts and retry backoff.
     };
 
     /**

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Fault injector implementation.
+ */
+
+#include "ga/fault_injector.h"
+
+#include <utility>
+
+namespace emstress {
+namespace ga {
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule)
+    : schedule_(schedule)
+{}
+
+void
+FaultInjector::at(FaultPoint point, std::uint64_t key,
+                  std::uint32_t attempt, double cost_seconds)
+{
+    if (!schedule_.fires(point, key, attempt))
+        return;
+    recordInjected(point);
+    throw FaultError(point, key, attempt, cost_seconds);
+}
+
+void
+FaultInjector::atCounted(FaultPoint point, std::uint64_t key,
+                         std::uint32_t &counter, double cost_seconds)
+{
+    const std::uint32_t attempt = counter;
+    if (schedule_.fires(point, key, attempt)) {
+        ++counter;
+        recordInjected(point);
+        throw FaultError(point, key, attempt, cost_seconds);
+    }
+    counter = 0;
+}
+
+void
+FaultInjector::recordInjected(FaultPoint point)
+{
+    injected_[static_cast<std::size_t>(point)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::size_t
+FaultInjector::injected(FaultPoint point) const
+{
+    return injected_[static_cast<std::size_t>(point)].load(
+        std::memory_order_relaxed);
+}
+
+std::size_t
+FaultInjector::totalInjected() const
+{
+    std::size_t total = 0;
+    for (const auto &c : injected_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+FaultyEvaluator::FaultyEvaluator(
+    FitnessEvaluator &base, std::shared_ptr<FaultInjector> injector,
+    const ConnectionLatency &latency)
+    : base_(&base), injector_(std::move(injector)), latency_(latency)
+{
+    requireConfig(injector_ != nullptr,
+                  "FaultyEvaluator needs a fault injector");
+}
+
+FaultyEvaluator::FaultyEvaluator(
+    std::unique_ptr<FitnessEvaluator> owned,
+    std::shared_ptr<FaultInjector> injector,
+    const ConnectionLatency &latency)
+    : base_(owned.get()), owned_(std::move(owned)),
+      injector_(std::move(injector)), latency_(latency)
+{}
+
+double
+FaultyEvaluator::evaluate(const isa::Kernel &kernel,
+                          EvalDetail *detail)
+{
+    return evaluate(kernel, detail, 0);
+}
+
+double
+FaultyEvaluator::evaluate(const isa::Kernel &kernel,
+                          EvalDetail *detail, std::uint32_t attempt)
+{
+    const std::uint64_t key = kernel.hash();
+    // Deploy times out: only the deploy wait is lost.
+    injector_->at(FaultPoint::ConnectionTimeout, key, attempt,
+                  latency_.deploy_s + latency_.timeout_s);
+    // Kernel hangs after deploy: deploy + launch + the timeout wait.
+    injector_->at(FaultPoint::KernelHang, key, attempt,
+                  latency_.deploy_s + latency_.start_stop_s
+                      + latency_.timeout_s);
+    const double result = base_->evaluate(kernel, detail, attempt);
+    // Reading glitched after the fact: the whole measurement cost is
+    // wasted (it already accrued into detail->measurement_seconds of
+    // this discarded attempt).
+    const double spent = detail != nullptr
+        ? detail->measurement_seconds
+        : latency_.deploy_s + latency_.start_stop_s
+            + latency_.per_sample_s;
+    injector_->at(FaultPoint::GlitchedReading, key, attempt, spent);
+    return result;
+}
+
+std::string
+FaultyEvaluator::metricName() const
+{
+    return base_->metricName();
+}
+
+std::unique_ptr<FitnessEvaluator>
+FaultyEvaluator::clone() const
+{
+    auto inner = base_->clone();
+    if (!inner)
+        return nullptr;
+    return std::unique_ptr<FitnessEvaluator>(new FaultyEvaluator(
+        std::move(inner), injector_, latency_));
+}
+
+FaultyTargetConnection::FaultyTargetConnection(
+    TargetConnection &base, std::shared_ptr<FaultInjector> injector)
+    : base_(base), injector_(std::move(injector))
+{
+    requireConfig(injector_ != nullptr,
+                  "FaultyTargetConnection needs a fault injector");
+}
+
+void
+FaultyTargetConnection::deploy(const isa::Kernel &kernel)
+{
+    key_ = kernel.hash();
+    const ConnectionLatency &lat = base_.latency();
+    injector_->atCounted(FaultPoint::ConnectionTimeout, key_,
+                         deploy_attempt_,
+                         lat.deploy_s + lat.timeout_s);
+    base_.deploy(kernel);
+}
+
+void
+FaultyTargetConnection::startRun()
+{
+    const ConnectionLatency &lat = base_.latency();
+    injector_->atCounted(FaultPoint::KernelHang, key_, start_attempt_,
+                         lat.start_stop_s + lat.timeout_s);
+    base_.startRun();
+}
+
+Trace
+FaultyTargetConnection::measureEm()
+{
+    const ConnectionLatency &lat = base_.latency();
+    injector_->atCounted(FaultPoint::TriggerMiss, key_,
+                         measure_attempt_,
+                         lat.per_sample_s + lat.timeout_s);
+    return base_.measureEm();
+}
+
+void
+FaultyTargetConnection::stopRun()
+{
+    base_.stopRun();
+}
+
+const ConnectionLatency &
+FaultyTargetConnection::latency() const
+{
+    return base_.latency();
+}
+
+std::string
+FaultyTargetConnection::describe() const
+{
+    return "faulty+" + base_.describe();
+}
+
+Trace
+measureEmWithRetry(TargetConnection &conn, const isa::Kernel &kernel,
+                   const RetryPolicy &policy, MeasureRetryLog *log)
+{
+    requireConfig(policy.max_attempts >= 1,
+                  "retry policy needs at least one attempt");
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        bool started = false;
+        try {
+            conn.deploy(kernel);
+            conn.startRun();
+            started = true;
+            Trace em = conn.measureEm();
+            conn.stopRun();
+            return em;
+        } catch (const FaultError &) {
+            if (started) {
+                // Best-effort cleanup: a hung or glitched run is
+                // killed before re-trying; failures to stop an
+                // already-dead run are not themselves fatal.
+                try {
+                    conn.stopRun();
+                } catch (...) {
+                }
+            }
+            if (log != nullptr)
+                ++log->faults;
+            if (attempt + 1 >= policy.max_attempts)
+                throw;
+            if (log != nullptr) {
+                ++log->retries;
+                log->backoff_seconds += policy.backoffFor(attempt + 1);
+            }
+        }
+    }
+}
+
+} // namespace ga
+} // namespace emstress

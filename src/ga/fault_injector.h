@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Fault-injection harness for the GA's measurement loop. A
+ * FaultInjector binds a FaultSchedule (util/faultpoint.h) to the
+ * evaluation pipeline: evaluators and target connections ask it, at
+ * each named fault point, whether this (kernel, attempt) faults —
+ * and it throws a FaultError when the schedule says so, while
+ * keeping thread-safe per-point injection counters for reporting.
+ *
+ * Two decorators make any existing component faultable without
+ * touching it:
+ *  - FaultyEvaluator wraps a FitnessEvaluator and injects the
+ *    connection-level faults (timeout, hang, glitched reading)
+ *    around the wrapped evaluation — the synthetic-fitness GA tests
+ *    use it to prove fault-tolerant evaluation end to end;
+ *  - FaultyTargetConnection wraps a TargetConnection and faults its
+ *    deploy/start/measure verbs, with measureEmWithRetry() as the
+ *    retrying driver a host-side loop would use.
+ *
+ * The platform-bound evaluators (core/fitness.h) consult an injector
+ * directly so that stream-truncation faults can unwind
+ * Platform::streamKernel mid-capture.
+ */
+
+#ifndef EMSTRESS_GA_FAULT_INJECTOR_H
+#define EMSTRESS_GA_FAULT_INJECTOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ga/ga_engine.h"
+#include "ga/target_connection.h"
+#include "util/faultpoint.h"
+
+namespace emstress {
+namespace ga {
+
+/**
+ * Thread-safe injection driver around a FaultSchedule. Deciding
+ * whether a fault fires is pure (see FaultSchedule); the injector
+ * only adds the throw and the monotonic injection counters, so one
+ * instance is safely shared by every evaluator clone of a parallel
+ * batch.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSchedule &schedule);
+
+    /** The bound schedule (pure decision function). */
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /**
+     * Fault point check: throws FaultError when the schedule fires
+     * at (point, key, attempt), charging `cost_seconds` of modeled
+     * lab time to the fault.
+     */
+    void at(FaultPoint point, std::uint64_t key,
+            std::uint32_t attempt, double cost_seconds);
+
+    /**
+     * Sequential variant for callers that track the attempt number
+     * in a member counter (e.g. a TargetConnection retried by an
+     * outer loop): checks at(point, key, counter, ...), advancing
+     * the counter when the fault fires and resetting it to zero when
+     * the operation passes.
+     */
+    void atCounted(FaultPoint point, std::uint64_t key,
+                   std::uint32_t &counter, double cost_seconds);
+
+    /**
+     * Record an injection performed by an external component built
+     * from this schedule (e.g. a TruncatingSink about to throw).
+     */
+    void recordInjected(FaultPoint point);
+
+    /** Faults injected so far at one point. */
+    std::size_t injected(FaultPoint point) const;
+
+    /** Faults injected so far across every point. */
+    std::size_t totalInjected() const;
+
+  private:
+    FaultSchedule schedule_;
+    std::array<std::atomic<std::uint64_t>, kFaultPointCount>
+        injected_{};
+};
+
+/**
+ * Decorator that injects connection-level faults around any fitness
+ * evaluator: ConnectionTimeout and KernelHang before the wrapped
+ * evaluation, GlitchedReading after it (the measurement completed
+ * but the reading is unusable, so its full cost is wasted). Clones
+ * share the injector — counters aggregate across workers — while the
+ * wrapped evaluator clones normally.
+ */
+class FaultyEvaluator : public FitnessEvaluator
+{
+  public:
+    /**
+     * @param base     Wrapped evaluator; must outlive this object.
+     * @param injector Shared fault driver (non-null).
+     * @param latency  Timing model used to cost faulted attempts.
+     */
+    FaultyEvaluator(FitnessEvaluator &base,
+                    std::shared_ptr<FaultInjector> injector,
+                    const ConnectionLatency &latency = {});
+
+    double evaluate(const isa::Kernel &kernel,
+                    EvalDetail *detail) override;
+
+    double evaluate(const isa::Kernel &kernel, EvalDetail *detail,
+                    std::uint32_t attempt) override;
+
+    std::string metricName() const override;
+
+    std::unique_ptr<FitnessEvaluator> clone() const override;
+
+  private:
+    /** Clone constructor: owns the wrapped clone. */
+    FaultyEvaluator(std::unique_ptr<FitnessEvaluator> owned,
+                    std::shared_ptr<FaultInjector> injector,
+                    const ConnectionLatency &latency);
+
+    FitnessEvaluator *base_;
+    std::unique_ptr<FitnessEvaluator> owned_;
+    std::shared_ptr<FaultInjector> injector_;
+    ConnectionLatency latency_;
+};
+
+/**
+ * Decorator that faults a TargetConnection's verbs: deploy() can
+ * time out, startRun() can hang, measureEm() can miss its trigger.
+ * Attempt numbers advance per verb via FaultInjector::atCounted, so
+ * an outer retry loop (measureEmWithRetry) sees fresh schedule draws
+ * on each retry and convergent behavior at rates below 1.
+ */
+class FaultyTargetConnection : public TargetConnection
+{
+  public:
+    FaultyTargetConnection(TargetConnection &base,
+                           std::shared_ptr<FaultInjector> injector);
+
+    void deploy(const isa::Kernel &kernel) override;
+    void startRun() override;
+    Trace measureEm() override;
+    void stopRun() override;
+    const ConnectionLatency &latency() const override;
+    std::string describe() const override;
+
+  private:
+    TargetConnection &base_;
+    std::shared_ptr<FaultInjector> injector_;
+    std::uint64_t key_ = 0; ///< Hash of the last deployed kernel.
+    std::uint32_t deploy_attempt_ = 0;
+    std::uint32_t start_attempt_ = 0;
+    std::uint32_t measure_attempt_ = 0;
+};
+
+/** Accounting from one retried measurement. */
+struct MeasureRetryLog
+{
+    std::size_t faults = 0;  ///< FaultErrors caught (incl. final).
+    std::size_t retries = 0; ///< Attempts re-issued after a fault.
+    double backoff_seconds = 0.0; ///< Modeled wait time accrued.
+};
+
+/**
+ * Host-side measurement driver: deploy / start / measure / stop with
+ * bounded retry on FaultError. After a fault the run is stopped
+ * best-effort, the modeled backoff is charged, and the loop retries
+ * until success or `policy.max_attempts` total tries, rethrowing the
+ * last FaultError on exhaustion. Non-fault exceptions propagate
+ * immediately.
+ */
+Trace measureEmWithRetry(TargetConnection &conn,
+                         const isa::Kernel &kernel,
+                         const RetryPolicy &policy,
+                         MeasureRetryLog *log = nullptr);
+
+} // namespace ga
+} // namespace emstress
+
+#endif // EMSTRESS_GA_FAULT_INJECTOR_H

@@ -111,7 +111,7 @@ GaEngine::runMultiStart(FitnessEvaluator &evaluator,
     double lab_seconds = 0.0;
     EvalStats scout_stats;
     GaResult best_scout;
-    best_scout.best_fitness = -1e300;
+    best_scout.best_fitness = kFailedFitness;
     for (std::size_t s = 0; s < config_.restarts; ++s) {
         scout_cfg.seed = config_.seed + 7919 * (s + 1);
         GaEngine scout(pool_, scout_cfg);
@@ -174,10 +174,11 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
     }
 
     GaResult result;
-    result.best_fitness = -1e300;
+    result.best_fitness = kFailedFitness;
 
     BatchEvaluator batch(
-        evaluator, BatchConfig{config_.threads, config_.memoize});
+        evaluator, BatchConfig{config_.threads, config_.memoize,
+                               config_.retry});
 
     std::vector<double> fitness(config_.population);
     std::vector<EvalDetail> details(config_.population);
@@ -269,11 +270,12 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
         details = std::move(next_details);
         known = std::move(next_known);
     }
-    result.eval_stats.evals = batch.stats().evals;
-    result.eval_stats.cache_hits = batch.stats().cache_hits;
-    result.eval_stats.threads = batch.stats().threads;
-    result.eval_stats.eval_seconds = batch.stats().eval_seconds;
-    result.eval_stats.wall_seconds = batch.stats().wall_seconds;
+    // Adopt the batch evaluator's counters wholesale (a field-by-field
+    // copy here once silently dropped samples_materialized); only
+    // elites_reused accrues in this loop rather than in the batch.
+    const std::size_t elites = result.eval_stats.elites_reused;
+    result.eval_stats = batch.stats();
+    result.eval_stats.elites_reused = elites;
     return result;
 }
 

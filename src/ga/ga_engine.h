@@ -20,10 +20,20 @@
 
 #include "isa/kernel.h"
 #include "isa/pool.h"
+#include "util/faultpoint.h"
 #include "util/rng.h"
 
 namespace emstress {
 namespace ga {
+
+/**
+ * Sentinel fitness of a permanently failed individual (every retry
+ * faulted). Finite — so population statistics stay finite — but far
+ * below any physical metric, and equal to the engine's best-fitness
+ * initializer, so a failed individual can never be selected as the
+ * best and loses every tournament against a measured one.
+ */
+inline constexpr double kFailedFitness = -1e300;
 
 /** GA hyper-parameters. */
 struct GaConfig
@@ -59,6 +69,11 @@ struct GaConfig
     /// order-independent evaluators; disable for evaluators whose
     /// result depends on call order or count.
     bool memoize = true;
+    /// Retry policy for evaluations that throw FaultError (injected
+    /// or real lab-link faults): each faulted attempt is retried with
+    /// bounded modeled backoff; an individual whose every attempt
+    /// faults receives kFailedFitness instead of aborting the run.
+    RetryPolicy retry;
 };
 
 /** Detail an evaluator may report alongside the scalar fitness. */
@@ -96,6 +111,23 @@ class FitnessEvaluator
     virtual double evaluate(const isa::Kernel &kernel,
                             EvalDetail *detail) = 0;
 
+    /**
+     * Evaluate one kernel on a specific attempt number. Fault-aware
+     * evaluators consult their FaultSchedule at (kernel, attempt) and
+     * throw FaultError when an injected fault fires, so retries see
+     * fresh schedule draws; the result on a *successful* attempt must
+     * not depend on the attempt number (order independence extends to
+     * attempt independence). The default ignores the attempt and
+     * forwards to the two-argument overload.
+     */
+    virtual double
+    evaluate(const isa::Kernel &kernel, EvalDetail *detail,
+             std::uint32_t attempt)
+    {
+        (void)attempt;
+        return evaluate(kernel, detail);
+    }
+
     /** Display name of the optimization metric. */
     virtual std::string metricName() const = 0;
 
@@ -130,6 +162,16 @@ struct EvalStats
     std::size_t samples_materialized = 0; ///< Waveform samples
                                           ///< buffered across fresh
                                           ///< evaluations.
+    std::size_t faults_injected = 0; ///< FaultErrors hit during
+                                     ///< evaluation attempts.
+    std::size_t retries = 0;         ///< Attempts re-issued after a
+                                     ///< fault.
+    std::size_t permanent_failures = 0; ///< Individuals whose every
+                                        ///< attempt faulted (scored
+                                        ///< kFailedFitness).
+    double fault_backoff_seconds = 0.0; ///< Modeled lab wait time
+                                        ///< spent backing off before
+                                        ///< retries.
 
     /** Parallel speedup: total evaluation work / elapsed time. */
     double
@@ -149,6 +191,10 @@ struct EvalStats
         eval_seconds += other.eval_seconds;
         wall_seconds += other.wall_seconds;
         samples_materialized += other.samples_materialized;
+        faults_injected += other.faults_injected;
+        retries += other.retries;
+        permanent_failures += other.permanent_failures;
+        fault_backoff_seconds += other.fault_backoff_seconds;
         return *this;
     }
 };
@@ -174,7 +220,10 @@ struct GaResult
                                         ///< equivalent physical run
                                         ///< (fresh measurements only:
                                         ///< reused elites and cache
-                                        ///< hits cost no lab time).
+                                        ///< hits cost no lab time;
+                                        ///< faulted attempts and
+                                        ///< retry backoff are
+                                        ///< charged).
     EvalStats eval_stats;        ///< Measurement pipeline counters.
 };
 

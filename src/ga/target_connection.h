@@ -7,6 +7,14 @@
  * loop (including its latency budget) so the in-process simulator and
  * a future real-hardware transport share one interface — and so tests
  * can inject deploy/measure failures.
+ *
+ * Fault model: every verb may throw. deploy() models connection
+ * timeouts, startRun() kernel hangs, measureEm() trigger misses and
+ * truncated sample streams. Deterministically scheduled injections
+ * (util/faultpoint.h, ga/fault_injector.h) throw FaultError, which
+ * retrying drivers such as measureEmWithRetry() and the GA's batch
+ * evaluator catch and retry under a bounded RetryPolicy; any other
+ * exception is treated as a genuine bug and propagates.
  */
 
 #ifndef EMSTRESS_GA_TARGET_CONNECTION_H
@@ -28,6 +36,10 @@ struct ConnectionLatency
     double start_stop_s = 0.1;  ///< Launch and kill the binary.
     double per_sample_s = 0.6;  ///< One instrument sample (the paper:
                                 ///< 30 samples take ~18 s).
+    double timeout_s = 5.0;     ///< Host-side wait before an
+                                ///< unresponsive deploy/run/trigger
+                                ///< is declared faulted; charged to
+                                ///< every faulted attempt.
 };
 
 /**

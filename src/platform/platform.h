@@ -220,6 +220,17 @@ class Platform
      * run's plan, so observers can be sized exactly and choose bands
      * from the measured loop statistics.
      *
+     * Unwind contract (fault injection relies on this): an observer
+     * may throw from push() mid-stream — e.g. a TruncatingSink
+     * modeling a dropped sample stream — and the exception
+     * propagates out of streamKernel leaving the platform in its
+     * pre-call state. All per-run simulation state (core replay,
+     * PDN stepper, antenna coupling) lives in locals destroyed
+     * during unwinding; the only member caches touched are
+     * geometry-keyed and value-deterministic, so an aborted run
+     * followed by a retry produces samples bit-identical to an
+     * uninterrupted run.
+     *
      * @param kernel         Loop body.
      * @param duration_s     Steady-state window to observe.
      * @param make_observers Observer factory; entries left null are

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Deterministic fault injection for the modeled lab link. The paper's
+ * GA drives a physical bench — a target board behind a flaky
+ * connection, a spectrum analyzer, an on-chip DSO — where hung
+ * kernels, dropped sample streams and glitched readings are routine.
+ * This header names those failure modes (FaultPoint), gives them a
+ * *seeded, schedule-free* occurrence model (FaultSchedule), and
+ * defines the exception (FaultError) and retry policy (RetryPolicy)
+ * the evaluation pipeline uses to recover from them.
+ *
+ * Determinism contract: whether a fault fires at a given point is a
+ * pure function of (fault point, structural key, attempt number,
+ * schedule seed) — never of wall-clock time, thread scheduling or
+ * how many faults fired before. Two consequences the test suite
+ * relies on:
+ *  - replay-from-seed: a failing run reproduces exactly from its
+ *    schedule seed, at any thread count;
+ *  - convergence under retries: once retries succeed, results are
+ *    bit-identical to a run with no schedule installed, because the
+ *    evaluators derive measurement noise from the kernel key, not
+ *    from global RNG state a discarded attempt could perturb.
+ */
+
+#ifndef EMSTRESS_UTIL_FAULTPOINT_H
+#define EMSTRESS_UTIL_FAULTPOINT_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/sample_sink.h"
+
+namespace emstress {
+
+/** Named failure modes of the host-target-instrument loop. */
+enum class FaultPoint : std::uint8_t
+{
+    ConnectionTimeout = 0, ///< Target unreachable while deploying.
+    KernelHang,            ///< Deployed kernel never starts/answers.
+    TruncatedStream,       ///< Sample stream drops out mid-capture.
+    GlitchedReading,       ///< Analyzer returns a corrupt marker.
+    TriggerMiss,           ///< Scope never triggers on the run.
+};
+
+/** Number of distinct fault points. */
+inline constexpr std::size_t kFaultPointCount = 5;
+
+/** Human-readable fault-point name. */
+inline const char *
+faultPointName(FaultPoint p)
+{
+    switch (p) {
+      case FaultPoint::ConnectionTimeout:
+        return "connection-timeout";
+      case FaultPoint::KernelHang:
+        return "kernel-hang";
+      case FaultPoint::TruncatedStream:
+        return "truncated-stream";
+      case FaultPoint::GlitchedReading:
+        return "glitched-reading";
+      case FaultPoint::TriggerMiss:
+        return "trigger-miss";
+    }
+    return "unknown-fault";
+}
+
+/**
+ * Exception thrown when an injected fault fires. Subclasses
+ * SimulationError so existing catch sites keep working; the retry
+ * machinery catches FaultError *specifically* so that genuine
+ * simulation bugs still propagate instead of being retried away.
+ */
+class FaultError : public SimulationError
+{
+  public:
+    FaultError(FaultPoint point, std::uint64_t key,
+               std::uint32_t attempt, double cost_seconds)
+        : SimulationError(format(point, key, attempt, cost_seconds)),
+          point_(point), key_(key), attempt_(attempt),
+          cost_seconds_(cost_seconds)
+    {}
+
+    /** Which fault point fired. */
+    FaultPoint point() const { return point_; }
+
+    /** Structural key (kernel hash) of the faulted operation. */
+    std::uint64_t key() const { return key_; }
+
+    /** Attempt number (0-based) the fault hit. */
+    std::uint32_t attempt() const { return attempt_; }
+
+    /** Modeled lab seconds wasted before the fault was detected. */
+    double costSeconds() const { return cost_seconds_; }
+
+  private:
+    static std::string
+    format(FaultPoint point, std::uint64_t key, std::uint32_t attempt,
+           double cost_seconds)
+    {
+        std::ostringstream os;
+        os << "injected " << faultPointName(point) << " fault (key=0x"
+           << std::hex << key << std::dec << ", attempt " << attempt
+           << ", " << cost_seconds << " lab s lost)";
+        return os.str();
+    }
+
+    FaultPoint point_;
+    std::uint64_t key_;
+    std::uint32_t attempt_;
+    double cost_seconds_;
+};
+
+/** Per-fault-point occurrence probabilities in [0, 1]. */
+struct FaultRates
+{
+    std::array<double, kFaultPointCount> rate{};
+
+    double &
+    operator[](FaultPoint p)
+    {
+        return rate[static_cast<std::size_t>(p)];
+    }
+
+    double
+    operator[](FaultPoint p) const
+    {
+        return rate[static_cast<std::size_t>(p)];
+    }
+
+    /** Same probability at every fault point. */
+    static FaultRates
+    uniform(double p)
+    {
+        FaultRates r;
+        r.rate.fill(p);
+        return r;
+    }
+
+    /** True when any point can fire at all. */
+    bool
+    any() const
+    {
+        for (const double v : rate)
+            if (v > 0.0)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Seeded fault schedule: decides, as a pure function, whether a
+ * fault fires at (point, key, attempt). The decision hash chains
+ * mixSeed over the schedule seed, the fault point, the structural
+ * key and the attempt number — the same discipline the fitness
+ * evaluators use for measurement noise — so the schedule is
+ * independent of evaluation order and thread count, and a failing
+ * run replays exactly from its seed.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule(std::uint64_t seed, const FaultRates &rates)
+        : seed_(seed), rates_(rates)
+    {
+        for (const double v : rates_.rate)
+            requireConfig(v >= 0.0 && v <= 1.0,
+                          "fault rates must lie in [0, 1]");
+    }
+
+    /** Schedule seed (replay handle). */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Occurrence probabilities. */
+    const FaultRates &rates() const { return rates_; }
+
+    /**
+     * Uniform [0, 1) draw for (point, key, attempt, salt) — pure and
+     * reproducible. Salt 0 is the occurrence draw; other salts give
+     * independent streams for fault parameters (e.g. where a stream
+     * truncates).
+     */
+    double
+    unitDraw(FaultPoint point, std::uint64_t key,
+             std::uint32_t attempt, std::uint64_t salt = 0) const
+    {
+        const std::uint64_t lane =
+            (static_cast<std::uint64_t>(point) + 1)
+            * 0x9e3779b97f4a7c15ull;
+        const std::uint64_t ctx =
+            (static_cast<std::uint64_t>(attempt) << 32) ^ salt;
+        const std::uint64_t h =
+            mixSeed(seed_ ^ lane, mixSeed(key, ctx));
+        return static_cast<double>(h >> 11) * 0x1.0p-53;
+    }
+
+    /** Does this fault point fire at (key, attempt)? */
+    bool
+    fires(FaultPoint point, std::uint64_t key,
+          std::uint32_t attempt) const
+    {
+        const double p = rates_[point];
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return unitDraw(point, key, attempt) < p;
+    }
+
+  private:
+    std::uint64_t seed_;
+    FaultRates rates_;
+};
+
+/**
+ * Retry policy for faulted operations: bounded attempts with
+ * exponential backoff. Backoff is charged as *modeled lab seconds*
+ * (the time a real bench would sit waiting before re-trying), never
+ * slept on the host — tests with aggressive fault rates stay fast.
+ */
+struct RetryPolicy
+{
+    std::uint32_t max_attempts = 4; ///< Total tries per operation.
+    double backoff_s = 0.5;         ///< Wait before the 1st retry.
+    double backoff_factor = 2.0;    ///< Growth per further retry.
+    double backoff_cap_s = 8.0;     ///< Ceiling on a single wait.
+
+    /**
+     * Modeled wait before retry number `retry_index` (1-based: the
+     * retry after the first failure is index 1).
+     */
+    double
+    backoffFor(std::uint32_t retry_index) const
+    {
+        double b = backoff_s;
+        for (std::uint32_t i = 1; i < retry_index; ++i) {
+            b *= backoff_factor;
+            if (b >= backoff_cap_s)
+                return backoff_cap_s;
+        }
+        return std::min(b, backoff_cap_s);
+    }
+};
+
+/**
+ * Sink that models a sample stream dropping out: passes the first
+ * `cutoff` samples downstream, then throws the configured FaultError
+ * from push(). Inserted ahead of an instrument sink it exercises
+ * mid-stream unwinding of Platform::streamKernel; a cutoff at or
+ * past the stream length never fires.
+ */
+class TruncatingSink final : public SampleSink
+{
+  public:
+    TruncatingSink(SampleSink &downstream, std::size_t cutoff,
+                   FaultError fault)
+        : downstream_(downstream), cutoff_(cutoff),
+          fault_(std::move(fault))
+    {}
+
+    /** Samples passed downstream so far. */
+    std::size_t delivered() const { return delivered_; }
+
+    void
+    push(double v) override
+    {
+        if (delivered_ >= cutoff_)
+            throw fault_;
+        downstream_.push(v);
+        ++delivered_;
+    }
+
+    void finish() override { downstream_.finish(); }
+
+  private:
+    SampleSink &downstream_;
+    std::size_t cutoff_;
+    FaultError fault_;
+    std::size_t delivered_ = 0;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_FAULTPOINT_H

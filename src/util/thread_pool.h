@@ -147,7 +147,12 @@ class ThreadPool
                 work_cv_.wait(lock, [&] {
                     return stop_ || epoch_ != seen_epoch;
                 });
-                if (stop_)
+                // A published job is drained even when stop_ is
+                // already set — otherwise a worker that observes
+                // both at once would abandon its share and leave
+                // parallelFor waiting forever. Exit only when no new
+                // epoch is pending.
+                if (stop_ && epoch_ == seen_epoch)
                     return;
                 seen_epoch = epoch_;
                 job = job_;

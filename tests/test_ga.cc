@@ -491,7 +491,9 @@ TEST(BatchEvaluator, DuplicateKernelsAreSimulatedOnce)
     const auto pool = isa::InstructionPool::armV8();
     auto counter = std::make_shared<std::atomic<int>>(0);
     CloneableSimdFitness fitness(pool, counter);
-    BatchEvaluator batch(fitness, BatchConfig{1, true});
+    BatchConfig serial_cfg;
+    serial_cfg.threads = 1;
+    BatchEvaluator batch(fitness, serial_cfg);
 
     Rng rng(9);
     const auto a = isa::Kernel::random(pool, 10, rng);
@@ -522,7 +524,9 @@ TEST(BatchEvaluator, NonCloneableEvaluatorFallsBackToSerial)
 {
     const auto pool = isa::InstructionPool::armV8();
     SimdCountFitness fitness(pool); // clone() returns nullptr
-    BatchEvaluator batch(fitness, BatchConfig{8, true});
+    BatchConfig wide_cfg;
+    wide_cfg.threads = 8;
+    BatchEvaluator batch(fitness, wide_cfg);
 
     Rng rng(10);
     std::vector<isa::Kernel> kernels;

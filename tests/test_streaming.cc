@@ -9,6 +9,7 @@
  * identical GA search results across thread counts.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -391,6 +392,154 @@ TEST(SampleSinks, SliceAndMeanSinksBehave)
     EXPECT_EQ(out.trace()[3], 6.0);
     EXPECT_EQ(mean.count(), 10u);
     EXPECT_DOUBLE_EQ(mean.mean(), 4.5);
+}
+
+// ---------------------------------------------------------------
+// Property-style randomized sweeps: for seeded random stream shapes
+// (lengths 0, 1, odd, and larger; awkward dt ratios) the streaming
+// sinks must agree bit-wise with their batch Trace counterparts.
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Random stream length that hits the edge cases often. */
+std::size_t
+drawLength(Rng &rng)
+{
+    switch (rng.uniformInt(0, 4)) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return 2 * static_cast<std::size_t>(
+                  rng.uniformInt(1, 40)) + 1; // odd
+      default:
+        return static_cast<std::size_t>(rng.uniformInt(2, 300));
+    }
+}
+
+Trace
+randomTrace(Rng &rng, std::size_t n, double dt)
+{
+    Trace t(dt);
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        t.push(rng.gaussian(0.0, 1.0));
+    return t;
+}
+
+} // namespace
+
+TEST(SampleSinkProperties, ZohResampleSinkMatchesBatchOnRandomShapes)
+{
+    Rng rng(9001);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = drawLength(rng);
+        const double dt_in = rng.uniform(0.1e-9, 4e-9);
+        // Mix exact-integer ratios (the historical float-floor bug)
+        // with genuinely fractional ones.
+        const double new_dt = rng.chance(0.5)
+            ? dt_in / static_cast<double>(rng.uniformInt(1, 8))
+            : rng.uniform(0.05e-9, 6e-9);
+
+        if (n == 0) {
+            TraceSink out(new_dt);
+            EXPECT_THROW(ZohResampleSink(out, 0, dt_in, new_dt),
+                         ConfigError)
+                << "iteration " << iter;
+            continue;
+        }
+
+        const Trace input = randomTrace(rng, n, dt_in);
+        const Trace batch = input.resampleZeroOrderHold(new_dt);
+
+        TraceSink out(new_dt);
+        ZohResampleSink zoh(out, n, dt_in, new_dt);
+        ASSERT_EQ(zoh.outputSize(), batch.size())
+            << "iteration " << iter << " n=" << n
+            << " dt_in=" << dt_in << " new_dt=" << new_dt;
+        for (double v : input.samples())
+            zoh.push(v);
+        zoh.finish();
+        {
+            SCOPED_TRACE(::testing::Message()
+                         << "iteration " << iter << " n=" << n
+                         << " dt_in=" << dt_in
+                         << " new_dt=" << new_dt);
+            expectTracesIdentical(out.trace(), batch);
+        }
+    }
+}
+
+TEST(SampleSinkProperties, SliceSinkMatchesClampedBatchSlice)
+{
+    Rng rng(9002);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = drawLength(rng);
+        // Skip/count deliberately overshoot the stream about half
+        // the time: SliceSink clamps where Trace::slice would throw,
+        // so the oracle is the explicitly clamped slice.
+        const auto skip = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(n) + 3));
+        const auto count = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(n) + 3));
+
+        const Trace input = randomTrace(rng, n, 1e-9);
+        const std::size_t clamped_skip = std::min(skip, n);
+        const std::size_t clamped_count =
+            std::min(count, n - clamped_skip);
+        const Trace batch = input.slice(clamped_skip, clamped_count);
+
+        TraceSink out(1e-9);
+        SliceSink slice(out, skip, count);
+        for (double v : input.samples())
+            slice.push(v);
+        slice.finish();
+        {
+            SCOPED_TRACE(::testing::Message()
+                         << "iteration " << iter << " n=" << n
+                         << " skip=" << skip << " count=" << count);
+            expectTracesIdentical(out.trace(), batch);
+        }
+    }
+}
+
+TEST(SampleSinkProperties, FanoutSinkMatchesIndividualPushes)
+{
+    Rng rng(9003);
+    for (int iter = 0; iter < 100; ++iter) {
+        const std::size_t n = drawLength(rng);
+        const Trace input = randomTrace(rng, n, 1e-9);
+
+        // Oracle: each sink fed directly.
+        TraceSink solo_trace(1e-9);
+        MeanSink solo_mean;
+        for (double v : input.samples()) {
+            solo_trace.push(v);
+            solo_mean.push(v);
+        }
+        solo_trace.finish();
+        solo_mean.finish();
+
+        // Streaming: same sinks behind a fanout with null entries
+        // interleaved (permitted and skipped per the contract).
+        TraceSink fan_trace(1e-9);
+        MeanSink fan_mean;
+        FanoutSink fan({nullptr, &fan_trace, nullptr, &fan_mean});
+        for (double v : input.samples())
+            fan.push(v);
+        fan.finish();
+
+        {
+            SCOPED_TRACE(::testing::Message()
+                         << "iteration " << iter << " n=" << n);
+            expectTracesIdentical(fan_trace.trace(),
+                                  solo_trace.trace());
+        }
+        ASSERT_EQ(fan_mean.count(), solo_mean.count());
+        if (n > 0) {
+            ASSERT_EQ(fan_mean.mean(), solo_mean.mean())
+                << "iteration " << iter;
+        }
+    }
 }
 
 } // namespace

@@ -296,6 +296,67 @@ TEST(ThreadPool, PropagatesFirstException)
     EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPool, ExceptionDoesNotAbandonRemainingItems)
+{
+    // The first exception is rethrown, but every other index must
+    // still run: the GA's batch evaluator relies on a thrown task
+    // not silently dropping its neighbours' results.
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(97);
+    EXPECT_THROW(
+        pool.parallelFor(visits.size(),
+                         [&](std::size_t i, std::size_t) {
+                             visits[i].fetch_add(1);
+                             if (i == 5)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NestedParallelForThrows)
+{
+    // parallelFor is documented as non-reentrant; a task that calls
+    // back into its own pool must get a SimulationError, which then
+    // propagates to the outer call like any task exception.
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [&](std::size_t, std::size_t) {
+                             pool.parallelFor(
+                                 1, [](std::size_t, std::size_t) {});
+                         }),
+        SimulationError);
+    // The pool stays usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallelFor(8, [&](std::size_t, std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ShutdownWhileBusyCompletesTheJob)
+{
+    // Rapid construct / run / destroy cycles race worker startup,
+    // the job hand-off, and shutdown. A worker that observed stop_
+    // together with a fresh epoch used to abandon its share and
+    // leave parallelFor blocked; this loop is the detector.
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        std::atomic<int> count{0};
+        {
+            ThreadPool pool(4);
+            pool.parallelFor(16, [&](std::size_t, std::size_t) {
+                count.fetch_add(1);
+            });
+            // Destructor runs immediately: stop_ lands while workers
+            // may still be draining or have never woken.
+        }
+        EXPECT_EQ(count.load(), 16) << "cycle " << cycle;
+    }
+    // Construct-and-destroy with no job at all must not hang either.
+    for (int cycle = 0; cycle < 50; ++cycle)
+        ThreadPool idle(3);
+}
+
 TEST(ThreadPool, ResolveThreadCount)
 {
     EXPECT_EQ(resolveThreadCount(3), 3u);
