@@ -29,6 +29,7 @@
 #include "ga/target_connection.h"
 #include "platform/platform.h"
 #include "util/faultpoint.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace core {
@@ -37,9 +38,9 @@ namespace core {
 struct EvalSettings
 {
     double duration_s = 4e-6;     ///< Steady-state window per run.
-    double f_lo_hz = 50e6;        ///< EM search band start (paper:
+    double f_lo_hz = mega(50.0);        ///< EM search band start (paper:
                                   ///< 50-200 MHz, the 1st-order range).
-    double f_hi_hz = 200e6;       ///< EM search band end.
+    double f_hi_hz = mega(200.0);       ///< EM search band end.
     std::size_t sa_samples = 30;  ///< Spectrum samples per individual.
     std::size_t active_cores = 0; ///< 0 = all powered cores.
     bool streaming = true;        ///< Stream samples into the

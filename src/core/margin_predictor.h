@@ -23,6 +23,7 @@
 
 #include "isa/kernel.h"
 #include "platform/platform.h"
+#include "util/units.h"
 #include "vmin/timing_model.h"
 #include "workloads/workload.h"
 
@@ -59,8 +60,8 @@ class EmMarginPredictor
      * @param f_hi_hz  EM band end.
      * @param duration_s Measurement window per observation.
      */
-    EmMarginPredictor(platform::Platform &plat, double f_lo_hz = 50e6,
-                      double f_hi_hz = 200e6,
+    EmMarginPredictor(platform::Platform &plat, double f_lo_hz = mega(50.0),
+                      double f_hi_hz = mega(200.0),
                       double duration_s = 4e-6);
 
     /** Add a kernel-based calibration observation. */

@@ -16,6 +16,7 @@
 #include "instruments/spectrum_analyzer.h"
 #include "isa/kernel.h"
 #include "platform/platform.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace core {
@@ -51,8 +52,8 @@ struct MultiDomainResult
 MultiDomainResult monitorDomains(std::vector<DomainWorkload> &domains,
                                  double duration_s,
                                  instruments::SpectrumAnalyzer &analyzer,
-                                 double f_lo_hz = 50e6,
-                                 double f_hi_hz = 200e6);
+                                 double f_lo_hz = mega(50.0),
+                                 double f_hi_hz = mega(200.0));
 
 } // namespace core
 } // namespace emstress

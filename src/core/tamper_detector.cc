@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace core {
@@ -59,7 +60,7 @@ TamperDetector::check(const PdnFingerprint &baseline,
         > thresholds.max_resonance_shift_hz) {
         verdict.tampered = true;
         why << "resonance shifted "
-            << verdict.resonance_shift_hz / 1e6 << " MHz ("
+            << verdict.resonance_shift_hz / mega(1.0) << " MHz ("
             << (verdict.resonance_shift_hz > 0
                     ? "capacitance removed or loop shortened"
                     : "capacitance/probe added")

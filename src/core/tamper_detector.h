@@ -19,6 +19,7 @@
 
 #include "core/resonance_explorer.h"
 #include "platform/platform.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace core {
@@ -45,7 +46,7 @@ struct TamperThresholds
 {
     /// Resonance shift beyond this flags tampering [Hz]. Must sit
     /// above sweep granularity and measurement noise.
-    double max_resonance_shift_hz = 4e6;
+    double max_resonance_shift_hz = mega(4.0);
     /// Mean absolute amplitude-profile change beyond this flags
     /// tampering [dB].
     double max_profile_distance_db = 6.0;

@@ -19,6 +19,7 @@
 
 #include "util/sample_sink.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace em {
@@ -37,7 +38,7 @@ struct AntennaParams
     /// Reference placement distance for mutual_inductance [m].
     double ref_distance = 0.07;
     /// Antenna self-resonance frequency [Hz] (measured 2.95 GHz).
-    double self_resonance_hz = 2.95e9;
+    double self_resonance_hz = giga(2.95);
     /// Loop inductance [H]; with self_resonance defines the parasitic
     /// capacitance.
     double loop_inductance = 120e-9;

@@ -12,7 +12,10 @@ namespace ga {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Wall-time accounting only: eval_seconds/wall_seconds in EvalStats
+// are operator-facing timing stats and never feed fitness, ranking,
+// or any other replayed result.
+using Clock = std::chrono::steady_clock; // lint: timing-stats
 
 double
 secondsSince(Clock::time_point t0)
@@ -36,7 +39,11 @@ const BatchEvaluator::CacheEntry *
 BatchEvaluator::lookup(std::uint64_t hash,
                        const isa::Kernel &kernel) const
 {
-    const auto [lo, hi] = cache_.equal_range(hash);
+    // Order-independent despite walking a hash bucket: entries are
+    // keyed by full kernel equality and a kernel is inserted at most
+    // once, so at most one entry can match regardless of the order
+    // equal_range yields collisions in.
+    const auto [lo, hi] = cache_.equal_range(hash); // lint: ordered-merge
     for (auto it = lo; it != hi; ++it)
         if (it->second.kernel == kernel)
             return &it->second;

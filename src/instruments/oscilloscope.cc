@@ -20,8 +20,8 @@ OscilloscopeParams
 ocDsoParams()
 {
     OscilloscopeParams p;
-    p.sample_rate_hz = 1.6e9; // paper: up to 1.6 GHz bandwidth OC-DSO
-    p.bandwidth_hz = 700e6;
+    p.sample_rate_hz = giga(1.6); // paper: up to 1.6 GHz bandwidth OC-DSO
+    p.bandwidth_hz = mega(700.0);
     p.bits = 10;
     p.full_scale_v = 1.6;
     p.record_length = 16384;
@@ -33,8 +33,8 @@ OscilloscopeParams
 kelvinScopeParams()
 {
     OscilloscopeParams p;
-    p.sample_rate_hz = 2.0e9;
-    p.bandwidth_hz = 500e6;  // differential probe limits bandwidth
+    p.sample_rate_hz = giga(2.0);
+    p.bandwidth_hz = mega(500.0);  // differential probe limits bandwidth
     p.bits = 8;
     p.full_scale_v = 2.0;
     p.record_length = 16384;

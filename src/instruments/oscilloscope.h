@@ -18,6 +18,7 @@
 #include "util/rng.h"
 #include "util/sample_sink.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace instruments {
@@ -25,8 +26,8 @@ namespace instruments {
 /** Oscilloscope front-end configuration. */
 struct OscilloscopeParams
 {
-    double sample_rate_hz = 1.6e9; ///< ADC sample rate.
-    double bandwidth_hz = 700e6;   ///< Analog -3 dB bandwidth.
+    double sample_rate_hz = giga(1.6); ///< ADC sample rate.
+    double bandwidth_hz = mega(700.0);   ///< Analog -3 dB bandwidth.
     unsigned bits = 10;            ///< ADC resolution.
     double full_scale_v = 1.6;     ///< Quantizer full-scale range.
     std::size_t record_length = 16384; ///< Samples per capture.

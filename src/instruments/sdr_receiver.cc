@@ -164,8 +164,16 @@ SdrReceiver::scanMaxAmplitude(const Trace &v_antenna, double f_lo_hz,
     requireConfig(f_hi_hz > f_lo_hz, "scan band must be non-empty");
     SaMarker best;
     const double bw = params_.sample_rate_hz;
-    for (double fc = f_lo_hz + 0.5 * bw; fc < f_hi_hz + 0.5 * bw;
-         fc += 0.8 * bw) { // 20% window overlap
+    // Integer-indexed retune grid (lint R3): every window center is
+    // recomputed from the band edge so the grid cannot drift with
+    // accumulated rounding error. Steps of 0.8*bw leave a 20%
+    // overlap between adjacent capture windows.
+    const double f_first = f_lo_hz + 0.5 * bw;
+    const double f_step = 0.8 * bw;
+    for (std::size_t i = 0;; ++i) {
+        const double fc = f_first + static_cast<double>(i) * f_step;
+        if (!(fc < f_hi_hz + 0.5 * bw))
+            break;
         tune(fc);
         const auto cap = capture(v_antenna);
         const auto sweep = spectrum(cap);

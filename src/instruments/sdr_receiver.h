@@ -19,6 +19,7 @@
 #include "instruments/spectrum_analyzer.h"
 #include "util/rng.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace instruments {
@@ -26,8 +27,8 @@ namespace instruments {
 /** SDR configuration (defaults: RTL-SDR-class dongle). */
 struct SdrParams
 {
-    double center_hz = 100e6;     ///< Tuned center frequency.
-    double sample_rate_hz = 2.4e6;///< Complex baseband rate =
+    double center_hz = mega(100.0);     ///< Tuned center frequency.
+    double sample_rate_hz = mega(2.4);///< Complex baseband rate =
                                   ///< instantaneous bandwidth.
     unsigned bits = 8;            ///< IQ quantizer resolution.
     double full_scale_v = 0.5;    ///< Quantizer full scale (at the

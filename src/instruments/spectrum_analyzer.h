@@ -21,6 +21,7 @@
 #include "util/rng.h"
 #include "util/sample_sink.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace instruments {
@@ -28,8 +29,8 @@ namespace instruments {
 /** Configuration of the spectrum analyzer. */
 struct SpectrumAnalyzerParams
 {
-    double f_start_hz = 10e6;       ///< Display start frequency.
-    double f_stop_hz = 500e6;       ///< Display stop frequency.
+    double f_start_hz = mega(10.0);       ///< Display start frequency.
+    double f_stop_hz = mega(500.0);       ///< Display stop frequency.
     double ref_impedance = 50.0;    ///< Input impedance [ohm].
     double noise_floor_dbm = -97.0; ///< Displayed average noise level.
     double gain_error_db = 0.25;    ///< 1-sigma per-sweep gain ripple.

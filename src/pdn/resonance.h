@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pdn/pdn_model.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace pdn {
@@ -35,8 +36,8 @@ struct ResonancePeak
  * @param points_per_decade Grid density.
  */
 std::vector<ResonancePeak> findResonances(const PdnModel &model,
-                                          double f_lo = 1e3,
-                                          double f_hi = 1e9,
+                                          double f_lo = kilo(1.0),
+                                          double f_hi = giga(1.0),
                                           std::size_t points_per_decade
                                           = 120);
 

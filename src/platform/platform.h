@@ -26,6 +26,7 @@
 #include "uarch/core_model.h"
 #include "util/rng.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace platform {
@@ -49,9 +50,9 @@ struct PlatformConfig
     std::string os;            ///< e.g. "Debian".
     int technology_nm = 16;    ///< Process node.
     std::size_t n_cores = 2;   ///< Cores in the voltage domain.
-    double f_max_hz = 1.2e9;   ///< Highest operating frequency.
-    double f_min_hz = 120e6;   ///< Lowest DVFS frequency.
-    double f_step_hz = 20e6;   ///< DVFS frequency granularity.
+    double f_max_hz = giga(1.2);   ///< Highest operating frequency.
+    double f_min_hz = mega(120.0);   ///< Lowest DVFS frequency.
+    double f_step_hz = mega(20.0);   ///< DVFS frequency granularity.
     double v_nom = 1.0;        ///< Nominal voltage at f_max.
     VoltageVisibility visibility = VoltageVisibility::None;
     bool has_scl = false;      ///< SCL injector present.

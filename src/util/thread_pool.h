@@ -42,7 +42,10 @@ namespace emstress {
 inline std::size_t
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("EMSTRESS_THREADS")) {
+    // Operational knob, not a seed: thread count never changes
+    // results (the determinism suite proves 1/2/8-thread
+    // bit-identity), only how fast they arrive.
+    if (const char *env = std::getenv("EMSTRESS_THREADS")) { // lint: env-config
         const long v = std::strtol(env, nullptr, 10);
         if (v >= 1)
             return static_cast<std::size_t>(v);

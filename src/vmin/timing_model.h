@@ -15,6 +15,7 @@
 
 #include "util/rng.h"
 #include "util/trace.h"
+#include "util/units.h"
 
 namespace emstress {
 namespace vmin {
@@ -26,7 +27,7 @@ struct TimingModelParams
     double alpha = 1.3;  ///< Velocity-saturation exponent.
     /// Calibration anchor: at f_anchor_hz the critical path closes
     /// exactly at v_crit_anchor.
-    double f_anchor_hz = 1.2e9;
+    double f_anchor_hz = giga(1.2);
     double v_crit_anchor = 0.78;
 };
 

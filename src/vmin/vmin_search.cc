@@ -34,8 +34,16 @@ VminSearch::characterize(const WorkloadRunner &runner, double f_clk_hz)
             config_.v_start - stats::minimum(v0.samples());
     }
 
-    for (double v = config_.v_start; v > config_.v_floor;
-         v -= config_.v_step) {
+    // Integer-indexed sweep (lint R3): each test voltage is
+    // recomputed as start - i*step, so the visited grid is a pure
+    // function of the config — a loop-carried `v -= step` would
+    // accumulate one rounding error per level and make the grid
+    // depend on how many levels preceded it.
+    for (std::size_t i = 0;; ++i) {
+        const double v = config_.v_start
+            - static_cast<double>(i) * config_.v_step;
+        if (!(v > config_.v_floor))
+            break;
         for (std::size_t rep = 0; rep < config_.repeats; ++rep) {
             const Trace v_die = runner(v, rep);
             ++result.runs_executed;

@@ -334,8 +334,10 @@ TEST(VminTesterTest, LabTimeAccountingMatchesRunsAndDurations)
     EXPECT_GE(virus_row.lab_seconds,
               15.0 * static_cast<double>(virus_row.runs));
     // A long-running benchmark costs far more lab time per run.
-    EXPECT_GT(bench_row.lab_seconds / bench_row.runs,
-              5.0 * virus_row.lab_seconds / virus_row.runs);
+    EXPECT_GT(bench_row.lab_seconds
+                  / static_cast<double>(bench_row.runs),
+              5.0 * virus_row.lab_seconds
+                  / static_cast<double>(virus_row.runs));
 }
 
 TEST(VminTesterTest, DefaultConfigScalesWithPlatform)

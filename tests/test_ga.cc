@@ -520,6 +520,62 @@ TEST(BatchEvaluator, DuplicateKernelsAreSimulatedOnce)
     EXPECT_EQ(batch.stats().cache_hits, 4u);
 }
 
+/**
+ * Lint R2 audit regression (DESIGN.md §10): the batch-local
+ * unordered_map dedup and the phase-3 merge must not leak hash or
+ * presentation order into results or accounting. A duplicate-heavy
+ * batch evaluated in reversed slot order — and on a different thread
+ * count — produces bit-identical per-kernel fitness and identical
+ * eval/cache-hit/lab-time accounting.
+ */
+TEST(BatchEvaluator, MergeAccountingIsPresentationOrderIndependent)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    Rng rng(21);
+    std::vector<isa::Kernel> base;
+    for (int i = 0; i < 5; ++i)
+        base.push_back(isa::Kernel::random(pool, 12, rng));
+    // Duplicate-heavy presentation of the same multiset.
+    std::vector<isa::Kernel> fwd = {base[0], base[1], base[0],
+                                    base[2], base[3], base[2],
+                                    base[4], base[0]};
+    std::vector<isa::Kernel> rev(fwd.rbegin(), fwd.rend());
+
+    const auto run = [&](const std::vector<isa::Kernel> &kernels,
+                         std::size_t threads) {
+        auto counter = std::make_shared<std::atomic<int>>(0);
+        CloneableSimdFitness fitness(pool, counter);
+        BatchConfig cfg;
+        cfg.threads = threads;
+        BatchEvaluator batch(fitness, cfg);
+        std::vector<std::size_t> idx(kernels.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::vector<double> fit(kernels.size(), -1.0);
+        std::vector<EvalDetail> det(kernels.size());
+        const auto out = batch.evaluate(kernels, idx, fit, det);
+        return std::tuple(fit, out, batch.stats());
+    };
+
+    const auto [fit_fwd, out_fwd, stats_fwd] = run(fwd, 1);
+    const auto [fit_rev, out_rev, stats_rev] = run(rev, 8);
+
+    // Bit-identical fitness per kernel, independent of slot order
+    // and thread count (slot i of rev holds fwd's slot n-1-i).
+    for (std::size_t i = 0; i < fwd.size(); ++i)
+        EXPECT_EQ(fit_fwd[i], fit_rev[fwd.size() - 1 - i])
+            << "slot " << i;
+    // Identical accounting: 5 unique genomes, 3 batch-local dups.
+    EXPECT_EQ(out_fwd.fresh, 5u);
+    EXPECT_EQ(out_rev.fresh, 5u);
+    EXPECT_EQ(out_fwd.cache_hits, out_rev.cache_hits);
+    EXPECT_EQ(out_fwd.lab_seconds, out_rev.lab_seconds);
+    EXPECT_EQ(stats_fwd.evals, stats_rev.evals);
+    EXPECT_EQ(stats_fwd.cache_hits, stats_rev.cache_hits);
+    EXPECT_EQ(stats_fwd.samples_materialized,
+              stats_rev.samples_materialized);
+}
+
 TEST(BatchEvaluator, NonCloneableEvaluatorFallsBackToSerial)
 {
     const auto pool = isa::InstructionPool::armV8();

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Fixture suite for emstress-lint (tools/lint): positive and
+ * negative snippet cases for every rule R1–R5, the annotation
+ * grammar, companion-header scanning, fix-list suppression, and the
+ * scanner's comment/string inertness. Also pins the numeric claim R4
+ * rests on: the util/units.h kilo/mega/giga helpers are bit-exact
+ * replacements for positive-magnitude literals.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+#include "util/units.h"
+
+namespace emstress {
+namespace lint {
+namespace {
+
+/** Count findings of one rule in an analysis result. */
+std::size_t
+countRule(const std::vector<Finding> &findings,
+          const std::string &rule)
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+std::vector<Finding>
+lintCc(const std::string &text, const Options &options = {})
+{
+    return analyzeSource("src/core/snippet.cc", text, options);
+}
+
+// ------------------------------------------------------------- R1
+
+TEST(LintR1, FlagsUnseededRandomness)
+{
+    const auto f = lintCc("int x = std::rand();\n"
+                          "std::random_device rd;\n");
+    EXPECT_EQ(countRule(f, "R1"), 2u);
+    EXPECT_EQ(f[0].line, 1);
+    EXPECT_EQ(f[1].line, 2);
+}
+
+TEST(LintR1, FlagsClocksAndGetenv)
+{
+    const auto f =
+        lintCc("auto t = std::chrono::steady_clock::now();\n"
+               "auto u = std::chrono::system_clock::now();\n"
+               "const char *e = std::getenv(\"X\");\n");
+    EXPECT_EQ(countRule(f, "R1"), 3u);
+}
+
+TEST(LintR1, TimingStatsAnnotationSameLineSuppresses)
+{
+    const auto f = lintCc(
+        "using Clock = std::chrono::steady_clock;"
+        " // lint: timing-stats\n");
+    EXPECT_EQ(countRule(f, "R1"), 0u);
+}
+
+TEST(LintR1, AnnotationOnLineAboveSuppresses)
+{
+    const auto f = lintCc("// wall-time only. lint: timing-stats\n"
+                          "auto t = steady_clock::now();\n");
+    EXPECT_EQ(countRule(f, "R1"), 0u);
+    // ...but two lines above is out of range: annotations must sit
+    // next to the code they justify.
+    const auto far = lintCc("// lint: timing-stats\n"
+                            "int unrelated = 0;\n"
+                            "auto t = steady_clock::now();\n");
+    EXPECT_EQ(countRule(far, "R1"), 1u);
+}
+
+TEST(LintR1, EnvConfigTagCoversGetenvButNotClocks)
+{
+    const auto env = lintCc(
+        "const char *e = std::getenv(\"T\"); // lint: env-config\n");
+    EXPECT_EQ(countRule(env, "R1"), 0u);
+    // env-config does not excuse a clock.
+    const auto clk = lintCc(
+        "auto t = steady_clock::now(); // lint: env-config\n");
+    EXPECT_EQ(countRule(clk, "R1"), 1u);
+}
+
+TEST(LintR1, RngHeaderIsExempt)
+{
+    const auto f = analyzeSource(
+        "src/util/rng.h", "std::random_device rd; int r = rand();\n");
+    EXPECT_EQ(countRule(f, "R1"), 0u);
+    // The exemption is component-aligned: a lookalike is not exempt.
+    const auto fake = analyzeSource("src/util/xrng.h",
+                                    "std::random_device rd;\n");
+    EXPECT_EQ(countRule(fake, "R1"), 1u);
+}
+
+// ------------------------------------------------------------- R2
+
+TEST(LintR2, FlagsRangeForOverUnordered)
+{
+    const auto f = lintCc(
+        "std::unordered_map<int, double> stats;\n"
+        "double total() {\n"
+        "    double t = 0;\n"
+        "    for (const auto &kv : stats) t += kv.second;\n"
+        "    return t;\n"
+        "}\n");
+    EXPECT_EQ(countRule(f, "R2"), 1u);
+    EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(LintR2, FlagsBeginAndEqualRange)
+{
+    const auto f = lintCc(
+        "std::unordered_multimap<int, int> cache;\n"
+        "auto a = cache.begin();\n"
+        "auto r = cache.equal_range(3);\n");
+    EXPECT_EQ(countRule(f, "R2"), 2u);
+}
+
+TEST(LintR2, OrderedContainersAndKeyedLookupsAreClean)
+{
+    // std::map iteration is ordered; find()/emplace() on an
+    // unordered map are keyed lookups, not iteration; and an
+    // integer-indexed loop that *mentions* the unordered name (the
+    // std:: colon false-positive regression) is clean.
+    const auto f = lintCc(
+        "std::map<int, double> ordered;\n"
+        "std::unordered_map<int, double> um;\n"
+        "double sum() {\n"
+        "    double t = 0;\n"
+        "    for (const auto &kv : ordered) t += kv.second;\n"
+        "    auto it = um.find(3);\n"
+        "    for (std::size_t i = 0; i < um.size(); ++i) t += 1;\n"
+        "    return t;\n"
+        "}\n");
+    EXPECT_EQ(countRule(f, "R2"), 0u);
+}
+
+TEST(LintR2, OrderedMergeAnnotationSuppresses)
+{
+    const auto f = lintCc(
+        "std::unordered_map<int, int> m;\n"
+        "// first-match is unique. lint: ordered-merge\n"
+        "auto r = m.equal_range(1);\n");
+    EXPECT_EQ(countRule(f, "R2"), 0u);
+}
+
+TEST(LintR2, CompanionHeaderDeclarationsAreSeen)
+{
+    // The member lives in the header; the iteration in the .cc.
+    Options options;
+    options.companion =
+        "class C { std::unordered_multimap<int, int> cache_; };\n";
+    const auto f = lintCc("auto r = cache_.equal_range(7);\n",
+                          options);
+    EXPECT_EQ(countRule(f, "R2"), 1u);
+    // Without the companion the declaration is invisible.
+    EXPECT_EQ(countRule(lintCc("auto r = cache_.equal_range(7);\n"),
+                        "R2"),
+              0u);
+}
+
+// ------------------------------------------------------------- R3
+
+TEST(LintR3, FlagsFloatSweepUpAndDown)
+{
+    const auto up = lintCc(
+        "for (double f = 0.0; f < 1.0; f += 0.1) use(f);\n");
+    EXPECT_EQ(countRule(up, "R3"), 1u);
+    const auto down = lintCc(
+        "for (double v = start; v > floor; v -= step) use(v);\n");
+    EXPECT_EQ(countRule(down, "R3"), 1u);
+}
+
+TEST(LintR3, IntegerIndexedSweepIsClean)
+{
+    const auto f = lintCc(
+        "for (std::size_t i = 0; i < n; ++i) {\n"
+        "    const double v = start + static_cast<double>(i) * dv;\n"
+        "    use(v);\n"
+        "}\n"
+        "for (double x : samples) use(x);\n");
+    EXPECT_EQ(countRule(f, "R3"), 0u);
+}
+
+// ------------------------------------------------------------- R4
+
+TEST(LintR4, FlagsUnitMagnitudeLiterals)
+{
+    const auto f = lintCc("double a = 120e6;\n"
+                          "double b = 1.2e9;\n"
+                          "double c = 20e+3;\n");
+    EXPECT_EQ(countRule(f, "R4"), 3u);
+}
+
+TEST(LintR4, NegativeExponentsAndHelpersAreClean)
+{
+    // milli()/micro() conversions are NOT bit-exact, so negative
+    // magnitudes are deliberate non-findings; helper calls and
+    // non-magnitude exponents are clean too.
+    const auto f = lintCc("double a = 0.15e-3;\n"
+                          "double b = 1e-30;\n"
+                          "double c = mega(120.0);\n"
+                          "double d = 1e7;\n");
+    EXPECT_EQ(countRule(f, "R4"), 0u);
+}
+
+TEST(LintR4, UnitsHeaderAndDatasheetTagAreExempt)
+{
+    const auto units = analyzeSource(
+        "src/util/units.h",
+        "inline constexpr double kilo(double v){return v*1e3;}\n");
+    EXPECT_EQ(countRule(units, "R4"), 0u);
+    const auto tagged = lintCc(
+        "double f = 32.768e3; // crystal datasheet. lint: datasheet\n");
+    EXPECT_EQ(countRule(tagged, "R4"), 0u);
+}
+
+TEST(LintR4, UnitHelpersAreBitExactForPositiveMagnitudes)
+{
+    // The numeric claim behind R4's fix advice: the multiplier is an
+    // exact integer double, so one rounding (of the mantissa) is the
+    // only rounding — identical to parsing the literal directly.
+    EXPECT_EQ(kilo(1.0), 1e3);
+    EXPECT_EQ(mega(2.4), 2.4e6);
+    EXPECT_EQ(mega(120.0), 120e6);
+    EXPECT_EQ(mega(700.0), 700e6);
+    EXPECT_EQ(giga(1.2), 1.2e9);
+    EXPECT_EQ(giga(2.95), 2.95e9);
+}
+
+// ------------------------------------------------------------- R5
+
+TEST(LintR5, CanonicalGuardIsClean)
+{
+    const auto f = analyzeSource("src/util/rng.h",
+                                 "#ifndef EMSTRESS_UTIL_RNG_H\n"
+                                 "#define EMSTRESS_UTIL_RNG_H\n"
+                                 "#endif\n");
+    EXPECT_EQ(countRule(f, "R5"), 0u);
+}
+
+TEST(LintR5, WrongOrMissingGuardIsFlagged)
+{
+    const auto wrong = analyzeSource("src/util/rng.h",
+                                     "#ifndef WRONG_H\n"
+                                     "#define WRONG_H\n"
+                                     "#endif\n");
+    EXPECT_EQ(countRule(wrong, "R5"), 1u);
+    const auto missing =
+        analyzeSource("src/dsp/fft.h", "int x = 1;\n");
+    EXPECT_EQ(countRule(missing, "R5"), 1u);
+    // Leading comments do not disturb guard detection; .cc files
+    // are not subject to R5.
+    const auto commented = analyzeSource(
+        "src/dsp/fft.h",
+        "/** @file doc */\n"
+        "#ifndef EMSTRESS_DSP_FFT_H\n"
+        "#define EMSTRESS_DSP_FFT_H\n"
+        "#endif\n");
+    EXPECT_EQ(countRule(commented, "R5"), 0u);
+    EXPECT_EQ(countRule(lintCc("int x = 1;\n"), "R5"), 0u);
+}
+
+// -------------------------------------------------- suppression IO
+
+TEST(LintFixList, ParsesAndSuppresses)
+{
+    const auto entries = parseFixList(
+        "# comment\n"
+        "R4 src/platform/platform.h   # whole file\n"
+        "R1 batch_evaluator.cc 15\n"
+        "* src/legacy/blob.cc\n");
+    ASSERT_EQ(entries.size(), 3u);
+
+    Options options;
+    options.fixlist = entries;
+    const auto suppressed = analyzeSource(
+        "src/platform/platform.h",
+        "#ifndef EMSTRESS_PLATFORM_PLATFORM_H\n"
+        "#define EMSTRESS_PLATFORM_PLATFORM_H\n"
+        "inline constexpr double kF = 1.2e9;\n"
+        "#endif\n",
+        options);
+    EXPECT_EQ(countRule(suppressed, "R4"), 0u);
+    // Same content under another path is still flagged.
+    const auto elsewhere = analyzeSource(
+        "src/em/antenna.h",
+        "#ifndef EMSTRESS_EM_ANTENNA_H\n"
+        "#define EMSTRESS_EM_ANTENNA_H\n"
+        "inline constexpr double kF = 1.2e9;\n"
+        "#endif\n",
+        options);
+    EXPECT_EQ(countRule(elsewhere, "R4"), 1u);
+}
+
+TEST(LintFixList, MatchingIsComponentAlignedAndLineAware)
+{
+    const FixListEntry entry{"R1", "rng.h", 0};
+    EXPECT_TRUE(matchesFixList(entry, {"src/util/rng.h", 3, "R1", ""}));
+    EXPECT_FALSE(
+        matchesFixList(entry, {"src/util/xrng.h", 3, "R1", ""}));
+    EXPECT_FALSE(
+        matchesFixList(entry, {"src/util/rng.h", 3, "R4", ""}));
+    const FixListEntry line_entry{"R1", "rng.h", 7};
+    EXPECT_TRUE(
+        matchesFixList(line_entry, {"src/util/rng.h", 7, "R1", ""}));
+    EXPECT_FALSE(
+        matchesFixList(line_entry, {"src/util/rng.h", 8, "R1", ""}));
+    const FixListEntry any{"*", "rng.h", 0};
+    EXPECT_TRUE(matchesFixList(any, {"src/util/rng.h", 1, "R5", ""}));
+}
+
+// ------------------------------------------------------ scanner
+
+TEST(LintScanner, StringsAndCommentsAreInert)
+{
+    const auto f = lintCc(
+        "// steady_clock in a comment, and 120e6 too\n"
+        "/* std::rand() inside a block comment */\n"
+        "const char *s = \"rand steady_clock 120e6\";\n"
+        "const char *r = R\"(getenv 1.2e9)\";\n"
+        "char c = 'e';\n");
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(LintScanner, DigitSeparatorsDoNotSplitLiterals)
+{
+    // 1'000e6 is one pp-number; the separator must not break the
+    // token or start a character literal that swallows code.
+    const auto f = lintCc("double a = 1'000e6; int r = rand();\n");
+    EXPECT_EQ(countRule(f, "R4"), 1u);
+    EXPECT_EQ(countRule(f, "R1"), 1u);
+}
+
+TEST(LintFormat, RendersFileLineRuleMessage)
+{
+    const Finding f{"src/a.cc", 12, "R3", "msg"};
+    EXPECT_EQ(formatFinding(f), "src/a.cc:12: [R3] msg");
+}
+
+} // namespace
+} // namespace lint
+} // namespace emstress

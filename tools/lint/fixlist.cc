@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fix-list parsing and matching. A fix-list is the coarse-grained
+ * suppression channel — inline `// lint: <tag>` annotations are
+ * preferred because they sit next to the code they justify, but a
+ * fix-list entry is the right tool for findings in files that a PR
+ * cannot touch yet (staged migrations) or for whole-file waivers.
+ */
+
+#include "lint.h"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+bool
+pathSuffixMatches(std::string_view path, std::string_view suffix)
+{
+    if (path.size() < suffix.size())
+        return false;
+    if (path.substr(path.size() - suffix.size()) != suffix)
+        return false;
+    if (path.size() == suffix.size())
+        return true;
+    const char before = path[path.size() - suffix.size() - 1];
+    return before == '/' || before == '\\';
+}
+
+} // namespace
+
+std::vector<FixListEntry>
+parseFixList(std::string_view text, std::ostream *err)
+{
+    std::vector<FixListEntry> entries;
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        std::istringstream fields(raw);
+        FixListEntry entry;
+        if (!(fields >> entry.rule))
+            continue; // blank / comment-only line
+        if (!(fields >> entry.path)) {
+            if (err)
+                *err << "fix-list line " << lineno
+                     << ": expected `<rule> <path> [<line>]`, got `"
+                     << raw << "`\n";
+            continue;
+        }
+        if (!(fields >> entry.line))
+            entry.line = 0; // any line
+        for (char &c : entry.rule)
+            c = static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+bool
+matchesFixList(const FixListEntry &entry, const Finding &finding)
+{
+    if (entry.rule != finding.rule && entry.rule != "*")
+        return false;
+    if (entry.line != 0 && entry.line != finding.line)
+        return false;
+    return pathSuffixMatches(finding.file, entry.path);
+}
+
+} // namespace lint
+} // namespace emstress

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Public interface of emstress-lint, the project-specific static
+ * analysis pass that enforces the repository's bit-identity
+ * invariants (DESIGN.md §10). The analyzer is a lightweight
+ * tokenizer-based scanner — deliberately not a full C++ front end —
+ * that recognizes the handful of source patterns which have caused
+ * every determinism bug shipped so far:
+ *
+ *   R1  nondet-source   rand()/random_device/clocks/getenv outside
+ *                       src/util/rng.h and annotated sites
+ *   R2  unordered-iter  iteration over unordered_{map,set} whose
+ *                       order can leak into merged results
+ *   R3  float-sweep     floating-point loop-carried accumulation
+ *                       used as a loop bound or sweep index
+ *   R4  raw-units       raw frequency-magnitude literals where
+ *                       util/units.h helpers are bit-exact
+ *   R5  header-guard    canonical EMSTRESS_<PATH>_H include guards
+ *                       (the compile half of header self-sufficiency
+ *                       is a generated CMake check)
+ *
+ * Findings are suppressed either by an inline annotation comment
+ * (`// lint: <tag>` on the same line or the line directly above) or
+ * by an entry in a fix-list file. See tools/lint/README.md for the
+ * annotation grammar.
+ */
+
+#ifndef EMSTRESS_TOOLS_LINT_LINT_H
+#define EMSTRESS_TOOLS_LINT_LINT_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emstress {
+namespace lint {
+
+/** One diagnostic produced by a rule. */
+struct Finding
+{
+    std::string file;    ///< Path as handed to the analyzer.
+    int line = 0;        ///< 1-based source line.
+    std::string rule;    ///< Rule id, e.g. "R1".
+    std::string message; ///< Human-readable explanation + fix hint.
+};
+
+/**
+ * One suppression from a fix-list file. Format (one per line,
+ * `#` comments allowed):
+ *
+ *     <rule> <path-suffix> [<line>]
+ *
+ * The entry suppresses findings of `rule` in any analyzed file whose
+ * path ends with `path` (compared component-wise, so `rng.h` does not
+ * match `xrng.h`); a line number of 0 matches every line.
+ */
+struct FixListEntry
+{
+    std::string rule;
+    std::string path;
+    int line = 0;
+};
+
+/** Analyzer configuration. */
+struct Options
+{
+    std::vector<FixListEntry> fixlist;
+    /**
+     * Text of the companion header (`foo.h` next to `foo.cc`), when
+     * one exists. R2 scans it for member declarations so that
+     * iterating an unordered member from the .cc is caught even
+     * though the declaration lives in the header. The companion is
+     * only mined for declarations — its own findings are reported
+     * when the header itself is analyzed.
+     */
+    std::string companion;
+};
+
+/**
+ * Run every rule over one in-memory source file. `path` determines
+ * path-based exemptions (src/util/rng.h for R1, src/util/units.h for
+ * R4) and the canonical guard name for R5; it does not need to exist
+ * on disk. Returns the unsuppressed findings in line order.
+ */
+std::vector<Finding> analyzeSource(std::string_view path,
+                                   std::string_view text,
+                                   const Options &options = {});
+
+/**
+ * Parse a fix-list file's contents. Malformed lines are reported to
+ * `err` (when non-null) and skipped rather than aborting the run: a
+ * stale suppression must never mask the lint pass itself failing.
+ */
+std::vector<FixListEntry> parseFixList(std::string_view text,
+                                       std::ostream *err = nullptr);
+
+/** True when `entry` suppresses `finding` (see FixListEntry). */
+bool matchesFixList(const FixListEntry &entry, const Finding &finding);
+
+/** Stable one-line rendering: `file:line: [Rn] message`. */
+std::string formatFinding(const Finding &finding);
+
+} // namespace lint
+} // namespace emstress
+
+#endif // EMSTRESS_TOOLS_LINT_LINT_H

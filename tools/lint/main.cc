@@ -1,0 +1,159 @@
+/**
+ * @file
+ * emstress-lint command-line driver. Walks the given roots (or
+ * explicit files), runs the determinism rules over every .h/.cc, and
+ * prints `file:line: [Rn] message` diagnostics.
+ *
+ *   emstress-lint [--root DIR]... [--fix-list FILE] [files...]
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/IO error. The file walk
+ * is sorted so output order — like everything else in this
+ * repository — is deterministic.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using emstress::lint::Finding;
+using emstress::lint::Options;
+
+namespace {
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: emstress-lint [--root DIR]... [--fix-list FILE]"
+          " [files...]\n"
+          "Static determinism lint for emstress (rules R1-R5, see"
+          " tools/lint/README.md).\n";
+    return 2;
+}
+
+bool
+isSourcePath(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp"
+        || ext == ".hpp";
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<fs::path> roots;
+    std::vector<fs::path> files;
+    fs::path fixlist_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage(std::cerr);
+            roots.emplace_back(argv[i]);
+        } else if (arg == "--fix-list") {
+            if (++i >= argc)
+                return usage(std::cerr);
+            fixlist_path = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "emstress-lint: unknown option " << arg
+                      << "\n";
+            return usage(std::cerr);
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (roots.empty() && files.empty())
+        return usage(std::cerr);
+
+    Options options;
+    if (!fixlist_path.empty()) {
+        std::string text;
+        if (!readFile(fixlist_path, text)) {
+            std::cerr << "emstress-lint: cannot read fix-list "
+                      << fixlist_path << "\n";
+            return 2;
+        }
+        options.fixlist =
+            emstress::lint::parseFixList(text, &std::cerr);
+    }
+
+    for (const fs::path &root : roots) {
+        std::error_code ec;
+        fs::recursive_directory_iterator it(root, ec), end;
+        if (ec) {
+            std::cerr << "emstress-lint: cannot walk " << root
+                      << ": " << ec.message() << "\n";
+            return 2;
+        }
+        for (; it != end; it.increment(ec)) {
+            if (ec) {
+                std::cerr << "emstress-lint: walk error under "
+                          << root << ": " << ec.message() << "\n";
+                return 2;
+            }
+            if (it->is_regular_file() && isSourcePath(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    std::size_t total = 0;
+    std::size_t files_scanned = 0;
+    for (const fs::path &file : files) {
+        std::string text;
+        if (!readFile(file, text)) {
+            std::cerr << "emstress-lint: cannot read " << file
+                      << "\n";
+            return 2;
+        }
+        ++files_scanned;
+        Options file_options = options;
+        // Feed the companion header's member declarations to R2.
+        const std::string ext = file.extension().string();
+        if (ext == ".cc" || ext == ".cpp") {
+            fs::path header = file;
+            header.replace_extension(".h");
+            std::string companion;
+            if (readFile(header, companion))
+                file_options.companion = std::move(companion);
+        }
+        const std::vector<Finding> findings =
+            emstress::lint::analyzeSource(file.generic_string(),
+                                          text, file_options);
+        for (const Finding &f : findings)
+            std::cout << emstress::lint::formatFinding(f) << "\n";
+        total += findings.size();
+    }
+    std::cout << "emstress-lint: " << files_scanned << " files, "
+              << total << " finding" << (total == 1 ? "" : "s")
+              << "\n";
+    return total == 0 ? 0 : 1;
+}

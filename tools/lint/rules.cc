@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Rule implementations R1–R5. Each rule walks the token stream from
+ * scanner.cc and emits findings; annotation tags and fix-list entries
+ * filter them before analyzeSource returns. The rules are heuristic
+ * by design — a lightweight scanner cannot resolve types — but every
+ * heuristic is tuned so that the repository's real determinism bug
+ * classes (DESIGN.md §10) are inside the detected set and the
+ * legitimate sites are expressible as annotations.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "scanner.h"
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+bool
+pathEndsWith(std::string_view path, std::string_view suffix)
+{
+    if (path.size() < suffix.size())
+        return false;
+    if (path.substr(path.size() - suffix.size()) != suffix)
+        return false;
+    // Component-aligned: "rng.h" must not match "xrng.h".
+    if (path.size() == suffix.size())
+        return true;
+    const char before = path[path.size() - suffix.size() - 1];
+    return before == '/' || before == '\\';
+}
+
+bool
+isHeaderPath(std::string_view path)
+{
+    return path.size() >= 2
+        && path.substr(path.size() - 2) == ".h";
+}
+
+/** Tags that silence a rule: its semantic tag(s) plus the rule id. */
+struct RuleTags
+{
+    const char *id;
+    std::vector<std::string> tags;
+};
+
+void
+emit(std::vector<Finding> &findings, const SourceScan &scan,
+     const RuleTags &rule, std::string_view path, int line,
+     std::string message)
+{
+    for (const std::string &tag : rule.tags)
+        if (scan.hasTag(line, tag))
+            return;
+    findings.push_back(
+        {std::string(path), line, rule.id, std::move(message)});
+}
+
+// --------------------------------------------------------------- R1
+
+const std::set<std::string, std::less<>> kClockIdents = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+    "clock_gettime", "gettimeofday", "timespec_get"};
+
+const std::set<std::string, std::less<>> kRandomIdents = {
+    "rand", "srand", "random_device", "rand_r", "drand48"};
+
+/**
+ * R1: nondeterministic sources. Wall clocks, libc randomness,
+ * std::random_device and getenv taint any value derived from them
+ * with run-to-run variation. All randomness must flow through the
+ * seeded util/rng.h streams; clocks are allowed only at annotated
+ * timing-stats sites (values that feed wall-time accounting, never
+ * fitness); getenv only at annotated env-config sites (operational
+ * knobs such as thread counts that the determinism tests prove
+ * result-neutral).
+ */
+void
+ruleR1(std::string_view path, const SourceScan &scan,
+       std::vector<Finding> &findings)
+{
+    if (pathEndsWith(path, "src/util/rng.h")
+        || pathEndsWith(path, "util/rng.h"))
+        return;
+    const RuleTags clock_rule{"R1", {"timing-stats", "r1"}};
+    const RuleTags env_rule{"R1", {"env-config", "r1"}};
+    const RuleTags random_rule{"R1", {"r1"}};
+    for (const Token &tok : scan.tokens) {
+        if (tok.kind != TokKind::Identifier)
+            continue;
+        if (kClockIdents.count(tok.text)) {
+            emit(findings, scan, clock_rule, path, tok.line,
+                 "nondeterministic clock `" + tok.text
+                     + "`; derive results from seeded streams "
+                       "(util/rng.h) and annotate genuine wall-time "
+                       "accounting with `// lint: timing-stats`");
+        } else if (tok.text == "getenv") {
+            emit(findings, scan, env_rule, path, tok.line,
+                 "environment read `getenv` can seed run-to-run "
+                 "variation; annotate result-neutral operational "
+                 "knobs with `// lint: env-config`");
+        } else if (kRandomIdents.count(tok.text)) {
+            emit(findings, scan, random_rule, path, tok.line,
+                 "unseeded randomness `" + tok.text
+                     + "`; all stochastic draws must come from an "
+                       "explicitly seeded emstress::Rng "
+                       "(src/util/rng.h)");
+        }
+    }
+}
+
+// --------------------------------------------------------------- R2
+
+const std::set<std::string, std::less<>> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/**
+ * Collect the names declared with an unordered container type in
+ * this file (locals, members, and functions returning one — calling
+ * and iterating such a function is just as order-dependent).
+ */
+std::set<std::string, std::less<>>
+unorderedNames(const SourceScan &scan)
+{
+    std::set<std::string, std::less<>> names;
+    const auto &toks = scan.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier
+            || !kUnorderedTypes.count(toks[i].text))
+            continue;
+        std::size_t j = i + 1;
+        // Skip the template argument list, if any.
+        if (j < toks.size() && toks[j].text == "<") {
+            int depth = 0;
+            for (; j < toks.size(); ++j) {
+                if (toks[j].text == "<")
+                    ++depth;
+                else if (toks[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        // Skip cv/ref/pointer decorations to the declared name.
+        while (j < toks.size()
+               && (toks[j].text == "&" || toks[j].text == "*"
+                   || toks[j].text == "const"))
+            ++j;
+        if (j < toks.size()
+            && toks[j].kind == TokKind::Identifier)
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+/**
+ * R2: iteration over unordered containers. Hash-map iteration order
+ * is implementation- and insertion-history-dependent; folding it
+ * into any result (merged stats, accumulated fitness, emitted rows)
+ * breaks bit-identity across thread counts and library versions.
+ * Detected: range-for over a name declared unordered in this file,
+ * and `.begin()`/`.cbegin()`/`.equal_range()` on such a name. Sites
+ * proven order-independent (e.g. first-match lookups keyed by full
+ * equality) carry `// lint: ordered-merge`.
+ */
+void
+ruleR2(std::string_view path, const SourceScan &scan,
+       const SourceScan *companion, std::vector<Finding> &findings)
+{
+    auto names = unorderedNames(scan);
+    if (companion != nullptr)
+        names.merge(unorderedNames(*companion));
+    if (names.empty())
+        return;
+    const RuleTags rule{"R2", {"ordered-merge", "r2"}};
+    const auto &toks = scan.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        // name . begin / cbegin / equal_range
+        if (toks[i].kind == TokKind::Identifier
+            && names.count(toks[i].text) && toks[i + 1].text == "."
+            && i + 2 < toks.size()) {
+            const std::string &m = toks[i + 2].text;
+            if (m == "begin" || m == "cbegin"
+                || m == "equal_range") {
+                emit(findings, scan, rule, path, toks[i].line,
+                     "iteration over unordered container `"
+                         + toks[i].text
+                         + "` — hash order leaks into results; sort "
+                           "keys or iterate an index, or annotate a "
+                           "proven-order-independent site with "
+                           "`// lint: ordered-merge`");
+            }
+        }
+        // for ( ... : name )
+        if (toks[i].kind == TokKind::Identifier
+            && toks[i].text == "for" && toks[i + 1].text == "(") {
+            int depth = 0;
+            bool saw_colon = false;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                if (toks[j].text == "(")
+                    ++depth;
+                else if (toks[j].text == ")" && --depth == 0)
+                    break;
+                else if (depth == 1 && toks[j].text == ":"
+                         && toks[j - 1].text != ":"
+                         && j + 1 < toks.size()
+                         && toks[j + 1].text != ":")
+                    saw_colon = true;
+                else if (saw_colon
+                         && toks[j].kind == TokKind::Identifier
+                         && names.count(toks[j].text)) {
+                    emit(findings, scan, rule, path, toks[i].line,
+                         "range-for over unordered container `"
+                             + toks[j].text
+                             + "` — hash order leaks into results; "
+                               "sort keys or iterate an index, or "
+                               "annotate with "
+                               "`// lint: ordered-merge`");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- R3
+
+/**
+ * R3: floating-point loop-carried accumulation as a sweep index.
+ * `for (double v = a; v > b; v -= s)` accumulates one rounding error
+ * per iteration, so the visited grid depends on the step history —
+ * the PR 1 ResonanceExplorer/SclResonanceFinder bug class. Sweeps
+ * must be integer-indexed with the value recomputed as
+ * `start + i * step` each iteration.
+ */
+void
+ruleR3(std::string_view path, const SourceScan &scan,
+       std::vector<Finding> &findings)
+{
+    const RuleTags rule{"R3", {"r3"}};
+    const auto &toks = scan.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].text != "for"
+            || toks[i].kind != TokKind::Identifier
+            || toks[i + 1].text != "(")
+            continue;
+        // Split the header into init / cond / increment segments.
+        int depth = 0;
+        std::size_t seg = 0; // 0=init 1=cond 2=inc
+        bool fp_init = false;
+        std::string var;
+        bool var_in_inc = false;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const Token &t = toks[j];
+            if (t.text == "(" || t.text == "[" || t.text == "{") {
+                ++depth;
+                continue;
+            }
+            if (t.text == ")" || t.text == "]" || t.text == "}") {
+                if (--depth == 0)
+                    break;
+                continue;
+            }
+            if (depth == 1 && t.text == ";") {
+                ++seg;
+                continue;
+            }
+            if (seg == 0 && t.kind == TokKind::Identifier) {
+                if (t.text == "double" || t.text == "float")
+                    fp_init = true;
+                else if (fp_init && var.empty())
+                    var = t.text;
+            } else if (seg == 2 && !var.empty()
+                       && t.kind == TokKind::Identifier
+                       && t.text == var) {
+                var_in_inc = true;
+            }
+        }
+        if (fp_init && var_in_inc) {
+            emit(findings, scan, rule, path, toks[i].line,
+                 "floating-point sweep variable `" + var
+                     + "` accumulates rounding error per iteration; "
+                       "use an integer index and recompute "
+                       "`start + i * step`");
+        }
+    }
+}
+
+// --------------------------------------------------------------- R4
+
+/**
+ * True for literals like `120e6`, `1.2e9`, `20e+3` whose exponent is
+ * a kilo/mega/giga/tera magnitude. Negative exponents are deliberate
+ * non-findings: `milli(0.15)` is *not* bit-identical to `0.15e-3`
+ * (two roundings instead of one), so converting them would violate
+ * the very invariant this pass protects.
+ */
+bool
+isUnitMagnitudeLiteral(std::string_view text)
+{
+    std::size_t e = text.find_first_of("eE");
+    if (e == std::string_view::npos || e == 0)
+        return false;
+    for (std::size_t i = 0; i < e; ++i)
+        if (!std::isdigit(static_cast<unsigned char>(text[i]))
+            && text[i] != '.' && text[i] != '\'')
+            return false;
+    std::string_view exp = text.substr(e + 1);
+    if (!exp.empty() && exp.front() == '+')
+        exp.remove_prefix(1);
+    while (!exp.empty()
+           && (exp.back() == 'f' || exp.back() == 'F'
+               || exp.back() == 'l' || exp.back() == 'L'))
+        exp.remove_suffix(1);
+    return exp == "3" || exp == "6" || exp == "9" || exp == "12";
+}
+
+/**
+ * R4: raw unit-magnitude literals. `120e6` in result-producing code
+ * should be `mega(120.0)` (util/units.h): the helpers are bit-exact
+ * for positive decimal magnitudes (the multiplier is an exact
+ * integer double, verified in tests/test_lint.cc) and make the unit
+ * reviewable. Calibration tables copied verbatim from datasheets may
+ * keep the raw form under `// lint: datasheet`.
+ */
+void
+ruleR4(std::string_view path, const SourceScan &scan,
+       std::vector<Finding> &findings)
+{
+    if (pathEndsWith(path, "util/units.h"))
+        return; // the defining file spells the multipliers out
+    const RuleTags rule{"R4", {"datasheet", "r4"}};
+    for (const Token &tok : scan.tokens) {
+        if (tok.kind != TokKind::Number
+            || !isUnitMagnitudeLiteral(tok.text))
+            continue;
+        emit(findings, scan, rule, path, tok.line,
+             "raw unit-magnitude literal `" + tok.text
+                 + "`; use the bit-exact util/units.h helper "
+                   "(kilo/mega/giga) or annotate a datasheet "
+                   "constant with `// lint: datasheet`");
+    }
+}
+
+// --------------------------------------------------------------- R5
+
+/**
+ * Canonical guard for a header path: EMSTRESS_<REL>_H where <REL> is
+ * the path after the last `src/` component (or the whole relative
+ * path if none), uppercased with separators and dots mapped to `_`.
+ */
+std::string
+canonicalGuard(std::string_view path)
+{
+    std::string p(path);
+    std::replace(p.begin(), p.end(), '\\', '/');
+    const std::size_t src = p.rfind("src/");
+    std::string rel = src == std::string::npos
+        ? p
+        : p.substr(src + 4);
+    while (rel.rfind("./", 0) == 0)
+        rel.erase(0, 2);
+    std::string guard = "EMSTRESS_";
+    for (char c : rel) {
+        if (c == '/' || c == '.')
+            guard += '_';
+        else
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+    }
+    return guard;
+}
+
+/**
+ * R5 (static half): every header opens with the canonical
+ * `#ifndef EMSTRESS_<PATH>_H` / `#define` pair. Guard collisions
+ * silently drop a header's contents from dependent TUs, which is how
+ * "works in this TU only" include-order coupling sneaks in; the
+ * compile half (every header builds as its own TU) is the generated
+ * `header-selfcheck` CMake target.
+ */
+void
+ruleR5(std::string_view path, const SourceScan &scan,
+       std::vector<Finding> &findings)
+{
+    if (!isHeaderPath(path))
+        return;
+    const RuleTags rule{"R5", {"r5"}};
+    const std::string want = canonicalGuard(path);
+    const auto &toks = scan.tokens;
+    // First tokens of a well-formed header: # ifndef GUARD # define
+    // GUARD (comments never produce tokens).
+    if (toks.size() < 6 || toks[0].text != "#"
+        || toks[1].text != "ifndef"
+        || toks[2].kind != TokKind::Identifier
+        || toks[3].text != "#" || toks[4].text != "define"
+        || toks[5].text != toks[2].text) {
+        emit(findings, scan, rule, path,
+             toks.empty() ? 1 : toks[0].line,
+             "header must open with the canonical include guard "
+             "`#ifndef " + want + "` / `#define " + want + "`");
+        return;
+    }
+    if (toks[2].text != want) {
+        emit(findings, scan, rule, path, toks[2].line,
+             "include guard `" + toks[2].text
+                 + "` is not canonical; expected `" + want
+                 + "` (collisions drop header contents and create "
+                   "include-order coupling)");
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeSource(std::string_view path, std::string_view text,
+              const Options &options)
+{
+    const SourceScan scan = scanSource(text);
+    std::vector<Finding> findings;
+    ruleR1(path, scan, findings);
+    if (options.companion.empty()) {
+        ruleR2(path, scan, nullptr, findings);
+    } else {
+        const SourceScan companion = scanSource(options.companion);
+        ruleR2(path, scan, &companion, findings);
+    }
+    ruleR3(path, scan, findings);
+    ruleR4(path, scan, findings);
+    ruleR5(path, scan, findings);
+
+    if (!options.fixlist.empty()) {
+        std::erase_if(findings, [&](const Finding &f) {
+            return std::any_of(options.fixlist.begin(),
+                               options.fixlist.end(),
+                               [&](const FixListEntry &e) {
+                                   return matchesFixList(e, f);
+                               });
+        });
+    }
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return findings;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    std::ostringstream os;
+    os << finding.file << ':' << finding.line << ": ["
+       << finding.rule << "] " << finding.message;
+    return os.str();
+}
+
+} // namespace lint
+} // namespace emstress

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Token scanner implementation. A hand-rolled single-pass lexer that
+ * understands exactly as much C++ as the rules need: comments (with
+ * `lint:` annotation extraction), string/char literals incl. raw
+ * strings, pp-numbers with digit separators, and identifiers.
+ */
+
+#include "scanner.h"
+
+#include <cctype>
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/**
+ * Extract `lint:` tags from one comment's text and record them under
+ * the comment's starting line. Grammar (README.md): the marker
+ * `lint:` followed by one or more comma-separated tags matching
+ * [a-z0-9-]+. Anything else in the comment is ignored.
+ */
+void
+collectAnnotations(std::string_view comment, int line, SourceScan &out)
+{
+    const std::string_view marker = "lint:";
+    std::size_t pos = comment.find(marker);
+    while (pos != std::string_view::npos) {
+        std::size_t i = pos + marker.size();
+        for (;;) {
+            while (i < comment.size()
+                   && (comment[i] == ' ' || comment[i] == ','))
+                ++i;
+            std::size_t start = i;
+            while (i < comment.size()
+                   && (std::islower(static_cast<unsigned char>(
+                           comment[i]))
+                       || isDigit(comment[i]) || comment[i] == '-'))
+                ++i;
+            if (i == start)
+                break;
+            out.annotations[line].emplace_back(
+                comment.substr(start, i - start));
+            // Only a comma continues the tag list; a bare space ends
+            // it so prose after the tag is not swallowed.
+            std::size_t j = i;
+            while (j < comment.size() && comment[j] == ' ')
+                ++j;
+            if (j >= comment.size() || comment[j] != ',')
+                break;
+            i = j;
+        }
+        pos = comment.find(marker, i);
+    }
+}
+
+} // namespace
+
+bool
+SourceScan::hasTag(int line, std::string_view tag) const
+{
+    for (int l = line - 1; l <= line; ++l) {
+        const auto it = annotations.find(l);
+        if (it == annotations.end())
+            continue;
+        for (const std::string &t : it->second)
+            if (t == tag)
+                return true;
+    }
+    return false;
+}
+
+SourceScan
+scanSource(std::string_view text)
+{
+    SourceScan out;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = text.size();
+
+    const auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+            if (text[i] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r'
+            || c == '\f' || c == '\v') {
+            advance(1);
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            const int start_line = line;
+            std::size_t end = text.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            collectAnnotations(text.substr(i, end - i), start_line,
+                               out);
+            advance(end - i);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            const int start_line = line;
+            std::size_t end = text.find("*/", i + 2);
+            if (end == std::string_view::npos)
+                end = n;
+            else
+                end += 2;
+            collectAnnotations(text.substr(i, end - i), start_line,
+                               out);
+            advance(end - i);
+            continue;
+        }
+        // Identifier — may introduce a raw string literal.
+        if (isIdentStart(c)) {
+            std::size_t end = i + 1;
+            while (end < n && isIdentChar(text[end]))
+                ++end;
+            const std::string_view word = text.substr(i, end - i);
+            const bool raw_prefix = word == "R" || word == "u8R"
+                || word == "uR" || word == "LR";
+            if (raw_prefix && end < n && text[end] == '"') {
+                // R"delim( ... )delim"
+                std::size_t dstart = end + 1;
+                std::size_t dend = dstart;
+                while (dend < n && text[dend] != '(')
+                    ++dend;
+                const std::string closer = ")"
+                    + std::string(text.substr(dstart, dend - dstart))
+                    + "\"";
+                std::size_t close = text.find(closer, dend);
+                if (close == std::string_view::npos)
+                    close = n;
+                else
+                    close += closer.size();
+                advance(close - i);
+                continue;
+            }
+            out.tokens.push_back(
+                {TokKind::Identifier, std::string(word), line});
+            advance(end - i);
+            continue;
+        }
+        // Number (pp-number, incl. 1'000'000 and 1.2e9 forms).
+        if (isDigit(c)
+            || (c == '.' && i + 1 < n && isDigit(text[i + 1]))) {
+            std::size_t end = i + 1;
+            while (end < n) {
+                const char d = text[end];
+                if (isIdentChar(d) || d == '.') {
+                    // e/E/p/P may be followed by a sign.
+                    if ((d == 'e' || d == 'E' || d == 'p' || d == 'P')
+                        && end + 1 < n
+                        && (text[end + 1] == '+'
+                            || text[end + 1] == '-'))
+                        ++end;
+                    ++end;
+                    continue;
+                }
+                if (d == '\'' && end + 1 < n
+                    && isIdentChar(text[end + 1])) {
+                    end += 2;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {TokKind::Number,
+                 std::string(text.substr(i, end - i)), line});
+            advance(end - i);
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            std::size_t end = i + 1;
+            while (end < n && text[end] != '"') {
+                if (text[end] == '\\' && end + 1 < n)
+                    ++end;
+                ++end;
+            }
+            advance((end < n ? end + 1 : n) - i);
+            continue;
+        }
+        // Character literal (a lone ' after an identifier or number
+        // was already consumed above, so this really starts one).
+        if (c == '\'') {
+            std::size_t end = i + 1;
+            while (end < n && text[end] != '\'') {
+                if (text[end] == '\\' && end + 1 < n)
+                    ++end;
+                ++end;
+            }
+            advance((end < n ? end + 1 : n) - i);
+            continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace emstress

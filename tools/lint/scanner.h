@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Internal token scanner for emstress-lint. Produces a flat token
+ * stream with line numbers plus the `// lint: <tag>` annotations
+ * found in comments. Comments, string literals (including raw
+ * strings) and character literals never produce tokens, so rule
+ * patterns cannot fire on quoted or commented text.
+ */
+
+#ifndef EMSTRESS_TOOLS_LINT_SCANNER_H
+#define EMSTRESS_TOOLS_LINT_SCANNER_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emstress {
+namespace lint {
+
+/** Lexical class of a token. */
+enum class TokKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< pp-number: digits, '.', exponents, suffixes
+    Punct,      ///< one punctuation character per token
+};
+
+/** One scanned token. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0; ///< 1-based line of the token's first character.
+};
+
+/** Scan result: tokens plus annotation tags keyed by line. */
+struct SourceScan
+{
+    std::vector<Token> tokens;
+    /** Tags of every `// lint: a, b` comment, keyed by the line the
+     *  comment starts on. */
+    std::map<int, std::vector<std::string>> annotations;
+
+    /**
+     * True when a finding at `line` is covered by tag `tag` — i.e.
+     * the tag is annotated on the same line or on the line directly
+     * above (a comment on its own line).
+     */
+    bool hasTag(int line, std::string_view tag) const;
+};
+
+/** Tokenize one source file. Never throws on malformed input; the
+ *  scanner degrades to per-character punctuation tokens. */
+SourceScan scanSource(std::string_view text);
+
+} // namespace lint
+} // namespace emstress
+
+#endif // EMSTRESS_TOOLS_LINT_SCANNER_H

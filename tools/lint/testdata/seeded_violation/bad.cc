@@ -1,0 +1,24 @@
+// Seeded-violation fixture for the `lint.seeded_violation` ctest
+// and the CI static-analysis self-test: one violation per scanner
+// rule. emstress-lint MUST exit non-zero on this directory — that is
+// the proof the gate can fail. Never "fix" this file.
+
+#include <cstdlib>
+#include <unordered_map>
+
+double
+seededViolations()
+{
+    double acc = std::rand(); // R1: unseeded randomness
+
+    std::unordered_map<int, double> merged;
+    for (const auto &kv : merged) // R2: hash-order iteration
+        acc += kv.second;
+
+    // R3: float loop-carried accumulation as the sweep index.
+    for (double f = 0.0; f < 1.0; f += 0.1)
+        acc += f;
+
+    const double f_clk_hz = 120e6; // R4: raw unit literal
+    return acc + f_clk_hz;
+}

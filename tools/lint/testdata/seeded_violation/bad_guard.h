@@ -1,0 +1,14 @@
+// R5 seeded violation: the include guard below is not the canonical
+// EMSTRESS_BAD_GUARD_H for this path.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace emstress {
+inline int
+seededGuardViolation()
+{
+    return 5;
+}
+} // namespace emstress
+
+#endif // WRONG_GUARD_H
