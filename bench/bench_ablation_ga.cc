@@ -41,6 +41,8 @@ runGa(platform::Platform &plat, const isa::InstructionPool &pool,
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.ablation_ga.json on exit.
+    bench::PerfLog perf_log("ablation_ga");
     bench::banner("Ablation: GA design choices",
                   "mutation rate / averaging / pool diversity / "
                   "loop length");

@@ -47,6 +47,8 @@ resonantLoad(const pdn::PdnModel &pdn, double amplitude,
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.ext_adaptive_clock.json on exit.
+    bench::PerfLog perf_log("ext_adaptive_clock");
     bench::banner("Extension: adaptive clocking",
                   "mitigation effectiveness vs response latency and "
                   "power gating (Section 6 insight)");

@@ -19,6 +19,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.ext_margin_predictor.json on exit.
+    bench::PerfLog perf_log("ext_margin_predictor");
     bench::banner("Extension: margin prediction",
                   "EM-only droop / V_MIN prediction versus direct "
                   "measurement");

@@ -20,6 +20,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.ext_sdr.json on exit.
+    bench::PerfLog perf_log("ext_sdr");
     bench::banner("Extension: SDR receiver",
                   "methodology through an RTL-SDR-class dongle vs "
                   "the bench spectrum analyzer");

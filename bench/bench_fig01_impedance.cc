@@ -20,6 +20,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig01_impedance.json on exit.
+    bench::PerfLog perf_log("fig01_impedance");
     bench::banner("Figure 1(b,c)",
                   "PDN impedance spectrum and step-current ringing");
 

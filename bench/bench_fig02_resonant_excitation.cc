@@ -40,6 +40,8 @@ excite(const pdn::PdnModel &model, double freq)
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig02_resonant_excitation.json on exit.
+    bench::PerfLog perf_log("fig02_resonant_excitation");
     bench::banner("Figure 2",
                   "resonant I_LOAD pulsing maximizes V_DIE and I_DIE "
                   "oscillation");

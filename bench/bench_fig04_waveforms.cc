@@ -14,6 +14,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig04_waveforms.json on exit.
+    bench::PerfLog perf_log("fig04_waveforms");
     bench::banner("Figure 4",
                   "OC-DSO voltage waveforms: idle vs SPEC vs dI/dt "
                   "virus (Cortex-A72)");

@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig06_antenna_s11.json on exit.
+    bench::PerfLog perf_log("fig06_antenna_s11");
     bench::banner("Figure 6",
                   "loop antenna |S11|: flat below 1.2 GHz, "
                   "self-resonance at 2.95 GHz");

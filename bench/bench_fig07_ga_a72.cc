@@ -17,6 +17,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig07_ga_a72.json on exit.
+    bench::PerfLog perf_log("fig07_ga_a72");
     bench::banner("Figure 7",
                   "EM-driven GA on Cortex-A72: amplitude / droop / "
                   "dominant frequency per generation");

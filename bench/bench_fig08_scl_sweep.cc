@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig08_scl_sweep.json on exit.
+    bench::PerfLog perf_log("fig08_scl_sweep");
     bench::banner("Figure 8",
                   "SCL sweep on Cortex-A72: resonance vs powered "
                   "cores (C0C1 vs C0)");

@@ -18,6 +18,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig09_sa_vs_dso.json on exit.
+    bench::PerfLog perf_log("fig09_sa_vs_dso");
     bench::banner("Figure 9",
                   "spectrum analyzer vs FFT of OC-DSO voltage: "
                   "matching spikes");

@@ -17,6 +17,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig10_vmin_a72.json on exit.
+    bench::PerfLog perf_log("fig10_vmin_a72");
     bench::banner("Figure 10",
                   "V_MIN and max droop on Cortex-A72 (dual core)");
 

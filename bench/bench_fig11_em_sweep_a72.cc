@@ -16,6 +16,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig11_em_sweep_a72.json on exit.
+    bench::PerfLog perf_log("fig11_em_sweep_a72");
     bench::banner("Figure 11",
                   "EM loop-frequency sweep on Cortex-A72 (C0C1 and "
                   "C0)");

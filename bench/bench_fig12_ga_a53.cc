@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig12_ga_a53.json on exit.
+    bench::PerfLog perf_log("fig12_ga_a53");
     bench::banner("Figure 12",
                   "EM-driven GA on Cortex-A53 (no voltage "
                   "visibility)");

@@ -16,6 +16,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig13_powergate_a53.json on exit.
+    bench::PerfLog perf_log("fig13_powergate_a53");
     bench::banner("Figure 13",
                   "Cortex-A53 resonance vs powered cores (power "
                   "gating)");

@@ -17,6 +17,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig14_vmin_a53.json on exit.
+    bench::PerfLog perf_log("fig14_vmin_a53");
     bench::banner("Figure 14",
                   "V_MIN on Cortex-A53 (quad core, 950 MHz)");
 

@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig15_multidomain.json on exit.
+    bench::PerfLog perf_log("fig15_multidomain");
     bench::banner("Figure 15",
                   "simultaneous multi-domain monitoring (A72 + A53 "
                   "viruses)");

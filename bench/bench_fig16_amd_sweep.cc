@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig16_amd_sweep.json on exit.
+    bench::PerfLog perf_log("fig16_amd_sweep");
     bench::banner("Figure 16",
                   "EM loop-frequency sweep on AMD Athlon II X4 645");
 

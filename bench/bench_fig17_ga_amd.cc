@@ -15,6 +15,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig17_ga_amd.json on exit.
+    bench::PerfLog perf_log("fig17_ga_amd");
     bench::banner("Figure 17", "EM-driven GA on the AMD CPU");
 
     platform::Platform amd(platform::athlonConfig(), 18);

@@ -19,6 +19,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.fig18_vmin_amd.json on exit.
+    bench::PerfLog perf_log("fig18_vmin_amd");
     bench::banner("Figure 18",
                   "V_MIN and voltage noise on the AMD Athlon II X4 "
                   "645");

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/fitness.h"
 #include "core/resonant_kernel.h"
 #include "dsp/fft.h"
@@ -199,4 +200,19 @@ BENCHMARK(BM_FullDroopFitnessEvaluation)->Arg(1)->Arg(0);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also emits the
+// bench_out/BENCH_perf.perf_kernels.json ledger: the microbenchmark
+// bodies drive the instrumented hot paths (transient steps, stream
+// runs, SA band evaluations), and the PerfLog destructor snapshots
+// those counters after the last repetition.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::PerfLog perf_log("perf_kernels");
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

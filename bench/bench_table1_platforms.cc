@@ -14,6 +14,8 @@ using namespace emstress;
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.table1_platforms.json on exit.
+    bench::PerfLog perf_log("table1_platforms");
     bench::banner("Table 1", "experimental platform details");
 
     Table t({"MB", "CPU", "cores", "ISA", "uArch", "fmax_v_point",

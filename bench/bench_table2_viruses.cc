@@ -48,6 +48,8 @@ addRow(Table &t, const core::VirusTableRow &row)
 int
 main()
 {
+    // Emits bench_out/BENCH_perf.table2_viruses.json on exit.
+    bench::PerfLog perf_log("table2_viruses");
     bench::banner("Table 2",
                   "dI/dt virus comparison across platforms");
 

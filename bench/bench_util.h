@@ -14,6 +14,7 @@
 #ifndef EMSTRESS_BENCH_BENCH_UTIL_H
 #define EMSTRESS_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -21,10 +22,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/virus_generator.h"
 #include "platform/platform.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace emstress {
 namespace bench {
@@ -106,6 +110,36 @@ evalForMode()
 }
 
 /**
+ * RAII perf-baseline writer: on destruction, snapshots the global
+ * metrics registry and writes `bench_out/BENCH_perf.<bench>.json`
+ * (schema documented in EXPERIMENTS.md "Perf baselines"). Construct
+ * one at the top of every bench main so the ledger is emitted on
+ * every exit path; tools/perfdiff.py compares two such ledgers.
+ */
+class PerfLog
+{
+  public:
+    explicit PerfLog(std::string bench) : bench_(std::move(bench)) {}
+    PerfLog(const PerfLog &) = delete;
+    PerfLog &operator=(const PerfLog &) = delete;
+
+    ~PerfLog()
+    {
+        const auto snap = metrics::Registry::instance().snapshot();
+        const auto path =
+            outputDir() / ("BENCH_perf." + bench_ + ".json");
+        std::ofstream f(path);
+        f << metrics::benchPerfJson(bench_,
+                                    fullMode() ? "full" : "quick",
+                                    resolveThreadCount(0), snap);
+        std::cout << "[perf] " << path.string() << "\n";
+    }
+
+  private:
+    std::string bench_;
+};
+
+/**
  * Print the measurement-pipeline counters of a GA search: fresh
  * evaluations vs. cache hits vs. reused elites, worker threads, the
  * parallel speedup over the serial evaluation path, and — when a
@@ -158,40 +192,133 @@ struct BenchVirus
     core::VirusReport report;
     std::vector<GaHistoryRow> history;
     double lab_seconds = 0.0; ///< Modeled physical search time.
+    bool from_cache = false;  ///< Loaded rather than searched.
 };
 
+/** Stable FNV-1a 64-bit hash (cache fingerprinting). */
+inline std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char ch : s) {
+        h ^= static_cast<std::uint64_t>(
+            static_cast<unsigned char>(ch));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 /**
- * Fetch a virus from the cross-bench cache, or run the GA search and
- * cache the result (kernel + GA progression sidecar). Progress is
- * logged per generation.
+ * Human-readable serialization of every budget-defining field of a
+ * virus search. Anything that can change the search *result* must
+ * appear here: the cross-bench cache refuses to serve an entry whose
+ * recorded fingerprint differs from the requested budget's, so a
+ * reduced-budget (quick) artifact can never masquerade as a
+ * paper-budget (full) one — and a cache populated before a default
+ * budget changed is invalidated instead of silently reused.
+ */
+inline std::string
+budgetDescription(const core::VirusSearchConfig &cfg)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "ga:" << cfg.ga.population << 'x' << cfg.ga.generations
+       << ":len" << cfg.ga.kernel_length
+       << ":mut" << cfg.ga.mutation_rate
+       << ":op" << cfg.ga.operand_mutation_ratio
+       << ":tk" << cfg.ga.tournament_k
+       << ":el" << cfg.ga.elite
+       << ":seed" << cfg.ga.seed
+       << ":rs" << cfg.ga.restarts
+       << "|eval:dur" << cfg.eval.duration_s
+       << ":sa" << cfg.eval.sa_samples
+       << ":f" << cfg.eval.f_lo_hz << '-' << cfg.eval.f_hi_hz
+       << ":cores" << cfg.eval.active_cores
+       << ":stream" << (cfg.eval.streaming ? 1 : 0)
+       << "|metric:" << core::virusMetricName(cfg.metric);
+    return os.str();
+}
+
+/** Budget fingerprint: the hash the cache keys entries on. */
+inline std::uint64_t
+budgetFingerprint(const core::VirusSearchConfig &cfg)
+{
+    return fnv1a64(budgetDescription(cfg));
+}
+
+/** Mode-suffixed cache stem of a named virus. */
+inline std::string
+virusCacheStem(const std::string &name, bool full)
+{
+    return name + (full ? ".full" : ".quick");
+}
+
+/**
+ * True when a cached virus at dir/stem exists AND its recorded
+ * budget fingerprint matches: kernel, history and meta sidecar all
+ * present, meta's fingerprint equal to `fingerprint`. Entries
+ * written before the meta sidecar existed never match.
+ */
+inline bool
+cachedVirusServes(const std::filesystem::path &dir,
+                  const std::string &stem, std::uint64_t fingerprint)
+{
+    namespace fs = std::filesystem;
+    if (!fs::exists(dir / (stem + ".kernel"))
+        || !fs::exists(dir / (stem + ".history"))
+        || !fs::exists(dir / (stem + ".meta")))
+        return false;
+    std::ifstream mf(dir / (stem + ".meta"));
+    std::string tag;
+    std::uint64_t recorded = 0;
+    if (!(mf >> tag >> std::hex >> recorded) || tag != "fingerprint")
+        return false;
+    return recorded == fingerprint;
+}
+
+/**
+ * Fetch a virus from the cross-bench cache at `dir`, or run the GA
+ * search and cache the result (kernel + GA progression + budget-meta
+ * sidecars). The cache key is the stem (mode-suffixed by callers,
+ * see virusCacheStem) AND the budget fingerprint: any entry whose
+ * recorded fingerprint differs from `cfg`'s — other mode, other GA
+ * budget, other eval settings, pre-fingerprint era — is treated as
+ * stale, deleted, and re-searched.
  *
- * @param plat   Target platform (frequency/power state must already
- *               be configured).
- * @param name   Cache key, e.g. "a72em" (mode-suffixed internally).
- * @param metric Feedback metric for the search.
- * @param seed   GA seed.
+ * @param dir      Cache directory.
+ * @param stem     Cache stem, e.g. "a72em.quick".
+ * @param plat     Target platform (frequency/power state must
+ *                 already be configured).
+ * @param cfg      Full search configuration (budget + metric).
+ * @param progress Optional per-generation observer.
  */
 inline BenchVirus
-getOrSearchVirus(platform::Platform &plat, const std::string &name,
-                 core::VirusMetric metric, std::uint64_t seed)
+searchOrLoadVirus(const std::filesystem::path &dir,
+                  const std::string &stem, platform::Platform &plat,
+                  const core::VirusSearchConfig &cfg,
+                  const ga::GenerationCallback &progress = nullptr)
 {
-    const std::string suffix = fullMode() ? ".full" : ".quick";
-    const auto path = outputDir() / (name + suffix + ".kernel");
-    const auto hist_path = outputDir() / (name + suffix + ".history");
+    namespace fs = std::filesystem;
+    const auto path = dir / (stem + ".kernel");
+    const auto hist_path = dir / (stem + ".history");
+    const auto meta_path = dir / (stem + ".meta");
+    const std::uint64_t fingerprint = budgetFingerprint(cfg);
+    auto &reg = metrics::Registry::instance();
 
     core::VirusGenerator gen(plat);
-    if (std::filesystem::exists(path)
-        && std::filesystem::exists(hist_path)) {
+    if (cachedVirusServes(dir, stem, fingerprint)) {
+        reg.add("bench.virus_cache.hits");
         std::ifstream f(path);
         std::ostringstream buf;
         buf << f.rdbuf();
         const auto kernel =
             isa::Kernel::deserialize(plat.pool(), buf.str());
-        std::cout << "[cache] reusing virus '" << name << "' from "
+        std::cout << "[cache] reusing virus '" << stem << "' from "
                   << path.string() << "\n";
         BenchVirus out;
-        out.report = gen.characterize(kernel, evalForMode());
-        out.report.metric = core::virusMetricName(metric);
+        out.from_cache = true;
+        out.report = gen.characterize(kernel, cfg.eval);
+        out.report.metric = core::virusMetricName(cfg.metric);
 
         std::ifstream hf(hist_path);
         hf >> out.lab_seconds;
@@ -204,25 +331,29 @@ getOrSearchVirus(platform::Platform &plat, const std::string &name,
         return out;
     }
 
-    core::VirusSearchConfig cfg;
-    cfg.ga = gaConfigForMode(seed);
-    cfg.eval = evalForMode();
-    cfg.metric = metric;
-    std::cout << "[ga] searching virus '" << name << "' ("
-              << core::virusMetricName(metric) << ", "
+    if (fs::exists(path) || fs::exists(hist_path)
+        || fs::exists(meta_path)) {
+        // Same stem, different (or unrecorded) budget: the entry
+        // would silently stand in for a search it never ran.
+        reg.add("bench.virus_cache.invalidations");
+        std::cout << "[cache] stale virus '" << stem
+                  << "' (budget fingerprint mismatch); "
+                     "re-searching\n";
+        fs::remove(path);
+        fs::remove(hist_path);
+        fs::remove(meta_path);
+    }
+    reg.add("bench.virus_cache.misses");
+
+    std::cout << "[ga] searching virus '" << stem << "' ("
+              << core::virusMetricName(cfg.metric) << ", "
               << cfg.ga.population << " x " << cfg.ga.generations
               << ")...\n";
     BenchVirus out;
-    out.report =
-        gen.search(cfg, [](const ga::GenerationRecord &rec) {
-            if (rec.generation % 5 == 0) {
-                std::printf("  gen %2zu  best %.2f  mean %.2f  "
-                            "dom %.1f MHz\n",
-                            rec.generation, rec.best_fitness,
-                            rec.mean_fitness,
-                            rec.best_detail.dominant_freq_hz / 1e6);
-            }
-        });
+    {
+        metrics::ScopedPhase search_span("bench.virus_search");
+        out.report = gen.search(cfg, progress);
+    }
     out.lab_seconds = out.report.ga.estimated_lab_seconds;
 
     // Build the progression rows; re-measure each generation's best
@@ -235,7 +366,7 @@ getOrSearchVirus(platform::Platform &plat, const std::string &name,
         row.dominant_mhz = rec.best_detail.dominant_freq_hz / 1e6;
         if (plat.hasVoltageVisibility()) {
             const auto run =
-                plat.runKernel(rec.best, evalForMode().duration_s);
+                plat.runKernel(rec.best, cfg.eval.duration_s);
             const Trace cap = plat.scope().capture(run.v_die);
             row.best_droop_mv = instruments::Oscilloscope::maxDroop(
                                     cap, plat.voltage())
@@ -253,9 +384,45 @@ getOrSearchVirus(platform::Platform &plat, const std::string &name,
            << row.mean_fitness << ' ' << row.dominant_mhz << ' '
            << row.best_droop_mv << "\n";
     }
-    std::cout << "[cache] saved virus '" << name << "' to "
+    std::ofstream mf(meta_path);
+    mf << "fingerprint " << std::hex << fingerprint << std::dec
+       << "\nbudget " << budgetDescription(cfg) << "\n";
+    std::cout << "[cache] saved virus '" << stem << "' to "
               << path.string() << "\n";
     return out;
+}
+
+/**
+ * Fetch a virus from the cross-bench cache, or run the GA search and
+ * cache the result. Mode-scaled budgets; progress is logged every
+ * five generations.
+ *
+ * @param plat   Target platform (frequency/power state must already
+ *               be configured).
+ * @param name   Cache key, e.g. "a72em" (mode- and budget-keyed
+ *               internally).
+ * @param metric Feedback metric for the search.
+ * @param seed   GA seed.
+ */
+inline BenchVirus
+getOrSearchVirus(platform::Platform &plat, const std::string &name,
+                 core::VirusMetric metric, std::uint64_t seed)
+{
+    core::VirusSearchConfig cfg;
+    cfg.ga = gaConfigForMode(seed);
+    cfg.eval = evalForMode();
+    cfg.metric = metric;
+    return searchOrLoadVirus(
+        outputDir(), virusCacheStem(name, fullMode()), plat, cfg,
+        [](const ga::GenerationRecord &rec) {
+            if (rec.generation % 5 == 0) {
+                std::printf("  gen %2zu  best %.2f  mean %.2f  "
+                            "dom %.1f MHz\n",
+                            rec.generation, rec.best_fitness,
+                            rec.mean_fitness,
+                            rec.best_detail.dominant_freq_hz / 1e6);
+            }
+        });
 }
 
 } // namespace bench

@@ -6,6 +6,7 @@
 #include "circuit/transient.h"
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace emstress {
 namespace circuit {
@@ -60,6 +61,8 @@ TransientAnalysis::TransientAnalysis(const Netlist &netlist, double dt)
         }
     }
     lhs_ = std::make_unique<LuSolver<double>>(std::move(lhs));
+    metrics::Registry::instance().add(
+        "circuit.transient.factorizations");
 }
 
 TransientAnalysis::~TransientAnalysis() = default;
@@ -142,6 +145,11 @@ TransientAnalysis::run(std::size_t steps,
         for (std::size_t p = 0; p < probe_idx.size(); ++p)
             result.waveforms[p].push(x[probe_idx[p]]);
     }
+    // Batched counter flush: one registry call per run, not per
+    // step, keeps the hot loop free of locks.
+    auto &reg = metrics::Registry::instance();
+    reg.add("circuit.transient.steps", steps);
+    reg.add("circuit.transient.lu_solves", steps);
     return result;
 }
 

@@ -6,6 +6,10 @@
 #include "ga/batch_evaluator.h"
 
 #include <chrono>
+#include <optional>
+#include <string>
+
+#include "util/metrics.h"
 
 namespace emstress {
 namespace ga {
@@ -82,6 +86,12 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     Outcome out;
     if (indices.empty())
         return out;
+
+    // Observability only (see util/metrics.h): spans and counters
+    // observe the batch, never steer it. Re-emplacing closes the
+    // previous phase's span exactly at the phase boundary.
+    std::optional<metrics::ScopedPhase> span;
+    span.emplace("batch.dispatch");
 
     // Phase 1 (calling thread, deterministic): split the batch into
     // cache hits and unique fresh work. Duplicates *within* the batch
@@ -164,22 +174,45 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
         }
         task.seconds = secondsSince(task_t0);
     };
+    span.emplace("batch.evaluate");
     const auto t0 = Clock::now();
+    // Queue-wait accounting: how long each fresh task sat between
+    // batch dispatch and the moment a worker picked it up.
+    const double q0 = metrics::monotonicSeconds();
+    const bool observe = metrics::enabled();
     if (fresh.size() > 1 && ensureWorkers()) {
         pool_->parallelFor(
             fresh.size(),
-            [this, &fresh, &runOne](std::size_t i,
-                                    std::size_t worker) {
+            [this, &fresh, &runOne, q0, observe](std::size_t i,
+                                                 std::size_t worker) {
+                if (observe) {
+                    auto &reg = metrics::Registry::instance();
+                    reg.recordLatency(
+                        "batch.queue_wait",
+                        metrics::monotonicSeconds() - q0);
+                    reg.add("batch.worker."
+                                + std::to_string(worker) + ".tasks");
+                }
+                metrics::ScopedPhase task_span("batch.eval_task");
                 runOne(*clones_[worker], fresh[i]);
             });
     } else {
-        for (FreshTask &task : fresh)
+        for (FreshTask &task : fresh) {
+            if (observe) {
+                auto &reg = metrics::Registry::instance();
+                reg.recordLatency("batch.queue_wait",
+                                  metrics::monotonicSeconds() - q0);
+                reg.add("batch.worker.serial.tasks");
+            }
+            metrics::ScopedPhase task_span("batch.eval_task");
             runOne(base_, task);
+        }
     }
     const double wall = secondsSince(t0);
 
     // Phase 3 (calling thread, index order): publish results, resolve
     // duplicates, and fill the cache.
+    span.emplace("batch.merge");
     for (const FreshTask &task : fresh) {
         fitness[task.slot] = task.fitness;
         details[task.slot] = task.detail;
@@ -213,6 +246,11 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     stats_.evals += out.fresh;
     stats_.cache_hits += out.cache_hits;
     stats_.wall_seconds += wall;
+    if (observe) {
+        auto &reg = metrics::Registry::instance();
+        reg.add("batch.fresh_evals", out.fresh);
+        reg.add("batch.cache_hits", out.cache_hits);
+    }
     return out;
 }
 

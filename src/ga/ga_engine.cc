@@ -10,6 +10,8 @@
 
 #include "ga/batch_evaluator.h"
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/stats.h"
 
 namespace emstress {
 namespace ga {
@@ -189,6 +191,10 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
     std::vector<char> known(config_.population, 0);
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        // Observability only: the span and the summary gauges below
+        // read the population, never write it, so results are
+        // bit-identical with metrics on or off.
+        metrics::ScopedPhase gen_span("ga.generation");
         // Measure the individuals we have not measured (Sec 3.1(b)).
         std::vector<std::size_t> todo;
         todo.reserve(population.size());
@@ -211,6 +217,21 @@ GaEngine::runSingle(FitnessEvaluator &evaluator,
                 best_i = i;
         }
         mean /= static_cast<double>(fitness.size());
+
+        if (metrics::enabled()) {
+            // Per-generation fitness summary: one sort, many
+            // percentile queries (stats::percentileSorted).
+            std::vector<double> sorted_fitness(fitness);
+            std::sort(sorted_fitness.begin(), sorted_fitness.end());
+            auto &reg = metrics::Registry::instance();
+            reg.setGauge("ga.fitness.p05",
+                         stats::percentileSorted(sorted_fitness, 5.0));
+            reg.setGauge("ga.fitness.p50",
+                         stats::percentileSorted(sorted_fitness, 50.0));
+            reg.setGauge("ga.fitness.p95",
+                         stats::percentileSorted(sorted_fitness, 95.0));
+            reg.add("ga.individuals_evaluated", todo.size());
+        }
 
         GenerationRecord rec;
         rec.generation = gen;

@@ -11,6 +11,7 @@
 #include "dsp/fft.h"
 #include "dsp/window.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace emstress {
@@ -38,6 +39,7 @@ SdrReceiver::tune(double center_hz)
 IqCapture
 SdrReceiver::capture(const Trace &v_antenna)
 {
+    metrics::Registry::instance().add("instruments.sdr.captures");
     requireConfig(v_antenna.size() >= 16,
                   "SDR capture needs an input waveform");
     const double fs_in = v_antenna.sampleRate();
@@ -161,6 +163,7 @@ SaMarker
 SdrReceiver::scanMaxAmplitude(const Trace &v_antenna, double f_lo_hz,
                               double f_hi_hz)
 {
+    metrics::Registry::instance().add("instruments.sdr.scans");
     requireConfig(f_hi_hz > f_lo_hz, "scan band must be non-empty");
     SaMarker best;
     const double bw = params_.sample_rate_hz;

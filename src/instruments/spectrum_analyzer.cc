@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace emstress {
@@ -42,6 +43,7 @@ SaSweep
 SpectrumAnalyzer::noisySweep(const dsp::Spectrum &spec,
                              Rng &noise) const
 {
+    metrics::Registry::instance().add("instruments.sa.sweeps");
     const double floor_w = dbmToWatts(params_.noise_floor_dbm);
 
     SaSweep out;
@@ -101,6 +103,7 @@ SaMarker
 SaBandDetector::sweepMax(const std::vector<double> &amps,
                          Rng &noise) const
 {
+    metrics::Registry::instance().add("instruments.sa.band_evals");
     const double floor_w = dbmToWatts(params_.noise_floor_dbm);
     const double df = bank_.binWidthHz();
     const std::size_t half = bank_.nfft() / 2;

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace emstress {
@@ -253,6 +254,15 @@ PdnStreamSink::finish()
         const std::array<double, 2> src = {last_, 0.0};
         stepper_.step(src);
         emitProbes();
+    }
+    if (!finished_) {
+        // Batched flush: one registry call per stream covers every
+        // stepper_.step() taken, mirroring the batch path's per-run
+        // counters in TransientAnalysis::run.
+        auto &reg = metrics::Registry::instance();
+        reg.add("circuit.transient.steps", emitted_);
+        reg.add("circuit.transient.lu_solves", emitted_);
+        reg.add("pdn.stream.samples", emitted_);
     }
     finished_ = true;
     if (v_die_out_)

@@ -11,6 +11,7 @@
 
 #include "pdn/resonance.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace emstress {
@@ -368,6 +369,10 @@ Platform::streamKernel(const isa::Kernel &kernel, double duration_s,
     requireConfig(active_cores <= powered,
                   "cannot run on more cores than are powered");
 
+    // Observability only: the span/counters never feed the run.
+    metrics::ScopedPhase stream_span("platform.stream");
+    metrics::Registry::instance().add("platform.stream.runs");
+
     // The whole run's shape is known a priori: the loop emits one
     // current sample per simulated cycle.
     const double total_s = duration_s + kSettleTime;
@@ -391,6 +396,7 @@ Platform::streamKernel(const isa::Kernel &kernel, double duration_s,
         static_cast<std::size_t>(duration_s / kPdnDt);
     const std::size_t n = std::min(want, n_pdn - settle_steps);
     requireSim(n >= 16, "run produced too few PDN samples");
+    metrics::Registry::instance().add("platform.stream.samples", n);
 
     // Pass A: the batch path biases the PDN's initial DC point at the
     // mean of the whole load trace, which a single forward pass cannot

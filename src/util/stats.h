@@ -85,22 +85,45 @@ peakToPeak(std::span<const double> xs)
 }
 
 /**
+ * Linear-interpolated percentile over already-sorted samples: the
+ * O(1)-per-query companion of percentile() for callers that sort
+ * once and query many percentiles (e.g. the per-generation fitness
+ * summary gauges in GaEngine).
+ * @param sorted Samples in ascending order (checked in debug
+ *               builds; undefined result if violated in release).
+ * @param p      Percentile in [0, 100].
+ */
+inline double
+percentileSorted(std::span<const double> sorted, double p)
+{
+    requireSim(!sorted.empty(), "stats::percentile of empty span");
+    requireConfig(p >= 0.0 && p <= 100.0, "percentile outside [0,100]");
+#ifndef NDEBUG
+    requireSim(std::is_sorted(sorted.begin(), sorted.end()),
+               "stats::percentileSorted needs ascending samples");
+#endif
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+    const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo_idx);
+    return sorted[lo_idx] * (1.0 - frac) + sorted[hi_idx] * frac;
+}
+
+/**
  * Linear-interpolated percentile.
  * @param xs Samples (not required to be sorted; copied internally).
+ *           Multi-percentile callers should sort once and use
+ *           percentileSorted instead of paying the sort per query;
+ *           the two agree bit-exactly (tests/test_util.cc).
  * @param p  Percentile in [0, 100].
  */
 inline double
 percentile(std::span<const double> xs, double p)
 {
     requireSim(!xs.empty(), "stats::percentile of empty span");
-    requireConfig(p >= 0.0 && p <= 100.0, "percentile outside [0,100]");
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
-    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-    const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
-    const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
-    const double frac = rank - static_cast<double>(lo_idx);
-    return sorted[lo_idx] * (1.0 - frac) + sorted[hi_idx] * frac;
+    return percentileSorted(sorted, p);
 }
 
 /**

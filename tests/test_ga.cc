@@ -5,6 +5,8 @@
  */
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 #include "isa/kernel.h"
 #include "isa/pool.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace emstress {
@@ -484,6 +487,62 @@ TEST(GaEngine, IdenticalResultsAcrossThreadCounts)
         EXPECT_EQ(counter->load(), reference_evals);
         EXPECT_EQ(result.eval_stats.threads, threads);
     }
+}
+
+/**
+ * Order-sensitive hash of everything a GA run reports: best kernel
+ * genome, best fitness bits, and the full per-generation history.
+ * Two runs with equal hashes produced bit-identical results.
+ */
+std::uint64_t
+resultHash(const GaResult &result)
+{
+    std::uint64_t h = mixSeed(result.best.hash(),
+                              std::bit_cast<std::uint64_t>(
+                                  result.best_fitness));
+    for (const auto &rec : result.history) {
+        h = mixSeed(h, rec.generation);
+        h = mixSeed(h, std::bit_cast<std::uint64_t>(rec.best_fitness));
+        h = mixSeed(h, std::bit_cast<std::uint64_t>(rec.mean_fitness));
+        h = mixSeed(h, rec.best.hash());
+    }
+    return h;
+}
+
+TEST(GaEngine, BitIdenticalWithMetricsToggledAcrossThreads)
+{
+    // The observability layer's core contract (ISSUE 5 / DESIGN.md
+    // §11): metrics are strictly out-of-band, so enabling or
+    // disabling them — at any worker count — cannot perturb a single
+    // bit of the search result. Equivalent to running with
+    // EMSTRESS_METRICS=0/1; the programmatic toggle exercises the
+    // same gate without respawning the process.
+    const auto pool = isa::InstructionPool::armV8();
+    const bool was_enabled = metrics::enabled();
+
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (const bool metrics_on : {true, false}) {
+        metrics::setEnabled(metrics_on);
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+            auto counter = std::make_shared<std::atomic<int>>(0);
+            CloneableSimdFitness fitness(pool, counter);
+            auto cfg = smallConfig();
+            cfg.threads = threads;
+            GaEngine engine(pool, cfg);
+            const std::uint64_t h = resultHash(engine.run(fitness));
+            if (!have_reference) {
+                reference = h;
+                have_reference = true;
+                continue;
+            }
+            EXPECT_EQ(h, reference)
+                << "metrics_on = " << metrics_on
+                << ", threads = " << threads;
+        }
+    }
+
+    metrics::setEnabled(was_enabled);
 }
 
 TEST(BatchEvaluator, DuplicateKernelsAreSimulatedOnce)

@@ -101,6 +101,43 @@ TEST(LintR1, RngHeaderIsExempt)
     EXPECT_EQ(countRule(fake, "R1"), 1u);
 }
 
+TEST(LintR1, MetricsHeaderIsSanctionedClockHome)
+{
+    // util/metrics.h hosts the observability layer's clock reads the
+    // way util/rng.h hosts randomness: clock identifiers there need
+    // no per-line annotation.
+    const std::string clocks =
+        "auto t = std::chrono::steady_clock::now();\n"
+        "timespec ts{}; clock_gettime(CLOCK_THREAD_CPUTIME_ID, "
+        "&ts);\n";
+    EXPECT_EQ(countRule(analyzeSource("src/util/metrics.h", clocks),
+                        "R1"),
+              0u);
+    // The same text anywhere else still fails the gate (the seeded
+    // fixture bad_timing.cc pins the end-to-end half of this).
+    EXPECT_EQ(
+        countRule(analyzeSource("src/core/metrics_abuse.cc", clocks),
+                  "R1"),
+        2u);
+    // Lookalike paths are not exempt.
+    EXPECT_EQ(countRule(analyzeSource("src/util/xmetrics.h", clocks),
+                        "R1"),
+              2u);
+}
+
+TEST(LintR1, MetricsHeaderExemptionIsClockScoped)
+{
+    // Unlike rng.h, metrics.h is only sanctioned for clocks:
+    // randomness and un-annotated environment reads there are still
+    // findings.
+    const auto rnd = analyzeSource("src/util/metrics.h",
+                                   "int r = rand();\n");
+    EXPECT_EQ(countRule(rnd, "R1"), 1u);
+    const auto env = analyzeSource(
+        "src/util/metrics.h", "const char *e = std::getenv(\"M\");\n");
+    EXPECT_EQ(countRule(env, "R1"), 1u);
+}
+
 // ------------------------------------------------------------- R2
 
 TEST(LintR2, FlagsRangeForOverUnordered)

@@ -79,6 +79,43 @@ TEST(Stats, Percentile)
     EXPECT_THROW((void)stats::percentile(xs, 101.0), ConfigError);
 }
 
+TEST(Stats, PercentileSortedBitExactWithPercentile)
+{
+    // percentile() is now a sort-then-delegate wrapper around
+    // percentileSorted(); the two must agree to the last bit so
+    // call sites can convert to sort-once without changing any
+    // recorded result.
+    Rng rng(314);
+    std::vector<double> xs;
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(rng.gaussian(0.0, 5.0));
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p :
+         {0.0, 1.0, 3.7, 25.0, 50.0, 75.0, 97.3, 99.0, 100.0}) {
+        const double via_wrapper = stats::percentile(xs, p);
+        const double via_sorted = stats::percentileSorted(sorted, p);
+        // Bit-exact, not approximately equal.
+        EXPECT_EQ(via_wrapper, via_sorted) << "p = " << p;
+    }
+}
+
+TEST(Stats, PercentileSortedValidatesInput)
+{
+    const std::vector<double> sorted = {1.0, 2.0, 3.0};
+    EXPECT_THROW((void)stats::percentileSorted(sorted, -1.0),
+                 ConfigError);
+    EXPECT_THROW((void)stats::percentileSorted({}, 50.0),
+                 SimulationError);
+#ifndef NDEBUG
+    // Debug builds verify sortedness; release builds skip the O(n)
+    // check (that is the point of the function).
+    const std::vector<double> unsorted = {3.0, 1.0, 2.0};
+    EXPECT_THROW((void)stats::percentileSorted(unsorted, 50.0),
+                 SimulationError);
+#endif
+}
+
 TEST(Stats, EmptySpanThrows)
 {
     const std::vector<double> xs;

@@ -8,7 +8,8 @@
  * every determinism bug shipped so far:
  *
  *   R1  nondet-source   rand()/random_device/clocks/getenv outside
- *                       src/util/rng.h and annotated sites
+ *                       src/util/rng.h (clocks also sanctioned in
+ *                       src/util/metrics.h) and annotated sites
  *   R2  unordered-iter  iteration over unordered_{map,set} whose
  *                       order can leak into merged results
  *   R3  float-sweep     floating-point loop-carried accumulation
@@ -79,8 +80,9 @@ struct Options
 
 /**
  * Run every rule over one in-memory source file. `path` determines
- * path-based exemptions (src/util/rng.h for R1, src/util/units.h for
- * R4) and the canonical guard name for R5; it does not need to exist
+ * path-based exemptions (src/util/rng.h for all of R1,
+ * src/util/metrics.h for R1's clock identifiers, src/util/units.h
+ * for R4) and the canonical guard name for R5; it does not need to exist
  * on disk. Returns the unsuppressed findings in line order.
  */
 std::vector<Finding> analyzeSource(std::string_view path,

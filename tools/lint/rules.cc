@@ -90,6 +90,13 @@ ruleR1(std::string_view path, const SourceScan &scan,
     if (pathEndsWith(path, "src/util/rng.h")
         || pathEndsWith(path, "util/rng.h"))
         return;
+    // util/metrics.h is the sanctioned home for wall/CPU clock reads
+    // (observability only), exactly as util/rng.h is for randomness.
+    // The exemption is clock-scoped: randomness and environment
+    // reads in that header are still findings.
+    const bool metrics_home =
+        pathEndsWith(path, "src/util/metrics.h")
+        || pathEndsWith(path, "util/metrics.h");
     const RuleTags clock_rule{"R1", {"timing-stats", "r1"}};
     const RuleTags env_rule{"R1", {"env-config", "r1"}};
     const RuleTags random_rule{"R1", {"r1"}};
@@ -97,6 +104,8 @@ ruleR1(std::string_view path, const SourceScan &scan,
         if (tok.kind != TokKind::Identifier)
             continue;
         if (kClockIdents.count(tok.text)) {
+            if (metrics_home)
+                continue;
             emit(findings, scan, clock_rule, path, tok.line,
                  "nondeterministic clock `" + tok.text
                      + "`; derive results from seeded streams "

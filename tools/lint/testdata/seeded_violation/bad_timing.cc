@@ -1,0 +1,17 @@
+// Seeded-violation fixture: ad-hoc wall-clock timing OUTSIDE
+// src/util/metrics.h (the sanctioned clock home) and without a
+// `// lint: timing-stats` annotation must keep failing R1, so the
+// metrics-header exemption cannot silently widen into a blanket
+// clock allowance. Never "fix" this file.
+
+#include <chrono>
+
+double
+adHocTiming()
+{
+    // R1: nondeterministic clock in ordinary code.
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Compare BENCH_perf.json perf ledgers against a checked-in baseline.
+
+Usage:
+    perfdiff.py BASELINE CURRENT [--wall-warn-pct 25] [--strict]
+
+BASELINE and CURRENT are files or directories; directories are scanned
+for BENCH_perf.*.json and ledgers are matched by their "bench" field.
+For every bench present on both sides the script prints a per-phase
+delta table (wall seconds, per-thread CPU seconds, entry counts) and a
+counter delta table.
+
+The comparison is warn-only by default: wall-clock time depends on the
+host, so CI treats regressions as a signal to read, not a gate
+(--strict turns warnings into a non-zero exit for local bisecting).
+Counters, by contrast, are deterministic for a fixed budget — a
+counter delta on an unchanged budget means the workload itself
+changed, which is exactly what a silent perf regression looks like.
+
+Writes the same report as Markdown to $GITHUB_STEP_SUMMARY when set.
+Standard library only.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_ledgers(path):
+    """Map bench name -> parsed ledger for a file or directory."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_perf.*.json")))
+    else:
+        files = [path]
+    ledgers = {}
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable ledger {f}: {err}",
+                  file=sys.stderr)
+            continue
+        if data.get("schema") != "emstress-bench-perf-v1":
+            print(f"warning: {f} is not an emstress-bench-perf-v1 ledger",
+                  file=sys.stderr)
+            continue
+        ledgers[data.get("bench", os.path.basename(f))] = data
+    return ledgers
+
+
+def fmt_delta_pct(base, cur):
+    if base == 0:
+        return "n/a" if cur == 0 else "new"
+    return f"{100.0 * (cur - base) / base:+.1f}%"
+
+
+def markdown_table(header, rows):
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    lines += ["| " + " | ".join(str(c) for c in row) + " |"
+              for row in rows]
+    return "\n".join(lines)
+
+
+def diff_bench(name, base, cur, wall_warn_pct):
+    """Return (markdown report, warning list) for one bench."""
+    out = [f"### {name} ({base.get('mode', '?')} vs "
+           f"{cur.get('mode', '?')}, threads "
+           f"{base.get('threads', '?')} -> {cur.get('threads', '?')})"]
+    warnings = []
+
+    phase_rows = []
+    names = sorted(set(base.get("phases", {})) | set(cur.get("phases", {})))
+    for phase in names:
+        b = base.get("phases", {}).get(phase, {})
+        c = cur.get("phases", {}).get(phase, {})
+        b_wall = b.get("wall_s", 0.0)
+        c_wall = c.get("wall_s", 0.0)
+        pct = fmt_delta_pct(b_wall, c_wall)
+        phase_rows.append((phase,
+                           f"{b_wall:.4f}", f"{c_wall:.4f}", pct,
+                           f"{b.get('cpu_s', 0.0):.4f}",
+                           f"{c.get('cpu_s', 0.0):.4f}",
+                           b.get("count", 0), c.get("count", 0)))
+        if b_wall > 0 and c_wall > b_wall * (1 + wall_warn_pct / 100.0):
+            warnings.append(
+                f"{name}: phase '{phase}' wall time {b_wall:.4f}s -> "
+                f"{c_wall:.4f}s ({pct})")
+    if phase_rows:
+        out.append(markdown_table(
+            ("phase", "base wall_s", "cur wall_s", "delta",
+             "base cpu_s", "cur cpu_s", "base n", "cur n"),
+            phase_rows))
+    else:
+        out.append("_no phases recorded_")
+
+    counter_rows = []
+    names = sorted(set(base.get("counters", {}))
+                   | set(cur.get("counters", {})))
+    same_budget = base.get("mode") == cur.get("mode")
+    for counter in names:
+        b = base.get("counters", {}).get(counter, 0)
+        c = cur.get("counters", {}).get(counter, 0)
+        if b == c:
+            continue
+        counter_rows.append((counter, b, c, fmt_delta_pct(b, c)))
+        # Per-worker task splits depend on scheduling; everything else
+        # is deterministic for a fixed budget.
+        if same_budget and ".worker." not in counter:
+            warnings.append(
+                f"{name}: counter '{counter}' changed {b} -> {c} "
+                f"under the same budget (workload changed?)")
+    if counter_rows:
+        out.append("")
+        out.append(markdown_table(
+            ("counter", "base", "current", "delta"), counter_rows))
+    else:
+        out.append("")
+        out.append("_all counters identical_")
+    return "\n".join(out), warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline ledger file or directory")
+    ap.add_argument("current", help="current ledger file or directory")
+    ap.add_argument("--wall-warn-pct", type=float, default=25.0,
+                    help="warn when a phase's wall time regresses by "
+                         "more than this percentage (default 25)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when any warning fires")
+    args = ap.parse_args()
+
+    base = load_ledgers(args.baseline)
+    cur = load_ledgers(args.current)
+
+    sections = ["## Perf diff (BENCH_perf.json)"]
+    warnings = []
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sections.append("_no benches present on both sides_")
+    for name in shared:
+        report, warns = diff_bench(name, base[name], cur[name],
+                                   args.wall_warn_pct)
+        sections.append(report)
+        warnings.extend(warns)
+    for name in sorted(set(cur) - set(base)):
+        sections.append(f"### {name}\n_new bench (no baseline)_")
+    for name in sorted(set(base) - set(cur)):
+        sections.append(f"### {name}\n_missing from current run_")
+
+    if warnings:
+        sections.append("### Warnings")
+        sections.append("\n".join(f"- {w}" for w in warnings))
+
+    report = "\n\n".join(sections) + "\n"
+    print(report)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(report)
+
+    if warnings:
+        print(f"{len(warnings)} warning(s); "
+              + ("failing (--strict)" if args.strict
+                 else "informational only"),
+              file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
