@@ -86,6 +86,7 @@ MnaSystem::MnaSystem(const Netlist &netlist)
           }
           case ElementKind::CurrentSource: {
             current_source_names_.push_back(e.name);
+            current_source_dc_values_.push_back(e.value);
             std::vector<Injection> rows;
             // Source drives current from node_pos to node_neg
             // internally, i.e. it removes current from node_pos.

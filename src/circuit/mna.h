@@ -80,6 +80,18 @@ class MnaSystem
     }
 
     /**
+     * Netlist DC value of each current source, in currentSourceNames
+     * order. This is what an empty span passed to sourceVector stands
+     * for, exposed so stepping loops that track raw per-source values
+     * (rather than assembled source vectors) can apply the same
+     * empty-means-DC convention.
+     */
+    const std::vector<double> &currentSourceDcValues() const
+    {
+        return current_source_dc_values_;
+    }
+
+    /**
      * DC operating point: solve G x = s with all current sources at
      * their DC values (capacitors open, inductors shorted is implied
      * by dx/dt = 0).
@@ -97,6 +109,7 @@ class MnaSystem
     std::vector<double> vs_source_; ///< s from voltage sources only.
     std::vector<std::string> branch_names_;
     std::vector<std::string> current_source_names_;
+    std::vector<double> current_source_dc_values_;
     /// (state row, sign) pairs per current source for fast stamping.
     struct Injection
     {

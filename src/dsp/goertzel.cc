@@ -108,7 +108,7 @@ GoertzelAccumulator::push(double v)
         flushBlock();
 }
 
-void
+EMSTRESS_TARGET_CLONES void
 GoertzelAccumulator::flushBlock()
 {
     const std::size_t m = s1_.size();

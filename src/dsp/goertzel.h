@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "dsp/window.h"
+#include "util/hotpath.h"
 
 namespace emstress {
 namespace dsp {
@@ -124,8 +125,12 @@ class GoertzelAccumulator
     std::vector<double> amplitudesVrms() const;
 
   private:
-    /** Run the buffered windowed samples through every bin. */
-    void flushBlock();
+    /**
+     * Run the buffered windowed samples through every bin. Cloned
+     * per ISA width (lanes are independent bins, so every clone is
+     * bit-identical; see util/hotpath.h).
+     */
+    EMSTRESS_TARGET_CLONES void flushBlock();
 
     // Samples are buffered in small blocks so each bin's (s1, s2)
     // pair is loaded once per block instead of once per sample; the

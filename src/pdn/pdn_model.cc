@@ -19,8 +19,14 @@ namespace pdn {
 double
 PdnParameters::dieCapacitance(std::size_t powered_cores) const
 {
-    const std::size_t k =
-        std::clamp<std::size_t>(powered_cores, 1, n_cores);
+    // A fully gated domain (powered_cores == 0) is a different
+    // circuit — the rail collapses and the uncore is off too — not
+    // the one-core ladder; silently aliasing it to k = 1 hid fig13
+    // configuration mistakes. Reject instead of clamping up.
+    requireConfig(powered_cores >= 1,
+                  "dieCapacitance: powered_cores must be >= 1 (a fully "
+                  "power-gated domain has no die ladder to model)");
+    const std::size_t k = std::min(powered_cores, n_cores);
     return c_die_uncore + static_cast<double>(k) * c_die_core;
 }
 
@@ -213,33 +219,66 @@ PdnStreamSink::PdnStreamSink(const circuit::TransientAnalysis &engine,
                              double mean_load, std::size_t iv_die,
                              std::size_t ii_die, SampleSink *v_die_out,
                              SampleSink *i_die_out)
-    : stepper_(engine.makeStepper(std::array<double, 2>{mean_load, 0.0})),
-      iv_die_(iv_die), ii_die_(ii_die), v_die_out_(v_die_out),
-      i_die_out_(i_die_out)
+    : engine_(&engine), mean_load_(mean_load), iv_die_(iv_die),
+      ii_die_(ii_die), v_die_out_(v_die_out), i_die_out_(i_die_out)
 {}
 
 void
 PdnStreamSink::emitProbes()
 {
     if (v_die_out_)
-        v_die_out_->push(stepper_.value(iv_die_));
+        v_die_out_->push(stepper_->value(iv_die_));
     if (i_die_out_)
-        i_die_out_->push(stepper_.value(ii_die_));
+        i_die_out_->push(stepper_->value(ii_die_));
     ++emitted_;
+}
+
+void
+PdnStreamSink::drainBlock()
+{
+    if (buffered_ == 0)
+        return;
+    block_->stepBlock(in_buf_.data(), buffered_, probe_buf_.data());
+    for (std::size_t r = 0; r < buffered_; ++r) {
+        if (v_die_out_)
+            v_die_out_->push(probe_buf_[2 * r]);
+        if (i_die_out_)
+            i_die_out_->push(probe_buf_[2 * r + 1]);
+        ++emitted_;
+    }
+    buffered_ = 0;
 }
 
 void
 PdnStreamSink::push(double i_load)
 {
-    const std::array<double, 2> src = {i_load, 0.0};
-    if (!primed_) {
+    if (!stepper_ && !block_) {
         // Matches simulate(): the DC point is biased at the mean load
-        // but the trapezoidal source history starts from the t = 0
-        // waveform value.
-        stepper_.primeSources(src);
-        primed_ = true;
+        // while the trapezoidal source history starts from the t = 0
+        // sample — exactly the steppers' (bias, initial) convention.
+        const std::array<double, 2> bias = {mean_load_, 0.0};
+        const std::array<double, 2> src = {i_load, 0.0};
+        if (engine_->method() == circuit::TransientMethod::FastState) {
+            // Probe both states unconditionally: per-row mat-vec sums
+            // are element-independent, so the extra row never changes
+            // the requested one, and the block partition (full blocks
+            // from step 1, remainder at finish) is the one run()
+            // executes — replay stays bit-exact.
+            const std::array<std::size_t, 2> probes = {iv_die_,
+                                                       ii_die_};
+            block_.emplace(
+                engine_->makeBlockStepper(bias, src, probes));
+        } else {
+            stepper_.emplace(engine_->makeStepper(bias, src));
+        }
+    } else if (block_) {
+        in_buf_[2 * buffered_] = i_load;
+        in_buf_[2 * buffered_ + 1] = 0.0;
+        if (++buffered_ == circuit::kStreamBlock)
+            drainBlock();
     } else {
-        stepper_.step(src);
+        const std::array<double, 2> src = {i_load, 0.0};
+        stepper_->step(src);
         emitProbes();
     }
     last_ = i_load;
@@ -248,21 +287,29 @@ PdnStreamSink::push(double i_load)
 void
 PdnStreamSink::finish()
 {
-    if (primed_ && !finished_) {
+    if (!finished_) {
         // The batch waveform lookup clamps past-the-end times to the
         // last sample, so the final step re-uses it.
-        const std::array<double, 2> src = {last_, 0.0};
-        stepper_.step(src);
-        emitProbes();
-    }
-    if (!finished_) {
-        // Batched flush: one registry call per stream covers every
-        // stepper_.step() taken, mirroring the batch path's per-run
-        // counters in TransientAnalysis::run.
-        auto &reg = metrics::Registry::instance();
-        reg.add("circuit.transient.steps", emitted_);
-        reg.add("circuit.transient.lu_solves", emitted_);
-        reg.add("pdn.stream.samples", emitted_);
+        if (block_) {
+            // drainBlock keeps buffered_ < kStreamBlock, so the
+            // clamped step always fits the pending tail.
+            in_buf_[2 * buffered_] = last_;
+            in_buf_[2 * buffered_ + 1] = 0.0;
+            ++buffered_;
+            drainBlock();
+            block_->flushMetrics();
+        } else if (stepper_) {
+            const std::array<double, 2> src = {last_, 0.0};
+            stepper_->step(src);
+            emitProbes();
+            // The stepper truthfully flushes its own step and solve
+            // counters (steps + state_updates or lu_solves, depending
+            // on the active path); the sink only accounts for its
+            // emissions.
+            stepper_->flushMetrics();
+        }
+        metrics::Registry::instance().add("pdn.stream.samples",
+                                          emitted_);
     }
     finished_ = true;
     if (v_die_out_)

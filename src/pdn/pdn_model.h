@@ -10,6 +10,7 @@
 #ifndef EMSTRESS_PDN_PDN_MODEL_H
 #define EMSTRESS_PDN_PDN_MODEL_H
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -115,11 +116,20 @@ struct PdnSimResult
  * downstream sinks as they are computed, holding only the stepper
  * state (O(1) in run duration).
  *
- * Replays simulate() bit-exactly: the first pushed sample only primes
- * the trapezoidal source history (simulate's step loop starts at
- * t = dt, where the batch waveform lookup already returns sample 1),
- * each later sample advances one step, and finish() takes the final
- * step the batch waveform clamp produces from the last sample.
+ * Replays simulate() bit-exactly: the stepper is constructed lazily on
+ * the first pushed sample, which becomes the t = 0 initial currents of
+ * the transient stepper (simulate's step loop starts at t = dt, where
+ * the batch waveform lookup already returns sample 1), each later
+ * sample advances one step, and finish() takes the final step the
+ * batch waveform clamp produces from the last sample.
+ *
+ * On the fast path the sink batches samples into a
+ * TransientBlockStepper and drains whole kStreamBlock blocks — the
+ * identical block partition (full blocks from step 1, remainder as
+ * one tail) that run(), and hence simulate(), executes, so the
+ * bit-exact replay contract survives the blocking. On the reference
+ * path it steps a per-sample TransientStepper, matching the
+ * reference run() loop.
  */
 class PdnStreamSink final : public SampleSink
 {
@@ -140,15 +150,27 @@ class PdnStreamSink final : public SampleSink
                   SampleSink *i_die_out);
 
     void emitProbes();
+    void drainBlock();
 
-    circuit::TransientStepper stepper_;
+    /// Engine outlives the sink (owned by the PdnModel's cache); the
+    /// stepper is created on the first push so that sample can seed
+    /// the trapezoidal source history. Exactly one of block_
+    /// (fast path) and stepper_ (reference path) is engaged.
+    const circuit::TransientAnalysis *engine_;
+    std::optional<circuit::TransientStepper> stepper_;
+    std::optional<circuit::TransientBlockStepper> block_;
+    double mean_load_;
     std::size_t iv_die_;
     std::size_t ii_die_;
     SampleSink *v_die_out_;
     SampleSink *i_die_out_;
+    /// Blocked-path buffers: one {i_load, i_scl = 0} input row and
+    /// one {v_die, i_die} probe row per step of the pending block.
+    std::array<double, circuit::kStreamBlock * 2> in_buf_{};
+    std::array<double, circuit::kStreamBlock * 2> probe_buf_{};
+    std::size_t buffered_ = 0;
     double last_ = 0.0;
     std::size_t emitted_ = 0;
-    bool primed_ = false;
     bool finished_ = false;
 };
 

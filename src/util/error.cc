@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Out-of-line throw helpers for the literal-message require
+ * overloads (see error.h): the cold exception construction lives
+ * here so hot inlined checks stay a compare-and-branch.
+ */
+
+#include "util/error.h"
+
+namespace emstress {
+
+void
+throwConfigError(const char *message)
+{
+    throw ConfigError(message);
+}
+
+void
+throwSimulationError(const char *message)
+{
+    throw SimulationError(message);
+}
+
+} // namespace emstress

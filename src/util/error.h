@@ -47,16 +47,46 @@ class SimulationError : public std::runtime_error
 inline void
 requireConfig(bool cond, const std::string &message)
 {
-    if (!cond)
+    if (!cond) [[unlikely]]
         throw ConfigError(message);
+}
+
+/// @{ Out-of-line throw helpers: keeping the (cold) construction and
+/// throw of the exception out of the inlined check both shrinks hot
+/// callers and sidesteps a GCC 12 -Warray-bounds false positive when
+/// a caller's guarded container access is constant-folded.
+[[noreturn]] void throwConfigError(const char *message);
+[[noreturn]] void throwSimulationError(const char *message);
+/// @}
+
+/**
+ * Literal-message overload: checks on hot paths (the transient
+ * stepper, per-sample sink pushes, per-instruction pool lookups) run
+ * millions of times per simulated second, and the const-std::string&
+ * form would construct — i.e. heap-allocate — a temporary on every
+ * *passing* call. This overload builds the string only on failure.
+ */
+inline void
+requireConfig(bool cond, const char *message)
+{
+    if (!cond) [[unlikely]]
+        throwConfigError(message);
 }
 
 /** Throw SimulationError unless a runtime condition holds. */
 inline void
 requireSim(bool cond, const std::string &message)
 {
-    if (!cond)
+    if (!cond) [[unlikely]]
         throw SimulationError(message);
+}
+
+/** Literal-message overload; see requireConfig(bool, const char*). */
+inline void
+requireSim(bool cond, const char *message)
+{
+    if (!cond) [[unlikely]]
+        throwSimulationError(message);
 }
 
 } // namespace emstress

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hot-kernel dispatch helpers.
+ *
+ * EMSTRESS_TARGET_CLONES marks a function for ISA function
+ * multiversioning: the compiler emits one body per listed target
+ * (here AVX2 plus the baseline) and an ifunc resolver picks the
+ * widest one the CPU supports at load time.
+ *
+ * This is only applied to kernels whose vector lanes carry
+ * *independent* elements (one Goertzel bin per lane, one state row
+ * per lane). Widening the vector changes how many independent
+ * recurrences advance per instruction, never the order of operations
+ * within any one of them — so every clone produces bit-identical
+ * results and the determinism contract (identical output across
+ * machines, thread counts, and replay) is preserved. Do not use it
+ * on reductions or anything whose FP association depends on lane
+ * count.
+ *
+ * FMA is intentionally *not* in the clone list: fused multiply-add
+ * contracts a*b+c into one rounding, which would make AVX2 hosts
+ * disagree with baseline ones bit-for-bit.
+ */
+
+#ifndef EMSTRESS_UTIL_HOTPATH_H
+#define EMSTRESS_UTIL_HOTPATH_H
+
+#if defined(__x86_64__) && defined(__gnu_linux__) \
+    && (defined(__GNUC__) || defined(__clang__))
+#define EMSTRESS_TARGET_CLONES \
+    __attribute__((target_clones("avx2", "default")))
+#else
+#define EMSTRESS_TARGET_CLONES
+#endif
+
+#endif // EMSTRESS_UTIL_HOTPATH_H

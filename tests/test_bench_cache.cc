@@ -44,14 +44,20 @@ tinyConfig(std::uint64_t seed)
 }
 
 /** Each test gets an empty cache directory under the system temp
- *  root, removed again afterwards. */
+ *  root, removed again afterwards. The directory is suffixed with
+ *  the test name: ctest -j runs fixture tests as concurrent
+ *  processes, and a shared path lets one test's SetUp delete
+ *  another's live cache mid-run. */
 class BenchCacheTest : public ::testing::Test
 {
   protected:
     void
     SetUp() override
     {
-        dir_ = fs::temp_directory_path() / "emstress_cache_test";
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path()
+            / (std::string("emstress_cache_test_") + info->name());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
     }

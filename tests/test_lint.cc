@@ -90,6 +90,23 @@ TEST(LintR1, EnvConfigTagCoversGetenvButNotClocks)
     EXPECT_EQ(countRule(clk, "R1"), 1u);
 }
 
+TEST(LintR1, ParityToleranceTagCoversGetenvButNotClocksOrRandom)
+{
+    // The sanction for solver-path switches that are not bit-neutral
+    // (EMSTRESS_TRANSIENT_PATH selects between implementations
+    // agreeing only to kStateUpdateParityTol).
+    const auto env = lintCc("const char *e = std::getenv(\"P\");"
+                            " // lint: parity-tolerance\n");
+    EXPECT_EQ(countRule(env, "R1"), 0u);
+    // Like env-config, it sanctions only environment reads.
+    const auto clk = lintCc(
+        "auto t = steady_clock::now(); // lint: parity-tolerance\n");
+    EXPECT_EQ(countRule(clk, "R1"), 1u);
+    const auto rng = lintCc(
+        "int r = rand(); // lint: parity-tolerance\n");
+    EXPECT_EQ(countRule(rng, "R1"), 1u);
+}
+
 TEST(LintR1, RngHeaderIsExempt)
 {
     const auto f = analyzeSource(

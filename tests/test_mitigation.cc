@@ -44,7 +44,11 @@ resonantLoad(const pdn::PdnModel &pdn, double amplitude,
 
 TEST(TransientStepper, MatchesBatchRun)
 {
-    // Stepping one sample at a time must reproduce run() exactly.
+    // Stepping one sample at a time must reproduce run() to the
+    // blocked-parity tolerance: run()'s fast path executes in
+    // kStreamBlock folds, whose rounding differs from per-step
+    // updates in the low bits (bit-exact replay of run() is pinned
+    // for the block stepper in test_transient_parity.cc).
     platform::Platform a72(platform::junoA72Config(), 1);
     const auto &pdn = a72.pdnModel();
     const Trace load = resonantLoad(pdn, 1.0, 0.4e-6);
@@ -75,7 +79,7 @@ TEST(TransientStepper, MatchesBatchRun)
         const std::vector<double> cur = {wave(t), 0.0};
         stepper.step(cur);
         EXPECT_NEAR(stepper.value(v_idx), batch.trace("v_die")[k],
-                    1e-12)
+                    circuit::kBlockedStreamParityTol)
             << "step " << k;
     }
     EXPECT_NEAR(stepper.time(), dt * static_cast<double>(n), 1e-15);

@@ -52,10 +52,14 @@ TEST(PdnParameters, CalibrationValidatesInput)
                  ConfigError);
 }
 
-TEST(PdnParameters, DieCapacitanceClampsPoweredCores)
+TEST(PdnParameters, DieCapacitanceRejectsZeroClampsHighPoweredCores)
 {
     const auto p = a72LikeParams();
-    EXPECT_DOUBLE_EQ(p.dieCapacitance(0), p.dieCapacitance(1));
+    // A fully power-gated domain (fig13) is a different circuit, not
+    // the one-core ladder: asking for its capacitance is a config
+    // error, never a silent alias of dieCapacitance(1).
+    EXPECT_THROW((void)p.dieCapacitance(0), ConfigError);
+    // Above n_cores still clamps: no more than every core powered.
     EXPECT_DOUBLE_EQ(p.dieCapacitance(99), p.dieCapacitance(2));
     EXPECT_GT(p.dieCapacitance(2), p.dieCapacitance(1));
 }

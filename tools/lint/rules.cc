@@ -81,7 +81,10 @@ const std::set<std::string, std::less<>> kRandomIdents = {
  * timing-stats sites (values that feed wall-time accounting, never
  * fitness); getenv only at annotated env-config sites (operational
  * knobs such as thread counts that the determinism tests prove
- * result-neutral).
+ * result-neutral) or parity-tolerance sites (knobs that switch
+ * between solver implementations agreeing only to a documented,
+ * test-pinned numerical tolerance — honest about not being
+ * bit-neutral, unlike env-config).
  */
 void
 ruleR1(std::string_view path, const SourceScan &scan,
@@ -98,7 +101,8 @@ ruleR1(std::string_view path, const SourceScan &scan,
         pathEndsWith(path, "src/util/metrics.h")
         || pathEndsWith(path, "util/metrics.h");
     const RuleTags clock_rule{"R1", {"timing-stats", "r1"}};
-    const RuleTags env_rule{"R1", {"env-config", "r1"}};
+    const RuleTags env_rule{"R1", {"env-config", "parity-tolerance",
+                                   "r1"}};
     const RuleTags random_rule{"R1", {"r1"}};
     for (const Token &tok : scan.tokens) {
         if (tok.kind != TokKind::Identifier)
@@ -115,7 +119,9 @@ ruleR1(std::string_view path, const SourceScan &scan,
             emit(findings, scan, env_rule, path, tok.line,
                  "environment read `getenv` can seed run-to-run "
                  "variation; annotate result-neutral operational "
-                 "knobs with `// lint: env-config`");
+                 "knobs with `// lint: env-config`, or solver-path "
+                 "switches with a documented tolerance contract with "
+                 "`// lint: parity-tolerance`");
         } else if (kRandomIdents.count(tok.text)) {
             emit(findings, scan, random_rule, path, tok.line,
                  "unseeded randomness `" + tok.text

@@ -75,17 +75,30 @@ def diff_bench(name, base, cur, wall_warn_pct):
     phase_rows = []
     names = sorted(set(base.get("phases", {})) | set(cur.get("phases", {})))
     for phase in names:
+        # A phase absent from one ledger (instrumentation added or
+        # removed between revisions) is annotated, never warned on:
+        # there is no meaningful wall-time delta against nothing.
+        in_base = phase in base.get("phases", {})
+        in_cur = phase in cur.get("phases", {})
         b = base.get("phases", {}).get(phase, {})
         c = cur.get("phases", {}).get(phase, {})
         b_wall = b.get("wall_s", 0.0)
         c_wall = c.get("wall_s", 0.0)
-        pct = fmt_delta_pct(b_wall, c_wall)
+        if not in_base:
+            pct = "(new)"
+        elif not in_cur:
+            pct = "(removed)"
+        else:
+            pct = fmt_delta_pct(b_wall, c_wall)
         phase_rows.append((phase,
-                           f"{b_wall:.4f}", f"{c_wall:.4f}", pct,
-                           f"{b.get('cpu_s', 0.0):.4f}",
-                           f"{c.get('cpu_s', 0.0):.4f}",
-                           b.get("count", 0), c.get("count", 0)))
-        if b_wall > 0 and c_wall > b_wall * (1 + wall_warn_pct / 100.0):
+                           f"{b_wall:.4f}" if in_base else "-",
+                           f"{c_wall:.4f}" if in_cur else "-", pct,
+                           f"{b.get('cpu_s', 0.0):.4f}" if in_base else "-",
+                           f"{c.get('cpu_s', 0.0):.4f}" if in_cur else "-",
+                           b.get("count", 0) if in_base else "-",
+                           c.get("count", 0) if in_cur else "-"))
+        if (in_base and in_cur and b_wall > 0
+                and c_wall > b_wall * (1 + wall_warn_pct / 100.0)):
             warnings.append(
                 f"{name}: phase '{phase}' wall time {b_wall:.4f}s -> "
                 f"{c_wall:.4f}s ({pct})")
@@ -102,14 +115,30 @@ def diff_bench(name, base, cur, wall_warn_pct):
                    | set(cur.get("counters", {})))
     same_budget = base.get("mode") == cur.get("mode")
     for counter in names:
+        # Distinguish a counter absent from a ledger (instrumentation
+        # that didn't exist in that revision, e.g. state_updates vs
+        # lu_solves after a solver-path change) from a recorded zero.
+        # Only counters present on BOTH sides can signal a workload
+        # change; one-sided counters are listed but never warned on.
+        in_base = counter in base.get("counters", {})
+        in_cur = counter in cur.get("counters", {})
         b = base.get("counters", {}).get(counter, 0)
         c = cur.get("counters", {}).get(counter, 0)
-        if b == c:
+        if in_base and in_cur and b == c:
             continue
-        counter_rows.append((counter, b, c, fmt_delta_pct(b, c)))
+        if not in_base:
+            delta = "(new)"
+        elif not in_cur:
+            delta = "(removed)"
+        else:
+            delta = fmt_delta_pct(b, c)
+        counter_rows.append((counter,
+                             b if in_base else "-",
+                             c if in_cur else "-", delta))
         # Per-worker task splits depend on scheduling; everything else
         # is deterministic for a fixed budget.
-        if same_budget and ".worker." not in counter:
+        if in_base and in_cur and same_budget \
+                and ".worker." not in counter:
             warnings.append(
                 f"{name}: counter '{counter}' changed {b} -> {c} "
                 f"under the same budget (workload changed?)")
