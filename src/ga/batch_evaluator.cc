@@ -32,12 +32,21 @@ secondsSince(Clock::time_point t0)
 BatchEvaluator::BatchEvaluator(FitnessEvaluator &base,
                                const BatchConfig &config)
     : base_(base), config_(config),
-      threads_(resolveThreadCount(config.threads))
+      threads_(config.fleet != nullptr
+                   ? config.fleet->size()
+                   : resolveThreadCount(config.threads))
 {
     stats_.threads = 1; // raised once workers materialize
 }
 
 BatchEvaluator::~BatchEvaluator() = default;
+
+bool
+BatchEvaluator::cancelled() const
+{
+    return config_.cancel
+        && config_.cancel->load(std::memory_order_relaxed);
+}
 
 const BatchEvaluator::CacheEntry *
 BatchEvaluator::lookup(std::uint64_t hash,
@@ -57,8 +66,10 @@ BatchEvaluator::lookup(std::uint64_t hash,
 bool
 BatchEvaluator::ensureWorkers()
 {
-    if (threads_ <= 1 || clone_failed_)
-        return !clones_.empty();
+    if (clone_failed_)
+        return false;
+    if (config_.fleet == nullptr && threads_ <= 1)
+        return false;
     if (!clones_.empty())
         return true;
     clones_.reserve(threads_);
@@ -72,7 +83,8 @@ BatchEvaluator::ensureWorkers()
         }
         clones_.push_back(std::move(c));
     }
-    pool_ = std::make_unique<ThreadPool>(threads_);
+    if (config_.fleet == nullptr)
+        pool_ = std::make_unique<ThreadPool>(threads_);
     stats_.threads = std::max(stats_.threads, threads_);
     return true;
 }
@@ -107,6 +119,8 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
         double fault_lab_s = 0.0; ///< Lab time lost to the faults.
         double backoff_s = 0.0;   ///< Modeled backoff before retries.
         bool failed = false;      ///< Every attempt faulted.
+        bool done = false;        ///< Ran to completion (not skipped
+                                  ///< by cancellation).
     };
     std::vector<FreshTask> fresh;
     // slot of every duplicate -> index into `fresh` it aliases.
@@ -140,19 +154,31 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     }
 
     // Phase 2: run the fresh evaluations — in parallel when the
-    // evaluator clones, serially in index order otherwise. Each task
-    // writes only its own FreshTask entry (including its fault
+    // evaluator clones (over the private pool, or as one batch on
+    // the shared fleet), serially in index order otherwise. Each
+    // task writes only its own FreshTask entry (including its fault
     // counters), so the results and accounting are independent of
     // scheduling. FaultErrors are retried under the configured
     // policy; any other exception propagates — it signals a bug, not
-    // a flaky lab link.
+    // a flaky lab link. A fired cancel token leaves tasks with
+    // done == false; they are excluded from results and accounting
+    // in phase 3.
     const RetryPolicy &retry = config_.retry;
-    const auto runOne = [&retry, &kernels](FitnessEvaluator &ev,
-                                           FreshTask &task) {
+    const std::atomic<bool> *cancel_flag =
+        config_.cancel ? config_.cancel.get() : nullptr;
+    const auto runOne = [&retry, &kernels,
+                         cancel_flag](FitnessEvaluator &ev,
+                                      FreshTask &task) {
         const auto task_t0 = Clock::now();
         const std::uint32_t max_attempts =
             std::max<std::uint32_t>(1, retry.max_attempts);
         for (std::uint32_t attempt = 0;; ++attempt) {
+            // A job cancelled mid-retry stops measuring: the task
+            // stays not-done and is dropped from accounting, exactly
+            // like a task that never started.
+            if (cancel_flag != nullptr
+                && cancel_flag->load(std::memory_order_relaxed))
+                return;
             try {
                 task.detail = EvalDetail{};
                 task.fitness = ev.evaluate(kernels[task.slot],
@@ -173,6 +199,7 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
             }
         }
         task.seconds = secondsSince(task_t0);
+        task.done = true;
     };
     span.emplace("batch.evaluate");
     const auto t0 = Clock::now();
@@ -180,24 +207,30 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     // batch dispatch and the moment a worker picked it up.
     const double q0 = metrics::monotonicSeconds();
     const bool observe = metrics::enabled();
-    if (fresh.size() > 1 && ensureWorkers()) {
-        pool_->parallelFor(
-            fresh.size(),
-            [this, &fresh, &runOne, q0, observe](std::size_t i,
-                                                 std::size_t worker) {
-                if (observe) {
-                    auto &reg = metrics::Registry::instance();
-                    reg.recordLatency(
-                        "batch.queue_wait",
-                        metrics::monotonicSeconds() - q0);
-                    reg.add("batch.worker."
-                                + std::to_string(worker) + ".tasks");
-                }
-                metrics::ScopedPhase task_span("batch.eval_task");
-                runOne(*clones_[worker], fresh[i]);
-            });
+    const auto instrumentedTask = [this, &fresh, &runOne, q0,
+                                   observe](std::size_t i,
+                                            std::size_t worker) {
+        if (observe) {
+            auto &reg = metrics::Registry::instance();
+            reg.recordLatency("batch.queue_wait",
+                              metrics::monotonicSeconds() - q0);
+            reg.add("batch.worker." + std::to_string(worker)
+                    + ".tasks");
+        }
+        metrics::ScopedPhase task_span("batch.eval_task");
+        runOne(*clones_[worker], fresh[i]);
+    };
+    if (config_.fleet != nullptr && !fresh.empty()
+        && ensureWorkers()) {
+        config_.fleet->run(fresh.size(), instrumentedTask,
+                           cancel_flag);
+    } else if (fresh.size() > 1 && ensureWorkers()) {
+        pool_->parallelFor(fresh.size(), instrumentedTask);
     } else {
         for (FreshTask &task : fresh) {
+            if (cancel_flag != nullptr
+                && cancel_flag->load(std::memory_order_relaxed))
+                break;
             if (observe) {
                 auto &reg = metrics::Registry::instance();
                 reg.recordLatency("batch.queue_wait",
@@ -211,9 +244,15 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
     const double wall = secondsSince(t0);
 
     // Phase 3 (calling thread, index order): publish results, resolve
-    // duplicates, and fill the cache.
+    // duplicates, and fill the cache. Tasks skipped by cancellation
+    // contribute nothing: no slot write, no cache entry, no fault or
+    // failure accounting — only the Outcome::cancelled count.
     span.emplace("batch.merge");
     for (const FreshTask &task : fresh) {
+        if (!task.done) {
+            ++out.cancelled;
+            continue;
+        }
         fitness[task.slot] = task.fitness;
         details[task.slot] = task.detail;
         out.lab_seconds += task.detail.measurement_seconds
@@ -236,20 +275,25 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
                            CacheEntry{kernels[task.slot], task.fitness,
                                       task.detail});
         }
+        ++out.fresh;
     }
     for (const auto &[slot, fresh_i] : aliases) {
+        if (!fresh[fresh_i].done)
+            continue;
         fitness[slot] = fresh[fresh_i].fitness;
         details[slot] = fresh[fresh_i].detail;
     }
 
-    out.fresh = fresh.size();
     stats_.evals += out.fresh;
     stats_.cache_hits += out.cache_hits;
+    stats_.tasks_cancelled += out.cancelled;
     stats_.wall_seconds += wall;
     if (observe) {
         auto &reg = metrics::Registry::instance();
         reg.add("batch.fresh_evals", out.fresh);
         reg.add("batch.cache_hits", out.cache_hits);
+        if (out.cancelled > 0)
+            reg.add("batch.tasks_cancelled", out.cancelled);
     }
     return out;
 }
@@ -257,7 +301,11 @@ BatchEvaluator::evaluate(const std::vector<isa::Kernel> &kernels,
 std::size_t
 BatchEvaluator::plannedThreads() const
 {
-    if (threads_ <= 1 || clone_failed_)
+    if (clone_failed_)
+        return 1;
+    if (config_.fleet != nullptr)
+        return config_.fleet->size();
+    if (threads_ <= 1)
         return 1;
     return threads_;
 }

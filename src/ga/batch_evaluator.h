@@ -18,9 +18,11 @@
  *     is on. Keys are Kernel::hash() with full structural equality
  *     verification, so a hash collision degrades to a redundant
  *     evaluation, never a wrong fitness.
- *  3. Parallelism: fresh evaluations fan out over a persistent
- *     ThreadPool, each worker using its own FitnessEvaluator clone.
- *     Evaluators that cannot clone degrade to serial evaluation.
+ *  3. Parallelism: fresh evaluations fan out either over a private
+ *     ThreadPool or — in service mode — over a shared WorkerFleet
+ *     multiplexing tasks from many concurrent jobs; either way each
+ *     worker uses its own FitnessEvaluator clone. Evaluators that
+ *     cannot clone degrade to serial evaluation.
  *  4. Fault tolerance: an evaluation that throws FaultError (an
  *     injected or real lab-link fault) is retried with bounded
  *     modeled backoff; an individual whose every attempt faults is
@@ -28,11 +30,19 @@
  *     schedules are pure in (point, kernel, attempt), so guarantee 1
  *     holds with faults enabled — and once retries succeed, results
  *     are bit-identical to a fault-free run.
+ *  5. Cancellation drains, never poisons: a batch whose CancelToken
+ *     fires stops issuing fresh evaluations; the skipped tasks are
+ *     reported in Outcome::cancelled but are neither scored
+ *     kFailedFitness, nor counted as faults or permanent failures,
+ *     nor written to the fitness cache — so a cancelled job can
+ *     never contaminate sentinel accounting or memoized results
+ *     observed by other jobs sharing the fleet.
  */
 
 #ifndef EMSTRESS_GA_BATCH_EVALUATOR_H
 #define EMSTRESS_GA_BATCH_EVALUATOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -40,7 +50,9 @@
 
 #include "ga/ga_engine.h"
 #include "isa/kernel.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
+#include "util/worker_fleet.h"
 
 namespace emstress {
 namespace ga {
@@ -50,7 +62,8 @@ struct BatchConfig
 {
     /// Worker threads: 1 = serial reference path, 0 = auto
     /// (EMSTRESS_THREADS environment variable, else hardware
-    /// concurrency).
+    /// concurrency). Ignored when `fleet` is set (the fleet's worker
+    /// count applies).
     std::size_t threads = 1;
     /// Keep a genome-keyed fitness cache across batches.
     bool memoize = true;
@@ -59,9 +72,18 @@ struct BatchConfig
     /// clock) up to max_attempts total tries; on exhaustion the
     /// individual is scored kFailedFitness instead of aborting the
     /// batch. Because fault schedules are pure functions of (fault
-    /// point, kernel, attempt), the retry path preserves the batch
-    /// evaluator's bit-identical-across-thread-counts guarantee.
+    /// point, kernel, attempt), the retry path preserves the
+    /// batch evaluator's bit-identical-across-thread-counts
+    /// guarantee.
     RetryPolicy retry;
+    /// Shared worker fleet (service mode): fresh evaluations are
+    /// submitted as one fleet batch, interleaving with other jobs'
+    /// tasks, instead of running on a private pool. Not owned; must
+    /// outlive the evaluator.
+    WorkerFleet *fleet = nullptr;
+    /// Cooperative cancellation: once the token reads true, fresh
+    /// evaluations not yet started are skipped (see guarantee 5).
+    CancelToken cancel;
 };
 
 /**
@@ -77,6 +99,9 @@ class BatchEvaluator
         std::size_t fresh = 0;       ///< Evaluator calls performed.
         std::size_t cache_hits = 0;  ///< Slots served from cache or
                                      ///< batch-local deduplication.
+        std::size_t cancelled = 0;   ///< Fresh tasks skipped because
+                                     ///< the cancel token fired; their
+                                     ///< slots are left untouched.
         double lab_seconds = 0.0;    ///< Modeled lab time of the
                                      ///< fresh measurements, faulted
                                      ///< attempts and retry backoff.
@@ -86,7 +111,8 @@ class BatchEvaluator
      * @param base   Evaluator that defines fitness. Must outlive the
      *               batch evaluator. Used directly for serial
      *               evaluation; clone() supplies the workers.
-     * @param config Thread count and memoization switch.
+     * @param config Thread count, memoization switch, optional
+     *               shared fleet and cancel token.
      */
     BatchEvaluator(FitnessEvaluator &base, const BatchConfig &config);
 
@@ -95,7 +121,10 @@ class BatchEvaluator
     /**
      * Evaluate kernels[i] for every i in `indices`, writing
      * fitness[i] and details[i]. Slots not listed in `indices` are
-     * untouched. Returns the per-batch outcome.
+     * untouched. Returns the per-batch outcome. When the configured
+     * cancel token fires, pending fresh tasks are skipped and
+     * reported in Outcome::cancelled (their slots untouched, nothing
+     * cached or charged for them).
      */
     Outcome evaluate(const std::vector<isa::Kernel> &kernels,
                      const std::vector<std::size_t> &indices,
@@ -104,6 +133,9 @@ class BatchEvaluator
 
     /** Cumulative counters over every batch so far. */
     const EvalStats &stats() const { return stats_; }
+
+    /** True once the configured cancel token has fired. */
+    bool cancelled() const;
 
     /** Worker threads the evaluator actually uses (after clone
      * availability is taken into account; lazily resolved on the
@@ -125,7 +157,7 @@ class BatchEvaluator
     const CacheEntry *lookup(std::uint64_t hash,
                              const isa::Kernel &kernel) const;
 
-    /** Lazily build the pool + clones; false -> serial fallback. */
+    /** Lazily build the workers + clones; false -> serial fallback. */
     bool ensureWorkers();
 
     FitnessEvaluator &base_;

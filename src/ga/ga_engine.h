@@ -20,10 +20,14 @@
 
 #include "isa/kernel.h"
 #include "isa/pool.h"
+#include "util/cancellation.h"
 #include "util/faultpoint.h"
 #include "util/rng.h"
 
 namespace emstress {
+
+class WorkerFleet; // util/worker_fleet.h
+
 namespace ga {
 
 /**
@@ -172,6 +176,10 @@ struct EvalStats
     double fault_backoff_seconds = 0.0; ///< Modeled lab wait time
                                         ///< spent backing off before
                                         ///< retries.
+    std::size_t tasks_cancelled = 0; ///< Fresh evaluations skipped by
+                                     ///< job cancellation — drained,
+                                     ///< never scored, cached, or
+                                     ///< counted as faults/failures.
 
     /** Parallel speedup: total evaluation work / elapsed time. */
     double
@@ -195,6 +203,7 @@ struct EvalStats
         retries += other.retries;
         permanent_failures += other.permanent_failures;
         fault_backoff_seconds += other.fault_backoff_seconds;
+        tasks_cancelled += other.tasks_cancelled;
         return *this;
     }
 };
@@ -230,6 +239,179 @@ struct GaResult
 /** Optional per-generation observer. */
 using GenerationCallback =
     std::function<void(const GenerationRecord &)>;
+
+/** Validate GA hyper-parameters; throws ConfigError on nonsense. */
+void validateGaConfig(const GaConfig &config);
+
+/**
+ * Service-era extension points threaded into a run's batch
+ * evaluator. Default-constructed hooks reproduce the batch-era
+ * behavior exactly: a private thread pool and no cancellation.
+ */
+struct BatchHooks
+{
+    /// Shared worker fleet to evaluate on instead of a private pool
+    /// (the fleet's worker count overrides GaConfig::threads). Not
+    /// owned; must outlive the run.
+    WorkerFleet *fleet = nullptr;
+    /// Cooperative cancellation: once fired, pending evaluations are
+    /// drained without being scored, cached or charged.
+    CancelToken cancel;
+};
+
+class BatchEvaluator; // ga/batch_evaluator.h
+
+/**
+ * One plain GA search (GaConfig::restarts is ignored), advanced one
+ * generation at a time. This is the unit the service scheduler
+ * interleaves: each step() evaluates and breeds exactly one
+ * generation, so a scheduler can round-robin steps across many live
+ * jobs on one shared fleet. GaEngine::runSingle is a loop over this
+ * class, which is what makes service runs bit-identical to direct
+ * runs by construction rather than by parallel reimplementation.
+ */
+class GaStepper
+{
+  public:
+    /**
+     * Validate the config, seed the initial population (seeds first,
+     * random fill) and prepare the batch evaluator. No evaluation
+     * happens until the first step().
+     */
+    GaStepper(const isa::InstructionPool &pool, const GaConfig &config,
+              FitnessEvaluator &evaluator,
+              std::vector<isa::Kernel> seed_population = {},
+              BatchHooks hooks = {});
+
+    GaStepper(const GaStepper &) = delete;
+    GaStepper &operator=(const GaStepper &) = delete;
+
+    ~GaStepper();
+
+    /** True once every generation ran — or cancellation fired. */
+    bool done() const;
+
+    /** True iff the hook's cancel token fired. */
+    bool cancelled() const;
+
+    /** Generations executed so far. */
+    std::size_t generationsDone() const { return gen_; }
+
+    /** Generations this search runs in total. */
+    std::size_t
+    generationsPlanned() const
+    {
+        return config_.generations;
+    }
+
+    /**
+     * Evaluate the current population and breed the next one.
+     * Returns the generation's record (valid until the next step() or
+     * finish()), or nullptr when the run is done or was cancelled
+     * mid-step — a cancelled generation is never recorded, since its
+     * unevaluated slots hold no meaningful fitness.
+     */
+    const GenerationRecord *step();
+
+    /**
+     * Finalize and surrender the result (history, best individual,
+     * EvalStats adopted from the batch evaluator). Call once, after
+     * done(); the stepper is spent afterwards.
+     */
+    GaResult finish();
+
+  private:
+    const isa::InstructionPool &pool_;
+    GaConfig config_;
+    Rng rng_;
+    std::unique_ptr<BatchEvaluator> batch_;
+    std::vector<isa::Kernel> population_;
+    std::vector<double> fitness_;
+    std::vector<EvalDetail> details_;
+    std::vector<char> known_;
+    GaResult result_;
+    std::size_t gen_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Resumable driver for a complete GA job: single search or the
+ * multi-start scout/final flow, advanced one generation at a time.
+ * Produces bit-identical results to GaEngine::run with the same
+ * config — GaEngine::run *is* a loop over this driver.
+ */
+class GaDriver
+{
+  public:
+    /** Phase selection. */
+    enum class Mode
+    {
+        kAuto,       ///< Multi-start iff restarts > 1 and no seeds
+                     ///< (GaEngine::run's dispatch rule).
+        kSingle,     ///< One plain search, restarts ignored.
+        kMultiStart, ///< Scouts + seeded final, even for restarts==1.
+    };
+
+    GaDriver(const isa::InstructionPool &pool, const GaConfig &config,
+             FitnessEvaluator &evaluator,
+             std::vector<isa::Kernel> seed_population = {},
+             BatchHooks hooks = {}, Mode mode = Mode::kAuto);
+
+    GaDriver(const GaDriver &) = delete;
+    GaDriver &operator=(const GaDriver &) = delete;
+
+    ~GaDriver();
+
+    /** True once the last phase finished — or cancellation fired. */
+    bool done() const;
+
+    /** True iff the hook's cancel token fired. */
+    bool cancelled() const;
+
+    /** Generations executed so far, across all phases. */
+    std::size_t generationsDone() const { return steps_done_; }
+
+    /** Total generations the job will run, across all phases. */
+    std::size_t totalGenerations() const { return total_steps_; }
+
+    /**
+     * Advance the job by one generation. Returns the generation's
+     * record when it is a *reportable* one — a generation of the
+     * single search, or of the multi-start final phase (scout
+     * generations return nullptr), exactly mirroring which records
+     * GaEngine::run hands to its callback, local generation numbering
+     * included. The pointer is valid until the next step()/finish().
+     */
+    const GenerationRecord *step();
+
+    /**
+     * Finalize and surrender the job result (multi-start history
+     * stitching included). Call once, after done().
+     */
+    GaResult finish();
+
+  private:
+    /** Finalize the current scout and stand up the next phase. */
+    void advanceScout();
+
+    const isa::InstructionPool &pool_;
+    GaConfig config_;
+    FitnessEvaluator &evaluator_;
+    BatchHooks hooks_;
+    bool multi_ = false;
+    GaConfig scout_cfg_; ///< Half-length template (seed per scout).
+    GaConfig final_cfg_;
+    std::unique_ptr<GaStepper> stepper_;
+    bool in_final_ = false;
+    std::size_t scout_index_ = 0;
+    std::vector<isa::Kernel> champions_;
+    double scout_lab_seconds_ = 0.0;
+    EvalStats scout_stats_;
+    GaResult best_scout_;
+    std::size_t steps_done_ = 0;
+    std::size_t total_steps_ = 0;
+    bool finished_ = false;
+};
 
 /**
  * The GA engine.

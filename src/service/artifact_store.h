@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Content-addressed shared artifact store — the service-era promotion
+ * of the cross-bench virus cache. Entries are finished JobResults
+ * keyed by the submitting spec's FNV-1a content fingerprint
+ * (service::jobFingerprint), so any tenant repeating a
+ * result-identical spec is served the stored artifact byte for byte
+ * instead of re-running the search. Because the fingerprint covers
+ * every result-defining field of the spec, a served artifact is
+ * bit-identical to what the search would have produced — the store
+ * changes job *latency*, never job *results*.
+ *
+ * Time-to-live is measured in logical epochs, not wall clock: the
+ * scheduler advances the epoch once per completed search. Entries
+ * unused for `ttl_epochs` advances are evicted. Logical TTL keeps the
+ * store deterministic under test (no clock reads — see the
+ * emstress-lint nondeterminism sanctions) while still bounding staleness
+ * and memory under sustained traffic.
+ */
+
+#ifndef EMSTRESS_SERVICE_ARTIFACT_STORE_H
+#define EMSTRESS_SERVICE_ARTIFACT_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/job.h"
+
+namespace emstress {
+namespace service {
+
+/**
+ * Thread-safe, content-addressed, TTL-bounded artifact store.
+ */
+class ArtifactStore
+{
+  public:
+    struct Config
+    {
+        /// Epochs an entry survives without being fetched; 0 means
+        /// entries never expire.
+        std::size_t ttl_epochs = 0;
+    };
+
+    /** Cumulative counters (also mirrored into the metrics registry
+     * by the scheduler). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t expirations = 0;
+        std::uint64_t invalidations = 0;
+    };
+
+    explicit ArtifactStore(Config config) : config_(config) {}
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Look up an artifact by content address. A hit refreshes the
+     * entry's last-used epoch (LRU-in-epochs semantics).
+     */
+    std::shared_ptr<const JobResult>
+    fetch(std::uint64_t fingerprint)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(fingerprint);
+        if (it == entries_.end()) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        it->second.last_used = epoch_;
+        ++stats_.hits;
+        return it->second.artifact;
+    }
+
+    /** Store (or replace) an artifact under its content address. */
+    void
+    insert(std::uint64_t fingerprint,
+           std::shared_ptr<const JobResult> artifact)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = entries_[fingerprint];
+        entry.artifact = std::move(artifact);
+        entry.last_used = epoch_;
+        ++stats_.inserts;
+    }
+
+    /** Drop one entry (explicit invalidation); false when absent. */
+    bool
+    invalidate(std::uint64_t fingerprint)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entries_.erase(fingerprint) == 0)
+            return false;
+        ++stats_.invalidations;
+        return true;
+    }
+
+    /** Drop everything. */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.invalidations += entries_.size();
+        entries_.clear();
+    }
+
+    /**
+     * Advance logical time one epoch and evict entries not fetched
+     * for ttl_epochs advances. Called by the scheduler after every
+     * completed search.
+     */
+    void
+    advanceEpoch()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++epoch_;
+        if (config_.ttl_epochs == 0)
+            return;
+        // Order-independent: every entry is visited and evicted (or
+        // not) purely on its own last_used age. lint: ordered-merge
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (epoch_ - it->second.last_used > config_.ttl_epochs) {
+                it = entries_.erase(it);
+                ++stats_.expirations;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** Entries currently stored. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    /** Current logical epoch. */
+    std::size_t
+    epoch() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return epoch_;
+    }
+
+    /** Counter snapshot. */
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const JobResult> artifact;
+        std::size_t last_used = 0; ///< Epoch of the last fetch/insert.
+    };
+
+    Config config_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::size_t epoch_ = 0;
+    Stats stats_;
+};
+
+} // namespace service
+} // namespace emstress
+
+#endif // EMSTRESS_SERVICE_ARTIFACT_STORE_H

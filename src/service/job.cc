@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Job model implementation.
+ */
+
+#include "service/job.h"
+
+#include <sstream>
+
+#include "platform/platform.h"
+#include "util/error.h"
+
+namespace emstress {
+namespace service {
+
+platform::PlatformConfig
+presetConfig(PlatformPreset preset)
+{
+    switch (preset) {
+    case PlatformPreset::kJunoA72:
+        return platform::junoA72Config();
+    case PlatformPreset::kJunoA53:
+        return platform::junoA53Config();
+    case PlatformPreset::kAthlon:
+        return platform::athlonConfig();
+    }
+    throwConfigError("unknown platform preset");
+}
+
+const isa::InstructionPool &
+presetPool(PlatformPreset preset)
+{
+    // Immutable after construction; shared by every job and the
+    // client-side wire codec. Construction is deterministic, so these
+    // are content-identical to the pools platforms build themselves.
+    static const isa::InstructionPool arm =
+        isa::InstructionPool::armV8();
+    static const isa::InstructionPool x86 =
+        isa::InstructionPool::x86Sse2();
+    return presetConfig(preset).isa == isa::IsaFamily::ArmV8 ? arm
+                                                             : x86;
+}
+
+std::string
+presetName(PlatformPreset preset)
+{
+    switch (preset) {
+    case PlatformPreset::kJunoA72: return "a72";
+    case PlatformPreset::kJunoA53: return "a53";
+    case PlatformPreset::kAthlon:  return "athlon";
+    }
+    return "unknown";
+}
+
+bool
+presetFromName(const std::string &name, PlatformPreset &out)
+{
+    if (name == "a72") {
+        out = PlatformPreset::kJunoA72;
+        return true;
+    }
+    if (name == "a53") {
+        out = PlatformPreset::kJunoA53;
+        return true;
+    }
+    if (name == "athlon") {
+        out = PlatformPreset::kAthlon;
+        return true;
+    }
+    return false;
+}
+
+std::string
+jobStateName(JobState state)
+{
+    switch (state) {
+    case JobState::kQueued:    return "queued";
+    case JobState::kRunning:   return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed:    return "failed";
+    }
+    return "unknown";
+}
+
+std::string
+jobDescription(const JobSpec &spec)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "plat:" << presetName(spec.platform)
+       << ":seed" << spec.platform_seed
+       << "|ga:" << spec.ga.population << 'x' << spec.ga.generations
+       << ":len" << spec.ga.kernel_length
+       << ":mut" << spec.ga.mutation_rate
+       << ":op" << spec.ga.operand_mutation_ratio
+       << ":tk" << spec.ga.tournament_k
+       << ":el" << spec.ga.elite
+       << ":seed" << spec.ga.seed
+       << ":rs" << spec.ga.restarts
+       << ":ra" << spec.ga.retry.max_attempts
+       << "|eval:dur" << spec.eval.duration_s
+       << ":sa" << spec.eval.sa_samples
+       << ":f" << spec.eval.f_lo_hz << '-' << spec.eval.f_hi_hz
+       << ":cores" << spec.eval.active_cores
+       << ":stream" << (spec.eval.streaming ? 1 : 0)
+       << "|metric:" << core::virusMetricName(spec.metric);
+    return os.str();
+}
+
+std::uint64_t
+jobFingerprint(const JobSpec &spec)
+{
+    // FNV-1a 64-bit, the same construction the cross-bench virus
+    // cache fingerprints budgets with.
+    const std::string s = jobDescription(spec);
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char ch : s) {
+        h ^= static_cast<std::uint64_t>(
+            static_cast<unsigned char>(ch));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::unique_ptr<ga::FitnessEvaluator>
+makePlatformEvaluator(const JobSpec &spec)
+{
+    // Build a throwaway bound evaluator, then take an owning clone:
+    // PlatformFitness::clone replicates the platform, so the returned
+    // evaluator carries its own simulation stack and remains valid
+    // after the local platform dies.
+    platform::Platform plat(presetConfig(spec.platform),
+                            spec.platform_seed);
+    std::unique_ptr<core::PlatformFitness> bound;
+    switch (spec.metric) {
+    case core::VirusMetric::EmAmplitude:
+        bound = std::make_unique<core::EmAmplitudeFitness>(plat,
+                                                           spec.eval);
+        break;
+    case core::VirusMetric::MaxDroop:
+        bound = std::make_unique<core::MaxDroopFitness>(plat,
+                                                        spec.eval);
+        break;
+    case core::VirusMetric::PeakToPeak:
+        bound = std::make_unique<core::PeakToPeakFitness>(plat,
+                                                          spec.eval);
+        break;
+    }
+    requireConfig(bound != nullptr, "unknown virus metric");
+    auto owned = bound->clone();
+    requireSim(owned != nullptr,
+               "platform evaluator unexpectedly not cloneable");
+    return owned;
+}
+
+} // namespace service
+} // namespace emstress

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * SearchService implementation.
+ *
+ * Locking: one mutex guards every scheduling structure (jobs,
+ * tenants, queues, events). It is dropped for the expensive parts —
+ * evaluator construction and driver->step(), i.e. the platform
+ * simulation — so transports and other runners stay responsive while
+ * generations evaluate on the fleet. A job being stepped is claimed
+ * via Job::stepping, so at most one thread is ever inside a given
+ * job's driver.
+ *
+ * Latency metrics recorded here (queue-wait, job latency) are
+ * observability only, never control flow: the scheduler's decisions
+ * are pure functions of submission order and virtual time, which is
+ * what keeps manual-mode tests exactly reproducible. Wall-clock reads
+ * live behind metrics::enabled() and are sanctioned for scheduler/
+ * transport files only (see emstress-lint) — worker evaluation paths
+ * stay clock-free.
+ */
+
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+#include "util/metrics.h"
+
+namespace emstress {
+namespace service {
+
+namespace {
+
+/** Progress payload of one reportable generation record. */
+JobProgress
+progressOf(const ga::GenerationRecord &rec, const ga::GaDriver &driver)
+{
+    JobProgress p;
+    p.generation = rec.generation;
+    p.generations_done = driver.generationsDone();
+    p.generations_total = driver.totalGenerations();
+    p.best_fitness = rec.best_fitness;
+    p.mean_fitness = rec.mean_fitness;
+    p.dominant_freq_hz = rec.best_detail.dominant_freq_hz;
+    return p;
+}
+
+} // namespace
+
+SearchService::SearchService(ServiceConfig config)
+    : config_(std::move(config)), store_(config_.artifacts),
+      fleet_(config_.fleet_threads)
+{
+    requireConfig(config_.max_jobs_in_flight >= 1,
+                  "service needs capacity for at least one job");
+    requireConfig(config_.max_jobs_per_tenant >= 1,
+                  "tenants need capacity for at least one job");
+    requireConfig(config_.default_tenant_weight > 0.0,
+                  "tenant weights must be positive");
+    for (const auto &[name, weight] : config_.tenant_weights) {
+        (void)name;
+        requireConfig(weight > 0.0, "tenant weights must be positive");
+    }
+    if (!config_.evaluator_factory)
+        config_.evaluator_factory = &makePlatformEvaluator;
+    runners_.reserve(config_.runners);
+    for (std::size_t r = 0; r < config_.runners; ++r)
+        runners_.emplace_back([this] { runnerLoop(); });
+}
+
+SearchService::~SearchService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : runners_)
+        t.join();
+}
+
+SearchService::Job &
+SearchService::jobRef(JobId id)
+{
+    const auto it = jobs_.find(id);
+    requireConfig(it != jobs_.end(), "unknown job id");
+    return *it->second;
+}
+
+const SearchService::Job &
+SearchService::jobRef(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    requireConfig(it != jobs_.end(), "unknown job id");
+    return *it->second;
+}
+
+double
+SearchService::minActiveVtimeLocked() const
+{
+    double min_v = 0.0;
+    bool any = false;
+    for (const auto &[name, tenant] : tenants_) {
+        (void)name;
+        // Live (not merely queued): a tenant whose only job is
+        // momentarily being stepped is still active, and must keep
+        // its fair-share credit.
+        if (tenant.live == 0)
+            continue;
+        if (!any || tenant.vtime < min_v)
+            min_v = tenant.vtime;
+        any = true;
+    }
+    return any ? min_v : 0.0;
+}
+
+void
+SearchService::enqueueRunnableLocked(Job &job)
+{
+    Tenant &tenant = tenants_[job.spec.tenant];
+    tenant.queue.push_back(job.id);
+    ++runnable_;
+    work_cv_.notify_one();
+}
+
+SearchService::Job *
+SearchService::pickNextLocked()
+{
+    while (runnable_ > 0) {
+        Tenant *best = nullptr;
+        for (auto &[name, tenant] : tenants_) {
+            (void)name;
+            if (tenant.queue.empty())
+                continue;
+            // Strict < plus in-order iteration of the name-sorted
+            // tenant map = deterministic tie-break by tenant name.
+            if (best == nullptr || tenant.vtime < best->vtime)
+                best = &tenant;
+        }
+        if (best == nullptr)
+            return nullptr; // runnable_ out of sync; defensive.
+        const JobId id = best->queue.front();
+        best->queue.pop_front();
+        --runnable_;
+        Job &job = jobRef(id);
+        // A queued entry may have been cancelled out from under the
+        // queue; skip it rather than charging the tenant for it.
+        if (isTerminal(job.state) || job.stepping)
+            continue;
+        best->vtime += 1.0 / best->weight;
+        job.stepping = true;
+        return &job;
+    }
+    return nullptr;
+}
+
+void
+SearchService::stepJob(std::unique_lock<std::mutex> &lock, Job &job)
+{
+    const bool observe = metrics::enabled();
+    if (job.state == JobState::kQueued) {
+        job.state = JobState::kRunning;
+        JobEvent ev;
+        ev.type = JobEventType::kStarted;
+        ev.id = job.id;
+        job.events.push_back(std::move(ev));
+        events_cv_.notify_all();
+    }
+    if (observe && !job.first_step_recorded) {
+        job.first_step_recorded = true;
+        metrics::Registry::instance().recordLatency(
+            "service.queue_wait",
+            metrics::monotonicSeconds() - job.submit_s);
+    }
+
+    // The expensive part runs unlocked: evaluator construction spins
+    // up a platform replica, and one driver step simulates a whole
+    // generation on the fleet.
+    ga::GaDriver *driver = job.driver.get();
+    const JobSpec &spec = job.spec;
+    const auto cancel_flag = job.cancel_flag;
+    lock.unlock();
+
+    std::string error;
+    const ga::GenerationRecord *rec = nullptr;
+    std::unique_ptr<ga::FitnessEvaluator> new_evaluator;
+    std::unique_ptr<ga::GaDriver> new_driver;
+    try {
+        if (driver == nullptr) {
+            new_evaluator = config_.evaluator_factory(spec);
+            requireSim(new_evaluator != nullptr,
+                       "evaluator factory returned null");
+            ga::BatchHooks hooks;
+            hooks.fleet = &fleet_;
+            hooks.cancel = cancel_flag;
+            new_driver = std::make_unique<ga::GaDriver>(
+                presetPool(spec.platform), spec.ga, *new_evaluator,
+                std::vector<isa::Kernel>{}, hooks);
+            driver = new_driver.get();
+        }
+        rec = driver->step();
+    } catch (const std::exception &e) {
+        error = e.what();
+        if (error.empty())
+            error = "unknown evaluation error";
+    }
+
+    lock.lock();
+    if (new_evaluator)
+        job.evaluator = std::move(new_evaluator);
+    if (new_driver)
+        job.driver = std::move(new_driver);
+    job.stepping = false;
+
+    if (!error.empty()) {
+        finalizeFailed(job, error);
+        return;
+    }
+    if (observe)
+        metrics::Registry::instance().add(
+            "service.generations_stepped");
+    if (rec != nullptr) {
+        JobEvent ev;
+        ev.type = JobEventType::kProgress;
+        ev.id = job.id;
+        ev.progress = progressOf(*rec, *job.driver);
+        job.events.push_back(std::move(ev));
+        events_cv_.notify_all();
+    }
+    if (job.cancel_requested || job.driver->cancelled()) {
+        finalizeCancelled(job);
+        return;
+    }
+    if (job.driver->done()) {
+        finalizeCompleted(job);
+        return;
+    }
+    enqueueRunnableLocked(job);
+}
+
+void
+SearchService::finalizeCommon(Job &job, JobEvent event)
+{
+    Tenant &tenant = tenants_[job.spec.tenant];
+    requireSim(tenant.live > 0, "tenant live-count underflow");
+    --tenant.live;
+    requireSim(live_jobs_ > 0, "service live-count underflow");
+    --live_jobs_;
+    if (metrics::enabled()) {
+        metrics::Registry::instance().recordLatency(
+            "service.job_latency",
+            metrics::monotonicSeconds() - job.submit_s);
+    }
+    job.events.push_back(std::move(event));
+    events_cv_.notify_all();
+}
+
+void
+SearchService::finalizeCompleted(Job &job)
+{
+    auto result = std::make_shared<JobResult>();
+    result->metric = core::virusMetricName(job.spec.metric);
+    result->ga = job.driver->finish();
+    result->fingerprint = job.fingerprint;
+    job.result = result;
+    job.state = JobState::kCompleted;
+    // Retire the heavy per-job machinery eagerly: hundreds of live
+    // platform replicas would otherwise linger until the map dies.
+    job.driver.reset();
+    job.evaluator.reset();
+    if (config_.use_artifact_store) {
+        store_.insert(job.fingerprint, result);
+        // Logical time = completed searches.
+        store_.advanceEpoch();
+    }
+    if (metrics::enabled())
+        metrics::Registry::instance().add("service.jobs_completed");
+    JobEvent ev;
+    ev.type = JobEventType::kCompleted;
+    ev.id = job.id;
+    ev.result = std::move(result);
+    finalizeCommon(job, std::move(ev));
+}
+
+void
+SearchService::finalizeCancelled(Job &job)
+{
+    job.state = JobState::kCancelled;
+    job.driver.reset();
+    job.evaluator.reset();
+    if (metrics::enabled())
+        metrics::Registry::instance().add("service.jobs_cancelled");
+    JobEvent ev;
+    ev.type = JobEventType::kCancelled;
+    ev.id = job.id;
+    finalizeCommon(job, std::move(ev));
+}
+
+void
+SearchService::finalizeFailed(Job &job, const std::string &error)
+{
+    job.state = JobState::kFailed;
+    job.driver.reset();
+    job.evaluator.reset();
+    if (metrics::enabled())
+        metrics::Registry::instance().add("service.jobs_failed");
+    JobEvent ev;
+    ev.type = JobEventType::kFailed;
+    ev.id = job.id;
+    ev.error = error;
+    finalizeCommon(job, std::move(ev));
+}
+
+Submission
+SearchService::submit(const JobSpec &spec)
+{
+    Submission out;
+    try {
+        ga::validateGaConfig(spec.ga);
+        requireConfig(!spec.tenant.empty(), "tenant must be named");
+    } catch (const ConfigError &e) {
+        out.reject_reason = e.what();
+        if (metrics::enabled())
+            metrics::Registry::instance().add("service.jobs_rejected");
+        return out;
+    }
+
+    const std::uint64_t fingerprint = jobFingerprint(spec);
+    std::shared_ptr<const JobResult> served;
+    if (config_.use_artifact_store)
+        served = store_.fetch(fingerprint);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (metrics::enabled()) {
+        auto &reg = metrics::Registry::instance();
+        reg.add("service.jobs_submitted");
+        if (config_.use_artifact_store)
+            reg.add(served ? "service.artifact_hits"
+                           : "service.artifact_misses");
+    }
+
+    if (served) {
+        // Content hit: the stored artifact IS the result this spec's
+        // search would produce. Complete instantly; no slot consumed.
+        Job &job = *jobs_
+                        .emplace(next_id_,
+                                 std::make_unique<Job>())
+                        .first->second;
+        job.id = next_id_++;
+        job.spec = spec;
+        job.fingerprint = fingerprint;
+        job.state = JobState::kCompleted;
+        auto result = std::make_shared<JobResult>(*served);
+        result->from_artifact_store = true;
+        job.result = result;
+        JobEvent accepted;
+        accepted.type = JobEventType::kAccepted;
+        accepted.id = job.id;
+        job.events.push_back(std::move(accepted));
+        JobEvent completed;
+        completed.type = JobEventType::kCompleted;
+        completed.id = job.id;
+        completed.result = std::move(result);
+        job.events.push_back(std::move(completed));
+        events_cv_.notify_all();
+        if (metrics::enabled())
+            metrics::Registry::instance().add(
+                "service.jobs_completed");
+        out.id = job.id;
+        out.accepted = true;
+        return out;
+    }
+
+    if (live_jobs_ >= config_.max_jobs_in_flight) {
+        out.reject_reason = "service at capacity";
+        if (metrics::enabled())
+            metrics::Registry::instance().add("service.jobs_rejected");
+        return out;
+    }
+    Tenant &tenant = tenants_[spec.tenant];
+    if (tenant.weight == 1.0 && tenant.vtime == 0.0
+        && tenant.live == 0 && tenant.queue.empty()) {
+        // Freshly materialized tenant: resolve its weight once.
+        const auto it = config_.tenant_weights.find(spec.tenant);
+        tenant.weight = it != config_.tenant_weights.end()
+            ? it->second
+            : config_.default_tenant_weight;
+    }
+    if (tenant.live >= config_.max_jobs_per_tenant) {
+        out.reject_reason = "tenant at capacity";
+        if (metrics::enabled())
+            metrics::Registry::instance().add("service.jobs_rejected");
+        return out;
+    }
+
+    Job &job =
+        *jobs_.emplace(next_id_, std::make_unique<Job>())
+             .first->second;
+    job.id = next_id_++;
+    job.spec = spec;
+    job.fingerprint = fingerprint;
+    job.state = JobState::kQueued;
+    job.cancel_flag = makeCancelFlag();
+    if (metrics::enabled())
+        job.submit_s = metrics::monotonicSeconds();
+    if (tenant.live == 0) {
+        // Idle -> busy: forfeit banked credit so a long-idle tenant
+        // cannot monopolize the fleet on return. (The tenant itself
+        // is excluded from the minimum — its live count is still 0.)
+        tenant.vtime = std::max(tenant.vtime, minActiveVtimeLocked());
+    }
+    ++tenant.live;
+    ++live_jobs_;
+    JobEvent ev;
+    ev.type = JobEventType::kAccepted;
+    ev.id = job.id;
+    job.events.push_back(std::move(ev));
+    events_cv_.notify_all();
+    enqueueRunnableLocked(job);
+    out.id = job.id;
+    out.accepted = true;
+    return out;
+}
+
+bool
+SearchService::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second;
+    if (isTerminal(job.state) || job.cancel_requested)
+        return false;
+    job.cancel_requested = true;
+    if (job.cancel_flag)
+        job.cancel_flag->store(true, std::memory_order_relaxed);
+    if (!job.stepping) {
+        // Not inside a step: cancel takes effect immediately. Remove
+        // the queue entry so the tenant is never charged for it.
+        Tenant &tenant = tenants_[job.spec.tenant];
+        const auto pos = std::find(tenant.queue.begin(),
+                                   tenant.queue.end(), id);
+        if (pos != tenant.queue.end()) {
+            tenant.queue.erase(pos);
+            requireSim(runnable_ > 0, "runnable-count underflow");
+            --runnable_;
+        }
+        finalizeCancelled(job);
+    }
+    // else: the stepping thread observes the fired token once the
+    // fleet drains its batch and finalizes the job itself.
+    return true;
+}
+
+JobStatus
+SearchService::status(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job &job = jobRef(id);
+    JobStatus st;
+    st.state = job.state;
+    st.tenant = job.spec.tenant;
+    st.cancel_requested = job.cancel_requested;
+    if (job.driver) {
+        st.generations_done = job.driver->generationsDone();
+        st.generations_total = job.driver->totalGenerations();
+    } else if (job.result) {
+        st.generations_total = job.result->ga.history.size();
+        st.generations_done = st.generations_total;
+    }
+    return st;
+}
+
+JobEvent
+SearchService::waitEvent(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job &job = jobRef(id);
+    events_cv_.wait(lock, [&job] { return !job.events.empty(); });
+    JobEvent ev = std::move(job.events.front());
+    job.events.pop_front();
+    return ev;
+}
+
+std::optional<JobEvent>
+SearchService::pollEvent(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job &job = jobRef(id);
+    if (job.events.empty())
+        return std::nullopt;
+    JobEvent ev = std::move(job.events.front());
+    job.events.pop_front();
+    return ev;
+}
+
+JobState
+SearchService::waitTerminal(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job &job = jobRef(id);
+    events_cv_.wait(lock, [&job] { return isTerminal(job.state); });
+    return job.state;
+}
+
+std::shared_ptr<const JobResult>
+SearchService::result(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job &job = jobRef(id);
+    return job.state == JobState::kCompleted ? job.result : nullptr;
+}
+
+bool
+SearchService::stepOnce()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job *job = pickNextLocked();
+    if (job == nullptr)
+        return false;
+    stepJob(lock, *job);
+    return true;
+}
+
+void
+SearchService::drainManual()
+{
+    while (stepOnce()) {
+    }
+}
+
+void
+SearchService::runnerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [this] { return stop_ || runnable_ > 0; });
+        if (stop_)
+            return;
+        Job *job = pickNextLocked();
+        if (job == nullptr)
+            continue;
+        stepJob(lock, *job);
+    }
+}
+
+} // namespace service
+} // namespace emstress

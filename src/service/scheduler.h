@@ -1,0 +1,257 @@
+/**
+ * @file
+ * SearchService: the multi-tenant virus-search scheduler. Accepts
+ * JobSpecs under admission control, queues them per tenant, and
+ * interleaves their GA generations over one shared WorkerFleet using
+ * weighted-fair queuing — the long-running service the ROADMAP's
+ * north star asks for, built directly on the batch-era pieces
+ * (GaDriver supplies resumable generation steps, BatchEvaluator
+ * evaluates each generation on the fleet, the ArtifactStore serves
+ * repeated specs).
+ *
+ * Scheduling model:
+ *  - Admission control: a global in-flight cap and a per-tenant cap;
+ *    jobs beyond either are rejected at submit (no unbounded queues).
+ *  - Weighted-fair queuing: each tenant carries a virtual time,
+ *    advanced by 1/weight per generation stepped. The scheduler
+ *    always steps the lowest-virtual-time tenant with runnable work
+ *    (ties broken by tenant name for determinism), round-robin over
+ *    that tenant's jobs. A tenant going from idle to busy resyncs its
+ *    virtual time to the busiest minimum, so idle time banks no
+ *    credit.
+ *  - The unit of scheduling is one GA generation (one GaDriver
+ *    step). Fleet-level parallelism comes from within a generation's
+ *    population batch, plus overlap across jobs when multiple runner
+ *    threads step different jobs concurrently.
+ *
+ * Determinism contract: job results are bit-identical to direct
+ * GaEngine runs of the same spec, for any fleet width and runner
+ * count — GaDriver *is* GaEngine's execution path, evaluation noise
+ * is kernel-derived, and each generation's batch writes slot-isolated
+ * results merged in index order. Scheduling changes only latency and
+ * interleaving, never result bits.
+ *
+ * Execution modes: `runners` background threads step jobs
+ * continuously; with runners = 0 the service steps only when the
+ * caller pumps stepOnce()/drainManual(), which makes scheduler
+ * decisions single-threaded and exactly reproducible for tests.
+ */
+
+#ifndef EMSTRESS_SERVICE_SCHEDULER_H
+#define EMSTRESS_SERVICE_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/artifact_store.h"
+#include "service/job.h"
+#include "util/worker_fleet.h"
+
+namespace emstress {
+namespace service {
+
+/** Service-wide configuration. */
+struct ServiceConfig
+{
+    /// Shared evaluation workers (0 = auto via EMSTRESS_THREADS /
+    /// hardware concurrency). Every job's generation batches run on
+    /// this one fleet; GaConfig::threads of submitted specs is
+    /// ignored.
+    std::size_t fleet_threads = 1;
+    /// Scheduler threads stepping jobs; 0 = manual mode (the caller
+    /// pumps stepOnce(), deterministic for tests).
+    std::size_t runners = 1;
+    /// Admission: maximum queued + running jobs service-wide.
+    std::size_t max_jobs_in_flight = 256;
+    /// Admission: maximum queued + running jobs per tenant.
+    std::size_t max_jobs_per_tenant = 64;
+    /// Fair-share weight of tenants absent from tenant_weights.
+    double default_tenant_weight = 1.0;
+    /// Per-tenant fair-share weights (higher = more generations per
+    /// unit of contention).
+    std::map<std::string, double> tenant_weights;
+    /// Serve repeated specs from the content-addressed store.
+    bool use_artifact_store = true;
+    ArtifactStore::Config artifacts;
+    /// Evaluator construction; null uses makePlatformEvaluator.
+    EvaluatorFactory evaluator_factory;
+};
+
+/** Outcome of submit(). */
+struct Submission
+{
+    JobId id = 0; ///< 0 when rejected.
+    bool accepted = false;
+    std::string reject_reason; ///< Set when rejected.
+};
+
+/** Point-in-time view of one job. */
+struct JobStatus
+{
+    JobState state = JobState::kQueued;
+    std::string tenant;
+    std::size_t generations_done = 0;
+    std::size_t generations_total = 0; ///< 0 until the job started.
+    bool cancel_requested = false;
+};
+
+/**
+ * The scheduler. Thread-safe: submit/cancel/status/event calls may
+ * come from any number of transport threads.
+ */
+class SearchService
+{
+  public:
+    explicit SearchService(ServiceConfig config);
+
+    SearchService(const SearchService &) = delete;
+    SearchService &operator=(const SearchService &) = delete;
+
+    /** Stops the runners; jobs still queued stay unfinished. */
+    ~SearchService();
+
+    /**
+     * Admit a job. Rejections (capacity, invalid spec) are reported
+     * in the Submission, not thrown. An accepted job has already
+     * emitted its kAccepted event; a spec whose fingerprint hits the
+     * artifact store completes instantly without occupying a slot.
+     */
+    Submission submit(const JobSpec &spec);
+
+    /**
+     * Request cancellation. True when the job existed and was not
+     * yet terminal: queued jobs cancel immediately, running jobs
+     * drain their in-flight generation (skipped evaluations are
+     * never scored or cached — BatchEvaluator guarantee 5) and then
+     * report kCancelled.
+     */
+    bool cancel(JobId id);
+
+    /** Status of a job. @throws ConfigError for an unknown id. */
+    JobStatus status(JobId id) const;
+
+    /**
+     * Pop the job's next event, blocking until one is available.
+     * Terminal events (kCompleted/kCancelled/kFailed) are the last a
+     * job ever emits. @throws ConfigError for an unknown id.
+     */
+    JobEvent waitEvent(JobId id);
+
+    /** Pop the job's next event if one is pending. */
+    std::optional<JobEvent> pollEvent(JobId id);
+
+    /**
+     * Block until the job is terminal (does not consume events).
+     * Returns the terminal state.
+     */
+    JobState waitTerminal(JobId id);
+
+    /** A completed job's result; null unless state is kCompleted. */
+    std::shared_ptr<const JobResult> result(JobId id) const;
+
+    /**
+     * Step one generation of the next schedulable job on the calling
+     * thread (the manual-mode pump; also usable alongside runners).
+     * False when nothing was runnable.
+     */
+    bool stepOnce();
+
+    /** Pump stepOnce() until no job is runnable (manual mode). */
+    void drainManual();
+
+    /** The shared artifact store. */
+    ArtifactStore &artifacts() { return store_; }
+
+    /** The shared evaluation fleet. */
+    WorkerFleet &fleet() { return fleet_; }
+
+    /** Resolved configuration. */
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    /** Everything the service knows about one job. */
+    struct Job
+    {
+        JobId id = 0;
+        JobSpec spec;
+        std::uint64_t fingerprint = 0;
+        JobState state = JobState::kQueued;
+        bool cancel_requested = false;
+        bool stepping = false; ///< A thread is inside driver->step().
+        std::shared_ptr<std::atomic<bool>> cancel_flag;
+        std::unique_ptr<ga::FitnessEvaluator> evaluator;
+        std::unique_ptr<ga::GaDriver> driver;
+        std::deque<JobEvent> events;
+        std::shared_ptr<const JobResult> result;
+        double submit_s = 0.0; ///< monotonic submit time (metrics).
+        bool first_step_recorded = false;
+    };
+
+    /** Per-tenant fair-queuing state. */
+    struct Tenant
+    {
+        double weight = 1.0;
+        double vtime = 0.0;       ///< Virtual time consumed.
+        std::deque<JobId> queue;  ///< Round-robin runnable jobs.
+        std::size_t live = 0;     ///< Queued + running jobs.
+    };
+
+    Job &jobRef(JobId id);
+    const Job &jobRef(JobId id) const;
+
+    /** Smallest virtual time among tenants with live jobs. */
+    double minActiveVtimeLocked() const;
+
+    /** Enqueue a job as runnable on its tenant. */
+    void enqueueRunnableLocked(Job &job);
+
+    /** Pick and claim the next job to step; null when none. */
+    Job *pickNextLocked();
+
+    /**
+     * Step one generation of a claimed job. Called with the lock
+     * held and job.stepping set; drops the lock around evaluation.
+     */
+    void stepJob(std::unique_lock<std::mutex> &lock, Job &job);
+
+    /// @{ Terminal transitions (lock held).
+    void finalizeCompleted(Job &job);
+    void finalizeCancelled(Job &job);
+    void finalizeFailed(Job &job, const std::string &error);
+    void finalizeCommon(Job &job, JobEvent event);
+    /// @}
+
+    void runnerLoop();
+
+    ServiceConfig config_;
+    ArtifactStore store_;
+    WorkerFleet fleet_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< Runnable work appeared.
+    std::condition_variable events_cv_; ///< Job events/state changed.
+    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+    /// std::map: scheduler decisions iterate tenants, and iteration
+    /// order must be deterministic (and lint-clean).
+    std::map<std::string, Tenant> tenants_;
+    JobId next_id_ = 1;
+    std::size_t live_jobs_ = 0;
+    std::size_t runnable_ = 0;
+    bool stop_ = false;
+
+    std::vector<std::thread> runners_;
+};
+
+} // namespace service
+} // namespace emstress
+
+#endif // EMSTRESS_SERVICE_SCHEDULER_H

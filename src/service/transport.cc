@@ -1,0 +1,91 @@
+/**
+ * @file
+ * In-process transport: same service, same codec, no socket.
+ */
+
+#include "service/transport.h"
+
+#include "service/wire.h"
+
+namespace emstress {
+namespace service {
+
+namespace {
+
+/** Encode-then-decode a spec, as the socket path would. */
+JobSpec
+roundTripSpec(const JobSpec &spec)
+{
+    WireWriter w;
+    encodeJobSpec(w, spec);
+    WireReader r(w.bytes());
+    JobSpec out = decodeJobSpec(r);
+    r.expectEnd();
+    return out;
+}
+
+JobProgress
+roundTripProgress(const JobProgress &progress)
+{
+    WireWriter w;
+    encodeProgress(w, progress);
+    WireReader r(w.bytes());
+    JobProgress out = decodeProgress(r);
+    r.expectEnd();
+    return out;
+}
+
+JobResult
+roundTripResult(const JobResult &result,
+                const isa::InstructionPool &pool)
+{
+    WireWriter w;
+    encodeJobResult(w, result, pool);
+    WireReader r(w.bytes());
+    JobResult out = decodeJobResult(r, pool);
+    r.expectEnd();
+    return out;
+}
+
+} // namespace
+
+Submission
+InProcessTransport::submit(const JobSpec &spec)
+{
+    const JobSpec decoded = roundTripSpec(spec);
+    Submission sub = service_.submit(decoded);
+    if (sub.accepted) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        presets_.emplace(sub.id, decoded.platform);
+    }
+    return sub;
+}
+
+JobEvent
+InProcessTransport::nextEvent(JobId id)
+{
+    JobEvent ev = service_.waitEvent(id);
+    if (ev.type == JobEventType::kProgress) {
+        ev.progress = roundTripProgress(ev.progress);
+    } else if (ev.type == JobEventType::kCompleted && ev.result) {
+        PlatformPreset preset = PlatformPreset::kJunoA72;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = presets_.find(id);
+            if (it != presets_.end())
+                preset = it->second;
+        }
+        ev.result = std::make_shared<const JobResult>(
+            roundTripResult(*ev.result, presetPool(preset)));
+    }
+    return ev;
+}
+
+bool
+InProcessTransport::cancel(JobId id)
+{
+    return service_.cancel(id);
+}
+
+} // namespace service
+} // namespace emstress

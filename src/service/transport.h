@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Client-side transport abstraction of the search service, with the
+ * in-process implementation.
+ *
+ * A Transport is how a client talks to a SearchService: submit a
+ * spec, stream the job's events, request cancellation. Two
+ * implementations exist:
+ *
+ *  - InProcessTransport (here): wraps a SearchService in the same
+ *    process. Every spec and every result still round-trips through
+ *    the wire codec (encode then decode), so tests that compare an
+ *    in-process job against a direct GaEngine run are also pinning
+ *    the codec's bit-exactness — a socket adds I/O, never different
+ *    bytes.
+ *  - SocketClient (transport_socket.h): the same operations over the
+ *    length-prefixed TCP protocol against an emstressd server.
+ */
+
+#ifndef EMSTRESS_SERVICE_TRANSPORT_H
+#define EMSTRESS_SERVICE_TRANSPORT_H
+
+#include <mutex>
+#include <unordered_map>
+
+#include "service/job.h"
+#include "service/scheduler.h"
+
+namespace emstress {
+namespace service {
+
+/** Client-side view of a search service. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Submit a job; rejection is reported, not thrown. */
+    virtual Submission submit(const JobSpec &spec) = 0;
+
+    /**
+     * Pop the job's next event, blocking until one arrives. Terminal
+     * events (kCompleted/kCancelled/kFailed) end the stream.
+     */
+    virtual JobEvent nextEvent(JobId id) = 0;
+
+    /** Request cancellation; true when the job was still live. */
+    virtual bool cancel(JobId id) = 0;
+
+    /**
+     * Convenience: drain the event stream until the terminal event
+     * and return it.
+     */
+    JobEvent
+    awaitTerminal(JobId id)
+    {
+        for (;;) {
+            JobEvent ev = nextEvent(id);
+            if (ev.type == JobEventType::kCompleted
+                || ev.type == JobEventType::kCancelled
+                || ev.type == JobEventType::kFailed)
+                return ev;
+        }
+    }
+};
+
+/**
+ * In-process transport over a caller-owned SearchService. Specs,
+ * progress payloads and results are passed through the wire codec
+ * both ways, making this transport byte-equivalent to the socket one
+ * minus the socket.
+ */
+class InProcessTransport : public Transport
+{
+  public:
+    /** @param service Backing service; must outlive the transport. */
+    explicit InProcessTransport(SearchService &service)
+        : service_(service)
+    {}
+
+    Submission submit(const JobSpec &spec) override;
+    JobEvent nextEvent(JobId id) override;
+    bool cancel(JobId id) override;
+
+  private:
+    SearchService &service_;
+    /// Platform preset per submitted job: result kernels decode
+    /// against the job's instruction pool.
+    std::mutex mutex_;
+    std::unordered_map<JobId, PlatformPreset> presets_;
+};
+
+} // namespace service
+} // namespace emstress
+
+#endif // EMSTRESS_SERVICE_TRANSPORT_H

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Socket transport implementation. Loopback TCP, blocking I/O, one
+ * protocol stream per connection. Socket syscalls live here and
+ * nowhere else in the service (lint-sanctioned, tag
+ * "socket-transport").
+ */
+
+#include "service/transport_socket.h"
+
+#include <arpa/inet.h>  // lint: socket-transport
+#include <netinet/in.h> // lint: socket-transport
+#include <sys/socket.h> // lint: socket-transport
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+#include "util/metrics.h"
+
+namespace emstress {
+namespace service {
+
+namespace {
+
+/** recv() exactly n bytes; false on orderly EOF at a boundary. */
+bool
+recvAll(int fd, std::uint8_t *buf, std::size_t n, bool eof_ok)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t rc =
+            ::recv(fd, buf + got, n - got, 0); // lint: socket-transport
+        if (rc == 0) {
+            if (got == 0 && eof_ok)
+                return false;
+            throwSimulationError("connection closed mid-frame");
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throwSimulationError("socket read failed");
+        }
+        got += static_cast<std::size_t>(rc);
+    }
+    return true;
+}
+
+/** send() all bytes (MSG_NOSIGNAL: a gone peer is an error, not a
+ *  process signal). */
+void
+sendAll(int fd, const std::uint8_t *buf, std::size_t n)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t rc = ::send(fd, buf + sent, n - sent,
+                                  MSG_NOSIGNAL); // lint: socket-transport
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throwSimulationError("socket write failed");
+        }
+        sent += static_cast<std::size_t>(rc);
+    }
+}
+
+struct FdCloser
+{
+    int fd;
+    ~FdCloser()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+} // namespace
+
+void
+writeFrame(int fd, MsgType type, const WireWriter &body)
+{
+    const std::vector<std::uint8_t> frame = buildFrame(type, body);
+    sendAll(fd, frame.data(), frame.size());
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    std::uint8_t head[4];
+    if (!recvAll(fd, head, sizeof head, /*eof_ok=*/true))
+        return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+    if (len == 0 || len > kMaxFrameBytes)
+        throw ProtocolError("bad frame length");
+    std::vector<std::uint8_t> payload(len);
+    recvAll(fd, payload.data(), payload.size(), /*eof_ok=*/false);
+    out.type = static_cast<MsgType>(payload[0]);
+    out.body.assign(payload.begin() + 1, payload.end());
+    return true;
+}
+
+// ---------------------------------------------------------- server
+
+SocketServer::SocketServer(SearchService &service, Options options)
+    : service_(service)
+{
+    listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM, 0); // lint: socket-transport
+    requireSim(listen_fd_ >= 0, "socket() failed");
+
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one); // lint: socket-transport
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr)
+        != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throwSimulationError("bind() failed — port in use?");
+    }
+    if (::listen(listen_fd_, 64) != 0) { // lint: socket-transport
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throwSimulationError("listen() failed");
+    }
+
+    socklen_t alen = sizeof addr;
+    requireSim(::getsockname(listen_fd_,
+                             reinterpret_cast<sockaddr *>(&addr),
+                             &alen)
+                   == 0,
+               "getsockname() failed");
+    port_ = ntohs(addr.sin_port);
+}
+
+SocketServer::~SocketServer()
+{
+    requestStop();
+    for (std::thread &t : connections_)
+        if (t.joinable())
+            t.join();
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+}
+
+void
+SocketServer::requestStop()
+{
+    stop_.store(true);
+    if (listen_fd_ >= 0) {
+        // Wakes a blocked accept() so serve() can observe stop_.
+        ::shutdown(listen_fd_, SHUT_RDWR); // lint: socket-transport
+    }
+}
+
+void
+SocketServer::serve()
+{
+    while (!stop_.load()) {
+        const int fd =
+            ::accept(listen_fd_, nullptr, // lint: socket-transport
+                     nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listen socket shut down
+        }
+        if (stop_.load()) {
+            ::close(fd);
+            break;
+        }
+        connections_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+SocketServer::handleConnection(int fd)
+{
+    FdCloser closer{fd};
+    metrics::Registry::instance().add("service.connections");
+    try {
+        Frame frame;
+        while (readFrame(fd, frame)) {
+            WireReader r(frame.body);
+            switch (frame.type) {
+            case MsgType::kPing: {
+                (void)r.u32(); // client version (accepted as-is)
+                WireWriter w;
+                w.u32(kProtocolVersion);
+                writeFrame(fd, MsgType::kPong, w);
+                break;
+            }
+            case MsgType::kSubmit: {
+                const JobSpec spec = decodeJobSpec(r);
+                r.expectEnd();
+                const Submission sub = service_.submit(spec);
+                if (!sub.accepted) {
+                    WireWriter w;
+                    w.str(sub.reject_reason);
+                    writeFrame(fd, MsgType::kError, w);
+                    break;
+                }
+                {
+                    WireWriter w;
+                    w.u64(sub.id);
+                    writeFrame(fd, MsgType::kAccepted, w);
+                }
+                // Stream the job's events until terminal.
+                for (bool streaming = true; streaming;) {
+                    const JobEvent ev = service_.waitEvent(sub.id);
+                    WireWriter w;
+                    switch (ev.type) {
+                    case JobEventType::kAccepted:
+                    case JobEventType::kStarted:
+                        continue; // already signalled / implicit
+                    case JobEventType::kProgress:
+                        w.u64(ev.id);
+                        encodeProgress(w, ev.progress);
+                        writeFrame(fd, MsgType::kProgress, w);
+                        break;
+                    case JobEventType::kCompleted:
+                        w.u64(ev.id);
+                        encodeJobResult(
+                            w, *ev.result,
+                            presetPool(spec.platform));
+                        writeFrame(fd, MsgType::kCompleted, w);
+                        streaming = false;
+                        break;
+                    case JobEventType::kCancelled:
+                        w.u64(ev.id);
+                        writeFrame(fd, MsgType::kCancelled, w);
+                        streaming = false;
+                        break;
+                    case JobEventType::kFailed:
+                        w.u64(ev.id);
+                        w.str(ev.error);
+                        writeFrame(fd, MsgType::kFailed, w);
+                        streaming = false;
+                        break;
+                    }
+                }
+                break;
+            }
+            case MsgType::kCancel: {
+                const JobId id = r.u64();
+                r.expectEnd();
+                const bool ok = service_.cancel(id);
+                WireWriter w;
+                w.u8(ok ? 1 : 0);
+                writeFrame(fd, MsgType::kAck, w);
+                break;
+            }
+            case MsgType::kMetrics: {
+                WireWriter w;
+                w.str(metrics::toJson(
+                    metrics::Registry::instance().snapshot()));
+                writeFrame(fd, MsgType::kMetricsReply, w);
+                break;
+            }
+            case MsgType::kShutdown: {
+                WireWriter w;
+                w.u8(1);
+                writeFrame(fd, MsgType::kAck, w);
+                requestStop();
+                return;
+            }
+            default: {
+                WireWriter w;
+                w.str("unexpected message type");
+                writeFrame(fd, MsgType::kError, w);
+                return;
+            }
+            }
+        }
+    } catch (const std::exception &) {
+        // Protocol violation or the peer vanished: drop the
+        // connection. Jobs already admitted keep running; their
+        // events stay queued on the service.
+    }
+}
+
+// ---------------------------------------------------------- client
+
+SocketClient::SocketClient(const std::string &host,
+                           std::uint16_t port)
+    : host_(host), port_(port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0); // lint: socket-transport
+    requireSim(fd_ >= 0, "socket() failed");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    requireConfig(
+        ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+        "host must be a dotted IPv4 address");
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr)
+        != 0) { // lint: socket-transport
+        ::close(fd_);
+        fd_ = -1;
+        throwSimulationError("connect() failed — is emstressd running?");
+    }
+}
+
+SocketClient::~SocketClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Frame
+SocketClient::request(MsgType type, const WireWriter &body)
+{
+    writeFrame(fd_, type, body);
+    Frame reply;
+    if (!readFrame(fd_, reply))
+        throwSimulationError("server closed the connection");
+    return reply;
+}
+
+bool
+SocketClient::ping()
+{
+    WireWriter w;
+    w.u32(kProtocolVersion);
+    try {
+        const Frame reply = request(MsgType::kPing, w);
+        if (reply.type != MsgType::kPong)
+            return false;
+        WireReader r(reply.body);
+        return r.u32() == kProtocolVersion;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+Submission
+SocketClient::submit(const JobSpec &spec)
+{
+    WireWriter w;
+    encodeJobSpec(w, spec);
+    const Frame reply = request(MsgType::kSubmit, w);
+    Submission sub;
+    WireReader r(reply.body);
+    if (reply.type == MsgType::kError) {
+        sub.reject_reason = r.str();
+        return sub;
+    }
+    if (reply.type != MsgType::kAccepted)
+        throw ProtocolError("expected kAccepted or kError");
+    sub.id = r.u64();
+    sub.accepted = true;
+    presets_.emplace(sub.id, spec.platform);
+    return sub;
+}
+
+JobEvent
+SocketClient::nextEvent(JobId id)
+{
+    Frame frame;
+    if (!readFrame(fd_, frame))
+        throwSimulationError("server closed the event stream");
+    JobEvent ev;
+    WireReader r(frame.body);
+    switch (frame.type) {
+    case MsgType::kProgress:
+        ev.type = JobEventType::kProgress;
+        ev.id = r.u64();
+        ev.progress = decodeProgress(r);
+        break;
+    case MsgType::kCompleted: {
+        ev.type = JobEventType::kCompleted;
+        ev.id = r.u64();
+        PlatformPreset preset = PlatformPreset::kJunoA72;
+        auto it = presets_.find(ev.id);
+        if (it != presets_.end())
+            preset = it->second;
+        ev.result = std::make_shared<const JobResult>(
+            decodeJobResult(r, presetPool(preset)));
+        break;
+    }
+    case MsgType::kCancelled:
+        ev.type = JobEventType::kCancelled;
+        ev.id = r.u64();
+        break;
+    case MsgType::kFailed:
+        ev.type = JobEventType::kFailed;
+        ev.id = r.u64();
+        ev.error = r.str();
+        break;
+    default:
+        throw ProtocolError("unexpected frame in event stream");
+    }
+    if (ev.id != id)
+        throw ProtocolError("event for a different job id");
+    return ev;
+}
+
+bool
+SocketClient::cancel(JobId id)
+{
+    // The main connection is busy streaming this job's events, so
+    // cancellation rides a short-lived side connection.
+    SocketClient side(host_, port_);
+    WireWriter w;
+    w.u64(id);
+    const Frame reply = side.request(MsgType::kCancel, w);
+    if (reply.type != MsgType::kAck)
+        return false;
+    WireReader r(reply.body);
+    return r.u8() != 0;
+}
+
+std::string
+SocketClient::metricsJson()
+{
+    const Frame reply = request(MsgType::kMetrics, WireWriter());
+    if (reply.type != MsgType::kMetricsReply)
+        throw ProtocolError("expected kMetricsReply");
+    WireReader r(reply.body);
+    return r.str();
+}
+
+bool
+SocketClient::shutdownServer()
+{
+    const Frame reply = request(MsgType::kShutdown, WireWriter());
+    if (reply.type != MsgType::kAck)
+        return false;
+    WireReader r(reply.body);
+    return r.u8() != 0;
+}
+
+} // namespace service
+} // namespace emstress

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Socket transport: the wire protocol over local TCP.
+ *
+ * This file pair is the service's *only* home for socket syscalls and
+ * wall-clock waits — emstress-lint sanctions them here (tag
+ * "socket-transport") and bans them everywhere else in the service,
+ * so evaluation paths can never grow a hidden dependency on I/O
+ * timing. Frame bytes come from service/wire.h; this layer only moves
+ * them.
+ *
+ *  - SocketServer: owns the listening socket of an emstressd
+ *    instance. One thread per connection; each connection speaks the
+ *    sequential request/stream protocol (see wire.h). A kShutdown
+ *    request stops the accept loop after acking.
+ *  - SocketClient: a Transport backed by one connection. submit()
+ *    starts the job's event stream on that connection; cancel()
+ *    opens a short-lived side connection, since the protocol is
+ *    sequential per connection.
+ */
+
+#ifndef EMSTRESS_SERVICE_TRANSPORT_SOCKET_H
+#define EMSTRESS_SERVICE_TRANSPORT_SOCKET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/transport.h"
+#include "service/wire.h"
+
+namespace emstress {
+namespace service {
+
+/** A received frame: type + body bytes. */
+struct Frame
+{
+    MsgType type = MsgType::kError;
+    std::vector<std::uint8_t> body;
+};
+
+/**
+ * TCP front-end of a SearchService (the emstressd core). Binds
+ * 127.0.0.1 only: the service trusts its submitters with CPU budget,
+ * so it stays loopback-scoped.
+ */
+class SocketServer
+{
+  public:
+    struct Options
+    {
+        std::uint16_t port = 0; ///< 0 = ephemeral (see port()).
+    };
+
+    /**
+     * Bind and listen. @param service must outlive the server.
+     * @throws SimError when binding fails.
+     */
+    SocketServer(SearchService &service, Options options);
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Stops accepting and joins connection threads. */
+    ~SocketServer();
+
+    /** The bound port (resolved when Options::port was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accept-and-dispatch loop. Returns after a kShutdown request or
+     * requestStop(). Call from the thread that should host the
+     * server's lifetime (emstressd's main).
+     */
+    void serve();
+
+    /** Make serve() return (callable from any thread). */
+    void requestStop();
+
+  private:
+    void handleConnection(int fd);
+
+    SearchService &service_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> connections_;
+};
+
+/**
+ * Client side of the socket protocol. Not thread-safe: one client
+ * per thread (matching the one-stream-per-connection protocol).
+ */
+class SocketClient : public Transport
+{
+  public:
+    /** Connect. @throws SimError when the connection fails. */
+    SocketClient(const std::string &host, std::uint16_t port);
+
+    SocketClient(const SocketClient &) = delete;
+    SocketClient &operator=(const SocketClient &) = delete;
+
+    ~SocketClient() override;
+
+    /** Version handshake; false on mismatch or transport error. */
+    bool ping();
+
+    Submission submit(const JobSpec &spec) override;
+    JobEvent nextEvent(JobId id) override;
+
+    /** Cancels over a fresh side connection. */
+    bool cancel(JobId id) override;
+
+    /** Server metrics snapshot (util/metrics JSON). */
+    std::string metricsJson();
+
+    /** Ask the server to exit its accept loop. */
+    bool shutdownServer();
+
+  private:
+    Frame request(MsgType type, const WireWriter &body);
+
+    std::string host_;
+    std::uint16_t port_ = 0;
+    int fd_ = -1;
+    /// Platform preset per submitted job, for decoding result
+    /// kernels against the right pool.
+    std::unordered_map<JobId, PlatformPreset> presets_;
+};
+
+/// @{ Frame I/O over a connected socket (shared by both ends).
+/** Write one frame; @throws SimError on a broken connection. */
+void writeFrame(int fd, MsgType type, const WireWriter &body);
+/** Read one frame; false on orderly EOF before a frame started. */
+bool readFrame(int fd, Frame &out);
+/// @}
+
+} // namespace service
+} // namespace emstress
+
+#endif // EMSTRESS_SERVICE_TRANSPORT_SOCKET_H

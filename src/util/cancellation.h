@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Cooperative cancellation primitive shared by the GA batch
+ * evaluator, the worker fleet and the search service. A CancelToken
+ * is a read-only view of a flag owned by whoever may cancel (a job's
+ * scheduler entry, a test); holders poll it at safe points and drain
+ * without side effects once it fires. Null tokens mean "never
+ * cancelled", so batch-era callers pay nothing.
+ */
+
+#ifndef EMSTRESS_UTIL_CANCELLATION_H
+#define EMSTRESS_UTIL_CANCELLATION_H
+
+#include <atomic>
+#include <memory>
+
+namespace emstress {
+
+/**
+ * Read-only cancellation flag shared between a job's controller and
+ * the evaluation machinery running on its behalf.
+ */
+using CancelToken = std::shared_ptr<const std::atomic<bool>>;
+
+/** Make the writable flag behind a CancelToken (starts unfired). */
+inline std::shared_ptr<std::atomic<bool>>
+makeCancelFlag()
+{
+    return std::make_shared<std::atomic<bool>>(false);
+}
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_CANCELLATION_H

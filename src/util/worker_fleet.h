@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A shared worker fleet multiplexing task batches from many
+ * concurrent producers — the service-era generalization of
+ * util/thread_pool.h. Where ThreadPool::parallelFor runs exactly one
+ * job at a time (the batch-harness shape: evaluate a generation,
+ * join, breed), a WorkerFleet accepts batches from any number of
+ * threads at once: each caller blocks only on *its own* batch while
+ * the workers drain every admitted batch in admission order, so the
+ * evaluation tasks of hundreds of in-flight search jobs share one
+ * fixed set of threads.
+ *
+ * Design constraints, mirroring ThreadPool's:
+ *  - Callers own determinism. Each task receives its item index and
+ *    the executing worker id; per-worker state (cloned platforms)
+ *    is indexed by worker id and reproducible noise derives from the
+ *    item, never from scheduling order. Which batch a worker drains
+ *    next is scheduling, not semantics: every result slot is written
+ *    by exactly one task, so batch interleaving cannot change any
+ *    result bit.
+ *  - Batches are FIFO with overlap: workers finish claiming indices
+ *    of an earlier batch before starting a later one, but a later
+ *    batch starts as soon as claims (not completions) of the earlier
+ *    one run out — no convoy behind one slow task.
+ *  - Cancellation drains, never poisons: a batch submitted with a
+ *    cancel flag skips tasks that have not started once the flag is
+ *    set. Skipped tasks are *counted and reported* to the submitting
+ *    caller only; other batches in flight are untouched.
+ *  - The first exception a batch's task throws is rethrown on that
+ *    batch's submitting thread after the batch drains.
+ */
+
+#ifndef EMSTRESS_UTIL_WORKER_FLEET_H
+#define EMSTRESS_UTIL_WORKER_FLEET_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace emstress {
+
+/**
+ * Fixed set of persistent workers draining task batches from any
+ * number of concurrent submitters.
+ */
+class WorkerFleet
+{
+  public:
+    /** Task signature: (item index, worker id). */
+    using Task = std::function<void(std::size_t, std::size_t)>;
+
+    /** Outcome of one submitted batch. */
+    struct BatchOutcome
+    {
+        std::size_t executed = 0; ///< Tasks that ran to completion.
+        std::size_t skipped = 0;  ///< Tasks dropped by cancellation.
+    };
+
+    /**
+     * Start the workers.
+     * @param threads Worker count; 0 means defaultThreadCount().
+     */
+    explicit WorkerFleet(std::size_t threads)
+    {
+        const std::size_t n = resolveThreadCount(threads);
+        workers_.reserve(n);
+        for (std::size_t w = 0; w < n; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    WorkerFleet(const WorkerFleet &) = delete;
+    WorkerFleet &operator=(const WorkerFleet &) = delete;
+
+    ~WorkerFleet()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Submit one batch — fn(i, worker) for every i in [0, n) — and
+     * block until every index is executed or skipped. Unlike
+     * ThreadPool::parallelFor this may be called from any number of
+     * threads concurrently (but not from inside a fleet task: a
+     * worker waiting on its own fleet would deadlock the fleet).
+     *
+     * @param n      Item count.
+     * @param fn     Task body; each index runs at most once.
+     * @param cancel Optional cancellation flag. Once it reads true,
+     *               indices not yet claimed are skipped (tasks
+     *               already running complete normally).
+     */
+    BatchOutcome
+    run(std::size_t n, const Task &fn,
+        const std::atomic<bool> *cancel = nullptr)
+    {
+        BatchOutcome out;
+        if (n == 0)
+            return out;
+        Batch batch;
+        batch.fn = &fn;
+        batch.n = n;
+        batch.cancel = cancel;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(&batch);
+        }
+        work_cv_.notify_all();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            batch.done_cv.wait(lock, [&batch] {
+                return batch.completed == batch.n;
+            });
+        }
+        if (batch.error)
+            std::rethrow_exception(batch.error);
+        out.executed = batch.executed;
+        out.skipped = batch.n - batch.executed;
+        return out;
+    }
+
+  private:
+    /** One submitted batch's coordination state (caller's stack). */
+    struct Batch
+    {
+        const Task *fn = nullptr;
+        std::size_t n = 0;
+        const std::atomic<bool> *cancel = nullptr;
+        std::size_t next = 0;      ///< Next unclaimed index.
+        std::size_t completed = 0; ///< Executed + skipped so far.
+        std::size_t executed = 0;  ///< Ran to completion.
+        std::exception_ptr error;  ///< First task exception.
+        std::condition_variable done_cv;
+    };
+
+    void
+    workerLoop(std::size_t worker)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            work_cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            Batch *batch = queue_.front();
+            const std::size_t i = batch->next++;
+            const bool last_claim = batch->next >= batch->n;
+            if (last_claim)
+                queue_.pop_front();
+            const bool cancelled =
+                batch->cancel != nullptr
+                && batch->cancel->load(std::memory_order_relaxed);
+            if (cancelled) {
+                // Drain without executing: count the skip and move
+                // on. The batch completes once every index is
+                // accounted for, running tasks included.
+                if (++batch->completed == batch->n)
+                    batch->done_cv.notify_all();
+                continue;
+            }
+            lock.unlock();
+            std::exception_ptr err;
+            try {
+                (*batch->fn)(i, worker);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            if (err && !batch->error)
+                batch->error = err;
+            if (!err)
+                ++batch->executed;
+            if (++batch->completed == batch->n)
+                batch->done_cv.notify_all();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::deque<Batch *> queue_;
+    bool stop_ = false;
+};
+
+} // namespace emstress
+
+#endif // EMSTRESS_UTIL_WORKER_FLEET_H

@@ -864,6 +864,160 @@ TEST(VirusSearchFaults, FaultedSearchMatchesFaultFreeAcrossThreads)
     }
 }
 
+// ---------------------------------------------------------------
+// Cancellation: drains, never poisons (BatchEvaluator guarantee 5).
+// ---------------------------------------------------------------
+
+/**
+ * Evaluator that fires a shared cancel flag after a fixed number of
+ * evaluations — a deterministic stand-in for a tenant cancelling a
+ * job while its generation is mid-batch.
+ */
+class SelfCancellingFitness : public FitnessEvaluator
+{
+  public:
+    SelfCancellingFitness(const isa::InstructionPool &pool,
+                          std::shared_ptr<std::atomic<bool>> flag,
+                          int fire_after)
+        : inner_(pool, std::make_shared<std::atomic<int>>(0)),
+          flag_(std::move(flag)), fire_after_(fire_after)
+    {}
+
+    double
+    evaluate(const isa::Kernel &kernel, EvalDetail *detail) override
+    {
+        const double score = inner_.evaluate(kernel, detail);
+        if (++count_ >= fire_after_)
+            flag_->store(true, std::memory_order_relaxed);
+        return score;
+    }
+
+    std::string metricName() const override { return "cancelling"; }
+
+  private:
+    SyntheticFitness inner_;
+    std::shared_ptr<std::atomic<bool>> flag_;
+    int fire_after_;
+    int count_ = 0;
+};
+
+TEST(Cancellation, DrainedTasksAreNeverScoredCachedOrFaultCounted)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto kernels = randomKernels(pool, 12, 77);
+    const auto flag = makeCancelFlag();
+
+    SelfCancellingFitness evaluator(pool, flag, /*fire_after=*/5);
+    BatchConfig cfg;
+    cfg.threads = 1; // serial: the cancellation point is exact
+    cfg.cancel = flag;
+    BatchEvaluator batch(evaluator, cfg);
+
+    constexpr double kUntouched = 123.25;
+    std::vector<double> fitness(kernels.size(), kUntouched);
+    std::vector<EvalDetail> details(kernels.size());
+    std::vector<std::size_t> indices(kernels.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+
+    const auto outcome =
+        batch.evaluate(kernels, indices, fitness, details);
+
+    // Five evaluations ran, the rest drained.
+    EXPECT_TRUE(batch.cancelled());
+    EXPECT_EQ(outcome.fresh, 5u);
+    EXPECT_EQ(outcome.cancelled, kernels.size() - 5u);
+
+    // Drained slots are untouched — in particular they are NOT the
+    // kFailedFitness sentinel, so cancellation can never masquerade
+    // as permanent measurement failure.
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (i < 5)
+            EXPECT_NE(fitness[i], kUntouched) << "slot " << i;
+        else
+            EXPECT_EQ(fitness[i], kUntouched) << "slot " << i;
+    }
+
+    // Nothing drained was cached, and fault accounting is clean.
+    EXPECT_EQ(batch.cacheSize(), 5u);
+    EXPECT_EQ(batch.stats().tasks_cancelled, kernels.size() - 5u);
+    EXPECT_EQ(batch.stats().permanent_failures, 0u);
+    EXPECT_EQ(batch.stats().faults_injected, 0u);
+    EXPECT_EQ(batch.stats().evals, 5u);
+}
+
+TEST(Cancellation, CancelledFaultingBatchKeepsSentinelAccountingClean)
+{
+    const auto pool = isa::InstructionPool::armV8();
+    const auto kernels = randomKernels(pool, 10, 99);
+    const auto flag = makeCancelFlag();
+
+    // Faults fire on every first attempt; retries would normally
+    // succeed. Cancelling before the batch starts must drain every
+    // task without charging a single fault, retry or failure.
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    SyntheticFitness base(pool, counter);
+    auto inj = std::make_shared<FaultInjector>(
+        FaultSchedule(13, FaultRates::uniform(0.3)));
+    FaultyEvaluator faulty(base, inj);
+
+    BatchConfig cfg;
+    cfg.threads = 1;
+    cfg.cancel = flag;
+    BatchEvaluator batch(faulty, cfg);
+    flag->store(true, std::memory_order_relaxed);
+
+    std::vector<double> fitness(kernels.size(), 0.0);
+    std::vector<EvalDetail> details(kernels.size());
+    std::vector<std::size_t> indices(kernels.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    const auto outcome =
+        batch.evaluate(kernels, indices, fitness, details);
+
+    EXPECT_EQ(outcome.fresh, 0u);
+    EXPECT_EQ(outcome.cancelled, kernels.size());
+    EXPECT_EQ(outcome.lab_seconds, 0.0);
+    EXPECT_EQ(counter->load(), 0);
+    EXPECT_EQ(batch.cacheSize(), 0u);
+    EXPECT_EQ(batch.stats().faults_injected, 0u);
+    EXPECT_EQ(batch.stats().retries, 0u);
+    EXPECT_EQ(batch.stats().permanent_failures, 0u);
+    EXPECT_EQ(batch.stats().tasks_cancelled, kernels.size());
+    for (const double f : fitness)
+        EXPECT_NE(f, kFailedFitness);
+}
+
+TEST(Cancellation, CancelledGenerationIsNeverRecorded)
+{
+    // GA level: a stepper whose batch is cancelled mid-generation
+    // reports done() without recording the poisoned generation.
+    const auto pool = isa::InstructionPool::armV8();
+    const auto flag = makeCancelFlag();
+    SelfCancellingFitness evaluator(pool, flag, /*fire_after=*/20);
+
+    GaConfig cfg = faultGaConfig();
+    cfg.population = 12;
+    cfg.generations = 10;
+    BatchHooks hooks;
+    hooks.cancel = flag;
+    GaStepper stepper(pool, cfg, evaluator, {}, hooks);
+
+    std::size_t recorded = 0;
+    while (!stepper.done()) {
+        if (stepper.step() != nullptr)
+            ++recorded;
+    }
+    EXPECT_TRUE(stepper.cancelled());
+    // Generation 0 evaluated 12 fresh kernels; the flag fired during
+    // generation 1, which therefore was never recorded.
+    EXPECT_EQ(recorded, 1u);
+    const GaResult result = stepper.finish();
+    EXPECT_EQ(result.history.size(), recorded);
+    EXPECT_GT(result.eval_stats.tasks_cancelled, 0u);
+    EXPECT_EQ(result.eval_stats.permanent_failures, 0u);
+}
+
 } // namespace
 } // namespace ga
 } // namespace emstress

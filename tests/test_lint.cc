@@ -1,7 +1,7 @@
 /**
  * @file
  * Fixture suite for emstress-lint (tools/lint): positive and
- * negative snippet cases for every rule R1–R5, the annotation
+ * negative snippet cases for every rule R1–R6, the annotation
  * grammar, companion-header scanning, fix-list suppression, and the
  * scanner's comment/string inertness. Also pins the numeric claim R4
  * rests on: the util/units.h kilo/mega/giga helpers are bit-exact
@@ -322,6 +322,134 @@ TEST(LintR5, WrongOrMissingGuardIsFlagged)
         "#endif\n");
     EXPECT_EQ(countRule(commented, "R5"), 0u);
     EXPECT_EQ(countRule(lintCc("int x = 1;\n"), "R5"), 0u);
+}
+
+// ------------------------------------------------------------- R6
+
+TEST(LintR6, FlagsSocketSyscallsOutsideTransport)
+{
+    // Any socket syscall in an ordinary source file — here a worker
+    // evaluation path — is a finding: peer timing and payload bytes
+    // must never reach result-producing code.
+    const auto f = lintCc(
+        "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+        "connect(fd, addr, len);\n"
+        "send(fd, buf, n, 0);\n"
+        "recv(fd, buf, n, 0);\n");
+    EXPECT_EQ(countRule(f, "R6"), 4u);
+    EXPECT_EQ(f[0].rule, "R6");
+    EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintR6, ServiceTransportFilesAreExemptByPath)
+{
+    // src/service/transport*.{h,cc} is the sanctioned home for the
+    // whole syscall surface — no per-line annotation needed there.
+    const std::string syscalls =
+        "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+        "listen(fd, 64);\n"
+        "int peer = accept(fd, nullptr, nullptr);\n"
+        "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, len);\n"
+        "inet_pton(AF_INET, host, &addr);\n";
+    EXPECT_EQ(countRule(analyzeSource("src/service/transport_socket.cc",
+                                      syscalls),
+                        "R6"),
+              0u);
+    EXPECT_EQ(countRule(analyzeSource("src/service/transport_socket.h",
+                                      syscalls),
+                        "R6"),
+              0u);
+    EXPECT_EQ(
+        countRule(analyzeSource("src/service/transport.cc", syscalls),
+                  "R6"),
+        0u);
+    // The exemption is basename- and directory-scoped: other service
+    // files (the scheduler, the job model) and transport-named files
+    // outside src/service/ stay banned.
+    EXPECT_EQ(
+        countRule(analyzeSource("src/service/scheduler.cc", syscalls),
+                  "R6"),
+        5u);
+    EXPECT_EQ(
+        countRule(analyzeSource("src/core/transport_hack.cc", syscalls),
+                  "R6"),
+        5u);
+}
+
+TEST(LintR6, SocketTransportAnnotationSuppresses)
+{
+    const auto tagged = lintCc(
+        "// frame relay helper. lint: socket-transport\n"
+        "send(fd, buf, n, 0);\n");
+    EXPECT_EQ(countRule(tagged, "R6"), 0u);
+    // The tag sanctions only socket syscalls, not other rules.
+    const auto clk = lintCc(
+        "auto t = steady_clock::now(); // lint: socket-transport\n");
+    EXPECT_EQ(countRule(clk, "R1"), 1u);
+}
+
+TEST(LintR6, BindAndMethodNameLookalikesAreClean)
+{
+    // std::bind, member functions *named* like syscalls behind a
+    // dot/arrow, and close()/shutdown() are deliberately outside the
+    // matched set — the remaining surface still catches any
+    // compiling network path.
+    const auto f = lintCc(
+        "auto g = std::bind(&W::run, this);\n"
+        "pool.shutdown();\n"
+        "file.close();\n"
+        "double sendRate = 0.0;\n");
+    EXPECT_EQ(countRule(f, "R6"), 0u);
+}
+
+// -------------------------------------- service clock sanction (R1)
+
+TEST(LintR1, ServiceTransportAndSchedulerAreSanctionedClockHomes)
+{
+    // The service's transport (connection deadlines) and scheduler
+    // (queue-wait/latency observability) may read clocks without
+    // per-line annotations, like util/metrics.h.
+    const std::string clocks =
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_EQ(countRule(analyzeSource("src/service/transport_socket.cc",
+                                      clocks),
+                        "R1"),
+              0u);
+    EXPECT_EQ(
+        countRule(analyzeSource("src/service/transport.h", clocks),
+                  "R1"),
+        0u);
+    EXPECT_EQ(
+        countRule(analyzeSource("src/service/scheduler.cc", clocks),
+                  "R1"),
+        0u);
+    // Worker evaluation paths — everything else, including the rest
+    // of the service layer — still fail the gate on clock reads.
+    EXPECT_EQ(countRule(analyzeSource("src/service/job.cc", clocks),
+                        "R1"),
+              1u);
+    EXPECT_EQ(
+        countRule(analyzeSource("src/ga/batch_evaluator.cc", clocks),
+                  "R1"),
+        1u);
+    // Lookalike paths outside src/service/ are not exempt.
+    EXPECT_EQ(
+        countRule(analyzeSource("src/core/scheduler.cc", clocks),
+                  "R1"),
+        1u);
+}
+
+TEST(LintR1, ServiceClockSanctionIsClockScoped)
+{
+    // Like metrics.h: randomness and environment reads in the
+    // sanctioned service files are still findings.
+    const auto rnd = analyzeSource("src/service/scheduler.cc",
+                                   "int r = rand();\n");
+    EXPECT_EQ(countRule(rnd, "R1"), 1u);
+    const auto env =
+        analyzeSource("src/service/transport_socket.cc",
+                      "const char *e = std::getenv(\"S\");\n");
+    EXPECT_EQ(countRule(env, "R1"), 1u);
 }
 
 // -------------------------------------------------- suppression IO

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * emstress-client — CLI for the emstressd search service.
+ *
+ * Usage:
+ *   emstress-client [--host H] [--port N] <command> [args]
+ *
+ * Commands:
+ *   ping                 version handshake; exit 0 on success
+ *   submit [spec flags]  submit a job, stream its progress, print
+ *                        the result
+ *   cancel ID            request cancellation of job ID
+ *   metrics              print the server's metrics snapshot (JSON)
+ *   shutdown             ask the server to exit
+ *
+ * Spec flags of submit:
+ *   --tenant T           accounting tenant        (default "default")
+ *   --platform P         a72 | a53 | athlon       (default a72)
+ *   --metric M           em | droop | p2p         (default em)
+ *   --platform-seed N    platform noise seed      (default 42)
+ *   --seed N             GA master seed           (default 1)
+ *   --population N --generations N --restarts N --kernel-length N
+ *   --sa-samples N --duration S
+ *   --quiet              suppress per-generation progress lines
+ *   --verify-direct      after completion, rerun the same spec
+ *                        in-process with GaEngine and require the
+ *                        streamed result to match bit for bit —
+ *                        the CI smoke check of the service's
+ *                        determinism contract
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ga/ga_engine.h"
+#include "service/job.h"
+#include "service/transport_socket.h"
+
+namespace {
+
+using namespace emstress;
+
+int
+usage()
+{
+    std::cerr << "usage: emstress-client [--host H] [--port N]"
+                 " ping|submit|cancel|metrics|shutdown [flags]\n"
+                 "(see the file header for submit flags)\n";
+    return 2;
+}
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Bitwise comparison of a streamed result against a direct rerun. */
+bool
+verifyDirect(const service::JobSpec &spec,
+             const service::JobResult &served)
+{
+    auto evaluator = service::makePlatformEvaluator(spec);
+    ga::GaEngine engine(service::presetPool(spec.platform), spec.ga);
+    const ga::GaResult direct = engine.run(*evaluator);
+    const isa::InstructionPool &pool =
+        service::presetPool(spec.platform);
+
+    std::size_t mismatches = 0;
+    auto check = [&](bool ok, const std::string &what) {
+        if (!ok) {
+            ++mismatches;
+            std::cerr << "verify-direct MISMATCH: " << what << '\n';
+        }
+    };
+    check(bits(served.ga.best_fitness) == bits(direct.best_fitness),
+          "best_fitness bits");
+    check(served.ga.best.serialize(pool) == direct.best.serialize(pool),
+          "best kernel");
+    check(bits(served.ga.estimated_lab_seconds)
+              == bits(direct.estimated_lab_seconds),
+          "estimated_lab_seconds bits");
+    check(served.ga.eval_stats.evals == direct.eval_stats.evals,
+          "eval_stats.evals");
+    check(served.ga.eval_stats.cache_hits
+              == direct.eval_stats.cache_hits,
+          "eval_stats.cache_hits");
+    check(served.ga.history.size() == direct.history.size(),
+          "history length");
+    if (served.ga.history.size() == direct.history.size()) {
+        for (std::size_t i = 0; i < direct.history.size(); ++i) {
+            const ga::GenerationRecord &a = served.ga.history[i];
+            const ga::GenerationRecord &b = direct.history[i];
+            check(a.generation == b.generation
+                      && bits(a.best_fitness) == bits(b.best_fitness)
+                      && bits(a.mean_fitness) == bits(b.mean_fitness)
+                      && a.best.serialize(pool)
+                             == b.best.serialize(pool),
+                  "history[" + std::to_string(i) + "]");
+        }
+    }
+    return mismatches == 0;
+}
+
+int
+runSubmit(service::SocketClient &client, int argc, char **argv,
+          int first)
+{
+    service::JobSpec spec;
+    spec.ga.population = 16;
+    spec.ga.generations = 10;
+    bool quiet = false;
+    bool verify = false;
+
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tenant") {
+            spec.tenant = next();
+        } else if (arg == "--platform") {
+            if (!service::presetFromName(next(), spec.platform)) {
+                std::cerr << "unknown platform\n";
+                return 2;
+            }
+        } else if (arg == "--metric") {
+            const std::string m = next();
+            if (m == "em")
+                spec.metric = core::VirusMetric::EmAmplitude;
+            else if (m == "droop")
+                spec.metric = core::VirusMetric::MaxDroop;
+            else if (m == "p2p")
+                spec.metric = core::VirusMetric::PeakToPeak;
+            else {
+                std::cerr << "unknown metric\n";
+                return 2;
+            }
+        } else if (arg == "--platform-seed") {
+            spec.platform_seed = std::stoull(next());
+        } else if (arg == "--seed") {
+            spec.ga.seed = std::stoull(next());
+        } else if (arg == "--population") {
+            spec.ga.population = std::stoul(next());
+        } else if (arg == "--generations") {
+            spec.ga.generations = std::stoul(next());
+        } else if (arg == "--restarts") {
+            spec.ga.restarts = std::stoul(next());
+        } else if (arg == "--kernel-length") {
+            spec.ga.kernel_length = std::stoul(next());
+        } else if (arg == "--sa-samples") {
+            spec.eval.sa_samples = std::stoul(next());
+        } else if (arg == "--duration") {
+            spec.eval.duration_s = std::stod(next());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--verify-direct") {
+            verify = true;
+        } else {
+            return usage();
+        }
+    }
+
+    const service::Submission sub = client.submit(spec);
+    if (!sub.accepted) {
+        std::cerr << "rejected: " << sub.reject_reason << '\n';
+        return 1;
+    }
+    std::cout << "job " << sub.id << " accepted" << std::endl;
+
+    for (;;) {
+        const service::JobEvent ev = client.nextEvent(sub.id);
+        if (ev.type == service::JobEventType::kProgress) {
+            if (!quiet)
+                std::cout << "gen " << ev.progress.generation
+                          << " (" << ev.progress.generations_done
+                          << '/' << ev.progress.generations_total
+                          << ") best " << ev.progress.best_fitness
+                          << " mean " << ev.progress.mean_fitness
+                          << std::endl;
+            continue;
+        }
+        if (ev.type == service::JobEventType::kCancelled) {
+            std::cout << "job " << sub.id << " cancelled"
+                      << std::endl;
+            return 3;
+        }
+        if (ev.type == service::JobEventType::kFailed) {
+            std::cerr << "job " << sub.id << " failed: " << ev.error
+                      << '\n';
+            return 1;
+        }
+        // kCompleted
+        const service::JobResult &res = *ev.result;
+        std::cout << "job " << sub.id << " completed"
+                  << (res.from_artifact_store
+                          ? " (artifact store)"
+                          : "")
+                  << "\n  metric            " << res.metric
+                  << "\n  best fitness      " << res.ga.best_fitness
+                  << "\n  dominant freq     "
+                  << res.ga.best_detail.dominant_freq_hz / 1e6
+                  << " MHz\n  est lab seconds   "
+                  << res.ga.estimated_lab_seconds
+                  << "\n  fresh evals       "
+                  << res.ga.eval_stats.evals
+                  << "\n  cache hits        "
+                  << res.ga.eval_stats.cache_hits
+                  << "\n  fingerprint       " << std::hex
+                  << res.fingerprint << std::dec << std::endl;
+        if (verify) {
+            std::cout << "verify-direct: rerunning spec in-process..."
+                      << std::endl;
+            if (!verifyDirect(spec, res)) {
+                std::cerr << "verify-direct FAILED\n";
+                return 1;
+            }
+            std::cout << "verify-direct PASSED (bit-identical)"
+                      << std::endl;
+        }
+        return 0;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host" && i + 1 < argc)
+            host = argv[++i];
+        else if (arg == "--port" && i + 1 < argc)
+            port = static_cast<std::uint16_t>(
+                std::stoul(argv[++i]));
+        else
+            break;
+    }
+    if (i >= argc || port == 0) {
+        if (port == 0)
+            std::cerr << "--port is required\n";
+        return usage();
+    }
+    const std::string command = argv[i++];
+
+    try {
+        emstress::service::SocketClient client(host, port);
+        if (command == "ping") {
+            if (client.ping()) {
+                std::cout << "pong" << std::endl;
+                return 0;
+            }
+            std::cerr << "ping failed\n";
+            return 1;
+        }
+        if (command == "submit")
+            return runSubmit(client, argc, argv, i);
+        if (command == "cancel") {
+            if (i >= argc)
+                return usage();
+            const bool ok = client.cancel(std::stoull(argv[i]));
+            std::cout << (ok ? "cancelled" : "not cancellable")
+                      << std::endl;
+            return ok ? 0 : 1;
+        }
+        if (command == "metrics") {
+            std::cout << client.metricsJson() << std::endl;
+            return 0;
+        }
+        if (command == "shutdown") {
+            return client.shutdownServer() ? 0 : 1;
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "emstress-client: " << e.what() << '\n';
+        return 1;
+    }
+}

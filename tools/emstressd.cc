@@ -1,0 +1,121 @@
+/**
+ * @file
+ * emstressd — the virus-search service daemon. Stands up a
+ * SearchService (shared worker fleet, weighted-fair scheduler,
+ * artifact store) behind the loopback socket protocol and serves
+ * until a client sends kShutdown.
+ *
+ * Usage:
+ *   emstressd [--port N] [--port-file PATH] [--fleet-threads N]
+ *             [--runners N] [--max-jobs N] [--max-jobs-per-tenant N]
+ *             [--tenant-weight NAME=W]... [--artifact-ttl N]
+ *             [--no-artifacts] [--metrics]
+ *
+ * --port 0 (the default) binds an ephemeral port; the resolved port
+ * is printed on stdout ("emstressd listening on port N") and, with
+ * --port-file, written alone to PATH so scripts can pick it up.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/scheduler.h"
+#include "service/transport_socket.h"
+#include "util/metrics.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--port N] [--port-file PATH] [--fleet-threads N]\n"
+           "       [--runners N] [--max-jobs N]"
+           " [--max-jobs-per-tenant N]\n"
+           "       [--tenant-weight NAME=W]... [--artifact-ttl N]\n"
+           "       [--no-artifacts] [--metrics]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace emstress;
+    service::ServiceConfig config;
+    config.fleet_threads = 0; // auto
+    config.runners = 2;
+    service::SocketServer::Options options;
+    std::string port_file;
+    bool metrics_on = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            options.port =
+                static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--port-file") {
+            port_file = next();
+        } else if (arg == "--fleet-threads") {
+            config.fleet_threads = std::stoul(next());
+        } else if (arg == "--runners") {
+            config.runners = std::stoul(next());
+            if (config.runners == 0) {
+                std::cerr << "--runners must be >= 1 for a daemon\n";
+                return 2;
+            }
+        } else if (arg == "--max-jobs") {
+            config.max_jobs_in_flight = std::stoul(next());
+        } else if (arg == "--max-jobs-per-tenant") {
+            config.max_jobs_per_tenant = std::stoul(next());
+        } else if (arg == "--tenant-weight") {
+            const std::string kv = next();
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+                std::cerr << "--tenant-weight wants NAME=W\n";
+                return 2;
+            }
+            config.tenant_weights[kv.substr(0, eq)] =
+                std::stod(kv.substr(eq + 1));
+        } else if (arg == "--artifact-ttl") {
+            config.artifacts.ttl_epochs = std::stoul(next());
+        } else if (arg == "--no-artifacts") {
+            config.use_artifact_store = false;
+        } else if (arg == "--metrics") {
+            metrics_on = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (metrics_on)
+        emstress::metrics::setEnabled(true);
+
+    try {
+        service::SearchService svc(config);
+        service::SocketServer server(svc, options);
+        std::cout << "emstressd listening on port " << server.port()
+                  << std::endl;
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file);
+            pf << server.port() << '\n';
+        }
+        server.serve();
+        std::cout << "emstressd shutting down" << std::endl;
+    } catch (const std::exception &e) {
+        std::cerr << "emstressd: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

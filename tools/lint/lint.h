@@ -9,7 +9,9 @@
  *
  *   R1  nondet-source   rand()/random_device/clocks/getenv outside
  *                       src/util/rng.h (clocks also sanctioned in
- *                       src/util/metrics.h) and annotated sites
+ *                       src/util/metrics.h and the service's
+ *                       transport/scheduler files) and annotated
+ *                       sites
  *   R2  unordered-iter  iteration over unordered_{map,set} whose
  *                       order can leak into merged results
  *   R3  float-sweep     floating-point loop-carried accumulation
@@ -19,6 +21,10 @@
  *   R5  header-guard    canonical EMSTRESS_<PATH>_H include guards
  *                       (the compile half of header self-sufficiency
  *                       is a generated CMake check)
+ *   R6  socket-confine  socket syscalls outside the service
+ *                       transport layer (src/service/transport*);
+ *                       network I/O must never reach worker
+ *                       evaluation paths
  *
  * Findings are suppressed either by an inline annotation comment
  * (`// lint: <tag>` on the same line or the line directly above) or
@@ -81,9 +87,11 @@ struct Options
 /**
  * Run every rule over one in-memory source file. `path` determines
  * path-based exemptions (src/util/rng.h for all of R1,
- * src/util/metrics.h for R1's clock identifiers, src/util/units.h
- * for R4) and the canonical guard name for R5; it does not need to exist
- * on disk. Returns the unsuppressed findings in line order.
+ * src/util/metrics.h and src/service/{transport*,scheduler*} for
+ * R1's clock identifiers, src/util/units.h for R4,
+ * src/service/transport* for R6) and the canonical guard name for
+ * R5; it does not need to exist on disk. Returns the unsuppressed
+ * findings in line order.
  */
 std::vector<Finding> analyzeSource(std::string_view path,
                                    std::string_view text,

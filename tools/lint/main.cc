@@ -32,7 +32,7 @@ usage(std::ostream &os)
 {
     os << "usage: emstress-lint [--root DIR]... [--fix-list FILE]"
           " [files...]\n"
-          "Static determinism lint for emstress (rules R1-R5, see"
+          "Static determinism lint for emstress (rules R1-R6, see"
           " tools/lint/README.md).\n";
     return 2;
 }

@@ -45,6 +45,42 @@ isHeaderPath(std::string_view path)
         && path.substr(path.size() - 2) == ".h";
 }
 
+std::string_view
+baseName(std::string_view path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    return slash == std::string_view::npos ? path
+                                           : path.substr(slash + 1);
+}
+
+/** True for files under the service layer (src/service/...). */
+bool
+inServiceDir(std::string_view path)
+{
+    return path.find("src/service/") != std::string_view::npos
+        || path.rfind("service/", 0) == 0;
+}
+
+/**
+ * The service's sanctioned I/O-and-time boundary: transport files
+ * (socket syscalls + the waits they imply) and the scheduler
+ * (queue-wait/latency observability). Worker evaluation paths are
+ * everything else and stay clock- and socket-free.
+ */
+bool
+isServiceTransportFile(std::string_view path)
+{
+    return inServiceDir(path)
+        && baseName(path).rfind("transport", 0) == 0;
+}
+
+bool
+isServiceSchedulerFile(std::string_view path)
+{
+    return inServiceDir(path)
+        && baseName(path).rfind("scheduler", 0) == 0;
+}
+
 /** Tags that silence a rule: its semantic tag(s) plus the rule id. */
 struct RuleTags
 {
@@ -100,6 +136,12 @@ ruleR1(std::string_view path, const SourceScan &scan,
     const bool metrics_home =
         pathEndsWith(path, "src/util/metrics.h")
         || pathEndsWith(path, "util/metrics.h");
+    // The service's transport and scheduler files may read clocks
+    // (connection deadlines, queue-wait/latency observability);
+    // worker evaluation paths never may — a clock folded into an
+    // evaluation breaks the bit-identity contract (DESIGN.md §13).
+    const bool service_clock_home = isServiceTransportFile(path)
+        || isServiceSchedulerFile(path);
     const RuleTags clock_rule{"R1", {"timing-stats", "r1"}};
     const RuleTags env_rule{"R1", {"env-config", "parity-tolerance",
                                    "r1"}};
@@ -108,7 +150,7 @@ ruleR1(std::string_view path, const SourceScan &scan,
         if (tok.kind != TokKind::Identifier)
             continue;
         if (kClockIdents.count(tok.text)) {
-            if (metrics_home)
+            if (metrics_home || service_clock_home)
                 continue;
             emit(findings, scan, clock_rule, path, tok.line,
                  "nondeterministic clock `" + tok.text
@@ -434,6 +476,53 @@ ruleR5(std::string_view path, const SourceScan &scan,
     }
 }
 
+// --------------------------------------------------------------- R6
+
+/**
+ * Socket-layer syscalls and address helpers. `bind` is deliberately
+ * absent (std::bind / placeholder bind expressions would be constant
+ * false positives) and `close`/`shutdown` likewise (both are common
+ * method names across the repo); the remaining set cannot appear in
+ * a compiling network path without at least one of these, so the
+ * confinement holds without them.
+ */
+const std::set<std::string, std::less<>> kSocketIdents = {
+    "socket", "accept", "listen", "connect", "setsockopt",
+    "getsockopt", "getsockname", "getpeername", "getaddrinfo",
+    "freeaddrinfo", "recv", "send", "recvmsg", "sendmsg", "recvfrom",
+    "sendto", "inet_pton", "inet_ntop", "inet_addr"};
+
+/**
+ * R6: socket syscalls outside the service transport layer. All
+ * network I/O lives in src/service/transport* — the wire boundary
+ * the determinism tests pin bit-exactly. A socket call anywhere else
+ * (worker evaluation paths, the scheduler, benches) would let peer
+ * timing or payload bytes leak into result-producing code, which no
+ * annotation can make safe; the `socket-transport` tag exists for
+ * the rare sanctioned helper that lives outside those files but is
+ * still transport-only plumbing.
+ */
+void
+ruleR6(std::string_view path, const SourceScan &scan,
+       std::vector<Finding> &findings)
+{
+    if (isServiceTransportFile(path))
+        return;
+    const RuleTags rule{"R6", {"socket-transport", "r6"}};
+    for (const Token &tok : scan.tokens) {
+        if (tok.kind != TokKind::Identifier
+            || !kSocketIdents.count(tok.text))
+            continue;
+        emit(findings, scan, rule, path, tok.line,
+             "socket syscall `" + tok.text
+                 + "` outside the service transport layer; network "
+                   "I/O is confined to src/service/transport* so "
+                   "peer timing can never reach result-producing "
+                   "code (sanctioned plumbing may annotate with "
+                   "`// lint: socket-transport`)");
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -452,6 +541,7 @@ analyzeSource(std::string_view path, std::string_view text,
     ruleR3(path, scan, findings);
     ruleR4(path, scan, findings);
     ruleR5(path, scan, findings);
+    ruleR6(path, scan, findings);
 
     if (!options.fixlist.empty()) {
         std::erase_if(findings, [&](const Finding &f) {

@@ -1,0 +1,18 @@
+// Seeded-violation fixture: socket syscalls OUTSIDE the service
+// transport layer (src/service/transport*) and without a
+// `// lint: socket-transport` annotation must keep failing R6, so
+// network I/O can never creep into worker evaluation paths. This
+// file is not under src/service/, so every call below is a finding.
+// Never "fix" this file.
+
+#include <sys/socket.h>
+
+int
+adHocNetworkRead(int fd, char *buf, unsigned long n)
+{
+    // R6: socket syscalls in ordinary code.
+    const int peer = accept(fd, nullptr, nullptr);
+    if (peer < 0)
+        return -1;
+    return static_cast<int>(recv(peer, buf, n, 0));
+}

@@ -3,6 +3,7 @@
 
 Usage:
     perfdiff.py BASELINE CURRENT [--wall-warn-pct 25] [--strict]
+                [--tolerances FILE]
 
 BASELINE and CURRENT are files or directories; directories are scanned
 for BENCH_perf.*.json and ledgers are matched by their "bench" field.
@@ -17,6 +18,31 @@ Counters, by contrast, are deterministic for a fixed budget — a
 counter delta on an unchanged budget means the workload itself
 changed, which is exactly what a silent perf regression looks like.
 
+Per-bench and per-phase tolerances come from a checked-in config
+(--tolerances FILE, or perfdiff_tolerances.json inside the baseline
+directory when present), schema emstress-perfdiff-tolerances-v1:
+
+    {
+      "schema": "emstress-perfdiff-tolerances-v1",
+      "default_wall_warn_pct": 25.0,
+      "default_wall_fail_pct": 200.0,
+      "benches": {
+        "perf_kernels": {
+          "fail_on_regression": true,
+          "wall_fail_pct": 200.0,
+          "phases": {"platform.stream": {"wall_warn_pct": 40.0}}
+        }
+      }
+    }
+
+Threshold resolution is most-specific-wins: phase override, then
+bench, then config default, then the command line. A bench marked
+fail_on_regression turns its wall regressions beyond wall_fail_pct —
+and its same-budget counter changes — into FAILURES that exit
+non-zero even without --strict: the kernel microbenchmarks guard the
+evaluation hot path, where a silent slowdown multiplies into every
+GA generation.
+
 Writes the same report as Markdown to $GITHUB_STEP_SUMMARY when set.
 Standard library only.
 """
@@ -26,6 +52,9 @@ import glob
 import json
 import os
 import sys
+
+TOLERANCES_SCHEMA = "emstress-perfdiff-tolerances-v1"
+TOLERANCES_BASENAME = "perfdiff_tolerances.json"
 
 
 def load_ledgers(path):
@@ -51,6 +80,52 @@ def load_ledgers(path):
     return ledgers
 
 
+def load_tolerances(path):
+    """Parse a tolerance config; a bad config is a hard error (a
+    silently-ignored gate is worse than no gate)."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != TOLERANCES_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {TOLERANCES_SCHEMA!r}, "
+            f"got {data.get('schema')!r}")
+    return data
+
+
+class Tolerances:
+    """Threshold resolution: phase override -> bench -> config default
+    -> CLI value."""
+
+    def __init__(self, config, cli_wall_warn_pct):
+        self.config = config or {}
+        self.cli_wall_warn_pct = cli_wall_warn_pct
+
+    def _bench(self, bench):
+        return self.config.get("benches", {}).get(bench, {})
+
+    def _phase(self, bench, phase):
+        return self._bench(bench).get("phases", {}).get(phase, {})
+
+    def wall_warn_pct(self, bench, phase):
+        for scope in (self._phase(bench, phase), self._bench(bench),
+                      {"wall_warn_pct":
+                       self.config.get("default_wall_warn_pct")}):
+            if scope.get("wall_warn_pct") is not None:
+                return float(scope["wall_warn_pct"])
+        return self.cli_wall_warn_pct
+
+    def wall_fail_pct(self, bench, phase):
+        for scope in (self._phase(bench, phase), self._bench(bench),
+                      {"wall_fail_pct":
+                       self.config.get("default_wall_fail_pct")}):
+            if scope.get("wall_fail_pct") is not None:
+                return float(scope["wall_fail_pct"])
+        return 200.0
+
+    def fail_on_regression(self, bench):
+        return bool(self._bench(bench).get("fail_on_regression", False))
+
+
 def fmt_delta_pct(base, cur):
     if base == 0:
         return "n/a" if cur == 0 else "new"
@@ -65,12 +140,14 @@ def markdown_table(header, rows):
     return "\n".join(lines)
 
 
-def diff_bench(name, base, cur, wall_warn_pct):
-    """Return (markdown report, warning list) for one bench."""
+def diff_bench(name, base, cur, tol):
+    """Return (markdown report, warning list, failure list)."""
     out = [f"### {name} ({base.get('mode', '?')} vs "
            f"{cur.get('mode', '?')}, threads "
            f"{base.get('threads', '?')} -> {cur.get('threads', '?')})"]
     warnings = []
+    failures = []
+    gate = tol.fail_on_regression(name)
 
     phase_rows = []
     names = sorted(set(base.get("phases", {})) | set(cur.get("phases", {})))
@@ -97,8 +174,16 @@ def diff_bench(name, base, cur, wall_warn_pct):
                            f"{c.get('cpu_s', 0.0):.4f}" if in_cur else "-",
                            b.get("count", 0) if in_base else "-",
                            c.get("count", 0) if in_cur else "-"))
-        if (in_base and in_cur and b_wall > 0
-                and c_wall > b_wall * (1 + wall_warn_pct / 100.0)):
+        if not (in_base and in_cur and b_wall > 0):
+            continue
+        warn_pct = tol.wall_warn_pct(name, phase)
+        fail_pct = tol.wall_fail_pct(name, phase)
+        if gate and c_wall > b_wall * (1 + fail_pct / 100.0):
+            failures.append(
+                f"{name}: phase '{phase}' wall time {b_wall:.4f}s -> "
+                f"{c_wall:.4f}s ({pct}) exceeds the {fail_pct:.0f}% "
+                f"fail tolerance")
+        elif c_wall > b_wall * (1 + warn_pct / 100.0):
             warnings.append(
                 f"{name}: phase '{phase}' wall time {b_wall:.4f}s -> "
                 f"{c_wall:.4f}s ({pct})")
@@ -139,9 +224,9 @@ def diff_bench(name, base, cur, wall_warn_pct):
         # is deterministic for a fixed budget.
         if in_base and in_cur and same_budget \
                 and ".worker." not in counter:
-            warnings.append(
-                f"{name}: counter '{counter}' changed {b} -> {c} "
-                f"under the same budget (workload changed?)")
+            msg = (f"{name}: counter '{counter}' changed {b} -> {c} "
+                   f"under the same budget (workload changed?)")
+            (failures if gate else warnings).append(msg)
     if counter_rows:
         out.append("")
         out.append(markdown_table(
@@ -149,7 +234,7 @@ def diff_bench(name, base, cur, wall_warn_pct):
     else:
         out.append("")
         out.append("_all counters identical_")
-    return "\n".join(out), warnings
+    return "\n".join(out), warnings, failures
 
 
 def main():
@@ -158,29 +243,58 @@ def main():
     ap.add_argument("current", help="current ledger file or directory")
     ap.add_argument("--wall-warn-pct", type=float, default=25.0,
                     help="warn when a phase's wall time regresses by "
-                         "more than this percentage (default 25)")
+                         "more than this percentage (default 25; "
+                         "tolerance-config values take precedence)")
+    ap.add_argument("--tolerances", metavar="FILE",
+                    help="per-bench/per-phase tolerance config "
+                         f"({TOLERANCES_SCHEMA}); defaults to "
+                         f"{TOLERANCES_BASENAME} inside the baseline "
+                         "directory when present")
     ap.add_argument("--strict", action="store_true",
-                    help="exit non-zero when any warning fires")
+                    help="exit non-zero when any warning fires "
+                         "(failures from fail_on_regression benches "
+                         "always exit non-zero)")
     args = ap.parse_args()
+
+    tol_path = args.tolerances
+    if tol_path is None and os.path.isdir(args.baseline):
+        candidate = os.path.join(args.baseline, TOLERANCES_BASENAME)
+        if os.path.exists(candidate):
+            tol_path = candidate
+    tol_config = None
+    if tol_path is not None:
+        try:
+            tol_config = load_tolerances(tol_path)
+        except (OSError, json.JSONDecodeError, ValueError) as err:
+            print(f"error: bad tolerance config: {err}", file=sys.stderr)
+            return 2
+    tol = Tolerances(tol_config, args.wall_warn_pct)
 
     base = load_ledgers(args.baseline)
     cur = load_ledgers(args.current)
 
     sections = ["## Perf diff (BENCH_perf.json)"]
+    if tol_path:
+        sections.append(f"_tolerances: {tol_path}_")
     warnings = []
+    failures = []
     shared = sorted(set(base) & set(cur))
     if not shared:
         sections.append("_no benches present on both sides_")
     for name in shared:
-        report, warns = diff_bench(name, base[name], cur[name],
-                                   args.wall_warn_pct)
+        report, warns, fails = diff_bench(name, base[name], cur[name],
+                                          tol)
         sections.append(report)
         warnings.extend(warns)
+        failures.extend(fails)
     for name in sorted(set(cur) - set(base)):
         sections.append(f"### {name}\n_new bench (no baseline)_")
     for name in sorted(set(base) - set(cur)):
         sections.append(f"### {name}\n_missing from current run_")
 
+    if failures:
+        sections.append("### FAILURES")
+        sections.append("\n".join(f"- {f}" for f in failures))
     if warnings:
         sections.append("### Warnings")
         sections.append("\n".join(f"- {w}" for w in warnings))
@@ -193,6 +307,10 @@ def main():
         with open(summary_path, "a", encoding="utf-8") as fh:
             fh.write(report)
 
+    if failures:
+        print(f"{len(failures)} failure(s) from fail_on_regression "
+              "benches; failing", file=sys.stderr)
+        return 1
     if warnings:
         print(f"{len(warnings)} warning(s); "
               + ("failing (--strict)" if args.strict
