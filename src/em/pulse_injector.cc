@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Pulse injector implementation.
+ */
+
+#include "em/pulse_injector.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emstress {
+namespace em {
+
+namespace {
+
+/// Spatial falloff of probe-to-grid coupling on the unit die grid.
+constexpr double kCouplingSigma = 0.35;
+
+/// Gaussian envelopes use sigma = width / kGaussianWidthSigmas, so
+/// the truncated tails carry negligible (but exactly zero) current.
+constexpr double kGaussianWidthSigmas = 6.0;
+
+} // namespace
+
+const char *
+pulseShapeName(PulseShape shape)
+{
+    switch (shape) {
+      case PulseShape::kRect:
+        return "rect";
+      case PulseShape::kGaussian:
+        return "gaussian";
+    }
+    return "unknown";
+}
+
+PulseInjector::PulseInjector(const PulseSpec &spec) : spec_(spec)
+{
+    requireConfig(spec.width_s > 0.0, "pulse width must be positive");
+    requireConfig(spec.amplitude_a >= 0.0,
+                  "pulse amplitude must be non-negative");
+    requireConfig(spec.polarity == 1.0 || spec.polarity == -1.0,
+                  "pulse polarity must be +1 or -1");
+    requireConfig(spec.x >= 0.0 && spec.x <= 1.0 && spec.y >= 0.0
+                      && spec.y <= 1.0,
+                  "pulse probe position must lie on the unit die grid");
+    requireConfig(spec.t0_s >= 0.0,
+                  "pulse start must not precede the observed window");
+    peak_ = spec_.amplitude_a * spec_.polarity * couplingGain();
+}
+
+double
+PulseInjector::couplingGain() const
+{
+    const double dx = spec_.x - 0.5;
+    const double dy = spec_.y - 0.5;
+    const double d2 = dx * dx + dy * dy;
+    return std::exp(-d2 / (2.0 * kCouplingSigma * kCouplingSigma));
+}
+
+double
+PulseInjector::currentAt(double t_s) const
+{
+    if (peak_ == 0.0)
+        return 0.0;
+    const double rel = t_s - spec_.t0_s;
+    if (rel < 0.0 || rel >= spec_.width_s)
+        return 0.0;
+    if (spec_.shape == PulseShape::kRect)
+        return peak_;
+    const double sigma = spec_.width_s / kGaussianWidthSigmas;
+    const double c = rel - spec_.width_s * 0.5;
+    return peak_ * std::exp(-(c * c) / (2.0 * sigma * sigma));
+}
+
+circuit::SourceWaveform
+PulseInjector::waveform(double offset_s) const
+{
+    // Copy the injector by value: the waveform must stay valid after
+    // this injector dies (the PDN sink holds it across a whole run).
+    const PulseInjector self = *this;
+    return [self, offset_s](double t_s) {
+        return self.currentAt(t_s - offset_s);
+    };
+}
+
+double
+PulseInjector::energyJoules() const
+{
+    const double peak2 = peak_ * peak_;
+    if (spec_.shape == PulseShape::kRect)
+        return peak2 * spec_.width_s;
+    // Truncated-Gaussian squared integral: peak^2 * sigma * sqrt(pi)
+    // * erf(half_width / (sigma * sqrt(2))).
+    const double sigma = spec_.width_s / kGaussianWidthSigmas;
+    const double half = spec_.width_s * 0.5;
+    return peak2 * sigma * std::sqrt(std::acos(-1.0))
+        * std::erf(half / (sigma * std::sqrt(2.0)));
+}
+
+} // namespace em
+} // namespace emstress

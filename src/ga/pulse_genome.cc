@@ -1,0 +1,81 @@
+#include "ga/pulse_genome.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace ga {
+
+namespace {
+
+/**
+ * Structural hash of one genome slot: folds the instruction's
+ * definition and operands with a per-slot salt so that every slot
+ * maps its content onto its axis independently (two identical
+ * instructions in different slots decode to unrelated points).
+ */
+std::uint64_t
+slotHash(const isa::Instruction &instr, std::size_t slot)
+{
+    std::uint64_t h = mixSeed(0x70756c73ull, slot);
+    h = mixSeed(h, instr.def_index);
+    h = mixSeed(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(instr.dest)));
+    h = mixSeed(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(instr.src[0])));
+    h = mixSeed(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(instr.src[1])));
+    h = mixSeed(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(instr.mem_slot)));
+    return h;
+}
+
+/** Map a hash onto an inclusive [min, max] axis of `steps` points. */
+double
+axisValue(std::uint64_t h, double min, double max, std::size_t steps)
+{
+    requireConfig(steps >= 2, "pulse grid axis needs >= 2 steps");
+    const auto bucket = h % steps;
+    return min
+           + (max - min) * static_cast<double>(bucket)
+                 / static_cast<double>(steps - 1);
+}
+
+} // namespace
+
+em::PulseSpec
+decodePulseGenome(const PulseGrid &grid, const isa::Kernel &genome)
+{
+    requireConfig(genome.size() >= kPulseGenomeSlots,
+                  "pulse genome needs >= kPulseGenomeSlots "
+                  "instructions");
+    requireConfig(grid.t0_max_s >= grid.t0_min_s
+                      && grid.width_max_s >= grid.width_min_s
+                      && grid.width_min_s > 0.0
+                      && grid.amplitude_max_a >= 0.0,
+                  "pulse grid ranges are inverted");
+
+    em::PulseSpec spec;
+    spec.t0_s = axisValue(slotHash(genome[0], 0), grid.t0_min_s,
+                          grid.t0_max_s, grid.t0_steps);
+    spec.width_s =
+        axisValue(slotHash(genome[1], 1), grid.width_min_s,
+                  grid.width_max_s, grid.width_steps);
+    spec.amplitude_a =
+        axisValue(slotHash(genome[2], 2), 0.0,
+                  grid.amplitude_max_a, grid.amplitude_steps);
+
+    const std::uint64_t mode = slotHash(genome[3], 3);
+    spec.polarity = (mode & 1ull) != 0 ? -1.0 : 1.0;
+    spec.shape = (mode & 2ull) != 0 ? em::PulseShape::kGaussian
+                                    : em::PulseShape::kRect;
+
+    spec.x = axisValue(slotHash(genome[4], 4), 0.0, 1.0,
+                       grid.position_steps);
+    spec.y = axisValue(slotHash(genome[5], 5), 0.0, 1.0,
+                       grid.position_steps);
+    return spec;
+}
+
+} // namespace ga
+} // namespace emstress

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pulse genome: the encoding that lets the existing instruction-
+ * kernel GA search the EMFI pulse parameter space (timing ×
+ * placement × amplitude) without a second genome representation.
+ *
+ * A pulse candidate is an ordinary isa::Kernel of
+ * kPulseGenomeSlots instructions; each slot's structural content
+ * (definition index and operands) is hashed onto one quantized
+ * pulse parameter axis. Mutation and crossover of kernels therefore
+ * explore the pulse grid, and everything downstream of the genome —
+ * memoization keyed on Kernel::hash(), BatchEvaluator order
+ * independence, GA restart/replay determinism — carries over
+ * unchanged: equal kernels decode to equal pulses by construction.
+ */
+
+#ifndef EMSTRESS_GA_PULSE_GENOME_H
+#define EMSTRESS_GA_PULSE_GENOME_H
+
+#include <cstddef>
+
+#include "em/pulse_injector.h"
+#include "isa/kernel.h"
+
+namespace emstress {
+namespace ga {
+
+/** Kernel length the pulse genome requires. */
+inline constexpr std::size_t kPulseGenomeSlots = 6;
+
+/**
+ * Quantization grid of the pulse search space. Each axis is an
+ * inclusive [min, max] range sampled at `steps` evenly spaced
+ * points; a genome slot indexes one point.
+ */
+struct PulseGrid
+{
+    double t0_min_s = 0.0;      ///< Earliest trigger time.
+    double t0_max_s = 2e-6;     ///< Latest trigger time.
+    std::size_t t0_steps = 96;  ///< Trigger-time resolution.
+
+    double width_min_s = 2e-9;  ///< Narrowest pulse.
+    double width_max_s = 60e-9; ///< Widest pulse.
+    std::size_t width_steps = 16;
+
+    double amplitude_max_a = 30.0; ///< Peak coil current (min is 0).
+    std::size_t amplitude_steps = 48;
+
+    std::size_t position_steps = 12; ///< Grid points per die axis.
+};
+
+/**
+ * Decode a kernel genome into a pulse spec on the grid. Pure in the
+ * kernel's structural content: equal kernels (operator== and thus
+ * Kernel::hash()) always decode to the identical spec.
+ *
+ * Slot assignment: 0 → t0, 1 → width, 2 → amplitude, 3 → polarity
+ * and shape, 4 → x, 5 → y.
+ *
+ * @throws ConfigError when the kernel has fewer than
+ *         kPulseGenomeSlots instructions or an axis has < 2 steps.
+ */
+em::PulseSpec decodePulseGenome(const PulseGrid &grid,
+                                const isa::Kernel &genome);
+
+} // namespace ga
+} // namespace emstress
+
+#endif // EMSTRESS_GA_PULSE_GENOME_H

@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "util/error.h"
 #include "util/metrics.h"
@@ -146,6 +149,20 @@ PdnModel::rebuild()
     nl.addCurrentSource("i_load", n_die_, kGround, 0.0);
     // SCL injector shares the die node (Juno OC-DSO block).
     nl.addCurrentSource("i_scl", n_die_, kGround, 0.0);
+    // Active-EMFI probe coupling, only when armed: the source order
+    // is load, SCL, pulse, and a disabled pulse keeps the passive
+    // 2-source netlist byte-identical to the pre-EMFI one.
+    if (pulse_source_)
+        nl.addCurrentSource("i_pulse", n_die_, kGround, 0.0);
+}
+
+void
+PdnModel::setPulseSource(bool enabled)
+{
+    if (enabled == pulse_source_)
+        return;
+    pulse_source_ = enabled;
+    rebuild();
 }
 
 void
@@ -182,9 +199,13 @@ PdnModel::engineFor(double dt) const
 
 PdnSimResult
 PdnModel::simulate(const Trace &i_load,
-                   const circuit::SourceWaveform &i_scl) const
+                   const circuit::SourceWaveform &i_scl,
+                   const circuit::SourceWaveform &i_pulse) const
 {
     requireConfig(!i_load.empty(), "PDN simulate needs a load trace");
+    requireConfig(!i_pulse || pulse_source_,
+                  "pulse injection needs the pulse source enabled "
+                  "(PdnModel::setPulseSource)");
     const auto &eng = engineFor(i_load.dt());
 
     const double dt = i_load.dt();
@@ -210,18 +231,45 @@ PdnModel::simulate(const Trace &i_load,
     for (double v : i_load.samples())
         mean_load += v;
     mean_load /= static_cast<double>(i_load.size());
-    const std::array<double, 2> bias = {mean_load, 0.0};
-    auto result = eng.run(n, {load_wave, scl_wave}, probes, bias);
+
+    std::vector<circuit::SourceWaveform> waves = {load_wave, scl_wave};
+    std::vector<double> bias = {mean_load, 0.0};
+    if (pulse_source_) {
+        waves.push_back(i_pulse ? i_pulse
+                                : circuit::SourceWaveform(
+                                      [](double) { return 0.0; }));
+        bias.push_back(0.0);
+    }
+    auto result = eng.run(n, waves, probes, bias);
     return {result.trace("v_die"), result.trace("i_die")};
 }
 
 PdnStreamSink::PdnStreamSink(const circuit::TransientAnalysis &engine,
-                             double mean_load, std::size_t iv_die,
-                             std::size_t ii_die, SampleSink *v_die_out,
-                             SampleSink *i_die_out)
-    : engine_(&engine), mean_load_(mean_load), iv_die_(iv_die),
-      ii_die_(ii_die), v_die_out_(v_die_out), i_die_out_(i_die_out)
-{}
+                             double dt, double mean_load,
+                             std::size_t iv_die, std::size_t ii_die,
+                             SampleSink *v_die_out,
+                             SampleSink *i_die_out,
+                             circuit::SourceWaveform i_pulse)
+    : engine_(&engine), dt_(dt), mean_load_(mean_load),
+      iv_die_(iv_die), ii_die_(ii_die), v_die_out_(v_die_out),
+      i_die_out_(i_die_out), i_pulse_(std::move(i_pulse)),
+      n_src_(engine.mna().currentSourceNames().size())
+{
+    requireSim(n_src_ == 2 || n_src_ == 3,
+               "PDN stream sink expects the load/SCL[/pulse] sources");
+    if (n_src_ == 3 && !i_pulse_)
+        i_pulse_ = [](double) { return 0.0; };
+}
+
+void
+PdnStreamSink::fillSourceRow(double *row, double i_load,
+                             std::size_t step) const
+{
+    row[0] = i_load;
+    row[1] = 0.0;
+    if (n_src_ == 3)
+        row[2] = i_pulse_(dt_ * static_cast<double>(step));
+}
 
 void
 PdnStreamSink::emitProbes()
@@ -256,8 +304,14 @@ PdnStreamSink::push(double i_load)
         // Matches simulate(): the DC point is biased at the mean load
         // while the trapezoidal source history starts from the t = 0
         // sample — exactly the steppers' (bias, initial) convention.
-        const std::array<double, 2> bias = {mean_load_, 0.0};
-        const std::array<double, 2> src = {i_load, 0.0};
+        // run() seeds that history from the waveforms at t = 0, so
+        // the pulse column starts at i_pulse(0).
+        std::array<double, 3> bias{};
+        std::array<double, 3> src{};
+        bias[0] = mean_load_;
+        fillSourceRow(src.data(), i_load, 0);
+        const std::span<const double> bias_s(bias.data(), n_src_);
+        const std::span<const double> src_s(src.data(), n_src_);
         if (engine_->method() == circuit::TransientMethod::FastState) {
             // Probe both states unconditionally: per-row mat-vec sums
             // are element-independent, so the extra row never changes
@@ -267,18 +321,21 @@ PdnStreamSink::push(double i_load)
             const std::array<std::size_t, 2> probes = {iv_die_,
                                                        ii_die_};
             block_.emplace(
-                engine_->makeBlockStepper(bias, src, probes));
+                engine_->makeBlockStepper(bias_s, src_s, probes));
         } else {
-            stepper_.emplace(engine_->makeStepper(bias, src));
+            stepper_.emplace(engine_->makeStepper(bias_s, src_s));
         }
     } else if (block_) {
-        in_buf_[2 * buffered_] = i_load;
-        in_buf_[2 * buffered_ + 1] = 0.0;
+        fillSourceRow(&in_buf_[n_src_ * buffered_], i_load,
+                      next_step_);
+        ++next_step_;
         if (++buffered_ == circuit::kStreamBlock)
             drainBlock();
     } else {
-        const std::array<double, 2> src = {i_load, 0.0};
-        stepper_->step(src);
+        std::array<double, 3> src{};
+        fillSourceRow(src.data(), i_load, next_step_);
+        ++next_step_;
+        stepper_->step(std::span<const double>(src.data(), n_src_));
         emitProbes();
     }
     last_ = i_load;
@@ -289,18 +346,24 @@ PdnStreamSink::finish()
 {
     if (!finished_) {
         // The batch waveform lookup clamps past-the-end times to the
-        // last sample, so the final step re-uses it.
+        // last sample, so the final step re-uses it; the pulse column
+        // is a true waveform with no clamp, evaluated at the final
+        // step time exactly as run() would.
         if (block_) {
             // drainBlock keeps buffered_ < kStreamBlock, so the
             // clamped step always fits the pending tail.
-            in_buf_[2 * buffered_] = last_;
-            in_buf_[2 * buffered_ + 1] = 0.0;
+            fillSourceRow(&in_buf_[n_src_ * buffered_], last_,
+                          next_step_);
+            ++next_step_;
             ++buffered_;
             drainBlock();
             block_->flushMetrics();
         } else if (stepper_) {
-            const std::array<double, 2> src = {last_, 0.0};
-            stepper_->step(src);
+            std::array<double, 3> src{};
+            fillSourceRow(src.data(), last_, next_step_);
+            ++next_step_;
+            stepper_->step(
+                std::span<const double>(src.data(), n_src_));
             emitProbes();
             // The stepper truthfully flushes its own step and solve
             // counters (steps + state_updates or lu_solves, depending
@@ -320,14 +383,18 @@ PdnStreamSink::finish()
 
 PdnStreamSink
 PdnModel::streamSim(double dt, double mean_load, SampleSink *v_die_out,
-                    SampleSink *i_die_out) const
+                    SampleSink *i_die_out,
+                    const circuit::SourceWaveform &i_pulse) const
 {
     requireConfig(dt > 0.0, "PDN stream needs a positive timestep");
+    requireConfig(!i_pulse || pulse_source_,
+                  "pulse injection needs the pulse source enabled "
+                  "(PdnModel::setPulseSource)");
     const auto &eng = engineFor(dt);
-    return PdnStreamSink(eng, mean_load,
+    return PdnStreamSink(eng, dt, mean_load,
                          eng.mna().stateIndexOfNode(n_die_),
                          eng.mna().stateIndexOfBranch("l_pkg_die"),
-                         v_die_out, i_die_out);
+                         v_die_out, i_die_out, i_pulse);
 }
 
 std::vector<double>

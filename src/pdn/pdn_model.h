@@ -144,13 +144,24 @@ class PdnStreamSink final : public SampleSink
 
   private:
     friend class PdnModel;
-    PdnStreamSink(const circuit::TransientAnalysis &engine,
+    PdnStreamSink(const circuit::TransientAnalysis &engine, double dt,
                   double mean_load, std::size_t iv_die,
                   std::size_t ii_die, SampleSink *v_die_out,
-                  SampleSink *i_die_out);
+                  SampleSink *i_die_out,
+                  circuit::SourceWaveform i_pulse);
 
     void emitProbes();
     void drainBlock();
+
+    /**
+     * Source row for the step the next pushed/clamped sample drives.
+     * The pulse column is evaluated at dt * step with the identical
+     * expression run() uses (`dt_ * static_cast<double>(step)`), so
+     * the streamed source values — and hence every probe sample —
+     * stay bit-identical to simulate().
+     */
+    void fillSourceRow(double *row, double i_load, std::size_t step)
+        const;
 
     /// Engine outlives the sink (owned by the PdnModel's cache); the
     /// stepper is created on the first push so that sample can seed
@@ -159,14 +170,24 @@ class PdnStreamSink final : public SampleSink
     const circuit::TransientAnalysis *engine_;
     std::optional<circuit::TransientStepper> stepper_;
     std::optional<circuit::TransientBlockStepper> block_;
+    double dt_;
     double mean_load_;
     std::size_t iv_die_;
     std::size_t ii_die_;
     SampleSink *v_die_out_;
     SampleSink *i_die_out_;
-    /// Blocked-path buffers: one {i_load, i_scl = 0} input row and
-    /// one {v_die, i_die} probe row per step of the pending block.
-    std::array<double, circuit::kStreamBlock * 2> in_buf_{};
+    /// Injected-pulse waveform for the third source column; only
+    /// set when the model's pulse source is present (n_src_ == 3).
+    circuit::SourceWaveform i_pulse_;
+    /// Current sources per step row: 2 ({i_load, i_scl}) without the
+    /// pulse source, 3 ({i_load, i_scl, i_pulse}) with it.
+    std::size_t n_src_ = 2;
+    /// 1-based index of the next transient step, mirroring run()'s
+    /// step counter (the first push seeds t = 0 history, not a step).
+    std::size_t next_step_ = 1;
+    /// Blocked-path buffers: one source row (stride n_src_) and one
+    /// {v_die, i_die} probe row per step of the pending block.
+    std::array<double, circuit::kStreamBlock * 3> in_buf_{};
     std::array<double, circuit::kStreamBlock * 2> probe_buf_{};
     std::size_t buffered_ = 0;
     double last_ = 0.0;
@@ -211,16 +232,35 @@ class PdnModel
     void setSupplyVoltage(double v);
 
     /**
+     * Add (or remove) the active-EMFI pulse current source at the
+     * die node. The source is part of the netlist, so toggling it
+     * rebuilds and invalidates cached engines — but an unchanged
+     * setting is a no-op, and a *disabled* pulse source keeps the
+     * netlist byte-identical to the passive one. That is what makes
+     * "no pulse armed" runs bit-identical to pre-EMFI runs: the
+     * fast-path state update groups source columns into fixed-width
+     * sweeps, so even an all-zero extra column would reassociate the
+     * sums; eliding the column avoids the question entirely.
+     */
+    void setPulseSource(bool enabled);
+
+    /** True when the netlist carries the i_pulse source. */
+    bool pulseSource() const { return pulse_source_; }
+
+    /**
      * Transient simulation driven by a CPU load-current trace (drawn
      * from the die node) and an optional SCL square-wave injector.
      *
-     * @param i_load Load current [A] sampled at the PDN timestep.
-     * @param i_scl  Optional second injector waveform (the Juno SCL
-     *               block); evaluated at each simulation time.
+     * @param i_load  Load current [A] sampled at the PDN timestep.
+     * @param i_scl   Optional second injector waveform (the Juno SCL
+     *                block); evaluated at each simulation time.
+     * @param i_pulse Optional EMFI pulse waveform; requires the pulse
+     *                source (setPulseSource(true)).
      */
     PdnSimResult simulate(const Trace &i_load,
-                          const circuit::SourceWaveform &i_scl = nullptr)
-        const;
+                          const circuit::SourceWaveform &i_scl = nullptr,
+                          const circuit::SourceWaveform &i_pulse
+                          = nullptr) const;
 
     /**
      * Build a streaming simulation sink (see PdnStreamSink). Pushing
@@ -237,10 +277,16 @@ class PdnModel
      *                  null to skip the probe).
      * @param i_die_out Downstream sink for the package-die inductor
      *                  current (may be null).
+     * @param i_pulse   Optional EMFI pulse waveform; requires the
+     *                  pulse source (setPulseSource(true)). The sink
+     *                  evaluates it at each step time itself, exactly
+     *                  as simulate's run() loop would.
      */
     PdnStreamSink streamSim(double dt, double mean_load,
                             SampleSink *v_die_out,
-                            SampleSink *i_die_out) const;
+                            SampleSink *i_die_out,
+                            const circuit::SourceWaveform &i_pulse
+                            = nullptr) const;
 
     /** Input impedance magnitude at the die node over a grid [ohm]. */
     std::vector<double>
@@ -269,6 +315,7 @@ class PdnModel
 
     PdnParameters params_;
     std::size_t powered_cores_;
+    bool pulse_source_ = false;
     circuit::Netlist netlist_;
     circuit::NodeId n_die_ = circuit::kGround;
     mutable std::optional<circuit::TransientAnalysis> engine_;

@@ -287,7 +287,40 @@ Platform::clone() const
     copy->setFrequency(f_clk_);
     copy->setVoltage(v_supply_);
     copy->setPoweredCores(poweredCores());
+    if (pulse_)
+        copy->armPulse(*pulse_);
     return copy;
+}
+
+void
+Platform::armPulse(const em::PulseSpec &spec)
+{
+    const em::PulseInjector injector(spec); // validates
+    pulse_ = spec;
+    // A null (zero-amplitude) pulse keeps the passive 2-source
+    // netlist so "pulse armed at amplitude 0" stays bit-identical to
+    // "no pulse armed" on every path.
+    pdn_->setPulseSource(!injector.isNull());
+}
+
+void
+Platform::disarmPulse()
+{
+    pulse_.reset();
+    pdn_->setPulseSource(false);
+}
+
+circuit::SourceWaveform
+Platform::pulseWave() const
+{
+    if (!pulse_)
+        return nullptr;
+    const em::PulseInjector injector(*pulse_);
+    if (injector.isNull())
+        return nullptr;
+    // Pulse t0 is relative to the observed window; runs prepend a
+    // settle lead-in that the output slicing strips again.
+    return injector.waveform(kSettleTime);
 }
 
 instruments::Oscilloscope &
@@ -454,7 +487,7 @@ Platform::streamKernel(const isa::Kernel &kernel, double duration_s,
 
     pdn::PdnStreamSink pdn_sink = pdn_->streamSim(
         kPdnDt, mean_sink.mean(),
-        v_slice ? &*v_slice : nullptr, i_tap);
+        v_slice ? &*v_slice : nullptr, i_tap, pulseWave());
     ZohResampleSink zoh(pdn_sink, n_cycles, cycle_dt, kPdnDt);
     StaggerSumSink sum(zoh, n_cycles, stagger_cycles, active_cores,
                        v_scale, extra_idle);
@@ -499,7 +532,8 @@ Platform::runScl(double freq_hz, double amplitude_a,
         idle.push(idle_current);
 
     instruments::SyntheticCurrentLoad scl(amplitude_a);
-    auto sim = pdn_->simulate(idle, scl.waveform(freq_hz));
+    auto sim = pdn_->simulate(idle, scl.waveform(freq_hz),
+                              pulseWave());
 
     const auto settle_steps =
         static_cast<std::size_t>(kSettleTime / kPdnDt);
@@ -524,7 +558,7 @@ Platform::runIdle(double duration_s) const
         * static_cast<double>(pdn_->poweredCores());
     for (std::size_t i = 0; i < steps; ++i)
         idle.push(current);
-    auto sim = pdn_->simulate(idle);
+    auto sim = pdn_->simulate(idle, nullptr, pulseWave());
 
     const auto settle_steps =
         static_cast<std::size_t>(kSettleTime / kPdnDt);
@@ -572,7 +606,7 @@ Platform::finishRun(const uarch::CoreRunResult &core_run,
     }
 
     const Trace i_load = total.resampleZeroOrderHold(kPdnDt);
-    auto sim = pdn_->simulate(i_load);
+    auto sim = pdn_->simulate(i_load, nullptr, pulseWave());
 
     // Discard the settle lead-in.
     std::size_t settle_steps =

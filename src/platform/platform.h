@@ -12,11 +12,13 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "em/antenna.h"
+#include "em/pulse_injector.h"
 #include "instruments/oscilloscope.h"
 #include "instruments/scl.h"
 #include "instruments/spectrum_analyzer.h"
@@ -180,6 +182,35 @@ class Platform
     std::size_t poweredCores() const { return pdn_->poweredCores(); }
     /// @}
 
+    /// @{ Active EM fault injection.
+    /**
+     * Arm an EMFI pulse: every subsequent run (kernel, stream, SCL,
+     * idle — batch or streaming path alike) injects the pulse as an
+     * extra PDN current source until disarmPulse(). The spec's t0 is
+     * relative to the *observed* window: the settle lead-in every run
+     * discards is prepended automatically.
+     *
+     * A zero-amplitude spec is recorded but injects nothing and —
+     * deliberately — leaves the PDN netlist untouched, so zero-amp
+     * runs are bit-identical to never-armed runs by construction
+     * (the fast-path state update would reassociate sums if an
+     * all-zero source column were added; see
+     * PdnModel::setPulseSource).
+     *
+     * @throws ConfigError on an invalid spec (see PulseInjector).
+     */
+    void armPulse(const em::PulseSpec &spec);
+
+    /** Remove any armed pulse. */
+    void disarmPulse();
+
+    /** The armed pulse spec, if any. */
+    const std::optional<em::PulseSpec> &armedPulse() const
+    {
+        return pulse_;
+    }
+    /// @}
+
     /**
      * Run a kernel loop on a number of active cores (each core runs
      * its own instance, mutually phase-shifted) for a duration of
@@ -278,6 +309,12 @@ class Platform
     finishRun(const uarch::CoreRunResult &core_run, double duration_s,
               std::size_t active_cores, double stagger_s) const;
 
+    /**
+     * The armed pulse as a simulation-time waveform (t0 shifted past
+     * the settle lead-in), or nullptr when no pulse would inject.
+     */
+    circuit::SourceWaveform pulseWave() const;
+
     PlatformConfig config_;
     std::uint64_t seed_;
     isa::InstructionPool pool_;
@@ -288,6 +325,7 @@ class Platform
     instruments::Oscilloscope scope_;
     double f_clk_;
     double v_supply_;
+    std::optional<em::PulseSpec> pulse_;
 };
 
 } // namespace platform

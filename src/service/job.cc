@@ -84,6 +84,16 @@ jobStateName(JobState state)
 }
 
 std::string
+jobModeName(JobMode mode)
+{
+    switch (mode) {
+    case JobMode::kPassiveVirus: return "virus";
+    case JobMode::kActiveEmfi:   return "emfi";
+    }
+    return "unknown";
+}
+
+std::string
 jobDescription(const JobSpec &spec)
 {
     std::ostringstream os;
@@ -105,6 +115,21 @@ jobDescription(const JobSpec &spec)
        << ":cores" << spec.eval.active_cores
        << ":stream" << (spec.eval.streaming ? 1 : 0)
        << "|metric:" << core::virusMetricName(spec.metric);
+    // Active-mode fields extend the description; the passive form
+    // stays byte-identical to the pre-EMFI service, so (a) stored
+    // passive artifacts from older deployments remain addressable
+    // and (b) an active spec can never collide with a passive one
+    // that matches it field-for-field — the "|mode:emfi" suffix
+    // alone separates the preimages.
+    if (spec.mode == JobMode::kActiveEmfi) {
+        os << "|mode:" << jobModeName(spec.mode)
+           << "|victim:seed" << spec.emfi.victim_seed
+           << ":len" << spec.emfi.victim_length
+           << ":tgt" << spec.emfi.target_slot
+           << "|sched:" << spec.emfi.schedule_seed
+           << "|grid:t0" << spec.emfi.t0_max_s
+           << ":amp" << spec.emfi.amplitude_max_a;
+    }
     return os.str();
 }
 
@@ -132,6 +157,31 @@ makePlatformEvaluator(const JobSpec &spec)
     // after the local platform dies.
     platform::Platform plat(presetConfig(spec.platform),
                             spec.platform_seed);
+    if (spec.mode == JobMode::kActiveEmfi) {
+        requireConfig(spec.emfi.victim_length > 0,
+                      "EMFI job needs a non-empty victim");
+        requireConfig(
+            spec.emfi.target_slot < spec.emfi.victim_length,
+            "EMFI target_slot outside the victim kernel");
+        requireConfig(
+            spec.ga.kernel_length >= ga::kPulseGenomeSlots,
+            "EMFI job kernel_length below the pulse genome size");
+        core::EmfiCampaignSpec campaign;
+        Rng victim_rng(spec.emfi.victim_seed);
+        campaign.victim = isa::Kernel::random(
+            presetPool(spec.platform), spec.emfi.victim_length,
+            victim_rng);
+        campaign.target_slot = spec.emfi.target_slot;
+        campaign.eval = spec.eval;
+        campaign.effects.schedule_seed = spec.emfi.schedule_seed;
+        campaign.grid.t0_max_s = spec.emfi.t0_max_s;
+        campaign.grid.amplitude_max_a = spec.emfi.amplitude_max_a;
+        core::PulseFaultFitness bound_emfi(plat, campaign);
+        auto owned_emfi = bound_emfi.clone();
+        requireSim(owned_emfi != nullptr,
+                   "EMFI evaluator unexpectedly not cloneable");
+        return owned_emfi;
+    }
     std::unique_ptr<core::PlatformFitness> bound;
     switch (spec.metric) {
     case core::VirusMetric::EmAmplitude:

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "core/emfi.h"
 #include "core/virus_generator.h"
 #include "ga/ga_engine.h"
 
@@ -57,6 +58,33 @@ std::string presetName(PlatformPreset preset);
 /** Inverse of presetName; false when the name is unknown. */
 bool presetFromName(const std::string &name, PlatformPreset &out);
 
+/** What a job searches for. */
+enum class JobMode : std::uint8_t
+{
+    kPassiveVirus = 0, ///< Maximize voltage noise (the classic job).
+    kActiveEmfi = 1,   ///< Minimize faulting pulse energy.
+};
+
+/** Stable lowercase name of a mode ("virus", "emfi"). */
+std::string jobModeName(JobMode mode);
+
+/**
+ * Active-EMFI portion of a job spec: the victim and the pulse search
+ * space, all result-defining and therefore fingerprinted. The victim
+ * kernel is derived deterministically from (platform preset,
+ * victim_seed, victim_length) so it never crosses the wire as code.
+ */
+struct EmfiJobSpec
+{
+    std::uint64_t victim_seed = 7; ///< Seeds the victim kernel draw.
+    std::size_t victim_length = 8; ///< Victim loop-body length.
+    std::size_t target_slot = 3;   ///< Victim instruction to fault.
+    /// Fault-effects manifestation/corruption schedule seed.
+    std::uint64_t schedule_seed = 1;
+    double t0_max_s = 2e-6;        ///< Pulse-grid trigger-time span.
+    double amplitude_max_a = 30.0; ///< Pulse-grid amplitude ceiling.
+};
+
 /** One submitted search job. */
 struct JobSpec
 {
@@ -69,6 +97,9 @@ struct JobSpec
     core::VirusMetric metric = core::VirusMetric::EmAmplitude;
     ga::GaConfig ga;         ///< GA budget (seed included).
     core::EvalSettings eval; ///< Measurement settings.
+    JobMode mode = JobMode::kPassiveVirus;
+    EmfiJobSpec emfi;        ///< Active-mode fields (ignored, and
+                             ///< unfingerprinted, in passive mode).
 };
 
 /** Job lifecycle. */

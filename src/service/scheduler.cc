@@ -260,7 +260,12 @@ void
 SearchService::finalizeCompleted(Job &job)
 {
     auto result = std::make_shared<JobResult>();
-    result->metric = core::virusMetricName(job.spec.metric);
+    // Report the metric that actually drove the search: active-EMFI
+    // jobs (and substituted test evaluators) are not described by the
+    // passive virus-metric enum.
+    result->metric = job.evaluator
+        ? job.evaluator->metricName()
+        : core::virusMetricName(job.spec.metric);
     result->ga = job.driver->finish();
     result->fingerprint = job.fingerprint;
     job.result = result;

@@ -42,6 +42,16 @@ presetFromWire(std::uint8_t v)
     }
 }
 
+JobMode
+modeFromWire(std::uint8_t v)
+{
+    switch (v) {
+    case 0: return JobMode::kPassiveVirus;
+    case 1: return JobMode::kActiveEmfi;
+    default: throw ProtocolError("unknown job mode on wire");
+    }
+}
+
 core::VirusMetric
 metricFromWire(std::uint8_t v)
 {
@@ -144,6 +154,15 @@ encodeJobSpec(WireWriter &w, const JobSpec &spec)
     w.u64(e.sa_samples);
     w.u64(e.active_cores);
     w.u8(e.streaming ? 1 : 0);
+
+    w.u8(static_cast<std::uint8_t>(spec.mode));
+    const EmfiJobSpec &fi = spec.emfi;
+    w.u64(fi.victim_seed);
+    w.u64(fi.victim_length);
+    w.u64(fi.target_slot);
+    w.u64(fi.schedule_seed);
+    w.f64(fi.t0_max_s);
+    w.f64(fi.amplitude_max_a);
 }
 
 JobSpec
@@ -179,6 +198,15 @@ decodeJobSpec(WireReader &r)
     e.sa_samples = static_cast<std::size_t>(r.u64());
     e.active_cores = static_cast<std::size_t>(r.u64());
     e.streaming = r.u8() != 0;
+
+    spec.mode = modeFromWire(r.u8());
+    EmfiJobSpec &fi = spec.emfi;
+    fi.victim_seed = r.u64();
+    fi.victim_length = static_cast<std::size_t>(r.u64());
+    fi.target_slot = static_cast<std::size_t>(r.u64());
+    fi.schedule_seed = r.u64();
+    fi.t0_max_s = r.f64();
+    fi.amplitude_max_a = r.f64();
     return spec;
 }
 

@@ -1,0 +1,481 @@
+#include "vmin/fault_effects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace emstress {
+namespace vmin {
+
+namespace {
+
+/// FNV-1a (matches isa::Kernel::hash and service fingerprints).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffull;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Salts separating the independent draw streams of one site.
+constexpr std::uint64_t kManifestSalt = 0;
+constexpr std::uint64_t kRegisterSalt = 1;
+constexpr std::uint64_t kMaskSalt = 2;
+
+/// Weyl constant separating per-stage lanes (same scheme as
+/// util/faultpoint.h separates per-point lanes).
+constexpr std::uint64_t kLaneStep = 0x9e3779b97f4a7c15ull;
+
+/**
+ * Pure site-keyed draw, mirroring FaultSchedule::unitDraw: a hash of
+ * (seed, stage lane, site key, cycle, salt) mapped to [0, 1). The
+ * site key folds (iteration, slot) so every static instruction
+ * instance draws independently.
+ */
+std::uint64_t
+siteHash(std::uint64_t seed, PipelineStage stage,
+         std::uint64_t site_key, std::uint64_t cycle,
+         std::uint64_t salt)
+{
+    const std::uint64_t lane =
+        (static_cast<std::uint64_t>(stage) + 1ull) * kLaneStep;
+    const std::uint64_t ctx = (cycle << 32) ^ salt;
+    return mixSeed(seed ^ lane, mixSeed(site_key, ctx));
+}
+
+double
+unitDraw(std::uint64_t seed, PipelineStage stage,
+         std::uint64_t site_key, std::uint64_t cycle,
+         std::uint64_t salt)
+{
+    const std::uint64_t h = siteHash(seed, stage, site_key, cycle, salt);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Seeds of the abstract interpreter's initial architectural state.
+constexpr std::uint64_t kRegInitSalt = 0x5eedf00d;
+constexpr std::uint64_t kMemInitSalt = 0x5eedbeef;
+
+std::size_t
+regFileIndex(isa::RegFile file)
+{
+    switch (file) {
+    case isa::RegFile::Int:
+        return 0;
+    case isa::RegFile::Fp:
+        return 1;
+    case isa::RegFile::Simd:
+        return 2;
+    case isa::RegFile::None:
+        break;
+    }
+    return 0;
+}
+
+} // namespace
+
+const char *
+pipelineStageName(PipelineStage stage)
+{
+    switch (stage) {
+    case PipelineStage::kFetch:
+        return "fetch";
+    case PipelineStage::kExecute:
+        return "execute";
+    case PipelineStage::kRegfile:
+        return "regfile";
+    }
+    return "?";
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kInstructionSkip:
+        return "instruction-skip";
+    case FaultKind::kWrongResult:
+        return "wrong-result";
+    case FaultKind::kRegisterCorruption:
+        return "register-corruption";
+    }
+    return "?";
+}
+
+bool
+FaultEvent::operator==(const FaultEvent &other) const
+{
+    return iteration == other.iteration && slot == other.slot
+        && cycle == other.cycle && stage == other.stage
+        && kind == other.kind && reg == other.reg
+        && xor_mask == other.xor_mask && v_min == other.v_min
+        && threshold_v == other.threshold_v;
+}
+
+FaultEffectsModel::FaultEffectsModel(const FaultEffectsParams &params)
+    : params_(params), timing_(params.timing)
+{
+    requireConfig(params.fetch_margin_v >= 0.0
+                      && params.execute_margin_v >= 0.0
+                      && params.regfile_margin_v >= 0.0,
+                  "fault-effects stage margins must be >= 0");
+    requireConfig(params.proximity_sigma > 0.0,
+                  "fault-effects proximity sigma must be positive");
+    requireConfig(params.proximity_boost >= 0.0,
+                  "fault-effects proximity boost must be >= 0");
+    requireConfig(params.manifest_probability >= 0.0
+                      && params.manifest_probability <= 1.0,
+                  "fault-effects manifest probability must be in [0,1]");
+    requireConfig(params.max_iterations > 0,
+                  "fault-effects max_iterations must be positive");
+}
+
+double
+FaultEffectsModel::stageThreshold(PipelineStage stage, double f_clk_hz,
+                                  const em::PulseSpec *pulse) const
+{
+    double margin = 0.0;
+    double sx = 0.0;
+    double sy = 0.0;
+    switch (stage) {
+    case PipelineStage::kFetch:
+        margin = params_.fetch_margin_v;
+        sx = params_.fetch_x;
+        sy = params_.fetch_y;
+        break;
+    case PipelineStage::kExecute:
+        margin = params_.execute_margin_v;
+        sx = params_.execute_x;
+        sy = params_.execute_y;
+        break;
+    case PipelineStage::kRegfile:
+        margin = params_.regfile_margin_v;
+        sx = params_.regfile_x;
+        sy = params_.regfile_y;
+        break;
+    }
+
+    // Proximity susceptibility: a probe parked over the stage scales
+    // its margin by (1 + boost); far away the scale decays to 1.
+    // Deliberately amplitude-independent so that raising the pulse
+    // amplitude can only deepen droops, never move thresholds — the
+    // property behind the sensitivity-sweep monotonicity tests.
+    double susceptibility = 1.0;
+    if (pulse != nullptr && params_.proximity_boost > 0.0) {
+        const double dx = pulse->x - sx;
+        const double dy = pulse->y - sy;
+        const double sigma2 =
+            params_.proximity_sigma * params_.proximity_sigma;
+        susceptibility +=
+            params_.proximity_boost
+            * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma2));
+    }
+    return timing_.vCrit(f_clk_hz) + margin * susceptibility;
+}
+
+namespace {
+
+/**
+ * Deterministic architectural interpreter state: one 64-bit value
+ * per register per namespace plus one per memory slot. Values are
+ * propagated with mixSeed so any upstream corruption reaches the
+ * final digest with overwhelming probability (the model's stand-in
+ * for "the program's output changed").
+ */
+struct ArchState
+{
+    std::array<std::vector<std::uint64_t>, 3> regs;
+    std::vector<std::uint64_t> mem;
+
+    explicit ArchState(const isa::InstructionPool &pool)
+    {
+        const isa::RegFile files[] = {isa::RegFile::Int,
+                                      isa::RegFile::Fp,
+                                      isa::RegFile::Simd};
+        for (std::size_t f = 0; f < 3; ++f) {
+            const auto n =
+                static_cast<std::size_t>(
+                    std::max(1, pool.regCount(files[f])));
+            regs[f].resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                regs[f][i] = mixSeed(kRegInitSalt, f * 0x101 + i);
+        }
+        const auto slots = static_cast<std::size_t>(
+            std::max(1, pool.memSlots()));
+        mem.resize(slots);
+        for (std::size_t s = 0; s < slots; ++s)
+            mem[s] = mixSeed(kMemInitSalt, s);
+    }
+
+    std::uint64_t
+    read(std::size_t file, int reg) const
+    {
+        if (reg < 0)
+            return 0;
+        return regs[file][static_cast<std::size_t>(reg)
+                          % regs[file].size()];
+    }
+
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = kFnvOffset;
+        for (const auto &file : regs)
+            for (const auto v : file)
+                h = fnvMix(h, v);
+        for (const auto v : mem)
+            h = fnvMix(h, v);
+        return h;
+    }
+};
+
+/** Execute one instruction, optionally mutated by a fault event. */
+void
+executeSlot(ArchState &state, const isa::InstructionPool &pool,
+            const isa::Instruction &instr, const FaultEvent *fault)
+{
+    if (fault != nullptr
+        && fault->kind == FaultKind::kInstructionSkip)
+        return;
+
+    const auto &def = pool.def(instr.def_index);
+    const std::size_t file = regFileIndex(def.reg_file);
+    std::uint64_t s0 = state.read(file, instr.src[0]);
+    std::uint64_t s1 = state.read(file, instr.src[1]);
+    std::uint64_t m = 0;
+    if (instr.mem_slot >= 0)
+        m = state.mem[static_cast<std::size_t>(instr.mem_slot)
+                      % state.mem.size()];
+
+    std::uint64_t val =
+        mixSeed(mixSeed(instr.def_index, s0), mixSeed(s1, m));
+    if (fault != nullptr && fault->kind == FaultKind::kWrongResult)
+        val ^= fault->xor_mask;
+
+    if (def.has_dest && instr.dest >= 0)
+        state.regs[file][static_cast<std::size_t>(instr.dest)
+                         % state.regs[file].size()] = val;
+    if (def.cls == isa::InstrClass::Store && instr.mem_slot >= 0)
+        state.mem[static_cast<std::size_t>(instr.mem_slot)
+                  % state.mem.size()] = val;
+
+    if (fault != nullptr
+        && fault->kind == FaultKind::kRegisterCorruption) {
+        state.regs[file][static_cast<std::size_t>(
+                             std::max(fault->reg, 0))
+                         % state.regs[file].size()] ^=
+            fault->xor_mask;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+FaultEffectsModel::archDigest(const isa::InstructionPool &pool,
+                              const isa::Kernel &kernel,
+                              std::size_t iterations,
+                              const std::vector<FaultEvent> &events)
+    const
+{
+    ArchState state(pool);
+    std::size_t next_event = 0;
+    for (std::size_t it = 0; it < iterations; ++it) {
+        for (std::size_t slot = 0; slot < kernel.size(); ++slot) {
+            const FaultEvent *fault = nullptr;
+            if (next_event < events.size()
+                && events[next_event].iteration == it
+                && events[next_event].slot == slot) {
+                fault = &events[next_event];
+                ++next_event;
+            }
+            executeSlot(state, pool, kernel[slot], fault);
+        }
+    }
+    return state.digest();
+}
+
+FaultReport
+FaultEffectsModel::analyze(const isa::InstructionPool &pool,
+                           const isa::Kernel &kernel,
+                           const Trace &v_die, double f_clk_hz,
+                           const uarch::KernelRunStats &stats,
+                           const em::PulseSpec *pulse) const
+{
+    requireConfig(!kernel.empty(),
+                  "fault-effects analysis needs a non-empty kernel");
+    requireConfig(f_clk_hz > 0.0,
+                  "fault-effects analysis needs a positive clock");
+    const std::size_t len = kernel.size();
+
+    FaultReport report;
+    report.v_crit = timing_.vCrit(f_clk_hz);
+    report.slot_margin_v.assign(
+        len, std::numeric_limits<double>::infinity());
+
+    // Cycles one loop iteration takes. The core model's measured
+    // loop period is the calibrated source; fall back to one cycle
+    // per instruction when stats are absent (crafted-trace tests).
+    std::size_t cpi_loop = len;
+    if (stats.loop_period_s > 0.0) {
+        const auto measured = static_cast<std::size_t>(
+            std::llround(stats.loop_period_s * f_clk_hz));
+        cpi_loop = std::max<std::size_t>(1, measured);
+    }
+
+    const double trace_duration =
+        v_die.dt() * static_cast<double>(v_die.size());
+    std::size_t iterations = 0;
+    if (trace_duration > 0.0) {
+        const double loop_s =
+            static_cast<double>(cpi_loop) / f_clk_hz;
+        iterations = static_cast<std::size_t>(
+            trace_duration / loop_s);
+    }
+    iterations = std::min(iterations, params_.max_iterations);
+
+    const PipelineStage stages[] = {PipelineStage::kFetch,
+                                    PipelineStage::kExecute,
+                                    PipelineStage::kRegfile};
+    double thresholds[kPipelineStageCount];
+    for (std::size_t s = 0; s < kPipelineStageCount; ++s)
+        thresholds[s] = stageThreshold(stages[s], f_clk_hz, pulse);
+
+    for (std::size_t it = 0; it < iterations; ++it) {
+        for (std::size_t slot = 0; slot < len; ++slot) {
+            // The slot's cycle window inside this iteration.
+            const std::size_t c0 =
+                it * cpi_loop + (slot * cpi_loop) / len;
+            std::size_t c1 =
+                it * cpi_loop + ((slot + 1) * cpi_loop) / len;
+            if (c1 <= c0)
+                c1 = c0 + 1;
+
+            // Map cycles onto trace sample indices.
+            const double t0 =
+                static_cast<double>(c0) / f_clk_hz;
+            const double t1 =
+                static_cast<double>(c1) / f_clk_hz;
+            auto i0 = static_cast<std::size_t>(t0 / v_die.dt());
+            auto i1 = static_cast<std::size_t>(t1 / v_die.dt());
+            if (i0 >= v_die.size())
+                break;
+            i1 = std::min(std::max(i1, i0 + 1), v_die.size());
+
+            double v_min = v_die[i0];
+            for (std::size_t i = i0 + 1; i < i1; ++i)
+                v_min = std::min(v_min, v_die[i]);
+
+            // Deepest crossing among the stages claims the site.
+            bool crossed = false;
+            PipelineStage worst_stage = PipelineStage::kFetch;
+            double worst_depth = 0.0;
+            double worst_threshold = 0.0;
+            for (std::size_t s = 0; s < kPipelineStageCount; ++s) {
+                const double margin = v_min - thresholds[s];
+                report.slot_margin_v[slot] =
+                    std::min(report.slot_margin_v[slot], margin);
+                const double depth = -margin;
+                if (depth > 0.0 && depth > worst_depth) {
+                    crossed = true;
+                    worst_depth = depth;
+                    worst_stage = stages[s];
+                    worst_threshold = thresholds[s];
+                }
+            }
+            if (!crossed)
+                continue;
+            ++report.sites_crossed;
+
+            const std::uint64_t site_key = mixSeed(it, slot);
+            const auto cycle64 = static_cast<std::uint64_t>(c0);
+            const double gate =
+                unitDraw(params_.schedule_seed, worst_stage,
+                         site_key, cycle64, kManifestSalt);
+            const bool manifests =
+                params_.manifest_probability >= 1.0
+                || (params_.manifest_probability > 0.0
+                    && gate < params_.manifest_probability);
+            if (!manifests)
+                continue;
+
+            FaultEvent ev;
+            ev.iteration = it;
+            ev.slot = slot;
+            ev.cycle = c0;
+            ev.stage = worst_stage;
+            ev.v_min = v_min;
+            ev.threshold_v = worst_threshold;
+            switch (worst_stage) {
+            case PipelineStage::kFetch:
+                ev.kind = FaultKind::kInstructionSkip;
+                break;
+            case PipelineStage::kExecute:
+                ev.kind = FaultKind::kWrongResult;
+                break;
+            case PipelineStage::kRegfile:
+                ev.kind = FaultKind::kRegisterCorruption;
+                break;
+            }
+            if (ev.kind != FaultKind::kInstructionSkip) {
+                ev.xor_mask =
+                    siteHash(params_.schedule_seed, worst_stage,
+                             site_key, cycle64, kMaskSalt)
+                    | 1ull;
+            }
+            if (ev.kind == FaultKind::kRegisterCorruption) {
+                const auto &def =
+                    pool.def(kernel[slot].def_index);
+                const int n_regs = std::max(
+                    1, pool.regCount(
+                           def.reg_file == isa::RegFile::None
+                               ? isa::RegFile::Int
+                               : def.reg_file));
+                ev.reg = static_cast<int>(
+                    siteHash(params_.schedule_seed, worst_stage,
+                             site_key, cycle64, kRegisterSalt)
+                    % static_cast<std::uint64_t>(n_regs));
+            }
+            report.events.push_back(ev);
+        }
+    }
+
+    report.min_margin_v = std::numeric_limits<double>::infinity();
+    for (auto &m : report.slot_margin_v) {
+        if (std::isinf(m))
+            m = 0.0;
+        report.min_margin_v = std::min(report.min_margin_v, m);
+    }
+    if (std::isinf(report.min_margin_v))
+        report.min_margin_v = 0.0;
+
+    report.golden_digest =
+        archDigest(pool, kernel, iterations, {});
+    report.faulted_digest =
+        archDigest(pool, kernel, iterations, report.events);
+
+    if (report.events.empty()) {
+        report.outcome = RunOutcome::Pass;
+    } else {
+        // Skips starve forward progress — model as an app crash;
+        // pure data corruption is an SDC (Section 5.2's taxonomy).
+        bool any_skip = false;
+        for (const auto &ev : report.events)
+            any_skip |= ev.kind == FaultKind::kInstructionSkip;
+        report.outcome =
+            any_skip ? RunOutcome::AppCrash : RunOutcome::Sdc;
+    }
+    return report;
+}
+
+} // namespace vmin
+} // namespace emstress

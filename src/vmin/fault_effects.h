@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ISA-level fault effects of voltage transients — the active-EMFI
+ * counterpart of the V_MIN timing-failure machinery. "Studying EM
+ * Pulse Effects on Superscalar Microarchitectures at ISA Level"
+ * (Proy et al.) observes that injected pulses manifest as
+ * ISA-visible instruction skips and corrupted results; Moro et al.'s
+ * 32-bit fault model gives the register-corruption taxonomy. This
+ * model bridges the electrical and ISA layers: it samples the die
+ * voltage over each instruction's execution window, compares the
+ * minimum against per-pipeline-stage timing thresholds (V_CRIT plus
+ * a stage margin, scaled by the pulse probe's spatial proximity to
+ * that stage), and converts crossings into deterministic fault
+ * events replayed against a small abstract interpreter over the
+ * `src/isa/` kernel — yielding golden-vs-faulted architectural
+ * digests a campaign can pin bit-exactly.
+ *
+ * Determinism contract (mirrors util/faultpoint.h): whether a
+ * crossing manifests, which register corrupts and with what mask are
+ * pure functions of (schedule seed, stage, site, cycle) — never of
+ * evaluation order, thread count or wall clock. Same (seed,
+ * schedule) ⇒ bit-identical fault event logs.
+ */
+
+#ifndef EMSTRESS_VMIN_FAULT_EFFECTS_H
+#define EMSTRESS_VMIN_FAULT_EFFECTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "em/pulse_injector.h"
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "uarch/core_model.h"
+#include "util/trace.h"
+#include "vmin/timing_model.h"
+
+namespace emstress {
+namespace vmin {
+
+/** Pipeline stages with distinct voltage-droop susceptibility. */
+enum class PipelineStage : std::uint8_t
+{
+    kFetch = 0,   ///< Fetch/decode: a droop there skips the slot.
+    kExecute = 1, ///< Execute: mistimed ALU latch, wrong result.
+    kRegfile = 2, ///< Register file: bit flips in stored state.
+};
+
+/** Number of modeled pipeline stages. */
+inline constexpr std::size_t kPipelineStageCount = 3;
+
+/** Display name of a stage. */
+const char *pipelineStageName(PipelineStage stage);
+
+/** ISA-visible fault taxonomy (Proy et al. / Moro et al.). */
+enum class FaultKind : std::uint8_t
+{
+    kInstructionSkip = 0,    ///< The slot never executes.
+    kWrongResult = 1,        ///< Executes, writes a corrupted value.
+    kRegisterCorruption = 2, ///< Executes, then a register flips.
+};
+
+/** Display name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Fault-effects model parameters. All margins are above V_CRIT. */
+struct FaultEffectsParams
+{
+    /// @{ Per-stage voltage margins above V_CRIT(f_clk) [V]: the die
+    /// voltage below which the stage misbehaves. Fetch is hardened
+    /// (clock-gating slack), the register file is the weakest array.
+    double fetch_margin_v = 0.012;
+    double execute_margin_v = 0.018;
+    double regfile_margin_v = 0.030;
+    /// @}
+
+    /// @{ Stage locations on the unit die grid, for pulse-proximity
+    /// susceptibility weighting (fault-sensitivity maps sweep the
+    /// probe position against these).
+    double fetch_x = 0.22;
+    double fetch_y = 0.30;
+    double execute_x = 0.58;
+    double execute_y = 0.52;
+    double regfile_x = 0.42;
+    double regfile_y = 0.72;
+    /// @}
+
+    /// Spatial falloff of the proximity boost [grid units].
+    double proximity_sigma = 0.28;
+    /// Maximum susceptibility multiplier a perfectly positioned
+    /// probe adds to a stage's margin (0 disables position effects).
+    double proximity_boost = 1.5;
+
+    /// Probability a threshold crossing manifests as an ISA event
+    /// (drawn from the pure (seed, stage, site, cycle) schedule;
+    /// 1 = every crossing manifests, the replay-test default).
+    double manifest_probability = 1.0;
+
+    /// Seed of the manifestation/corruption draw schedule.
+    std::uint64_t schedule_seed = 1;
+
+    /// Upper bound on analyzed loop iterations (keeps analysis O(1)
+    /// in run duration for long traces).
+    std::size_t max_iterations = 4096;
+
+    /// Timing model the stage thresholds build on.
+    TimingModelParams timing;
+};
+
+/** One ISA-visible fault event. */
+struct FaultEvent
+{
+    std::size_t iteration = 0; ///< Loop iteration of the site.
+    std::size_t slot = 0;      ///< Kernel instruction slot.
+    std::size_t cycle = 0;     ///< Start cycle of the site's window.
+    PipelineStage stage = PipelineStage::kFetch;
+    FaultKind kind = FaultKind::kInstructionSkip;
+    int reg = -1;              ///< Corrupted register (kRegister...).
+    std::uint64_t xor_mask = 0; ///< Corruption mask (non-skip kinds).
+    double v_min = 0.0;        ///< Deepest sample in the window [V].
+    double threshold_v = 0.0;  ///< Crossed stage threshold [V].
+
+    /** Field-wise equality (replay tests compare logs bitwise). */
+    bool operator==(const FaultEvent &other) const;
+};
+
+/** Everything one analysis produces. */
+struct FaultReport
+{
+    std::vector<FaultEvent> events; ///< Iteration/slot order.
+    /// Sites whose threshold was crossed (before the manifestation
+    /// gate) — the monotonicity-sweep statistic.
+    std::size_t sites_crossed = 0;
+    std::uint64_t golden_digest = 0;  ///< Fault-free arch digest.
+    std::uint64_t faulted_digest = 0; ///< Digest with events applied.
+    double v_crit = 0.0;       ///< V_CRIT(f_clk) of this run [V].
+    /// Per-slot margin: min over analyzed iterations and stages of
+    /// (window v_min - stage threshold) [V]; negative = crossed.
+    /// Sized kernel.size().
+    std::vector<double> slot_margin_v;
+    /// Minimum of slot_margin_v (the run's closest call) [V].
+    double min_margin_v = 0.0;
+    RunOutcome outcome = RunOutcome::Pass;
+};
+
+/**
+ * The fault-effects model. Stateless after construction; analyze()
+ * is a pure function of its arguments, so one instance may serve
+ * many runs (and threads) concurrently.
+ */
+class FaultEffectsModel
+{
+  public:
+    /** Validate parameters and build the embedded timing model. */
+    explicit FaultEffectsModel(const FaultEffectsParams &params);
+
+    /** Parameters. */
+    const FaultEffectsParams &params() const { return params_; }
+
+    /**
+     * Voltage threshold below which a stage faults, for a clock
+     * frequency and an optional pulse position [V]: V_CRIT(f) plus
+     * the stage margin scaled by (1 + proximity boost at the pulse's
+     * distance from the stage). No pulse means scale 1.
+     */
+    double stageThreshold(PipelineStage stage, double f_clk_hz,
+                          const em::PulseSpec *pulse) const;
+
+    /**
+     * Analyze one run: lay the kernel's instruction timeline over
+     * the die-voltage trace, detect per-stage threshold crossings,
+     * gate them through the manifestation schedule, and replay the
+     * resulting events on the abstract interpreter.
+     *
+     * @param pool     Instruction pool the kernel indexes into.
+     * @param kernel   Executed loop body.
+     * @param v_die    Die voltage over the observed window.
+     * @param f_clk_hz Core clock of the run.
+     * @param stats    Core loop statistics (timeline calibration).
+     * @param pulse    The armed pulse, or nullptr for a passive run
+     *                 (position-independent thresholds).
+     */
+    FaultReport analyze(const isa::InstructionPool &pool,
+                        const isa::Kernel &kernel, const Trace &v_die,
+                        double f_clk_hz,
+                        const uarch::KernelRunStats &stats,
+                        const em::PulseSpec *pulse) const;
+
+    /**
+     * Architectural digest of running the kernel for a number of
+     * iterations with a set of fault events applied (empty = golden
+     * reference). Exposed for the golden-pin tests.
+     */
+    std::uint64_t
+    archDigest(const isa::InstructionPool &pool,
+               const isa::Kernel &kernel, std::size_t iterations,
+               const std::vector<FaultEvent> &events) const;
+
+  private:
+    FaultEffectsParams params_;
+    TimingModel timing_;
+};
+
+} // namespace vmin
+} // namespace emstress
+
+#endif // EMSTRESS_VMIN_FAULT_EFFECTS_H

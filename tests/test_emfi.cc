@@ -1,0 +1,714 @@
+/**
+ * @file
+ * Active-EMFI scenario tests: the pulse injection model (spatial
+ * coupling, waveform, energy), the kernel-genome pulse encoding, the
+ * ISA-level fault-effects model (golden-pinned skip / wrong-result /
+ * register-corruption events on crafted traces, replay determinism,
+ * threshold monotonicity), the platform arm/disarm contract (a
+ * zero-amplitude pulse is bit-identical to never arming, across GA
+ * fleet widths), and the minimal-energy pulse search (replayable bit
+ * for bit across thread counts).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/emfi.h"
+#include "core/fitness.h"
+#include "em/pulse_injector.h"
+#include "ga/ga_engine.h"
+#include "ga/pulse_genome.h"
+#include "isa/kernel.h"
+#include "isa/pool.h"
+#include "platform/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/trace.h"
+#include "util/units.h"
+#include "vmin/fault_effects.h"
+
+namespace emstress {
+namespace {
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+// ---------------------------------------------------------------
+// PulseInjector: waveform, coupling, energy, validation.
+// ---------------------------------------------------------------
+
+em::PulseSpec
+rectSpec()
+{
+    em::PulseSpec spec;
+    spec.t0_s = 10e-9;
+    spec.width_s = 20e-9;
+    spec.amplitude_a = 2.0;
+    spec.x = 0.5;
+    spec.y = 0.5;
+    return spec;
+}
+
+TEST(PulseInjector, RectWindowIsExact)
+{
+    const em::PulseInjector inj(rectSpec());
+    EXPECT_EQ(inj.currentAt(5e-9), 0.0);   // before t0
+    EXPECT_EQ(inj.currentAt(15e-9), 2.0);  // inside (gain 1 at center)
+    EXPECT_EQ(inj.currentAt(50e-9), 0.0);  // long after
+
+    // The support is half-open: with t0 = 0 the pulse-frame time is
+    // exact, so the sample at t = width falls outside.
+    em::PulseSpec from_zero = rectSpec();
+    from_zero.t0_s = 0.0;
+    const em::PulseInjector edge(from_zero);
+    EXPECT_EQ(edge.currentAt(0.0), 2.0);
+    EXPECT_EQ(edge.currentAt(20e-9), 0.0);
+}
+
+TEST(PulseInjector, NegativePolarityFlipsSign)
+{
+    em::PulseSpec spec = rectSpec();
+    spec.polarity = -1.0;
+    const em::PulseInjector inj(spec);
+    EXPECT_EQ(inj.currentAt(15e-9), -2.0);
+}
+
+TEST(PulseInjector, CouplingGainFallsOffFromDieCenter)
+{
+    em::PulseSpec corner = rectSpec();
+    corner.x = 0.0;
+    corner.y = 0.0;
+    const em::PulseInjector center(rectSpec());
+    const em::PulseInjector off(corner);
+    EXPECT_DOUBLE_EQ(center.couplingGain(), 1.0);
+    EXPECT_LT(off.couplingGain(), 1.0);
+    EXPECT_GT(off.couplingGain(), 0.0);
+    EXPECT_LT(off.currentAt(15e-9), center.currentAt(15e-9));
+}
+
+TEST(PulseInjector, WaveformAppliesSettleOffset)
+{
+    const em::PulseInjector inj(rectSpec());
+    const circuit::SourceWaveform wave = inj.waveform(100e-9);
+    EXPECT_EQ(wave(105e-9), inj.currentAt(5e-9));
+    EXPECT_EQ(wave(115e-9), inj.currentAt(15e-9));
+}
+
+TEST(PulseInjector, EnergyMatchesClosedForms)
+{
+    const em::PulseInjector rect(rectSpec());
+    // Rect: peak^2 * width with peak = 2 A at the die center.
+    EXPECT_DOUBLE_EQ(rect.energyJoules(), 4.0 * 20e-9);
+
+    em::PulseSpec g = rectSpec();
+    g.shape = em::PulseShape::kGaussian;
+    const em::PulseInjector gauss(g);
+    // Gaussian peaks at the rect level but carries less energy.
+    EXPECT_DOUBLE_EQ(gauss.currentAt(20e-9), 2.0); // center of pulse
+    EXPECT_LT(gauss.energyJoules(), rect.energyJoules());
+    EXPECT_GT(gauss.energyJoules(), 0.0);
+}
+
+TEST(PulseInjector, ZeroAmplitudeIsNull)
+{
+    em::PulseSpec spec = rectSpec();
+    spec.amplitude_a = 0.0;
+    const em::PulseInjector inj(spec);
+    EXPECT_TRUE(inj.isNull());
+    EXPECT_EQ(inj.currentAt(15e-9), 0.0);
+    EXPECT_EQ(inj.energyJoules(), 0.0);
+}
+
+TEST(PulseInjector, InvalidSpecsThrow)
+{
+    em::PulseSpec bad = rectSpec();
+    bad.width_s = 0.0;
+    EXPECT_THROW(em::PulseInjector{bad}, ConfigError);
+    bad = rectSpec();
+    bad.polarity = 0.5;
+    EXPECT_THROW(em::PulseInjector{bad}, ConfigError);
+    bad = rectSpec();
+    bad.x = 1.5;
+    EXPECT_THROW(em::PulseInjector{bad}, ConfigError);
+    bad = rectSpec();
+    bad.t0_s = -1e-9;
+    EXPECT_THROW(em::PulseInjector{bad}, ConfigError);
+    bad = rectSpec();
+    bad.amplitude_a = -1.0;
+    EXPECT_THROW(em::PulseInjector{bad}, ConfigError);
+}
+
+// ---------------------------------------------------------------
+// Pulse genome: kernel -> pulse decoding.
+// ---------------------------------------------------------------
+
+TEST(PulseGenome, DecodeIsPureInTheGenome)
+{
+    const isa::InstructionPool pool = isa::InstructionPool::armV8();
+    Rng rng(3);
+    const isa::Kernel genome =
+        isa::Kernel::random(pool, ga::kPulseGenomeSlots, rng);
+    const ga::PulseGrid grid;
+    const em::PulseSpec a = ga::decodePulseGenome(grid, genome);
+    const em::PulseSpec b = ga::decodePulseGenome(grid, genome);
+    EXPECT_EQ(bits(a.t0_s), bits(b.t0_s));
+    EXPECT_EQ(bits(a.width_s), bits(b.width_s));
+    EXPECT_EQ(bits(a.amplitude_a), bits(b.amplitude_a));
+    EXPECT_EQ(bits(a.polarity), bits(b.polarity));
+    EXPECT_EQ(bits(a.x), bits(b.x));
+    EXPECT_EQ(bits(a.y), bits(b.y));
+    EXPECT_EQ(a.shape, b.shape);
+}
+
+TEST(PulseGenome, DecodedSpecsStayOnTheGrid)
+{
+    const isa::InstructionPool pool = isa::InstructionPool::armV8();
+    const ga::PulseGrid grid;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+        Rng rng(seed);
+        const isa::Kernel genome =
+            isa::Kernel::random(pool, ga::kPulseGenomeSlots, rng);
+        const em::PulseSpec spec =
+            ga::decodePulseGenome(grid, genome);
+        EXPECT_GE(spec.t0_s, grid.t0_min_s);
+        EXPECT_LE(spec.t0_s, grid.t0_max_s);
+        EXPECT_GE(spec.width_s, grid.width_min_s);
+        EXPECT_LE(spec.width_s, grid.width_max_s);
+        EXPECT_GE(spec.amplitude_a, 0.0);
+        EXPECT_LE(spec.amplitude_a, grid.amplitude_max_a);
+        EXPECT_GE(spec.x, 0.0);
+        EXPECT_LE(spec.x, 1.0);
+        EXPECT_GE(spec.y, 0.0);
+        EXPECT_LE(spec.y, 1.0);
+        // Every decodable point is a constructible pulse.
+        EXPECT_NO_THROW(em::PulseInjector{spec});
+    }
+}
+
+TEST(PulseGenome, ShortGenomesAndDegenerateGridsThrow)
+{
+    const isa::InstructionPool pool = isa::InstructionPool::armV8();
+    Rng rng(3);
+    const isa::Kernel tiny = isa::Kernel::random(pool, 3, rng);
+    EXPECT_THROW(ga::decodePulseGenome(ga::PulseGrid{}, tiny),
+                 ConfigError);
+
+    const isa::Kernel ok =
+        isa::Kernel::random(pool, ga::kPulseGenomeSlots, rng);
+    ga::PulseGrid bad;
+    bad.t0_steps = 1;
+    EXPECT_THROW(ga::decodePulseGenome(bad, ok), ConfigError);
+}
+
+// ---------------------------------------------------------------
+// Fault-effects model on crafted traces: golden pins.
+// ---------------------------------------------------------------
+
+/** Minimal pool: ADD (int), MUL (int long), STR (store). */
+isa::InstructionPool
+tinyPool()
+{
+    isa::InstructionPool pool(isa::IsaFamily::ArmV8, 8, 4, 4, 4);
+    isa::InstrDef add;
+    add.mnemonic = "ADD";
+    add.cls = isa::InstrClass::IntShort;
+    add.energy = 1e-12;
+    pool.addInstruction(add);
+    isa::InstrDef mul;
+    mul.mnemonic = "MUL";
+    mul.cls = isa::InstrClass::IntLong;
+    mul.latency = 3;
+    mul.energy = 2e-12;
+    pool.addInstruction(mul);
+    isa::InstrDef str;
+    str.mnemonic = "STR";
+    str.cls = isa::InstrClass::Store;
+    str.sources = 1;
+    str.has_dest = false;
+    str.energy = 1e-12;
+    pool.addInstruction(str);
+    return pool;
+}
+
+/** Four-slot kernel whose slot 1 feeds slots 2 and 3. */
+isa::Kernel
+tinyKernel()
+{
+    std::vector<isa::Instruction> code(4);
+    code[0] = {0, 0, {{1, 2}}, -1}; // ADD r0 <- r1, r2
+    code[1] = {0, 3, {{0, 1}}, -1}; // ADD r3 <- r0, r1 (the target)
+    code[2] = {1, 1, {{3, 2}}, -1}; // MUL r1 <- r3, r2
+    code[3] = {2, -1, {{3, -1}}, 0}; // STR r3 -> mem[0]
+    return isa::Kernel(code);
+}
+
+constexpr double kClk = giga(1.2); // vCrit anchors at 0.78 V here.
+constexpr double kTraceDt = 0.25e-9;
+
+/**
+ * 1.0 V trace with samples [30, 33) dipped: with a 4-slot kernel at
+ * one cycle per slot, that window is exactly iteration 2, slot 1.
+ */
+Trace
+dippedTrace(double dip_v)
+{
+    std::vector<double> v(140, 1.0);
+    for (std::size_t i = 30; i < 33; ++i)
+        v[i] = dip_v;
+    return Trace(std::move(v), kTraceDt);
+}
+
+vmin::FaultEffectsParams
+pinParams(double fetch_v, double execute_v, double regfile_v)
+{
+    vmin::FaultEffectsParams params;
+    params.fetch_margin_v = fetch_v;
+    params.execute_margin_v = execute_v;
+    params.regfile_margin_v = regfile_v;
+    params.proximity_boost = 0.0; // position-independent thresholds
+    return params;
+}
+
+TEST(FaultEffects, GoldenPinInstructionSkip)
+{
+    // Fetch is the weakest stage: its threshold (0.78 + 0.030) is
+    // the only one above the 0.80 V dip.
+    const vmin::FaultEffectsModel model(
+        pinParams(0.030, 0.010, 0.005));
+    const isa::InstructionPool pool = tinyPool();
+    const auto report =
+        model.analyze(pool, tinyKernel(), dippedTrace(0.80), kClk,
+                      {}, nullptr);
+
+    ASSERT_EQ(report.events.size(), 1u);
+    const vmin::FaultEvent &ev = report.events[0];
+    EXPECT_EQ(ev.iteration, 2u);
+    EXPECT_EQ(ev.slot, 1u);
+    EXPECT_EQ(ev.cycle, 9u);
+    EXPECT_EQ(ev.stage, vmin::PipelineStage::kFetch);
+    EXPECT_EQ(ev.kind, vmin::FaultKind::kInstructionSkip);
+    EXPECT_DOUBLE_EQ(ev.v_min, 0.80);
+    EXPECT_EQ(report.sites_crossed, 1u);
+    EXPECT_NE(report.golden_digest, report.faulted_digest);
+    EXPECT_EQ(report.outcome, vmin::RunOutcome::AppCrash);
+}
+
+TEST(FaultEffects, GoldenPinWrongResult)
+{
+    const vmin::FaultEffectsModel model(
+        pinParams(0.005, 0.030, 0.010));
+    const isa::InstructionPool pool = tinyPool();
+    const auto report =
+        model.analyze(pool, tinyKernel(), dippedTrace(0.80), kClk,
+                      {}, nullptr);
+
+    ASSERT_EQ(report.events.size(), 1u);
+    const vmin::FaultEvent &ev = report.events[0];
+    EXPECT_EQ(ev.iteration, 2u);
+    EXPECT_EQ(ev.slot, 1u);
+    EXPECT_EQ(ev.stage, vmin::PipelineStage::kExecute);
+    EXPECT_EQ(ev.kind, vmin::FaultKind::kWrongResult);
+    EXPECT_EQ(ev.xor_mask & 1ull, 1ull); // mask is always odd
+    EXPECT_NE(report.golden_digest, report.faulted_digest);
+    EXPECT_EQ(report.outcome, vmin::RunOutcome::Sdc);
+}
+
+TEST(FaultEffects, GoldenPinRegisterCorruption)
+{
+    // Default margins already make the register file weakest.
+    const vmin::FaultEffectsModel model(
+        pinParams(0.012, 0.018, 0.030));
+    const isa::InstructionPool pool = tinyPool();
+    const auto report =
+        model.analyze(pool, tinyKernel(), dippedTrace(0.80), kClk,
+                      {}, nullptr);
+
+    ASSERT_EQ(report.events.size(), 1u);
+    const vmin::FaultEvent &ev = report.events[0];
+    EXPECT_EQ(ev.slot, 1u);
+    EXPECT_EQ(ev.stage, vmin::PipelineStage::kRegfile);
+    EXPECT_EQ(ev.kind, vmin::FaultKind::kRegisterCorruption);
+    EXPECT_GE(ev.reg, 0);
+    EXPECT_LT(ev.reg, 8); // tinyPool has 8 int registers
+    EXPECT_EQ(ev.xor_mask & 1ull, 1ull);
+    EXPECT_NE(report.golden_digest, report.faulted_digest);
+    EXPECT_EQ(report.outcome, vmin::RunOutcome::Sdc);
+}
+
+TEST(FaultEffects, QuietTracePassesWithPositiveMargin)
+{
+    const vmin::FaultEffectsModel model(
+        pinParams(0.012, 0.018, 0.030));
+    const isa::InstructionPool pool = tinyPool();
+    const auto report =
+        model.analyze(pool, tinyKernel(), dippedTrace(1.0), kClk, {},
+                      nullptr);
+    EXPECT_TRUE(report.events.empty());
+    EXPECT_EQ(report.sites_crossed, 0u);
+    EXPECT_EQ(report.golden_digest, report.faulted_digest);
+    EXPECT_GT(report.min_margin_v, 0.0);
+    EXPECT_EQ(report.outcome, vmin::RunOutcome::Pass);
+}
+
+TEST(FaultEffects, AnalysisReplaysBitIdentically)
+{
+    const vmin::FaultEffectsModel model(
+        pinParams(0.012, 0.018, 0.030));
+    const isa::InstructionPool pool = tinyPool();
+    const Trace trace = dippedTrace(0.78);
+    const auto a =
+        model.analyze(pool, tinyKernel(), trace, kClk, {}, nullptr);
+    const auto b =
+        model.analyze(pool, tinyKernel(), trace, kClk, {}, nullptr);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i)
+        EXPECT_TRUE(a.events[i] == b.events[i]);
+    EXPECT_EQ(a.golden_digest, b.golden_digest);
+    EXPECT_EQ(a.faulted_digest, b.faulted_digest);
+    EXPECT_EQ(bits(a.min_margin_v), bits(b.min_margin_v));
+}
+
+TEST(FaultEffects, ScheduleSeedSteersCorruptionDraws)
+{
+    vmin::FaultEffectsParams p1 = pinParams(0.012, 0.018, 0.030);
+    vmin::FaultEffectsParams p2 = p1;
+    p2.schedule_seed = p1.schedule_seed + 1;
+    const isa::InstructionPool pool = tinyPool();
+    const Trace trace = dippedTrace(0.80);
+    const auto a = vmin::FaultEffectsModel(p1).analyze(
+        pool, tinyKernel(), trace, kClk, {}, nullptr);
+    const auto b = vmin::FaultEffectsModel(p2).analyze(
+        pool, tinyKernel(), trace, kClk, {}, nullptr);
+    ASSERT_EQ(a.events.size(), 1u);
+    ASSERT_EQ(b.events.size(), 1u);
+    // The crossing is electrical (seed-independent); the corruption
+    // pattern comes from the schedule.
+    EXPECT_EQ(a.sites_crossed, b.sites_crossed);
+    EXPECT_NE(a.events[0].xor_mask, b.events[0].xor_mask);
+}
+
+TEST(FaultEffects, ManifestProbabilityZeroGatesAllEvents)
+{
+    vmin::FaultEffectsParams params = pinParams(0.012, 0.018, 0.030);
+    params.manifest_probability = 0.0;
+    const vmin::FaultEffectsModel model(params);
+    const isa::InstructionPool pool = tinyPool();
+    const auto report =
+        model.analyze(pool, tinyKernel(), dippedTrace(0.80), kClk,
+                      {}, nullptr);
+    EXPECT_EQ(report.sites_crossed, 1u); // crossing still detected
+    EXPECT_TRUE(report.events.empty()); // but nothing manifests
+    EXPECT_EQ(report.outcome, vmin::RunOutcome::Pass);
+}
+
+TEST(FaultEffects, DeeperDipsNeverCrossFewerSites)
+{
+    const vmin::FaultEffectsModel model(
+        pinParams(0.012, 0.018, 0.030));
+    const isa::InstructionPool pool = tinyPool();
+    // V-shaped dip across iteration 2; deeper dips widen the set of
+    // slot windows whose minimum crosses a threshold.
+    std::size_t prev = 0;
+    for (const double depth : {0.0, 0.1, 0.2, 0.25, 0.35}) {
+        std::vector<double> v(140, 1.0);
+        for (std::size_t i = 20; i < 44; ++i) {
+            const double x =
+                (static_cast<double>(i) - 32.0) / 12.0;
+            v[i] = 1.0 - depth * (1.0 - std::abs(x));
+        }
+        const auto report = model.analyze(
+            pool, tinyKernel(), Trace(std::move(v), kTraceDt), kClk,
+            {}, nullptr);
+        EXPECT_GE(report.sites_crossed, prev)
+            << "depth=" << depth;
+        prev = report.sites_crossed;
+    }
+    EXPECT_GT(prev, 0u); // the deepest dip crosses somewhere
+}
+
+TEST(FaultEffects, PulseProximityRaisesStageThresholds)
+{
+    const vmin::FaultEffectsModel model(
+        vmin::FaultEffectsParams{});
+    const double base = model.stageThreshold(
+        vmin::PipelineStage::kRegfile, kClk, nullptr);
+
+    em::PulseSpec at_stage;
+    at_stage.amplitude_a = 10.0;
+    at_stage.x = model.params().regfile_x;
+    at_stage.y = model.params().regfile_y;
+    em::PulseSpec far = at_stage;
+    far.x = 0.0;
+    far.y = 0.0;
+
+    const double near_thr = model.stageThreshold(
+        vmin::PipelineStage::kRegfile, kClk, &at_stage);
+    const double far_thr = model.stageThreshold(
+        vmin::PipelineStage::kRegfile, kClk, &far);
+    EXPECT_GT(near_thr, far_thr);
+    EXPECT_GT(far_thr, base);
+}
+
+// ---------------------------------------------------------------
+// Platform arm/disarm: the zero-amplitude identity.
+// ---------------------------------------------------------------
+
+void
+expectTracesBitIdentical(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(bits(a[i]), bits(b[i])) << "sample " << i;
+}
+
+TEST(EmfiPlatform, ZeroAmplitudePulseIsBitIdenticalToPassive)
+{
+    platform::Platform passive(platform::junoA72Config(), 3);
+    platform::Platform armed(platform::junoA72Config(), 3);
+    em::PulseSpec zero;
+    zero.amplitude_a = 0.0;
+    zero.t0_s = 0.3e-6;
+    armed.armPulse(zero);
+    // The null pulse must not even enter the netlist: an all-zero
+    // third source column would reassociate the fast path's sums.
+    EXPECT_FALSE(armed.pdnModel().pulseSource());
+
+    Rng rng(7);
+    const isa::Kernel kernel =
+        isa::Kernel::random(passive.pool(), 8, rng);
+    const auto a = passive.runKernel(kernel, 1e-6);
+    const auto b = armed.runKernel(kernel, 1e-6);
+    expectTracesBitIdentical(a.v_die, b.v_die);
+    expectTracesBitIdentical(a.i_die, b.i_die);
+    expectTracesBitIdentical(a.em, b.em);
+}
+
+TEST(EmfiPlatform, ArmedPulseDeepensDroopAndDisarmRestores)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    Rng rng(7);
+    const isa::Kernel kernel =
+        isa::Kernel::random(plat.pool(), 8, rng);
+    const auto passive = plat.runKernel(kernel, 1e-6);
+
+    em::PulseSpec pulse;
+    pulse.t0_s = 0.4e-6;
+    pulse.width_s = 20e-9;
+    pulse.amplitude_a = 20.0;
+    plat.armPulse(pulse);
+    EXPECT_TRUE(plat.pdnModel().pulseSource());
+    const auto active = plat.runKernel(kernel, 1e-6);
+
+    const auto min_of = [](const Trace &t) {
+        return *std::min_element(t.samples().begin(),
+                                 t.samples().end());
+    };
+    EXPECT_LT(min_of(active.v_die), min_of(passive.v_die) - 0.05);
+
+    plat.disarmPulse();
+    EXPECT_FALSE(plat.pdnModel().pulseSource());
+    const auto restored = plat.runKernel(kernel, 1e-6);
+    expectTracesBitIdentical(passive.v_die, restored.v_die);
+}
+
+TEST(EmfiPlatform, CloneCarriesTheArmedPulse)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    em::PulseSpec pulse;
+    pulse.t0_s = 0.4e-6;
+    pulse.width_s = 20e-9;
+    pulse.amplitude_a = 20.0;
+    plat.armPulse(pulse);
+
+    const auto copy = plat.clone();
+    ASSERT_TRUE(copy->armedPulse().has_value());
+    EXPECT_EQ(bits(copy->armedPulse()->amplitude_a),
+              bits(pulse.amplitude_a));
+
+    Rng rng(7);
+    const isa::Kernel kernel =
+        isa::Kernel::random(plat.pool(), 8, rng);
+    const auto a = plat.runKernel(kernel, 1e-6);
+    const auto b = copy->runKernel(kernel, 1e-6);
+    expectTracesBitIdentical(a.v_die, b.v_die);
+}
+
+TEST(EmfiPlatform, ZeroAmpGaSearchMatchesPassiveAcrossFleetWidths)
+{
+    // A zero-amplitude pulse armed during a whole GA droop search
+    // must reproduce the passive search bit for bit, at every
+    // worker-fleet width (ISSUE acceptance criterion).
+    core::EvalSettings settings;
+    settings.duration_s = 1e-6;
+    ga::GaConfig cfg;
+    cfg.population = 6;
+    cfg.generations = 2;
+    cfg.kernel_length = 8;
+    cfg.seed = 5;
+
+    platform::Platform passive(platform::junoA72Config(), 3);
+    core::MaxDroopFitness passive_fit(passive, settings);
+    ga::GaEngine engine(passive.pool(), cfg);
+    const ga::GaResult reference = engine.run(passive_fit);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        platform::Platform armed(platform::junoA72Config(), 3);
+        em::PulseSpec zero;
+        zero.amplitude_a = 0.0;
+        armed.armPulse(zero);
+        core::MaxDroopFitness armed_fit(armed, settings);
+        ga::GaConfig tcfg = cfg;
+        tcfg.threads = threads;
+        ga::GaEngine tengine(armed.pool(), tcfg);
+        const ga::GaResult got = tengine.run(armed_fit);
+        EXPECT_EQ(bits(got.best_fitness), bits(reference.best_fitness))
+            << "threads=" << threads;
+        EXPECT_TRUE(got.best == reference.best)
+            << "threads=" << threads;
+    }
+}
+
+// ---------------------------------------------------------------
+// EMFI campaign runs and the minimal-energy search.
+// ---------------------------------------------------------------
+
+core::EmfiCampaignSpec
+campaignSpec(platform::Platform &plat)
+{
+    core::EmfiCampaignSpec spec;
+    Rng rng(7);
+    spec.victim = isa::Kernel::random(plat.pool(), 8, rng);
+    spec.target_slot = 3;
+    spec.eval.duration_s = 1e-6;
+    spec.grid.t0_max_s = 0.8e-6;
+    return spec;
+}
+
+em::PulseSpec
+strongPulse(double amplitude)
+{
+    em::PulseSpec pulse;
+    pulse.t0_s = 0.4e-6;
+    pulse.width_s = 20e-9;
+    pulse.amplitude_a = amplitude;
+    return pulse;
+}
+
+TEST(EmfiCampaign, AmplitudeSweepNeverCrossesFewerSites)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    const core::EmfiCampaignSpec spec = campaignSpec(plat);
+    std::size_t prev = 0;
+    for (const double amp : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+        const auto outcome =
+            core::runEmfiPulse(plat, spec, strongPulse(amp));
+        EXPECT_GE(outcome.report.sites_crossed, prev)
+            << "amplitude=" << amp;
+        prev = outcome.report.sites_crossed;
+        if (amp == 0.0) {
+            EXPECT_FALSE(outcome.target_faulted);
+            EXPECT_EQ(outcome.report.sites_crossed, 0u);
+        }
+    }
+    EXPECT_GT(prev, 0u); // the 30 A pulse faults
+}
+
+TEST(EmfiCampaign, RunRestoresThePriorArmState)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    const core::EmfiCampaignSpec spec = campaignSpec(plat);
+    const em::PulseSpec prior = strongPulse(5.0);
+    plat.armPulse(prior);
+    (void)core::runEmfiPulse(plat, spec, strongPulse(25.0));
+    ASSERT_TRUE(plat.armedPulse().has_value());
+    EXPECT_EQ(bits(plat.armedPulse()->amplitude_a), bits(5.0));
+
+    plat.disarmPulse();
+    (void)core::runEmfiPulse(plat, spec, strongPulse(25.0));
+    EXPECT_FALSE(plat.armedPulse().has_value());
+}
+
+TEST(EmfiCampaign, FitnessShapesTheTwoRegimes)
+{
+    const ga::PulseGrid grid;
+    core::EmfiRunOutcome faulted;
+    faulted.target_faulted = true;
+    faulted.energy_j = 1e-6;
+    core::EmfiRunOutcome cheap = faulted;
+    cheap.energy_j = 1e-8;
+    core::EmfiRunOutcome missed;
+    missed.target_margin_v = 0.02;
+    core::EmfiRunOutcome closer = missed;
+    closer.target_margin_v = 0.005;
+
+    const double f_faulted = core::pulseSearchFitness(faulted, grid);
+    const double f_cheap = core::pulseSearchFitness(cheap, grid);
+    const double f_missed = core::pulseSearchFitness(missed, grid);
+    const double f_closer = core::pulseSearchFitness(closer, grid);
+    EXPECT_GT(f_cheap, f_faulted);  // cheaper faulting pulse wins
+    EXPECT_GT(f_closer, f_missed);  // smaller margin approaches
+    EXPECT_GT(f_faulted, f_closer); // any fault beats any miss
+    EXPECT_GT(f_missed, 0.0);
+}
+
+TEST(EmfiSearch, FindsAFaultingPulseAndReplaysAcrossThreads)
+{
+    ga::GaConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 8;
+    cfg.seed = 11;
+
+    platform::Platform plat(platform::junoA72Config(), 3);
+    const core::EmfiCampaignSpec spec = campaignSpec(plat);
+    const core::EmfiSearchResult reference =
+        core::searchMinimalPulse(plat, spec, cfg);
+    EXPECT_TRUE(reference.best_outcome.target_faulted);
+    EXPECT_GT(reference.ga.best_fitness, 2.0);
+    EXPECT_GT(reference.best_outcome.energy_j, 0.0);
+    // The winning pulse spends less energy than the grid maximum.
+    EXPECT_LT(reference.best_pulse.amplitude_a,
+              spec.grid.amplitude_max_a);
+
+    for (const std::size_t threads : {2u, 8u}) {
+        ga::GaConfig tcfg = cfg;
+        tcfg.threads = threads;
+        platform::Platform replica(platform::junoA72Config(), 3);
+        const core::EmfiSearchResult got =
+            core::searchMinimalPulse(replica, spec, tcfg);
+        EXPECT_EQ(bits(got.ga.best_fitness),
+                  bits(reference.ga.best_fitness))
+            << "threads=" << threads;
+        EXPECT_TRUE(got.ga.best == reference.ga.best)
+            << "threads=" << threads;
+        EXPECT_EQ(bits(got.best_pulse.amplitude_a),
+                  bits(reference.best_pulse.amplitude_a));
+        EXPECT_EQ(bits(got.best_pulse.t0_s),
+                  bits(reference.best_pulse.t0_s));
+        ASSERT_EQ(got.best_outcome.report.events.size(),
+                  reference.best_outcome.report.events.size());
+        for (std::size_t i = 0;
+             i < got.best_outcome.report.events.size(); ++i)
+            EXPECT_TRUE(got.best_outcome.report.events[i]
+                        == reference.best_outcome.report.events[i]);
+    }
+}
+
+TEST(EmfiSearch, RejectsAnOutOfRangeTargetSlot)
+{
+    platform::Platform plat(platform::junoA72Config(), 3);
+    core::EmfiCampaignSpec spec = campaignSpec(plat);
+    spec.target_slot = spec.victim.size();
+    EXPECT_THROW(
+        core::runEmfiPulse(plat, spec, strongPulse(10.0)),
+        ConfigError);
+}
+
+} // namespace
+} // namespace emstress

@@ -8,12 +8,14 @@
  */
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/emfi.h"
 #include "core/fitness.h"
 #include "core/virus_generator.h"
 #include "ga/batch_evaluator.h"
@@ -1016,6 +1018,54 @@ TEST(Cancellation, CancelledGenerationIsNeverRecorded)
     EXPECT_EQ(result.history.size(), recorded);
     EXPECT_GT(result.eval_stats.tasks_cancelled, 0u);
     EXPECT_EQ(result.eval_stats.permanent_failures, 0u);
+}
+
+TEST(EmfiReplay, SearchReplaysBitIdenticallyFromRecordedSeeds)
+{
+    // The EMFI campaign's determinism contract: everything a search
+    // produced — fault event logs, digests, the winning pulse — is a
+    // pure function of the recorded (GA seed, schedule seed), so a
+    // fresh platform instance replays it bit for bit.
+    core::EmfiCampaignSpec spec;
+    platform::Platform first_plat(platform::junoA72Config(), 3);
+    Rng victim_rng(7);
+    spec.victim =
+        isa::Kernel::random(first_plat.pool(), 8, victim_rng);
+    spec.target_slot = 3;
+    spec.eval.duration_s = 1e-6;
+    spec.grid.t0_max_s = 0.8e-6;
+    spec.effects.schedule_seed = 21;
+    GaConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 8;
+    cfg.seed = 11;
+
+    const core::EmfiSearchResult first =
+        core::searchMinimalPulse(first_plat, spec, cfg);
+    ASSERT_TRUE(first.best_outcome.target_faulted);
+    ASSERT_FALSE(first.best_outcome.report.events.empty());
+
+    platform::Platform replay_plat(platform::junoA72Config(), 3);
+    const core::EmfiSearchResult replay =
+        core::searchMinimalPulse(replay_plat, spec, cfg);
+
+    EXPECT_TRUE(replay.ga.best == first.ga.best);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(replay.ga.best_fitness),
+              std::bit_cast<std::uint64_t>(first.ga.best_fitness));
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(replay.best_pulse.amplitude_a),
+        std::bit_cast<std::uint64_t>(first.best_pulse.amplitude_a));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(replay.best_pulse.t0_s),
+              std::bit_cast<std::uint64_t>(first.best_pulse.t0_s));
+
+    const vmin::FaultReport &fa = first.best_outcome.report;
+    const vmin::FaultReport &fb = replay.best_outcome.report;
+    ASSERT_EQ(fa.events.size(), fb.events.size());
+    for (std::size_t i = 0; i < fa.events.size(); ++i)
+        EXPECT_TRUE(fa.events[i] == fb.events[i]) << "event " << i;
+    EXPECT_EQ(fa.golden_digest, fb.golden_digest);
+    EXPECT_EQ(fa.faulted_digest, fb.faulted_digest);
+    EXPECT_EQ(fa.sites_crossed, fb.sites_crossed);
 }
 
 } // namespace

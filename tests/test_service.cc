@@ -194,6 +194,44 @@ TEST(JobModel, FingerprintTracksContentNotTenant)
     EXPECT_NE(jobFingerprint(base), jobFingerprint(changed));
 }
 
+TEST(JobModel, CrossModeSpecsNeverShareAnArtifact)
+{
+    // A passive spec and its field-for-field active twin must have
+    // different content addresses: the active description appends a
+    // "|mode:emfi" suffix while the passive form stays byte-identical
+    // to the pre-EMFI service, so a stored passive artifact can never
+    // be served for an active job (or vice versa).
+    const JobSpec passive = smallSpec(9);
+    JobSpec active = passive;
+    active.mode = JobMode::kActiveEmfi;
+
+    const std::string passive_desc = jobDescription(passive);
+    const std::string active_desc = jobDescription(active);
+    EXPECT_EQ(passive_desc.find("|mode:"), std::string::npos);
+    EXPECT_NE(active_desc.find("|mode:emfi"), std::string::npos);
+    EXPECT_EQ(active_desc.find(passive_desc), 0u);
+    EXPECT_NE(jobFingerprint(passive), jobFingerprint(active));
+
+    // EMFI fields are fingerprinted in active mode only.
+    JobSpec active_changed = active;
+    active_changed.emfi.schedule_seed += 1;
+    EXPECT_NE(jobFingerprint(active), jobFingerprint(active_changed));
+    JobSpec passive_changed = passive;
+    passive_changed.emfi.schedule_seed += 1;
+    EXPECT_EQ(jobFingerprint(passive),
+              jobFingerprint(passive_changed));
+
+    // Regression at the store level: a passive artifact sits under
+    // the passive address; the active twin's lookup is a clean miss.
+    ArtifactStore store({});
+    store.insert(jobFingerprint(passive),
+                 std::make_shared<const JobResult>());
+    EXPECT_EQ(store.fetch(jobFingerprint(active)), nullptr);
+    EXPECT_NE(store.fetch(jobFingerprint(passive)), nullptr);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
 TEST(JobModel, PresetNamesRoundTrip)
 {
     for (const PlatformPreset p :
@@ -239,6 +277,13 @@ TEST(WireCodec, SpecRoundTripsEveryField)
     spec.eval.sa_samples = 12;
     spec.eval.active_cores = 2;
     spec.eval.streaming = false;
+    spec.mode = JobMode::kActiveEmfi;
+    spec.emfi.victim_seed = 401;
+    spec.emfi.victim_length = 10;
+    spec.emfi.target_slot = 6;
+    spec.emfi.schedule_seed = 77;
+    spec.emfi.t0_max_s = 1.3e-6;
+    spec.emfi.amplitude_max_a = 22.5;
 
     WireWriter w;
     encodeJobSpec(w, spec);
@@ -271,6 +316,14 @@ TEST(WireCodec, SpecRoundTripsEveryField)
     EXPECT_EQ(back.eval.sa_samples, spec.eval.sa_samples);
     EXPECT_EQ(back.eval.active_cores, spec.eval.active_cores);
     EXPECT_EQ(back.eval.streaming, spec.eval.streaming);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.emfi.victim_seed, spec.emfi.victim_seed);
+    EXPECT_EQ(back.emfi.victim_length, spec.emfi.victim_length);
+    EXPECT_EQ(back.emfi.target_slot, spec.emfi.target_slot);
+    EXPECT_EQ(back.emfi.schedule_seed, spec.emfi.schedule_seed);
+    EXPECT_EQ(bits(back.emfi.t0_max_s), bits(spec.emfi.t0_max_s));
+    EXPECT_EQ(bits(back.emfi.amplitude_max_a),
+              bits(spec.emfi.amplitude_max_a));
 
     // The codec preserves the content address.
     EXPECT_EQ(jobFingerprint(back), jobFingerprint(spec));
@@ -613,6 +666,81 @@ TEST(ServiceDeterminism, FaultInjectedJobsMatchDirectRunsAcrossFleets)
                       direct[i].eval_stats.retries);
         }
     }
+}
+
+/** A small active-EMFI job over the real platform evaluator. */
+JobSpec
+emfiSpec(std::uint64_t seed, const std::string &tenant = "default")
+{
+    JobSpec spec;
+    spec.tenant = tenant;
+    spec.mode = JobMode::kActiveEmfi;
+    spec.ga.population = 8;
+    spec.ga.generations = 3;
+    spec.ga.kernel_length = ga::kPulseGenomeSlots;
+    spec.ga.elite = 2;
+    spec.ga.seed = seed;
+    spec.eval.duration_s = 1e-6;
+    spec.emfi.t0_max_s = 0.8e-6;
+    return spec;
+}
+
+/**
+ * Active-EMFI jobs through the service (pulse-genome decode, victim
+ * replay, fault-effects scoring — the whole campaign stack) must be
+ * bit-identical to a direct run at fleet widths 1, 2 and 8.
+ */
+TEST(ServiceDeterminism, EmfiJobsMatchDirectRunsAcrossFleets)
+{
+    const JobSpec spec = emfiSpec(17);
+    const ga::GaResult direct =
+        directRun(spec, &makePlatformEvaluator);
+
+    for (const std::size_t fleet : {1u, 2u, 8u}) {
+        ServiceConfig config = manualConfig(fleet);
+        config.evaluator_factory = &makePlatformEvaluator;
+        SearchService svc(config);
+        const Submission sub = svc.submit(spec);
+        ASSERT_TRUE(sub.accepted) << "fleet=" << fleet;
+        svc.drainManual();
+        ASSERT_EQ(svc.status(sub.id).state, JobState::kCompleted);
+        const auto result = svc.result(sub.id);
+        ASSERT_NE(result, nullptr);
+        EXPECT_EQ(result->metric, "emfi-min-energy");
+        expectBitIdentical(result->ga, direct,
+                           presetPool(spec.platform));
+    }
+}
+
+/** Mid-campaign cancellation of an EMFI job drains cleanly. */
+TEST(SearchService, CancelRunningEmfiJobDrainsWithoutPoisoning)
+{
+    ServiceConfig config = manualConfig();
+    config.evaluator_factory = &makePlatformEvaluator;
+    SearchService svc(config);
+    JobSpec spec = emfiSpec(23);
+    spec.ga.generations = 12;
+    const Submission sub = svc.submit(spec);
+    ASSERT_TRUE(sub.accepted);
+
+    ASSERT_TRUE(svc.stepOnce());
+    ASSERT_TRUE(svc.stepOnce());
+    EXPECT_EQ(svc.status(sub.id).state, JobState::kRunning);
+    EXPECT_TRUE(svc.cancel(sub.id));
+    svc.drainManual();
+    EXPECT_EQ(svc.status(sub.id).state, JobState::kCancelled);
+
+    // A fresh identical campaign afterwards still matches a direct
+    // run bit for bit: the cancelled job cached or scored nothing.
+    const Submission again = svc.submit(spec);
+    ASSERT_TRUE(again.accepted);
+    svc.drainManual();
+    ASSERT_EQ(svc.status(again.id).state, JobState::kCompleted);
+    const auto result = svc.result(again.id);
+    ASSERT_NE(result, nullptr);
+    expectBitIdentical(result->ga,
+                       directRun(spec, &makePlatformEvaluator),
+                       presetPool(spec.platform));
 }
 
 /** Multi-start jobs (scout/final flow) run through the service. */

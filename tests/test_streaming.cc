@@ -82,6 +82,29 @@ TEST(StreamingPlatform, RunKernelMatchesBatchOracleExactly)
     EXPECT_EQ(stream.stats.cycles, batch.stats.cycles);
 }
 
+TEST(StreamingPlatform, PulseArmedRunMatchesBatchOracleExactly)
+{
+    // The EMFI pulse source feeds the streaming sink and the batch
+    // transient through the same waveform evaluated at the same step
+    // times, so arming a pulse must not open a stream/batch gap.
+    platform::Platform plat(platform::junoA72Config(), 3);
+    em::PulseSpec pulse;
+    pulse.t0_s = 0.7e-6;
+    pulse.width_s = 25e-9;
+    pulse.amplitude_a = 18.0;
+    pulse.x = 0.35;
+    pulse.y = 0.6;
+    plat.armPulse(pulse);
+    const auto kernel = ResonanceExplorer::probeLoop(plat.pool());
+
+    const auto batch = plat.runKernelBatch(kernel, 2e-6);
+    const auto stream = plat.runKernel(kernel, 2e-6);
+
+    expectTracesIdentical(stream.v_die, batch.v_die);
+    expectTracesIdentical(stream.i_die, batch.i_die);
+    expectTracesIdentical(stream.em, batch.em);
+}
+
 TEST(StreamingPlatform, ParityHoldsAcrossPlatformsAndCoreCounts)
 {
     const platform::PlatformConfig configs[] = {

@@ -237,6 +237,49 @@ TEST(TransientParity, TwoDomainCoupledNetlist)
     expectParity(twoDomainNetlist(), 1e-10, 100000);
 }
 
+TEST(TransientParity, PdnWithPulseSourceThirdColumn)
+{
+    // The EMFI pulse source adds a third current-source column to
+    // the PDN netlist; the fast path's precomputed update must keep
+    // parity with the reference LU path with it present and driven.
+    pdn::PdnModel model{pdn::PdnParameters{}};
+    model.setPulseSource(true);
+    ASSERT_TRUE(model.pulseSource());
+    expectParity(model.netlist(), 1e-9, 100000);
+}
+
+TEST(TransientParity, ZeroPulseColumnIsBoundedAgainstTwoSources)
+{
+    // An all-zero third source column is algebraically a no-op, but
+    // it regroups the fast path's column sweep, so the result is only
+    // tolerance-close to the two-source topology — which is exactly
+    // why Platform::armPulse elides a null pulse instead of wiring a
+    // zero waveform (the bit-identity tests live in test_emfi.cc).
+    std::vector<double> load(4000);
+    for (std::size_t k = 0; k < load.size(); ++k)
+        load[k] = 0.5 + 0.3 * sourceValue(0, k);
+    const Trace i_load(std::move(load), 1e-9);
+
+    pdn::PdnModel two{pdn::PdnParameters{}};
+    pdn::PdnModel three{pdn::PdnParameters{}};
+    three.setPulseSource(true);
+    const auto a = two.simulate(i_load);
+    const auto b =
+        three.simulate(i_load, nullptr, [](double) { return 0.0; });
+
+    ASSERT_EQ(a.v_die.size(), b.v_die.size());
+    double max_diff = 0.0;
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < a.v_die.size(); ++i) {
+        max_diff =
+            std::max(max_diff, std::abs(a.v_die[i] - b.v_die[i]));
+        max_abs = std::max(max_abs, std::abs(a.v_die[i]));
+    }
+    ASSERT_GT(max_abs, 0.0);
+    EXPECT_LT(max_diff, kStateUpdateParityTol * max_abs)
+        << "max |v_2src - v_3src| = " << max_diff;
+}
+
 TEST(TransientParity, FastPathStaysBoundedAtStiffDt)
 {
     // Robustness pin for a measured asymmetry (DESIGN.md §12): at
