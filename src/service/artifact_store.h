@@ -161,15 +161,16 @@ class ArtifactStore
   private:
     struct Entry
     {
-        std::shared_ptr<const JobResult> artifact;
-        std::size_t last_used = 0; ///< Epoch of the last fetch/insert.
+        std::shared_ptr<const JobResult> artifact; // guards: mutex_
+        /// Epoch of the last fetch/insert. guards: mutex_
+        std::size_t last_used = 0;
     };
 
     Config config_;
     mutable std::mutex mutex_;
-    std::unordered_map<std::uint64_t, Entry> entries_;
-    std::size_t epoch_ = 0;
-    Stats stats_;
+    std::unordered_map<std::uint64_t, Entry> entries_; // guards: mutex_
+    std::size_t epoch_ = 0;                            // guards: mutex_
+    Stats stats_;                                      // guards: mutex_
 };
 
 } // namespace service

@@ -178,31 +178,43 @@ class SearchService
     const ServiceConfig &config() const { return config_; }
 
   private:
-    /** Everything the service knows about one job. */
+    /**
+     * Everything the service knows about one job. Mutable scheduling
+     * state carries `// guards: mutex_` so emstress-lint R7 proves
+     * every touch happens under the service-wide lock. `driver` and
+     * `evaluator` are deliberately unannotated: ownership of a
+     * stepped job is claimed via `stepping`, so exactly one thread
+     * dereferences them outside the lock (see stepJob()).
+     */
     struct Job
     {
         JobId id = 0;
         JobSpec spec;
-        std::uint64_t fingerprint = 0;
-        JobState state = JobState::kQueued;
-        bool cancel_requested = false;
-        bool stepping = false; ///< A thread is inside driver->step().
+        std::uint64_t fingerprint = 0;      // guards: mutex_
+        JobState state = JobState::kQueued; // guards: mutex_
+        bool cancel_requested = false;      // guards: mutex_
+        /// A thread is inside driver->step(). guards: mutex_
+        bool stepping = false;
         std::shared_ptr<std::atomic<bool>> cancel_flag;
         std::unique_ptr<ga::FitnessEvaluator> evaluator;
         std::unique_ptr<ga::GaDriver> driver;
-        std::deque<JobEvent> events;
-        std::shared_ptr<const JobResult> result;
-        double submit_s = 0.0; ///< monotonic submit time (metrics).
-        bool first_step_recorded = false;
+        std::deque<JobEvent> events;             // guards: mutex_
+        std::shared_ptr<const JobResult> result; // guards: mutex_
+        /// Monotonic submit time (metrics). guards: mutex_
+        double submit_s = 0.0;
+        bool first_step_recorded = false; // guards: mutex_
     };
 
-    /** Per-tenant fair-queuing state. */
+    /** Per-tenant fair-queuing state (all of it under mutex_). */
     struct Tenant
     {
-        double weight = 1.0;
-        double vtime = 0.0;       ///< Virtual time consumed.
-        std::deque<JobId> queue;  ///< Round-robin runnable jobs.
-        std::size_t live = 0;     ///< Queued + running jobs.
+        double weight = 1.0; // guards: mutex_
+        /// Virtual time consumed. guards: mutex_
+        double vtime = 0.0;
+        /// Round-robin runnable jobs. guards: mutex_
+        std::deque<JobId> queue;
+        /// Queued + running jobs. guards: mutex_
+        std::size_t live = 0;
     };
 
     Job &jobRef(JobId id);
@@ -239,14 +251,14 @@ class SearchService
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;   ///< Runnable work appeared.
     std::condition_variable events_cv_; ///< Job events/state changed.
-    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_; // guards: mutex_
     /// std::map: scheduler decisions iterate tenants, and iteration
-    /// order must be deterministic (and lint-clean).
+    /// order must be deterministic (and lint-clean). guards: mutex_
     std::map<std::string, Tenant> tenants_;
-    JobId next_id_ = 1;
-    std::size_t live_jobs_ = 0;
-    std::size_t runnable_ = 0;
-    bool stop_ = false;
+    JobId next_id_ = 1;          // guards: mutex_
+    std::size_t live_jobs_ = 0;  // guards: mutex_
+    std::size_t runnable_ = 0;   // guards: mutex_
+    bool stop_ = false;          // guards: mutex_
 
     std::vector<std::thread> runners_;
 };

@@ -87,7 +87,7 @@ class InProcessTransport : public Transport
     /// Platform preset per submitted job: result kernels decode
     /// against the job's instruction pool.
     std::mutex mutex_;
-    std::unordered_map<JobId, PlatformPreset> presets_;
+    std::unordered_map<JobId, PlatformPreset> presets_; // guards: mutex_
 };
 
 } // namespace service

@@ -25,8 +25,23 @@
 #ifndef EMSTRESS_UTIL_HOTPATH_H
 #define EMSTRESS_UTIL_HOTPATH_H
 
+/* ThreadSanitizer initializes after ifunc resolvers run, and the
+ * resolver emitted for target_clones segfaults under its runtime
+ * (reproduced with gcc 12: any TSan binary containing a clone
+ * crashes before main). Every clone is bit-identical to the
+ * baseline by contract, so dropping the dispatch under TSan changes
+ * performance only, never results. */
+#if defined(__SANITIZE_THREAD__)
+#define EMSTRESS_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EMSTRESS_TSAN_ACTIVE 1
+#endif
+#endif
+
 #if defined(__x86_64__) && defined(__gnu_linux__) \
-    && (defined(__GNUC__) || defined(__clang__))
+    && (defined(__GNUC__) || defined(__clang__)) \
+    && !defined(EMSTRESS_TSAN_ACTIVE)
 #define EMSTRESS_TARGET_CLONES \
     __attribute__((target_clones("avx2", "default")))
 #else

@@ -191,9 +191,13 @@ class Registry
     Registry() = default;
 
     mutable std::mutex mutex_;
+    // guards: mutex_
     std::map<std::string, std::uint64_t, std::less<>> counters_;
+    // guards: mutex_
     std::map<std::string, double, std::less<>> gauges_;
+    // guards: mutex_
     std::map<std::string, PhaseStats, std::less<>> phases_;
+    // guards: mutex_
     std::map<std::string, HistogramSnapshot, std::less<>> latencies_;
 };
 

@@ -186,13 +186,13 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    const Task *job_ = nullptr;
-    std::size_t job_n_ = 0;
-    std::atomic<std::size_t> next_{0};
-    std::size_t active_ = 0;
-    std::uint64_t epoch_ = 0;
-    std::exception_ptr error_;
-    bool stop_ = false;
+    const Task *job_ = nullptr;  // guards: mutex_
+    std::size_t job_n_ = 0;      // guards: mutex_
+    std::atomic<std::size_t> next_{0}; ///< Claim counter (lock-free).
+    std::size_t active_ = 0;     // guards: mutex_
+    std::uint64_t epoch_ = 0;    // guards: mutex_
+    std::exception_ptr error_;   // guards: mutex_
+    bool stop_ = false;          // guards: mutex_
 };
 
 } // namespace emstress

@@ -122,30 +122,43 @@ class WorkerFleet
             queue_.push_back(&batch);
         }
         work_cv_.notify_all();
+        std::exception_ptr error;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             batch.done_cv.wait(lock, [&batch] {
                 return batch.completed == batch.n;
             });
+            // Copy the outcome out while still holding the lock.
+            // Reading after the scope closed was flagged by lint R7:
+            // it leaned on the wait's final mutex reacquire for the
+            // visibility of the last worker's error/executed writes.
+            error = batch.error;
+            out.executed = batch.executed;
         }
-        if (batch.error)
-            std::rethrow_exception(batch.error);
-        out.executed = batch.executed;
-        out.skipped = batch.n - batch.executed;
+        if (error)
+            std::rethrow_exception(error);
+        out.skipped = n - out.executed;
         return out;
     }
 
   private:
-    /** One submitted batch's coordination state (caller's stack). */
+    /** One submitted batch's coordination state (caller's stack).
+     *  `fn`/`n`/`cancel` are written once before publication and
+     *  read-only afterwards; the progress fields are shared with the
+     *  workers and annotated for lint R7. */
     struct Batch
     {
         const Task *fn = nullptr;
         std::size_t n = 0;
         const std::atomic<bool> *cancel = nullptr;
-        std::size_t next = 0;      ///< Next unclaimed index.
-        std::size_t completed = 0; ///< Executed + skipped so far.
-        std::size_t executed = 0;  ///< Ran to completion.
-        std::exception_ptr error;  ///< First task exception.
+        /// Next unclaimed index. guards: mutex_
+        std::size_t next = 0;
+        /// Executed + skipped so far. guards: mutex_
+        std::size_t completed = 0;
+        /// Ran to completion. guards: mutex_
+        std::size_t executed = 0;
+        /// First task exception. guards: mutex_
+        std::exception_ptr error;
         std::condition_variable done_cv;
     };
 
@@ -198,8 +211,8 @@ class WorkerFleet
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable work_cv_;
-    std::deque<Batch *> queue_;
-    bool stop_ = false;
+    std::deque<Batch *> queue_; // guards: mutex_
+    bool stop_ = false;         // guards: mutex_
 };
 
 } // namespace emstress

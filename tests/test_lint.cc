@@ -8,6 +8,8 @@
  * replacements for positive-magnitude literals.
  */
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -527,6 +529,403 @@ TEST(LintFormat, RendersFileLineRuleMessage)
 {
     const Finding f{"src/a.cc", 12, "R3", "msg"};
     EXPECT_EQ(formatFinding(f), "src/a.cc:12: [R3] msg");
+}
+
+// ----------------------------------------------- R7 lock-discipline
+
+/** Run the cross-TU rules over in-memory files. */
+std::vector<Finding>
+lintProject(const std::vector<ProjectFile> &files,
+            const Options &options = {})
+{
+    std::vector<Finding> out = analyzeProject(files, options);
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const Finding &f) {
+                                 return f.suppressed;
+                             }),
+              out.end());
+    return out;
+}
+
+const char *const kBoxHeader =
+    "#include <mutex>\n"
+    "class Box {\n"
+    " public:\n"
+    "  void touch();\n"
+    "  void wrongMutex();\n"
+    "  void viaHelper();\n"
+    " private:\n"
+    "  void helperLocked();\n"
+    "  std::mutex mutex_;\n"
+    "  std::mutex other_;\n"
+    "  int v_ = 0; // guards: mutex_\n"
+    "};\n";
+
+TEST(LintR7, AccessUnderNamedMutexIsClean)
+{
+    const auto f = lintProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::touch() {\n"
+          "  const std::lock_guard<std::mutex> lock(mutex_);\n"
+          "  v_ += 1;\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(f, "R7"), 0u);
+}
+
+TEST(LintR7, UnlockedAccessFlagged)
+{
+    const auto f = lintProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::touch() { v_ += 1; }\n"}});
+    ASSERT_EQ(countRule(f, "R7"), 1u);
+    EXPECT_EQ(f[0].file, "src/x/box.cc");
+    EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintR7, WrongMutexFlagged)
+{
+    const auto f = lintProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::wrongMutex() {\n"
+          "  const std::lock_guard<std::mutex> lock(other_);\n"
+          "  v_ += 1;\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(f, "R7"), 1u);
+    EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(LintR7, CallerHoldsAcrossTusSatisfiesHelper)
+{
+    // helperLocked() has no lexical lock; every caller (in another
+    // TU) holds mutex_, so the caller-holds fixpoint must clear it.
+    const auto f = lintProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/helper.cc",
+          "#include \"box.h\"\n"
+          "void Box::helperLocked() { v_ += 2; }\n"},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::viaHelper() {\n"
+          "  const std::lock_guard<std::mutex> lock(mutex_);\n"
+          "  helperLocked();\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(f, "R7"), 0u);
+}
+
+TEST(LintR7, CrossTuCallerWithoutLockFlagged)
+{
+    const auto f = lintProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/helper.cc",
+          "#include \"box.h\"\n"
+          "void Box::helperLocked() { v_ += 2; }\n"},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::viaHelper() { helperLocked(); }\n"}});
+    ASSERT_EQ(countRule(f, "R7"), 1u);
+    EXPECT_EQ(f[0].file, "src/x/helper.cc");
+    // The witness names the caller that fails to hold the mutex.
+    bool caller_named = false;
+    for (const std::string &w : f[0].witness)
+        if (w.find("Box::viaHelper") != std::string::npos)
+            caller_named = true;
+    EXPECT_TRUE(caller_named);
+}
+
+TEST(LintR7, AnnotationSuppressesButIsReported)
+{
+    const auto all = analyzeProject(
+        {{"src/x/box.h", kBoxHeader},
+         {"src/x/box.cc",
+          "#include \"box.h\"\n"
+          "void Box::touch() { v_ += 1; } // lint: r7\n"}},
+        {});
+    ASSERT_EQ(countRule(all, "R7"), 1u);
+    EXPECT_TRUE(all[0].suppressed);
+    EXPECT_EQ(all[0].suppression, "annotation:r7");
+}
+
+TEST(LintR7, OutOfScopeOutcomeReadFlagged)
+{
+    // Regression shape for the WorkerFleet::run() fix: the outcome
+    // fields were read after the unique_lock scope closed. The read
+    // moved under the lock; this pins that the old shape stays a
+    // finding.
+    const char *const header =
+        "#include <mutex>\n"
+        "class Fleet {\n"
+        " public:\n"
+        "  int run();\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  int executed_ = 0; // guards: mutex_\n"
+        "};\n";
+    const auto bad = lintProject(
+        {{"src/x/fleet.h", header},
+         {"src/x/fleet.cc",
+          "#include \"fleet.h\"\n"
+          "int Fleet::run() {\n"
+          "  int out = 0;\n"
+          "  {\n"
+          "    std::unique_lock<std::mutex> lock(mutex_);\n"
+          "    out = executed_;\n"
+          "  }\n"
+          "  return out + executed_;\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(bad, "R7"), 1u);
+    EXPECT_EQ(bad[0].line, 8);
+}
+
+// --------------------------------------------------- R8 lock-order
+
+const char *const kPeersHeader =
+    "#include <mutex>\n"
+    "struct B;\n"
+    "struct A {\n"
+    "  void poke();\n"
+    "  std::mutex mutex_;\n"
+    "  B *peer = nullptr;\n"
+    "};\n"
+    "struct B {\n"
+    "  void poke();\n"
+    "  std::mutex mutex_;\n"
+    "  A *peer = nullptr;\n"
+    "};\n";
+
+TEST(LintR8, OppositeOrderAcrossTusIsACycle)
+{
+    const auto f = lintProject(
+        {{"src/x/peers.h", kPeersHeader},
+         {"src/x/a.cc",
+          "#include \"peers.h\"\n"
+          "void A::poke() {\n"
+          "  const std::lock_guard<std::mutex> l1(mutex_);\n"
+          "  const std::lock_guard<std::mutex> l2(peer->mutex_);\n"
+          "}\n"},
+         {"src/x/b.cc",
+          "#include \"peers.h\"\n"
+          "void B::poke() {\n"
+          "  const std::lock_guard<std::mutex> l1(mutex_);\n"
+          "  const std::lock_guard<std::mutex> l2(peer->mutex_);\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(f, "R8"), 1u);
+    // The witness walks both edges of the cycle.
+    ASSERT_EQ(f[0].witness.size(), 2u);
+    EXPECT_NE(f[0].witness[0].find("A::mutex_"), std::string::npos);
+    EXPECT_NE(f[0].witness[1].find("B::mutex_"), std::string::npos);
+}
+
+TEST(LintR8, ConsistentOrderIsClean)
+{
+    const auto f = lintProject(
+        {{"src/x/peers.h", kPeersHeader},
+         {"src/x/a.cc",
+          "#include \"peers.h\"\n"
+          "void A::poke() {\n"
+          "  const std::lock_guard<std::mutex> l1(mutex_);\n"
+          "  const std::lock_guard<std::mutex> l2(peer->mutex_);\n"
+          "}\n"},
+         {"src/x/b.cc",
+          "#include \"peers.h\"\n"
+          "void B::poke() {\n"
+          "  const std::lock_guard<std::mutex> l1(peer->mutex_);\n"
+          "  const std::lock_guard<std::mutex> l2(mutex_);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(f, "R8"), 0u);
+}
+
+TEST(LintR8, ThreeCycleDetected)
+{
+    const char *const header =
+        "#include <mutex>\n"
+        "struct Q; struct R;\n"
+        "struct P { void poke(); std::mutex mutex_; Q *n = nullptr; };\n"
+        "struct Q { void poke(); std::mutex mutex_; R *n = nullptr; };\n"
+        "struct R { void poke(); std::mutex mutex_; P *n = nullptr; };\n";
+    const char *const body =
+        "#include \"ring.h\"\n"
+        "void %c::poke() {\n"
+        "  const std::lock_guard<std::mutex> l1(mutex_);\n"
+        "  const std::lock_guard<std::mutex> l2(n->mutex_);\n"
+        "}\n";
+    std::string p(body), q(body), r(body);
+    p.replace(p.find("%c"), 2, "P");
+    q.replace(q.find("%c"), 2, "Q");
+    r.replace(r.find("%c"), 2, "R");
+    const auto f = lintProject({{"src/x/ring.h", header},
+                                {"src/x/p.cc", p},
+                                {"src/x/q.cc", q},
+                                {"src/x/r.cc", r}});
+    ASSERT_EQ(countRule(f, "R8"), 1u);
+    EXPECT_EQ(f[0].witness.size(), 3u);
+}
+
+// ------------------------------------------------ R9 wire symmetry
+
+const char *const kCodecPrologue =
+    "#include <cstdint>\n"
+    "#include <string>\n"
+    "struct WireWriter { void u32(std::uint32_t); "
+    "void u64(std::uint64_t); void str(const std::string &); };\n"
+    "struct WireReader { std::uint32_t u32(); std::uint64_t u64(); "
+    "std::string str(); };\n"
+    "struct Packet { std::uint32_t kind = 0; std::uint64_t seq = 0; "
+    "std::string payload; };\n";
+
+TEST(LintR9, SymmetricCodecIsClean)
+{
+    const std::string text = std::string(kCodecPrologue)
+        + "void encodePacket(WireWriter &w, const Packet &p) {\n"
+          "  w.u32(p.kind);\n"
+          "  w.u64(p.seq);\n"
+          "  w.str(p.payload);\n"
+          "}\n"
+          "void decodePacket(WireReader &r, Packet &p) {\n"
+          "  p.kind = r.u32();\n"
+          "  p.seq = r.u64();\n"
+          "  p.payload = r.str();\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    EXPECT_EQ(countRule(f, "R9"), 0u);
+}
+
+TEST(LintR9, DroppedDecodeFieldFlagged)
+{
+    const std::string text = std::string(kCodecPrologue)
+        + "void encodePacket(WireWriter &w, const Packet &p) {\n"
+          "  w.u32(p.kind);\n"
+          "  w.u64(p.seq);\n"
+          "  w.str(p.payload);\n"
+          "}\n"
+          "void decodePacket(WireReader &r, Packet &p) {\n"
+          "  p.kind = r.u32();\n"
+          "  p.payload = r.str();\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    ASSERT_EQ(countRule(f, "R9"), 1u);
+    bool names_seq = false;
+    for (const std::string &w : f[0].witness)
+        if (w.find("seq") != std::string::npos)
+            names_seq = true;
+    EXPECT_TRUE(names_seq);
+}
+
+TEST(LintR9, ReorderedFieldsFlagged)
+{
+    const std::string text = std::string(kCodecPrologue)
+        + "void encodePacket(WireWriter &w, const Packet &p) {\n"
+          "  w.u32(p.kind);\n"
+          "  w.u64(p.seq);\n"
+          "}\n"
+          "void decodePacket(WireReader &r, Packet &p) {\n"
+          "  p.seq = r.u64();\n"
+          "  p.kind = r.u32();\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    EXPECT_EQ(countRule(f, "R9"), 1u);
+}
+
+TEST(LintR9, UnpairedCodecFlagged)
+{
+    const std::string text = std::string(kCodecPrologue)
+        + "void encodePacket(WireWriter &w, const Packet &p) {\n"
+          "  w.u32(p.kind);\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    EXPECT_EQ(countRule(f, "R9"), 1u);
+}
+
+TEST(LintR9, FingerprintedFieldMissingFromWireFlagged)
+{
+    // The fingerprint preimage hashes `seq`, but encodePacket never
+    // writes it: a decoded job would compute a different
+    // fingerprint. R9's third check must catch exactly this.
+    const std::string text = std::string(kCodecPrologue)
+        + "void encodePacket(WireWriter &w, const Packet &p) {\n"
+          "  w.u32(p.kind);\n"
+          "  w.str(p.payload);\n"
+          "}\n"
+          "void decodePacket(WireReader &r, Packet &p) {\n"
+          "  p.kind = r.u32();\n"
+          "  p.payload = r.str();\n"
+          "}\n"
+          "std::uint64_t jobDescription(const Packet &p) {\n"
+          "  std::uint64_t h = 0;\n"
+          "  h += p.kind;\n"
+          "  h += p.seq;\n"
+          "  return h;\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    ASSERT_EQ(countRule(f, "R9"), 1u);
+    bool names_seq = false;
+    for (const std::string &w : f[0].witness)
+        if (w.find("seq") != std::string::npos)
+            names_seq = true;
+    EXPECT_TRUE(names_seq);
+}
+
+// ----------------------------------------------------- JSON report
+
+TEST(LintJson, RoundTripsFindings)
+{
+    std::vector<Finding> in;
+    Finding a;
+    a.file = "src/a.cc";
+    a.line = 12;
+    a.rule = "R7";
+    a.message = "msg with \"quotes\"\nand a newline";
+    a.witness = {"first witness", "second\twitness"};
+    in.push_back(a);
+    Finding b;
+    b.file = "src/b.h";
+    b.line = 3;
+    b.rule = "R9";
+    b.message = "plain";
+    b.suppressed = true;
+    b.suppression = "annotation:r9";
+    in.push_back(b);
+
+    const std::string json = findingsToJson(in, 42);
+    EXPECT_NE(json.find("emstress-lint-findings-v1"),
+              std::string::npos);
+
+    std::size_t files = 0;
+    const std::vector<Finding> out = findingsFromJson(json, &files);
+    EXPECT_EQ(files, 42u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].file, a.file);
+    EXPECT_EQ(out[0].line, a.line);
+    EXPECT_EQ(out[0].rule, a.rule);
+    EXPECT_EQ(out[0].message, a.message);
+    EXPECT_EQ(out[0].witness, a.witness);
+    EXPECT_FALSE(out[0].suppressed);
+    EXPECT_TRUE(out[1].suppressed);
+    EXPECT_EQ(out[1].suppression, b.suppression);
+
+    // Determinism: re-serializing the parsed findings is
+    // byte-identical.
+    EXPECT_EQ(findingsToJson(out, files), json);
+}
+
+TEST(LintJson, RejectsMalformedReports)
+{
+    EXPECT_THROW(findingsFromJson("{", nullptr), std::runtime_error);
+    EXPECT_THROW(findingsFromJson("{}", nullptr),
+                 std::runtime_error); // missing schema tag
+    EXPECT_THROW(
+        findingsFromJson("{\"schema\": \"other-schema\"}", nullptr),
+        std::runtime_error);
+    EXPECT_THROW(
+        findingsFromJson("{\"schema\": \"emstress-lint-findings-v1\","
+                         " \"bogus\": 1}",
+                         nullptr),
+        std::runtime_error);
 }
 
 } // namespace

@@ -1,0 +1,1293 @@
+/**
+ * @file
+ * Cross-TU project index construction (DESIGN.md §15). Two passes
+ * over every file's token stream:
+ *
+ *   pass 1 (structure)  namespaces, classes with nesting chains,
+ *                       member variables (name + type head), mutex
+ *                       members, declared methods, and `// guards:`
+ *                       annotations bound to the member they sit on.
+ *
+ *   pass 2 (bodies)     function definitions with lexical lock
+ *                       tracking (lock_guard/unique_lock/scoped_lock
+ *                       declarations, unlock()/lock() on unique_lock
+ *                       locals and parameters), guarded-member access
+ *                       sites with local-shadow suppression, and call
+ *                       sites resolved through member/this/bare-name
+ *                       heuristics — each stamped with the mutex set
+ *                       lexically held at that point.
+ *
+ * The walker is a token-level approximation: it never type-checks,
+ * and every unrecognized construct degrades to "no index entry"
+ * rather than a crash or a false finding. Soundness limits are
+ * enumerated in DESIGN.md §15.
+ */
+
+#include "index.h"
+
+#include <algorithm>
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+const std::set<std::string> &
+keywordSet()
+{
+    static const std::set<std::string> kw = {
+        "alignas",     "alignof",   "auto",
+        "bool",        "break",     "case",
+        "catch",       "char",      "class",
+        "co_await",    "co_return", "co_yield",
+        "const",       "constexpr", "const_cast",
+        "continue",    "decltype",  "default",
+        "delete",      "do",        "double",
+        "dynamic_cast","else",      "enum",
+        "explicit",    "extern",    "false",
+        "final",       "float",     "for",
+        "friend",      "goto",      "if",
+        "inline",      "int",       "long",
+        "mutable",     "namespace", "new",
+        "noexcept",    "not",       "nullptr",
+        "operator",    "override",  "private",
+        "protected",   "public",    "reinterpret_cast",
+        "return",      "short",     "signed",
+        "sizeof",      "static",    "static_assert",
+        "static_cast", "struct",    "switch",
+        "template",    "this",      "throw",
+        "true",        "try",       "typedef",
+        "typeid",      "typename",  "union",
+        "unsigned",    "using",     "virtual",
+        "void",        "volatile",  "while",
+    };
+    return kw;
+}
+
+bool
+isKw(const std::string &s)
+{
+    return keywordSet().count(s) != 0;
+}
+
+bool
+isMutexType(const std::string &s)
+{
+    return s == "mutex" || s == "recursive_mutex"
+        || s == "shared_mutex" || s == "timed_mutex";
+}
+
+bool
+isLockType(const std::string &s)
+{
+    return s == "lock_guard" || s == "unique_lock"
+        || s == "scoped_lock" || s == "shared_lock";
+}
+
+/** Leading declaration qualifiers skipped when extracting the type
+ *  head of a member declaration. */
+bool
+isDeclQualifier(const std::string &s)
+{
+    return s == "static" || s == "const" || s == "constexpr"
+        || s == "mutable" || s == "inline" || s == "volatile"
+        || s == "typename" || s == "explicit" || s == "virtual";
+}
+
+/** Keywords that may directly precede an expression use of an
+ *  identifier — such a position is never a declaration. */
+bool
+isExprKeyword(const std::string &s)
+{
+    return s == "return" || s == "throw" || s == "case"
+        || s == "delete" || s == "new" || s == "sizeof"
+        || s == "typeid" || s == "else" || s == "do"
+        || s == "co_return" || s == "co_yield" || s == "co_await";
+}
+
+/** Builder shared by both passes over one file. */
+class FileWalker
+{
+public:
+    FileWalker(ProjectIndex &ix,
+               std::map<std::string, std::size_t> &class_by_chain,
+               std::size_t file_idx, bool bodies)
+        : ix_(ix), chains_(class_by_chain), fi_(file_idx),
+          scan_(ix.scans[file_idx]), t_(ix.scans[file_idx].tokens),
+          bodies_(bodies)
+    {
+        if (bodies_)
+            for (const auto &kv : ix_.guarded_by_member)
+                guarded_names_.insert(kv.first);
+    }
+
+    void run();
+
+private:
+    struct Scope
+    {
+        char kind = 'b'; ///< 'n' namespace, 'c' class, 'b' block.
+        std::string name;
+    };
+
+    /** Candidate function classified from a `{` at type/ns scope. */
+    struct FnCand
+    {
+        bool ok = false;
+        std::string name;
+        std::string cls; ///< Explicit `Cls::` qualifier, if any.
+        std::size_t par_open = 0, par_close = 0;
+    };
+
+    // --- token helpers -------------------------------------------
+    bool isP(std::size_t i, char c) const
+    {
+        return i < t_.size() && t_[i].kind == TokKind::Punct
+            && t_[i].text[0] == c;
+    }
+    bool isIdent(std::size_t i) const
+    {
+        return i < t_.size() && t_[i].kind == TokKind::Identifier;
+    }
+    bool isIdentText(std::size_t i, std::string_view s) const
+    {
+        return isIdent(i) && t_[i].text == s;
+    }
+    /** `::` is two ':' tokens; true when t_[i] starts one. */
+    bool isColonColon(std::size_t i) const
+    {
+        return isP(i, ':') && isP(i + 1, ':');
+    }
+
+    std::size_t matchForward(std::size_t i) const
+    {
+        if (i >= t_.size() || t_[i].kind != TokKind::Punct)
+            return t_.size() ? t_.size() - 1 : 0;
+        const char open = t_[i].text[0];
+        const char close = open == '(' ? ')'
+            : open == '{'              ? '}'
+            : open == '['              ? ']'
+                                       : '\0';
+        if (close == '\0')
+            return i;
+        int depth = 0;
+        for (std::size_t j = i; j < t_.size(); ++j) {
+            if (t_[j].kind != TokKind::Punct)
+                continue;
+            const char c = t_[j].text[0];
+            if (c == open)
+                ++depth;
+            else if (c == close && --depth == 0)
+                return j;
+        }
+        return t_.size() - 1;
+    }
+
+    std::size_t matchBack(std::size_t j) const
+    {
+        if (j >= t_.size() || t_[j].kind != TokKind::Punct)
+            return kNpos;
+        const char close = t_[j].text[0];
+        const char open = close == ')' ? '('
+            : close == '}'             ? '{'
+            : close == ']'             ? '['
+                                       : '\0';
+        if (open == '\0')
+            return kNpos;
+        int depth = 0;
+        for (std::size_t k = j + 1; k-- > 0;) {
+            if (t_[k].kind != TokKind::Punct)
+                continue;
+            const char c = t_[k].text[0];
+            if (c == close)
+                ++depth;
+            else if (c == open && --depth == 0)
+                return k;
+        }
+        return kNpos;
+    }
+
+    /** From a `<` at i, skip a balanced template argument list.
+     *  Returns the index past the matching `>`, or i + 1 when the
+     *  `<` looks like a comparison (bail on ; { } or runaway). */
+    std::size_t skipAngles(std::size_t i) const
+    {
+        int depth = 0;
+        for (std::size_t j = i;
+             j < t_.size() && j < i + 512; ++j) {
+            if (t_[j].kind != TokKind::Punct)
+                continue;
+            const char c = t_[j].text[0];
+            if (c == '<')
+                ++depth;
+            else if (c == '>' && --depth == 0)
+                return j + 1;
+            else if (c == ';' || c == '{' || c == '}')
+                break;
+        }
+        return i + 1;
+    }
+
+    // --- scope helpers -------------------------------------------
+    bool atTypeScope() const
+    {
+        return stack_.empty() || stack_.back().kind == 'n'
+            || stack_.back().kind == 'c';
+    }
+    bool atClassScope() const
+    {
+        return !stack_.empty() && stack_.back().kind == 'c';
+    }
+    std::vector<std::string> classChain() const
+    {
+        std::vector<std::string> chain;
+        for (const Scope &s : stack_)
+            if (s.kind == 'c')
+                chain.push_back(s.name);
+        return chain;
+    }
+
+    std::size_t ensureClass(const std::vector<std::string> &chain)
+    {
+        std::string key;
+        for (const std::string &c : chain)
+            key += c + "::";
+        const auto it = chains_.find(key);
+        if (it != chains_.end())
+            return it->second;
+        ClassInfo info;
+        info.name = chain.back();
+        info.chain = chain;
+        ix_.classes.push_back(std::move(info));
+        const std::size_t idx = ix_.classes.size() - 1;
+        chains_[key] = idx;
+        ix_.class_by_name.emplace(chain.back(), idx);
+        return idx;
+    }
+
+    // --- statement-level handlers --------------------------------
+    void handleNamespace(std::size_t &i);
+    bool handleClass(std::size_t &i);
+    void handleEnum(std::size_t &i);
+    void skipStatement(std::size_t &i);
+    FnCand classifyBrace(std::size_t k) const;
+    void registerFunction(const FnCand &cand, std::size_t brace);
+    void processMemberStmt(std::size_t b, std::size_t e);
+    void attachGuards(const std::string &member, int first_line,
+                      int name_line);
+
+    // --- body analysis (pass 2) ----------------------------------
+    void collectBody(FunctionInfo &fn);
+    void parseParams(const FunctionInfo &fn,
+                     std::set<std::string> &shadowed,
+                     std::set<std::string> &lock_params,
+                     std::map<std::string, std::string> &types) const;
+    std::string resolveMutexArg(std::size_t b, std::size_t e,
+                                const std::vector<std::string> &chain)
+        const;
+    std::string findMutexOwner(const std::vector<std::string> &chain,
+                               const std::string &name) const;
+    std::string memberTypeOf(const std::vector<std::string> &chain,
+                             const std::string &member) const;
+
+    ProjectIndex &ix_;
+    std::map<std::string, std::size_t> &chains_;
+    const std::size_t fi_;
+    const SourceScan &scan_;
+    const std::vector<Token> &t_;
+    const bool bodies_;
+    std::vector<Scope> stack_;
+    std::set<std::string> guarded_names_;
+};
+
+void
+FileWalker::run()
+{
+    const std::size_t n = t_.size();
+    std::size_t i = 0;
+    std::size_t stmt = 0;
+    while (i < n) {
+        const Token &tok = t_[i];
+        if (tok.kind == TokKind::Identifier) {
+            const std::string &s = tok.text;
+            if (s == "template" && isP(i + 1, '<')) {
+                i = skipAngles(i + 1);
+                stmt = i;
+                continue;
+            }
+            if (atTypeScope()) {
+                if (s == "namespace") {
+                    handleNamespace(i);
+                    stmt = i;
+                    continue;
+                }
+                if (s == "class" || s == "struct" || s == "union") {
+                    if (handleClass(i)) {
+                        stmt = i;
+                        continue;
+                    }
+                }
+                if (s == "enum") {
+                    handleEnum(i);
+                    stmt = i;
+                    continue;
+                }
+                if (s == "using" || s == "typedef" || s == "friend"
+                    || s == "static_assert") {
+                    skipStatement(i);
+                    stmt = i;
+                    continue;
+                }
+                if (atClassScope()
+                    && (s == "public" || s == "private"
+                        || s == "protected")
+                    && isP(i + 1, ':') && !isP(i + 2, ':')) {
+                    i += 2;
+                    stmt = i;
+                    continue;
+                }
+            }
+            ++i;
+            continue;
+        }
+        if (tok.kind == TokKind::Punct) {
+            const char c = tok.text[0];
+            if (c == '{') {
+                if (atTypeScope()) {
+                    const FnCand cand = classifyBrace(i);
+                    if (cand.ok) {
+                        registerFunction(cand, i);
+                        i = matchForward(i) + 1;
+                        stmt = i;
+                        continue;
+                    }
+                    // Brace initializer or unrecognized construct:
+                    // skip it wholesale, the statement continues.
+                    i = matchForward(i) + 1;
+                    continue;
+                }
+                stack_.push_back({'b', ""});
+                ++i;
+                stmt = i;
+                continue;
+            }
+            if (c == '}') {
+                if (!stack_.empty())
+                    stack_.pop_back();
+                ++i;
+                stmt = i;
+                continue;
+            }
+            if (c == ';') {
+                if (!bodies_ && atClassScope())
+                    processMemberStmt(stmt, i);
+                ++i;
+                stmt = i;
+                continue;
+            }
+        }
+        ++i;
+    }
+}
+
+void
+FileWalker::handleNamespace(std::size_t &i)
+{
+    std::size_t j = i + 1;
+    // `namespace a`, `namespace a::b`, or anonymous.
+    while (isIdent(j)) {
+        ++j;
+        if (isColonColon(j))
+            j += 2;
+        else
+            break;
+    }
+    if (isP(j, '{')) {
+        stack_.push_back({'n', ""});
+        i = j + 1;
+        return;
+    }
+    // Namespace alias or malformed: skip to `;`.
+    while (j < t_.size() && !isP(j, ';'))
+        ++j;
+    i = j + 1;
+}
+
+bool
+FileWalker::handleClass(std::size_t &i)
+{
+    std::size_t j = i + 1;
+    std::string name;
+    if (isIdent(j)) {
+        name = t_[j].text;
+        ++j;
+    }
+    int ang = 0, par = 0;
+    for (; j < t_.size(); ++j) {
+        if (t_[j].kind != TokKind::Punct)
+            continue;
+        const char c = t_[j].text[0];
+        if (c == '<')
+            ++ang;
+        else if (c == '>' && ang > 0)
+            --ang;
+        else if (c == '(')
+            ++par;
+        else if (c == ')' && par > 0)
+            --par;
+        else if (c == '{' && ang == 0 && par == 0) {
+            stack_.push_back({'c', name.empty() ? "<anon>" : name});
+            if (!bodies_)
+                ensureClass(classChain());
+            i = j + 1;
+            return true;
+        } else if (c == ';' && ang == 0 && par == 0) {
+            // Forward declaration (or an elaborated-type variable —
+            // either way, no class body to enter).
+            i = j + 1;
+            return true;
+        } else if (c == '}') {
+            break; // Confused; treat the keyword as a plain token.
+        }
+    }
+    ++i;
+    return false;
+}
+
+void
+FileWalker::handleEnum(std::size_t &i)
+{
+    std::size_t j = i + 1;
+    if (isIdentText(j, "class") || isIdentText(j, "struct"))
+        ++j;
+    while (j < t_.size() && !isP(j, '{') && !isP(j, ';'))
+        ++j;
+    if (isP(j, '{'))
+        j = matchForward(j);
+    i = j + 1;
+}
+
+void
+FileWalker::skipStatement(std::size_t &i)
+{
+    while (i < t_.size() && !isP(i, ';')) {
+        if (isP(i, '{')) {
+            i = matchForward(i) + 1;
+            continue;
+        }
+        ++i;
+    }
+    if (i < t_.size())
+        ++i;
+}
+
+FileWalker::FnCand
+FileWalker::classifyBrace(std::size_t k) const
+{
+    // Step 1: walk backward over trailing specifiers to the `)` that
+    // should close the parameter list (or a ctor-init-list item).
+    std::size_t j = k;
+    for (;;) {
+        if (j == 0)
+            return {};
+        --j;
+        const Token &tk = t_[j];
+        if (tk.kind == TokKind::Identifier) {
+            const std::string &s = tk.text;
+            if (s == "const" || s == "noexcept" || s == "override"
+                || s == "final" || s == "mutable" || s == "try")
+                continue;
+            // Possible trailing return type: scan back for `->`.
+            std::size_t x = j;
+            std::size_t steps = 0;
+            bool arrow = false;
+            while (x > 0 && steps < 48) {
+                const Token &tx = t_[x];
+                if (tx.kind == TokKind::Punct) {
+                    const char pc = tx.text[0];
+                    if (pc == '>' && isP(x - 1, '-')) {
+                        arrow = true;
+                        x -= 2;
+                        break;
+                    }
+                    if (pc != ':' && pc != '<' && pc != '>'
+                        && pc != '*' && pc != '&' && pc != ','
+                        && pc != '(' && pc != ')')
+                        return {};
+                } else if (tx.kind != TokKind::Identifier) {
+                    return {};
+                }
+                --x;
+                ++steps;
+            }
+            if (!arrow)
+                return {};
+            j = x + 1; // Next `--j` lands on the token before `->`.
+            continue;
+        }
+        if (tk.kind == TokKind::Punct && tk.text[0] == ')') {
+            const std::size_t m = matchBack(j);
+            if (m == kNpos)
+                return {};
+            if (m > 0 && isIdentText(m - 1, "noexcept")) {
+                j = m; // `--j` then skips the `noexcept` identifier.
+                continue;
+            }
+            break;
+        }
+        return {};
+    }
+    // Step 2: peel constructor-init-list items backward until the
+    // `)` genuinely closing the parameter list is found.
+    for (int guard = 0; guard < 64; ++guard) {
+        const std::size_t m = matchBack(j);
+        if (m == kNpos || m == 0)
+            return {};
+        const std::size_t c = m - 1;
+        if (!isIdent(c))
+            return {};
+        std::string name = t_[c].text;
+        if (isKw(name))
+            return {};
+        std::string cls;
+        std::size_t q = c;
+        while (q >= 3 && isP(q - 1, ':') && isP(q - 2, ':')
+               && isIdent(q - 3)) {
+            if (cls.empty())
+                cls = t_[q - 3].text;
+            q -= 3;
+        }
+        if (q == 0)
+            return {true, name, cls, m, j};
+        const Token &pb = t_[q - 1];
+        if (pb.kind == TokKind::Punct && pb.text[0] == '~') {
+            // Destructor. Pick up an out-of-class qualifier too.
+            if (cls.empty() && q >= 4 && isP(q - 2, ':')
+                && isP(q - 3, ':') && isIdent(q - 4))
+                cls = t_[q - 4].text;
+            return {true, "~" + name, cls, m, j};
+        }
+        bool init_sep = false;
+        if (pb.kind == TokKind::Punct) {
+            const char pc = pb.text[0];
+            if (pc == ',') {
+                init_sep = true;
+            } else if (pc == ':') {
+                if (q >= 2 && isP(q - 2, ':'))
+                    return {}; // Stray `::` — give up.
+                const bool access_label = q >= 2
+                    && (isIdentText(q - 2, "public")
+                        || isIdentText(q - 2, "private")
+                        || isIdentText(q - 2, "protected"));
+                init_sep = !access_label;
+            }
+        }
+        if (!init_sep)
+            return {true, name, cls, m, j};
+        // Peel one init-list item: the previous group's `)` sits
+        // just before the separator (for the `:` separator it is
+        // the parameter list itself).
+        if (q >= 2 && isP(q - 2, ')')) {
+            j = q - 2;
+            continue;
+        }
+        return {};
+    }
+    return {};
+}
+
+void
+FileWalker::registerFunction(const FnCand &cand, std::size_t brace)
+{
+    FunctionInfo fn;
+    fn.name = cand.name;
+    if (!cand.cls.empty()) {
+        fn.cls = cand.cls;
+        const auto it = ix_.class_by_name.find(cand.cls);
+        if (it != ix_.class_by_name.end())
+            fn.chain = ix_.classes[it->second].chain;
+        else
+            fn.chain = {cand.cls};
+    } else if (atClassScope()) {
+        fn.chain = classChain();
+        fn.cls = fn.chain.back();
+    }
+    fn.qualified = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    fn.file = fi_;
+    fn.line = t_[brace].line;
+    if (cand.par_open + 1 <= cand.par_close) {
+        fn.params_begin = cand.par_open + 1;
+        fn.params_end = cand.par_close;
+        if (fn.params_begin > 0 && isIdent(cand.par_open - 1))
+            fn.line = t_[cand.par_open - 1].line;
+    }
+    fn.body_begin = brace + 1;
+    fn.body_end = matchForward(brace);
+    if (!bodies_) {
+        // Structure pass: only record the method name on its class.
+        if (!fn.cls.empty() && fn.cls != "<anon>") {
+            const auto it = ix_.class_by_name.find(fn.cls);
+            if (it != ix_.class_by_name.end())
+                ix_.classes[it->second].methods.insert(fn.name);
+        }
+        return;
+    }
+    collectBody(fn);
+    ix_.functions.push_back(std::move(fn));
+    const FunctionInfo &stored = ix_.functions.back();
+    ix_.functions_by_name[stored.qualified].push_back(
+        ix_.functions.size() - 1);
+}
+
+void
+FileWalker::attachGuards(const std::string &member, int first_line,
+                         int name_line)
+{
+    // A comment on the line directly above only counts when it sits
+    // on a line of its own: a trailing `// guards:` on the previous
+    // member's declaration line must not spill onto this one.
+    const auto ownLine = [&](int l) {
+        const auto it = std::lower_bound(
+            t_.begin(), t_.end(), l,
+            [](const Token &tk, int want) { return tk.line < want; });
+        return it == t_.end() || it->line != l;
+    };
+    std::set<int> lines = {first_line, name_line};
+    if (ownLine(first_line - 1))
+        lines.insert(first_line - 1);
+    if (ownLine(name_line - 1))
+        lines.insert(name_line - 1);
+    const std::vector<std::string> chain = classChain();
+    for (const int l : lines) {
+        const auto it = scan_.guards.find(l);
+        if (it == scan_.guards.end())
+            continue;
+        for (const std::string &m : it->second) {
+            GuardedMember g;
+            g.member = member;
+            g.cls = chain.back();
+            g.chain = chain;
+            g.mutex = m;
+            g.file = fi_;
+            g.line = name_line;
+            bool dup = false;
+            for (const GuardedMember &e : ix_.guarded)
+                if (e.member == g.member && e.cls == g.cls
+                    && e.mutex == g.mutex)
+                    dup = true;
+            if (dup)
+                continue;
+            ix_.guarded.push_back(g);
+            ix_.guarded_by_member[member].push_back(
+                ix_.guarded.size() - 1);
+        }
+    }
+}
+
+void
+FileWalker::processMemberStmt(std::size_t b, std::size_t e)
+{
+    if (b >= e)
+        return;
+    if (isIdent(b)) {
+        const std::string &s = t_[b].text;
+        if (s == "using" || s == "typedef" || s == "friend"
+            || s == "static_assert" || s == "template"
+            || s == "public" || s == "private" || s == "protected")
+            return;
+    }
+    int ang = 0, par = 0;
+    std::size_t init = e;
+    std::size_t method_paren = kNpos;
+    for (std::size_t j = b; j < e; ++j) {
+        if (t_[j].kind != TokKind::Punct)
+            continue;
+        const char c = t_[j].text[0];
+        if (c == '<') {
+            ++ang;
+        } else if (c == '>') {
+            if (ang > 0)
+                --ang;
+        } else if (c == '(') {
+            if (ang == 0 && par == 0 && init == e && j > b
+                && isIdent(j - 1) && !isKw(t_[j - 1].text)
+                && method_paren == kNpos)
+                method_paren = j;
+            ++par;
+        } else if (c == ')') {
+            if (par > 0)
+                --par;
+        } else if ((c == '=' || c == '{') && ang == 0 && par == 0
+                   && init == e) {
+            init = j;
+        }
+    }
+    if (method_paren != kNpos
+        && (init == e || init > matchForward(method_paren))) {
+        const std::size_t idx = ensureClass(classChain());
+        ix_.classes[idx].methods.insert(t_[method_paren - 1].text);
+        return;
+    }
+    // Member variable: name is the last depth-0 identifier before
+    // the initializer (the `// guards:` grammar requires one
+    // declarator per statement, which the tree follows anyway).
+    ang = par = 0;
+    std::size_t name_i = kNpos;
+    const std::size_t limit = init;
+    for (std::size_t j = b; j < limit; ++j) {
+        const Token &tk = t_[j];
+        if (tk.kind == TokKind::Punct) {
+            const char c = tk.text[0];
+            if (c == '<')
+                ++ang;
+            else if (c == '>' && ang > 0)
+                --ang;
+            else if (c == '(')
+                ++par;
+            else if (c == ')' && par > 0)
+                --par;
+            continue;
+        }
+        if (tk.kind == TokKind::Identifier && ang == 0 && par == 0
+            && !isKw(tk.text))
+            name_i = j;
+    }
+    if (name_i == kNpos)
+        return;
+    const std::string name = t_[name_i].text;
+    // Type head: last identifier of the leading qualified-id after
+    // declaration qualifiers ("map" for std::map<...>, the class
+    // name for plain members).
+    std::size_t j = b;
+    while (j < limit && isIdent(j) && isDeclQualifier(t_[j].text))
+        ++j;
+    std::string head;
+    if (isIdent(j) && j != name_i) {
+        head = t_[j].text;
+        ++j;
+        while (isColonColon(j) && isIdent(j + 2)
+               && j + 2 != name_i) {
+            head = t_[j + 2].text;
+            j += 3;
+        }
+    }
+    const std::size_t idx = ensureClass(classChain());
+    if (!head.empty()) {
+        ix_.classes[idx].member_types.emplace(name, head);
+        if (isMutexType(head))
+            ix_.classes[idx].mutex_members.insert(name);
+    }
+    attachGuards(name, t_[b].line, t_[name_i].line);
+}
+
+std::string
+FileWalker::findMutexOwner(const std::vector<std::string> &chain,
+                           const std::string &name) const
+{
+    for (std::size_t k = chain.size(); k-- > 0;) {
+        const auto it = ix_.class_by_name.find(chain[k]);
+        if (it == ix_.class_by_name.end())
+            continue;
+        if (ix_.classes[it->second].mutex_members.count(name))
+            return chain[k] + "::" + name;
+    }
+    return "";
+}
+
+std::string
+FileWalker::memberTypeOf(const std::vector<std::string> &chain,
+                         const std::string &member) const
+{
+    for (std::size_t k = chain.size(); k-- > 0;) {
+        const auto it = ix_.class_by_name.find(chain[k]);
+        if (it == ix_.class_by_name.end())
+            continue;
+        const auto &types = ix_.classes[it->second].member_types;
+        const auto mt = types.find(member);
+        if (mt != types.end())
+            return mt->second;
+    }
+    return "";
+}
+
+std::string
+FileWalker::resolveMutexArg(std::size_t b, std::size_t e,
+                            const std::vector<std::string> &chain)
+    const
+{
+    // Reduce the argument to a member path: identifiers joined by
+    // `.`, `->`, or `::`, ignoring `*`/`&` and casts.
+    std::vector<std::string> parts;
+    char last_sep = '\0';
+    for (std::size_t j = b; j < e; ++j) {
+        const Token &tk = t_[j];
+        if (tk.kind == TokKind::Identifier) {
+            if (parts.empty() || last_sep != '\0')
+                parts.push_back(tk.text);
+            else
+                parts.back() = tk.text; // New path starts over.
+            last_sep = '\0';
+        } else if (tk.kind == TokKind::Punct) {
+            const char c = tk.text[0];
+            if (c == '.')
+                last_sep = '.';
+            else if (c == '>' && j > b && isP(j - 1, '-'))
+                last_sep = '.';
+            else if (c == ':' && isP(j + 1, ':')) {
+                last_sep = ':';
+                ++j;
+            } else if (c == '*' || c == '&' || c == '-') {
+                continue;
+            } else if (c == '(' || c == ')') {
+                continue;
+            } else {
+                parts.clear();
+                last_sep = '\0';
+            }
+        }
+    }
+    if (parts.empty())
+        return "";
+    const std::string &last = parts.back();
+    if (last == "adopt_lock" || last == "defer_lock"
+        || last == "try_to_lock")
+        return "";
+    if (parts.size() == 1) {
+        const std::string owned = findMutexOwner(chain, last);
+        return owned.empty() ? last : owned;
+    }
+    if (parts.size() == 2) {
+        // `obj.m` / `obj->m` / `Cls::m`: attribute through the
+        // object member's class when known.
+        const std::string ty = memberTypeOf(chain, parts[0]);
+        if (!ty.empty()) {
+            const auto it = ix_.class_by_name.find(ty);
+            if (it != ix_.class_by_name.end()
+                && ix_.classes[it->second].mutex_members.count(last))
+                return ty + "::" + last;
+        }
+        const auto it = ix_.class_by_name.find(parts[0]);
+        if (it != ix_.class_by_name.end()
+            && ix_.classes[it->second].mutex_members.count(last))
+            return parts[0] + "::" + last;
+    }
+    std::string joined = parts[0];
+    for (std::size_t k = 1; k < parts.size(); ++k)
+        joined += "." + parts[k];
+    return joined;
+}
+
+void
+FileWalker::parseParams(const FunctionInfo &fn,
+                        std::set<std::string> &shadowed,
+                        std::set<std::string> &lock_params,
+                        std::map<std::string, std::string> &types) const
+{
+    std::size_t start = fn.params_begin;
+    int ang = 0, par = 0, brace = 0;
+    const auto flush = [&](std::size_t b, std::size_t e) {
+        std::size_t stop = e;
+        for (std::size_t j = b; j < e; ++j)
+            if (isP(j, '=')) {
+                stop = j;
+                break;
+            }
+        std::size_t name_i = kNpos;
+        std::size_t type_i = kNpos;
+        bool is_lock = false;
+        for (std::size_t j = b; j < stop; ++j) {
+            if (!isIdent(j))
+                continue;
+            if (t_[j].text == "unique_lock")
+                is_lock = true;
+            if (!isKw(t_[j].text)) {
+                type_i = name_i;
+                name_i = j;
+            }
+        }
+        if (name_i == kNpos)
+            return;
+        shadowed.insert(t_[name_i].text);
+        if (type_i != kNpos)
+            types[t_[name_i].text] = t_[type_i].text;
+        if (is_lock)
+            lock_params.insert(t_[name_i].text);
+    };
+    for (std::size_t j = fn.params_begin; j < fn.params_end; ++j) {
+        if (t_[j].kind != TokKind::Punct)
+            continue;
+        const char c = t_[j].text[0];
+        if (c == '<')
+            ++ang;
+        else if (c == '>' && ang > 0)
+            --ang;
+        else if (c == '(')
+            ++par;
+        else if (c == ')' && par > 0)
+            --par;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}' && brace > 0)
+            --brace;
+        else if (c == ',' && ang == 0 && par == 0 && brace == 0) {
+            flush(start, j);
+            start = j + 1;
+        }
+    }
+    if (fn.params_begin < fn.params_end)
+        flush(start, fn.params_end);
+}
+
+void
+FileWalker::collectBody(FunctionInfo &fn)
+{
+    struct Hold
+    {
+        std::string var;
+        std::vector<std::string> mutexes;
+        int depth = 0;
+        bool engaged = true;
+    };
+    std::set<std::string> shadowed;
+    std::set<std::string> lock_params;
+    std::map<std::string, std::string> local_types;
+    parseParams(fn, shadowed, lock_params, local_types);
+    std::vector<Hold> holds;
+    int depth = 1;
+    bool param_drop = false;
+    const std::size_t end = fn.body_end;
+
+    const auto held = [&]() {
+        std::vector<std::string> out;
+        for (const Hold &h : holds) {
+            if (!h.engaged)
+                continue;
+            for (const std::string &m : h.mutexes)
+                if (std::find(out.begin(), out.end(), m) == out.end())
+                    out.push_back(m);
+        }
+        return out;
+    };
+
+    std::size_t i = fn.body_begin;
+    while (i < end && i < t_.size()) {
+        const Token &tok = t_[i];
+        if (tok.kind == TokKind::Punct) {
+            const char c = tok.text[0];
+            if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                --depth;
+                holds.erase(std::remove_if(holds.begin(), holds.end(),
+                                           [&](const Hold &h) {
+                                               return h.depth > depth;
+                                           }),
+                            holds.end());
+            } else if (c == '[') {
+                // Structured binding `auto [a, b]` / `auto &[a, b]`:
+                // the bound names are local declarations, not member
+                // accesses.
+                const bool binding = (i > fn.body_begin
+                                      && isIdentText(i - 1, "auto"))
+                    || (i > fn.body_begin + 1 && isP(i - 1, '&')
+                        && isIdentText(i - 2, "auto"));
+                if (binding) {
+                    std::size_t j = i + 1;
+                    while (j < end && !isP(j, ']')) {
+                        if (isIdent(j))
+                            shadowed.insert(t_[j].text);
+                        ++j;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            ++i;
+            continue;
+        }
+        if (tok.kind != TokKind::Identifier) {
+            ++i;
+            continue;
+        }
+        const std::string &s = tok.text;
+
+        // Lock declaration:
+        //   [const] [std::] lock_guard|unique_lock|scoped_lock
+        //   [<...>] var ( args ) ;
+        {
+            std::size_t j = i;
+            if (isIdentText(j, "const"))
+                ++j;
+            if (isIdentText(j, "std") && isColonColon(j + 1))
+                j += 3;
+            if (isIdent(j) && isLockType(t_[j].text)) {
+                std::size_t k = j + 1;
+                if (isP(k, '<'))
+                    k = skipAngles(k);
+                if (isIdent(k)
+                    && (isP(k + 1, '(') || isP(k + 1, '{'))) {
+                    const std::string var = t_[k].text;
+                    const std::size_t close = matchForward(k + 1);
+                    // Split the ctor args on top-level commas.
+                    std::vector<std::string> mutexes;
+                    std::size_t ab = k + 2;
+                    int ap = 0, abr = 0, aang = 0;
+                    for (std::size_t a = k + 2; a <= close; ++a) {
+                        const bool at_end = a == close;
+                        bool comma = false;
+                        if (!at_end
+                            && t_[a].kind == TokKind::Punct) {
+                            const char ac = t_[a].text[0];
+                            if (ac == '(')
+                                ++ap;
+                            else if (ac == ')' && ap > 0)
+                                --ap;
+                            else if (ac == '{')
+                                ++abr;
+                            else if (ac == '}' && abr > 0)
+                                --abr;
+                            else if (ac == '<')
+                                ++aang;
+                            else if (ac == '>' && aang > 0)
+                                --aang;
+                            else if (ac == ',' && ap == 0
+                                     && abr == 0 && aang == 0)
+                                comma = true;
+                        }
+                        if (comma || at_end) {
+                            if (a > ab) {
+                                const std::string m = resolveMutexArg(
+                                    ab, a, fn.chain);
+                                if (!m.empty())
+                                    mutexes.push_back(m);
+                            }
+                            ab = a + 1;
+                        }
+                    }
+                    for (const std::string &m : mutexes) {
+                        LockAcquire acq;
+                        acq.mutex = m;
+                        acq.line = tok.line;
+                        acq.held = held();
+                        acq.inferred_active = !param_drop;
+                        fn.acquires.push_back(std::move(acq));
+                    }
+                    holds.push_back({var, mutexes, depth, true});
+                    shadowed.insert(var);
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+
+        // var.unlock() / var.lock() on a tracked lock object or a
+        // unique_lock parameter (the stepJob pattern).
+        if (isP(i + 1, '.') && isIdent(i + 2)
+            && (t_[i + 2].text == "unlock"
+                || t_[i + 2].text == "lock")
+            && isP(i + 3, '(')) {
+            const bool engage = t_[i + 2].text == "lock";
+            bool matched = false;
+            for (Hold &h : holds) {
+                if (h.var != s)
+                    continue;
+                matched = true;
+                if (engage && !h.engaged) {
+                    const std::vector<std::string> cur = held();
+                    for (const std::string &m : h.mutexes) {
+                        LockAcquire acq;
+                        acq.mutex = m;
+                        acq.line = tok.line;
+                        acq.held = cur;
+                        acq.inferred_active = !param_drop;
+                        fn.acquires.push_back(std::move(acq));
+                    }
+                }
+                h.engaged = engage;
+            }
+            if (!matched && lock_params.count(s))
+                param_drop = !engage;
+            i = matchForward(i + 3) + 1;
+            continue;
+        }
+
+        const bool prev_dot = i > fn.body_begin && isP(i - 1, '.');
+        const bool prev_arrow = i > fn.body_begin + 1
+            && isP(i - 1, '>') && isP(i - 2, '-');
+        const bool prev_colon = i > fn.body_begin && isP(i - 1, ':');
+        const bool member_path = prev_dot || prev_arrow;
+
+        // Local declaration with a known class type: remember the
+        // variable's class so `var.member` accesses can resolve
+        // their base object instead of matching by name alone.
+        if (!member_path && !prev_colon
+            && ix_.class_by_name.count(s) && !isP(i + 1, ':')) {
+            std::size_t j = i + 1;
+            while (isP(j, '&') || isP(j, '*'))
+                ++j;
+            if (isIdent(j) && !isKw(t_[j].text)
+                && (isP(j + 1, ';') || isP(j + 1, '=')
+                    || isP(j + 1, '(') || isP(j + 1, '{')))
+                local_types[t_[j].text] = s;
+        }
+
+        // Guarded-member access site.
+        if (!prev_colon && guarded_names_.count(s)) {
+            bool skip = false;
+            if (!member_path) {
+                if (shadowed.count(s)) {
+                    skip = true;
+                } else {
+                    // Local declaration shadowing the member name?
+                    bool decl_prev = false;
+                    if (i > fn.body_begin) {
+                        const Token &p = t_[i - 1];
+                        if (p.kind == TokKind::Identifier)
+                            decl_prev = !isExprKeyword(p.text);
+                        else if (p.kind == TokKind::Punct)
+                            decl_prev = p.text[0] == '>'
+                                || p.text[0] == '*'
+                                || p.text[0] == '&';
+                    }
+                    const bool decl_next = isP(i + 1, '=')
+                        || isP(i + 1, ';') || isP(i + 1, ',');
+                    if (decl_prev && decl_next
+                        && !isP(i + 2, '=')) {
+                        shadowed.insert(s);
+                        skip = true;
+                    }
+                }
+            }
+            if (!skip) {
+                MemberAccess acc;
+                acc.member = s;
+                acc.line = tok.line;
+                acc.held = held();
+                acc.inferred_active = !param_drop;
+                if (member_path) {
+                    const std::size_t b = prev_dot ? i - 2 : i - 3;
+                    if (isIdent(b)) {
+                        const std::string &base = t_[b].text;
+                        const auto lt = local_types.find(base);
+                        if (lt != local_types.end()
+                            && ix_.class_by_name.count(lt->second))
+                            acc.base_cls = lt->second;
+                        else if (base == "this" && !fn.cls.empty())
+                            acc.base_cls = fn.cls;
+                        else {
+                            const std::string mt =
+                                memberTypeOf(fn.chain, base);
+                            if (!mt.empty()
+                                && ix_.class_by_name.count(mt))
+                                acc.base_cls = mt;
+                        }
+                    }
+                }
+                fn.accesses.push_back(std::move(acc));
+            }
+        }
+
+        // Call site.
+        if (isP(i + 1, '(') && !isKw(s) && !isLockType(s)) {
+            std::string callee = s;
+            bool record = true;
+            if (member_path) {
+                const std::size_t b = prev_dot ? i - 2 : i - 3;
+                if (isP(b, ')')) {
+                    // `Cls::instance().m(...)` singleton chain.
+                    const std::size_t m = matchBack(b);
+                    if (m != kNpos && m > 0
+                        && isIdentText(m - 1, "instance") && m >= 4
+                        && isP(m - 2, ':') && isP(m - 3, ':')
+                        && isIdent(m - 4))
+                        callee = t_[m - 4].text + "::" + s;
+                } else if (isIdent(b)) {
+                    const std::string &base = t_[b].text;
+                    if (base == "this") {
+                        if (!fn.cls.empty())
+                            callee = fn.cls + "::" + s;
+                    } else {
+                        const std::string ty =
+                            memberTypeOf(fn.chain, base);
+                        if (!ty.empty()
+                            && ix_.class_by_name.count(ty))
+                            callee = ty + "::" + s;
+                    }
+                }
+            } else if (prev_colon) {
+                // Qualified call `Q::f(...)`.
+                if (i >= 3 && isP(i - 2, ':') && isIdent(i - 3)) {
+                    const std::string &q = t_[i - 3].text;
+                    if (q == "std")
+                        record = false;
+                    else
+                        callee = q + "::" + s;
+                } else {
+                    record = false;
+                }
+            } else {
+                for (std::size_t k = fn.chain.size(); k-- > 0;) {
+                    const auto it =
+                        ix_.class_by_name.find(fn.chain[k]);
+                    if (it == ix_.class_by_name.end())
+                        continue;
+                    if (ix_.classes[it->second].methods.count(s)) {
+                        callee = fn.chain[k] + "::" + s;
+                        break;
+                    }
+                }
+            }
+            if (record) {
+                IndexCallSite call;
+                call.callee = callee;
+                call.line = tok.line;
+                call.held = held();
+                call.inferred_active = !param_drop;
+                fn.calls.push_back(std::move(call));
+            }
+        }
+        ++i;
+    }
+}
+
+} // namespace
+
+ProjectIndex
+buildProjectIndex(std::vector<ProjectFile> files)
+{
+    ProjectIndex ix;
+    ix.files = std::move(files);
+    ix.scans.reserve(ix.files.size());
+    for (const ProjectFile &f : ix.files)
+        ix.scans.push_back(scanSource(f.text));
+
+    std::map<std::string, std::size_t> class_by_chain;
+    for (std::size_t i = 0; i < ix.files.size(); ++i)
+        FileWalker(ix, class_by_chain, i, false).run();
+
+    // Resolve guard mutex names now that every class's mutex members
+    // are known: a bare name binds to the nearest enclosing class of
+    // the annotated member that declares such a mutex.
+    for (GuardedMember &g : ix.guarded) {
+        if (g.mutex.find(':') != std::string::npos)
+            continue;
+        for (std::size_t k = g.chain.size(); k-- > 0;) {
+            const auto it = ix.class_by_name.find(g.chain[k]);
+            if (it == ix.class_by_name.end())
+                continue;
+            if (ix.classes[it->second].mutex_members.count(g.mutex)) {
+                g.mutex = g.chain[k] + "::" + g.mutex;
+                break;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < ix.files.size(); ++i)
+        FileWalker(ix, class_by_chain, i, true).run();
+    return ix;
+}
+
+} // namespace lint
+} // namespace emstress

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Machine-readable findings report (`emstress-lint-findings-v1`).
+ * The writer is deterministic — identical findings always produce
+ * byte-identical JSON, so CI can diff artifacts across runs. The
+ * reader is a minimal recursive-descent parser sufficient for the
+ * round-trip (it is not a general JSON library and rejects anything
+ * the writer cannot emit, e.g. exotic escapes beyond \uXXXX).
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "lint.h"
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Cursor over the input with the few primitives the schema needs. */
+class JsonReader
+{
+public:
+    explicit JsonReader(std::string_view text) : s_(text) {}
+
+    void expect(char c)
+    {
+        skipWs();
+        if (i_ >= s_.size() || s_[i_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++i_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (i_ < s_.size() && s_[i_] == c) {
+            ++i_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (i_ < s_.size() && s_[i_] != '"') {
+            char c = s_[i_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (i_ >= s_.size())
+                fail("dangling escape");
+            const char e = s_[i_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'u': {
+                if (i_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s_[i_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                if (v > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += static_cast<char>(v);
+                break;
+            }
+            default: fail("unsupported escape");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    std::uint64_t integer()
+    {
+        skipWs();
+        bool neg = false;
+        if (i_ < s_.size() && s_[i_] == '-') {
+            neg = true;
+            ++i_;
+        }
+        if (i_ >= s_.size() || s_[i_] < '0' || s_[i_] > '9')
+            fail("expected number");
+        std::uint64_t v = 0;
+        while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9')
+            v = v * 10 + static_cast<std::uint64_t>(s_[i_++] - '0');
+        if (neg)
+            fail("negative value not in schema");
+        return v;
+    }
+
+    bool boolean()
+    {
+        skipWs();
+        if (s_.compare(i_, 4, "true") == 0) {
+            i_ += 4;
+            return true;
+        }
+        if (s_.compare(i_, 5, "false") == 0) {
+            i_ += 5;
+            return false;
+        }
+        fail("expected boolean");
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (i_ < s_.size()
+               && (s_[i_] == ' ' || s_[i_] == '\n'
+                   || s_[i_] == '\t' || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    void end()
+    {
+        skipWs();
+        if (i_ != s_.size())
+            fail("trailing garbage");
+    }
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error(
+            "emstress-lint-findings-v1: malformed report at byte "
+            + std::to_string(i_) + ": " + why);
+    }
+
+private:
+    std::string_view s_;
+    std::size_t i_ = 0;
+};
+
+} // namespace
+
+std::string
+findingsToJson(const std::vector<Finding> &findings,
+               std::size_t files_scanned)
+{
+    std::string out;
+    out += "{\n  \"schema\": \"emstress-lint-findings-v1\",\n";
+    out += "  \"files_scanned\": " + std::to_string(files_scanned)
+        + ",\n";
+    out += "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n      \"rule\": ";
+        appendEscaped(out, f.rule);
+        out += ",\n      \"file\": ";
+        appendEscaped(out, f.file);
+        out += ",\n      \"line\": " + std::to_string(f.line);
+        out += ",\n      \"message\": ";
+        appendEscaped(out, f.message);
+        out += ",\n      \"witness\": [";
+        for (std::size_t w = 0; w < f.witness.size(); ++w) {
+            if (w)
+                out += ", ";
+            appendEscaped(out, f.witness[w]);
+        }
+        out += "],\n      \"suppressed\": ";
+        out += f.suppressed ? "true" : "false";
+        out += ",\n      \"suppression\": ";
+        appendEscaped(out, f.suppression);
+        out += "\n    }";
+    }
+    out += findings.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::vector<Finding>
+findingsFromJson(std::string_view json, std::size_t *files_scanned)
+{
+    JsonReader r(json);
+    std::vector<Finding> findings;
+    r.expect('{');
+    bool saw_schema = false;
+    bool first_key = true;
+    while (!r.consume('}')) {
+        if (!first_key)
+            r.expect(',');
+        first_key = false;
+        const std::string key = r.string();
+        r.expect(':');
+        if (key == "schema") {
+            if (r.string() != "emstress-lint-findings-v1")
+                throw std::runtime_error(
+                    "emstress-lint-findings-v1: wrong schema tag");
+            saw_schema = true;
+        } else if (key == "files_scanned") {
+            const std::uint64_t n = r.integer();
+            if (files_scanned != nullptr)
+                *files_scanned = static_cast<std::size_t>(n);
+        } else if (key == "findings") {
+            r.expect('[');
+            if (!r.consume(']')) {
+                do {
+                    r.expect('{');
+                    Finding f;
+                    bool first = true;
+                    while (!r.consume('}')) {
+                        if (!first)
+                            r.expect(',');
+                        first = false;
+                        const std::string k = r.string();
+                        r.expect(':');
+                        if (k == "rule")
+                            f.rule = r.string();
+                        else if (k == "file")
+                            f.file = r.string();
+                        else if (k == "line")
+                            f.line = static_cast<int>(r.integer());
+                        else if (k == "message")
+                            f.message = r.string();
+                        else if (k == "witness") {
+                            r.expect('[');
+                            if (!r.consume(']')) {
+                                do {
+                                    f.witness.push_back(r.string());
+                                } while (r.consume(','));
+                                r.expect(']');
+                            }
+                        } else if (k == "suppressed")
+                            f.suppressed = r.boolean();
+                        else if (k == "suppression")
+                            f.suppression = r.string();
+                        else
+                            throw std::runtime_error(
+                                "emstress-lint-findings-v1: unknown "
+                                "key '"
+                                + k + "'");
+                    }
+                    findings.push_back(std::move(f));
+                } while (r.consume(','));
+                r.expect(']');
+            }
+        } else {
+            throw std::runtime_error(
+                "emstress-lint-findings-v1: unknown key '" + key
+                + "'");
+        }
+    }
+    r.end();
+    if (!saw_schema)
+        throw std::runtime_error(
+            "emstress-lint-findings-v1: missing schema tag");
+    return findings;
+}
+
+} // namespace lint
+} // namespace emstress

@@ -26,6 +26,28 @@
  *                       network I/O must never reach worker
  *                       evaluation paths
  *
+ * On top of the per-file rules, emstress-lint v2 builds a
+ * project-wide index over every analyzed translation unit (classes,
+ * members, `// guards: <mutex>` annotations, functions with lexical
+ * lock tracking and call sites) and runs three cross-TU rule
+ * families over it (DESIGN.md §15):
+ *
+ *   R7  lock-discipline  a member annotated `// guards: <mutex>`
+ *                        read or written in a scope that does not
+ *                        hold the named mutex (lexical lock_guard/
+ *                        unique_lock/scoped_lock tracking plus a
+ *                        caller-holds fixpoint for *Locked-style
+ *                        helpers)
+ *   R8  lock-order       a cycle in the project-wide
+ *                        acquired-while-holding mutex graph; the
+ *                        witness path names every edge's call and
+ *                        acquisition site
+ *   R9  wire-symmetry    encode/decode wire-codec field sequences
+ *                        that disagree (missing field, ordering
+ *                        drift, type mismatch), or a fingerprinted
+ *                        jobDescription field that never crosses
+ *                        the wire
+ *
  * Findings are suppressed either by an inline annotation comment
  * (`// lint: <tag>` on the same line or the line directly above) or
  * by an entry in a fix-list file. See tools/lint/README.md for the
@@ -50,6 +72,20 @@ struct Finding
     int line = 0;        ///< 1-based source line.
     std::string rule;    ///< Rule id, e.g. "R1".
     std::string message; ///< Human-readable explanation + fix hint.
+    /**
+     * Supporting evidence, one step per entry: the lock path that
+     * fails to cover an access (R7), the cycle's
+     * held-at/acquired-at chain (R8), or the encode/decode field
+     * diff (R9). Empty for the token-local rules.
+     */
+    std::vector<std::string> witness;
+    /// True when an annotation or fix-list entry silences the
+    /// finding. Suppressed findings never fail a run but are kept in
+    /// the machine-readable report so CI can audit suppressions.
+    bool suppressed = false;
+    /// Why it is suppressed: "annotation:<tag>" or
+    /// "fix-list:<rule> <path> [<line>]". Empty when unsuppressed.
+    std::string suppression;
 };
 
 /**
@@ -96,6 +132,51 @@ struct Options
 std::vector<Finding> analyzeSource(std::string_view path,
                                    std::string_view text,
                                    const Options &options = {});
+
+/**
+ * As analyzeSource, but keeps suppressed findings in the result with
+ * Finding::suppressed/suppression set — the JSON report's view.
+ */
+std::vector<Finding> analyzeSourceAll(std::string_view path,
+                                      std::string_view text,
+                                      const Options &options = {});
+
+/** One file of a project analysis (in-memory; path need not exist). */
+struct ProjectFile
+{
+    std::string path;
+    std::string text;
+};
+
+/**
+ * Run the cross-TU rules (R7 lock-discipline, R8 lock-order, R9
+ * wire-symmetry) over a whole project's files at once. Returns every
+ * finding, suppressed ones marked (annotation tags `r7`/`r8`/`r9`
+ * or their semantic aliases `lock-discipline`/`lock-order`/
+ * `wire-symmetry`, plus fix-list entries), sorted by (file, line,
+ * rule) for deterministic output.
+ */
+std::vector<Finding> analyzeProject(const std::vector<ProjectFile> &files,
+                                    const Options &options = {});
+
+/**
+ * Serialize findings as the `emstress-lint-findings-v1` JSON report
+ * consumed by CI: schema tag, scanned-file count, and one record per
+ * finding carrying rule, file, line, message, witness list and
+ * suppression state. Deterministic: the same findings always produce
+ * byte-identical JSON.
+ */
+std::string findingsToJson(const std::vector<Finding> &findings,
+                           std::size_t files_scanned);
+
+/**
+ * Parse a findingsToJson report back (round-trip tested). @throws
+ * std::runtime_error on malformed input or a wrong schema tag.
+ * @param files_scanned Optional out-param for the header count.
+ */
+std::vector<Finding> findingsFromJson(std::string_view json,
+                                      std::size_t *files_scanned
+                                      = nullptr);
 
 /**
  * Parse a fix-list file's contents. Malformed lines are reported to

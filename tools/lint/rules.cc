@@ -93,11 +93,21 @@ emit(std::vector<Finding> &findings, const SourceScan &scan,
      const RuleTags &rule, std::string_view path, int line,
      std::string message)
 {
-    for (const std::string &tag : rule.tags)
-        if (scan.hasTag(line, tag))
-            return;
-    findings.push_back(
-        {std::string(path), line, rule.id, std::move(message)});
+    Finding f;
+    f.file = std::string(path);
+    f.line = line;
+    f.rule = rule.id;
+    f.message = std::move(message);
+    // Annotated findings are kept but marked, so the JSON report can
+    // audit every suppression; analyzeSource drops them at the end.
+    for (const std::string &tag : rule.tags) {
+        if (scan.hasTag(line, tag)) {
+            f.suppressed = true;
+            f.suppression = "annotation:" + tag;
+            break;
+        }
+    }
+    findings.push_back(std::move(f));
 }
 
 // --------------------------------------------------------------- R1
@@ -526,8 +536,8 @@ ruleR6(std::string_view path, const SourceScan &scan,
 } // namespace
 
 std::vector<Finding>
-analyzeSource(std::string_view path, std::string_view text,
-              const Options &options)
+analyzeSourceAll(std::string_view path, std::string_view text,
+                 const Options &options)
 {
     const SourceScan scan = scanSource(text);
     std::vector<Finding> findings;
@@ -543,19 +553,33 @@ analyzeSource(std::string_view path, std::string_view text,
     ruleR5(path, scan, findings);
     ruleR6(path, scan, findings);
 
-    if (!options.fixlist.empty()) {
-        std::erase_if(findings, [&](const Finding &f) {
-            return std::any_of(options.fixlist.begin(),
-                               options.fixlist.end(),
-                               [&](const FixListEntry &e) {
-                                   return matchesFixList(e, f);
-                               });
-        });
+    for (Finding &f : findings) {
+        if (f.suppressed)
+            continue;
+        for (const FixListEntry &e : options.fixlist) {
+            if (!matchesFixList(e, f))
+                continue;
+            f.suppressed = true;
+            f.suppression = "fix-list:" + e.rule + " " + e.path
+                + (e.line > 0 ? " " + std::to_string(e.line) : "");
+            break;
+        }
     }
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding &a, const Finding &b) {
                          return a.line < b.line;
                      });
+    return findings;
+}
+
+std::vector<Finding>
+analyzeSource(std::string_view path, std::string_view text,
+              const Options &options)
+{
+    std::vector<Finding> findings =
+        analyzeSourceAll(path, text, options);
+    std::erase_if(findings,
+                  [](const Finding &f) { return f.suppressed; });
     return findings;
 }
 

@@ -73,6 +73,45 @@ collectAnnotations(std::string_view comment, int line, SourceScan &out)
     }
 }
 
+/**
+ * Extract `guards:` mutex names from one comment's text. Grammar
+ * (README.md): the marker `guards:` followed by one or more
+ * comma-separated mutex names matching [A-Za-z_][A-Za-z0-9_:]*
+ * (qualification with `::` allowed). Prose after the final name is
+ * ignored, exactly as for `lint:` tags.
+ */
+void
+collectGuards(std::string_view comment, int line, SourceScan &out)
+{
+    const std::string_view marker = "guards:";
+    std::size_t pos = comment.find(marker);
+    while (pos != std::string_view::npos) {
+        std::size_t i = pos + marker.size();
+        for (;;) {
+            while (i < comment.size()
+                   && (comment[i] == ' ' || comment[i] == ','))
+                ++i;
+            std::size_t start = i;
+            while (i < comment.size()
+                   && (std::isalnum(static_cast<unsigned char>(
+                           comment[i]))
+                       || comment[i] == '_' || comment[i] == ':'))
+                ++i;
+            if (i == start)
+                break;
+            out.guards[line].emplace_back(
+                comment.substr(start, i - start));
+            std::size_t j = i;
+            while (j < comment.size() && comment[j] == ' ')
+                ++j;
+            if (j >= comment.size() || comment[j] != ',')
+                break;
+            i = j;
+        }
+        pos = comment.find(marker, i);
+    }
+}
+
 } // namespace
 
 bool
@@ -118,6 +157,7 @@ scanSource(std::string_view text)
                 end = n;
             collectAnnotations(text.substr(i, end - i), start_line,
                                out);
+            collectGuards(text.substr(i, end - i), start_line, out);
             advance(end - i);
             continue;
         }
@@ -131,6 +171,7 @@ scanSource(std::string_view text)
                 end += 2;
             collectAnnotations(text.substr(i, end - i), start_line,
                                out);
+            collectGuards(text.substr(i, end - i), start_line, out);
             advance(end - i);
             continue;
         }

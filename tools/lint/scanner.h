@@ -1,10 +1,11 @@
 /**
  * @file
  * Internal token scanner for emstress-lint. Produces a flat token
- * stream with line numbers plus the `// lint: <tag>` annotations
- * found in comments. Comments, string literals (including raw
- * strings) and character literals never produce tokens, so rule
- * patterns cannot fire on quoted or commented text.
+ * stream with line numbers plus the `// lint: <tag>` suppression
+ * annotations and the `// guards: <mutex>` lock-discipline
+ * annotations found in comments. Comments, string literals
+ * (including raw strings) and character literals never produce
+ * tokens, so rule patterns cannot fire on quoted or commented text.
  */
 
 #ifndef EMSTRESS_TOOLS_LINT_SCANNER_H
@@ -41,6 +42,15 @@ struct SourceScan
     /** Tags of every `// lint: a, b` comment, keyed by the line the
      *  comment starts on. */
     std::map<int, std::vector<std::string>> annotations;
+    /**
+     * Mutex names of every `// guards: <mutex>` comment, keyed by
+     * the line the comment starts on. The annotation declares that
+     * the member on the same line (or the line directly below, for a
+     * comment on its own line) must only be touched while the named
+     * mutex is held; the R7 rule enforces it project-wide. Names may
+     * be qualified (`Class::mutex_`).
+     */
+    std::map<int, std::vector<std::string>> guards;
 
     /**
      * True when a finding at `line` is covered by tag `tag` — i.e.

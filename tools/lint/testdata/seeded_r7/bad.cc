@@ -1,0 +1,38 @@
+// Seeded-violation fixture for `lint.seeded_r7`: three distinct
+// R7 shapes against Counter::value_ (`// guards: mutex_`):
+//   1. bump() holds the WRONG mutex while writing,
+//   2. readUnlocked() reads with no lock at all,
+//   3. addLocked() writes relying on its caller, but bumpViaHelper()
+//      calls it without holding mutex_ (cross-TU caller-holds).
+// Never "fix" this file.
+
+#include "guarded.h"
+
+namespace seeded {
+
+void
+Counter::bump()
+{
+    const std::lock_guard<std::mutex> lock(other_mutex_);
+    value_ += 1; // R7: holds other_mutex_, not mutex_.
+}
+
+void
+Counter::bumpViaHelper()
+{
+    addLocked(2); // No lock here: addLocked's access is unguarded.
+}
+
+void
+Counter::addLocked(long delta)
+{
+    value_ += delta; // R7: no caller is proven to hold mutex_.
+}
+
+long
+Counter::readUnlocked() const
+{
+    return value_; // R7: read with no lock held.
+}
+
+} // namespace seeded

@@ -1,0 +1,32 @@
+// Seeded-violation fixture for the `lint.seeded_r7` ctest and the
+// CI static-analysis self-test: a `// guards:` annotated member that
+// bad.cc touches without holding the named mutex. emstress-lint MUST
+// exit non-zero on this directory — that is the proof the R7 gate
+// can fail. Never "fix" this file.
+// lint: r5
+#ifndef SEEDED_R7_GUARDED_H
+#define SEEDED_R7_GUARDED_H
+
+#include <mutex>
+
+namespace seeded {
+
+class Counter
+{
+public:
+    void bump();
+    void bumpViaHelper();
+    long readUnlocked() const;
+
+private:
+    void addLocked(long delta);
+
+    mutable std::mutex mutex_;
+    mutable std::mutex other_mutex_;
+    // guards: mutex_
+    long value_ = 0;
+};
+
+} // namespace seeded
+
+#endif // SEEDED_R7_GUARDED_H

@@ -1,0 +1,18 @@
+// Seeded-violation fixture for `lint.seeded_r8`, TU 1 of 2:
+// Left::poke() acquires Left::mutex_ then Right::mutex_. Combined
+// with right.cc (the opposite order) this forms a 2-cycle in the
+// acquired-while-holding graph. Never "fix" this file.
+
+#include "peers.h"
+
+namespace seeded {
+
+void
+Left::poke()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> peer_lock(peer->mutex_);
+    ++pokes;
+}
+
+} // namespace seeded

@@ -1,0 +1,36 @@
+// Seeded-violation fixture for the `lint.seeded_r8` ctest: two
+// classes whose methods acquire each other's mutexes in opposite
+// orders across two translation units. emstress-lint MUST exit
+// non-zero on this directory — that is the proof the R8 lock-order
+// gate can fail. Never "fix" this file.
+// lint: r5
+#ifndef SEEDED_R8_PEERS_H
+#define SEEDED_R8_PEERS_H
+
+#include <mutex>
+
+namespace seeded {
+
+struct Right;
+
+struct Left
+{
+    void poke();
+
+    std::mutex mutex_;
+    Right *peer = nullptr;
+    int pokes = 0;
+};
+
+struct Right
+{
+    void poke();
+
+    std::mutex mutex_;
+    Left *peer = nullptr;
+    int pokes = 0;
+};
+
+} // namespace seeded
+
+#endif // SEEDED_R8_PEERS_H

@@ -1,0 +1,18 @@
+// Seeded-violation fixture for `lint.seeded_r8`, TU 2 of 2:
+// Right::poke() acquires Right::mutex_ then Left::mutex_ — the
+// reverse of left.cc, closing the deadlock cycle. Never "fix" this
+// file.
+
+#include "peers.h"
+
+namespace seeded {
+
+void
+Right::poke()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> peer_lock(peer->mutex_);
+    ++pokes;
+}
+
+} // namespace seeded

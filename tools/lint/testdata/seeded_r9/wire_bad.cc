@@ -1,0 +1,52 @@
+// Seeded-violation fixture for the `lint.seeded_r9` ctest: an
+// encode/decode codec pair whose field sequences disagree — the
+// decoder reads `seq` and `kind` in swapped order and never reads
+// `stamp` at all. emstress-lint MUST exit non-zero on this
+// directory — that is the proof the R9 wire-symmetry gate can fail.
+// Never "fix" this file.
+
+#include <cstdint>
+#include <string>
+
+namespace seeded {
+
+struct WireWriter
+{
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void str(const std::string &v);
+};
+
+struct WireReader
+{
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::string str();
+};
+
+struct Packet
+{
+    std::uint32_t kind = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t stamp = 0;
+    std::string payload;
+};
+
+void
+encodePacket(WireWriter &w, const Packet &p)
+{
+    w.u32(p.kind);
+    w.u64(p.seq);
+    w.u64(p.stamp);
+    w.str(p.payload);
+}
+
+void
+decodePacket(WireReader &r, Packet &p)
+{
+    p.seq = r.u64(); // Reordered: the encoder writes kind first.
+    p.kind = r.u32();
+    p.payload = r.str(); // Dropped: stamp is never decoded.
+}
+
+} // namespace seeded

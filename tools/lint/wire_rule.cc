@@ -1,0 +1,661 @@
+/**
+ * @file
+ * R9 wire-symmetry (DESIGN.md §15): every `encodeX(WireWriter&, ...)`
+ * must have a `decodeX(WireReader&, ...)` whose field sequence is the
+ * mirror image — same wire methods (u8/u32/u64/f64/str) and helper
+ * codecs in the same order over the same member fields — and every
+ * field the job fingerprint hashes (jobDescription) must cross the
+ * wire in encodeJobSpec. Field names are canonicalized against the
+ * encoded object: local aliases (`const ga::GaConfig &g = spec.ga;`)
+ * are expanded, parameter/local/range-for roots are stripped, and a
+ * plain local on the decode side (`const std::uint64_t n = r.u64();`)
+ * becomes a wildcard that matches any field of the same wire type —
+ * that is how a length prefix pairs with `g.history.size()`.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace emstress {
+namespace lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool
+isWireMethod(const std::string &s)
+{
+    return s == "u8" || s == "u16" || s == "u32" || s == "u64"
+        || s == "f64" || s == "str";
+}
+
+/** One encode/decode field event. op is a wire method name or
+ *  "#Suffix" for a helper codec; field "" is a wildcard. */
+struct Event
+{
+    std::string op;
+    std::string field;
+    int line = 0;
+};
+
+/** Per-function field-sequence extractor. */
+class WireSeq
+{
+public:
+    WireSeq(const ProjectIndex &ix, const FunctionInfo &fn,
+            bool encode)
+        : ix_(ix), t_(ix.scans[fn.file].tokens), fn_(fn),
+          encode_(encode)
+    {
+        parseParams();
+        walk();
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    bool hasStream() const { return !stream_.empty(); }
+    /** All canonical member paths seen anywhere in the body rooted
+     *  at a parameter/local root (jobDescription's field set). */
+    const std::set<std::string> &allPaths() const { return paths_; }
+
+private:
+    bool isP(std::size_t i, char c) const
+    {
+        return i < t_.size() && t_[i].kind == TokKind::Punct
+            && t_[i].text[0] == c;
+    }
+    bool isIdent(std::size_t i) const
+    {
+        return i < t_.size() && t_[i].kind == TokKind::Identifier;
+    }
+
+    void parseParams()
+    {
+        std::size_t start = fn_.params_begin;
+        int depth = 0;
+        const auto flush = [&](std::size_t b, std::size_t e) {
+            bool stream = false;
+            std::size_t name_i = kNpos;
+            for (std::size_t j = b; j < e; ++j) {
+                if (!isIdent(j))
+                    continue;
+                const std::string &s = t_[j].text;
+                if (s == (encode_ ? "WireWriter" : "WireReader"))
+                    stream = true;
+                if (s != "const" && s != "std")
+                    name_i = j;
+            }
+            if (name_i == kNpos)
+                return;
+            if (stream)
+                stream_ = t_[name_i].text;
+            else
+                roots_.insert(t_[name_i].text);
+        };
+        for (std::size_t j = fn_.params_begin; j < fn_.params_end;
+             ++j) {
+            if (t_[j].kind != TokKind::Punct)
+                continue;
+            const char c = t_[j].text[0];
+            if (c == '(' || c == '<' || c == '{')
+                ++depth;
+            else if (c == ')' || c == '>' || c == '}') {
+                if (depth > 0)
+                    --depth;
+            } else if (c == ',' && depth == 0) {
+                flush(start, j);
+                start = j + 1;
+            }
+        }
+        if (fn_.params_begin < fn_.params_end)
+            flush(start, fn_.params_end);
+    }
+
+    /** Extract the member path ending at token `last` (walking the
+     *  `.`/`->` chain backward). Empty when `last` is no path end. */
+    std::vector<std::string> pathEndingAt(std::size_t last) const
+    {
+        if (!isIdent(last))
+            return {};
+        std::vector<std::string> parts = {t_[last].text};
+        std::size_t i = last;
+        for (;;) {
+            if (i >= 2 && isP(i - 1, '.') && isIdent(i - 2)) {
+                parts.insert(parts.begin(), t_[i - 2].text);
+                i -= 2;
+            } else if (i >= 3 && isP(i - 1, '>') && isP(i - 2, '-')
+                       && isIdent(i - 3)) {
+                parts.insert(parts.begin(), t_[i - 3].text);
+                i -= 3;
+            } else {
+                break;
+            }
+        }
+        // A qualified id (`Cls::member`) is not an object path.
+        if (i >= 1 && isP(i - 1, ':'))
+            return {};
+        return parts;
+    }
+
+    /** First `.`/`->` member path inside [b, e), with a trailing
+     *  call component (`.size()`, `.serialize(...)`) dropped. */
+    std::vector<std::string> firstPathIn(std::size_t b,
+                                        std::size_t e) const
+    {
+        for (std::size_t j = b; j + 1 < e; ++j) {
+            if (!isIdent(j) || t_[j].text == stream_)
+                continue;
+            if (!isP(j + 1, '.')
+                && !(isP(j + 1, '-') && isP(j + 2, '>')))
+                continue;
+            if (j >= 1 && isP(j - 1, ':'))
+                continue; // Qualified, not an object path.
+            // Walk the chain forward from j.
+            std::vector<std::string> parts = {t_[j].text};
+            std::size_t i = j + 1;
+            while (i < e) {
+                std::size_t next = kNpos;
+                if (isP(i, '.') && isIdent(i + 1))
+                    next = i + 1;
+                else if (isP(i, '-') && isP(i + 1, '>')
+                         && isIdent(i + 2))
+                    next = i + 2;
+                else
+                    break;
+                parts.push_back(t_[next].text);
+                i = next + 1;
+            }
+            if (i < e && isP(i, '(') && parts.size() > 1)
+                parts.pop_back(); // `.size()` / `.serialize(...)`.
+            if (parts.empty())
+                return {};
+            return parts;
+        }
+        return {};
+    }
+
+    /** Expand aliases, strip the root; "" means wildcard. */
+    std::string canonical(std::vector<std::string> parts) const
+    {
+        if (parts.empty())
+            return "";
+        const auto it = aliases_.find(parts.front());
+        if (it != aliases_.end()) {
+            std::vector<std::string> expanded = it->second;
+            expanded.insert(expanded.end(), parts.begin() + 1,
+                            parts.end());
+            parts = std::move(expanded);
+        }
+        if (!parts.empty() && roots_.count(parts.front()))
+            parts.erase(parts.begin());
+        if (parts.empty())
+            return "";
+        std::string out = parts.front();
+        for (std::size_t k = 1; k < parts.size(); ++k)
+            out += "." + parts[k];
+        return out;
+    }
+
+    /** The assignment target of [b, eq): a member path, or "" when
+     *  the left side is a fresh local declaration (wildcard). */
+    std::string lhsField(std::size_t b, std::size_t eq) const
+    {
+        if (eq <= b)
+            return "";
+        const std::vector<std::string> parts = pathEndingAt(eq - 1);
+        if (parts.empty())
+            return "";
+        // Find where the path starts, then look left: any
+        // identifier before it means a typed declaration
+        // (`const std::uint64_t n = ...`) — a wildcard.
+        std::size_t start = eq - 1;
+        for (;;) {
+            if (start >= 2 && isP(start - 1, '.')
+                && isIdent(start - 2))
+                start -= 2;
+            else if (start >= 3 && isP(start - 1, '>')
+                     && isP(start - 2, '-') && isIdent(start - 3))
+                start -= 3;
+            else
+                break;
+        }
+        for (std::size_t j = b; j < start; ++j)
+            if (isIdent(j))
+                return "";
+        return canonical(parts);
+    }
+
+    void handleStatement(std::size_t b, std::size_t e)
+    {
+        if (b >= e)
+            return;
+        // Range-for introduces a root: `for (T &rec : path)`.
+        if (isIdent(b) && t_[b].text == "for") {
+            for (std::size_t j = b + 1; j + 1 < e; ++j) {
+                if (!isP(j, ':') || isP(j - 1, ':')
+                    || isP(j + 1, ':'))
+                    continue;
+                if (isIdent(j - 1))
+                    roots_.insert(t_[j - 1].text);
+                break;
+            }
+            return;
+        }
+        if (isIdent(b)
+            && (t_[b].text == "return" || t_[b].text == "throw"
+                || t_[b].text == "break"
+                || t_[b].text == "continue"))
+            return;
+
+        // Find the top-level `=` (paren depth 0).
+        std::size_t eq = kNpos;
+        bool has_paren = false, has_dot = false;
+        std::size_t idents = 0;
+        int par = 0;
+        for (std::size_t j = b; j < e; ++j) {
+            if (isIdent(j)) {
+                ++idents;
+                continue;
+            }
+            if (t_[j].kind != TokKind::Punct)
+                continue;
+            const char c = t_[j].text[0];
+            if (c == '(') {
+                ++par;
+                has_paren = true;
+            } else if (c == ')') {
+                if (par > 0)
+                    --par;
+            } else if (c == '.') {
+                has_dot = true;
+            } else if (c == '=' && par == 0 && eq == kNpos
+                       && !isP(j + 1, '=') && !isP(j - 1, '!')
+                       && !isP(j - 1, '<') && !isP(j - 1, '>')) {
+                eq = j;
+            }
+        }
+
+        // Local declaration without initializer: a new root
+        // (`JobSpec spec;`, `ga::GenerationRecord rec;`).
+        if (eq == kNpos && !has_paren && !has_dot && idents >= 2) {
+            std::size_t name_i = kNpos;
+            for (std::size_t j = b; j < e; ++j)
+                if (isIdent(j))
+                    name_i = j;
+            if (name_i != kNpos)
+                roots_.insert(t_[name_i].text);
+            return;
+        }
+
+        // Alias declaration: `T &g = spec.ga;` (pure-path RHS).
+        if (eq != kNpos && eq > b && isIdent(eq - 1)) {
+            std::vector<std::string> rhs;
+            bool pure = e > eq + 1;
+            std::size_t j = eq + 1;
+            while (j < e && pure) {
+                if (!isIdent(j)) {
+                    pure = false;
+                    break;
+                }
+                rhs.push_back(t_[j].text);
+                ++j;
+                if (j >= e)
+                    break;
+                if (isP(j, '.')) {
+                    ++j;
+                } else if (isP(j, '-') && isP(j + 1, '>')) {
+                    j += 2;
+                } else {
+                    pure = false;
+                }
+            }
+            if (pure && !rhs.empty()) {
+                std::size_t type_idents = 0;
+                for (std::size_t k = b; k + 1 < eq; ++k)
+                    if (isIdent(k))
+                        ++type_idents;
+                if (type_idents >= 1) {
+                    // Expand through existing aliases right away.
+                    const auto ait = aliases_.find(rhs.front());
+                    if (ait != aliases_.end()) {
+                        std::vector<std::string> exp = ait->second;
+                        exp.insert(exp.end(), rhs.begin() + 1,
+                                   rhs.end());
+                        rhs = std::move(exp);
+                    }
+                    aliases_[t_[eq - 1].text] = rhs;
+                    return;
+                }
+            }
+        }
+
+        // Events, in token order within the statement.
+        for (std::size_t j = b; j < e; ++j) {
+            if (!isIdent(j))
+                continue;
+            const std::string &s = t_[j].text;
+            // Stream method: `w.u64(...)` / `r.u64()`.
+            if (s == stream_ && isP(j + 1, '.') && isIdent(j + 2)
+                && isWireMethod(t_[j + 2].text) && isP(j + 3, '(')) {
+                Event ev;
+                ev.op = t_[j + 2].text;
+                ev.line = t_[j].line;
+                if (encode_) {
+                    std::size_t close = j + 3;
+                    int depth = 0;
+                    for (; close < e; ++close) {
+                        if (isP(close, '('))
+                            ++depth;
+                        else if (isP(close, ')') && --depth == 0)
+                            break;
+                    }
+                    ev.field = canonical(
+                        firstPathIn(j + 4, close));
+                } else {
+                    ev.field = eq != kNpos && j > eq
+                        ? lhsField(b, eq)
+                        : "";
+                }
+                events_.push_back(std::move(ev));
+                j += 3;
+                continue;
+            }
+            // Helper codec: `encodeX(w, field)` / `= decodeX(r)`.
+            const std::string prefix =
+                encode_ ? "encode" : "decode";
+            if (s.size() > prefix.size()
+                && s.compare(0, prefix.size(), prefix) == 0
+                && isP(j + 1, '(') && s != fn_.name) {
+                Event ev;
+                ev.op = "#" + s.substr(prefix.size());
+                ev.line = t_[j].line;
+                if (encode_) {
+                    std::size_t close = j + 1;
+                    int depth = 0;
+                    for (; close < e; ++close) {
+                        if (isP(close, '('))
+                            ++depth;
+                        else if (isP(close, ')') && --depth == 0)
+                            break;
+                    }
+                    ev.field = canonical(
+                        firstPathIn(j + 2, close));
+                } else {
+                    ev.field = eq != kNpos && j > eq
+                        ? lhsField(b, eq)
+                        : "";
+                }
+                events_.push_back(std::move(ev));
+            }
+        }
+    }
+
+    void collectAllPaths(std::size_t b, std::size_t e)
+    {
+        for (std::size_t j = b; j < e; ++j) {
+            if (!isIdent(j))
+                continue;
+            if (j >= 1 && (isP(j - 1, '.') || isP(j - 1, ':')
+                           || (isP(j - 1, '>') && isP(j - 2, '-'))))
+                continue; // Only path heads.
+            if (!isP(j + 1, '.')
+                && !(isP(j + 1, '-') && isP(j + 2, '>')))
+                continue;
+            const std::vector<std::string> parts =
+                firstPathIn(j, e);
+            if (parts.empty())
+                continue;
+            const std::string head = parts.front();
+            const bool rooted = roots_.count(head)
+                || aliases_.count(head);
+            if (!rooted)
+                continue;
+            const std::string canon = canonical(parts);
+            if (!canon.empty())
+                paths_.insert(canon);
+        }
+    }
+
+    void walk()
+    {
+        std::size_t stmt = fn_.body_begin;
+        for (std::size_t i = fn_.body_begin;
+             i < fn_.body_end && i < t_.size(); ++i) {
+            if (t_[i].kind != TokKind::Punct)
+                continue;
+            const char c = t_[i].text[0];
+            if (c == ';' || c == '{' || c == '}') {
+                handleStatement(stmt, i);
+                collectAllPaths(stmt, i);
+                stmt = i + 1;
+            }
+        }
+    }
+
+    const ProjectIndex &ix_;
+    const std::vector<Token> &t_;
+    const FunctionInfo &fn_;
+    const bool encode_;
+    std::string stream_; ///< Writer/reader parameter name.
+    std::set<std::string> roots_;
+    std::map<std::string, std::vector<std::string>> aliases_;
+    std::vector<Event> events_;
+    std::set<std::string> paths_;
+};
+
+std::string
+describeEvent(const Event &ev)
+{
+    const std::string op = ev.op[0] == '#'
+        ? "codec '" + ev.op.substr(1) + "'"
+        : "wire method '" + ev.op + "'";
+    return op
+        + (ev.field.empty() ? std::string(" (local)")
+                            : " field '" + ev.field + "'");
+}
+
+} // namespace
+
+std::vector<Finding>
+runWireRules(const ProjectIndex &ix)
+{
+    std::vector<Finding> out;
+
+    struct Side
+    {
+        std::size_t fn = kNpos;
+        std::vector<Event> events;
+    };
+    std::map<std::string, Side> encs, decs;
+    std::map<std::string, std::set<std::string>> enc_fields;
+
+    for (std::size_t f = 0; f < ix.functions.size(); ++f) {
+        const FunctionInfo &fn = ix.functions[f];
+        const bool enc = fn.name.rfind("encode", 0) == 0
+            && fn.name.size() > 6;
+        const bool dec = fn.name.rfind("decode", 0) == 0
+            && fn.name.size() > 6;
+        if (!enc && !dec)
+            continue;
+        WireSeq seq(ix, fn, enc);
+        if (!seq.hasStream())
+            continue; // Not a wire codec signature.
+        const std::string suffix = fn.name.substr(6);
+        Side side;
+        side.fn = f;
+        side.events = seq.events();
+        if (enc) {
+            for (const Event &ev : side.events)
+                if (!ev.field.empty())
+                    enc_fields[suffix].insert(ev.field);
+            encs[suffix] = std::move(side);
+        } else {
+            decs[suffix] = std::move(side);
+        }
+    }
+
+    const auto at = [&](std::size_t f) -> const FunctionInfo & {
+        return ix.functions[f];
+    };
+
+    // Unpaired codecs.
+    for (const auto &kv : encs) {
+        if (decs.count(kv.first))
+            continue;
+        const FunctionInfo &fn = at(kv.second.fn);
+        Finding fd;
+        fd.file = ix.files[fn.file].path;
+        fd.line = fn.line;
+        fd.rule = "R9";
+        fd.message = "wire codec 'encode" + kv.first
+            + "' has no 'decode" + kv.first
+            + "' counterpart; every encoder needs a mirror decoder "
+              "(or '// lint: r9')";
+        out.push_back(std::move(fd));
+    }
+    for (const auto &kv : decs) {
+        if (encs.count(kv.first))
+            continue;
+        const FunctionInfo &fn = at(kv.second.fn);
+        Finding fd;
+        fd.file = ix.files[fn.file].path;
+        fd.line = fn.line;
+        fd.rule = "R9";
+        fd.message = "wire codec 'decode" + kv.first
+            + "' has no 'encode" + kv.first
+            + "' counterpart; every decoder needs a mirror encoder "
+              "(or '// lint: r9')";
+        out.push_back(std::move(fd));
+    }
+
+    // Paired codecs: positional field-sequence comparison.
+    for (const auto &kv : encs) {
+        const auto dit = decs.find(kv.first);
+        if (dit == decs.end())
+            continue;
+        const std::vector<Event> &a = kv.second.events;
+        const std::vector<Event> &b = dit->second.events;
+        std::size_t k = 0;
+        std::string diverge;
+        for (; k < a.size() && k < b.size(); ++k) {
+            if (a[k].op != b[k].op) {
+                diverge = "position " + std::to_string(k + 1)
+                    + ": encode emits " + describeEvent(a[k])
+                    + " at line " + std::to_string(a[k].line)
+                    + ", decode expects " + describeEvent(b[k])
+                    + " at line " + std::to_string(b[k].line);
+                break;
+            }
+            if (!a[k].field.empty() && !b[k].field.empty()
+                && a[k].field != b[k].field) {
+                diverge = "position " + std::to_string(k + 1)
+                    + ": encode writes " + describeEvent(a[k])
+                    + " at line " + std::to_string(a[k].line)
+                    + ", decode fills " + describeEvent(b[k])
+                    + " at line " + std::to_string(b[k].line);
+                break;
+            }
+        }
+        if (diverge.empty() && a.size() != b.size())
+            diverge = "encode emits " + std::to_string(a.size())
+                + " fields, decode reads " + std::to_string(b.size());
+        if (diverge.empty())
+            continue;
+        const FunctionInfo &efn = at(kv.second.fn);
+        const FunctionInfo &dfn = at(dit->second.fn);
+        Finding fd;
+        fd.file = ix.files[efn.file].path;
+        fd.line = efn.line;
+        fd.rule = "R9";
+        fd.message = "wire codec 'encode" + kv.first
+            + "' and 'decode" + kv.first
+            + "' field sequences diverge (" + diverge
+            + "); realign them or suppress with '// lint: r9'";
+        fd.witness.push_back(diverge);
+        // Field-set diff for the human: named on one side only.
+        std::set<std::string> ea, db;
+        for (const Event &ev : a)
+            if (!ev.field.empty())
+                ea.insert(ev.field);
+        for (const Event &ev : b)
+            if (!ev.field.empty())
+                db.insert(ev.field);
+        for (const std::string &fld : ea)
+            if (!db.count(fld))
+                fd.witness.push_back("encoded but never decoded: '"
+                                     + fld + "'");
+        for (const std::string &fld : db)
+            if (!ea.count(fld))
+                fd.witness.push_back("decoded but never encoded: '"
+                                     + fld + "'");
+        fd.witness.push_back("decode counterpart at "
+                             + ix.files[dfn.file].path + ":"
+                             + std::to_string(dfn.line));
+        out.push_back(std::move(fd));
+    }
+
+    // Fingerprint coverage: every field jobDescription hashes must
+    // cross the wire in the codec of its parameter's type — the
+    // encodeJobSpec pairing in this tree (the preimage may
+    // legitimately omit wire-only fields like tenant — the reverse
+    // direction).
+    const auto jd = ix.functions_by_name.find("jobDescription");
+    if (jd != ix.functions_by_name.end()) {
+        for (const std::size_t f : jd->second) {
+            const FunctionInfo &fn = ix.functions[f];
+            // Type of the first parameter: in its `const Type &name`
+            // segment the second-to-last identifier is the type.
+            std::string param_type = "JobSpec";
+            {
+                const std::vector<Token> &t =
+                    ix.scans[fn.file].tokens;
+                std::string prev, last;
+                for (std::size_t j = fn.params_begin;
+                     j < fn.params_end && j < t.size(); ++j) {
+                    if (t[j].kind == TokKind::Punct
+                        && t[j].text[0] == ',')
+                        break;
+                    if (t[j].kind != TokKind::Identifier)
+                        continue;
+                    const std::string &s = t[j].text;
+                    if (s == "const" || s == "std")
+                        continue;
+                    prev = last;
+                    last = s;
+                }
+                if (!prev.empty())
+                    param_type = prev;
+            }
+            const auto ej = enc_fields.find(param_type);
+            if (ej == enc_fields.end())
+                continue;
+            WireSeq seq(ix, fn, true); // No stream: paths only.
+            std::vector<std::string> missing;
+            for (const std::string &p : seq.allPaths())
+                if (!ej->second.count(p))
+                    missing.push_back(p);
+            if (missing.empty())
+                continue;
+            Finding fd;
+            fd.file = ix.files[fn.file].path;
+            fd.line = fn.line;
+            fd.rule = "R9";
+            fd.message =
+                "job fingerprint hashes fields that never cross the "
+                "wire in encodeJobSpec; a decoded job would compute "
+                "a different fingerprint (or '// lint: r9')";
+            for (const std::string &p : missing)
+                fd.witness.push_back(
+                    "fingerprinted but not encoded: '" + p + "'");
+            out.push_back(std::move(fd));
+        }
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace emstress
