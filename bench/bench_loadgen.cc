@@ -4,12 +4,20 @@
  * concurrent jobs from multiple tenants through a SearchService (auto
  * fleet width, multiple runner threads, weighted-fair queuing) with a
  * cheap synthetic evaluator, then reports p50/p95/p99 queue-wait and
- * job-latency percentiles from the service's fixed-bucket histograms
- * plus a duplicate-spec round that exercises the artifact store.
+ * job-latency percentiles (overall and per job class) from the
+ * service's fixed-bucket histograms plus a duplicate-spec round that
+ * exercises the artifact store and a restart round that rebuilds the
+ * service over the same spill directory and must serve duplicates
+ * from the disk tier alone.
+ *
+ * The job mix is two-class: every third job is kInteractive with a
+ * deadline, the rest are kBatch, so the per-class latency ledger and
+ * the deadline_met/deadline_missed counters carry signal.
  *
  * The point is scheduler and transport behavior under contention —
- * admission, fairness, artifact serving — not platform simulation
- * throughput, hence the synthetic fitness. Results land in the
+ * admission, fairness, priority classes, artifact serving, restart
+ * recovery — not platform simulation throughput, hence the synthetic
+ * fitness. Results land in the
  * emstress-bench-perf-v1 ledger (bench_out/BENCH_perf.
  * loadgen_service.json) with the percentiles as gauges, compared
  * against bench/baselines/ by tools/perfdiff.py. Latency percentiles
@@ -19,7 +27,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -126,6 +136,10 @@ loadgenSpec(const std::string &tenant, std::uint64_t seed)
     return spec;
 }
 
+/// Deadline on interactive jobs: generous (the bench asserts the
+/// met/missed *ledger* works, not a latency SLO on a shared host).
+constexpr double kInteractiveDeadlineS = 300.0;
+
 } // namespace
 } // namespace bench
 } // namespace emstress
@@ -144,6 +158,12 @@ main()
     const std::size_t jobs_total = fullMode() ? 480 : 240;
     const std::size_t duplicates = fullMode() ? 80 : 40;
 
+    // Persistent tier under bench_out/: wiped before the run so the
+    // spill scan, write and restart counters are exact.
+    const std::filesystem::path spill_dir =
+        outputDir() / "loadgen_spill";
+    std::filesystem::remove_all(spill_dir);
+
     service::ServiceConfig config;
     config.fleet_threads = 0; // auto (EMSTRESS_THREADS honored)
     config.runners = 4;
@@ -151,27 +171,38 @@ main()
     config.max_jobs_per_tenant = jobs_total;
     for (const TenantPlan &t : kTenants)
         config.tenant_weights[t.name] = t.weight;
+    config.artifacts.spill_dir = spill_dir.string();
     config.evaluator_factory =
         [](const service::JobSpec &spec) {
             return std::make_unique<LoadgenFitness>(
                 presetPool(spec.platform));
         };
-    service::SearchService svc(config);
+    // Heap-held so the restart round can destroy and rebuild the
+    // service over the same spill directory.
+    auto svc = std::make_unique<service::SearchService>(config);
 
     // Round 1: distinct specs, tenants interleaved round-robin so
-    // every tenant contends for the whole run.
+    // every tenant contends for the whole run. Every third job is
+    // interactive with a deadline; the rest are batch.
     std::vector<service::JobSpec> specs;
     specs.reserve(jobs_total);
     std::vector<service::JobId> ids;
     ids.reserve(jobs_total + duplicates);
+    std::size_t interactive_jobs = 0;
     {
         metrics::ScopedPhase phase("loadgen.submit");
         for (std::size_t i = 0; i < jobs_total; ++i) {
             const TenantPlan &t =
                 kTenants[i % (sizeof kTenants / sizeof kTenants[0])];
-            specs.push_back(
-                loadgenSpec(t.name, 1000 + 7 * i));
-            const service::Submission sub = svc.submit(specs.back());
+            service::JobSpec spec =
+                loadgenSpec(t.name, 1000 + 7 * i);
+            if (i % 3 == 2) {
+                spec.job_class = service::JobClass::kInteractive;
+                spec.deadline_s = kInteractiveDeadlineS;
+                ++interactive_jobs;
+            }
+            specs.push_back(std::move(spec));
+            const service::Submission sub = svc->submit(specs.back());
             if (!sub.accepted) {
                 std::cerr << "submit rejected: " << sub.reject_reason
                           << "\n";
@@ -183,7 +214,8 @@ main()
     {
         metrics::ScopedPhase phase("loadgen.drain");
         for (service::JobId id : ids) {
-            if (svc.waitTerminal(id) != service::JobState::kCompleted) {
+            if (svc->waitTerminal(id)
+                != service::JobState::kCompleted) {
                 std::cerr << "job " << id << " did not complete\n";
                 return 1;
             }
@@ -199,20 +231,20 @@ main()
         for (std::size_t i = 0; i < duplicates; ++i) {
             service::JobSpec dup = specs[i];
             dup.tenant = kTenants[(i + 1) % 4].name; // cross-tenant
-            const service::Submission sub = svc.submit(dup);
+            const service::Submission sub = svc->submit(dup);
             if (!sub.accepted) {
                 std::cerr << "duplicate rejected: "
                           << sub.reject_reason << "\n";
                 return 1;
             }
             ids.push_back(sub.id);
-            if (svc.waitTerminal(sub.id)
+            if (svc->waitTerminal(sub.id)
                 != service::JobState::kCompleted) {
                 std::cerr << "duplicate " << sub.id
                           << " did not complete\n";
                 return 1;
             }
-            if (svc.result(sub.id)->from_artifact_store)
+            if (svc->result(sub.id)->from_artifact_store)
                 ++served;
         }
     }
@@ -222,13 +254,59 @@ main()
         return 1;
     }
 
+    // Round 3: restart recovery — destroy the service (a daemon
+    // restart loses all in-memory state), rebuild it over the same
+    // spill directory, and resubmit duplicates: every one must be
+    // served from the disk tier, bit-exactly as the hot tier would.
+    std::size_t disk_served = 0;
+    {
+        metrics::ScopedPhase phase("loadgen.restart");
+        svc.reset();
+        svc = std::make_unique<service::SearchService>(config);
+        const auto scan = svc->artifacts().stats();
+        if (scan.spill_indexed != jobs_total) {
+            std::cerr << "restart scan indexed " << scan.spill_indexed
+                      << "/" << jobs_total << " spilled artifacts\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < duplicates; ++i) {
+            const service::Submission sub = svc->submit(specs[i]);
+            if (!sub.accepted) {
+                std::cerr << "restart duplicate rejected: "
+                          << sub.reject_reason << "\n";
+                return 1;
+            }
+            ids.push_back(sub.id);
+            if (svc->waitTerminal(sub.id)
+                != service::JobState::kCompleted) {
+                std::cerr << "restart duplicate " << sub.id
+                          << " did not complete\n";
+                return 1;
+            }
+            if (svc->result(sub.id)->from_artifact_store)
+                ++disk_served;
+        }
+        const auto stats = svc->artifacts().stats();
+        if (disk_served != duplicates
+            || stats.disk_hits != duplicates
+            || stats.spill_quarantined != 0) {
+            std::cerr << "restart round served " << disk_served << "/"
+                      << duplicates << " (disk hits "
+                      << stats.disk_hits << ", quarantined "
+                      << stats.spill_quarantined << ")\n";
+            return 1;
+        }
+    }
+
     // Percentiles from the service's fixed-bucket histograms; stored
     // as gauges so the perf ledger (and its checked-in baseline)
     // carries them.
     const auto snap = metrics::Registry::instance().snapshot();
     Table t({"histogram", "n", "p50 [s]", "p95 [s]", "p99 [s]"});
     for (const char *name :
-         {"service.queue_wait", "service.job_latency"}) {
+         {"service.queue_wait", "service.job_latency",
+          "service.job_latency.batch",
+          "service.job_latency.interactive"}) {
         const auto it = snap.latencies.find(name);
         if (it == snap.latencies.end())
             continue;
@@ -248,20 +326,47 @@ main()
     }
     t.print("service latency percentiles (histogram upper edges)");
 
+    const auto counter = [&snap](const char *name) {
+        const auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? 0L
+                                         : static_cast<long>(
+                                               it->second);
+    };
+
     Table jobs({"counter", "value"});
     jobs.row().cell("jobs submitted").cell(
         static_cast<long>(ids.size()));
     jobs.row().cell("searched").cell(
         static_cast<long>(jobs_total));
+    jobs.row().cell("interactive (deadline "
+                    + std::to_string(
+                        static_cast<long>(kInteractiveDeadlineS))
+                    + " s)").cell(
+        static_cast<long>(interactive_jobs));
+    jobs.row().cell("deadlines met").cell(
+        counter("service.deadline_met"));
+    jobs.row().cell("deadlines missed").cell(
+        counter("service.deadline_missed"));
     jobs.row().cell("artifact-served duplicates").cell(
         static_cast<long>(served));
+    jobs.row().cell("disk-served after restart").cell(
+        static_cast<long>(disk_served));
+    jobs.row().cell("spill writes").cell(
+        counter("service.store.spill_writes"));
+    jobs.row().cell("spill indexed at restart").cell(
+        counter("service.store.spill_indexed"));
     jobs.row().cell("tenants").cell(4L);
     jobs.row().cell("runner threads").cell(
         static_cast<long>(config.runners));
     jobs.print("load summary");
 
+    svc.reset();
+    std::filesystem::remove_all(spill_dir);
+
     std::cout << "loadgen: " << ids.size() << " jobs ("
               << jobs_total << " searched, " << served
-              << " artifact-served) across 4 tenants completed\n";
+              << " artifact-served, " << disk_served
+              << " disk-served after restart) across 4 tenants "
+                 "completed\n";
     return 0;
 }

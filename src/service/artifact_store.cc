@@ -1,0 +1,526 @@
+/**
+ * @file
+ * ArtifactStore implementation: the in-memory index plus the
+ * persistent spill tier.
+ *
+ * Disk layout under Config::spill_dir:
+ *   <fp16>.artifact   wire-encoded JobResult body (encodeJobResult)
+ *   <fp16>.meta       text sidecar, schema emstress-artifact-v1:
+ *                       emstress-artifact-v1
+ *                       fingerprint <16 lowercase hex digits>
+ *                       epoch <last-used logical epoch>
+ *                       preset <a72|a53|athlon>
+ *                       payload_bytes <artifact file size>
+ *   quarantine/       corrupt/truncated pairs moved aside, kept for
+ *                     post-mortems, never re-indexed
+ *
+ * Write protocol: payload first, sidecar last, each via temp file +
+ * rename — a crash between the two leaves an orphan payload the next
+ * scan ignores, never a sidecar pointing at torn bytes. Every
+ * filesystem call uses the non-throwing error_code overloads (or
+ * stream states): disk trouble increments a counter and degrades to a
+ * miss, it never propagates into the scheduler.
+ */
+
+#include "service/artifact_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "service/wire.h"
+#include "util/metrics.h"
+
+namespace fs = std::filesystem;
+
+namespace emstress {
+namespace service {
+
+namespace {
+
+constexpr const char *kSpillSchema = "emstress-artifact-v1";
+
+/** 16-lowercase-hex content-address stem of a fingerprint. */
+std::string
+fingerprintStem(std::uint64_t fingerprint)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[fingerprint & 0xF];
+        fingerprint >>= 4;
+    }
+    return s;
+}
+
+/** Parsed .meta sidecar. */
+struct MetaInfo
+{
+    std::uint64_t fingerprint = 0;
+    std::size_t epoch = 0;
+    PlatformPreset preset = PlatformPreset::kJunoA72;
+    std::uint64_t payload_bytes = 0;
+};
+
+/** Parse a sidecar; false on any schema or field violation. */
+bool
+parseMeta(const fs::path &path, MetaInfo &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line != kSpillSchema)
+        return false;
+    bool have_fp = false, have_epoch = false, have_preset = false,
+         have_bytes = false;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string key;
+        if (!(fields >> key))
+            continue;
+        if (key == "fingerprint") {
+            std::string hex;
+            if (!(fields >> hex) || hex.size() != 16)
+                return false;
+            std::uint64_t v = 0;
+            for (const char c : hex) {
+                v <<= 4;
+                if (c >= '0' && c <= '9')
+                    v |= static_cast<std::uint64_t>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v |= static_cast<std::uint64_t>(c - 'a' + 10);
+                else
+                    return false;
+            }
+            out.fingerprint = v;
+            have_fp = true;
+        } else if (key == "epoch") {
+            std::uint64_t v = 0;
+            if (!(fields >> v))
+                return false;
+            out.epoch = static_cast<std::size_t>(v);
+            have_epoch = true;
+        } else if (key == "preset") {
+            std::string name;
+            if (!(fields >> name)
+                || !presetFromName(name, out.preset))
+                return false;
+            have_preset = true;
+        } else if (key == "payload_bytes") {
+            if (!(fields >> out.payload_bytes))
+                return false;
+            have_bytes = true;
+        }
+        // Unknown keys are ignored: future schema minors may append.
+    }
+    return have_fp && have_epoch && have_preset && have_bytes;
+}
+
+/** Atomically replace `dest` with `bytes` (temp file + rename). */
+bool
+atomicWrite(const fs::path &dest, const void *bytes, std::size_t n)
+{
+    const fs::path tmp = dest.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(static_cast<const char *>(bytes),
+                  static_cast<std::streamsize>(n));
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, dest, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+/** Wire-encode a result against its preset's pool. */
+std::vector<std::uint8_t>
+encodePayload(const JobResult &result, PlatformPreset preset)
+{
+    WireWriter w;
+    encodeJobResult(w, result, presetPool(preset));
+    return w.bytes();
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(Config config)
+    : config_(std::move(config))
+{
+    if (!config_.spill_dir.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        scanSpillDirLocked();
+    }
+}
+
+void
+ArtifactStore::noteCounter(const char *name, std::uint64_t delta)
+{
+    if (metrics::enabled())
+        metrics::Registry::instance().add(name, delta);
+}
+
+void
+ArtifactStore::scanSpillDirLocked()
+{
+    std::error_code ec;
+    fs::create_directories(config_.spill_dir, ec);
+    fs::create_directories(fs::path(config_.spill_dir) / "quarantine",
+                           ec);
+
+    // directory_iterator order is unspecified; collect and sort so
+    // scan effects (epoch resolution, quarantine moves) replay
+    // identically across runs. lint: ordered-merge
+    std::vector<fs::path> sidecars;
+    for (fs::directory_iterator it(config_.spill_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() == ".meta")
+            sidecars.push_back(it->path());
+    }
+    std::sort(sidecars.begin(), sidecars.end());
+
+    for (const fs::path &meta_path : sidecars) {
+        MetaInfo meta;
+        const std::string stem = meta_path.stem().string();
+        bool ok = parseMeta(meta_path, meta);
+        if (ok && fingerprintStem(meta.fingerprint) != stem)
+            ok = false; // sidecar lies about its own address
+        if (ok) {
+            const fs::path payload =
+                fs::path(config_.spill_dir) / (stem + ".artifact");
+            std::error_code sec;
+            const std::uintmax_t bytes =
+                fs::file_size(payload, sec);
+            if (sec || bytes != meta.payload_bytes)
+                ok = false; // torn or missing payload
+        }
+        if (!ok) {
+            // Quarantine by stem: moves the sidecar and whatever
+            // payload shares its name.
+            std::uint64_t fp = 0;
+            for (const char c : stem) {
+                fp <<= 4;
+                if (c >= '0' && c <= '9')
+                    fp |= static_cast<std::uint64_t>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    fp |= static_cast<std::uint64_t>(c - 'a' + 10);
+            }
+            quarantineLocked(fp);
+            continue;
+        }
+        Entry entry;
+        entry.last_used = meta.epoch;
+        entry.preset = meta.preset;
+        entry.on_disk = true;
+        entries_[meta.fingerprint] = std::move(entry);
+        epoch_ = std::max(epoch_, meta.epoch);
+        ++stats_.spill_indexed;
+        noteCounter("service.store.spill_indexed");
+    }
+}
+
+bool
+ArtifactStore::spillLocked(std::uint64_t fingerprint,
+                           const Entry &entry)
+{
+    const std::string stem = fingerprintStem(fingerprint);
+    const fs::path root(config_.spill_dir);
+    const std::vector<std::uint8_t> payload =
+        encodePayload(*entry.artifact, entry.preset);
+    if (!atomicWrite(root / (stem + ".artifact"), payload.data(),
+                     payload.size())) {
+        ++stats_.spill_errors;
+        noteCounter("service.store.spill_errors");
+        return false;
+    }
+    std::ostringstream meta;
+    meta << kSpillSchema << '\n'
+         << "fingerprint " << stem << '\n'
+         << "epoch " << entry.last_used << '\n'
+         << "preset " << presetName(entry.preset) << '\n'
+         << "payload_bytes " << payload.size() << '\n';
+    const std::string text = meta.str();
+    if (!atomicWrite(root / (stem + ".meta"), text.data(),
+                     text.size())) {
+        ++stats_.spill_errors;
+        noteCounter("service.store.spill_errors");
+        return false;
+    }
+    ++stats_.spill_writes;
+    noteCounter("service.store.spill_writes");
+    return true;
+}
+
+std::shared_ptr<const JobResult>
+ArtifactStore::loadSpillLocked(std::uint64_t fingerprint,
+                               Entry &entry)
+{
+    const fs::path payload_path =
+        fs::path(config_.spill_dir)
+        / (fingerprintStem(fingerprint) + ".artifact");
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(payload_path,
+                         std::ios::binary | std::ios::ate);
+        if (!in) {
+            quarantineLocked(fingerprint);
+            return nullptr;
+        }
+        const std::streamsize n = in.tellg();
+        in.seekg(0);
+        bytes.resize(static_cast<std::size_t>(std::max<std::streamsize>(
+            n, 0)));
+        if (!bytes.empty()
+            && !in.read(reinterpret_cast<char *>(bytes.data()),
+                        static_cast<std::streamsize>(bytes.size()))) {
+            quarantineLocked(fingerprint);
+            return nullptr;
+        }
+    }
+    try {
+        WireReader r(bytes);
+        auto result = std::make_shared<JobResult>(
+            decodeJobResult(r, presetPool(entry.preset)));
+        r.expectEnd();
+        return result;
+    } catch (const std::exception &) {
+        // Truncated or bit-rotted payload: out of the serving path,
+        // kept for inspection, reported as a miss.
+        quarantineLocked(fingerprint);
+        return nullptr;
+    }
+}
+
+void
+ArtifactStore::rewriteMetaLocked(std::uint64_t fingerprint,
+                                 const Entry &entry)
+{
+    const std::string stem = fingerprintStem(fingerprint);
+    const fs::path root(config_.spill_dir);
+    std::error_code ec;
+    const std::uintmax_t bytes =
+        fs::file_size(root / (stem + ".artifact"), ec);
+    if (ec) {
+        ++stats_.spill_errors;
+        noteCounter("service.store.spill_errors");
+        return;
+    }
+    std::ostringstream meta;
+    meta << kSpillSchema << '\n'
+         << "fingerprint " << stem << '\n'
+         << "epoch " << entry.last_used << '\n'
+         << "preset " << presetName(entry.preset) << '\n'
+         << "payload_bytes " << bytes << '\n';
+    const std::string text = meta.str();
+    if (!atomicWrite(root / (stem + ".meta"), text.data(),
+                     text.size())) {
+        ++stats_.spill_errors;
+        noteCounter("service.store.spill_errors");
+    }
+}
+
+void
+ArtifactStore::quarantineLocked(std::uint64_t fingerprint)
+{
+    const std::string stem = fingerprintStem(fingerprint);
+    const fs::path root(config_.spill_dir);
+    const fs::path qdir = root / "quarantine";
+    std::error_code ec;
+    fs::create_directories(qdir, ec);
+    bool moved = false;
+    for (const char *ext : {".artifact", ".meta"}) {
+        const fs::path src = root / (stem + ext);
+        if (!fs::exists(src, ec))
+            continue;
+        fs::rename(src, qdir / (stem + ext), ec);
+        if (ec) {
+            fs::remove(src, ec); // last resort: out of the index
+            ++stats_.spill_errors;
+            noteCounter("service.store.spill_errors");
+        }
+        moved = true;
+    }
+    if (moved) {
+        ++stats_.spill_quarantined;
+        noteCounter("service.store.spill_quarantined");
+    }
+}
+
+void
+ArtifactStore::removeSpillLocked(std::uint64_t fingerprint)
+{
+    const std::string stem = fingerprintStem(fingerprint);
+    const fs::path root(config_.spill_dir);
+    std::error_code ec;
+    for (const char *ext : {".artifact", ".meta"}) {
+        fs::remove(root / (stem + ext), ec);
+        if (ec) {
+            ++stats_.spill_errors;
+            noteCounter("service.store.spill_errors");
+        }
+    }
+}
+
+std::shared_ptr<const JobResult>
+ArtifactStore::fetch(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(fingerprint);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        noteCounter("service.store.misses");
+        return nullptr;
+    }
+    Entry &entry = it->second;
+    if (!entry.artifact) {
+        // Disk-indexed, not resident: the lazy-load path a restarted
+        // daemon takes the first time each spilled spec repeats.
+        auto loaded = loadSpillLocked(fingerprint, entry);
+        if (!loaded) {
+            entries_.erase(it);
+            ++stats_.misses;
+            noteCounter("service.store.misses");
+            return nullptr;
+        }
+        entry.artifact = std::move(loaded);
+        ++stats_.disk_hits;
+        noteCounter("service.store.disk_hits");
+    }
+    if (entry.last_used != epoch_) {
+        entry.last_used = epoch_;
+        // Persist the refresh so LRU age survives a restart.
+        if (entry.on_disk)
+            rewriteMetaLocked(fingerprint, entry);
+    }
+    ++stats_.hits;
+    noteCounter("service.store.hits");
+    return entry.artifact;
+}
+
+void
+ArtifactStore::insert(std::uint64_t fingerprint,
+                      std::shared_ptr<const JobResult> artifact,
+                      PlatformPreset preset)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(fingerprint);
+    const bool replacing = it != entries_.end();
+#ifndef NDEBUG
+    // The fingerprint covers every result-defining field, so two
+    // completions of one address must carry the same bytes; anything
+    // else is a determinism bug upstream.
+    if (replacing && it->second.artifact && artifact) {
+        assert(encodePayload(*it->second.artifact, it->second.preset)
+                   == encodePayload(*artifact, preset)
+               && "artifact replacement changed payload bytes");
+    }
+#endif
+    Entry &entry = replacing ? it->second : entries_[fingerprint];
+    entry.artifact = std::move(artifact);
+    entry.last_used = epoch_;
+    entry.preset = preset;
+    if (replacing) {
+        ++stats_.replacements;
+        noteCounter("service.store.replacements");
+    } else {
+        ++stats_.inserts;
+        noteCounter("service.store.inserts");
+    }
+    if (!config_.spill_dir.empty())
+        entry.on_disk = spillLocked(fingerprint, entry);
+}
+
+bool
+ArtifactStore::invalidate(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(fingerprint);
+    if (it == entries_.end())
+        return false;
+    if (it->second.on_disk)
+        removeSpillLocked(fingerprint);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    noteCounter("service.store.invalidations");
+    return true;
+}
+
+void
+ArtifactStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[fingerprint, entry] : entries_) {
+        if (entry.on_disk)
+            removeSpillLocked(fingerprint);
+    }
+    stats_.invalidations += entries_.size();
+    noteCounter("service.store.invalidations", entries_.size());
+    entries_.clear();
+}
+
+void
+ArtifactStore::advanceEpoch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++epoch_;
+    if (config_.ttl_epochs == 0)
+        return;
+    // Order-independent: every entry is visited and evicted (or not)
+    // purely on its own last_used age. An entry last used at epoch E
+    // is evicted on the advance to E + ttl_epochs — "survives
+    // ttl_epochs - 1 idle advances", matching the header contract.
+    // lint: ordered-merge
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (epoch_ - it->second.last_used >= config_.ttl_epochs) {
+            if (it->second.on_disk)
+                removeSpillLocked(it->first);
+            it = entries_.erase(it);
+            ++stats_.expirations;
+            noteCounter("service.store.expirations");
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+ArtifactStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+bool
+ArtifactStore::resident(std::uint64_t fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(fingerprint);
+    return it != entries_.end() && it->second.artifact != nullptr;
+}
+
+std::size_t
+ArtifactStore::epoch() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace service
+} // namespace emstress

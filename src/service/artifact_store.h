@@ -11,20 +11,36 @@
  * changes job *latency*, never job *results*.
  *
  * Time-to-live is measured in logical epochs, not wall clock: the
- * scheduler advances the epoch once per completed search. Entries
- * unused for `ttl_epochs` advances are evicted. Logical TTL keeps the
- * store deterministic under test (no clock reads — see the
- * emstress-lint nondeterminism sanctions) while still bounding staleness
- * and memory under sustained traffic.
+ * scheduler advances the epoch once per completed search. An entry
+ * not fetched for `ttl_epochs` advances is evicted on the ttl-th
+ * advance. Logical TTL keeps the store deterministic under test (no
+ * clock reads — see the emstress-lint nondeterminism sanctions) while
+ * still bounding staleness and memory under sustained traffic.
+ *
+ * Disk tier (Config::spill_dir): completed artifacts spill to a
+ * content-addressed on-disk layout — `<root>/<fp16>.artifact` holding
+ * the wire-encoded JobResult and a `<fp16>.meta` text sidecar
+ * carrying schema version, fingerprint, logical epoch, platform
+ * preset and payload size. Writes are atomic (temp file + rename,
+ * meta last so the sidecar is the commit point). On construction the
+ * store scans the directory and indexes every valid sidecar without
+ * reading payloads; payload bytes load lazily on the first fetch of a
+ * spilled fingerprint, so a restarted daemon serves bit-identical
+ * artifacts without re-running searches. Corrupt or truncated spill
+ * files are quarantined (moved under `<root>/quarantine/`), counted,
+ * and treated as misses — disk damage degrades service, never
+ * crashes it. The logical-epoch TTL extends to the disk tier:
+ * eviction removes the file pair along with the index entry.
  */
 
 #ifndef EMSTRESS_SERVICE_ARTIFACT_STORE_H
 #define EMSTRESS_SERVICE_ARTIFACT_STORE_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <string>
 
 #include "service/job.h"
 
@@ -32,7 +48,8 @@ namespace emstress {
 namespace service {
 
 /**
- * Thread-safe, content-addressed, TTL-bounded artifact store.
+ * Thread-safe, content-addressed, TTL-bounded artifact store with an
+ * optional persistent disk tier.
  */
 class ArtifactStore
 {
@@ -42,135 +59,125 @@ class ArtifactStore
         /// Epochs an entry survives without being fetched; 0 means
         /// entries never expire.
         std::size_t ttl_epochs = 0;
+        /// Spill root for the persistent tier; empty keeps the store
+        /// memory-only (the process-lifetime cache of PR 7).
+        std::string spill_dir;
     };
 
     /** Cumulative counters (also mirrored into the metrics registry
-     * by the scheduler). */
+     * under "service.store.*"). */
     struct Stats
     {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t inserts = 0;
+        std::uint64_t hits = 0;   ///< Any-tier fetch hits.
+        std::uint64_t misses = 0; ///< Fetches that found nothing.
+        /// Fetch hits whose payload was (re)loaded from disk.
+        std::uint64_t disk_hits = 0;
+        std::uint64_t inserts = 0; ///< First-time fingerprints only.
+        /// Overwrites of an already-present fingerprint. Split from
+        /// inserts so mirrored metrics expose double completions.
+        std::uint64_t replacements = 0;
         std::uint64_t expirations = 0;
         std::uint64_t invalidations = 0;
+        /// Spill files indexed by the startup scan.
+        std::uint64_t spill_indexed = 0;
+        std::uint64_t spill_writes = 0; ///< Artifact+meta pairs written.
+        /// Corrupt/truncated spill files moved to quarantine/.
+        std::uint64_t spill_quarantined = 0;
+        /// Spill I/O failures absorbed (write/remove errors).
+        std::uint64_t spill_errors = 0;
     };
 
-    explicit ArtifactStore(Config config) : config_(config) {}
+    /**
+     * Construct the store; a nonempty Config::spill_dir is created if
+     * absent and scanned for previously spilled artifacts.
+     */
+    explicit ArtifactStore(Config config);
 
     ArtifactStore(const ArtifactStore &) = delete;
     ArtifactStore &operator=(const ArtifactStore &) = delete;
 
     /**
      * Look up an artifact by content address. A hit refreshes the
-     * entry's last-used epoch (LRU-in-epochs semantics).
+     * entry's last-used epoch (LRU-in-epochs semantics, persisted to
+     * the sidecar so TTL survives restarts). A fingerprint indexed on
+     * disk but not resident loads lazily; a payload that fails to
+     * load or decode is quarantined and reported as a miss.
      */
-    std::shared_ptr<const JobResult>
-    fetch(std::uint64_t fingerprint)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = entries_.find(fingerprint);
-        if (it == entries_.end()) {
-            ++stats_.misses;
-            return nullptr;
-        }
-        it->second.last_used = epoch_;
-        ++stats_.hits;
-        return it->second.artifact;
-    }
+    std::shared_ptr<const JobResult> fetch(std::uint64_t fingerprint);
 
-    /** Store (or replace) an artifact under its content address. */
-    void
-    insert(std::uint64_t fingerprint,
-           std::shared_ptr<const JobResult> artifact)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto &entry = entries_[fingerprint];
-        entry.artifact = std::move(artifact);
-        entry.last_used = epoch_;
-        ++stats_.inserts;
-    }
+    /**
+     * Store (or replace) an artifact under its content address and
+     * spill it to the disk tier when one is configured. The preset
+     * names the instruction pool the result's kernels serialize
+     * against. Replacing an existing fingerprint must be byte-benign:
+     * debug builds assert the encoded payloads are identical.
+     */
+    void insert(std::uint64_t fingerprint,
+                std::shared_ptr<const JobResult> artifact,
+                PlatformPreset preset = PlatformPreset::kJunoA72);
 
-    /** Drop one entry (explicit invalidation); false when absent. */
-    bool
-    invalidate(std::uint64_t fingerprint)
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (entries_.erase(fingerprint) == 0)
-            return false;
-        ++stats_.invalidations;
-        return true;
-    }
+    /** Drop one entry, both tiers (explicit invalidation); false when
+     *  absent. */
+    bool invalidate(std::uint64_t fingerprint);
 
-    /** Drop everything. */
-    void
-    clear()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stats_.invalidations += entries_.size();
-        entries_.clear();
-    }
+    /** Drop everything, both tiers. */
+    void clear();
 
     /**
      * Advance logical time one epoch and evict entries not fetched
-     * for ttl_epochs advances. Called by the scheduler after every
-     * completed search.
+     * for ttl_epochs advances (an entry last used at epoch E dies on
+     * the advance to E + ttl_epochs). Called by the scheduler after
+     * every completed search. Disk-tier files are removed with their
+     * entries.
      */
-    void
-    advanceEpoch()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++epoch_;
-        if (config_.ttl_epochs == 0)
-            return;
-        // Order-independent: every entry is visited and evicted (or
-        // not) purely on its own last_used age. lint: ordered-merge
-        for (auto it = entries_.begin(); it != entries_.end();) {
-            if (epoch_ - it->second.last_used > config_.ttl_epochs) {
-                it = entries_.erase(it);
-                ++stats_.expirations;
-            } else {
-                ++it;
-            }
-        }
-    }
+    void advanceEpoch();
 
-    /** Entries currently stored. */
-    std::size_t
-    size() const
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return entries_.size();
-    }
+    /** Entries currently indexed (resident or spilled). */
+    std::size_t size() const;
+
+    /** True when the fingerprint's payload is resident in memory
+     *  (false for disk-indexed entries not yet loaded). */
+    bool resident(std::uint64_t fingerprint) const;
 
     /** Current logical epoch. */
-    std::size_t
-    epoch() const
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return epoch_;
-    }
+    std::size_t epoch() const;
 
     /** Counter snapshot. */
-    Stats
-    stats() const
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return stats_;
-    }
+    Stats stats() const;
 
   private:
     struct Entry
     {
+        /// Resident payload; null when only the spill file holds it.
         std::shared_ptr<const JobResult> artifact; // guards: mutex_
         /// Epoch of the last fetch/insert. guards: mutex_
         std::size_t last_used = 0;
+        /// Pool the payload's kernels serialize against. guards: mutex_
+        PlatformPreset preset = PlatformPreset::kJunoA72;
+        /// An artifact/meta pair exists under spill_dir. guards: mutex_
+        bool on_disk = false;
     };
+
+    /// @{ Disk-tier internals (all called with mutex_ held).
+    void scanSpillDirLocked();
+    bool spillLocked(std::uint64_t fingerprint, const Entry &entry);
+    std::shared_ptr<const JobResult>
+    loadSpillLocked(std::uint64_t fingerprint, Entry &entry);
+    void rewriteMetaLocked(std::uint64_t fingerprint,
+                           const Entry &entry);
+    void quarantineLocked(std::uint64_t fingerprint);
+    void removeSpillLocked(std::uint64_t fingerprint);
+    /// @}
+
+    void noteCounter(const char *name, std::uint64_t delta = 1);
 
     Config config_;
     mutable std::mutex mutex_;
-    std::unordered_map<std::uint64_t, Entry> entries_; // guards: mutex_
-    std::size_t epoch_ = 0;                            // guards: mutex_
-    Stats stats_;                                      // guards: mutex_
+    /// std::map: eviction and clear() touch the disk tier, and file
+    /// operations must happen in deterministic (fingerprint) order.
+    std::map<std::uint64_t, Entry> entries_; // guards: mutex_
+    std::size_t epoch_ = 0;                  // guards: mutex_
+    Stats stats_;                            // guards: mutex_
 };
 
 } // namespace service

@@ -94,6 +94,16 @@ jobModeName(JobMode mode)
 }
 
 std::string
+jobClassName(JobClass job_class)
+{
+    switch (job_class) {
+    case JobClass::kBatch:       return "batch";
+    case JobClass::kInteractive: return "interactive";
+    }
+    return "unknown";
+}
+
+std::string
 jobDescription(const JobSpec &spec)
 {
     std::ostringstream os;

@@ -69,6 +69,27 @@ enum class JobMode : std::uint8_t
 std::string jobModeName(JobMode mode);
 
 /**
+ * Scheduling priority class of a job. Classes multiply the tenant's
+ * fair-share weight (an interactive generation charges less virtual
+ * time than a batch one) and interactive work is drained ahead of
+ * batch work within a tenant. Like the tenant name, the class is
+ * identity, not content: it never enters the job fingerprint, so an
+ * interactive and a batch submission of the same spec share one
+ * artifact.
+ */
+enum class JobClass : std::uint8_t
+{
+    kBatch = 0,       ///< Throughput work, the default.
+    kInteractive = 1, ///< Latency-sensitive; scheduled ahead.
+};
+
+/** Number of distinct job classes. */
+inline constexpr std::size_t kJobClassCount = 2;
+
+/** Stable lowercase name of a class ("batch", "interactive"). */
+std::string jobClassName(JobClass job_class);
+
+/**
  * Active-EMFI portion of a job spec: the victim and the pulse search
  * space, all result-defining and therefore fingerprinted. The victim
  * kernel is derived deterministically from (platform preset,
@@ -100,6 +121,13 @@ struct JobSpec
     JobMode mode = JobMode::kPassiveVirus;
     EmfiJobSpec emfi;        ///< Active-mode fields (ignored, and
                              ///< unfingerprinted, in passive mode).
+    /// Priority class (scheduling identity, never fingerprinted).
+    JobClass job_class = JobClass::kBatch;
+    /// Target completion latency in seconds; 0 = no deadline. Purely
+    /// observability (deadline-met/missed counters and the per-class
+    /// latency ledger) — the scheduler never reorders on it, so
+    /// results stay a pure function of the spec.
+    double deadline_s = 0.0;
 };
 
 /** Job lifecycle. */

@@ -46,6 +46,13 @@ progressOf(const ga::GenerationRecord &rec, const ga::GaDriver &driver)
     return p;
 }
 
+/** Queue ring index of a class (interactive drains first). */
+std::size_t
+classIndex(JobClass job_class)
+{
+    return static_cast<std::size_t>(job_class);
+}
+
 } // namespace
 
 SearchService::SearchService(ServiceConfig config)
@@ -58,6 +65,8 @@ SearchService::SearchService(ServiceConfig config)
                   "tenants need capacity for at least one job");
     requireConfig(config_.default_tenant_weight > 0.0,
                   "tenant weights must be positive");
+    requireConfig(config_.interactive_weight_boost > 0.0,
+                  "interactive weight boost must be positive");
     for (const auto &[name, weight] : config_.tenant_weights) {
         (void)name;
         requireConfig(weight > 0.0, "tenant weights must be positive");
@@ -119,7 +128,7 @@ void
 SearchService::enqueueRunnableLocked(Job &job)
 {
     Tenant &tenant = tenants_[job.spec.tenant];
-    tenant.queue.push_back(job.id);
+    tenant.queues[classIndex(job.spec.job_class)].push_back(job.id);
     ++runnable_;
     work_cv_.notify_one();
 }
@@ -131,7 +140,7 @@ SearchService::pickNextLocked()
         Tenant *best = nullptr;
         for (auto &[name, tenant] : tenants_) {
             (void)name;
-            if (tenant.queue.empty())
+            if (tenant.queues[0].empty() && tenant.queues[1].empty())
                 continue;
             // Strict < plus in-order iteration of the name-sorted
             // tenant map = deterministic tie-break by tenant name.
@@ -140,15 +149,26 @@ SearchService::pickNextLocked()
         }
         if (best == nullptr)
             return nullptr; // runnable_ out of sync; defensive.
-        const JobId id = best->queue.front();
-        best->queue.pop_front();
+        // Interactive work drains ahead of batch within the tenant.
+        auto &ring =
+            best->queues[classIndex(JobClass::kInteractive)].empty()
+                ? best->queues[classIndex(JobClass::kBatch)]
+                : best->queues[classIndex(JobClass::kInteractive)];
+        const JobId id = ring.front();
+        ring.pop_front();
         --runnable_;
         Job &job = jobRef(id);
         // A queued entry may have been cancelled out from under the
         // queue; skip it rather than charging the tenant for it.
         if (isTerminal(job.state) || job.stepping)
             continue;
-        best->vtime += 1.0 / best->weight;
+        // An interactive generation charges less virtual time, so
+        // interactive-heavy tenants come back around sooner.
+        const double boost =
+            job.spec.job_class == JobClass::kInteractive
+                ? config_.interactive_weight_boost
+                : 1.0;
+        best->vtime += 1.0 / (best->weight * boost);
         job.stepping = true;
         return &job;
     }
@@ -248,12 +268,24 @@ SearchService::finalizeCommon(Job &job, JobEvent event)
     requireSim(live_jobs_ > 0, "service live-count underflow");
     --live_jobs_;
     if (metrics::enabled()) {
-        metrics::Registry::instance().recordLatency(
-            "service.job_latency",
-            metrics::monotonicSeconds() - job.submit_s);
+        auto &reg = metrics::Registry::instance();
+        const double latency =
+            metrics::monotonicSeconds() - job.submit_s;
+        reg.recordLatency("service.job_latency", latency);
+        // Per-class ledger: the priority machinery is only worth its
+        // complexity if interactive p95/p99 visibly beats batch.
+        reg.recordLatency(std::string("service.job_latency.")
+                              + jobClassName(job.spec.job_class),
+                          latency);
+        if (job.spec.deadline_s > 0.0)
+            reg.add(latency <= job.spec.deadline_s
+                        ? "service.deadline_met"
+                        : "service.deadline_missed");
     }
     job.events.push_back(std::move(event));
     events_cv_.notify_all();
+    ++searches_finished_;
+    reapParkedLocked();
 }
 
 void
@@ -275,7 +307,7 @@ SearchService::finalizeCompleted(Job &job)
     job.driver.reset();
     job.evaluator.reset();
     if (config_.use_artifact_store) {
-        store_.insert(job.fingerprint, result);
+        store_.insert(job.fingerprint, result, job.spec.platform);
         // Logical time = completed searches.
         store_.advanceEpoch();
     }
@@ -318,7 +350,8 @@ SearchService::finalizeFailed(Job &job, const std::string &error)
 }
 
 Submission
-SearchService::submit(const JobSpec &spec)
+SearchService::submit(const JobSpec &spec,
+                      std::uint64_t resume_token)
 {
     Submission out;
     try {
@@ -356,6 +389,9 @@ SearchService::submit(const JobSpec &spec)
         job.spec = spec;
         job.fingerprint = fingerprint;
         job.state = JobState::kCompleted;
+        job.resume_token = resume_token;
+        if (resume_token != 0)
+            resume_tokens_[resume_token] = job.id;
         auto result = std::make_shared<JobResult>(*served);
         result->from_artifact_store = true;
         job.result = result;
@@ -385,7 +421,8 @@ SearchService::submit(const JobSpec &spec)
     }
     Tenant &tenant = tenants_[spec.tenant];
     if (tenant.weight == 1.0 && tenant.vtime == 0.0
-        && tenant.live == 0 && tenant.queue.empty()) {
+        && tenant.live == 0 && tenant.queues[0].empty()
+        && tenant.queues[1].empty()) {
         // Freshly materialized tenant: resolve its weight once.
         const auto it = config_.tenant_weights.find(spec.tenant);
         tenant.weight = it != config_.tenant_weights.end()
@@ -407,6 +444,9 @@ SearchService::submit(const JobSpec &spec)
     job.fingerprint = fingerprint;
     job.state = JobState::kQueued;
     job.cancel_flag = makeCancelFlag();
+    job.resume_token = resume_token;
+    if (resume_token != 0)
+        resume_tokens_[resume_token] = job.id;
     if (metrics::enabled())
         job.submit_s = metrics::monotonicSeconds();
     if (tenant.live == 0) {
@@ -429,13 +469,8 @@ SearchService::submit(const JobSpec &spec)
 }
 
 bool
-SearchService::cancel(JobId id)
+SearchService::cancelLocked(Job &job)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = jobs_.find(id);
-    if (it == jobs_.end())
-        return false;
-    Job &job = *it->second;
     if (isTerminal(job.state) || job.cancel_requested)
         return false;
     job.cancel_requested = true;
@@ -445,10 +480,11 @@ SearchService::cancel(JobId id)
         // Not inside a step: cancel takes effect immediately. Remove
         // the queue entry so the tenant is never charged for it.
         Tenant &tenant = tenants_[job.spec.tenant];
-        const auto pos = std::find(tenant.queue.begin(),
-                                   tenant.queue.end(), id);
-        if (pos != tenant.queue.end()) {
-            tenant.queue.erase(pos);
+        auto &ring = tenant.queues[classIndex(job.spec.job_class)];
+        const auto pos =
+            std::find(ring.begin(), ring.end(), job.id);
+        if (pos != ring.end()) {
+            ring.erase(pos);
             requireSim(runnable_ > 0, "runnable-count underflow");
             --runnable_;
         }
@@ -459,6 +495,60 @@ SearchService::cancel(JobId id)
     return true;
 }
 
+bool
+SearchService::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    return cancelLocked(*it->second);
+}
+
+void
+SearchService::reapParkedLocked()
+{
+    if (reaping_ || config_.orphan_grace_searches == 0)
+        return;
+    reaping_ = true;
+    for (auto it = parked_jobs_.begin();
+         it != parked_jobs_.end();) {
+        if (searches_finished_ - it->second
+            <= config_.orphan_grace_searches) {
+            ++it;
+            continue;
+        }
+        const auto jit = jobs_.find(it->first);
+        if (jit == jobs_.end()) {
+            it = parked_jobs_.erase(it);
+            continue;
+        }
+        Job &job = *jit->second;
+        if (!isTerminal(job.state)) {
+            // A still-running orphan past its grace: cancel it. Its
+            // retained state is reaped on a later pass, once the
+            // cancellation drains to a terminal event.
+            cancelLocked(job);
+            if (!isTerminal(job.state)) {
+                ++it;
+                continue;
+            }
+        }
+        if (job.resume_token != 0) {
+            const auto tok = resume_tokens_.find(job.resume_token);
+            if (tok != resume_tokens_.end()
+                && tok->second == job.id)
+                resume_tokens_.erase(tok);
+        }
+        jobs_.erase(jit);
+        it = parked_jobs_.erase(it);
+        if (metrics::enabled())
+            metrics::Registry::instance().add(
+                "service.streams_reaped");
+    }
+    reaping_ = false;
+}
+
 JobStatus
 SearchService::status(JobId id) const
 {
@@ -467,7 +557,10 @@ SearchService::status(JobId id) const
     JobStatus st;
     st.state = job.state;
     st.tenant = job.spec.tenant;
+    st.platform = job.spec.platform;
+    st.job_class = job.spec.job_class;
     st.cancel_requested = job.cancel_requested;
+    st.parked = job.parked;
     if (job.driver) {
         st.generations_done = job.driver->generationsDone();
         st.generations_total = job.driver->totalGenerations();
@@ -483,10 +576,11 @@ SearchService::waitEvent(JobId id)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     Job &job = jobRef(id);
-    events_cv_.wait(lock, [&job] { return !job.events.empty(); });
-    JobEvent ev = std::move(job.events.front());
-    job.events.pop_front();
-    return ev;
+    events_cv_.wait(lock, [&job] {
+        return job.events_delivered < job.events.size();
+    });
+    // Copy, not pop: the history stays replayable for resume.
+    return job.events[job.events_delivered++];
 }
 
 std::optional<JobEvent>
@@ -494,11 +588,96 @@ SearchService::pollEvent(JobId id)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Job &job = jobRef(id);
-    if (job.events.empty())
+    if (job.events_delivered >= job.events.size())
         return std::nullopt;
-    JobEvent ev = std::move(job.events.front());
-    job.events.pop_front();
-    return ev;
+    return job.events[job.events_delivered++];
+}
+
+std::uint64_t
+SearchService::attachStream(JobId id,
+                            std::uint64_t last_acked_generation)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job &job = jobRef(id);
+    job.parked = false;
+    parked_jobs_.erase(id);
+    ++job.stream_epoch;
+    // Rewind the delivery cursor: lifecycle events (kAccepted is
+    // acked by the submit/resume reply itself, kStarted is implicit
+    // in the first progress frame) and progress the client already
+    // processed are skipped; everything past the ack — terminals
+    // included — replays.
+    std::size_t cursor = 0;
+    while (cursor < job.events.size()) {
+        const JobEvent &ev = job.events[cursor];
+        const bool skippable =
+            ev.type == JobEventType::kAccepted
+            || ev.type == JobEventType::kStarted
+            || (ev.type == JobEventType::kProgress
+                && ev.progress.generations_done
+                       <= static_cast<std::size_t>(
+                           last_acked_generation));
+        if (!skippable)
+            break;
+        ++cursor;
+    }
+    job.events_delivered = cursor;
+    // Wake a superseded stream blocked on this job so it can bail.
+    events_cv_.notify_all();
+    return job.stream_epoch;
+}
+
+JobEvent
+SearchService::waitStreamEvent(JobId id, std::uint64_t stream_epoch)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job &job = jobRef(id);
+    events_cv_.wait(lock, [&] {
+        return waits_interrupted_
+            || job.stream_epoch != stream_epoch
+            || job.events_delivered < job.events.size();
+    });
+    if (waits_interrupted_)
+        throwSimulationError("service waits interrupted");
+    if (job.stream_epoch != stream_epoch)
+        throwSimulationError("stream superseded by a newer attach");
+    return job.events[job.events_delivered++];
+}
+
+void
+SearchService::parkStream(JobId id, std::uint64_t stream_epoch)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    Job &job = *it->second;
+    // Stale epoch: a newer stream owns the job now; losing the old
+    // connection says nothing about the new one.
+    if (job.stream_epoch != stream_epoch || job.parked)
+        return;
+    job.parked = true;
+    parked_jobs_[id] = searches_finished_;
+    if (metrics::enabled())
+        metrics::Registry::instance().add("service.streams_parked");
+}
+
+JobId
+SearchService::resolveResumeToken(std::uint64_t token) const
+{
+    if (token == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = resume_tokens_.find(token);
+    return it == resume_tokens_.end() ? 0 : it->second;
+}
+
+void
+SearchService::interruptWaits()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    waits_interrupted_ = true;
+    events_cv_.notify_all();
 }
 
 JobState

@@ -40,6 +40,7 @@
 #ifndef EMSTRESS_SERVICE_SCHEDULER_H
 #define EMSTRESS_SERVICE_SCHEDULER_H
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -79,6 +80,17 @@ struct ServiceConfig
     /// Per-tenant fair-share weights (higher = more generations per
     /// unit of contention).
     std::map<std::string, double> tenant_weights;
+    /// Virtual-time discount of kInteractive generations: an
+    /// interactive step charges 1 / (tenant weight * boost), so
+    /// interactive-heavy tenants advance their clock slower and get
+    /// picked more often. 1.0 makes classes order-only (interactive
+    /// still drains ahead of batch within a tenant).
+    double interactive_weight_boost = 4.0;
+    /// Orphaned-stream grace window, in completed searches: a parked
+    /// stream's job survives this many service-wide job completions
+    /// before the reaper cancels it (still running) or retires its
+    /// retained state (terminal). 0 = park forever (no reaping).
+    std::size_t orphan_grace_searches = 64;
     /// Serve repeated specs from the content-addressed store.
     bool use_artifact_store = true;
     ArtifactStore::Config artifacts;
@@ -99,9 +111,12 @@ struct JobStatus
 {
     JobState state = JobState::kQueued;
     std::string tenant;
+    PlatformPreset platform = PlatformPreset::kJunoA72;
+    JobClass job_class = JobClass::kBatch;
     std::size_t generations_done = 0;
     std::size_t generations_total = 0; ///< 0 until the job started.
     bool cancel_requested = false;
+    bool parked = false; ///< Stream orphaned, awaiting resume/reap.
 };
 
 /**
@@ -124,8 +139,12 @@ class SearchService
      * in the Submission, not thrown. An accepted job has already
      * emitted its kAccepted event; a spec whose fingerprint hits the
      * artifact store completes instantly without occupying a slot.
+     * A nonzero resume_token registers the job for kResume
+     * re-attachment after a dropped stream (latest registration of a
+     * token wins).
      */
-    Submission submit(const JobSpec &spec);
+    Submission submit(const JobSpec &spec,
+                      std::uint64_t resume_token = 0);
 
     /**
      * Request cancellation. True when the job existed and was not
@@ -140,14 +159,56 @@ class SearchService
     JobStatus status(JobId id) const;
 
     /**
-     * Pop the job's next event, blocking until one is available.
-     * Terminal events (kCompleted/kCancelled/kFailed) are the last a
-     * job ever emits. @throws ConfigError for an unknown id.
+     * Deliver the job's next undelivered event, blocking until one
+     * is available. Terminal events (kCompleted/kCancelled/kFailed)
+     * are the last a job ever emits. Events are retained after
+     * delivery (the delivery cursor advances, the deque does not
+     * shrink) so a resumed stream can replay them.
+     * @throws ConfigError for an unknown id.
      */
     JobEvent waitEvent(JobId id);
 
-    /** Pop the job's next event if one is pending. */
+    /** Deliver the job's next event if one is pending. */
     std::optional<JobEvent> pollEvent(JobId id);
+
+    /// @{ Streaming re-attachment (the socket transport's resume
+    /// machinery; in-process callers never need these).
+
+    /**
+     * Attach the calling stream to a job: unparks it, bumps its
+     * stream epoch (superseding any previous stream blocked in
+     * waitStreamEvent) and rewinds the delivery cursor so that
+     * replay skips lifecycle events and progress the client already
+     * acknowledged (generations_done <= last_acked_generation) but
+     * repeats everything after, terminals included. Returns the new
+     * stream epoch. @throws ConfigError for an unknown id.
+     */
+    std::uint64_t attachStream(JobId id,
+                               std::uint64_t last_acked_generation);
+
+    /**
+     * waitEvent for an attached stream. @throws SimulationError when
+     * a newer attachStream supersedes this stream or interruptWaits
+     * fires — the caller's connection is no longer the job's stream.
+     */
+    JobEvent waitStreamEvent(JobId id, std::uint64_t stream_epoch);
+
+    /**
+     * Mark the job's stream orphaned (its connection died). A parked
+     * job keeps running and retains its events for the grace window
+     * (ServiceConfig::orphan_grace_searches); a kResume re-attaches
+     * it. No-op when stream_epoch is stale (a newer stream owns the
+     * job) or the id is unknown.
+     */
+    void parkStream(JobId id, std::uint64_t stream_epoch);
+
+    /** Job registered under a resume token; 0 when unknown. */
+    JobId resolveResumeToken(std::uint64_t token) const;
+
+    /** Wake every blocked waitStreamEvent with an error (server
+     *  shutdown path, so connection threads can be joined). */
+    void interruptWaits();
+    /// @}
 
     /**
      * Block until the job is terminal (does not consume events).
@@ -198,8 +259,18 @@ class SearchService
         std::shared_ptr<std::atomic<bool>> cancel_flag;
         std::unique_ptr<ga::FitnessEvaluator> evaluator;
         std::unique_ptr<ga::GaDriver> driver;
-        std::deque<JobEvent> events;             // guards: mutex_
+        /// Full retained event history (never popped; replayable).
+        std::deque<JobEvent> events; // guards: mutex_
+        /// Delivery cursor into events. guards: mutex_
+        std::size_t events_delivered = 0;
         std::shared_ptr<const JobResult> result; // guards: mutex_
+        /// Client-generated resume token (0 = none). guards: mutex_
+        std::uint64_t resume_token = 0;
+        /// Bumped per attachStream; stale streams are superseded.
+        /// guards: mutex_
+        std::uint64_t stream_epoch = 0;
+        /// Stream orphaned (connection died). guards: mutex_
+        bool parked = false;
         /// Monotonic submit time (metrics). guards: mutex_
         double submit_s = 0.0;
         bool first_step_recorded = false; // guards: mutex_
@@ -211,8 +282,9 @@ class SearchService
         double weight = 1.0; // guards: mutex_
         /// Virtual time consumed. guards: mutex_
         double vtime = 0.0;
-        /// Round-robin runnable jobs. guards: mutex_
-        std::deque<JobId> queue;
+        /// Round-robin runnable jobs, one ring per priority class;
+        /// kInteractive drains ahead of kBatch. guards: mutex_
+        std::array<std::deque<JobId>, kJobClassCount> queues;
         /// Queued + running jobs. guards: mutex_
         std::size_t live = 0;
     };
@@ -242,6 +314,17 @@ class SearchService
     void finalizeCommon(Job &job, JobEvent event);
     /// @}
 
+    /** Request cancellation of a job (lock held); the body of
+     *  cancel() and the reaper's expiry action. */
+    bool cancelLocked(Job &job);
+
+    /**
+     * Reap parked streams whose grace window lapsed: cancel the ones
+     * still running, erase the terminal ones (events, result, token
+     * registration). Runs after every completed search (lock held).
+     */
+    void reapParkedLocked();
+
     void runnerLoop();
 
     ServiceConfig config_;
@@ -255,9 +338,21 @@ class SearchService
     /// std::map: scheduler decisions iterate tenants, and iteration
     /// order must be deterministic (and lint-clean). guards: mutex_
     std::map<std::string, Tenant> tenants_;
+    /// Resume-token registry (ordered for deterministic reaping).
+    /// guards: mutex_
+    std::map<std::uint64_t, JobId> resume_tokens_;
+    /// Parked job -> searches_finished_ at park time (the grace
+    /// clock; ordered so the reaper visits deterministically).
+    /// guards: mutex_
+    std::map<JobId, std::size_t> parked_jobs_;
     JobId next_id_ = 1;          // guards: mutex_
     std::size_t live_jobs_ = 0;  // guards: mutex_
     std::size_t runnable_ = 0;   // guards: mutex_
+    /// Service-wide terminal transitions (the reaper's clock).
+    /// guards: mutex_
+    std::size_t searches_finished_ = 0;
+    bool reaping_ = false;       // guards: mutex_ (reentrancy guard)
+    bool waits_interrupted_ = false; // guards: mutex_
     bool stop_ = false;          // guards: mutex_
 
     std::vector<std::thread> runners_;

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -66,16 +67,6 @@ sendAll(int fd, const std::uint8_t *buf, std::size_t n)
     }
 }
 
-struct FdCloser
-{
-    int fd;
-    ~FdCloser()
-    {
-        if (fd >= 0)
-            ::close(fd);
-    }
-};
-
 } // namespace
 
 void
@@ -98,7 +89,9 @@ readFrame(int fd, Frame &out)
         throw ProtocolError("bad frame length");
     std::vector<std::uint8_t> payload(len);
     recvAll(fd, payload.data(), payload.size(), /*eof_ok=*/false);
-    out.type = static_cast<MsgType>(payload[0]);
+    // Validate before the cast: an unknown byte must never flow into
+    // a dispatch switch as an out-of-enum MsgType.
+    out.type = msgTypeFromWire(payload[0]);
     out.body.assign(payload.begin() + 1, payload.end());
     return true;
 }
@@ -156,10 +149,42 @@ void
 SocketServer::requestStop()
 {
     stop_.store(true);
+    // Connection threads parked in waitStreamEvent would otherwise
+    // block the destructor's join forever once their jobs go quiet.
+    service_.interruptWaits();
     if (listen_fd_ >= 0) {
         // Wakes a blocked accept() so serve() can observe stop_.
         ::shutdown(listen_fd_, SHUT_RDWR); // lint: socket-transport
     }
+    // Threads blocked in readFrame on an idle connection (a client
+    // holding its stream open between requests) only unblock when
+    // their socket dies; shut every live connection down so the
+    // destructor's join cannot deadlock on a quiet peer.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_)
+        ::shutdown(fd, SHUT_RDWR); // lint: socket-transport
+}
+
+void
+SocketServer::registerConnection(int fd)
+{
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+}
+
+void
+SocketServer::deregisterAndClose(int fd)
+{
+    // Close under the registry lock: requestStop() must never
+    // shutdown() an fd number the kernel already recycled.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+        if (*it == fd) {
+            conn_fds_.erase(it);
+            break;
+        }
+    }
+    ::close(fd);
 }
 
 void
@@ -178,15 +203,72 @@ SocketServer::serve()
             ::close(fd);
             break;
         }
+        registerConnection(fd);
         connections_.emplace_back(
             [this, fd] { handleConnection(fd); });
     }
 }
 
 void
+SocketServer::streamJob(int fd, JobId id,
+                        std::uint64_t stream_epoch,
+                        PlatformPreset platform)
+{
+    try {
+        for (bool streaming = true; streaming;) {
+            const JobEvent ev =
+                service_.waitStreamEvent(id, stream_epoch);
+            WireWriter w;
+            switch (ev.type) {
+            case JobEventType::kAccepted:
+            case JobEventType::kStarted:
+                continue; // already signalled / implicit
+            case JobEventType::kProgress:
+                w.u64(ev.id);
+                encodeProgress(w, ev.progress);
+                writeFrame(fd, MsgType::kProgress, w);
+                break;
+            case JobEventType::kCompleted:
+                w.u64(ev.id);
+                encodeJobResult(w, *ev.result,
+                                presetPool(platform));
+                writeFrame(fd, MsgType::kCompleted, w);
+                streaming = false;
+                break;
+            case JobEventType::kCancelled:
+                w.u64(ev.id);
+                writeFrame(fd, MsgType::kCancelled, w);
+                streaming = false;
+                break;
+            case JobEventType::kFailed:
+                w.u64(ev.id);
+                w.str(ev.error);
+                writeFrame(fd, MsgType::kFailed, w);
+                streaming = false;
+                break;
+            }
+        }
+    } catch (...) {
+        // The peer vanished mid-stream (write failed) or a newer
+        // stream took the job. Park instead of cancel: the job keeps
+        // running through the grace window, and parkStream's epoch
+        // guard makes this a no-op when the job moved on already.
+        service_.parkStream(id, stream_epoch);
+        throw;
+    }
+}
+
+struct SocketServer::ConnGuard
+{
+    SocketServer &server;
+    int fd;
+    ~ConnGuard() { server.deregisterAndClose(fd); }
+};
+
+void
 SocketServer::handleConnection(int fd)
 {
-    FdCloser closer{fd};
+    ConnGuard guard{*this, fd};
     metrics::Registry::instance().add("service.connections");
     try {
         Frame frame;
@@ -201,9 +283,11 @@ SocketServer::handleConnection(int fd)
                 break;
             }
             case MsgType::kSubmit: {
+                const std::uint64_t resume_token = r.u64();
                 const JobSpec spec = decodeJobSpec(r);
                 r.expectEnd();
-                const Submission sub = service_.submit(spec);
+                const Submission sub =
+                    service_.submit(spec, resume_token);
                 if (!sub.accepted) {
                     WireWriter w;
                     w.str(sub.reject_reason);
@@ -215,40 +299,38 @@ SocketServer::handleConnection(int fd)
                     w.u64(sub.id);
                     writeFrame(fd, MsgType::kAccepted, w);
                 }
-                // Stream the job's events until terminal.
-                for (bool streaming = true; streaming;) {
-                    const JobEvent ev = service_.waitEvent(sub.id);
+                const std::uint64_t epoch =
+                    service_.attachStream(sub.id, 0);
+                streamJob(fd, sub.id, epoch, spec.platform);
+                break;
+            }
+            case MsgType::kResume: {
+                const ResumeRequest req = decodeResumeRequest(r);
+                r.expectEnd();
+                const JobId id =
+                    service_.resolveResumeToken(req.token);
+                if (id == 0) {
+                    // Unknown token: most often a daemon restart
+                    // that lost the in-memory stream. The client's
+                    // fallback is to re-submit the spec.
                     WireWriter w;
-                    switch (ev.type) {
-                    case JobEventType::kAccepted:
-                    case JobEventType::kStarted:
-                        continue; // already signalled / implicit
-                    case JobEventType::kProgress:
-                        w.u64(ev.id);
-                        encodeProgress(w, ev.progress);
-                        writeFrame(fd, MsgType::kProgress, w);
-                        break;
-                    case JobEventType::kCompleted:
-                        w.u64(ev.id);
-                        encodeJobResult(
-                            w, *ev.result,
-                            presetPool(spec.platform));
-                        writeFrame(fd, MsgType::kCompleted, w);
-                        streaming = false;
-                        break;
-                    case JobEventType::kCancelled:
-                        w.u64(ev.id);
-                        writeFrame(fd, MsgType::kCancelled, w);
-                        streaming = false;
-                        break;
-                    case JobEventType::kFailed:
-                        w.u64(ev.id);
-                        w.str(ev.error);
-                        writeFrame(fd, MsgType::kFailed, w);
-                        streaming = false;
-                        break;
-                    }
+                    w.str("unknown resume token");
+                    writeFrame(fd, MsgType::kError, w);
+                    break;
                 }
+                const std::uint64_t epoch = service_.attachStream(
+                    id, req.last_acked_generation);
+                const JobStatus st = service_.status(id);
+                ResumeReply reply;
+                reply.id = id;
+                reply.platform = st.platform;
+                reply.generations_done = st.generations_done;
+                WireWriter w;
+                encodeResumeReply(w, reply);
+                writeFrame(fd, MsgType::kResumed, w);
+                metrics::Registry::instance().add(
+                    "service.streams_resumed");
+                streamJob(fd, id, epoch, st.platform);
                 break;
             }
             case MsgType::kCancel: {
@@ -348,7 +430,15 @@ SocketClient::ping()
 Submission
 SocketClient::submit(const JobSpec &spec)
 {
+    return submit(spec, /*resume_token=*/0);
+}
+
+Submission
+SocketClient::submit(const JobSpec &spec,
+                     std::uint64_t resume_token)
+{
     WireWriter w;
+    w.u64(resume_token);
     encodeJobSpec(w, spec);
     const Frame reply = request(MsgType::kSubmit, w);
     Submission sub;
@@ -361,8 +451,24 @@ SocketClient::submit(const JobSpec &spec)
         throw ProtocolError("expected kAccepted or kError");
     sub.id = r.u64();
     sub.accepted = true;
-    presets_.emplace(sub.id, spec.platform);
+    presets_[sub.id] = spec.platform;
     return sub;
+}
+
+ResumeReply
+SocketClient::resume(const ResumeRequest &req)
+{
+    WireWriter w;
+    encodeResumeRequest(w, req);
+    const Frame frame = request(MsgType::kResume, w);
+    WireReader r(frame.body);
+    if (frame.type == MsgType::kError)
+        throw ProtocolError("resume rejected: " + r.str());
+    if (frame.type != MsgType::kResumed)
+        throw ProtocolError("expected kResumed or kError");
+    const ResumeReply reply = decodeResumeReply(r);
+    presets_[reply.id] = reply.platform;
+    return reply;
 }
 
 JobEvent
@@ -440,6 +546,115 @@ SocketClient::shutdownServer()
         return false;
     WireReader r(reply.body);
     return r.u8() != 0;
+}
+
+// --------------------------------------------- reconnecting client
+
+ReconnectingClient::ReconnectingClient(Options options)
+    : options_(std::move(options))
+{
+    requireConfig(options_.resume_token != 0,
+                  "reconnecting client needs a nonzero resume token");
+    requireConfig(options_.retry.max_attempts >= 1,
+                  "reconnect policy needs at least one attempt");
+    const std::uint16_t port = options_.port_provider
+        ? options_.port_provider()
+        : options_.port;
+    client_ = std::make_unique<SocketClient>(options_.host, port);
+}
+
+Submission
+ReconnectingClient::submit(const JobSpec &spec)
+{
+    spec_ = spec; // retained: the restart fallback re-submits it
+    sub_ = client_->submit(spec_, options_.resume_token);
+    return sub_;
+}
+
+void
+ReconnectingClient::dropConnection()
+{
+    // Sever without goodbye, exactly like a daemon crash: the next
+    // nextEvent() read fails and enters the recovery ladder.
+    client_.reset();
+}
+
+void
+ReconnectingClient::recoverStream()
+{
+    const RetryPolicy &retry = options_.retry;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        // Bounded deterministic backoff, slept for real: this is the
+        // host side of the link, waiting out a daemon restart.
+        const double wait_s = retry.backoffFor(attempt);
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            wait_s)); // lint: socket-transport
+        try {
+            const std::uint16_t port = options_.port_provider
+                ? options_.port_provider()
+                : options_.port;
+            auto fresh =
+                std::make_unique<SocketClient>(options_.host, port);
+            ResumeRequest req;
+            req.token = options_.resume_token;
+            req.last_acked_generation = last_acked_generation_;
+            try {
+                const ResumeReply reply = fresh->resume(req);
+                sub_.id = reply.id;
+                sub_.accepted = true;
+                client_ = std::move(fresh);
+                ++resumes_;
+                return;
+            } catch (const ProtocolError &) {
+                // Token unknown — the daemon restarted and lost the
+                // stream. Re-submit the retained spec under the same
+                // token: determinism plus the persistent artifact
+                // store make the result bit-identical, and progress
+                // dedup below hides any replayed generations.
+                const Submission sub =
+                    fresh->submit(spec_, options_.resume_token);
+                requireSim(sub.accepted,
+                           "resubmit after restart rejected: "
+                               + sub.reject_reason);
+                sub_ = sub;
+                client_ = std::move(fresh);
+                ++resubmits_;
+                return;
+            }
+        } catch (const std::exception &) {
+            if (attempt >= retry.max_attempts)
+                throw;
+        }
+    }
+}
+
+JobEvent
+ReconnectingClient::nextEvent()
+{
+    requireSim(sub_.accepted,
+               "nextEvent before a successful submit");
+    for (;;) {
+        JobEvent ev;
+        try {
+            if (!client_)
+                throwSimulationError("connection severed");
+            ev = client_->nextEvent(sub_.id);
+        } catch (const std::exception &) {
+            recoverStream();
+            continue;
+        }
+        if (ev.type == JobEventType::kProgress) {
+            // Dedup: a replayed stream may repeat generations the
+            // caller already consumed (e.g. a restarted daemon
+            // re-running the spec from scratch).
+            if (ev.progress.generations_done
+                <= static_cast<std::size_t>(
+                    last_acked_generation_))
+                continue;
+            last_acked_generation_ = ev.progress.generations_done;
+        }
+        return ev;
+    }
 }
 
 } // namespace service

@@ -12,11 +12,24 @@
  *  - SocketServer: owns the listening socket of an emstressd
  *    instance. One thread per connection; each connection speaks the
  *    sequential request/stream protocol (see wire.h). A kShutdown
- *    request stops the accept loop after acking.
+ *    request stops the accept loop after acking. A connection that
+ *    dies mid-stream parks its job on the scheduler (grace window)
+ *    instead of cancelling it; a kResume on a fresh connection
+ *    re-attaches and replays from the client's last acked
+ *    generation.
  *  - SocketClient: a Transport backed by one connection. submit()
  *    starts the job's event stream on that connection; cancel()
  *    opens a short-lived side connection, since the protocol is
  *    sequential per connection.
+ *  - ReconnectingClient: SocketClient plus crash tolerance — detects
+ *    dropped connections, reconnects with the bounded deterministic
+ *    backoff schedule of util/faultpoint.h's RetryPolicy (here the
+ *    waits are real host sleeps: this is the lab-host side of the
+ *    link, not the modeled bench), resumes via kResume, and falls
+ *    back to re-submitting the retained spec under the same token
+ *    when the daemon restarted and lost the stream. Progress the
+ *    client already processed is deduplicated, so the caller sees
+ *    each generation exactly once no matter how often the link died.
  */
 
 #ifndef EMSTRESS_SERVICE_TRANSPORT_SOCKET_H
@@ -24,12 +37,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/transport.h"
 #include "service/wire.h"
+#include "util/faultpoint.h"
 
 namespace emstress {
 namespace service {
@@ -82,11 +99,29 @@ class SocketServer
   private:
     void handleConnection(int fd);
 
+    /**
+     * Stream a job's events over the connection until terminal.
+     * Parks the stream (grace window) if the connection dies or the
+     * stream is superseded, then rethrows.
+     */
+    void streamJob(int fd, JobId id, std::uint64_t stream_epoch,
+                   PlatformPreset platform);
+
+    /// @{ Connection-fd registry: requestStop() shuts every live
+    /// connection down so threads blocked reading an idle peer's
+    /// next request unblock and can be joined.
+    struct ConnGuard;
+    void registerConnection(int fd);
+    void deregisterAndClose(int fd);
+    /// @}
+
     SearchService &service_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stop_{false};
     std::vector<std::thread> connections_;
+    std::mutex conn_mutex_;
+    std::vector<int> conn_fds_; // guards: conn_mutex_
 };
 
 /**
@@ -108,6 +143,24 @@ class SocketClient : public Transport
     bool ping();
 
     Submission submit(const JobSpec &spec) override;
+
+    /**
+     * Submit with a client-generated resume token (0 = none): the
+     * scheduler registers the token so a later kResume on a fresh
+     * connection can re-attach this job's stream.
+     */
+    Submission submit(const JobSpec &spec,
+                      std::uint64_t resume_token);
+
+    /**
+     * Re-attach to a parked (or still-streaming) job by resume
+     * token; the reply carries the job id and platform, and the
+     * event stream continues on this connection, replaying past
+     * last_acked_generation. @throws ProtocolError when the server
+     * rejects the token (e.g. after a restart that lost it).
+     */
+    ResumeReply resume(const ResumeRequest &req);
+
     JobEvent nextEvent(JobId id) override;
 
     /** Cancels over a fresh side connection. */
@@ -128,6 +181,84 @@ class SocketClient : public Transport
     /// Platform preset per submitted job, for decoding result
     /// kernels against the right pool.
     std::unordered_map<JobId, PlatformPreset> presets_;
+};
+
+/**
+ * Crash-tolerant client: one logical job stream that survives
+ * connection drops and daemon restarts. Wraps a SocketClient;
+ * reconnect waits follow RetryPolicy::backoffFor — the same bounded
+ * deterministic schedule the evaluation pipeline retries faulted lab
+ * operations with — slept for real on the host (this file is the
+ * service's sanctioned home for wall-clock waits).
+ *
+ * Recovery ladder on a dropped stream, per reconnect attempt:
+ *   1. reconnect (re-resolving the port when a provider is set, so a
+ *      daemon restarted on a fresh ephemeral port is found);
+ *   2. kResume with the token — the daemon still holds the stream;
+ *   3. on an unknown token (daemon restarted): re-submit the
+ *      retained spec under the same token. Determinism + the
+ *      persistent artifact store make the re-run (or the served
+ *      artifact) bit-identical to the lost stream's job.
+ * Progress at or below the last acknowledged generation is dropped,
+ * so the caller observes each generation exactly once.
+ */
+class ReconnectingClient
+{
+  public:
+    struct Options
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;
+        /// Client-generated stream identity; must be nonzero.
+        std::uint64_t resume_token = 0;
+        /// Reconnect backoff schedule (bounded + deterministic).
+        RetryPolicy retry;
+        /// Re-resolves the port before each reconnect (e.g. re-reads
+        /// a --port-file); null reuses Options::port.
+        std::function<std::uint16_t()> port_provider;
+    };
+
+    /** Connects eagerly. @throws SimError when that fails. */
+    explicit ReconnectingClient(Options options);
+
+    ReconnectingClient(const ReconnectingClient &) = delete;
+    ReconnectingClient &operator=(const ReconnectingClient &) = delete;
+
+    /** Submit the stream's job (retained for resubmit-on-restart). */
+    Submission submit(const JobSpec &spec);
+
+    /**
+     * Next deduplicated event of the submitted job, transparently
+     * recovering from dropped connections. @throws SimError once
+     * RetryPolicy::max_attempts successive reconnects fail.
+     */
+    JobEvent nextEvent();
+
+    /** Job id currently streaming (changes after a resubmit). */
+    JobId id() const { return sub_.id; }
+
+    /** Successful kResume re-attachments performed. */
+    std::uint64_t resumes() const { return resumes_; }
+
+    /** Restart fallbacks (token unknown, spec re-submitted). */
+    std::uint64_t resubmits() const { return resubmits_; }
+
+    /** Test hook: sever the current connection (as a daemon crash
+     *  would) so the next nextEvent() exercises recovery. */
+    void dropConnection();
+
+  private:
+    /** Reconnect + resume (or resubmit) with backoff; throws after
+     *  max_attempts consecutive failures. */
+    void recoverStream();
+
+    Options options_;
+    JobSpec spec_;       ///< Retained for restart resubmission.
+    Submission sub_;
+    std::uint64_t last_acked_generation_ = 0;
+    std::unique_ptr<SocketClient> client_;
+    std::uint64_t resumes_ = 0;
+    std::uint64_t resubmits_ = 0;
 };
 
 /// @{ Frame I/O over a connected socket (shared by both ends).

@@ -29,6 +29,30 @@ buildFrame(MsgType type, const WireWriter &body)
     return frame;
 }
 
+MsgType
+msgTypeFromWire(std::uint8_t raw)
+{
+    switch (raw) {
+    case 0x01: return MsgType::kPing;
+    case 0x02: return MsgType::kSubmit;
+    case 0x03: return MsgType::kCancel;
+    case 0x04: return MsgType::kMetrics;
+    case 0x05: return MsgType::kShutdown;
+    case 0x06: return MsgType::kResume;
+    case 0x81: return MsgType::kPong;
+    case 0x82: return MsgType::kAccepted;
+    case 0x83: return MsgType::kProgress;
+    case 0x84: return MsgType::kCompleted;
+    case 0x85: return MsgType::kCancelled;
+    case 0x86: return MsgType::kFailed;
+    case 0x87: return MsgType::kAck;
+    case 0x88: return MsgType::kMetricsReply;
+    case 0x89: return MsgType::kResumed;
+    case 0xFF: return MsgType::kError;
+    default: throw ProtocolError("unknown message type byte");
+    }
+}
+
 namespace {
 
 PlatformPreset
@@ -60,6 +84,16 @@ metricFromWire(std::uint8_t v)
     case 1: return core::VirusMetric::MaxDroop;
     case 2: return core::VirusMetric::PeakToPeak;
     default: throw ProtocolError("unknown virus metric on wire");
+    }
+}
+
+JobClass
+jobClassFromWire(std::uint8_t v)
+{
+    switch (v) {
+    case 0: return JobClass::kBatch;
+    case 1: return JobClass::kInteractive;
+    default: throw ProtocolError("unknown job class on wire");
     }
 }
 
@@ -163,6 +197,14 @@ encodeJobSpec(WireWriter &w, const JobSpec &spec)
     w.u64(fi.schedule_seed);
     w.f64(fi.t0_max_s);
     w.f64(fi.amplitude_max_a);
+
+    // Scheduling identity (version 2), appended last so the
+    // result-defining prefix of the body stays byte-stable across
+    // protocol versions. Like the tenant, neither field is part of
+    // the content fingerprint: they change job *latency*, never job
+    // *results*.
+    w.u8(static_cast<std::uint8_t>(spec.job_class));
+    w.f64(spec.deadline_s);
 }
 
 JobSpec
@@ -207,7 +249,44 @@ decodeJobSpec(WireReader &r)
     fi.schedule_seed = r.u64();
     fi.t0_max_s = r.f64();
     fi.amplitude_max_a = r.f64();
+
+    spec.job_class = jobClassFromWire(r.u8());
+    spec.deadline_s = r.f64();
     return spec;
+}
+
+void
+encodeResumeRequest(WireWriter &w, const ResumeRequest &req)
+{
+    w.u64(req.token);
+    w.u64(req.last_acked_generation);
+}
+
+ResumeRequest
+decodeResumeRequest(WireReader &r)
+{
+    ResumeRequest req;
+    req.token = r.u64();
+    req.last_acked_generation = r.u64();
+    return req;
+}
+
+void
+encodeResumeReply(WireWriter &w, const ResumeReply &reply)
+{
+    w.u64(reply.id);
+    w.u8(static_cast<std::uint8_t>(reply.platform));
+    w.u64(reply.generations_done);
+}
+
+ResumeReply
+decodeResumeReply(WireReader &r)
+{
+    ResumeReply reply;
+    reply.id = r.u64();
+    reply.platform = presetFromWire(r.u8());
+    reply.generations_done = r.u64();
+    return reply;
 }
 
 void

@@ -20,17 +20,29 @@
  *   client                         server
  *   kPing(version)             ->
  *                              <- kPong(version)
- *   kSubmit(JobSpec)           ->
+ *   kSubmit(token, JobSpec)    ->
  *                              <- kAccepted(id) | kError(reason)
  *                              <- kProgress(id, progress)...
  *                              <- kCompleted(id, JobResult)
  *                               | kCancelled(id) | kFailed(id, err)
+ *   kResume(token, last_gen)   ->    (fresh connection, after a drop)
+ *                              <- kResumed(id, platform, done)
+ *                               | kError(reason)
+ *                              <- kProgress/terminal as for kSubmit,
+ *                                 replayed past last_gen
  *   kCancel(id)                ->    (usually a second connection)
  *                              <- kAck(ok)
  *   kMetrics                   ->
  *                              <- kMetricsReply(json)
  *   kShutdown                  ->
  *                              <- kAck(1), then the server exits
+ *
+ * Resume tokens are client-generated 64-bit values (0 = streaming
+ * without resume support, the version-1 behavior). A kSubmit carrying
+ * a nonzero token registers it with the scheduler; after a connection
+ * drop the scheduler parks the stream for a grace window and a
+ * kResume on a fresh connection re-attaches, replaying every retained
+ * event whose generation count exceeds last_acked_generation.
  */
 
 #ifndef EMSTRESS_SERVICE_WIRE_H
@@ -48,8 +60,10 @@
 namespace emstress {
 namespace service {
 
-/** Protocol version exchanged in kPing/kPong. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/** Protocol version exchanged in kPing/kPong. Version 2 added resume
+ *  tokens on kSubmit, the kResume/kResumed pair and the priority
+ *  class + deadline fields of JobSpec. */
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Upper bound on a frame body (malformed-stream guard). */
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -62,6 +76,7 @@ enum class MsgType : std::uint8_t
     kCancel = 0x03,
     kMetrics = 0x04,
     kShutdown = 0x05,
+    kResume = 0x06,
 
     kPong = 0x81,
     kAccepted = 0x82,
@@ -71,8 +86,17 @@ enum class MsgType : std::uint8_t
     kFailed = 0x86,
     kAck = 0x87,
     kMetricsReply = 0x88,
+    kResumed = 0x89,
     kError = 0xFF,
 };
+
+/**
+ * Validate a raw type byte against the known message set. The frame
+ * reader funnels every received byte through this before dispatch, so
+ * an out-of-enum value can never reach a switch as a MsgType.
+ * @throws ProtocolError for unknown bytes.
+ */
+MsgType msgTypeFromWire(std::uint8_t raw);
 
 /** Malformed frame or field. */
 class ProtocolError : public std::runtime_error
@@ -215,9 +239,35 @@ class WireReader
 std::vector<std::uint8_t> buildFrame(MsgType type,
                                      const WireWriter &body);
 
+/** Body of a kResume request: which stream to re-attach and how far
+ *  the client already got. */
+struct ResumeRequest
+{
+    /// Client-generated token the original kSubmit carried.
+    std::uint64_t token = 0;
+    /// generations_done of the last progress event the client
+    /// processed; replay starts past this point.
+    std::uint64_t last_acked_generation = 0;
+};
+
+/** Body of a kResumed reply: the re-attached stream's identity. */
+struct ResumeReply
+{
+    JobId id = 0;
+    PlatformPreset platform = PlatformPreset::kJunoA72;
+    /// Generations the job has stepped so far (resume telemetry).
+    std::uint64_t generations_done = 0;
+};
+
 /// @{ Body codecs for the structured payloads.
 void encodeJobSpec(WireWriter &w, const JobSpec &spec);
 JobSpec decodeJobSpec(WireReader &r);
+
+void encodeResumeRequest(WireWriter &w, const ResumeRequest &req);
+ResumeRequest decodeResumeRequest(WireReader &r);
+
+void encodeResumeReply(WireWriter &w, const ResumeReply &reply);
+ResumeReply decodeResumeReply(WireReader &r);
 
 void encodeProgress(WireWriter &w, const JobProgress &p);
 JobProgress decodeProgress(WireReader &r);

@@ -870,6 +870,52 @@ TEST(LintR9, FingerprintedFieldMissingFromWireFlagged)
     EXPECT_TRUE(names_seq);
 }
 
+TEST(LintR9, SymmetricResumeCodecPairIsClean)
+{
+    // The streaming-resume handshake (kResume/kResumed) rides the
+    // same suffix-pairing as every other codec: a faithful pair of
+    // resume codecs must not trip the gate.
+    const std::string text = std::string(kCodecPrologue)
+        + "struct ResumeRequest { std::uint64_t token = 0; "
+          "std::uint64_t last_acked_generation = 0; };\n"
+          "void encodeResumeRequest(WireWriter &w, "
+          "const ResumeRequest &q) {\n"
+          "  w.u64(q.token);\n"
+          "  w.u64(q.last_acked_generation);\n"
+          "}\n"
+          "ResumeRequest decodeResumeRequest(WireReader &r) {\n"
+          "  ResumeRequest q;\n"
+          "  q.token = r.u64();\n"
+          "  q.last_acked_generation = r.u64();\n"
+          "  return q;\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    EXPECT_EQ(countRule(f, "R9"), 0u);
+}
+
+TEST(LintR9, AsymmetricResumeCodecPairFlagged)
+{
+    // A decoder reading the resume token after the generation cursor
+    // would silently cross the two u64 fields — exactly the class of
+    // drift R9 exists to catch in new protocol messages.
+    const std::string text = std::string(kCodecPrologue)
+        + "struct ResumeRequest { std::uint64_t token = 0; "
+          "std::uint64_t last_acked_generation = 0; };\n"
+          "void encodeResumeRequest(WireWriter &w, "
+          "const ResumeRequest &q) {\n"
+          "  w.u64(q.token);\n"
+          "  w.u64(q.last_acked_generation);\n"
+          "}\n"
+          "ResumeRequest decodeResumeRequest(WireReader &r) {\n"
+          "  ResumeRequest q;\n"
+          "  q.last_acked_generation = r.u64();\n"
+          "  q.token = r.u64();\n"
+          "  return q;\n"
+          "}\n";
+    const auto f = lintProject({{"src/x/wire.cc", text}});
+    EXPECT_EQ(countRule(f, "R9"), 1u);
+}
+
 // ----------------------------------------------------- JSON report
 
 TEST(LintJson, RoundTripsFindings)

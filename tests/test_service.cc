@@ -12,6 +12,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -192,6 +194,14 @@ TEST(JobModel, FingerprintTracksContentNotTenant)
     changed = base;
     changed.platform = PlatformPreset::kAthlon;
     EXPECT_NE(jobFingerprint(base), jobFingerprint(changed));
+
+    // Scheduling identity never reaches the content address: the
+    // same spec submitted interactive-with-deadline must share the
+    // batch submission's artifact.
+    JobSpec scheduled = base;
+    scheduled.job_class = JobClass::kInteractive;
+    scheduled.deadline_s = 1.5;
+    EXPECT_EQ(jobFingerprint(base), jobFingerprint(scheduled));
 }
 
 TEST(JobModel, CrossModeSpecsNeverShareAnArtifact)
@@ -277,6 +287,8 @@ TEST(WireCodec, SpecRoundTripsEveryField)
     spec.eval.sa_samples = 12;
     spec.eval.active_cores = 2;
     spec.eval.streaming = false;
+    spec.job_class = JobClass::kInteractive;
+    spec.deadline_s = 12.5;
     spec.mode = JobMode::kActiveEmfi;
     spec.emfi.victim_seed = 401;
     spec.emfi.victim_length = 10;
@@ -324,6 +336,8 @@ TEST(WireCodec, SpecRoundTripsEveryField)
     EXPECT_EQ(bits(back.emfi.t0_max_s), bits(spec.emfi.t0_max_s));
     EXPECT_EQ(bits(back.emfi.amplitude_max_a),
               bits(spec.emfi.amplitude_max_a));
+    EXPECT_EQ(back.job_class, spec.job_class);
+    EXPECT_EQ(bits(back.deadline_s), bits(spec.deadline_s));
 
     // The codec preserves the content address.
     EXPECT_EQ(jobFingerprint(back), jobFingerprint(spec));
@@ -424,12 +438,226 @@ TEST(ArtifactStore, TtlEvictsIdleEntriesOnly)
     store.insert(2, std::make_shared<const JobResult>());
 
     store.advanceEpoch();
-    store.advanceEpoch();
     EXPECT_NE(store.fetch(1), nullptr); // refreshes entry 1
-    store.advanceEpoch();               // entry 2 now 3 epochs idle
+    store.advanceEpoch(); // entry 2 idle exactly ttl: evicted
     EXPECT_EQ(store.fetch(2), nullptr);
     EXPECT_NE(store.fetch(1), nullptr);
     EXPECT_EQ(store.stats().expirations, 1u);
+}
+
+TEST(ArtifactStore, TtlBoundaryEvictsOnExactlyTheTtlthAdvance)
+{
+    // Pin the fencepost: an entry last used at epoch E dies on the
+    // advance to E + ttl, not E + ttl + 1. The pre-fix `>` compare
+    // let every entry linger one epoch past its configured lifetime,
+    // so a ttl of 1 behaved like 2.
+    ArtifactStore::Config config;
+    config.ttl_epochs = 3;
+    ArtifactStore store(config);
+    store.insert(7, std::make_shared<const JobResult>());
+    store.advanceEpoch();
+    store.advanceEpoch();
+    EXPECT_EQ(store.size(), 1u); // idle ttl - 1 epochs: still alive
+    store.advanceEpoch();        // idle exactly ttl epochs
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().expirations, 1u);
+    EXPECT_EQ(store.fetch(7), nullptr);
+}
+
+TEST(ArtifactStore, ReplacementsCountedSeparatelyFromInserts)
+{
+    // A double completion of one fingerprint is an overwrite, not a
+    // growth event; the split keeps the insert counter equal to the
+    // number of distinct artifacts ever stored.
+    ArtifactStore store({});
+    auto artifact = std::make_shared<const JobResult>();
+    store.insert(1, artifact);
+    store.insert(1, artifact); // same address, same bytes
+    store.insert(2, artifact);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.stats().inserts, 2u);
+    EXPECT_EQ(store.stats().replacements, 1u);
+}
+
+// ---------------------------------------------------------------
+// Artifact store: persistent disk tier.
+// ---------------------------------------------------------------
+
+/** Fresh (pre-cleaned) spill directory under the test temp root. */
+std::string
+spillDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir())
+        / ("emstress_store_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** A real completed artifact for `spec` (via a direct run). */
+std::shared_ptr<const JobResult>
+makeArtifact(const JobSpec &spec)
+{
+    JobResult result;
+    result.metric = "synthetic";
+    result.ga = directRun(spec, &syntheticFactory);
+    result.fingerprint = jobFingerprint(spec);
+    return std::make_shared<const JobResult>(std::move(result));
+}
+
+TEST(ArtifactStoreDisk, RestartServesSpilledArtifactBitIdentical)
+{
+    const JobSpec spec = smallSpec(41);
+    const auto artifact = makeArtifact(spec);
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("restart");
+    {
+        ArtifactStore store(config);
+        store.insert(artifact->fingerprint, artifact, spec.platform);
+        EXPECT_EQ(store.stats().spill_writes, 1u);
+    }
+
+    // A second store over the same directory — the restarted daemon.
+    // The scan indexes the sidecar without reading the payload; the
+    // first fetch loads lazily and serves the exact bytes.
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.stats().spill_indexed, 1u);
+    EXPECT_EQ(reborn.size(), 1u);
+    EXPECT_FALSE(reborn.resident(artifact->fingerprint));
+    const auto served = reborn.fetch(artifact->fingerprint);
+    ASSERT_NE(served, nullptr);
+    EXPECT_TRUE(reborn.resident(artifact->fingerprint));
+    EXPECT_EQ(reborn.stats().disk_hits, 1u);
+    EXPECT_EQ(reborn.stats().hits, 1u);
+    EXPECT_EQ(served->fingerprint, artifact->fingerprint);
+    EXPECT_EQ(served->metric, artifact->metric);
+    expectBitIdentical(served->ga, artifact->ga,
+                       presetPool(spec.platform));
+    std::filesystem::remove_all(config.spill_dir);
+}
+
+TEST(ArtifactStoreDisk, TtlEvictionRemovesSpillFiles)
+{
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("ttl");
+    config.ttl_epochs = 1;
+    {
+        ArtifactStore store(config);
+        store.insert(1, std::make_shared<const JobResult>());
+        store.advanceEpoch();
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_EQ(store.stats().expirations, 1u);
+    }
+    // The eviction reached the disk tier: a restart indexes nothing.
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.stats().spill_indexed, 0u);
+    EXPECT_EQ(reborn.size(), 0u);
+    std::filesystem::remove_all(config.spill_dir);
+}
+
+TEST(ArtifactStoreDisk, TruncatedPayloadQuarantinedAtScan)
+{
+    namespace fs = std::filesystem;
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("truncated");
+    {
+        ArtifactStore store(config);
+        store.insert(1, std::make_shared<const JobResult>());
+    }
+    // Tear the payload (daemon killed mid-write of a non-atomic FS,
+    // disk corruption, ...): the size no longer matches the sidecar.
+    for (const auto &entry : fs::directory_iterator(config.spill_dir))
+        if (entry.path().extension() == ".artifact")
+            fs::resize_file(entry.path(), entry.file_size() / 2);
+
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.size(), 0u);
+    EXPECT_EQ(reborn.stats().spill_quarantined, 1u);
+    EXPECT_EQ(reborn.fetch(1), nullptr);
+    // The pair moved aside for post-mortems instead of being served.
+    std::size_t quarantined = 0;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(config.spill_dir)
+                                / "quarantine"))
+        ++quarantined, (void)entry;
+    EXPECT_EQ(quarantined, 2u);
+    std::filesystem::remove_all(config.spill_dir);
+}
+
+TEST(ArtifactStoreDisk, BitRottedPayloadQuarantinedOnLazyLoad)
+{
+    namespace fs = std::filesystem;
+    const JobSpec spec = smallSpec(43);
+    const auto artifact = makeArtifact(spec);
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("bitrot");
+    {
+        ArtifactStore store(config);
+        store.insert(artifact->fingerprint, artifact, spec.platform);
+    }
+    // Same-size corruption passes the scan's size check and must be
+    // caught by the decode on the lazy-load path instead.
+    for (const auto &entry : fs::directory_iterator(config.spill_dir))
+        if (entry.path().extension() == ".artifact") {
+            std::ofstream out(entry.path(),
+                              std::ios::binary | std::ios::in);
+            const char junk[4] = {'\xff', '\xff', '\xff', '\xff'};
+            out.write(junk, sizeof junk);
+        }
+
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.size(), 1u); // the scan cannot see bit rot
+    EXPECT_EQ(reborn.fetch(artifact->fingerprint), nullptr);
+    EXPECT_EQ(reborn.stats().spill_quarantined, 1u);
+    EXPECT_EQ(reborn.stats().misses, 1u);
+    EXPECT_EQ(reborn.size(), 0u);
+    std::filesystem::remove_all(config.spill_dir);
+}
+
+TEST(ArtifactStoreDisk, GarbageSidecarQuarantinedAtScan)
+{
+    namespace fs = std::filesystem;
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("badmeta");
+    {
+        ArtifactStore store(config);
+        store.insert(1, std::make_shared<const JobResult>());
+    }
+    for (const auto &entry : fs::directory_iterator(config.spill_dir))
+        if (entry.path().extension() == ".meta") {
+            std::ofstream out(entry.path(), std::ios::trunc);
+            out << "not a sidecar\n";
+        }
+
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.size(), 0u);
+    EXPECT_EQ(reborn.stats().spill_quarantined, 1u);
+    EXPECT_EQ(reborn.fetch(1), nullptr);
+    std::filesystem::remove_all(config.spill_dir);
+}
+
+TEST(ArtifactStoreDisk, FetchRefreshPersistsLruAcrossRestart)
+{
+    // Epoch refreshes rewrite the sidecar, so an entry kept warm
+    // before a restart is not reaped as stale after it.
+    ArtifactStore::Config config;
+    config.spill_dir = spillDir("lru");
+    config.ttl_epochs = 3;
+    {
+        ArtifactStore store(config);
+        store.insert(1, std::make_shared<const JobResult>());
+        store.advanceEpoch();
+        store.advanceEpoch();
+        EXPECT_NE(store.fetch(1), nullptr); // refresh at epoch 2
+    }
+    ArtifactStore reborn(config);
+    EXPECT_EQ(reborn.epoch(), 2u); // scan resumes the logical clock
+    reborn.advanceEpoch();
+    reborn.advanceEpoch();
+    EXPECT_EQ(reborn.size(), 1u); // idle 2 < ttl, thanks to refresh
+    reborn.advanceEpoch();
+    EXPECT_EQ(reborn.size(), 0u);
+    std::filesystem::remove_all(config.spill_dir);
 }
 
 // ---------------------------------------------------------------
@@ -519,6 +747,182 @@ TEST(SearchService, WeightedFairSharingByVirtualTime)
     // 3:1 share, allowing one step of phase skew.
     EXPECT_NEAR(static_cast<double>(heavy_done), 18.0, 1.0);
     EXPECT_NEAR(static_cast<double>(light_done), 6.0, 1.0);
+}
+
+TEST(SearchService, InteractiveClassDrainsAheadOfBatchWithinTenant)
+{
+    SearchService svc(manualConfig());
+    JobSpec batch = smallSpec(1);
+    batch.ga.generations = 30;
+    JobSpec interactive = smallSpec(2);
+    interactive.ga.generations = 5;
+    interactive.job_class = JobClass::kInteractive;
+    const Submission bs = svc.submit(batch);
+    const Submission is = svc.submit(interactive);
+    ASSERT_TRUE(bs.accepted);
+    ASSERT_TRUE(is.accepted);
+    EXPECT_EQ(svc.status(is.id).job_class, JobClass::kInteractive);
+    EXPECT_EQ(svc.status(bs.id).job_class, JobClass::kBatch);
+
+    // Every step goes to the interactive ring until it drains, even
+    // though the batch job arrived first.
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(svc.stepOnce());
+    EXPECT_EQ(svc.status(is.id).state, JobState::kCompleted);
+    EXPECT_EQ(svc.status(bs.id).generations_done, 0u);
+    svc.drainManual();
+    EXPECT_EQ(svc.status(bs.id).state, JobState::kCompleted);
+}
+
+TEST(SearchService, InteractiveBoostSkewsCrossTenantShare)
+{
+    // Across tenants the interactive discount works through virtual
+    // time: with the default boost of 4, an interactive-only tenant
+    // takes a 4:1 generation share against an equal-weight batch
+    // tenant.
+    SearchService svc(manualConfig());
+    JobSpec interactive = smallSpec(1, "alice");
+    interactive.ga.generations = 60;
+    interactive.job_class = JobClass::kInteractive;
+    JobSpec batch = smallSpec(2, "bob");
+    batch.ga.generations = 60;
+    const Submission as = svc.submit(interactive);
+    const Submission bs = svc.submit(batch);
+    ASSERT_TRUE(as.accepted);
+    ASSERT_TRUE(bs.accepted);
+
+    for (int i = 0; i < 25; ++i)
+        ASSERT_TRUE(svc.stepOnce());
+    const std::size_t alice = svc.status(as.id).generations_done;
+    const std::size_t bob = svc.status(bs.id).generations_done;
+    EXPECT_EQ(alice + bob, 25u);
+    EXPECT_NEAR(static_cast<double>(alice), 20.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(bob), 5.0, 1.0);
+}
+
+// ---------------------------------------------------------------
+// Stream re-attachment: retention, rewind, park and reap.
+// ---------------------------------------------------------------
+
+TEST(SearchService, EventsRetainedAndReplayedPastAck)
+{
+    SearchService svc(manualConfig());
+    const JobSpec spec = smallSpec(5); // 5 generations
+    const Submission sub = svc.submit(spec);
+    ASSERT_TRUE(sub.accepted);
+    svc.drainManual();
+
+    // First delivery consumes the full stream.
+    for (;;) {
+        const auto ev = svc.pollEvent(sub.id);
+        ASSERT_TRUE(ev.has_value());
+        if (ev->type == JobEventType::kCompleted)
+            break;
+    }
+    EXPECT_FALSE(svc.pollEvent(sub.id).has_value());
+
+    // Re-attach acking generation 3: the rewind skips lifecycle
+    // events and progress the client kept, replays the rest.
+    const std::uint64_t epoch = svc.attachStream(sub.id, 3);
+    JobEvent ev = svc.waitStreamEvent(sub.id, epoch);
+    ASSERT_EQ(ev.type, JobEventType::kProgress);
+    EXPECT_EQ(ev.progress.generations_done, 4u);
+    ev = svc.waitStreamEvent(sub.id, epoch);
+    ASSERT_EQ(ev.type, JobEventType::kProgress);
+    EXPECT_EQ(ev.progress.generations_done, 5u);
+    ev = svc.waitStreamEvent(sub.id, epoch);
+    EXPECT_EQ(ev.type, JobEventType::kCompleted);
+    ASSERT_NE(ev.result, nullptr);
+    expectBitIdentical(ev.result->ga,
+                       directRun(spec, &syntheticFactory),
+                       presetPool(spec.platform));
+}
+
+TEST(SearchService, NewerAttachSupersedesOlderStream)
+{
+    SearchService svc(manualConfig());
+    const Submission sub = svc.submit(smallSpec(6));
+    ASSERT_TRUE(sub.accepted);
+    svc.drainManual();
+
+    const std::uint64_t old_epoch = svc.attachStream(sub.id, 0);
+    const std::uint64_t new_epoch = svc.attachStream(sub.id, 0);
+    EXPECT_THROW(svc.waitStreamEvent(sub.id, old_epoch),
+                 SimulationError);
+    // A stale epoch cannot park the job out from under the new
+    // stream either.
+    svc.parkStream(sub.id, old_epoch);
+    EXPECT_FALSE(svc.status(sub.id).parked);
+    // The newer stream is live.
+    const JobEvent ev = svc.waitStreamEvent(sub.id, new_epoch);
+    EXPECT_EQ(ev.type, JobEventType::kProgress);
+}
+
+TEST(SearchService, ParkedStreamsReapedAfterGraceWindow)
+{
+    ServiceConfig config = manualConfig();
+    config.orphan_grace_searches = 1;
+    SearchService svc(config);
+    const Submission sub = svc.submit(smallSpec(1), /*token=*/77);
+    ASSERT_TRUE(sub.accepted);
+    svc.drainManual();
+    EXPECT_EQ(svc.resolveResumeToken(77), sub.id);
+
+    const std::uint64_t epoch = svc.attachStream(sub.id, 0);
+    svc.parkStream(sub.id, epoch);
+    EXPECT_TRUE(svc.status(sub.id).parked);
+
+    // One completed search inside the grace window: still resumable.
+    ASSERT_TRUE(svc.submit(smallSpec(2)).accepted);
+    svc.drainManual();
+    EXPECT_EQ(svc.resolveResumeToken(77), sub.id);
+
+    // The next completion lapses the window; the reaper retires the
+    // job, its retained events and the token registration.
+    ASSERT_TRUE(svc.submit(smallSpec(3)).accepted);
+    svc.drainManual();
+    EXPECT_EQ(svc.resolveResumeToken(77), 0u);
+    EXPECT_THROW(svc.status(sub.id), ConfigError);
+}
+
+TEST(SearchService, ResumeUnparksAndEscapesTheReaper)
+{
+    ServiceConfig config = manualConfig();
+    config.orphan_grace_searches = 1;
+    SearchService svc(config);
+    const Submission sub = svc.submit(smallSpec(1), /*token=*/9);
+    ASSERT_TRUE(sub.accepted);
+    svc.drainManual();
+    const std::uint64_t epoch = svc.attachStream(sub.id, 0);
+    svc.parkStream(sub.id, epoch);
+
+    // Resume (attach) before the window lapses: the job is no longer
+    // parked, and later completions leave it alone.
+    svc.attachStream(sub.id, 0);
+    EXPECT_FALSE(svc.status(sub.id).parked);
+    for (std::uint64_t s = 2; s <= 4; ++s) {
+        ASSERT_TRUE(svc.submit(smallSpec(s)).accepted);
+        svc.drainManual();
+    }
+    EXPECT_EQ(svc.resolveResumeToken(9), sub.id);
+    EXPECT_EQ(svc.status(sub.id).state, JobState::kCompleted);
+}
+
+TEST(SearchService, ZeroGraceParksForever)
+{
+    ServiceConfig config = manualConfig();
+    config.orphan_grace_searches = 0; // park forever
+    SearchService svc(config);
+    const Submission sub = svc.submit(smallSpec(1), /*token=*/5);
+    ASSERT_TRUE(sub.accepted);
+    svc.drainManual();
+    svc.parkStream(sub.id, svc.attachStream(sub.id, 0));
+    for (std::uint64_t s = 2; s <= 6; ++s) {
+        ASSERT_TRUE(svc.submit(smallSpec(s)).accepted);
+        svc.drainManual();
+    }
+    EXPECT_EQ(svc.resolveResumeToken(5), sub.id);
+    EXPECT_TRUE(svc.status(sub.id).parked);
 }
 
 TEST(SearchService, CancelQueuedJobImmediately)

@@ -21,6 +21,13 @@
  *   --seed N             GA master seed           (default 1)
  *   --population N --generations N --restarts N --kernel-length N
  *   --sa-samples N --duration S
+ *   --class C            batch | interactive      (default batch)
+ *   --deadline S         target completion latency (observability)
+ *   --resume-token N     nonzero: stream with crash tolerance — on
+ *                        a dropped connection the client reconnects
+ *                        with bounded backoff, resumes via kResume,
+ *                        and falls back to re-submitting the spec
+ *                        under the same token after a daemon restart
  *   --quiet              suppress per-generation progress lines
  *   --verify-direct      after completion, rerun the same spec
  *                        in-process with GaEngine and require the
@@ -32,7 +39,9 @@
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "ga/ga_engine.h"
@@ -106,14 +115,15 @@ verifyDirect(const service::JobSpec &spec,
 }
 
 int
-runSubmit(service::SocketClient &client, int argc, char **argv,
-          int first)
+runSubmit(const std::string &host, std::uint16_t port, int argc,
+          char **argv, int first)
 {
     service::JobSpec spec;
     spec.ga.population = 16;
     spec.ga.generations = 10;
     bool quiet = false;
     bool verify = false;
+    std::uint64_t resume_token = 0;
 
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -159,6 +169,20 @@ runSubmit(service::SocketClient &client, int argc, char **argv,
             spec.eval.sa_samples = std::stoul(next());
         } else if (arg == "--duration") {
             spec.eval.duration_s = std::stod(next());
+        } else if (arg == "--class") {
+            const std::string c = next();
+            if (c == "batch")
+                spec.job_class = service::JobClass::kBatch;
+            else if (c == "interactive")
+                spec.job_class = service::JobClass::kInteractive;
+            else {
+                std::cerr << "unknown class (batch|interactive)\n";
+                return 2;
+            }
+        } else if (arg == "--deadline") {
+            spec.deadline_s = std::stod(next());
+        } else if (arg == "--resume-token") {
+            resume_token = std::stoull(next());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--verify-direct") {
@@ -168,7 +192,33 @@ runSubmit(service::SocketClient &client, int argc, char **argv,
         }
     }
 
-    const service::Submission sub = client.submit(spec);
+    // A nonzero resume token switches to the crash-tolerant client:
+    // same stream semantics, but dropped connections reconnect,
+    // kResume, and fall back to resubmission after a daemon restart.
+    std::unique_ptr<service::SocketClient> plain;
+    std::unique_ptr<service::ReconnectingClient> durable;
+    service::Submission sub;
+    std::function<service::JobEvent()> next_event;
+    if (resume_token != 0) {
+        service::ReconnectingClient::Options opts;
+        opts.host = host;
+        opts.port = port;
+        opts.resume_token = resume_token;
+        // CI restarts the daemon within a couple of seconds; retry
+        // long enough to ride that out without stalling failures.
+        opts.retry.max_attempts = 12;
+        opts.retry.backoff_s = 0.25;
+        opts.retry.backoff_factor = 1.5;
+        opts.retry.backoff_cap_s = 2.0;
+        durable = std::make_unique<service::ReconnectingClient>(
+            std::move(opts));
+        sub = durable->submit(spec);
+        next_event = [&]() { return durable->nextEvent(); };
+    } else {
+        plain = std::make_unique<service::SocketClient>(host, port);
+        sub = plain->submit(spec);
+        next_event = [&]() { return plain->nextEvent(sub.id); };
+    }
     if (!sub.accepted) {
         std::cerr << "rejected: " << sub.reject_reason << '\n';
         return 1;
@@ -176,7 +226,9 @@ runSubmit(service::SocketClient &client, int argc, char **argv,
     std::cout << "job " << sub.id << " accepted" << std::endl;
 
     for (;;) {
-        const service::JobEvent ev = client.nextEvent(sub.id);
+        const service::JobEvent ev = next_event();
+        if (durable)
+            sub.id = durable->id(); // changes after a resubmit
         if (ev.type == service::JobEventType::kProgress) {
             if (!quiet)
                 std::cout << "gen " << ev.progress.generation
@@ -215,6 +267,10 @@ runSubmit(service::SocketClient &client, int argc, char **argv,
                   << res.ga.eval_stats.cache_hits
                   << "\n  fingerprint       " << std::hex
                   << res.fingerprint << std::dec << std::endl;
+        if (durable && (durable->resumes() || durable->resubmits()))
+            std::cout << "stream recovered: " << durable->resumes()
+                      << " resume(s), " << durable->resubmits()
+                      << " resubmit(s)" << std::endl;
         if (verify) {
             std::cout << "verify-direct: rerunning spec in-process..."
                       << std::endl;
@@ -255,6 +311,8 @@ main(int argc, char **argv)
     const std::string command = argv[i++];
 
     try {
+        if (command == "submit")
+            return runSubmit(host, port, argc, argv, i);
         emstress::service::SocketClient client(host, port);
         if (command == "ping") {
             if (client.ping()) {
@@ -264,8 +322,6 @@ main(int argc, char **argv)
             std::cerr << "ping failed\n";
             return 1;
         }
-        if (command == "submit")
-            return runSubmit(client, argc, argv, i);
         if (command == "cancel") {
             if (i >= argc)
                 return usage();

@@ -9,11 +9,19 @@
  *   emstressd [--port N] [--port-file PATH] [--fleet-threads N]
  *             [--runners N] [--max-jobs N] [--max-jobs-per-tenant N]
  *             [--tenant-weight NAME=W]... [--artifact-ttl N]
+ *             [--artifact-dir PATH] [--orphan-grace N]
  *             [--no-artifacts] [--metrics]
  *
  * --port 0 (the default) binds an ephemeral port; the resolved port
  * is printed on stdout ("emstressd listening on port N") and, with
  * --port-file, written alone to PATH so scripts can pick it up.
+ *
+ * --artifact-dir makes the store persistent: completed artifacts
+ * spill to PATH and a restarted daemon pointed at the same PATH
+ * serves them bit-identical without re-running searches (the scan
+ * count is printed at startup). --orphan-grace N sets how many
+ * completed searches a dropped stream's job survives awaiting a
+ * client kResume before the reaper collects it (0 = forever).
  */
 
 #include <cstdlib>
@@ -36,6 +44,7 @@ usage(const char *argv0)
            "       [--runners N] [--max-jobs N]"
            " [--max-jobs-per-tenant N]\n"
            "       [--tenant-weight NAME=W]... [--artifact-ttl N]\n"
+           "       [--artifact-dir PATH] [--orphan-grace N]\n"
            "       [--no-artifacts] [--metrics]\n";
     return 2;
 }
@@ -90,6 +99,10 @@ main(int argc, char **argv)
                 std::stod(kv.substr(eq + 1));
         } else if (arg == "--artifact-ttl") {
             config.artifacts.ttl_epochs = std::stoul(next());
+        } else if (arg == "--artifact-dir") {
+            config.artifacts.spill_dir = next();
+        } else if (arg == "--orphan-grace") {
+            config.orphan_grace_searches = std::stoul(next());
         } else if (arg == "--no-artifacts") {
             config.use_artifact_store = false;
         } else if (arg == "--metrics") {
@@ -104,6 +117,12 @@ main(int argc, char **argv)
 
     try {
         service::SearchService svc(config);
+        if (!config.artifacts.spill_dir.empty()) {
+            std::cout << "emstressd artifact store: "
+                      << svc.artifacts().size()
+                      << " artifact(s) indexed from "
+                      << config.artifacts.spill_dir << std::endl;
+        }
         service::SocketServer server(svc, options);
         std::cout << "emstressd listening on port " << server.port()
                   << std::endl;

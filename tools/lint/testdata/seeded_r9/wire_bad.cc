@@ -50,3 +50,43 @@ decodePacket(WireReader &r, Packet &p)
 }
 
 } // namespace seeded
+
+namespace seeded_resume {
+
+struct WireWriter
+{
+    void u64(std::uint64_t v);
+};
+
+struct WireReader
+{
+    std::uint64_t u64();
+};
+
+struct ResumeRequest
+{
+    std::uint64_t token = 0;
+    std::uint64_t last_acked_generation = 0;
+};
+
+// A second seeded asymmetry, mirroring the streaming-resume
+// handshake: the decoder swaps the two u64 fields, so a resumed
+// stream would replay from the token value. R9 must flag this pair
+// too — never "fix" it.
+void
+encodeResumeRequest(WireWriter &w, const ResumeRequest &q)
+{
+    w.u64(q.token);
+    w.u64(q.last_acked_generation);
+}
+
+ResumeRequest
+decodeResumeRequest(WireReader &r)
+{
+    ResumeRequest q;
+    q.last_acked_generation = r.u64();
+    q.token = r.u64();
+    return q;
+}
+
+} // namespace seeded_resume
